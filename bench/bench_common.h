@@ -1,0 +1,130 @@
+#pragma once
+/// \file bench_common.h
+/// \brief Shared world-building helpers for the experiment binaries.
+///
+/// Every binary in bench/ regenerates one table/figure of the paper's
+/// evaluation (see EXPERIMENTS.md). They share these builders so the
+/// simulated testbed is identical across experiments.
+
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "pa/common/stats.h"
+#include "pa/common/table.h"
+#include "pa/core/pilot_compute_service.h"
+#include "pa/data/pilot_data_service.h"
+#include "pa/infra/background_load.h"
+#include "pa/infra/batch_cluster.h"
+#include "pa/infra/cloud.h"
+#include "pa/infra/htc_pool.h"
+#include "pa/infra/serverless.h"
+#include "pa/rt/local_runtime.h"
+#include "pa/rt/sim_runtime.h"
+#include "pa/saga/session.h"
+
+namespace pa::bench {
+
+/// A simulated two-site testbed (HPC + HTC + cloud + serverless) with
+/// storage and a WAN. Mirrors the infrastructure mix of paper Table II.
+struct SimWorld {
+  sim::Engine engine;
+  saga::Session session;
+  std::shared_ptr<infra::BatchCluster> hpc;
+  std::shared_ptr<infra::HtcPool> htc;
+  std::shared_ptr<infra::CloudProvider> cloud;
+  std::shared_ptr<infra::ServerlessPlatform> faas;
+  std::unique_ptr<infra::NetworkModel> network;
+  std::unique_ptr<data::PilotDataService> pilot_data;
+  std::unique_ptr<infra::BackgroundLoad> background;
+  std::unique_ptr<rt::SimRuntime> runtime;
+
+  /// `utilization` > 0 adds competing background load on the HPC queue.
+  explicit SimWorld(std::uint64_t seed = 1, double utilization = 0.0,
+                    int hpc_nodes = 128, int node_cores = 16) {
+    infra::BatchClusterConfig hpc_cfg;
+    hpc_cfg.name = "hpc";
+    hpc_cfg.num_nodes = hpc_nodes;
+    hpc_cfg.node.cores = node_cores;
+    hpc = std::make_shared<infra::BatchCluster>(engine, hpc_cfg);
+    session.register_resource("slurm://hpc", hpc);
+
+    infra::HtcPoolConfig htc_cfg;
+    htc_cfg.name = "htc";
+    htc_cfg.num_slots = 512;
+    htc_cfg.cores_per_slot = 4;
+    htc_cfg.seed = seed + 1;
+    htc = std::make_shared<infra::HtcPool>(engine, htc_cfg);
+    session.register_resource("condor://htc", htc);
+
+    infra::CloudConfig cloud_cfg;
+    cloud_cfg.name = "cloud";
+    cloud_cfg.vm.cores = 16;
+    cloud_cfg.seed = seed + 2;
+    cloud = std::make_shared<infra::CloudProvider>(engine, cloud_cfg);
+    session.register_resource("ec2://cloud", cloud);
+
+    infra::ServerlessConfig faas_cfg;
+    faas_cfg.name = "faas";
+    faas_cfg.seed = seed + 3;
+    faas = std::make_shared<infra::ServerlessPlatform>(engine, faas_cfg);
+    session.register_resource("lambda://faas", faas);
+
+    network = std::make_unique<infra::NetworkModel>(engine);
+    network->set_link("hpc", "cloud", infra::LinkSpec{1.25e9, 0.03});
+    network->set_link("hpc", "htc", infra::LinkSpec{1.25e8, 0.05});
+    network->set_link("htc", "cloud", infra::LinkSpec{1.25e8, 0.06});
+
+    pilot_data = std::make_unique<data::PilotDataService>(*network);
+    auto add_storage = [&](const std::string& name, const std::string& site,
+                           infra::StorageTier tier) {
+      infra::StorageConfig cfg;
+      cfg.name = name;
+      cfg.site = site;
+      cfg.tier = tier;
+      cfg.capacity_bytes = 1e15;
+      pilot_data->register_storage(
+          std::make_shared<infra::StorageSystem>(engine, cfg));
+      pilot_data->add_data_pilot(site, 1e14);
+    };
+    add_storage("lustre", "hpc", infra::StorageTier::kParallelFs);
+    add_storage("pool-scratch", "htc", infra::StorageTier::kLocalSsd);
+    add_storage("s3", "cloud", infra::StorageTier::kObjectStore);
+
+    if (utilization > 0.0) {
+      background = std::make_unique<infra::BackgroundLoad>(
+          engine, *hpc,
+          infra::BackgroundLoad::for_utilization(utilization, hpc_nodes,
+                                                 seed + 4));
+      background->start();
+      // Warm the queue to steady state before experiments begin.
+      engine.run_until(3.0 * 24 * 3600.0);
+    }
+
+    runtime = std::make_unique<rt::SimRuntime>(engine, session);
+  }
+};
+
+/// Local real-execution world sized to the machine.
+struct LocalWorld {
+  rt::LocalRuntime runtime;
+  core::PilotComputeService service{runtime, "backfill"};
+
+  explicit LocalWorld(int cores) {
+    core::PilotDescription pd;
+    pd.resource_url = "local://bench";
+    pd.nodes = cores;
+    pd.walltime = 1e9;
+    core::Pilot pilot = service.submit_pilot(pd);
+    pilot.wait_active(10.0);
+  }
+};
+
+inline void print_header(const std::string& experiment_id,
+                         const std::string& description) {
+  std::cout << "\n################################################\n"
+            << "# " << experiment_id << ": " << description << "\n"
+            << "################################################\n";
+}
+
+}  // namespace pa::bench

@@ -1,0 +1,146 @@
+/// E12 — Fault tolerance on unreliable pools (the "Re-Use and
+/// Interoperability" lesson: "significant investments into the stability
+/// and robustness of the system are required to support real-world
+/// applications"; HTC/OSG slots preempt routinely).
+///
+/// Sweeps the pool's preemption rate and compares three middleware
+/// configurations on an identical workload: no recovery, unit requeue
+/// only, and unit requeue + automatic pilot restart. Reports completion,
+/// makespan and the recovery traffic (requeues / restarts / preemptions).
+
+#include <iostream>
+#include <memory>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace pa;  // NOLINT
+
+struct Outcome {
+  std::size_t done = 0;
+  std::size_t failed = 0;
+  double makespan = -1.0;  ///< -1 = workload never completed
+  std::size_t requeues = 0;
+  std::size_t preemptions = 0;
+};
+
+Outcome run_config(double preemption_rate, bool requeue, int restarts,
+                   int pilot_count = 1, int nodes_per_pilot = 16) {
+  sim::Engine engine;
+  saga::Session session;
+  infra::HtcPoolConfig cfg;
+  cfg.name = "pool";
+  cfg.num_slots = 32;
+  cfg.cores_per_slot = 4;
+  cfg.match_latency_min = 1.0;
+  cfg.match_latency_max = 10.0;
+  cfg.preemption_rate = preemption_rate;
+  cfg.seed = 5;
+  auto pool = std::make_shared<infra::HtcPool>(engine, cfg);
+  session.register_resource("condor://pool", pool);
+  rt::SimRuntime runtime(engine, session);
+  core::PilotComputeService service(runtime, "backfill");
+  service.set_requeue_on_pilot_failure(requeue);
+  service.set_pilot_restart_policy(restarts);
+
+  for (int p = 0; p < pilot_count; ++p) {
+    core::PilotDescription pd;
+    pd.resource_url = "condor://pool";
+    pd.nodes = nodes_per_pilot;
+    pd.walltime = 24 * 3600.0;
+    service.submit_pilot(pd);
+  }
+
+  const double t0 = engine.now();
+  for (int i = 0; i < 256; ++i) {
+    core::ComputeUnitDescription d;
+    d.duration = 300.0;
+    service.submit_unit(d);
+  }
+  Outcome out;
+  try {
+    service.wait_all_units(60 * 24 * 3600.0);
+    out.makespan = engine.now() - t0;
+  } catch (const TimeoutError&) {
+    engine.run();  // drain remaining events for accurate counters
+  }
+  const auto m = service.metrics();
+  out.done = m.units_done;
+  out.failed = m.units_failed;
+  out.requeues = m.requeues;
+  out.preemptions = pool->preemption_count();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  pa::bench::print_header("E12", "workload survival under slot preemption");
+
+  Table table("E12: 256 x 300 s tasks on a preempting 32-slot pool");
+  table.set_columns(
+      {Column{"mean_slot_lifetime", 0, true}, Column{"recovery", 0, true},
+       Column{"done", 0, true}, Column{"failed", 0, true},
+       Column{"makespan_s", 1, true}, Column{"requeues", 0, true},
+       Column{"preemptions", 0, true}});
+
+  struct Config {
+    const char* label;
+    bool requeue;
+    int restarts;
+  };
+  const std::vector<Config> configs = {
+      {"none", false, 0},
+      {"requeue-units", true, 0},
+      {"requeue+restart", true, 1000}};
+
+  for (const double lifetime : {7200.0, 1800.0, 600.0}) {
+    for (const auto& config : configs) {
+      const Outcome o =
+          run_config(1.0 / lifetime, config.requeue, config.restarts);
+      table.add_row({static_cast<std::int64_t>(lifetime),
+                     std::string(config.label),
+                     static_cast<std::int64_t>(o.done),
+                     static_cast<std::int64_t>(o.failed),
+                     o.makespan, static_cast<std::int64_t>(o.requeues),
+                     static_cast<std::int64_t>(o.preemptions)});
+    }
+  }
+  table.print(std::cout);
+
+  // --- pilot granularity under heavy preemption ---
+  // A preemption kills the *whole* placeholder job: a 16-slot gang loses
+  // 16 tasks at once and, at short slot lifetimes, can never finish a
+  // task. Many small pilots localize the damage — the reason production
+  // glideins are single-slot.
+  Table shape(
+      "E12b: pilot granularity at mean slot lifetime 600 s (tasks 300 s)");
+  shape.set_columns({Column{"pilot_shape", 0, true}, Column{"done", 0, true},
+                     Column{"makespan_s", 1, true},
+                     Column{"requeues", 0, true},
+                     Column{"preemptions", 0, true}});
+  struct Shape {
+    const char* label;
+    int pilots;
+    int nodes;
+  };
+  for (const Shape& s : {Shape{"1 x 16 slots", 1, 16},
+                         Shape{"4 x 4 slots", 4, 4},
+                         Shape{"16 x 1 slot", 16, 1}}) {
+    const Outcome o =
+        run_config(1.0 / 600.0, true, 1000, s.pilots, s.nodes);
+    shape.add_row({std::string(s.label), static_cast<std::int64_t>(o.done),
+                   o.makespan, static_cast<std::int64_t>(o.requeues),
+                   static_cast<std::int64_t>(o.preemptions)});
+  }
+  shape.print(std::cout);
+
+  std::cout << "\nReading: makespan -1.0 means the workload never finished "
+               "(pilot lost, no\nrecovery). Expected shape: with requeue + "
+               "pilot restart the full bag completes\nat every preemption "
+               "rate, paying for each eviction with a restart and the\n"
+               "re-execution of in-flight tasks; without recovery a single "
+               "eviction strands\nthe remaining workload.\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+/// E10 — Interoperability matrix (paper R2, ref [79]: "interoperable use
+/// of HPC, HTC and clouds"): the *same* workload, unchanged, on all four
+/// infrastructure types through the same Pilot-API.
+///
+/// What changes per row is only the resource URL of the pilot — that is
+/// the abstraction claim made concrete.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace pa;        // NOLINT
+  using namespace pa::bench; // NOLINT
+
+  print_header("E10", "one workload, four infrastructures");
+
+  Table table("E10: 256 x 20 s single-core tasks via identical client code");
+  table.set_columns({Column{"infrastructure", 0, true},
+                     Column{"pilot_startup_s", 1, true},
+                     Column{"makespan_s", 1, true},
+                     Column{"mean_task_wait_s", 1, true},
+                     Column{"tasks_done", 0, true},
+                     Column{"requeues", 0, true}});
+
+  struct Target {
+    std::string label;
+    std::string url;
+    int nodes;
+  };
+  // Serverless pilots are single-container; give it a "pool" of pilots to
+  // reach comparable concurrency (each pilot = one warm function slot).
+  const std::vector<Target> targets = {{"hpc (slurm)", "slurm://hpc", 8},
+                                       {"htc (condor)", "condor://htc", 8},
+                                       {"cloud (ec2)", "ec2://cloud", 8},
+                                       {"serverless (faas)", "lambda://faas",
+                                        1}};
+
+  for (const auto& target : targets) {
+    SimWorld world(23);
+    core::PilotComputeService service(*world.runtime, "backfill");
+    const int pilot_count = target.url == "lambda://faas" ? 32 : 1;
+    for (int p = 0; p < pilot_count; ++p) {
+      core::PilotDescription pd;
+      pd.resource_url = target.url;
+      pd.nodes = target.nodes;
+      pd.walltime = 12 * 3600.0;
+      service.submit_pilot(pd);
+    }
+    const double t0 = world.engine.now();
+    for (int i = 0; i < 256; ++i) {
+      core::ComputeUnitDescription d;
+      d.duration = 20.0;
+      service.submit_unit(d);
+    }
+    service.wait_all_units(30 * 24 * 3600.0);
+    const auto m = service.metrics();
+    table.add_row({target.label, m.pilot_startup_times.mean(),
+                   world.engine.now() - t0, m.unit_wait_times.mean(),
+                   static_cast<std::int64_t>(m.units_done),
+                   static_cast<std::int64_t>(m.requeues)});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape (paper/ref [79]): identical client code "
+               "everywhere; startup\nand wait profiles differ per "
+               "infrastructure (instant HPC on an idle queue,\nmatchmaking "
+               "latency on HTC, VM boot on cloud, cold starts on "
+               "serverless).\n";
+  return 0;
+}

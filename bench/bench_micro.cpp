@@ -1,0 +1,131 @@
+/// E11 — Microbenchmarks (implementation soundness): hot paths of the
+/// substrates, via google-benchmark. These are the rates that determine
+/// whether the middleware itself could ever be the bottleneck at the
+/// scales the paper's systems ran (10^4-10^6 tasks, 10^5+ msg/s).
+
+#include <benchmark/benchmark.h>
+
+#include "pa/common/histogram.h"
+#include "pa/common/rng.h"
+#include "pa/core/scheduler.h"
+#include "pa/engines/kmeans.h"
+#include "pa/sim/engine.h"
+#include "pa/stream/broker.h"
+
+namespace {
+
+using namespace pa;  // NOLINT
+
+void BM_SimEngineScheduleRun(benchmark::State& state) {
+  const auto events = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    for (std::size_t i = 0; i < events; ++i) {
+      engine.schedule(static_cast<double>(i % 100), []() {});
+    }
+    engine.run();
+    benchmark::DoNotOptimize(engine.processed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events) *
+                          state.iterations());
+}
+BENCHMARK(BM_SimEngineScheduleRun)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_SchedulerPass(benchmark::State& state) {
+  const int units = static_cast<int>(state.range(0));
+  core::BackfillScheduler scheduler;
+  std::vector<core::PilotView> pilots;
+  for (int p = 0; p < 8; ++p) {
+    core::PilotView pv;
+    pv.pilot_id = "p" + std::to_string(p);
+    pv.site = "s";
+    pv.total_cores = 64;
+    pv.free_cores = 64;
+    pv.remaining_walltime = 1e9;
+    pilots.push_back(std::move(pv));
+  }
+  std::vector<core::UnitView> queue;
+  Rng rng(1);
+  for (int u = 0; u < units; ++u) {
+    core::UnitView uv;
+    uv.unit_id = "u" + std::to_string(u);
+    uv.cores = static_cast<int>(rng.uniform_int(1, 8));
+    uv.expected_duration = rng.uniform(1.0, 100.0);
+    queue.push_back(std::move(uv));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.schedule(queue, pilots));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(units) *
+                          state.iterations());
+}
+BENCHMARK(BM_SchedulerPass)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_BrokerProduce(benchmark::State& state) {
+  stream::Broker broker;
+  broker.create_topic("t", 8);
+  const std::string payload(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    broker.produce("t", "", payload);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BrokerProduce)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_BrokerFetch(benchmark::State& state) {
+  stream::Broker broker;
+  broker.create_topic("t", 1);
+  for (int i = 0; i < 10000; ++i) {
+    broker.produce_to("t", 0, "", std::string(1024, 'x'));
+  }
+  std::uint64_t offset = 0;
+  std::vector<stream::Message> out;
+  for (auto _ : state) {
+    out.clear();
+    offset = broker.fetch("t", 0, offset % 10000, 256, out);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_BrokerFetch);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  LatencyHistogram hist;
+  Rng rng(1);
+  std::vector<double> samples(1024);
+  for (auto& s : samples) {
+    s = rng.lognormal(-3.0, 1.0);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    hist.record(samples[i++ & 1023]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_KMeansAssign(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const engines::PointBlock block =
+      engines::generate_clustered_points(n, 8, 16, 5);
+  const engines::Centroids centroids = engines::initial_centroids(block, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engines::kmeans_assign(block, centroids));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_KMeansAssign)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_RngNormal(benchmark::State& state) {
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.normal());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngNormal);
+
+}  // namespace
+
+BENCHMARK_MAIN();

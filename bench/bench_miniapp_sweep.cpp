@@ -1,0 +1,80 @@
+/// E7 — The Mini-App framework loop (paper Fig. 5, Sec. V-C):
+/// a declared factorial design, automated execution with per-trial seeds,
+/// aggregated summaries and CSV emission — the build-assess-refine
+/// automation the paper presents as a lesson learned.
+///
+/// Workload: synthetic heterogeneous task bag on the simulated HPC site;
+/// factors: pilot size, task count, duration distribution.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "pa/miniapp/experiment.h"
+#include "pa/miniapp/workloads.h"
+
+int main() {
+  using namespace pa;        // NOLINT
+  using namespace pa::bench; // NOLINT
+
+  print_header("E7", "Mini-App framework: automated factorial experiment");
+
+  miniapp::ExperimentDesign design;
+  design.add_factor("pilot_nodes", std::vector<std::int64_t>{4, 16});
+  design.add_factor("tasks", std::vector<std::int64_t>{128, 512});
+  design.add_factor("dist", std::vector<std::string>{"constant", "lognormal"});
+  design.set_repetitions(3);
+
+  miniapp::ExperimentRunner runner(
+      "task-farm-sweep",
+      [](const pa::Config& factors, std::uint64_t seed) {
+        SimWorld world(seed);
+        core::PilotComputeService service(*world.runtime, "backfill");
+        core::PilotDescription pd;
+        pd.resource_url = "slurm://hpc";
+        pd.nodes = static_cast<int>(factors.get_int("pilot_nodes"));
+        pd.walltime = 7 * 24 * 3600.0;
+        service.submit_pilot(pd).wait_active(3600.0);
+
+        pa::Rng rng(seed);
+        const auto dist =
+            factors.get_string("dist") == "constant"
+                ? DurationDistribution::constant(30.0)
+                : DurationDistribution::lognormal(3.0, 0.8);  // mean ~28 s
+        const auto batch = miniapp::make_task_batch(
+            static_cast<std::size_t>(factors.get_int("tasks")), 1, dist, rng,
+            /*real_work=*/false);
+        const double t0 = world.engine.now();
+        for (const auto& d : batch) {
+          service.submit_unit(d);
+        }
+        service.wait_all_units(30 * 24 * 3600.0);
+        const auto m = service.metrics();
+        const double makespan = world.engine.now() - t0;
+        return std::map<std::string, double>{
+            {"makespan_s", makespan},
+            {"throughput_tasks_s",
+             static_cast<double>(m.units_done) / makespan},
+            {"mean_wait_s", m.unit_wait_times.mean()}};
+      });
+
+  const miniapp::ResultSet results = runner.run(design, /*base_seed=*/2026);
+
+  results.summary_table("makespan_s", "E7: makespan summary (3 reps each)")
+      .print(std::cout);
+  results
+      .summary_table("throughput_tasks_s",
+                     "E7: throughput summary (3 reps each)")
+      .print(std::cout);
+
+  const std::string csv_path = "miniapp_sweep_results.csv";
+  results.to_table().write_csv(csv_path);
+  std::cout << "\nraw observations written to ./" << csv_path << " ("
+            << results.size() << " trials, "
+            << design.combinations().size() << " configurations x "
+            << design.repetitions() << " repetitions)\n";
+  std::cout << "\nExpected shape: makespan scales ~1/pilot_nodes and "
+               "~tasks; lognormal\ndurations add variance across "
+               "repetitions that the constant rows lack —\nexactly the "
+               "factor/level reasoning the framework automates.\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+/// E3 — Pilot-Data: transfer characterization and placement policies
+/// (paper Table II, Pilot-Data column: "pilot overhead, application and
+/// task runtimes, strong scaling"; ref [66]).
+///
+/// Part A: stage-in time vs data-unit size across the simulated WAN links
+/// (the raw cost surface the data-aware scheduler optimizes over).
+/// Part B: end-to-end makespan and WAN traffic for a data-bound task farm
+/// under data-affinity vs locality-oblivious scheduling.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace pa;        // NOLINT
+  using namespace pa::bench; // NOLINT
+
+  print_header("E3", "Pilot-Data: transfers and data-aware placement");
+
+  // --- Part A: transfer time vs volume ---
+  Table xfer("E3a: stage-in time vs data-unit size (hpc -> cloud, 10 Gbit)");
+  xfer.set_columns({Column{"bytes", 0, true}, Column{"transfer_s", 3, true},
+                    Column{"effective_MB_s", 1, true}});
+  for (const double bytes : {1e6, 1e7, 1e8, 1e9, 1e10}) {
+    SimWorld world(3);
+    data::DataUnitDescription du;
+    du.bytes = bytes;
+    du.initial_site = "hpc";
+    const std::string du_id = world.pilot_data->submit_data_unit(du);
+    double done_at = -1.0;
+    world.pilot_data->replicate(du_id, "cloud", [&]() {
+      done_at = world.engine.now();
+    });
+    world.engine.run();
+    xfer.add_row({static_cast<std::int64_t>(bytes), done_at,
+                  bytes / 1e6 / done_at});
+  }
+  xfer.print(std::cout);
+
+  // --- Part B: affinity vs oblivious scheduling ---
+  Table policy("E3b: data-affinity vs round-robin on a data-bound task farm");
+  policy.set_columns({Column{"policy", 0, true},
+                      Column{"wan_transfers", 0, true},
+                      Column{"bytes_moved_GB", 2, true},
+                      Column{"makespan_s", 1, true}});
+
+  for (const std::string sched : {"data-affinity", "round-robin"}) {
+    SimWorld world(5);
+    core::PilotComputeService service(*world.runtime, sched);
+    service.attach_data_service(world.pilot_data.get());
+    // One pilot per site holding data.
+    core::PilotDescription hpc_pd;
+    hpc_pd.resource_url = "slurm://hpc";
+    hpc_pd.nodes = 8;
+    hpc_pd.walltime = 24 * 3600.0;
+    core::PilotDescription cloud_pd;
+    cloud_pd.resource_url = "ec2://cloud";
+    cloud_pd.nodes = 8;
+    cloud_pd.walltime = 24 * 3600.0;
+    core::Pilot p1 = service.submit_pilot(hpc_pd);
+    core::Pilot p2 = service.submit_pilot(cloud_pd);
+    p1.wait_active(3600.0);
+    p2.wait_active(3600.0);
+
+    // 128 x 1 GB data units, blocked across the two sites.
+    std::vector<std::string> dus;
+    for (int i = 0; i < 128; ++i) {
+      data::DataUnitDescription du;
+      du.bytes = 1e9;
+      du.initial_site = i < 64 ? "hpc" : "cloud";
+      dus.push_back(world.pilot_data->submit_data_unit(du));
+    }
+    const double t0 = world.engine.now();
+    for (const auto& du : dus) {
+      core::ComputeUnitDescription d;
+      d.duration = 30.0;
+      d.input_data = {du};
+      service.submit_unit(d);
+    }
+    service.wait_all_units(30 * 24 * 3600.0);
+    policy.add_row(
+        {sched,
+         static_cast<std::int64_t>(world.pilot_data->transfers_started()),
+         world.pilot_data->bytes_transferred() / 1e9,
+         world.engine.now() - t0});
+  }
+  policy.print(std::cout);
+  std::cout << "\nExpected shape (paper/ref [66]): transfer time scales "
+               "linearly with volume\npast the latency floor; the "
+               "data-affinity policy eliminates WAN staging and\nshortens "
+               "the makespan of data-bound workloads.\n";
+  return 0;
+}

@@ -1,0 +1,214 @@
+/// E1 — Pilot overhead and task throughput across infrastructures
+/// (paper Table II, "Pilot overhead, application and task runtimes").
+///
+/// For each infrastructure and bag-of-tasks configuration this measures:
+///  * pilot mode — one placeholder allocation, units dispatched by the
+///    agent at sub-node granularity;
+///  * direct mode — every task is its own LRMS job (the pre-pilot
+///    baseline), subject to the site's real constraints: whole-node
+///    allocation, periodic scheduling cycles, per-user running-job
+///    limits, per-job matchmaking latency (HTC) or VM provisioning
+///    (cloud).
+/// Both modes run under the same user budget (the per-owner limit equals
+/// the pilot's node count).
+
+#include <iostream>
+#include <memory>
+
+#include "pa/common/table.h"
+#include "pa/core/pilot_compute_service.h"
+#include "pa/infra/background_load.h"
+#include "pa/infra/batch_cluster.h"
+#include "pa/infra/cloud.h"
+#include "pa/infra/htc_pool.h"
+#include "pa/rt/sim_runtime.h"
+#include "pa/saga/session.h"
+
+namespace {
+
+using namespace pa;  // NOLINT
+
+constexpr int kPilotNodes = 8;  ///< also the per-owner job limit
+
+/// One experiment world: a single infrastructure with realistic LRMS
+/// behaviour, plus SAGA + runtime.
+struct World {
+  sim::Engine engine;
+  saga::Session session;
+  std::shared_ptr<infra::ResourceManager> rm;
+  std::unique_ptr<infra::BackgroundLoad> background;
+  std::unique_ptr<rt::SimRuntime> runtime;
+  std::string url;
+
+  static std::unique_ptr<World> hpc(std::uint64_t seed, double utilization) {
+    auto w = std::make_unique<World>();
+    infra::BatchClusterConfig cfg;
+    cfg.name = "hpc";
+    cfg.num_nodes = 128;
+    cfg.node.cores = 16;
+    cfg.scheduler_cycle = 45.0;        // periodic LRMS scheduler
+    cfg.max_running_per_owner = kPilotNodes;
+    auto cluster = std::make_shared<infra::BatchCluster>(w->engine, cfg);
+    w->rm = cluster;
+    w->url = "slurm://hpc";
+    w->session.register_resource(w->url, cluster);
+    if (utilization > 0.0) {
+      w->background = std::make_unique<infra::BackgroundLoad>(
+          w->engine, *cluster,
+          infra::BackgroundLoad::for_utilization(utilization, cfg.num_nodes,
+                                                 seed));
+      w->background->start();
+      w->engine.run_until(3.0 * 24 * 3600.0);
+    }
+    w->runtime = std::make_unique<rt::SimRuntime>(w->engine, w->session);
+    return w;
+  }
+
+  static std::unique_ptr<World> htc(std::uint64_t seed) {
+    auto w = std::make_unique<World>();
+    infra::HtcPoolConfig cfg;
+    cfg.name = "htc";
+    cfg.num_slots = 512;
+    cfg.cores_per_slot = 4;
+    cfg.max_running_per_owner = kPilotNodes * 4;  // 32 slots budget
+    cfg.seed = seed;
+    auto pool = std::make_shared<infra::HtcPool>(w->engine, cfg);
+    w->rm = pool;
+    w->url = "condor://htc";
+    w->session.register_resource(w->url, pool);
+    w->runtime = std::make_unique<rt::SimRuntime>(w->engine, w->session);
+    return w;
+  }
+
+  static std::unique_ptr<World> cloud(std::uint64_t seed) {
+    auto w = std::make_unique<World>();
+    infra::CloudConfig cfg;
+    cfg.name = "cloud";
+    cfg.vm.cores = 16;
+    cfg.quota_cores = kPilotNodes * 16;  // account quota = pilot size
+    cfg.seed = seed;
+    auto provider = std::make_shared<infra::CloudProvider>(w->engine, cfg);
+    w->rm = provider;
+    w->url = "ec2://cloud";
+    w->session.register_resource(w->url, provider);
+    w->runtime = std::make_unique<rt::SimRuntime>(w->engine, w->session);
+    return w;
+  }
+};
+
+struct ModeResult {
+  double makespan = 0.0;
+  double startup = 0.0;  ///< pilot startup / first-job wait
+};
+
+/// Pilot mode: one placeholder allocation, 1-core units inside it.
+ModeResult run_pilot_mode(World& world, int tasks, double task_seconds,
+                          int pilot_nodes) {
+  core::PilotComputeService service(*world.runtime, "backfill");
+  core::PilotDescription pd;
+  pd.resource_url = world.url;
+  pd.nodes = pilot_nodes;
+  pd.walltime = 24 * 3600.0;
+  pd.attributes.set("owner", std::string("user"));
+  const double t0 = world.engine.now();
+  service.submit_pilot(pd);
+  for (int i = 0; i < tasks; ++i) {
+    core::ComputeUnitDescription d;
+    d.duration = task_seconds;
+    service.submit_unit(d);
+  }
+  service.wait_all_units(60 * 24 * 3600.0);
+  const auto m = service.metrics();
+  return {world.engine.now() - t0, m.pilot_startup_times.mean()};
+}
+
+/// Direct mode: each task is its own (whole-node / whole-slot / own-VM)
+/// LRMS job under the same owner.
+ModeResult run_direct_mode(World& world, int tasks, double task_seconds) {
+  const double t0 = world.engine.now();
+  int done = 0;
+  SampleSet waits;
+  for (int i = 0; i < tasks; ++i) {
+    infra::JobRequest req;
+    req.owner = "user";
+    req.num_nodes = 1;
+    req.duration = task_seconds;
+    req.walltime_limit = task_seconds * 2.0 + 600.0;
+    const double submit_time = world.engine.now();
+    req.on_started = [&waits, submit_time, &world](const std::string&,
+                                                   const infra::Allocation&) {
+      waits.add(world.engine.now() - submit_time);
+    };
+    req.on_stopped = [&done](const std::string&, infra::StopReason) {
+      ++done;
+    };
+    world.rm->submit(std::move(req));
+  }
+  while (done < tasks && world.engine.step()) {
+  }
+  return {world.engine.now() - t0, waits.mean()};
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "\n################################################\n"
+            << "# E1: pilot overhead vs per-task submission\n"
+            << "################################################\n";
+
+  Table table("E1: pilot vs direct submission (matched per-user budget)");
+  table.set_columns({Column{"infra", 0, true}, Column{"tasks", 0, true},
+                     Column{"task_s", 0, true},
+                     Column{"pilot_makespan_s", 1, true},
+                     Column{"direct_makespan_s", 1, true},
+                     Column{"speedup", 2, true},
+                     Column{"pilot_startup_s", 1, true},
+                     Column{"mean_direct_wait_s", 1, true}});
+
+  enum class Kind { kHpcLoaded, kHpcIdle, kHtc, kCloud };
+  const std::vector<std::pair<std::string, Kind>> infras = {
+      {"hpc-idle", Kind::kHpcIdle},
+      {"hpc-70%-loaded", Kind::kHpcLoaded},
+      {"htc", Kind::kHtc},
+      {"cloud", Kind::kCloud}};
+
+  for (const auto& [label, kind] : infras) {
+    for (const int tasks : {64, 512, 2048}) {
+      for (const double task_s : {10.0, 120.0}) {
+        auto make_world = [&]() -> std::unique_ptr<World> {
+          switch (kind) {
+            case Kind::kHpcLoaded:
+              return World::hpc(7, 0.70);
+            case Kind::kHpcIdle:
+              return World::hpc(7, 0.0);
+            case Kind::kHtc:
+              return World::htc(7);
+            case Kind::kCloud:
+              return World::cloud(7);
+          }
+          return nullptr;
+        };
+        auto pilot_world = make_world();
+        auto direct_world = make_world();
+        const auto p =
+            run_pilot_mode(*pilot_world, tasks, task_s, kPilotNodes);
+        const auto d = run_direct_mode(*direct_world, tasks, task_s);
+        table.add_row({label, static_cast<std::int64_t>(tasks),
+                       static_cast<std::int64_t>(task_s), p.makespan,
+                       d.makespan, d.makespan / p.makespan, p.startup,
+                       d.startup});
+      }
+    }
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nReading: `speedup` > 1 means the pilot beats per-task "
+         "submission under the\nsame per-user budget (" << kPilotNodes
+      << " nodes / VMs; 32 HTC slots).\nExpected shape (paper): the pilot "
+         "wins by growing factors as tasks get\nshorter and more numerous "
+         "— whole-node direct jobs waste cores, pay the\nscheduling cycle "
+         "and matchmaking/boot latency per task; the pilot pays them\n"
+         "once. For few long tasks the two converge (pilot overhead "
+         "amortized away).\n";
+  return 0;
+}

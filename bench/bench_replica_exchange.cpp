@@ -1,0 +1,84 @@
+/// E2 — Replica-exchange strong scaling and analytical-model validation
+/// (paper Table II, Pilot-Job column: "strong scaling, analytical model
+/// for replica-exchange simulations", ref [72]).
+///
+/// Fixed problem (R replicas x G generations), sweeping pilot cores;
+/// reports measured makespan (simulated stack), the analytical model's
+/// prediction, their relative error, and speedup/efficiency — the serial
+/// exchange step bounds scaling exactly as the model says.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "pa/engines/ensemble.h"
+#include "pa/models/analytical.h"
+
+int main() {
+  using namespace pa;        // NOLINT
+  using namespace pa::bench; // NOLINT
+
+  print_header("E2", "replica-exchange strong scaling vs analytical model");
+
+  constexpr int kReplicas = 256;
+  constexpr int kGenerations = 10;
+  constexpr double kMdSeconds = 60.0;
+
+  Table table("E2: strong scaling, R=256 replicas x G=10 generations");
+  table.set_columns(
+      {Column{"cores", 0, true}, Column{"measured_s", 1, true},
+       Column{"model_s", 1, true}, Column{"rel_err", 3, true},
+       Column{"speedup", 2, true}, Column{"efficiency", 3, true},
+       Column{"accept_rate", 3, true}});
+
+  double baseline = -1.0;
+  int baseline_cores = 0;
+  for (const int cores : {16, 32, 64, 128, 256, 512, 1024}) {
+    // One node = 16 cores on the simulated cluster.
+    const int nodes = cores / 16;
+    SimWorld world(11, /*utilization=*/0.0, /*hpc_nodes=*/std::max(nodes, 1));
+    core::PilotComputeService service(*world.runtime);
+    core::PilotDescription pd;
+    pd.resource_url = "slurm://hpc";
+    pd.nodes = std::max(nodes, 1);
+    pd.walltime = 30 * 24 * 3600.0;
+    core::Pilot pilot = service.submit_pilot(pd);
+    pilot.wait_active(3600.0);
+
+    engines::ReplicaExchangeConfig cfg;
+    cfg.replicas = kReplicas;
+    cfg.generations = kGenerations;
+    cfg.md_duration = kMdSeconds;
+    cfg.exchange_base = 2.0;
+    cfg.exchange_per_replica = 0.02;
+    engines::ReplicaExchangeDriver driver(cfg);
+    const auto result = driver.run(service);
+
+    models::ReplicaExchangeModel model;
+    model.queue_wait = 0.0;
+    model.pilot_startup = 0.0;  // excluded: we waited for ACTIVE
+    model.md_duration = kMdSeconds;
+    model.dispatch_overhead = 0.02;
+    model.exchange_base = 2.0 + 0.02;  // + the exchange unit's dispatch
+    model.exchange_per_replica = 0.02;
+    model.pilot_cores = std::max(nodes, 1) * 16;
+    const double predicted = model.makespan(kReplicas, kGenerations);
+
+    if (baseline < 0.0) {
+      baseline = result.makespan;
+      baseline_cores = std::max(nodes, 1) * 16;
+    }
+    const double speedup = baseline / result.makespan;
+    const double ideal = static_cast<double>(std::max(nodes, 1) * 16) /
+                         static_cast<double>(baseline_cores);
+    table.add_row({static_cast<std::int64_t>(std::max(nodes, 1) * 16),
+                   result.makespan, predicted,
+                   relative_error(result.makespan, predicted), speedup,
+                   speedup / ideal, result.acceptance_rate()});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape (paper/ref [72]): near-linear scaling while "
+               "waves shrink,\nflattening once the serial exchange step "
+               "dominates; the analytical model\ntracks the measured curve "
+               "within a few percent.\n";
+  return 0;
+}

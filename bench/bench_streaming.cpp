@@ -1,0 +1,194 @@
+/// E6 — Pilot-Streaming: throughput/latency characterization plus the
+/// statistical performance model (paper Table II, Pilot-Streaming column:
+/// "throughput, latency, scalability, statistical performance model for
+/// throughput", refs [32], [73]).
+///
+/// Sweeps broker/pipeline parameters with the real in-process broker and
+/// the light-source reconstruction kernel as the consumer payload, then
+/// fits an OLS model of throughput and reports fit diagnostics and
+/// held-out-style predictions, as ref [73] does.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "pa/miniapp/workloads.h"
+#include "pa/models/planner.h"
+#include "pa/models/regression.h"
+#include "pa/stream/pilot_streaming.h"
+
+int main() {
+  using namespace pa;        // NOLINT
+  using namespace pa::bench; // NOLINT
+
+  print_header("E6", "Pilot-Streaming throughput/latency + statistical model");
+
+  Table table("E6a: pipeline characterization (reconstruction kernel)");
+  table.set_columns({Column{"partitions", 0, true},
+                     Column{"consumers", 0, true},
+                     Column{"msg_KB", 0, true},
+                     Column{"throughput_msg_s", 0, true},
+                     Column{"throughput_MB_s", 2, true},
+                     Column{"p50_ms", 2, true}, Column{"p99_ms", 2, true}});
+
+
+  // Per-message payload: decode + reconstruct a small detector frame (the
+  // pipeline's produced bytes are filler of the same size; the handler
+  // decodes the canonical serialized frame so the kernel cost is real and
+  // identical per message).
+  pa::Rng frame_rng(51);
+  const miniapp::DetectorFrame frame =
+      miniapp::generate_frame(48, 48, 3, frame_rng);
+  const std::string frame_bytes = miniapp::serialize_frame(frame);
+
+  for (const int partitions : {1, 2, 4, 8}) {
+    for (const int consumers : {1, 2}) {
+      if (consumers > partitions) {
+        continue;
+      }
+      LocalWorld world(consumers + 1);
+      stream::Broker broker;
+      stream::PilotStreamingService streaming(world.service, broker);
+      stream::StreamPipelineConfig cfg;
+      cfg.topic = "frames-p" + std::to_string(partitions) + "-c" +
+                  std::to_string(consumers);
+      cfg.partitions = partitions;
+      cfg.producers = 1;
+      cfg.consumers = consumers;
+      cfg.messages_per_producer = 3000;
+      cfg.message_bytes = frame_bytes.size();
+      cfg.handler = [&frame_bytes](const stream::Message&) {
+        const auto f = miniapp::deserialize_frame(frame_bytes);
+        const auto r = miniapp::reconstruct_frame(f);
+        (void)r;
+      };
+      const auto result = streaming.run_pipeline(cfg);
+      const double msg_kb = static_cast<double>(cfg.message_bytes) / 1024.0;
+      table.add_row({static_cast<std::int64_t>(partitions),
+                     static_cast<std::int64_t>(consumers),
+                     static_cast<std::int64_t>(msg_kb + 0.5),
+                     static_cast<std::int64_t>(result.throughput_msgs_per_s),
+                     result.throughput_mb_per_s,
+                     result.e2e_latency.p50() * 1000.0,
+                     result.e2e_latency.p99() * 1000.0});
+    }
+  }
+  table.print(std::cout);
+
+  // --- message-size sweep with plain payloads ---
+  Table sizes("E6b: throughput vs message size (2 partitions, 1 consumer)");
+  sizes.set_columns({Column{"msg_bytes", 0, true},
+                     Column{"throughput_msg_s", 0, true},
+                     Column{"throughput_MB_s", 2, true}});
+  for (const std::size_t bytes : {256UL, 1024UL, 4096UL, 16384UL, 65536UL}) {
+    LocalWorld world(2);
+    stream::Broker broker;
+    stream::PilotStreamingService streaming(world.service, broker);
+    stream::StreamPipelineConfig cfg;
+    cfg.topic = "sz";
+    cfg.partitions = 2;
+    cfg.producers = 1;
+    cfg.consumers = 1;
+    cfg.messages_per_producer = 5000;
+    cfg.message_bytes = bytes;
+    const auto result = streaming.run_pipeline(cfg);
+    sizes.add_row({static_cast<std::int64_t>(bytes),
+                   static_cast<std::int64_t>(result.throughput_msgs_per_s),
+                   result.throughput_mb_per_s});
+  }
+  sizes.print(std::cout);
+
+  // --- statistical model (ref [73]): dedicated factorial sweep, one
+  // consistent workload (no handler), fitted in log space:
+  //   log(throughput_msg_s) ~ partitions + consumers + log(msg_kb)
+  // which linearizes the per-message-cost relationship.
+  std::cout << "\nE6c: statistical throughput model (OLS, log space)\n";
+  models::OlsRegression regression({"partitions", "consumers", "log_msg_kb"});
+  struct Sample {
+    int partitions;
+    int consumers;
+    double msg_kb;
+    double throughput;
+  };
+  std::vector<Sample> samples;
+  for (const int partitions : {1, 2, 4}) {
+    for (const int consumers : {1, 2}) {
+      for (const double msg_kb : {1.0, 4.0, 16.0}) {
+        LocalWorld world(consumers + 1);
+        stream::Broker broker;
+        stream::PilotStreamingService streaming(world.service, broker);
+        stream::StreamPipelineConfig cfg;
+        cfg.topic = "m";
+        cfg.partitions = partitions;
+        cfg.producers = 1;
+        cfg.consumers = consumers;
+        cfg.messages_per_producer = 3000;
+        cfg.message_bytes = static_cast<std::size_t>(msg_kb * 1024.0);
+        const auto result = streaming.run_pipeline(cfg);
+        samples.push_back({partitions, consumers, msg_kb,
+                           result.throughput_msgs_per_s});
+        regression.add_sample({static_cast<double>(partitions),
+                               static_cast<double>(consumers),
+                               std::log(msg_kb)},
+                              std::log(result.throughput_msgs_per_s));
+      }
+    }
+  }
+  const auto model = regression.fit();
+  std::cout << "  fitted: log(msg/s) => " << model.to_string() << "\n"
+            << "  R^2 (log space) = " << model.r_squared << "\n"
+            << "  3-fold CV RMSE (log space) = "
+            << regression.cross_validated_rmse(3) << "\n";
+  Table preds("E6c: measured vs model-predicted throughput");
+  preds.set_columns({Column{"partitions", 0, true},
+                     Column{"consumers", 0, true}, Column{"msg_KB", 0, true},
+                     Column{"measured_msg_s", 0, true},
+                     Column{"predicted_msg_s", 0, true},
+                     Column{"rel_err", 3, true}});
+  for (std::size_t i = 0; i < samples.size(); i += 5) {
+    const auto& s = samples[i];
+    const double predicted = std::exp(model.predict(
+        {static_cast<double>(s.partitions), static_cast<double>(s.consumers),
+         std::log(s.msg_kb)}));
+    preds.add_row({static_cast<std::int64_t>(s.partitions),
+                   static_cast<std::int64_t>(s.consumers),
+                   static_cast<std::int64_t>(s.msg_kb),
+                   static_cast<std::int64_t>(s.throughput),
+                   static_cast<std::int64_t>(predicted),
+                   relative_error(predicted, s.throughput)});
+  }
+  preds.print(std::cout);
+
+  // --- E6d: invert the model to pick resources (R3, ref [73]) ---
+  // Candidates priced by consumer count (the paid resource); features in
+  // the model's order, message size fixed at 4 KB.
+  std::vector<models::ConfigOption> candidates;
+  for (const int partitions : {1, 2, 4, 8}) {
+    for (const int consumers : {1, 2, 4}) {
+      models::ConfigOption option;
+      option.label = std::to_string(partitions) + " partitions / " +
+                     std::to_string(consumers) + " consumers";
+      option.features = {static_cast<double>(partitions),
+                         static_cast<double>(consumers), std::log(4.0)};
+      option.cost = static_cast<double>(consumers);
+      candidates.push_back(std::move(option));
+    }
+  }
+  models::ConfigurationSelector selector(
+      model, [](double v) { return std::exp(v); });
+  std::cout << "\nE6d: model-driven resource selection\n";
+  for (const double target : {100000.0, 250000.0, 10000000.0}) {
+    const auto chosen = selector.select(candidates, target);
+    std::cout << "  target " << target << " msg/s -> "
+              << (chosen ? chosen->label + " (predicted " +
+                               std::to_string(selector.predict(*chosen)) +
+                               " msg/s)"
+                         : std::string("no feasible configuration"))
+              << "\n";
+  }
+  std::cout << "\nExpected shape (paper/ref [73]): MB/s rises with message "
+               "size (per-message\ncost amortized); the linear model "
+               "captures the throughput surface well enough\nfor resource "
+               "selection (R^2 reported above; parallelism effects are "
+               "muted on a\nsingle-core host).\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+/// Ensemble-Kalman-filter history matching (paper Table II, Eval 4,
+/// ref [50]): the autonomic data-assimilation application that drove the
+/// early pilot-job work. Each assimilation cycle forecasts every ensemble
+/// member as a compute unit (a reservoir-model stand-in burning real
+/// simulated time) and then assimilates noisy observations of the hidden
+/// state; a free-running ensemble shows what the data buys.
+
+#include <iostream>
+#include <memory>
+
+#include "pa/core/pilot_compute_service.h"
+#include "pa/engines/enkf.h"
+#include "pa/infra/batch_cluster.h"
+#include "pa/rt/sim_runtime.h"
+#include "pa/saga/session.h"
+
+int main() {
+  using namespace pa;  // NOLINT
+
+  sim::Engine engine;
+  saga::Session session;
+  infra::BatchClusterConfig cfg;
+  cfg.name = "hpc";
+  cfg.num_nodes = 8;
+  cfg.node.cores = 8;  // 64 cores
+  session.register_resource(
+      "slurm://hpc", std::make_shared<infra::BatchCluster>(engine, cfg));
+  rt::SimRuntime runtime(engine, session);
+  core::PilotComputeService service(runtime);
+  core::PilotDescription pd;
+  pd.resource_url = "slurm://hpc";
+  pd.nodes = 8;
+  pd.walltime = 1e8;
+  service.submit_pilot(pd).wait_active();
+
+  engines::EnKFConfig enkf;
+  enkf.state_dim = 16;
+  enkf.obs_dim = 8;           // one observation well per dynamics block
+  enkf.ensemble_size = 64;    // one forecast wave on 64 cores
+  enkf.cycles = 30;
+  enkf.member_compute_seconds = 300.0;  // each member is a 5-min model run
+  enkf.seed = 20260704;
+  engines::EnKFDriver driver(enkf);
+
+  std::cout << "assimilating " << enkf.cycles << " cycles, ensemble of "
+            << enkf.ensemble_size << " members, " << enkf.obs_dim
+            << " observation wells...\n\n"
+            << "cycle   RMSE(assimilated)   RMSE(free-run)\n";
+  const engines::EnKFResult result = driver.run(service);
+  for (std::size_t c = 0; c < result.rmse_assimilated.size(); c += 5) {
+    std::cout << "  " << c << "\t" << result.rmse_assimilated[c] << "\t\t"
+              << result.rmse_free[c] << "\n";
+  }
+  std::cout << "\nmean RMSE with assimilation: "
+            << result.mean_rmse_assimilated() << "\n"
+            << "mean RMSE free-running:      " << result.mean_rmse_free()
+            << "\n"
+            << "final ensemble spread:       " << result.final_spread << "\n"
+            << "campaign makespan:           " << result.makespan / 3600.0
+            << " simulated hours ("
+            << enkf.cycles << " cycles x ~" << enkf.member_compute_seconds
+            << " s forecast waves)\n";
+  return 0;
+}

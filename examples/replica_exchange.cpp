@@ -1,0 +1,81 @@
+/// Task-parallel scenario (paper Table I): a replica-exchange ensemble —
+/// the application family the pilot-abstraction was originally built for
+/// (paper Sec. IV-A, refs [48], [72]).
+///
+/// 64 replicas x 20 generations on a simulated cluster, with noisy MD
+/// burst durations (stragglers) and Metropolis temperature exchanges.
+/// Compares the measured makespan against the analytical model.
+
+#include <iostream>
+#include <memory>
+
+#include "pa/core/pilot_compute_service.h"
+#include "pa/engines/ensemble.h"
+#include "pa/infra/batch_cluster.h"
+#include "pa/models/analytical.h"
+#include "pa/rt/sim_runtime.h"
+#include "pa/saga/session.h"
+
+int main() {
+  using namespace pa;  // NOLINT
+
+  sim::Engine engine;
+  infra::BatchClusterConfig cfg;
+  cfg.name = "hpc";
+  cfg.num_nodes = 16;
+  cfg.node.cores = 16;  // 256 cores
+  auto cluster = std::make_shared<infra::BatchCluster>(engine, cfg);
+  saga::Session session;
+  session.register_resource("slurm://hpc", cluster);
+  rt::SimRuntime runtime(engine, session);
+  core::PilotComputeService service(runtime);
+
+  core::PilotDescription pd;
+  pd.resource_url = "slurm://hpc";
+  pd.nodes = 16;
+  pd.walltime = 24 * 3600.0;
+  core::Pilot pilot = service.submit_pilot(pd);
+  pilot.wait_active();
+
+  engines::ReplicaExchangeConfig rex;
+  rex.replicas = 64;
+  rex.generations = 20;
+  rex.cores_per_replica = 4;   // each replica is a small parallel MD job
+  rex.md_duration = 120.0;
+  rex.md_noise = 0.10;         // stragglers stretch each generation
+  rex.exchange_base = 3.0;
+  rex.exchange_per_replica = 0.05;
+  rex.t_min = 300.0;
+  rex.t_max = 450.0;
+  engines::ReplicaExchangeDriver driver(rex);
+
+  std::cout << "running " << rex.replicas << " replicas x "
+            << rex.generations << " generations on 256 cores...\n";
+  const engines::ReplicaExchangeResult result = driver.run(service);
+
+  models::ReplicaExchangeModel model;
+  model.md_duration = rex.md_duration;
+  model.exchange_base = rex.exchange_base + 0.02;
+  model.exchange_per_replica = rex.exchange_per_replica;
+  model.pilot_cores = 256;
+  model.cores_per_replica = rex.cores_per_replica;
+  model.pilot_startup = 0.0;
+
+  std::cout << "makespan:             " << result.makespan << " s\n"
+            << "analytical model:     "
+            << model.makespan(rex.replicas, rex.generations)
+            << " s (noise-free; the gap is the straggler penalty —\n"
+               "                      each generation barrier waits for the "
+               "slowest of 64 noisy replicas)\n"
+            << "mean generation:      "
+            << result.makespan / rex.generations << " s\n"
+            << "exchange acceptance:  " << result.acceptance_rate() * 100.0
+            << " %\n";
+  std::cout << "final temperatures of first replicas:";
+  for (int i = 0; i < 4; ++i) {
+    std::cout << " " << result.temperatures[static_cast<std::size_t>(i)];
+  }
+  std::cout << " K\n(temperatures migrate across the ladder as exchanges "
+               "are accepted)\n";
+  return 0;
+}

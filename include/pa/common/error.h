@@ -1,0 +1,89 @@
+#pragma once
+/// \file error.h
+/// \brief Exception hierarchy and contract-checking macros used across the
+/// pilot-abstraction library.
+///
+/// The library follows the C++ Core Guidelines error model: exceptions for
+/// errors that callers are expected to handle, assertions for programming
+/// errors (broken invariants / contract violations).
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pa {
+
+/// Base class of all library exceptions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller passed an argument that violates a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// An operation was requested in a state that does not permit it
+/// (e.g. cancelling an already-final compute unit).
+class InvalidStateError : public Error {
+ public:
+  explicit InvalidStateError(const std::string& what) : Error(what) {}
+};
+
+/// A named entity (pilot, data unit, topic, ...) could not be found.
+class NotFound : public Error {
+ public:
+  explicit NotFound(const std::string& what) : Error(what) {}
+};
+
+/// A resource request cannot be satisfied (capacity, quota, ...).
+class ResourceError : public Error {
+ public:
+  explicit ResourceError(const std::string& what) : Error(what) {}
+};
+
+/// A timeout expired while waiting for a condition.
+class TimeoutError : public Error {
+ public:
+  explicit TimeoutError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void assertion_failed(const char* expr, const char* file, int line,
+                                   const std::string& msg);
+}  // namespace detail
+
+}  // namespace pa
+
+/// Contract check that stays enabled in release builds. Broken invariants in
+/// a resource manager must fail loudly, not corrupt schedules silently.
+#define PA_CHECK(expr)                                                     \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::pa::detail::assertion_failed(#expr, __FILE__, __LINE__, "");       \
+    }                                                                      \
+  } while (false)
+
+/// Like PA_CHECK but with a streamed message:
+/// `PA_CHECK_MSG(a < b, "a=" << a << " b=" << b);`
+#define PA_CHECK_MSG(expr, msg)                                            \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream pa_check_oss_;                                    \
+      pa_check_oss_ << msg; /* NOLINT */                                   \
+      ::pa::detail::assertion_failed(#expr, __FILE__, __LINE__,            \
+                                     pa_check_oss_.str());                 \
+    }                                                                      \
+  } while (false)
+
+/// Throw `pa::InvalidArgument` with a streamed message when `expr` is false.
+#define PA_REQUIRE_ARG(expr, msg)                                          \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream pa_req_oss_;                                      \
+      pa_req_oss_ << msg; /* NOLINT */                                     \
+      throw ::pa::InvalidArgument(pa_req_oss_.str());                      \
+    }                                                                      \
+  } while (false)

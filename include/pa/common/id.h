@@ -1,0 +1,33 @@
+#pragma once
+/// \file id.h
+/// \brief Human-readable sequential identifiers for pilots, units, jobs.
+///
+/// Mirrors the URL-style ids of the original pilot systems
+/// ("pilot-17", "cu-2041", ...). Deterministic within a process so test
+/// expectations and experiment logs are stable.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace pa {
+
+/// Generates "prefix-N" identifiers; thread-safe.
+class IdGenerator {
+ public:
+  explicit IdGenerator(std::string prefix) : prefix_(std::move(prefix)) {}
+
+  std::string next() {
+    const std::uint64_t n = counter_.fetch_add(1, std::memory_order_relaxed);
+    return prefix_ + "-" + std::to_string(n);
+  }
+
+  /// Resets the counter (tests only; not thread-safe vs concurrent next()).
+  void reset() { counter_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::string prefix_;
+  std::atomic<std::uint64_t> counter_{0};
+};
+
+}  // namespace pa

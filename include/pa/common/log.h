@@ -1,0 +1,61 @@
+#pragma once
+/// \file log.h
+/// \brief Minimal leveled logger. Thread-safe, no allocation on disabled
+/// levels, and silent by default at Debug level so tests stay readable.
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace pa {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide logger configuration and sink.
+class Log {
+ public:
+  /// Sets the minimum level that is emitted. Default: kWarn.
+  static void set_level(LogLevel level);
+  static LogLevel level();
+
+  /// True if a message at `level` would currently be emitted.
+  static bool enabled(LogLevel level) { return level >= Log::level(); }
+
+  /// Emits one line to stderr: `[LEVEL] component: message`.
+  static void write(LogLevel level, const std::string& component,
+                    const std::string& message);
+
+ private:
+  static std::mutex& mutex();
+};
+
+namespace detail {
+/// RAII line builder used by the PA_LOG macro.
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogLine() { Log::write(level_, component_, oss_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    oss_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream oss_;
+};
+}  // namespace detail
+
+}  // namespace pa
+
+/// Streamed logging: `PA_LOG(kInfo, "pilot") << "started " << id;`
+#define PA_LOG(level_enum, component)                         \
+  if (!::pa::Log::enabled(::pa::LogLevel::level_enum)) {      \
+  } else                                                      \
+    ::pa::detail::LogLine(::pa::LogLevel::level_enum, (component))

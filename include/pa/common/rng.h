@@ -1,0 +1,195 @@
+#pragma once
+/// \file rng.h
+/// \brief Deterministic random-number generation for reproducible
+/// experiments.
+///
+/// All stochastic components of the simulator (queue-wait injection, cloud
+/// startup latency, task-duration noise, ...) draw from a `pa::Rng` seeded
+/// explicitly, so a simulation run is a pure function of its seed — one of
+/// the reproducibility requirements of the Mini-App framework (paper
+/// Sec. V-C, criterion "Reproducibility").
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+
+#include "pa/common/error.h"
+
+namespace pa {
+
+/// Deterministic 64-bit RNG (SplitMix64 core) with convenience samplers.
+///
+/// SplitMix64 is small, fast, passes BigCrush when used as here, and —
+/// unlike `std::mt19937` + `std::*_distribution` — has a bit-stable output
+/// across standard-library implementations, which keeps recorded experiment
+/// outputs comparable across platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed + 0x9E3779B97F4A7C15ULL) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    PA_CHECK_MSG(lo <= hi, "uniform bounds inverted: " << lo << " > " << hi);
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    PA_CHECK_MSG(lo <= hi, "uniform_int bounds inverted");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+    std::uint64_t v = next_u64();
+    while (v >= limit) {
+      v = next_u64();
+    }
+    return lo + static_cast<std::int64_t>(v % span);
+  }
+
+  /// Standard normal via Box-Muller (one value per call; simple and stable).
+  double normal() {
+    double u1 = uniform();
+    while (u1 <= 1e-300) {
+      u1 = uniform();
+    }
+    const double u2 = uniform();
+    constexpr double kTwoPi = 6.283185307179586476925286766559;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+  }
+
+  /// Normal with mean/stddev.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Exponential with the given rate (lambda). Mean = 1/rate.
+  double exponential(double rate) {
+    PA_CHECK_MSG(rate > 0.0, "exponential rate must be positive");
+    double u = uniform();
+    while (u <= 1e-300) {
+      u = uniform();
+    }
+    return -std::log(u) / rate;
+  }
+
+  /// Lognormal where `mu`/`sigma` parameterize the underlying normal.
+  double lognormal(double mu, double sigma) {
+    return std::exp(normal(mu, sigma));
+  }
+
+  /// Bernoulli trial.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Poisson-distributed count (Knuth's method; fine for small lambda,
+  /// normal approximation above 50).
+  std::int64_t poisson(double lambda) {
+    PA_CHECK_MSG(lambda >= 0.0, "poisson lambda must be non-negative");
+    if (lambda > 50.0) {
+      const double v = normal(lambda, std::sqrt(lambda));
+      return v < 0.0 ? 0 : static_cast<std::int64_t>(v + 0.5);
+    }
+    const double limit = std::exp(-lambda);
+    double prod = uniform();
+    std::int64_t n = 0;
+    while (prod >= limit) {
+      prod *= uniform();
+      ++n;
+    }
+    return n;
+  }
+
+  /// Spawns an independent child stream; children with distinct salts are
+  /// decorrelated from the parent and each other.
+  Rng split(std::uint64_t salt) {
+    return Rng(next_u64() ^ (salt * 0xD1342543DE82EF95ULL));
+  }
+
+  /// Adapter so `pa::Rng` satisfies UniformRandomBitGenerator and can be
+  /// used with `std::shuffle`.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return UINT64_MAX; }
+  result_type operator()() { return next_u64(); }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Named duration distribution used in workload descriptions: value is
+/// sampled once per task. See `miniapp::WorkloadSpec`.
+struct DurationDistribution {
+  enum class Kind { kConstant, kUniform, kNormal, kExponential, kLognormal };
+
+  Kind kind = Kind::kConstant;
+  /// kConstant: a = value. kUniform: [a, b]. kNormal: mean a, stddev b.
+  /// kExponential: rate a. kLognormal: mu a, sigma b.
+  double a = 1.0;
+  double b = 0.0;
+
+  static DurationDistribution constant(double v) { return {Kind::kConstant, v, 0.0}; }
+  static DurationDistribution uniform(double lo, double hi) {
+    return {Kind::kUniform, lo, hi};
+  }
+  static DurationDistribution normal(double mean, double sd) {
+    return {Kind::kNormal, mean, sd};
+  }
+  static DurationDistribution exponential(double rate) {
+    return {Kind::kExponential, rate, 0.0};
+  }
+  static DurationDistribution lognormal(double mu, double sigma) {
+    return {Kind::kLognormal, mu, sigma};
+  }
+
+  /// Samples a non-negative duration.
+  double sample(Rng& rng) const {
+    double v = 0.0;
+    switch (kind) {
+      case Kind::kConstant:
+        v = a;
+        break;
+      case Kind::kUniform:
+        v = rng.uniform(a, b);
+        break;
+      case Kind::kNormal:
+        v = rng.normal(a, b);
+        break;
+      case Kind::kExponential:
+        v = rng.exponential(a);
+        break;
+      case Kind::kLognormal:
+        v = rng.lognormal(a, b);
+        break;
+    }
+    return v < 0.0 ? 0.0 : v;
+  }
+
+  /// Analytical mean of the distribution (used by performance models).
+  double mean() const {
+    switch (kind) {
+      case Kind::kConstant:
+        return a;
+      case Kind::kUniform:
+        return 0.5 * (a + b);
+      case Kind::kNormal:
+        return a;
+      case Kind::kExponential:
+        return 1.0 / a;
+      case Kind::kLognormal:
+        return std::exp(a + 0.5 * b * b);
+    }
+    return a;
+  }
+};
+
+}  // namespace pa

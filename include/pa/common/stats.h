@@ -1,0 +1,71 @@
+#pragma once
+/// \file stats.h
+/// \brief Summary statistics used throughout benchmarks and models.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pa {
+
+/// Online mean/variance accumulator (Welford). O(1) memory; suitable for
+/// long simulation runs where storing every sample would be wasteful.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+  double sum() const { return n_ > 0 ? mean_ * static_cast<double>(n_) : 0.0; }
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Full-sample statistics including exact percentiles. Stores all samples;
+/// use for per-experiment result sets (thousands of points, not billions).
+class SampleSet {
+ public:
+  void add(double x) { values_.push_back(x); }
+  void reserve(std::size_t n) { values_.reserve(n); }
+
+  std::size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  double mean() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const;
+  /// Exact percentile by linear interpolation, p in [0, 100].
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+
+  const std::vector<double>& values() const { return values_; }
+
+  /// One-line human summary: "n=100 mean=4.2 sd=0.3 p50=4.1 p99=5.0".
+  std::string summary() const;
+
+ private:
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_;  // lazily sorted copy
+  mutable bool sorted_valid_ = false;
+  const std::vector<double>& sorted() const;
+};
+
+/// Relative error |a - b| / max(|b|, eps). Used when validating analytical
+/// models against measured values.
+double relative_error(double measured, double expected, double eps = 1e-12);
+
+}  // namespace pa

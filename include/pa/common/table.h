@@ -1,0 +1,73 @@
+#pragma once
+/// \file table.h
+/// \brief ASCII table and CSV emission for benchmark harnesses.
+///
+/// Every experiment binary in `bench/` reports its results through a
+/// `pa::Table`, so paper-style tables render uniformly and every run can
+/// also be captured as CSV for the Mini-App framework's statistical models.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace pa {
+
+/// A single table cell: text, integer, or floating point (with the column's
+/// precision applied at render time).
+using Cell = std::variant<std::string, std::int64_t, double>;
+
+/// Column header plus formatting hints.
+struct Column {
+  std::string name;
+  int precision = 3;   ///< digits after the decimal point for doubles
+  bool fixed = true;   ///< std::fixed vs. default float formatting
+};
+
+/// Row-oriented result table with aligned ASCII rendering and CSV export.
+class Table {
+ public:
+  explicit Table(std::string title = "");
+
+  /// Defines the columns; must be called before adding rows.
+  void set_columns(std::vector<Column> columns);
+
+  /// Convenience: columns with default formatting.
+  void set_columns(const std::vector<std::string>& names);
+
+  /// Appends a row; size must match the column count.
+  void add_row(std::vector<Cell> cells);
+
+  std::size_t row_count() const { return rows_.size(); }
+  std::size_t column_count() const { return columns_.size(); }
+  const std::string& title() const { return title_; }
+
+  /// Cell accessor (row, column), bounds-checked.
+  const Cell& at(std::size_t row, std::size_t col) const;
+
+  /// Renders an aligned ASCII table.
+  std::string to_ascii() const;
+
+  /// Renders RFC-4180-ish CSV (header row + data rows).
+  std::string to_csv() const;
+
+  /// Prints the ASCII rendering (plus title) to the stream.
+  void print(std::ostream& os) const;
+
+  /// Writes CSV to `path`, creating parent-less file; throws pa::Error on
+  /// I/O failure.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::string title_;
+  std::vector<Column> columns_;
+  std::vector<std::vector<Cell>> rows_;
+
+  std::string render_cell(const Cell& cell, const Column& col) const;
+};
+
+/// Escapes a CSV field (quotes when needed).
+std::string csv_escape(const std::string& field);
+
+}  // namespace pa

@@ -1,0 +1,70 @@
+#pragma once
+/// \file thread_pool.h
+/// \brief Fixed-size worker pool with futures, used by the LocalRuntime's
+/// pilot agents to execute real compute-unit payloads.
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "pa/common/error.h"
+
+namespace pa {
+
+/// A simple FIFO thread pool. Tasks are `void()` callables; `submit`
+/// returns a future. Destruction drains outstanding tasks (graceful join),
+/// `shutdown_now` discards queued-but-unstarted work.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a callable; returns a future for its result. Throws
+  /// pa::InvalidStateError after shutdown.
+  template <typename F, typename R = std::invoke_result_t<F>>
+  std::future<R> submit(F&& fn) {
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    enqueue([task]() { (*task)(); });
+    return future;
+  }
+
+  /// Enqueues fire-and-forget work.
+  void enqueue(std::function<void()> fn);
+
+  /// Blocks until the queue is empty and all workers are idle.
+  void wait_idle();
+
+  /// Stops accepting work; drains the queue, then joins workers.
+  void shutdown();
+
+  /// Stops accepting work; discards queued tasks, joins workers after the
+  /// currently running tasks complete.
+  void shutdown_now();
+
+  std::size_t size() const { return workers_.size(); }
+  /// Number of tasks waiting in the queue (diagnostic; racy by nature).
+  std::size_t queued() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t active_ = 0;
+  bool accepting_ = true;
+  bool stop_ = false;
+};
+
+}  // namespace pa

@@ -1,0 +1,32 @@
+#pragma once
+/// \file time_utils.h
+/// \brief Wall-clock helpers for the local (real-execution) runtime.
+
+#include <chrono>
+
+namespace pa {
+
+/// Seconds since an arbitrary monotonic epoch.
+inline double wall_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+/// Monotonic stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(wall_seconds()) {}
+  /// Seconds since construction or last restart.
+  double elapsed() const { return wall_seconds() - start_; }
+  void restart() { start_ = wall_seconds(); }
+
+ private:
+  double start_;
+};
+
+/// Spins the CPU for approximately `seconds` of real work (not sleep), so
+/// "compute" in local-runtime benchmarks occupies a core the way a real
+/// science kernel would. Calibrated per process on first use.
+void burn_cpu(double seconds);
+
+}  // namespace pa

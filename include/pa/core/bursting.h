@@ -1,0 +1,59 @@
+#pragma once
+/// \file bursting.h
+/// \brief Adaptive resource acquisition (paper requirement R3, ref [63]):
+/// add pilots on an alternative (typically cloud) resource at runtime
+/// when the primary resource will not deliver capacity soon enough.
+///
+/// The component is deliberately generic: it consumes a wait estimate as
+/// a callable (wired to `infra::BatchCluster::estimate_start_time` in the
+/// simulation stack, or to a monitoring system in a real deployment) and
+/// acts through the ordinary Pilot-API — the same late-binding queue
+/// drains onto whatever pilot comes up first.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "pa/core/pilot_compute_service.h"
+#include "pa/core/types.h"
+
+namespace pa::core {
+
+/// When and what to burst.
+struct BurstPolicy {
+  /// Burst when the primary's estimated wait exceeds this (seconds).
+  double wait_threshold = 900.0;
+  /// ... and at least this many units are not yet finished (bursting for
+  /// an almost-empty queue wastes money).
+  std::size_t min_pending_units = 1;
+  /// Pilot to submit on each burst (resource URL, size, cost, ...).
+  PilotDescription burst_pilot;
+  /// Upper bound on burst pilots this burster will ever submit.
+  int max_burst_pilots = 1;
+};
+
+/// Evaluates a burst policy against a live service. Call `evaluate()`
+/// periodically (e.g. from a `sim::PeriodicTimer` or a monitoring loop).
+class AdaptiveBurster {
+ public:
+  /// `estimated_wait_seconds` returns the primary resource's current
+  /// estimated wait for the capacity the application needs.
+  AdaptiveBurster(PilotComputeService& service, BurstPolicy policy,
+                  std::function<double()> estimated_wait_seconds);
+
+  /// Checks the policy; submits one burst pilot if it triggers.
+  /// Returns true when a pilot was submitted by this call.
+  bool evaluate();
+
+  /// Burst pilots submitted so far.
+  int bursts() const { return static_cast<int>(burst_pilots_.size()); }
+  const std::vector<Pilot>& burst_pilots() const { return burst_pilots_; }
+
+ private:
+  PilotComputeService& service_;
+  BurstPolicy policy_;
+  std::function<double()> estimated_wait_;
+  std::vector<Pilot> burst_pilots_;
+};
+
+}  // namespace pa::core

@@ -1,0 +1,215 @@
+#pragma once
+/// \file pilot_compute_service.h
+/// \brief The Pilot-API (the waist of the hourglass, paper Fig. 4).
+///
+/// `PilotComputeService` is the user-facing facade of the middleware: the
+/// application describes pilots and compute units; the service runs the
+/// P* machinery (pilot manager, late-binding workload manager, scheduler,
+/// agents) on whichever `Runtime` it was constructed with.
+///
+/// Thread-safety: all public methods and all runtime callbacks lock one
+/// recursive mutex, so the service may be used from the LocalRuntime's
+/// worker threads as well as single-threaded simulation code. (Recursive
+/// because a synchronously-satisfiable stage-in completes within the
+/// caller's frame.)
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "pa/common/id.h"
+#include "pa/common/stats.h"
+#include "pa/core/runtime.h"
+#include "pa/core/state_machine.h"
+#include "pa/core/types.h"
+#include "pa/core/workload_manager.h"
+
+namespace pa::core {
+
+class PilotComputeService;
+
+/// Handle to a pilot. Cheap value type; all state lives in the service.
+class Pilot {
+ public:
+  Pilot() = default;
+  const std::string& id() const { return id_; }
+  bool valid() const { return service_ != nullptr; }
+  PilotState state() const;
+  /// Cancels the pilot's allocation (bound units are requeued or failed
+  /// according to the service's requeue policy).
+  void cancel();
+  /// Blocks/drives until the pilot is ACTIVE (throws pa::TimeoutError).
+  void wait_active(double timeout_seconds = 3600.0);
+
+ private:
+  friend class PilotComputeService;
+  Pilot(std::string id, PilotComputeService* service)
+      : id_(std::move(id)), service_(service) {}
+  std::string id_;
+  PilotComputeService* service_ = nullptr;
+};
+
+/// Handle to a compute unit.
+class ComputeUnit {
+ public:
+  ComputeUnit() = default;
+  const std::string& id() const { return id_; }
+  bool valid() const { return service_ != nullptr; }
+  UnitState state() const;
+  UnitTimes times() const;
+  void cancel();
+  /// Blocks/drives until the unit reaches a final state; returns it.
+  UnitState wait(double timeout_seconds = 3600.0);
+
+ private:
+  friend class PilotComputeService;
+  ComputeUnit(std::string id, PilotComputeService* service)
+      : id_(std::move(id)), service_(service) {}
+  std::string id_;
+  PilotComputeService* service_ = nullptr;
+};
+
+/// Aggregated execution metrics (basis of E1/E2 tables).
+struct ServiceMetrics {
+  pa::SampleSet pilot_startup_times;  ///< submit -> active per pilot
+  pa::SampleSet unit_wait_times;      ///< submit -> start per unit
+  pa::SampleSet unit_exec_times;      ///< start -> finish per unit
+  std::size_t units_done = 0;
+  std::size_t units_failed = 0;
+  std::size_t units_canceled = 0;
+  std::size_t requeues = 0;           ///< pilot-failure recoveries
+  double first_submit_time = -1.0;
+  double last_finish_time = -1.0;
+
+  /// Wall/sim span from first unit submission to last completion.
+  double makespan() const {
+    return (first_submit_time >= 0.0 && last_finish_time >= 0.0)
+               ? last_finish_time - first_submit_time
+               : 0.0;
+  }
+};
+
+class PilotComputeService {
+ public:
+  /// `scheduler_policy`: see pa::core::make_scheduler.
+  explicit PilotComputeService(Runtime& runtime,
+                               const std::string& scheduler_policy = "backfill");
+  ~PilotComputeService();
+
+  PilotComputeService(const PilotComputeService&) = delete;
+  PilotComputeService& operator=(const PilotComputeService&) = delete;
+
+  /// Connects Pilot-Data so schedulers see locality and stage-in happens
+  /// automatically for units with input_data.
+  void attach_data_service(DataServiceInterface* data);
+
+  /// Submits a pilot; it proceeds NEW -> SUBMITTED -> ACTIVE asynchronously.
+  Pilot submit_pilot(const PilotDescription& description);
+
+  /// Submits a unit into the late-binding queue.
+  ComputeUnit submit_unit(const ComputeUnitDescription& description);
+  std::vector<ComputeUnit> submit_units(
+      const std::vector<ComputeUnitDescription>& descriptions);
+
+  /// If true (default), units bound to a failing pilot go back to the
+  /// queue; if false they are marked FAILED.
+  void set_requeue_on_pilot_failure(bool requeue);
+
+  /// Fault tolerance: when a pilot FAILS (preemption, infrastructure
+  /// fault — not cancellation or normal walltime end), automatically
+  /// resubmit an identical pilot, up to `max_restarts` times per original
+  /// pilot (0 disables; default 0). Together with unit requeueing this
+  /// gives at-least-once task execution on unreliable pools.
+  void set_pilot_restart_policy(int max_restarts);
+
+  /// Observer for every unit state transition (in addition to per-unit
+  /// waits). Called with the service lock held; keep callbacks short and
+  /// do not call back into the service from them.
+  using UnitObserver =
+      std::function<void(const std::string& unit_id, UnitState from,
+                         UnitState to)>;
+  void observe_units(UnitObserver observer);
+
+  PilotState pilot_state(const std::string& pilot_id) const;
+  UnitState unit_state(const std::string& unit_id) const;
+  UnitTimes unit_times(const std::string& unit_id) const;
+
+  void cancel_pilot(const std::string& pilot_id);
+  /// Cancels a unit. Queued units are dropped immediately; a running unit
+  /// finishes its payload but records CANCELED.
+  void cancel_unit(const std::string& unit_id);
+
+  /// Cancels all pilots (shutdown); queued units are canceled.
+  void shutdown();
+
+  /// Drives the runtime until all submitted units are final.
+  void wait_all_units(double timeout_seconds = 3600.0);
+  void wait_pilot_active(const std::string& pilot_id,
+                         double timeout_seconds = 3600.0);
+  UnitState wait_unit(const std::string& unit_id,
+                      double timeout_seconds = 3600.0);
+
+  std::size_t total_units() const;
+  std::size_t unfinished_units() const;
+  /// Copy of current metrics (consistent snapshot).
+  ServiceMetrics metrics() const;
+  Runtime& runtime() { return runtime_; }
+
+ private:
+  struct PilotRecord {
+    PilotDescription description;
+    PilotStateMachine sm{PilotState::kNew};
+    double submit_time = -1.0;
+    double active_time = -1.0;
+    int total_cores = 0;
+    std::string site;
+    int restarts_used = 0;  ///< restarts consumed by this lineage
+  };
+
+  struct UnitRecord {
+    ComputeUnitDescription description;
+    UnitStateMachine sm{UnitState::kNew};
+    UnitTimes times;
+    std::string pilot_id;  ///< current binding, empty while queued
+    bool cancel_requested = false;
+    int attempts = 0;
+  };
+
+  void on_pilot_active(const std::string& pilot_id, int total_cores,
+                       const std::string& site);
+  void on_pilot_terminated(const std::string& pilot_id, PilotState state);
+  void on_unit_done(const std::string& unit_id, bool success, int attempt);
+  void schedule_pass_locked();
+  void dispatch_unit_locked(const std::string& unit_id,
+                            const std::string& pilot_id);
+  void execute_unit_locked(const std::string& unit_id);
+  void finalize_unit_locked(UnitRecord& unit, const std::string& unit_id,
+                            UnitState final_state);
+
+  PilotRecord& pilot_record(const std::string& pilot_id);
+  const PilotRecord& pilot_record(const std::string& pilot_id) const;
+  UnitRecord& unit_record(const std::string& unit_id);
+  const UnitRecord& unit_record(const std::string& unit_id) const;
+
+  Pilot submit_pilot_locked(const PilotDescription& description,
+                            int restarts_used);
+
+  Runtime& runtime_;
+  mutable std::recursive_mutex mutex_;
+  WorkloadManager workload_;
+  DataServiceInterface* data_ = nullptr;
+  bool requeue_on_pilot_failure_ = true;
+  int pilot_max_restarts_ = 0;
+  bool shut_down_ = false;
+  std::vector<UnitObserver> unit_observers_;
+
+  pa::IdGenerator pilot_ids_{"pilot"};
+  pa::IdGenerator unit_ids_{"unit"};
+  std::map<std::string, PilotRecord> pilots_;
+  std::map<std::string, UnitRecord> units_;
+  ServiceMetrics metrics_;
+};
+
+}  // namespace pa::core

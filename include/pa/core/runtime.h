@@ -1,0 +1,89 @@
+#pragma once
+/// \file runtime.h
+/// \brief Runtime binding interface between the pilot middleware and an
+/// execution substrate.
+///
+/// Two implementations exist (DESIGN.md): `pa::rt::SimRuntime`, which maps
+/// pilots to simulated LRMS jobs and unit execution to DES events, and
+/// `pa::rt::LocalRuntime`, which maps pilots to in-process thread pools
+/// executing real payloads. The Pilot-API code above this line is shared —
+/// that sharing is the abstraction claim the paper makes (R1/R2).
+
+#include <functional>
+#include <string>
+
+#include "pa/core/types.h"
+
+namespace pa::core {
+
+/// Callbacks the middleware registers when launching a pilot.
+struct PilotRuntimeCallbacks {
+  /// The placeholder job got its allocation; the agent is up.
+  std::function<void(const std::string& pilot_id, int total_cores,
+                     const std::string& site)>
+      on_active;
+  /// The allocation ended (walltime/cancel/failure). `state` is the final
+  /// pilot state to record.
+  std::function<void(const std::string& pilot_id, PilotState state)>
+      on_terminated;
+};
+
+/// Execution substrate for pilots and units.
+class Runtime {
+ public:
+  virtual ~Runtime() = default;
+
+  /// Requests a pilot allocation under the caller-chosen `pilot_id`
+  /// (the pilot is then SUBMITTED; callbacks report progress, keyed by
+  /// that id). Callbacks may fire synchronously from this call or later
+  /// from runtime-internal threads/events; callers must tolerate both.
+  virtual void start_pilot(const std::string& pilot_id,
+                           const PilotDescription& description,
+                           PilotRuntimeCallbacks callbacks) = 0;
+
+  /// Tears down a pilot's allocation (cancels the placeholder job).
+  virtual void cancel_pilot(const std::string& pilot_id) = 0;
+
+  /// Runs a unit's payload on a pilot that the middleware has already
+  /// reserved cores on. `on_done(success)` must eventually fire unless the
+  /// pilot terminates first (in which case the middleware requeues).
+  virtual void execute_unit(const std::string& pilot_id,
+                            const ComputeUnitDescription& description,
+                            const std::string& unit_id,
+                            std::function<void(bool success)> on_done) = 0;
+
+  /// Current time on this runtime's clock (simulated or wall seconds).
+  virtual double now() const = 0;
+
+  /// Drives the runtime until `predicate()` is true. For the simulated
+  /// runtime this advances the event queue; for the local runtime it
+  /// blocks the calling thread. Throws pa::TimeoutError if progress is
+  /// impossible (event queue drained / timeout expired).
+  virtual void drive_until(const std::function<bool()>& predicate,
+                           double timeout_seconds) = 0;
+};
+
+/// Minimal interface the middleware needs from Pilot-Data to make
+/// locality decisions and stage inputs (full service in pa::data).
+class DataServiceInterface {
+ public:
+  virtual ~DataServiceInterface() = default;
+
+  /// Bytes of data unit `du_id` resident at `site` (0 when absent).
+  virtual double bytes_on_site(const std::string& du_id,
+                               const std::string& site) const = 0;
+
+  /// Total size of the data unit.
+  virtual double total_bytes(const std::string& du_id) const = 0;
+
+  /// Ensures a replica of `du_id` exists at `site`; `done` fires when it
+  /// does (immediately if already resident).
+  virtual void stage_to_site(const std::string& du_id, const std::string& site,
+                             std::function<void()> done) = 0;
+
+  /// Records that a unit produced (a replica of) `du_id` at `site`.
+  virtual void register_output(const std::string& du_id,
+                               const std::string& site) = 0;
+};
+
+}  // namespace pa::core

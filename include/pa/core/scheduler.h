@@ -1,0 +1,142 @@
+#pragma once
+/// \file scheduler.h
+/// \brief Application-level (pilot-internal) scheduling strategies.
+///
+/// This is the second level of the P* multi-level scheduling mechanism:
+/// the LRMS scheduled the *pilot*; these policies bind *units* to pilots
+/// and cores. They are pure functions over snapshot views, so every policy
+/// is unit-testable without a runtime — and the scheduler-ablation bench
+/// (E8) can compare them under identical workloads.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pa/core/types.h"
+
+namespace pa::core {
+
+/// Snapshot of one pilot as the scheduler sees it.
+struct PilotView {
+  std::string pilot_id;
+  std::string site;       ///< site name for data locality
+  int total_cores = 0;
+  int free_cores = 0;
+  int priority = 0;
+  double cost_per_core_hour = 0.0;
+  /// Remaining walltime (seconds); units longer than this must not bind.
+  double remaining_walltime = 0.0;
+};
+
+/// Snapshot of one queued unit.
+struct UnitView {
+  std::string unit_id;
+  int cores = 1;
+  double expected_duration = 1.0;
+  /// Bytes of this unit's input data resident per site (from Pilot-Data).
+  /// Missing sites mean "no local data".
+  std::map<std::string, double> input_bytes_by_site;
+  double total_input_bytes = 0.0;
+  /// Optional placement hint ("preferred_site" attribute).
+  std::string preferred_site;
+};
+
+/// One binding decision.
+struct Assignment {
+  std::string unit_id;
+  std::string pilot_id;
+};
+
+/// Strategy interface. Implementations must respect capacity: the sum of
+/// cores of units assigned to a pilot must not exceed its free_cores, and
+/// unit duration must fit the pilot's remaining walltime.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Computes assignments for as many queued units as will fit.
+  /// `queued` is in FCFS order. Unassigned units simply stay queued.
+  virtual std::vector<Assignment> schedule(
+      const std::vector<UnitView>& queued,
+      const std::vector<PilotView>& pilots) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// Strict FCFS: units bind in submission order; a unit that does not fit
+/// anywhere blocks everything behind it (head-of-line blocking — the
+/// baseline the backfilling policy improves on).
+class FifoScheduler : public Scheduler {
+ public:
+  std::vector<Assignment> schedule(const std::vector<UnitView>& queued,
+                                   const std::vector<PilotView>& pilots) override;
+  const char* name() const override { return "fifo"; }
+};
+
+/// FCFS with backfilling: a blocked head does not stop later units that
+/// fit *now* from binding. No reservation needed at this level because
+/// units are typically much shorter than pilot walltimes.
+class BackfillScheduler : public Scheduler {
+ public:
+  std::vector<Assignment> schedule(const std::vector<UnitView>& queued,
+                                   const std::vector<PilotView>& pilots) override;
+  const char* name() const override { return "backfill"; }
+};
+
+/// Spreads units across pilots in rotation to even out load (useful for
+/// throughput workloads over symmetric pilots).
+class RoundRobinScheduler : public Scheduler {
+ public:
+  std::vector<Assignment> schedule(const std::vector<UnitView>& queued,
+                                   const std::vector<PilotView>& pilots) override;
+  const char* name() const override { return "round-robin"; }
+
+ private:
+  std::size_t cursor_ = 0;
+};
+
+/// Binds each unit to the pilot whose site holds the most of its input
+/// data (minimizing stage-in volume); falls back to backfill behaviour for
+/// units without data. The Pilot-Data scheduler of ref [66].
+class DataAffinityScheduler : public Scheduler {
+ public:
+  std::vector<Assignment> schedule(const std::vector<UnitView>& queued,
+                                   const std::vector<PilotView>& pilots) override;
+  const char* name() const override { return "data-affinity"; }
+};
+
+/// Prefers the cheapest pilot that can run the unit (cost_per_core_hour,
+/// then priority); models the HPC-first/cloud-burst policy of E9.
+class CostAwareScheduler : public Scheduler {
+ public:
+  std::vector<Assignment> schedule(const std::vector<UnitView>& queued,
+                                   const std::vector<PilotView>& pilots) override;
+  const char* name() const override { return "cost-aware"; }
+};
+
+/// Largest-unit-first ordering before backfill placement; reduces
+/// fragmentation for mixed task sizes (heterogeneous-workload ablation).
+class LargestFirstScheduler : public Scheduler {
+ public:
+  std::vector<Assignment> schedule(const std::vector<UnitView>& queued,
+                                   const std::vector<PilotView>& pilots) override;
+  const char* name() const override { return "largest-first"; }
+};
+
+/// Shortest-expected-duration-first ordering before backfill placement;
+/// minimizes mean wait on heterogeneous bags (the classic SJF trade:
+/// better responsiveness, long tasks risk starvation under steady
+/// arrivals).
+class ShortestFirstScheduler : public Scheduler {
+ public:
+  std::vector<Assignment> schedule(const std::vector<UnitView>& queued,
+                                   const std::vector<PilotView>& pilots) override;
+  const char* name() const override { return "shortest-first"; }
+};
+
+/// Factory by policy name ("fifo", "backfill", "round-robin",
+/// "data-affinity", "cost-aware", "largest-first").
+std::unique_ptr<Scheduler> make_scheduler(const std::string& policy);
+
+}  // namespace pa::core

@@ -1,0 +1,78 @@
+#pragma once
+/// \file state_machine.h
+/// \brief Validated lifecycle state machines for pilots and units.
+///
+/// Every state change in the middleware flows through these objects, which
+/// reject illegal transitions (a DONE unit cannot start RUNNING) and
+/// notify observers — the mechanism behind the Pilot-API's callbacks.
+/// Keeping transition legality in one place is what makes the property
+/// tests in tests/core/ meaningful.
+
+#include <functional>
+#include <vector>
+
+#include "pa/common/error.h"
+#include "pa/core/types.h"
+
+namespace pa::core {
+
+namespace detail {
+bool pilot_transition_allowed(PilotState from, PilotState to);
+bool unit_transition_allowed(UnitState from, UnitState to);
+}  // namespace detail
+
+/// Generic observable state holder; `TransitionAllowed` is a function
+/// pointer validating edges.
+template <typename State, bool (*TransitionAllowed)(State, State),
+          const char* (*Name)(State)>
+class StateMachine {
+ public:
+  using Observer = std::function<void(State from, State to)>;
+
+  explicit StateMachine(State initial) : state_(initial) {}
+
+  State state() const { return state_; }
+
+  /// Performs a transition; throws pa::InvalidStateError on illegal edges.
+  /// Self-transitions are no-ops (idempotent callbacks).
+  void transition(State to) {
+    if (to == state_) {
+      return;
+    }
+    if (!TransitionAllowed(state_, to)) {
+      throw InvalidStateError(std::string("illegal transition ") +
+                              Name(state_) + " -> " + Name(to));
+    }
+    const State from = state_;
+    state_ = to;
+    for (const auto& obs : observers_) {
+      obs(from, to);
+    }
+  }
+
+  /// Attempts a transition; returns false instead of throwing. Used on
+  /// paths where a race with a final state is expected (cancellation).
+  bool try_transition(State to) {
+    if (to == state_) {
+      return true;
+    }
+    if (!TransitionAllowed(state_, to)) {
+      return false;
+    }
+    transition(to);
+    return true;
+  }
+
+  void observe(Observer observer) { observers_.push_back(std::move(observer)); }
+
+ private:
+  State state_;
+  std::vector<Observer> observers_;
+};
+
+using PilotStateMachine =
+    StateMachine<PilotState, detail::pilot_transition_allowed, to_string>;
+using UnitStateMachine =
+    StateMachine<UnitState, detail::unit_transition_allowed, to_string>;
+
+}  // namespace pa::core

@@ -1,0 +1,104 @@
+#pragma once
+/// \file workload_manager.h
+/// \brief Late-binding workload manager: the P* "Pilot-Manager" component
+/// that holds the unit queue and invokes the scheduling strategy.
+///
+/// Pure bookkeeping, no runtime dependencies — the facade drives it and a
+/// test can drive it by hand. Capacity accounting lives here so the
+/// "never oversubscribe" invariant has a single owner.
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pa/core/runtime.h"
+#include "pa/core/scheduler.h"
+#include "pa/core/types.h"
+
+namespace pa::core {
+
+class WorkloadManager {
+ public:
+  explicit WorkloadManager(std::unique_ptr<Scheduler> scheduler);
+
+  /// Registers an ACTIVE pilot with its capacity.
+  /// `walltime_end` is absolute (runtime clock).
+  void add_pilot(const std::string& pilot_id, const std::string& site,
+                 int total_cores, int priority, double cost_per_core_hour,
+                 double walltime_end);
+
+  /// Removes a pilot (terminated). Returns the units that were bound to it
+  /// and must be requeued or failed by the caller.
+  std::vector<std::string> remove_pilot(const std::string& pilot_id);
+
+  bool has_pilot(const std::string& pilot_id) const;
+  std::size_t pilot_count() const { return pilots_.size(); }
+
+  /// Enqueues a unit (FCFS position = call order).
+  void enqueue_unit(const std::string& unit_id,
+                    const ComputeUnitDescription& description);
+
+  /// Re-enqueues a previously bound unit (pilot failure recovery) at the
+  /// front of the queue, preserving its original priority.
+  void requeue_unit_front(const std::string& unit_id,
+                          const ComputeUnitDescription& description);
+
+  /// Drops a queued unit (cancellation). Returns false if not queued.
+  bool remove_queued_unit(const std::string& unit_id);
+
+  std::size_t queued_units() const { return queue_.size(); }
+  int free_cores(const std::string& pilot_id) const;
+  int total_free_cores() const;
+
+  /// Runs the scheduling strategy over the current queue and capacity.
+  /// Accepted assignments are applied (cores reserved, unit dequeued).
+  /// `data` may be null (no locality info).
+  std::vector<Assignment> schedule_pass(double now,
+                                        const DataServiceInterface* data);
+
+  /// Releases a finished/failed unit's cores on its pilot.
+  void unit_finished(const std::string& unit_id);
+
+  /// Which pilot a bound unit is on; throws pa::NotFound if not bound.
+  const std::string& bound_pilot(const std::string& unit_id) const;
+
+  const Scheduler& scheduler() const { return *scheduler_; }
+
+ private:
+  struct PilotRecord {
+    std::string site;
+    int total_cores = 0;
+    int free_cores = 0;
+    int priority = 0;
+    double cost_per_core_hour = 0.0;
+    double walltime_end = 0.0;
+  };
+
+  struct QueuedUnit {
+    std::string unit_id;
+    int cores = 1;
+    double expected_duration = 1.0;
+    std::vector<std::string> input_data;
+    std::string preferred_site;
+  };
+
+  struct BoundUnit {
+    std::string pilot_id;
+    int cores = 1;
+  };
+
+  static QueuedUnit make_queued(const std::string& unit_id,
+                                const ComputeUnitDescription& description);
+  UnitView make_view(const QueuedUnit& unit,
+                     const DataServiceInterface* data) const;
+
+  std::unique_ptr<Scheduler> scheduler_;
+  std::map<std::string, PilotRecord> pilots_;
+  std::vector<std::string> pilot_order_;  ///< stable view order
+  std::deque<QueuedUnit> queue_;
+  std::map<std::string, BoundUnit> bound_;
+};
+
+}  // namespace pa::core

@@ -1,0 +1,151 @@
+#pragma once
+/// \file pilot_data_service.h
+/// \brief Pilot-Data: data as a first-class citizen of the pilot
+/// abstraction (paper Sec. IV-A, ref [66]).
+///
+/// Concepts, mirroring P* on the data side:
+///  * **Data-Pilot** — a placeholder reservation of storage capacity at a
+///    site (the dual of a compute pilot's core reservation);
+///  * **Data-Unit (DU)** — a named, immutable set of bytes with one or
+///    more replicas across data-pilots;
+///  * the service schedules replica placement and stage-in transfers over
+///    the simulated network, and feeds locality information to the
+///    compute schedulers via `core::DataServiceInterface`.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "pa/common/id.h"
+#include "pa/common/stats.h"
+#include "pa/core/runtime.h"
+#include "pa/infra/network.h"
+#include "pa/infra/storage.h"
+
+namespace pa::data {
+
+/// Description of a data unit at submission.
+struct DataUnitDescription {
+  std::string name;
+  double bytes = 0.0;
+  /// Site where the data initially exists (instrument, archive, ...).
+  /// Must host a data-pilot.
+  std::string initial_site;
+};
+
+enum class DataUnitState {
+  kPending,   ///< declared, no replica registered yet
+  kResident,  ///< at least one complete replica
+};
+
+/// Placement policies for `place_replicas`.
+enum class PlacementPolicy {
+  kRandom,      ///< uniform random data-pilot (the paper's baseline)
+  kRoundRobin,  ///< cycle through data-pilots
+  kLeastLoaded  ///< data-pilot with most free capacity
+};
+
+class PilotDataService : public core::DataServiceInterface {
+ public:
+  explicit PilotDataService(infra::NetworkModel& network);
+
+  /// Registers a storage backend for a site (one per site).
+  void register_storage(std::shared_ptr<infra::StorageSystem> storage);
+
+  /// Reserves `capacity_bytes` on `site`'s storage as a data-pilot.
+  /// Returns the data-pilot id.
+  std::string add_data_pilot(const std::string& site, double capacity_bytes);
+
+  /// Declares a data unit; its initial replica is registered at
+  /// `initial_site` (capacity is charged to that site's data-pilot).
+  /// Returns the DU id.
+  std::string submit_data_unit(const DataUnitDescription& description);
+
+  /// Creates an additional replica of `du_id` at `dst_site` by network
+  /// transfer from the closest existing replica. `done` fires when the
+  /// replica is complete (immediately if already resident). Concurrent
+  /// requests for the same (du, site) coalesce onto one transfer.
+  void replicate(const std::string& du_id, const std::string& dst_site,
+                 std::function<void()> done);
+
+  /// Removes the replica at `site` (frees data-pilot capacity). The last
+  /// replica of a DU cannot be removed.
+  void remove_replica(const std::string& du_id, const std::string& site);
+
+  /// Ensures `du_id` has at least `replicas` replicas, creating the
+  /// missing ones on the data-pilots with the most free capacity (never
+  /// more than one per site). `done` fires once all new replicas are
+  /// complete (immediately when already satisfied). Returns the number of
+  /// transfers started. Throws pa::ResourceError when fewer than
+  /// `replicas` sites exist.
+  std::size_t ensure_replication(const std::string& du_id, int replicas,
+                                 std::function<void()> done = nullptr);
+
+  /// Current replica count of a data unit.
+  std::size_t replica_count(const std::string& du_id) const;
+
+  /// Distributes a batch of DUs over the registered data-pilots according
+  /// to `policy` (used by workload generators). Returns the chosen site
+  /// per DU, in order.
+  std::vector<std::string> place_replicas(
+      const std::vector<std::string>& du_ids, PlacementPolicy policy,
+      std::uint64_t seed = 0);
+
+  // --- core::DataServiceInterface ---
+  double bytes_on_site(const std::string& du_id,
+                       const std::string& site) const override;
+  double total_bytes(const std::string& du_id) const override;
+  void stage_to_site(const std::string& du_id, const std::string& site,
+                     std::function<void()> done) override;
+  void register_output(const std::string& du_id,
+                       const std::string& site) override;
+
+  // --- introspection ---
+  DataUnitState state(const std::string& du_id) const;
+  std::vector<std::string> replica_sites(const std::string& du_id) const;
+  double data_pilot_free_bytes(const std::string& site) const;
+  std::size_t transfers_started() const { return transfers_started_; }
+  double bytes_transferred() const { return bytes_transferred_; }
+  /// Durations of completed stage-in transfers.
+  const pa::SampleSet& staging_times() const { return staging_times_; }
+
+ private:
+  struct DataPilot {
+    std::string id;
+    std::string site;
+    double capacity = 0.0;
+    double used = 0.0;
+  };
+
+  struct DataUnit {
+    std::string id;
+    std::string name;
+    double bytes = 0.0;
+    std::set<std::string> replica_sites;
+    /// Callbacks waiting on an in-flight transfer, keyed by destination.
+    std::map<std::string, std::vector<std::function<void()>>> inflight;
+  };
+
+  DataPilot& pilot_at(const std::string& site);
+  const DataPilot& pilot_at(const std::string& site) const;
+  DataUnit& unit(const std::string& du_id);
+  const DataUnit& unit(const std::string& du_id) const;
+  void add_replica(DataUnit& du, const std::string& site);
+  /// Best source replica for a transfer to `dst` (min estimated time).
+  std::string pick_source(const DataUnit& du, const std::string& dst) const;
+
+  infra::NetworkModel& network_;
+  pa::IdGenerator du_ids_{"du"};
+  pa::IdGenerator dp_ids_{"dp"};
+  std::map<std::string, std::shared_ptr<infra::StorageSystem>> storages_;
+  std::map<std::string, DataPilot> data_pilots_;  ///< keyed by site
+  std::map<std::string, DataUnit> units_;
+  std::size_t transfers_started_ = 0;
+  double bytes_transferred_ = 0.0;
+  pa::SampleSet staging_times_;
+};
+
+}  // namespace pa::data

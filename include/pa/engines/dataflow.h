@@ -1,0 +1,81 @@
+#pragma once
+/// \file dataflow.h
+/// \brief Dataflow engine: multi-stage DAG pipelines over compute units
+/// (paper Table I "Dataflow"; the Dryad/LGDF2 lineage of Sec. III-A).
+///
+/// A graph is a set of stages; each stage has a parallelism (task count)
+/// and a body executed once per task index. A stage becomes runnable when
+/// all of its upstream stages finished. Stages exchange data through the
+/// shared Pilot-Memory store handed to every task in its context.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "pa/core/pilot_compute_service.h"
+#include "pa/mem/in_memory_store.h"
+
+namespace pa::engines {
+
+/// What a dataflow task sees.
+struct StageContext {
+  int task_index = 0;
+  int parallelism = 1;
+  mem::InMemoryStore* store = nullptr;  ///< inter-stage data plane
+};
+
+using StageBody = std::function<void(const StageContext&)>;
+
+struct StageResult {
+  std::string name;
+  double seconds = 0.0;  ///< barrier-to-barrier stage time
+  int tasks = 0;
+};
+
+struct DataflowResult {
+  double total_seconds = 0.0;
+  std::vector<StageResult> stages;  ///< in completion order
+};
+
+/// DAG of named stages. Build the graph, then `run` it to completion.
+class DataflowGraph {
+ public:
+  explicit DataflowGraph(mem::InMemoryStore& store);
+
+  /// Adds a stage; `dependencies` are names of previously added stages.
+  /// Throws pa::InvalidArgument on duplicate names, unknown dependencies
+  /// or parallelism < 1 (cycles are impossible by construction since
+  /// dependencies must already exist).
+  void add_stage(const std::string& name, int parallelism, StageBody body,
+                 const std::vector<std::string>& dependencies = {});
+
+  std::size_t stage_count() const { return stages_.size(); }
+
+  /// Executes the graph on `service` (active LocalRuntime pilot).
+  /// Independent stages run concurrently (their units interleave on the
+  /// pilot); each stage completes before its dependents start.
+  DataflowResult run(core::PilotComputeService& service,
+                     double timeout_seconds = 600.0);
+
+  /// Topological order (by dependency level, then insertion). Exposed for
+  /// testing and for tools that visualize the plan.
+  std::vector<std::string> topological_order() const;
+
+ private:
+  struct Stage {
+    std::string name;
+    int parallelism = 1;
+    StageBody body;
+    std::set<std::string> deps;
+    std::size_t order = 0;  ///< insertion index
+  };
+
+  mem::InMemoryStore& store_;
+  std::map<std::string, Stage> stages_;
+  std::size_t next_order_ = 0;
+};
+
+}  // namespace pa::engines

@@ -1,0 +1,88 @@
+#pragma once
+/// \file kmeans.h
+/// \brief K-means primitives: the iterative-ML workload every pilot paper
+/// uses as its canonical case study (Table I "Iterative"; refs [55], [66]).
+///
+/// Pure algorithm layer (no middleware): data generation, assignment step,
+/// partial-sum accumulation for distributed updates, convergence check.
+/// The distributed driver lives in iterative.h.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pa::engines {
+
+/// Row-major point set: `dim` doubles per point.
+struct PointBlock {
+  std::size_t dim = 0;
+  std::vector<double> values;  ///< size = count * dim
+
+  std::size_t count() const { return dim == 0 ? 0 : values.size() / dim; }
+  const double* point(std::size_t i) const { return values.data() + i * dim; }
+};
+
+/// Partial statistics a worker produces over its partition: per-cluster
+/// coordinate sums and counts, plus the partition's inertia contribution.
+struct KMeansPartial {
+  std::size_t k = 0;
+  std::size_t dim = 0;
+  std::vector<double> sums;    ///< k * dim
+  std::vector<std::size_t> counts;  ///< k
+  double inertia = 0.0;
+
+  KMeansPartial() = default;
+  KMeansPartial(std::size_t k_, std::size_t dim_)
+      : k(k_), dim(dim_), sums(k_ * dim_, 0.0), counts(k_, 0) {}
+
+  void merge(const KMeansPartial& other);
+};
+
+/// Centroid set, row-major (k * dim).
+struct Centroids {
+  std::size_t k = 0;
+  std::size_t dim = 0;
+  std::vector<double> values;
+
+  const double* centroid(std::size_t c) const { return values.data() + c * dim; }
+};
+
+/// Assigns each point of `block` to its nearest centroid and accumulates
+/// partial sums; the hot loop of the workload.
+KMeansPartial kmeans_assign(const PointBlock& block, const Centroids& centroids);
+
+/// Produces updated centroids from merged partials. Empty clusters keep
+/// their previous position (standard Lloyd handling).
+Centroids kmeans_update(const KMeansPartial& merged, const Centroids& previous);
+
+/// Max movement of any centroid between two sets (convergence metric).
+double centroid_shift(const Centroids& a, const Centroids& b);
+
+/// Generates `n` points around `k` well-separated Gaussian cluster centers
+/// in `dim` dimensions; `separation` controls center spacing relative to
+/// the within-cluster stddev (>= ~6 yields cleanly separable data that
+/// tests can assert convergence on).
+PointBlock generate_clustered_points(std::size_t n, std::size_t k,
+                                     std::size_t dim, std::uint64_t seed,
+                                     double separation = 8.0);
+
+/// Picks `k` initial centroids from the data (every n/k-th point:
+/// deterministic, spread across clusters for generated data).
+Centroids initial_centroids(const PointBlock& block, std::size_t k);
+
+/// Serializes a block to a byte string and back. The uncached iterative
+/// baseline re-decodes its partitions every generation, paying the real
+/// deserialization cost Pilot-Memory avoids (experiment E5).
+std::string serialize_points(const PointBlock& block);
+PointBlock deserialize_points(const std::string& bytes);
+
+/// Single-process reference implementation for correctness tests.
+struct KMeansReferenceResult {
+  Centroids centroids;
+  double inertia = 0.0;
+  int iterations = 0;
+};
+KMeansReferenceResult kmeans_reference(const PointBlock& block, std::size_t k,
+                                       int max_iterations, double tolerance);
+
+}  // namespace pa::engines

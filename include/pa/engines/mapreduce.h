@@ -1,0 +1,199 @@
+#pragma once
+/// \file mapreduce.h
+/// \brief Pilot-MapReduce: a MapReduce engine whose map and reduce tasks
+/// are compute units on a pilot (paper ref [54], Table I "Data-Parallel").
+///
+/// The engine reproduces the classic three phases:
+///  1. **map** — the input is split into `map_tasks` chunks; one unit per
+///     chunk runs the user mapper, emitting (K, V) pairs into per-reducer
+///     hash buckets;
+///  2. **shuffle** — bucket b of every mapper is handed to reducer b
+///     (in-process move; the engine reports shuffled bytes);
+///  3. **reduce** — one unit per reducer groups its bucket by key and runs
+///     the user reducer.
+/// Header-only template so K/V types are first-class.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "pa/common/error.h"
+#include "pa/common/time_utils.h"
+#include "pa/core/pilot_compute_service.h"
+
+namespace pa::engines {
+
+struct MapReduceConfig {
+  int map_tasks = 8;
+  int reduce_tasks = 4;
+  double timeout_seconds = 600.0;
+};
+
+struct MapReduceStats {
+  double map_seconds = 0.0;
+  double reduce_seconds = 0.0;
+  double total_seconds = 0.0;
+  std::size_t pairs_emitted = 0;
+  std::size_t distinct_keys = 0;
+};
+
+/// Collects (K, V) emissions from one map task.
+template <typename K, typename V>
+class Emitter {
+ public:
+  explicit Emitter(std::size_t num_buckets) : buckets_(num_buckets) {}
+
+  void emit(K key, V value) {
+    const std::size_t b = std::hash<K>{}(key) % buckets_.size();
+    buckets_[b].emplace_back(std::move(key), std::move(value));
+  }
+
+  std::vector<std::vector<std::pair<K, V>>>& buckets() { return buckets_; }
+
+ private:
+  std::vector<std::vector<std::pair<K, V>>> buckets_;
+};
+
+/// A complete MapReduce job. `Input` is one input record; the engine
+/// splits a vector of records across map tasks.
+template <typename Input, typename K, typename V, typename Result>
+class MapReduceJob {
+ public:
+  using Mapper = std::function<void(const Input&, Emitter<K, V>&)>;
+  using Reducer = std::function<Result(const K&, std::vector<V>&)>;
+
+  MapReduceJob(Mapper mapper, Reducer reducer, MapReduceConfig config = {})
+      : mapper_(std::move(mapper)),
+        reducer_(std::move(reducer)),
+        config_(config) {
+    PA_REQUIRE_ARG(config_.map_tasks > 0, "need map tasks");
+    PA_REQUIRE_ARG(config_.reduce_tasks > 0, "need reduce tasks");
+  }
+
+  /// Runs the job through `service` (which must have an active pilot on a
+  /// LocalRuntime). Returns the reduced output keyed by K.
+  std::map<K, Result> run(core::PilotComputeService& service,
+                          const std::vector<Input>& inputs) {
+    const pa::Stopwatch total_clock;
+    const std::size_t r = static_cast<std::size_t>(config_.reduce_tasks);
+    const std::size_t m = static_cast<std::size_t>(config_.map_tasks);
+
+    // Shared shuffle space: [reducer][mapper] -> bucket. Each (reducer,
+    // mapper) slot is written by exactly one map unit, so slots need no
+    // locking; the barrier between phases orders the accesses.
+    auto shuffle = std::make_shared<
+        std::vector<std::vector<std::vector<std::pair<K, V>>>>>(
+        r, std::vector<std::vector<std::pair<K, V>>>(m));
+
+    // ---- map phase ----
+    const pa::Stopwatch map_clock;
+    std::vector<core::ComputeUnit> map_units;
+    map_units.reserve(m);
+    for (std::size_t t = 0; t < m; ++t) {
+      // Contiguous slice [begin, end) of the input for this task.
+      const std::size_t begin = inputs.size() * t / m;
+      const std::size_t end = inputs.size() * (t + 1) / m;
+      core::ComputeUnitDescription d;
+      d.name = "map-" + std::to_string(t);
+      d.cores = 1;
+      d.work = [this, &inputs, begin, end, t, r, shuffle]() {
+        Emitter<K, V> emitter(r);
+        for (std::size_t i = begin; i < end; ++i) {
+          mapper_(inputs[i], emitter);
+        }
+        for (std::size_t b = 0; b < r; ++b) {
+          (*shuffle)[b][t] = std::move(emitter.buckets()[b]);
+        }
+      };
+      map_units.push_back(service.submit_unit(d));
+    }
+    wait_all(map_units, "map");
+    stats_.map_seconds = map_clock.elapsed();
+
+    // ---- reduce phase ----
+    const pa::Stopwatch reduce_clock;
+    auto results = std::make_shared<std::vector<std::map<K, Result>>>(r);
+    auto pair_counts = std::make_shared<std::vector<std::size_t>>(r, 0);
+    std::vector<core::ComputeUnit> reduce_units;
+    reduce_units.reserve(r);
+    for (std::size_t b = 0; b < r; ++b) {
+      core::ComputeUnitDescription d;
+      d.name = "reduce-" + std::to_string(b);
+      d.cores = 1;
+      d.work = [this, b, shuffle, results, pair_counts]() {
+        std::map<K, std::vector<V>> grouped;
+        for (auto& bucket : (*shuffle)[b]) {
+          (*pair_counts)[b] += bucket.size();
+          for (auto& [k, v] : bucket) {
+            grouped[std::move(k)].push_back(std::move(v));
+          }
+          bucket.clear();
+          bucket.shrink_to_fit();
+        }
+        for (auto& [k, vs] : grouped) {
+          (*results)[b].emplace(k, reducer_(k, vs));
+        }
+      };
+      reduce_units.push_back(service.submit_unit(d));
+    }
+    wait_all(reduce_units, "reduce");
+    stats_.reduce_seconds = reduce_clock.elapsed();
+
+    std::map<K, Result> merged;
+    for (auto& part : *results) {
+      merged.merge(part);
+    }
+    stats_.distinct_keys = merged.size();
+    stats_.pairs_emitted = 0;
+    for (const std::size_t c : *pair_counts) {
+      stats_.pairs_emitted += c;
+    }
+    stats_.total_seconds = total_clock.elapsed();
+    return merged;
+  }
+
+  const MapReduceStats& stats() const { return stats_; }
+
+ private:
+  void wait_all(std::vector<core::ComputeUnit>& units, const char* phase) {
+    for (auto& unit : units) {
+      const core::UnitState s = unit.wait(config_.timeout_seconds);
+      if (s != core::UnitState::kDone) {
+        throw Error(std::string("mapreduce ") + phase + " unit " + unit.id() +
+                    " ended in state " + core::to_string(s));
+      }
+    }
+  }
+
+  Mapper mapper_;
+  Reducer reducer_;
+  MapReduceConfig config_;
+  MapReduceStats stats_;
+};
+
+/// Reference single-threaded execution used by correctness tests: must
+/// produce exactly the same output as `MapReduceJob::run`.
+template <typename Input, typename K, typename V, typename Result>
+std::map<K, Result> mapreduce_serial(
+    const std::vector<Input>& inputs,
+    const std::function<void(const Input&, Emitter<K, V>&)>& mapper,
+    const std::function<Result(const K&, std::vector<V>&)>& reducer) {
+  Emitter<K, V> emitter(1);
+  for (const auto& in : inputs) {
+    mapper(in, emitter);
+  }
+  std::map<K, std::vector<V>> grouped;
+  for (auto& [k, v] : emitter.buckets()[0]) {
+    grouped[std::move(k)].push_back(std::move(v));
+  }
+  std::map<K, Result> out;
+  for (auto& [k, vs] : grouped) {
+    out.emplace(k, reducer(k, vs));
+  }
+  return out;
+}
+
+}  // namespace pa::engines

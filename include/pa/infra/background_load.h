@@ -1,0 +1,70 @@
+#pragma once
+/// \file background_load.h
+/// \brief Synthetic competing workload for simulated resource managers.
+///
+/// Production queue waits exist because other people's jobs are in the
+/// queue. `BackgroundLoad` reproduces that: a Poisson arrival process of
+/// jobs with lognormal sizes and runtimes, tuned so the target system runs
+/// at a configurable utilization. This is the "simulate the testbed"
+/// substitution for the paper's production HPC machines (DESIGN.md).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "pa/common/rng.h"
+#include "pa/infra/resource_manager.h"
+#include "pa/sim/engine.h"
+
+namespace pa::infra {
+
+struct BackgroundLoadConfig {
+  /// Mean inter-arrival seconds between background jobs.
+  double mean_interarrival = 120.0;
+  /// Job node counts ~ round(Lognormal(mu, sigma)), clamped to [1, max].
+  double nodes_mu = 1.5;
+  double nodes_sigma = 1.0;
+  int max_nodes = 64;
+  /// Runtime ~ Lognormal(mu, sigma) seconds; defaults give median ~1 h.
+  double runtime_mu = 8.2;
+  double runtime_sigma = 1.0;
+  /// Requested walltime = runtime * this factor (users over-request).
+  double walltime_factor = 1.5;
+  std::uint64_t seed = 1234;
+};
+
+/// Drives a Poisson job stream into a ResourceManager for the lifetime of
+/// the object (or until `stop()`).
+class BackgroundLoad {
+ public:
+  BackgroundLoad(sim::Engine& engine, ResourceManager& target,
+                 BackgroundLoadConfig config);
+  ~BackgroundLoad();
+  BackgroundLoad(const BackgroundLoad&) = delete;
+  BackgroundLoad& operator=(const BackgroundLoad&) = delete;
+
+  void start();
+  void stop();
+  std::size_t jobs_submitted() const { return submitted_; }
+
+  /// Helper: a config whose offered load approximates `utilization` of
+  /// `total_nodes` nodes (M/G/c heuristic: arrival_rate * E[nodes] *
+  /// E[runtime] = utilization * total_nodes).
+  static BackgroundLoadConfig for_utilization(double utilization,
+                                              int total_nodes,
+                                              std::uint64_t seed = 1234);
+
+ private:
+  void arm_next();
+  void submit_one();
+
+  sim::Engine& engine_;
+  ResourceManager& target_;
+  BackgroundLoadConfig config_;
+  pa::Rng rng_;
+  bool running_ = false;
+  sim::EventId pending_ = 0;
+  std::size_t submitted_ = 0;
+};
+
+}  // namespace pa::infra

@@ -1,0 +1,92 @@
+#pragma once
+/// \file cloud.h
+/// \brief Simulated IaaS cloud provider (EC2-like): elastic capacity with
+/// stochastic VM provisioning latency and per-core-hour cost accounting.
+///
+/// Used by the dynamism experiments (E9, ref [63]): a cloud pilot can be
+/// added at runtime, trading provisioning delay and cost against queue
+/// waits on the batch system.
+
+#include <deque>
+#include <map>
+#include <string>
+
+#include "pa/common/rng.h"
+#include "pa/common/stats.h"
+#include "pa/infra/resource_manager.h"
+#include "pa/sim/engine.h"
+
+namespace pa::infra {
+
+struct CloudConfig {
+  std::string name = "cloud";
+  /// Account-level quota in cores; requests beyond it queue.
+  int quota_cores = 4096;
+  NodeSpec vm;  ///< VM instance type
+  /// Provisioning latency ~ Lognormal(mu, sigma) seconds;
+  /// defaults give a median of ~40 s with a heavy tail, matching
+  /// published EC2 startup measurements.
+  double startup_mu = 3.7;
+  double startup_sigma = 0.5;
+  /// USD per core-hour; used by the cost model, not the scheduler.
+  double cost_per_core_hour = 0.04;
+  double max_walltime = 7.0 * 24.0 * 3600.0;
+  std::uint64_t seed = 7;
+};
+
+/// Elastic on-demand provider. A "job" provisions `num_nodes` VMs; the job
+/// starts when the slowest VM of the request is up (gang semantics, like a
+/// cloud cluster launch).
+class CloudProvider : public ResourceManager {
+ public:
+  CloudProvider(sim::Engine& engine, CloudConfig config);
+
+  std::string submit(JobRequest request) override;
+  void cancel(const std::string& job_id) override;
+  JobState job_state(const std::string& job_id) const override;
+  const std::string& site_name() const override { return config_.name; }
+  int total_cores() const override { return config_.quota_cores; }
+  const pa::SampleSet& queue_waits() const override { return queue_waits_; }
+
+  /// Accumulated cost (USD) of all VM time used so far, including
+  /// still-running VMs up to now().
+  double total_cost() const;
+  int cores_in_use() const { return cores_in_use_; }
+
+ private:
+  struct PendingJob {
+    std::string id;
+    JobRequest request;
+    double submit_time = 0.0;
+  };
+
+  struct RunningJob {
+    std::string id;
+    JobRequest request;
+    int cores = 0;
+    double start_time = 0.0;     ///< when VMs were billed from
+    double ready_time = 0.0;     ///< when the job's callback fired
+    sim::EventId stop_event = 0;
+    StopReason planned_reason = StopReason::kCompleted;
+  };
+
+  void try_provision();
+  void begin_provisioning(PendingJob job);
+  void stop_job(const std::string& job_id, StopReason reason);
+
+  sim::Engine& engine_;
+  CloudConfig config_;
+  pa::Rng rng_;
+  std::uint64_t next_id_ = 1;
+
+  int cores_in_use_ = 0;
+  std::deque<PendingJob> quota_queue_;
+  std::map<std::string, RunningJob> running_;
+  std::map<std::string, JobState> states_;
+  std::map<std::string, bool> cancel_requested_;  ///< during provisioning
+
+  pa::SampleSet queue_waits_;
+  double billed_core_seconds_ = 0.0;
+};
+
+}  // namespace pa::infra

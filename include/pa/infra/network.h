@@ -1,0 +1,110 @@
+#pragma once
+/// \file network.h
+/// \brief Fluid-model wide-area network between sites.
+///
+/// Pilot-Data's placement decisions (experiment E3) hinge on relative
+/// transfer costs. Each directed site pair is a link with fixed capacity;
+/// concurrent transfers on a link share its bandwidth equally
+/// (progressive-filling fluid model), so contention effects — the reason
+/// data-locality matters — emerge naturally.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "pa/common/stats.h"
+#include "pa/sim/engine.h"
+
+namespace pa::infra {
+
+/// Handle to an in-flight transfer (cancelable).
+using TransferId = std::uint64_t;
+
+struct LinkSpec {
+  double bandwidth_bps = 1.25e9;  ///< bytes/s would be clearer: we use bytes/s
+  double latency = 0.05;          ///< one-way startup latency, seconds
+};
+
+/// Simulated network. Links are directed; `set_link(a, b, ...)` also sets
+/// the reverse direction unless configured separately afterwards.
+/// Intra-site transfers (a == b) use the loopback spec.
+class NetworkModel {
+ public:
+  explicit NetworkModel(sim::Engine& engine);
+
+  /// Declares/overrides a directed link. Bandwidth is in bytes/second.
+  void set_link(const std::string& src, const std::string& dst, LinkSpec spec,
+                bool symmetric = true);
+
+  /// Loopback (same-site) spec; default 2 GB/s, 0.1 ms.
+  void set_loopback(LinkSpec spec) { loopback_ = spec; }
+
+  /// Starts a transfer of `bytes` from src to dst; `on_complete` fires when
+  /// the last byte lands. Returns a handle usable with `cancel`.
+  TransferId transfer(const std::string& src, const std::string& dst,
+                      double bytes, std::function<void()> on_complete);
+
+  /// Cancels an in-flight transfer; returns false if already complete.
+  bool cancel(TransferId id);
+
+  /// Analytic transfer time for planning: latency + bytes/bandwidth,
+  /// ignoring contention. Used by data-aware schedulers as a cost estimate.
+  double estimate_seconds(const std::string& src, const std::string& dst,
+                          double bytes) const;
+
+  /// Number of in-flight transfers on the (src, dst) link.
+  int active_on_link(const std::string& src, const std::string& dst) const;
+
+  /// Completed transfer durations (seconds).
+  const pa::SampleSet& transfer_times() const { return transfer_times_; }
+
+ private:
+  struct Transfer {
+    TransferId id;
+    double remaining_bytes;
+    double start_time;
+    bool started = false;  ///< latency phase finished
+    std::function<void()> on_complete;
+    sim::EventId event = 0;
+  };
+
+  struct Link {
+    LinkSpec spec;
+    std::map<TransferId, Transfer> active;
+    double last_update = 0.0;
+
+    /// Equal share among transfers past their latency phase.
+    double rate_per_transfer() const {
+      std::size_t n = 0;
+      for (const auto& [id, t] : active) {
+        if (t.started) {
+          ++n;
+        }
+      }
+      return n == 0 ? spec.bandwidth_bps
+                    : spec.bandwidth_bps / static_cast<double>(n);
+    }
+  };
+
+  using LinkKey = std::pair<std::string, std::string>;
+
+  const LinkSpec& spec_for(const std::string& src,
+                           const std::string& dst) const;
+  Link& link_for(const std::string& src, const std::string& dst);
+  void advance_link(Link& link);
+  void reschedule_link(Link& link);
+  void complete_transfer(Link& link, TransferId id);
+
+  sim::Engine& engine_;
+  LinkSpec loopback_{2.0e9, 0.0001};
+  std::map<LinkKey, LinkSpec> specs_;
+  std::map<LinkKey, Link> links_;
+  std::map<TransferId, LinkKey> transfer_link_;
+  TransferId next_id_ = 1;
+  pa::SampleSet transfer_times_;
+};
+
+}  // namespace pa::infra

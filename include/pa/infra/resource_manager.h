@@ -1,0 +1,43 @@
+#pragma once
+/// \file resource_manager.h
+/// \brief Abstract local-resource-management-system (LRMS) interface that
+/// every simulated infrastructure implements.
+///
+/// The SAGA adaptor layer (paper Sec. IV-B, ref [70]) binds to this
+/// interface, giving the pilot middleware a uniform submission surface
+/// across batch clusters, HTC pools, clouds and serverless platforms.
+
+#include <string>
+
+#include "pa/common/stats.h"
+#include "pa/infra/types.h"
+
+namespace pa::infra {
+
+/// Interface of a simulated LRMS.
+class ResourceManager {
+ public:
+  virtual ~ResourceManager() = default;
+
+  /// Submits a job; returns a site-unique job id. The request's callbacks
+  /// fire from simulation events.
+  virtual std::string submit(JobRequest request) = 0;
+
+  /// Cancels a queued or running job; no-op for final jobs.
+  virtual void cancel(const std::string& job_id) = 0;
+
+  /// Current state; throws pa::NotFound for unknown ids.
+  virtual JobState job_state(const std::string& job_id) const = 0;
+
+  /// Site identifier ("stampede-sim", "osg-pool", ...).
+  virtual const std::string& site_name() const = 0;
+
+  /// Total cores the site could ever allocate (quota for clouds).
+  virtual int total_cores() const = 0;
+
+  /// Queue-wait samples (seconds between submit and start) of all jobs
+  /// started so far — the key pilot-overhead input.
+  virtual const pa::SampleSet& queue_waits() const = 0;
+};
+
+}  // namespace pa::infra

@@ -1,0 +1,98 @@
+#pragma once
+/// \file serverless.h
+/// \brief Simulated FaaS platform (Lambda-like) with cold/warm starts.
+///
+/// Pilot-Streaming's serverless backend (refs [32], [73]) processes stream
+/// batches as function invocations. The performance-relevant behaviour is
+/// the cold-start penalty, container keep-alive reuse, and a concurrency
+/// limit — all modeled here.
+
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pa/common/rng.h"
+#include "pa/common/stats.h"
+#include "pa/infra/resource_manager.h"
+#include "pa/sim/engine.h"
+
+namespace pa::infra {
+
+struct ServerlessConfig {
+  std::string name = "faas";
+  int concurrency_limit = 1000;
+  /// Cold start ~ Lognormal; defaults: median ~250 ms, tail to seconds.
+  double cold_start_mu = -1.4;
+  double cold_start_sigma = 0.6;
+  double warm_start_latency = 0.010;
+  /// Idle containers are recycled after this many seconds.
+  double keepalive = 600.0;
+  /// Hard per-invocation duration cap (Lambda: 900 s).
+  double max_duration = 900.0;
+  /// USD per GB-second; with `function_gb` gives invocation cost.
+  double cost_per_gb_second = 0.0000166667;
+  double function_gb = 1.0;
+  std::uint64_t seed = 11;
+};
+
+/// FaaS platform exposed through the ResourceManager interface: a "job"
+/// with `num_nodes == 1` is one invocation. `walltime_limit` is clamped to
+/// `max_duration`; a queued invocation waits only for concurrency.
+class ServerlessPlatform : public ResourceManager {
+ public:
+  ServerlessPlatform(sim::Engine& engine, ServerlessConfig config);
+
+  std::string submit(JobRequest request) override;
+  void cancel(const std::string& job_id) override;
+  JobState job_state(const std::string& job_id) const override;
+  const std::string& site_name() const override { return config_.name; }
+  int total_cores() const override { return config_.concurrency_limit; }
+  const pa::SampleSet& queue_waits() const override { return queue_waits_; }
+
+  std::size_t cold_starts() const { return cold_starts_; }
+  std::size_t warm_starts() const { return warm_starts_; }
+  double total_cost() const { return billed_gb_seconds_ * config_.cost_per_gb_second; }
+  int active_invocations() const { return active_; }
+  /// Warm containers currently idle (after expiry sweep).
+  std::size_t warm_pool_size();
+
+ private:
+  struct PendingInvocation {
+    std::string id;
+    JobRequest request;
+    double submit_time = 0.0;
+  };
+
+  struct RunningInvocation {
+    std::string id;
+    JobRequest request;
+    double start_time = 0.0;
+    sim::EventId stop_event = 0;
+    StopReason planned_reason = StopReason::kCompleted;
+  };
+
+  void try_dispatch();
+  void start_invocation(PendingInvocation inv);
+  void stop_invocation(const std::string& id, StopReason reason);
+  void sweep_warm_pool();
+
+  sim::Engine& engine_;
+  ServerlessConfig config_;
+  pa::Rng rng_;
+  std::uint64_t next_id_ = 1;
+
+  int active_ = 0;
+  std::deque<PendingInvocation> pending_;
+  std::map<std::string, RunningInvocation> running_;
+  std::map<std::string, JobState> states_;
+  /// Expiry times of idle warm containers (min-first).
+  std::deque<double> warm_expiries_;
+
+  pa::SampleSet queue_waits_;
+  std::size_t cold_starts_ = 0;
+  std::size_t warm_starts_ = 0;
+  double billed_gb_seconds_ = 0.0;
+};
+
+}  // namespace pa::infra

@@ -1,0 +1,120 @@
+#pragma once
+/// \file storage.h
+/// \brief Simulated storage tiers (parallel FS / object store / node-local
+/// SSD) backing Pilot-Data.
+///
+/// A `StorageSystem` is attached to a site and holds named logical files.
+/// Read/write durations come from the tier's bandwidth shared fluidly
+/// among concurrent operations (reusing the network's link machinery
+/// conceptually: each tier has independent read and write channels).
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pa/common/stats.h"
+#include "pa/sim/engine.h"
+
+namespace pa::infra {
+
+enum class StorageTier {
+  kParallelFs,  ///< Lustre/GPFS-like site-wide file system
+  kObjectStore, ///< S3-like
+  kLocalSsd     ///< node-local scratch
+};
+
+const char* to_string(StorageTier tier);
+
+struct StorageConfig {
+  std::string name = "pfs";
+  StorageTier tier = StorageTier::kParallelFs;
+  std::string site;               ///< site this storage belongs to
+  double capacity_bytes = 1e15;
+  double read_bandwidth = 5e9;    ///< bytes/s aggregate
+  double write_bandwidth = 3e9;
+  double latency = 0.002;         ///< per-op latency, seconds
+};
+
+/// One storage backend. Files are logical (name -> size); contents are
+/// carried by the application layer (Pilot-Data replicas reference them).
+class StorageSystem {
+ public:
+  StorageSystem(sim::Engine& engine, StorageConfig config);
+
+  const StorageConfig& config() const { return config_; }
+  const std::string& name() const { return config_.name; }
+  const std::string& site() const { return config_.site; }
+
+  /// Creates a file entry; throws pa::ResourceError when capacity would be
+  /// exceeded, pa::InvalidArgument on duplicates.
+  void create_file(const std::string& path, double bytes);
+  void delete_file(const std::string& path);
+  bool exists(const std::string& path) const;
+  double file_size(const std::string& path) const;
+  double used_bytes() const { return used_bytes_; }
+  double free_bytes() const { return config_.capacity_bytes - used_bytes_; }
+
+  /// Asynchronous read of a whole file; completion after latency +
+  /// size/share-of-bandwidth.
+  void read(const std::string& path, std::function<void()> on_complete);
+  /// Asynchronous write creating the file on completion.
+  void write(const std::string& path, double bytes,
+             std::function<void()> on_complete);
+
+  /// Analytic (uncontended) estimates for planners.
+  double estimate_read_seconds(double bytes) const {
+    return config_.latency + bytes / config_.read_bandwidth;
+  }
+  double estimate_write_seconds(double bytes) const {
+    return config_.latency + bytes / config_.write_bandwidth;
+  }
+
+  const pa::SampleSet& read_times() const { return read_times_; }
+  const pa::SampleSet& write_times() const { return write_times_; }
+
+ private:
+  /// A fluid channel: concurrent ops share fixed bandwidth equally once
+  /// past their per-op latency phase.
+  struct Channel {
+    double bandwidth;
+    struct Op {
+      double remaining;
+      double start;
+      bool started = false;  ///< latency phase finished, bytes flowing
+      std::function<void()> done;
+      sim::EventId event = 0;
+    };
+    std::map<std::uint64_t, Op> active;
+    double last_update = 0.0;
+
+    std::size_t started_count() const {
+      std::size_t n = 0;
+      for (const auto& [id, op] : active) {
+        if (op.started) {
+          ++n;
+        }
+      }
+      return n;
+    }
+  };
+
+  void start_op(Channel& ch, double bytes, std::function<void()> done,
+                pa::SampleSet& samples);
+  void advance(Channel& ch);
+  void reschedule(Channel& ch, pa::SampleSet& samples);
+  void complete(Channel& ch, std::uint64_t id, pa::SampleSet& samples);
+
+  sim::Engine& engine_;
+  StorageConfig config_;
+  std::map<std::string, double> files_;
+  double used_bytes_ = 0.0;
+  Channel read_ch_;
+  Channel write_ch_;
+  std::uint64_t next_op_ = 1;
+  pa::SampleSet read_times_;
+  pa::SampleSet write_times_;
+};
+
+}  // namespace pa::infra

@@ -1,0 +1,76 @@
+#pragma once
+/// \file types.h
+/// \brief Common vocabulary for simulated infrastructure: jobs, states,
+/// allocations.
+///
+/// These model the *local resource management system* (LRMS) layer the
+/// pilot-abstraction sits above: PBS/SLURM-like batch queues, Condor-like
+/// HTC pools, IaaS clouds and FaaS platforms (paper Sec. IV, Table II
+/// "Infrastructure" row).
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace pa::infra {
+
+/// Lifecycle of an LRMS job (the underlying placeholder a pilot runs in).
+enum class JobState {
+  kNew,      ///< created, not yet accepted
+  kQueued,   ///< waiting for resources
+  kRunning,  ///< nodes allocated, job active
+  kDone,     ///< finished normally
+  kFailed,   ///< infrastructure failure / preemption without requeue
+  kCanceled  ///< cancelled by the submitter
+};
+
+const char* to_string(JobState s);
+
+/// Why a running job stopped.
+enum class StopReason {
+  kCompleted,  ///< ran to its declared duration
+  kCanceled,   ///< submitter cancelled it
+  kWalltime,   ///< hit the walltime limit and was killed by the LRMS
+  kPreempted   ///< evicted by the infrastructure (HTC pools, spot VMs)
+};
+
+const char* to_string(StopReason r);
+
+/// Nodes handed to a started job.
+struct Allocation {
+  std::string site;           ///< resource manager name
+  std::vector<int> node_ids;  ///< which nodes (site-local ids)
+  int cores_per_node = 1;
+
+  int total_cores() const {
+    return static_cast<int>(node_ids.size()) * cores_per_node;
+  }
+};
+
+/// A request to the LRMS. `duration < 0` means "run until cancelled or
+/// walltime" — this is exactly how a pilot placeholder job behaves; jobs
+/// with a known duration model ordinary (and background) workload.
+struct JobRequest {
+  std::string name;
+  /// Submitting user; sites may enforce per-owner running-job limits
+  /// (empty = anonymous, shares one bucket).
+  std::string owner;
+  int num_nodes = 1;
+  double walltime_limit = 3600.0;  ///< seconds; LRMS kills the job after this
+  double duration = -1.0;          ///< actual runtime; <0 = open-ended
+
+  /// Invoked when nodes are allocated and the job starts.
+  std::function<void(const std::string& job_id, const Allocation&)> on_started;
+  /// Invoked exactly once when the job leaves the running state (or is
+  /// cancelled while queued, with the reason kCanceled).
+  std::function<void(const std::string& job_id, StopReason)> on_stopped;
+};
+
+/// Description of one node class of a site.
+struct NodeSpec {
+  int cores = 16;
+  double mem_gb = 64.0;
+  double gflops = 500.0;  ///< per-node peak; used by duration scaling
+};
+
+}  // namespace pa::infra

@@ -1,0 +1,131 @@
+#pragma once
+/// \file in_memory_store.h
+/// \brief Pilot-Memory: an in-process, sharded object store for iterative
+/// applications (paper refs [68], Table II "Pilot-Memory").
+///
+/// Iterative ML (K-means & friends) re-reads its input every generation;
+/// Pilot-Memory keeps those working sets resident between unit
+/// generations. The store is typed via std::any, sharded for concurrent
+/// access from the LocalRuntime's workers, versioned so a new model
+/// broadcast never tears, and instrumented (hits/misses/bytes) for the
+/// cached-vs-uncached experiment (E5).
+
+#include <any>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pa/common/error.h"
+
+namespace pa::mem {
+
+/// Statistics snapshot.
+struct StoreStats {
+  std::uint64_t puts = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  double resident_bytes = 0.0;
+  std::size_t entries = 0;
+};
+
+/// Thread-safe sharded KV store over `std::any` values.
+///
+/// Values are immutable once put (readers share a `shared_ptr<const any>`);
+/// a re-put of the same key installs a new version atomically.
+class InMemoryStore {
+ public:
+  /// `capacity_bytes` caps resident data; least-recently-put entries are
+  /// evicted when exceeded (0 = unlimited).
+  explicit InMemoryStore(std::size_t num_shards = 16,
+                         double capacity_bytes = 0.0);
+
+  /// Stores `value` under `key`. `bytes` is the caller-declared footprint
+  /// used for capacity accounting. Returns the new version number (>= 1).
+  std::uint64_t put(const std::string& key, std::any value, double bytes);
+
+  /// Typed convenience put.
+  template <typename T>
+  std::uint64_t put_typed(const std::string& key, T value, double bytes) {
+    return put(key, std::any(std::move(value)), bytes);
+  }
+
+  /// Fetches the current value; nullptr on miss.
+  std::shared_ptr<const std::any> get(const std::string& key);
+
+  /// Typed fetch: nullptr on miss; throws pa::InvalidArgument on a type
+  /// mismatch (caller bug, not a cache condition).
+  template <typename T>
+  std::shared_ptr<const T> get_typed(const std::string& key) {
+    auto holder = get(key);
+    if (!holder) {
+      return nullptr;
+    }
+    const T* typed = std::any_cast<T>(holder.get());
+    if (typed == nullptr) {
+      throw InvalidArgument("type mismatch for key: " + key);
+    }
+    return std::shared_ptr<const T>(std::move(holder), typed);
+  }
+
+  /// Cache-through: returns the stored value, or runs `loader` to produce
+  /// (value, bytes), stores and returns it. Loader may run concurrently
+  /// for the same key under contention; last writer wins (idempotent
+  /// loaders assumed).
+  template <typename T>
+  std::shared_ptr<const T> get_or_load(
+      const std::string& key,
+      const std::function<std::pair<T, double>()>& loader) {
+    if (auto hit = get_typed<T>(key)) {
+      return hit;
+    }
+    auto [value, bytes] = loader();
+    put_typed<T>(key, std::move(value), bytes);
+    return get_typed<T>(key);
+  }
+
+  /// Current version of a key (0 = absent).
+  std::uint64_t version(const std::string& key);
+
+  /// Removes a key; returns false if absent.
+  bool erase(const std::string& key);
+
+  void clear();
+
+  StoreStats stats() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const std::any> value;
+    double bytes = 0.0;
+    std::uint64_t version = 0;
+    std::uint64_t put_seq = 0;  ///< for eviction ordering
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::map<std::string, Entry> entries;
+  };
+
+  Shard& shard_for(const std::string& key);
+  const Shard& shard_for(const std::string& key) const;
+  void evict_if_needed();
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  double capacity_bytes_;
+  std::atomic<std::uint64_t> put_seq_{0};
+  std::atomic<std::uint64_t> puts_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  /// Tracked outside shards to make the capacity check cheap.
+  std::atomic<double> resident_bytes_{0.0};
+};
+
+}  // namespace pa::mem

@@ -1,0 +1,123 @@
+#pragma once
+/// \file experiment.h
+/// \brief Mini-App experiment framework (paper Sec. V-C, Fig. 5; ref [32]).
+///
+/// Automates the build-assess-refine loop: declare factors and levels
+/// (experimental design, Jain [29]), run the full-factorial sweep with
+/// repetitions, collect named metrics per trial, and emit both raw CSV and
+/// aggregated summary tables. Every benchmark binary in bench/ is written
+/// against this so experiments stay reproducible (fixed per-trial seeds)
+/// and comparable.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pa/common/config.h"
+#include "pa/common/stats.h"
+#include "pa/common/table.h"
+
+namespace pa::miniapp {
+
+/// Full-factorial experimental design.
+class ExperimentDesign {
+ public:
+  /// Adds a factor with string levels (kept in the given order).
+  void add_factor(const std::string& name, std::vector<std::string> levels);
+  /// Numeric conveniences.
+  void add_factor(const std::string& name, const std::vector<double>& levels);
+  void add_factor(const std::string& name,
+                  const std::vector<std::int64_t>& levels);
+
+  void set_repetitions(int reps);
+  int repetitions() const { return repetitions_; }
+
+  std::size_t factor_count() const { return factors_.size(); }
+  const std::vector<std::string>& factor_names() const { return names_; }
+
+  /// All level combinations (cartesian product) in row-major order of the
+  /// factors as added; each combination is a Config {factor: level}.
+  std::vector<pa::Config> combinations() const;
+
+  /// combinations() x repetitions.
+  std::size_t trial_count() const {
+    return combinations().size() * static_cast<std::size_t>(repetitions_);
+  }
+
+ private:
+  std::vector<std::string> names_;
+  std::map<std::string, std::vector<std::string>> factors_;
+  int repetitions_ = 1;
+};
+
+/// One trial's outcome.
+struct Observation {
+  pa::Config factors;
+  int repetition = 0;
+  std::uint64_t seed = 0;
+  std::map<std::string, double> metrics;
+};
+
+/// Collected observations with reporting helpers.
+class ResultSet {
+ public:
+  void add(Observation observation);
+  std::size_t size() const { return observations_.size(); }
+  const std::vector<Observation>& observations() const { return observations_; }
+
+  /// Names of all metrics seen (sorted).
+  std::vector<std::string> metric_names() const;
+
+  /// Raw table: one row per observation (factor columns + metric columns).
+  pa::Table to_table(const std::string& title = "") const;
+
+  /// Aggregated: one row per factor combination with mean and stddev of
+  /// `metric` over repetitions.
+  pa::Table summary_table(const std::string& metric,
+                          const std::string& title = "") const;
+
+  /// Mean of `metric` over observations matching `where` (all factors in
+  /// `where` equal). Throws pa::NotFound when nothing matches.
+  double mean_metric(const std::string& metric, const pa::Config& where) const;
+
+  /// All samples of `metric` matching `where`.
+  pa::SampleSet metric_samples(const std::string& metric,
+                               const pa::Config& where) const;
+
+ private:
+  static bool matches(const Observation& obs, const pa::Config& where);
+  std::vector<Observation> observations_;
+  std::vector<std::string> factor_names_;  ///< from the first observation
+};
+
+/// Drives a trial function over a design.
+class ExperimentRunner {
+ public:
+  /// The trial receives the factor combination and a per-trial seed
+  /// (deterministic in combination index + repetition) and returns its
+  /// metrics.
+  using TrialFn = std::function<std::map<std::string, double>(
+      const pa::Config& factors, std::uint64_t seed)>;
+
+  ExperimentRunner(std::string name, TrialFn trial);
+
+  /// Runs all trials sequentially; `base_seed` decorrelates whole sweeps.
+  ResultSet run(const ExperimentDesign& design, std::uint64_t base_seed = 1);
+
+  /// If set, called after each trial (progress reporting).
+  void set_progress(std::function<void(std::size_t done, std::size_t total)>
+                        progress) {
+    progress_ = std::move(progress);
+  }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  TrialFn trial_;
+  std::function<void(std::size_t, std::size_t)> progress_;
+};
+
+}  // namespace pa::miniapp

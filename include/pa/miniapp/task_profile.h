@@ -1,0 +1,64 @@
+#pragma once
+/// \file task_profile.h
+/// \brief Synapse-style synthetic task profiles (paper ref [35]:
+/// "Synapse: Synthetic application profiler and emulator").
+///
+/// A `TaskProfile` describes a task by its resource consumption —
+/// compute, read/write I/O, memory — independent of any machine. A
+/// `MachineProfile` prices those consumptions. Together they produce
+/// either a *predicted duration* (for the simulated runtime) or an
+/// *emulating payload* (for the local runtime) that really burns the
+/// compute share and touches the memory share, which is how Synapse
+/// replays profiled applications on new resources.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "pa/common/rng.h"
+#include "pa/core/types.h"
+
+namespace pa::miniapp {
+
+/// Machine-independent task resource description.
+struct TaskProfile {
+  double compute_gflop = 1.0;     ///< floating-point work
+  double read_bytes = 0.0;        ///< input I/O volume
+  double write_bytes = 0.0;       ///< output I/O volume
+  double memory_bytes = 0.0;      ///< peak working set (touched by emulator)
+
+  /// Element-wise scaling (e.g. profile of a 2x larger input).
+  TaskProfile scaled(double factor) const {
+    return {compute_gflop * factor, read_bytes * factor,
+            write_bytes * factor, memory_bytes * factor};
+  }
+};
+
+/// What a core/storage of the target machine delivers.
+struct MachineProfile {
+  double gflops = 2.0;            ///< per core, sustained
+  double read_bandwidth = 5e8;    ///< bytes/s
+  double write_bandwidth = 3e8;   ///< bytes/s
+
+  /// Predicted wall time of a profile on one core of this machine
+  /// (sequential phases, the Synapse cost model's first-order form).
+  double predict_seconds(const TaskProfile& task) const;
+};
+
+/// Builds a compute-unit description from a profile:
+///  * `duration` is the machine prediction (drives the SimRuntime);
+///  * `work` emulates the task on the LocalRuntime — burns the compute
+///    share of the predicted time and walks a buffer of `memory_bytes`
+///    (I/O phases are emulated as time, since there is no real file).
+core::ComputeUnitDescription make_profiled_unit(const TaskProfile& task,
+                                                const MachineProfile& machine,
+                                                int cores = 1);
+
+/// A batch of profiled units with sizes drawn from a distribution of
+/// scale factors (heterogeneous bags with controlled shape).
+std::vector<core::ComputeUnitDescription> make_profiled_batch(
+    std::size_t count, const TaskProfile& base, const MachineProfile& machine,
+    const pa::DurationDistribution& scale_distribution, pa::Rng& rng,
+    int cores = 1);
+
+}  // namespace pa::miniapp

@@ -1,0 +1,91 @@
+#pragma once
+/// \file workloads.h
+/// \brief Synthetic workload generators for the Mini-App framework
+/// (paper Sec. II-C1: "simplified, synthetic workloads", refs [33]-[35]).
+///
+/// One generator per application scenario of Table I:
+///  * heterogeneous task batches (task-parallel);
+///  * text corpora (data-parallel wordcount);
+///  * genome reads + reference (MapReduce k-mer matching, the sequence
+///    alignment stand-in);
+///  * detector frames + reconstruction kernel (light-source streaming).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pa/common/rng.h"
+#include "pa/core/types.h"
+
+namespace pa::miniapp {
+
+/// Batch of compute-unit descriptions with sampled durations.
+/// When `real_work` is true each unit carries a CPU-burning payload of its
+/// sampled duration (LocalRuntime); otherwise only the declared duration
+/// is set (SimRuntime).
+std::vector<core::ComputeUnitDescription> make_task_batch(
+    std::size_t count, int cores_per_task,
+    const pa::DurationDistribution& duration, pa::Rng& rng, bool real_work);
+
+// --- text (wordcount) ---
+
+/// Zipf-ish corpus: `lines` lines of `words_per_line` words drawn from a
+/// `vocabulary`-word dictionary with rank-skewed frequencies, so reducers
+/// see realistic key imbalance.
+std::vector<std::string> generate_text_corpus(std::size_t lines,
+                                              std::size_t words_per_line,
+                                              std::size_t vocabulary,
+                                              std::uint64_t seed);
+
+/// Splits a line into whitespace-separated words.
+std::vector<std::string> split_words(const std::string& line);
+
+// --- genomics (k-mer matching) ---
+
+/// Random DNA string over {A, C, G, T}.
+std::string generate_dna(std::size_t length, std::uint64_t seed);
+
+/// `count` reads of `read_length` sampled from `reference` with a
+/// per-base error rate (substitutions), as a sequencer would produce.
+std::vector<std::string> generate_reads(const std::string& reference,
+                                        std::size_t count,
+                                        std::size_t read_length,
+                                        double error_rate,
+                                        std::uint64_t seed);
+
+/// All k-mers of a string (size() - k + 1 of them).
+std::vector<std::string> extract_kmers(const std::string& sequence,
+                                       std::size_t k);
+
+// --- light-source frames (streaming) ---
+
+/// Synthetic 2D detector frame: Poisson-ish background noise plus a few
+/// Gaussian peaks (diffraction spots).
+struct DetectorFrame {
+  std::uint32_t width = 0;
+  std::uint32_t height = 0;
+  std::vector<std::uint16_t> pixels;
+
+  std::uint16_t at(std::uint32_t x, std::uint32_t y) const {
+    return pixels[y * width + x];
+  }
+};
+
+DetectorFrame generate_frame(std::uint32_t width, std::uint32_t height,
+                             int peaks, pa::Rng& rng);
+
+/// Wire format used as streaming message payloads.
+std::string serialize_frame(const DetectorFrame& frame);
+DetectorFrame deserialize_frame(const std::string& bytes);
+
+/// Reconstruction kernel: 3x3 box smoothing followed by thresholded peak
+/// detection (local maxima above background + 5 sigma). Returns the peak
+/// count — the quantity a light-source pipeline extracts per frame.
+struct ReconstructionResult {
+  int peaks_found = 0;
+  double background_mean = 0.0;
+  double background_sigma = 0.0;
+};
+ReconstructionResult reconstruct_frame(const DetectorFrame& frame);
+
+}  // namespace pa::miniapp

@@ -1,0 +1,168 @@
+#pragma once
+/// \file analytical.h
+/// \brief Analytical (white-box) performance models (paper Sec. II-C2,
+/// Fig. 4 "Analytical Model"; refs [72], [40]).
+///
+/// These models quantify the relationship between workload parameters and
+/// runtime, letting the experiments compare *measured* simulator output
+/// against *predicted* closed forms — the model-validation loop the paper
+/// describes for the replica-exchange studies.
+
+#include <cmath>
+
+#include "pa/common/error.h"
+
+namespace pa::models {
+
+/// Amdahl's law (ref [40]).
+struct AmdahlModel {
+  double serial_fraction = 0.05;
+
+  double speedup(int processors) const {
+    PA_REQUIRE_ARG(processors > 0, "processors must be positive");
+    const double p = static_cast<double>(processors);
+    return 1.0 / (serial_fraction + (1.0 - serial_fraction) / p);
+  }
+
+  double efficiency(int processors) const {
+    return speedup(processors) / static_cast<double>(processors);
+  }
+};
+
+/// Runtime model for a bag of N equal tasks executed through one pilot:
+///
+///   T = T_queue + T_startup + ceil(N / W) * (t_task + t_dispatch)
+///
+/// where W = floor(cores / cores_per_task) is the number of concurrent
+/// task slots. The pilot pays the LRMS queue wait once; the per-task
+/// dispatch overhead is the agent's, not the LRMS's — that asymmetry
+/// against per-task submission is the pilot value proposition (E1).
+struct PilotTaskFarmModel {
+  double queue_wait = 0.0;        ///< LRMS wait for the placeholder job
+  double pilot_startup = 2.0;     ///< agent bootstrap
+  double task_duration = 1.0;
+  double dispatch_overhead = 0.02;
+  int pilot_cores = 16;
+  int cores_per_task = 1;
+
+  int concurrency() const {
+    PA_REQUIRE_ARG(cores_per_task > 0 && pilot_cores >= cores_per_task,
+                   "task does not fit pilot");
+    return pilot_cores / cores_per_task;
+  }
+
+  double makespan(int num_tasks) const {
+    PA_REQUIRE_ARG(num_tasks >= 0, "negative task count");
+    if (num_tasks == 0) {
+      return queue_wait + pilot_startup;
+    }
+    const double waves = std::ceil(static_cast<double>(num_tasks) /
+                                   static_cast<double>(concurrency()));
+    return queue_wait + pilot_startup +
+           waves * (task_duration + dispatch_overhead);
+  }
+
+  /// Baseline: every task is its own LRMS job, each paying its own queue
+  /// wait; with enough nodes they run concurrently, so the makespan is
+  /// dominated by per-job wait + runtime of the slowest wave.
+  double direct_submission_makespan(int num_tasks, double per_job_wait,
+                                    int cluster_slots) const {
+    PA_REQUIRE_ARG(cluster_slots > 0, "cluster needs slots");
+    const double waves = std::ceil(static_cast<double>(num_tasks) /
+                                   static_cast<double>(cluster_slots));
+    return waves * (per_job_wait + task_duration);
+  }
+};
+
+/// Replica-exchange ensemble model (ref [72]):
+///
+///   T(R, G) = T_queue + T_startup
+///           + G * ( ceil(R / W) * (t_md + t_dispatch) + t_exchange(R) )
+///
+/// with t_exchange(R) = exchange_base + exchange_per_replica * R, the
+/// centralized exchange step being the serial fraction that limits strong
+/// scaling (the crossover experiment E2 measures exactly this).
+struct ReplicaExchangeModel {
+  double queue_wait = 0.0;
+  double pilot_startup = 2.0;
+  double md_duration = 60.0;          ///< one replica's MD burst
+  double dispatch_overhead = 0.02;
+  double exchange_base = 0.5;
+  double exchange_per_replica = 0.01;
+  int pilot_cores = 64;
+  int cores_per_replica = 1;
+
+  int concurrency() const {
+    PA_REQUIRE_ARG(cores_per_replica > 0 && pilot_cores >= cores_per_replica,
+                   "replica does not fit pilot");
+    return pilot_cores / cores_per_replica;
+  }
+
+  double exchange_time(int replicas) const {
+    return exchange_base + exchange_per_replica * replicas;
+  }
+
+  double generation_time(int replicas) const {
+    const double waves = std::ceil(static_cast<double>(replicas) /
+                                   static_cast<double>(concurrency()));
+    return waves * (md_duration + dispatch_overhead) +
+           exchange_time(replicas);
+  }
+
+  double makespan(int replicas, int generations) const {
+    PA_REQUIRE_ARG(replicas > 0 && generations > 0,
+                   "replicas/generations must be positive");
+    return queue_wait + pilot_startup +
+           generations * generation_time(replicas);
+  }
+
+  /// Ideal speedup ceiling over the single-slot execution, per Amdahl with
+  /// the exchange step as the serial fraction.
+  double speedup(int replicas, int generations, int baseline_cores) const {
+    ReplicaExchangeModel base = *this;
+    base.pilot_cores = baseline_cores;
+    return base.makespan(replicas, generations) /
+           makespan(replicas, generations);
+  }
+};
+
+/// Cloud-vs-HPC placement break-even (E9): given an HPC queue wait and a
+/// cloud provisioning latency + $ cost, when does bursting win?
+struct BurstingModel {
+  double hpc_queue_wait = 1800.0;
+  double cloud_startup = 60.0;
+  double task_duration = 10.0;
+  int tasks = 256;
+  int hpc_cores = 64;
+  int cloud_cores = 64;
+
+  double hpc_only_makespan() const {
+    const double waves =
+        std::ceil(static_cast<double>(tasks) / hpc_cores);
+    return hpc_queue_wait + waves * task_duration;
+  }
+
+  double burst_makespan() const {
+    // Work splits proportionally to capacity once both are up; a simple
+    // bound: both pools chew the bag concurrently from their ready times.
+    const double total_work = static_cast<double>(tasks) * task_duration;
+    // Binary search the finish time T such that capacity integrals >= work.
+    double lo = 0.0;
+    double hi = hpc_only_makespan() + cloud_startup + total_work;
+    for (int i = 0; i < 64; ++i) {
+      const double mid = 0.5 * (lo + hi);
+      const double hpc_work =
+          mid > hpc_queue_wait ? (mid - hpc_queue_wait) * hpc_cores : 0.0;
+      const double cloud_work =
+          mid > cloud_startup ? (mid - cloud_startup) * cloud_cores : 0.0;
+      if (hpc_work + cloud_work >= total_work) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+    return hi;
+  }
+};
+
+}  // namespace pa::models

@@ -1,0 +1,54 @@
+#pragma once
+/// \file planner.h
+/// \brief Model-driven resource selection (paper R3 / ref [73]: "a model
+/// for throughput prediction to determine the optimal set of resources
+/// for a given workload").
+///
+/// Closes the loop the paper describes: fit a statistical performance
+/// model from Mini-App measurements, then invert it — among candidate
+/// configurations, pick the cheapest whose predicted performance meets
+/// the application's target.
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pa/models/regression.h"
+
+namespace pa::models {
+
+/// One candidate resource configuration.
+struct ConfigOption {
+  std::string label;             ///< e.g. "4 partitions / 2 consumers"
+  std::vector<double> features;  ///< in the model's feature order
+  double cost = 0.0;             ///< whatever the planner should minimize
+};
+
+/// Selects configurations using a fitted LinearModel.
+class ConfigurationSelector {
+ public:
+  /// `transform` maps the model's raw prediction to the target's units
+  /// (e.g. `exp` for a log-space throughput model). Defaults to identity.
+  explicit ConfigurationSelector(
+      LinearModel model,
+      std::function<double(double)> transform = nullptr);
+
+  /// Predicted performance for an option (transform applied).
+  double predict(const ConfigOption& option) const;
+
+  /// Cheapest option whose prediction >= target; `nullopt` if none
+  /// qualifies. Ties on cost break towards higher predicted performance.
+  std::optional<ConfigOption> select(const std::vector<ConfigOption>& options,
+                                     double target) const;
+
+  /// All options meeting the target, sorted by ascending cost.
+  std::vector<ConfigOption> feasible(const std::vector<ConfigOption>& options,
+                                     double target) const;
+
+ private:
+  LinearModel model_;
+  std::function<double(double)> transform_;
+};
+
+}  // namespace pa::models

@@ -1,0 +1,44 @@
+#pragma once
+/// \file queueing.h
+/// \brief Analytical queueing models for LRMS wait-time reasoning
+/// (paper Sec. II-C2 "performance models ... for system components
+/// (e.g., schedulers)").
+///
+/// The M/M/c (Erlang-C) model gives a closed-form expected queue wait for
+/// a c-server system under Poisson arrivals — the coarse mental model
+/// behind "how long will my pilot sit in the queue at utilization rho?",
+/// and a sanity anchor for the simulated batch cluster's behaviour.
+
+#include <cstdint>
+
+namespace pa::models {
+
+/// M/M/c queue (Erlang-C).
+struct MMcQueue {
+  int servers = 1;            ///< c
+  double arrival_rate = 0.5;  ///< lambda, jobs/second
+  double service_rate = 1.0;  ///< mu, jobs/second per server
+
+  /// Offered load a = lambda / mu (in Erlangs).
+  double offered_load() const { return arrival_rate / service_rate; }
+
+  /// Utilization rho = a / c; the system is stable for rho < 1.
+  double utilization() const {
+    return offered_load() / static_cast<double>(servers);
+  }
+
+  bool stable() const { return utilization() < 1.0; }
+
+  /// Erlang-C: probability an arriving job has to wait.
+  /// Computed with a numerically stable iterative form.
+  double probability_of_waiting() const;
+
+  /// Expected wait in queue, E[Wq] = C(c, a) / (c*mu - lambda).
+  /// Throws pa::InvalidArgument for unstable systems.
+  double expected_wait() const;
+
+  /// Expected number waiting, Lq = lambda * Wq (Little's law).
+  double expected_queue_length() const;
+};
+
+}  // namespace pa::models

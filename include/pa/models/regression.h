@@ -1,0 +1,62 @@
+#pragma once
+/// \file regression.h
+/// \brief Statistical (black-box) performance modeling: ordinary least
+/// squares with diagnostics and k-fold cross-validation (paper Sec. II-C2
+/// "Statistical models", used for streaming throughput prediction [73]).
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace pa::models {
+
+/// A fitted linear model  y = intercept + sum_i coef[i] * x[i].
+struct LinearModel {
+  double intercept = 0.0;
+  std::vector<double> coefficients;
+  std::vector<std::string> feature_names;
+
+  double r_squared = 0.0;
+  double rmse = 0.0;
+  std::size_t n_samples = 0;
+
+  double predict(const std::vector<double>& features) const;
+  /// Human-readable equation, e.g.
+  /// "y = 12.3 + 4.56*partitions - 0.01*msg_bytes".
+  std::string to_string() const;
+};
+
+/// OLS fitter over a design matrix (rows = samples).
+class OlsRegression {
+ public:
+  /// `feature_names` is optional (used for reporting); size must match the
+  /// column count when given.
+  explicit OlsRegression(std::vector<std::string> feature_names = {});
+
+  void add_sample(const std::vector<double>& features, double target);
+  std::size_t sample_count() const { return targets_.size(); }
+
+  /// Fits by solving the normal equations (Gaussian elimination with
+  /// partial pivoting; feature counts here are single digits). Throws
+  /// pa::InvalidArgument with fewer samples than parameters or a singular
+  /// system.
+  LinearModel fit() const;
+
+  /// k-fold cross-validated RMSE (deterministic fold split by index).
+  double cross_validated_rmse(int folds) const;
+
+ private:
+  LinearModel fit_rows(const std::vector<std::size_t>& rows) const;
+
+  std::vector<std::string> feature_names_;
+  std::vector<std::vector<double>> features_;
+  std::vector<double> targets_;
+};
+
+/// Solves A x = b in place (n x n, partial pivoting). Exposed for reuse
+/// and direct testing. Throws pa::InvalidArgument when singular.
+std::vector<double> solve_linear_system(std::vector<std::vector<double>> a,
+                                        std::vector<double> b);
+
+}  // namespace pa::models

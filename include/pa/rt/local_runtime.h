@@ -1,0 +1,69 @@
+#pragma once
+/// \file local_runtime.h
+/// \brief Runtime binding that executes real payloads on in-process
+/// worker threads ("cluster-in-a-process").
+///
+/// A pilot maps to a dedicated thread pool whose size is the pilot's core
+/// count; compute units run their `work` payloads (or burn CPU for their
+/// declared duration) on those threads. This is the substrate for the
+/// application engines — MapReduce, iterative K-means, dataflow — so those
+/// code paths compute real results (DESIGN.md).
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "pa/common/thread_pool.h"
+#include "pa/core/runtime.h"
+
+namespace pa::rt {
+
+struct LocalRuntimeConfig {
+  /// Cores per "node" when the pilot description does not carry a
+  /// `cores_per_node` attribute.
+  int default_cores_per_node = 1;
+};
+
+/// In-process execution substrate. Thread-safe.
+///
+/// Resource URLs: any URL with scheme "local" is accepted
+/// (e.g. "local://workstation"); the pilot's core count is
+/// `nodes * cores_per_node`.
+class LocalRuntime : public core::Runtime {
+ public:
+  explicit LocalRuntime(LocalRuntimeConfig config = {});
+  ~LocalRuntime() override;
+
+  void start_pilot(const std::string& pilot_id,
+                   const core::PilotDescription& description,
+                   core::PilotRuntimeCallbacks callbacks) override;
+  void cancel_pilot(const std::string& pilot_id) override;
+  void execute_unit(const std::string& pilot_id,
+                    const core::ComputeUnitDescription& description,
+                    const std::string& unit_id,
+                    std::function<void(bool)> on_done) override;
+  double now() const override;
+  void drive_until(const std::function<bool()>& predicate,
+                   double timeout_seconds) override;
+
+ private:
+  struct PilotEntry {
+    std::unique_ptr<pa::ThreadPool> pool;
+    std::atomic<bool> stopping{false};
+    core::PilotRuntimeCallbacks callbacks;
+  };
+
+  LocalRuntimeConfig config_;
+  double epoch_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<PilotEntry>> pilots_;
+  /// Pools of cancelled pilots are drained and destroyed lazily here to
+  /// avoid joining worker threads while callers hold external locks.
+  std::vector<std::shared_ptr<PilotEntry>> graveyard_;
+};
+
+}  // namespace pa::rt

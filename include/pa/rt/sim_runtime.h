@@ -1,0 +1,67 @@
+#pragma once
+/// \file sim_runtime.h
+/// \brief Runtime binding that maps pilots onto simulated infrastructure.
+///
+/// A pilot becomes an open-ended placeholder job submitted through the
+/// SAGA layer; unit execution becomes a DES event that completes after the
+/// unit's declared duration plus the agent's per-unit dispatch overhead.
+/// Deterministic for a fixed model + seed.
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "pa/core/runtime.h"
+#include "pa/saga/job.h"
+#include "pa/saga/session.h"
+#include "pa/sim/engine.h"
+
+namespace pa::rt {
+
+struct SimRuntimeConfig {
+  /// Time the pilot agent spends launching one unit (fork/exec, bookkeeping).
+  /// Published pilot systems measure 10-100 ms per task; default 20 ms.
+  double unit_dispatch_overhead = 0.02;
+  /// Time between allocation start and the agent being ready to accept
+  /// units (agent bootstrap: ~seconds on real systems).
+  double agent_bootstrap_time = 2.0;
+};
+
+class SimRuntime : public core::Runtime {
+ public:
+  SimRuntime(sim::Engine& engine, saga::Session& session,
+             SimRuntimeConfig config = {});
+
+  void start_pilot(const std::string& pilot_id,
+                   const core::PilotDescription& description,
+                   core::PilotRuntimeCallbacks callbacks) override;
+  void cancel_pilot(const std::string& pilot_id) override;
+  void execute_unit(const std::string& pilot_id,
+                    const core::ComputeUnitDescription& description,
+                    const std::string& unit_id,
+                    std::function<void(bool)> on_done) override;
+  double now() const override { return engine_.now(); }
+  void drive_until(const std::function<bool()>& predicate,
+                   double timeout_seconds) override;
+
+  sim::Engine& engine() { return engine_; }
+  const SimRuntimeConfig& config() const { return config_; }
+
+ private:
+  struct PilotEntry {
+    saga::Job job;
+    core::PilotRuntimeCallbacks callbacks;
+    bool active = false;
+    bool terminated = false;
+    /// Pending unit-completion events, cancelled if the pilot dies first.
+    std::set<sim::EventId> unit_events;
+  };
+
+  sim::Engine& engine_;
+  saga::Session& session_;
+  SimRuntimeConfig config_;
+  std::map<std::string, std::shared_ptr<PilotEntry>> pilots_;
+};
+
+}  // namespace pa::rt

@@ -1,0 +1,76 @@
+#pragma once
+/// \file job.h
+/// \brief SAGA-style job API: a uniform description/submission/monitoring
+/// surface over heterogeneous local resource managers (paper ref [70]).
+///
+/// The pilot middleware never talks to an infrastructure directly — it goes
+/// through a `JobService`, whose adaptor translates the uniform
+/// `JobDescription` into the site's native request. This is the adaptor
+/// pattern instance the paper's Sec. IV-B calls out.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pa/infra/resource_manager.h"
+#include "pa/infra/types.h"
+
+namespace pa::saga {
+
+/// Uniform job description (subset of the SAGA job model that the pilot
+/// systems actually use).
+struct JobDescription {
+  std::string executable = "/bin/true";
+  std::vector<std::string> arguments;
+  /// Submitting user, forwarded to the LRMS for per-owner limits.
+  std::string owner;
+  int number_of_nodes = 1;
+  int processes_per_node = 1;
+  double walltime_limit = 3600.0;  ///< seconds
+  /// Simulation only: actual runtime; < 0 means open-ended (pilot jobs).
+  double simulated_duration = -1.0;
+
+  std::function<void(const infra::Allocation&)> on_started;
+  std::function<void(infra::StopReason)> on_stopped;
+};
+
+/// Handle to a submitted job. Cheap to copy (shared state).
+class Job {
+ public:
+  Job() = default;
+
+  const std::string& id() const;
+  infra::JobState state() const;
+  void cancel();
+  bool valid() const { return static_cast<bool>(impl_); }
+
+ private:
+  friend class JobService;
+  struct Impl;
+  explicit Job(std::shared_ptr<Impl> impl) : impl_(std::move(impl)) {}
+  std::shared_ptr<Impl> impl_;
+};
+
+class Session;
+
+/// Factory for jobs on one resource endpoint.
+class JobService {
+ public:
+  /// Resolved through `session` from a URL such as "slurm://hpc-sim".
+  JobService(Session& session, const std::string& resource_url);
+
+  /// Submits a job; callbacks in the description fire on state changes.
+  Job submit(const JobDescription& description);
+
+  const std::string& resource_url() const { return url_string_; }
+  /// The adaptor's underlying site name.
+  const std::string& site_name() const;
+  int total_cores() const;
+
+ private:
+  std::string url_string_;
+  std::shared_ptr<infra::ResourceManager> rm_;
+};
+
+}  // namespace pa::saga

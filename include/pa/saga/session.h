@@ -1,0 +1,44 @@
+#pragma once
+/// \file session.h
+/// \brief Registry binding resource URLs to (simulated) infrastructure
+/// adaptors.
+///
+/// A `Session` is the SAGA context object: experiments construct their
+/// simulated sites, register each under a URL, and hand the session to the
+/// pilot middleware, which then addresses everything uniformly.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pa/infra/resource_manager.h"
+#include "pa/saga/url.h"
+
+namespace pa::saga {
+
+class Session {
+ public:
+  /// Registers a resource manager under `url` (e.g. "slurm://hpc-a").
+  /// The scheme is free-form; the full URL string is the lookup key.
+  void register_resource(const std::string& url,
+                         std::shared_ptr<infra::ResourceManager> rm);
+
+  /// Resolves a URL; throws pa::NotFound for unregistered endpoints.
+  std::shared_ptr<infra::ResourceManager> resolve(
+      const std::string& url) const;
+
+  bool has(const std::string& url) const;
+
+  /// All registered URLs, sorted.
+  std::vector<std::string> resource_urls() const;
+
+ private:
+  /// Normalizes by parsing and re-rendering (drops query differences in
+  /// spacing etc.).
+  static std::string normalize(const std::string& url);
+
+  std::map<std::string, std::shared_ptr<infra::ResourceManager>> resources_;
+};
+
+}  // namespace pa::saga

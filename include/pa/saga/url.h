@@ -1,0 +1,32 @@
+#pragma once
+/// \file url.h
+/// \brief Resource URLs in the SAGA style: `scheme://host/path?k=v&k2=v2`.
+///
+/// The pilot systems identify every resource endpoint by URL
+/// ("slurm://stampede2", "condor://osg", "ec2://us-east-1", ...); the
+/// scheme selects the adaptor, the host the concrete site.
+
+#include <string>
+
+#include "pa/common/config.h"
+
+namespace pa::saga {
+
+struct Url {
+  std::string scheme;
+  std::string host;
+  std::string path;   ///< includes leading '/', may be empty
+  pa::Config query;   ///< parsed ?k=v&k=v part
+
+  /// Parses a URL string; throws pa::InvalidArgument on malformed input.
+  static Url parse(const std::string& text);
+
+  std::string to_string() const;
+
+  bool operator==(const Url& other) const {
+    return scheme == other.scheme && host == other.host &&
+           path == other.path && query == other.query;
+  }
+};
+
+}  // namespace pa::saga

@@ -1,0 +1,116 @@
+#pragma once
+/// \file engine.h
+/// \brief Deterministic discrete-event simulation (DES) engine.
+///
+/// All simulated infrastructure (batch clusters, HTC pools, cloud
+/// providers, networks) and the SimRuntime pilot agents are driven by one
+/// `sim::Engine`. Events at equal timestamps fire in scheduling order, so a
+/// run is a pure function of (model, seed) — the determinism property the
+/// experiment framework depends on (DESIGN.md invariants).
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <utility>
+
+#include "pa/common/error.h"
+
+namespace pa::sim {
+
+/// Simulated time in seconds.
+using Time = double;
+
+/// Opaque handle to a scheduled event; usable with `Engine::cancel`.
+using EventId = std::uint64_t;
+
+constexpr Time kTimeInfinity = std::numeric_limits<Time>::infinity();
+
+/// Single-threaded event queue with a virtual clock.
+///
+/// Not thread-safe by design: the simulation stack is sequential and
+/// deterministic; the concurrent stack lives in `pa::rt::LocalRuntime`.
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time. Starts at 0.
+  Time now() const { return now_; }
+
+  /// Schedules `cb` to run at absolute time `t` (must be >= now()).
+  EventId schedule_at(Time t, Callback cb);
+
+  /// Schedules `cb` to run `delay` seconds from now (delay >= 0).
+  EventId schedule(Time delay, Callback cb) {
+    PA_REQUIRE_ARG(delay >= 0.0, "negative delay: " << delay);
+    return schedule_at(now_ + delay, std::move(cb));
+  }
+
+  /// Cancels a pending event. Returns false if it already ran, was
+  /// cancelled, or never existed.
+  bool cancel(EventId id);
+
+  /// Runs one event; returns false if the queue is empty.
+  bool step();
+
+  /// Runs until the queue is empty.
+  void run();
+
+  /// Runs all events with time <= t, then sets the clock to exactly t
+  /// (even if no event fired). Returns the new now().
+  Time run_until(Time t);
+
+  /// Number of events still pending (cancelled events excluded).
+  std::size_t pending() const { return queue_.size(); }
+
+  /// Total number of events executed so far.
+  std::uint64_t processed() const { return processed_; }
+
+  /// Time of the earliest pending event, or kTimeInfinity when empty.
+  Time next_event_time() const;
+
+ private:
+  // Key: (time, sequence) gives FIFO order among same-time events.
+  using Key = std::pair<Time, std::uint64_t>;
+
+  struct Entry {
+    EventId id;
+    Callback cb;
+  };
+
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t processed_ = 0;
+  std::map<Key, Entry> queue_;
+  std::map<EventId, Key> by_id_;
+};
+
+/// Repeating timer helper: fires `cb` every `period` seconds until
+/// stopped or the engine drains. The callback may call `stop()`.
+class PeriodicTimer {
+ public:
+  PeriodicTimer(Engine& engine, Time period, std::function<void()> cb);
+  ~PeriodicTimer();
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  void start();
+  void stop();
+  bool running() const { return running_; }
+
+ private:
+  void arm();
+
+  Engine& engine_;
+  Time period_;
+  std::function<void()> cb_;
+  EventId pending_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace pa::sim

@@ -1,0 +1,106 @@
+#pragma once
+/// \file broker.h
+/// \brief In-process partitioned-log message broker — the Kafka-equivalent
+/// substrate behind Pilot-Streaming (paper refs [32], [73]).
+///
+/// Semantics reproduced from the real system because the streaming
+/// experiments depend on them:
+///  * a topic is a set of partitions, each an append-only offset-addressed
+///    log with FIFO order;
+///  * producers append (optionally by key: equal keys always land in the
+///    same partition);
+///  * consumers fetch by (partition, offset) — the broker itself is
+///    stateless about consumers; group offsets live in the coordinator.
+/// Thread-safe; per-partition locking so disjoint partitions scale.
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "pa/common/error.h"
+
+namespace pa::stream {
+
+/// One record in a partition log.
+struct Message {
+  std::uint64_t offset = 0;
+  double produce_time = 0.0;  ///< wall seconds (pa::wall_seconds)
+  std::string key;
+  std::string payload;
+};
+
+struct TopicStats {
+  std::uint64_t messages_in = 0;
+  std::uint64_t bytes_in = 0;
+};
+
+class Broker {
+ public:
+  Broker() = default;
+  Broker(const Broker&) = delete;
+  Broker& operator=(const Broker&) = delete;
+
+  /// Creates a topic with `partitions` partitions.
+  void create_topic(const std::string& topic, int partitions);
+  bool has_topic(const std::string& topic) const;
+  int partition_count(const std::string& topic) const;
+  std::vector<std::string> topic_names() const;
+
+  /// Appends one message. If `key` is non-empty the partition is chosen by
+  /// key hash; otherwise by the broker's rotating cursor for the topic.
+  /// Returns (partition, offset).
+  std::pair<int, std::uint64_t> produce(const std::string& topic,
+                                        std::string key, std::string payload);
+
+  /// Appends to an explicit partition.
+  std::uint64_t produce_to(const std::string& topic, int partition,
+                           std::string key, std::string payload);
+
+  /// Appends up to `max_messages` messages starting at `offset` onto `out`
+  /// (regardless of `out`'s prior contents). Returns the next offset to
+  /// fetch (== offset when nothing available).
+  std::uint64_t fetch(const std::string& topic, int partition,
+                      std::uint64_t offset, std::size_t max_messages,
+                      std::vector<Message>& out) const;
+
+  /// One past the last appended offset.
+  std::uint64_t end_offset(const std::string& topic, int partition) const;
+  /// First retained offset (> 0 after truncation).
+  std::uint64_t begin_offset(const std::string& topic, int partition) const;
+
+  /// Drops messages below `up_to_offset` (retention); fetching them
+  /// afterwards throws pa::NotFound.
+  void truncate(const std::string& topic, int partition,
+                std::uint64_t up_to_offset);
+
+  TopicStats stats(const std::string& topic) const;
+
+ private:
+  struct Partition {
+    mutable std::mutex mutex;
+    std::deque<Message> log;
+    std::uint64_t base_offset = 0;  ///< offset of log.front()
+  };
+
+  struct Topic {
+    std::vector<std::unique_ptr<Partition>> partitions;
+    mutable std::mutex stats_mutex;
+    TopicStats stats;
+    std::atomic<std::uint64_t> rr_cursor{0};
+  };
+
+  const Topic& topic_ref(const std::string& topic) const;
+  Topic& topic_ref(const std::string& topic);
+  static Partition& partition_ref(Topic& t, int partition);
+  static const Partition& partition_ref(const Topic& t, int partition);
+
+  mutable std::mutex topics_mutex_;
+  std::map<std::string, std::unique_ptr<Topic>> topics_;
+};
+
+}  // namespace pa::stream

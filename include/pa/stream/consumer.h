@@ -1,0 +1,109 @@
+#pragma once
+/// \file consumer.h
+/// \brief Consumer groups over the broker: coordinated partition
+/// assignment and committed offsets.
+///
+/// Mirrors the Kafka consumer-group protocol at the level the streaming
+/// experiments need: members of a group split a topic's partitions
+/// (range assignment), each partition belongs to exactly one member per
+/// generation, and committed offsets survive rebalances — so every message
+/// is delivered to the group at least once and per-partition order holds.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "pa/stream/broker.h"
+
+namespace pa::stream {
+
+/// Tracks group membership, assignments, and committed offsets.
+class GroupCoordinator {
+ public:
+  explicit GroupCoordinator(Broker& broker) : broker_(broker) {}
+
+  /// Adds a member; triggers a rebalance (generation bump).
+  void join(const std::string& topic, const std::string& group,
+            const std::string& member_id);
+  /// Removes a member; triggers a rebalance.
+  void leave(const std::string& topic, const std::string& group,
+             const std::string& member_id);
+
+  /// Current generation of the group (changes on every rebalance).
+  std::uint64_t generation(const std::string& topic,
+                           const std::string& group) const;
+
+  /// Partitions assigned to `member_id` in the current generation.
+  std::vector<int> assignment(const std::string& topic,
+                              const std::string& group,
+                              const std::string& member_id) const;
+
+  /// Committed offset for a partition (0 if never committed).
+  std::uint64_t committed(const std::string& topic, const std::string& group,
+                          int partition) const;
+  void commit(const std::string& topic, const std::string& group,
+              int partition, std::uint64_t offset);
+
+  /// Messages remaining for the group across all partitions of the topic
+  /// (end offsets minus committed offsets).
+  std::uint64_t lag(const std::string& topic, const std::string& group) const;
+
+ private:
+  struct Group {
+    std::uint64_t generation = 0;
+    std::set<std::string> members;
+    std::map<std::string, std::vector<int>> assignments;
+    std::map<int, std::uint64_t> committed;
+  };
+
+  using GroupKey = std::pair<std::string, std::string>;
+
+  void rebalance(const std::string& topic, Group& group);
+  const Group* find_group(const std::string& topic,
+                          const std::string& group) const;
+
+  Broker& broker_;
+  mutable std::mutex mutex_;
+  std::map<GroupKey, Group> groups_;
+};
+
+/// A group member pulling messages from its assigned partitions.
+/// Not thread-safe itself (one consumer = one logical thread), but safe to
+/// run many consumers concurrently.
+class Consumer {
+ public:
+  Consumer(Broker& broker, GroupCoordinator& coordinator, std::string topic,
+           std::string group, std::string member_id);
+  ~Consumer();
+  Consumer(const Consumer&) = delete;
+  Consumer& operator=(const Consumer&) = delete;
+
+  /// Fetches up to `max_messages` from assigned partitions (round-robin
+  /// across them). Refreshes the assignment when the generation moved.
+  std::vector<Message> poll(std::size_t max_messages);
+
+  /// Commits everything returned by previous polls.
+  void commit();
+
+  const std::vector<int>& assigned_partitions() const { return assigned_; }
+  std::uint64_t messages_consumed() const { return consumed_; }
+
+ private:
+  void refresh_assignment();
+
+  Broker& broker_;
+  GroupCoordinator& coordinator_;
+  std::string topic_;
+  std::string group_;
+  std::string member_id_;
+  std::uint64_t generation_ = static_cast<std::uint64_t>(-1);
+  std::vector<int> assigned_;
+  std::map<int, std::uint64_t> positions_;  ///< next fetch offset
+  std::size_t rr_index_ = 0;
+  std::uint64_t consumed_ = 0;
+};
+
+}  // namespace pa::stream

@@ -1,0 +1,49 @@
+#pragma once
+/// \file producer.h
+/// \brief Batching producer over the broker with throughput accounting.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pa/stream/broker.h"
+
+namespace pa::stream {
+
+struct ProducerConfig {
+  /// Messages buffered before an automatic flush (1 = unbatched).
+  std::size_t batch_size = 64;
+};
+
+/// Not thread-safe (one producer per thread, as with the real client).
+class Producer {
+ public:
+  Producer(Broker& broker, std::string topic, ProducerConfig config = {});
+  ~Producer();
+  Producer(const Producer&) = delete;
+  Producer& operator=(const Producer&) = delete;
+
+  /// Buffers a message; flushes automatically when the batch fills.
+  void send(std::string key, std::string payload);
+
+  /// Appends everything buffered to the broker.
+  void flush();
+
+  std::uint64_t messages_sent() const { return messages_; }
+  std::uint64_t bytes_sent() const { return bytes_; }
+
+ private:
+  struct Buffered {
+    std::string key;
+    std::string payload;
+  };
+
+  Broker& broker_;
+  std::string topic_;
+  ProducerConfig config_;
+  std::vector<Buffered> buffer_;
+  std::uint64_t messages_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace pa::stream

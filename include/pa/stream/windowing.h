@@ -1,0 +1,96 @@
+#pragma once
+/// \file windowing.h
+/// \brief Event-time tumbling-window aggregation over the broker's
+/// message stream.
+///
+/// Table I's streaming column notes that "for many algorithms, a global
+/// state needs to be maintained across batches of data" — this is that
+/// state: per-key aggregates over fixed event-time windows, with
+/// watermark-based window closing and bounded lateness, the semantics
+/// a light-source monitoring pipeline needs (rates per detector module
+/// per second, etc.).
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pa/stream/broker.h"
+
+namespace pa::stream {
+
+/// Aggregate of the values seen for one key within one window.
+struct KeyAggregate {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+
+  double mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+
+  void add(double value) {
+    ++count;
+    sum += value;
+    if (value < min) {
+      min = value;
+    }
+    if (value > max) {
+      max = value;
+    }
+  }
+};
+
+/// One closed window.
+struct WindowResult {
+  std::int64_t index = 0;  ///< window number = floor(event_time / width)
+  double start = 0.0;
+  double end = 0.0;
+  std::map<std::string, KeyAggregate> per_key;
+};
+
+/// Tumbling event-time windows. Not thread-safe (one instance per
+/// consumer, like all stateful operators); merge results downstream.
+///
+/// Semantics:
+///  * a message belongs to window floor(produce_time / width);
+///  * the watermark is the maximum event time observed;
+///  * a window closes (and is emitted) once
+///    `watermark >= window.end + allowed_lateness`;
+///  * messages arriving for an already-closed window are counted in
+///    `late_dropped()` and otherwise ignored.
+class TumblingWindow {
+ public:
+  explicit TumblingWindow(double window_seconds,
+                          double allowed_lateness = 0.0);
+
+  /// Feeds one message with an extracted numeric value. Returns any
+  /// windows that closed as a consequence (usually empty or one).
+  std::vector<WindowResult> add(const Message& message, double value);
+
+  /// Closes and returns all still-open windows (end of stream).
+  std::vector<WindowResult> flush();
+
+  std::size_t open_windows() const { return open_.size(); }
+  std::uint64_t late_dropped() const { return late_dropped_; }
+  double watermark() const { return watermark_; }
+  double window_seconds() const { return window_seconds_; }
+
+ private:
+  std::int64_t window_index(double t) const;
+  WindowResult close_window(std::int64_t index);
+
+  double window_seconds_;
+  double allowed_lateness_;
+  double watermark_ = -std::numeric_limits<double>::infinity();
+  std::map<std::int64_t, std::map<std::string, KeyAggregate>> open_;
+  std::uint64_t late_dropped_ = 0;
+};
+
+/// Merges per-key aggregates from several windows with the same index
+/// (e.g. one per consumer) into one.
+WindowResult merge_windows(const std::vector<WindowResult>& parts);
+
+}  // namespace pa::stream

@@ -1,0 +1,21 @@
+#include "pa/common/error.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace pa::detail {
+
+[[noreturn]] void assertion_failed(const char* expr, const char* file, int line,
+                                   const std::string& msg) {
+  std::ostringstream oss;
+  oss << "PA_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) {
+    oss << " — " << msg;
+  }
+  // A failed internal invariant is unrecoverable: print and abort so the
+  // failure is attributable, instead of throwing through noexcept paths.
+  std::cerr << oss.str() << std::endl;
+  std::abort();
+}
+
+}  // namespace pa::detail

@@ -1,0 +1,51 @@
+#include "pa/common/log.h"
+
+#include <atomic>
+#include <iostream>
+
+namespace pa {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void Log::set_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel Log::level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+std::mutex& Log::mutex() {
+  static std::mutex m;
+  return m;
+}
+
+void Log::write(LogLevel level, const std::string& component,
+                const std::string& message) {
+  if (!enabled(level)) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex());
+  std::cerr << "[" << level_name(level) << "] " << component << ": " << message
+            << "\n";
+}
+
+}  // namespace pa

@@ -1,0 +1,127 @@
+#include "pa/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "pa/common/error.h"
+
+namespace pa {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) {
+    return;
+  }
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+const std::vector<double>& SampleSet::sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = values_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  } else if (sorted_.size() != values_.size()) {
+    sorted_ = values_;
+    std::sort(sorted_.begin(), sorted_.end());
+  }
+  return sorted_;
+}
+
+double SampleSet::mean() const {
+  if (values_.empty()) {
+    return 0.0;
+  }
+  double s = 0.0;
+  for (double v : values_) {
+    s += v;
+  }
+  return s / static_cast<double>(values_.size());
+}
+
+double SampleSet::sum() const {
+  double s = 0.0;
+  for (double v : values_) {
+    s += v;
+  }
+  return s;
+}
+
+double SampleSet::stddev() const {
+  if (values_.size() < 2) {
+    return 0.0;
+  }
+  const double m = mean();
+  double s = 0.0;
+  for (double v : values_) {
+    s += (v - m) * (v - m);
+  }
+  return std::sqrt(s / static_cast<double>(values_.size() - 1));
+}
+
+double SampleSet::min() const { return values_.empty() ? 0.0 : sorted().front(); }
+
+double SampleSet::max() const { return values_.empty() ? 0.0 : sorted().back(); }
+
+double SampleSet::percentile(double p) const {
+  PA_REQUIRE_ARG(p >= 0.0 && p <= 100.0, "percentile p out of range: " << p);
+  const auto& s = sorted();
+  if (s.empty()) {
+    return 0.0;
+  }
+  if (s.size() == 1) {
+    return s.front();
+  }
+  const double rank = p / 100.0 * static_cast<double>(s.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= s.size()) {
+    return s.back();
+  }
+  return s[lo] * (1.0 - frac) + s[lo + 1] * frac;
+}
+
+std::string SampleSet::summary() const {
+  std::ostringstream oss;
+  oss << "n=" << count() << " mean=" << mean() << " sd=" << stddev()
+      << " min=" << min() << " p50=" << median() << " p99=" << percentile(99.0)
+      << " max=" << max();
+  return oss.str();
+}
+
+double relative_error(double measured, double expected, double eps) {
+  const double denom = std::max(std::abs(expected), eps);
+  return std::abs(measured - expected) / denom;
+}
+
+}  // namespace pa

@@ -1,0 +1,160 @@
+#include "pa/common/table.h"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "pa/common/error.h"
+
+namespace pa {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void Table::set_columns(std::vector<Column> columns) {
+  PA_REQUIRE_ARG(rows_.empty(), "set_columns after rows were added");
+  columns_ = std::move(columns);
+}
+
+void Table::set_columns(const std::vector<std::string>& names) {
+  std::vector<Column> cols;
+  cols.reserve(names.size());
+  for (const auto& n : names) {
+    cols.push_back(Column{n, 3, true});
+  }
+  set_columns(std::move(cols));
+}
+
+void Table::add_row(std::vector<Cell> cells) {
+  PA_REQUIRE_ARG(cells.size() == columns_.size(),
+                 "row has " << cells.size() << " cells, table has "
+                            << columns_.size() << " columns");
+  rows_.push_back(std::move(cells));
+}
+
+const Cell& Table::at(std::size_t row, std::size_t col) const {
+  PA_REQUIRE_ARG(row < rows_.size(), "row out of range: " << row);
+  PA_REQUIRE_ARG(col < columns_.size(), "column out of range: " << col);
+  return rows_[row][col];
+}
+
+std::string Table::render_cell(const Cell& cell, const Column& col) const {
+  std::ostringstream oss;
+  if (std::holds_alternative<std::string>(cell)) {
+    oss << std::get<std::string>(cell);
+  } else if (std::holds_alternative<std::int64_t>(cell)) {
+    oss << std::get<std::int64_t>(cell);
+  } else {
+    if (col.fixed) {
+      oss << std::fixed;
+    }
+    oss << std::setprecision(col.precision) << std::get<double>(cell);
+  }
+  return oss.str();
+}
+
+std::string Table::to_ascii() const {
+  // Compute column widths over header + all rendered cells.
+  std::vector<std::size_t> widths(columns_.size(), 0);
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].name.size();
+  }
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      r.push_back(render_cell(row[c], columns_[c]));
+      widths[c] = std::max(widths[c], r.back().size());
+    }
+    rendered.push_back(std::move(r));
+  }
+
+  std::ostringstream oss;
+  auto rule = [&]() {
+    oss << "+";
+    for (auto w : widths) {
+      oss << std::string(w + 2, '-') << "+";
+    }
+    oss << "\n";
+  };
+  rule();
+  oss << "|";
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    oss << " " << std::left << std::setw(static_cast<int>(widths[c]))
+        << columns_[c].name << " |";
+  }
+  oss << "\n";
+  rule();
+  for (const auto& r : rendered) {
+    oss << "|";
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      oss << " " << std::right << std::setw(static_cast<int>(widths[c])) << r[c]
+          << " |";
+    }
+    oss << "\n";
+  }
+  rule();
+  return oss.str();
+}
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quote) {
+    return field;
+  }
+  std::string out = "\"";
+  for (char ch : field) {
+    if (ch == '"') {
+      out += "\"\"";
+    } else {
+      out += ch;
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream oss;
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c) {
+      oss << ",";
+    }
+    oss << csv_escape(columns_[c].name);
+  }
+  oss << "\n";
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) {
+        oss << ",";
+      }
+      oss << csv_escape(render_cell(row[c], columns_[c]));
+    }
+    oss << "\n";
+  }
+  return oss.str();
+}
+
+void Table::print(std::ostream& os) const {
+  if (!title_.empty()) {
+    os << "== " << title_ << " ==\n";
+  }
+  os << to_ascii();
+}
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw Error("cannot open for writing: " + path);
+  }
+  out << to_csv();
+  if (!out) {
+    throw Error("write failed: " + path);
+  }
+}
+
+}  // namespace pa

@@ -1,0 +1,99 @@
+#include "pa/common/thread_pool.h"
+
+namespace pa {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  PA_REQUIRE_ARG(num_threads > 0, "thread pool needs at least one thread");
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this]() { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::enqueue(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!accepting_) {
+      throw InvalidStateError("thread pool is shut down");
+    }
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+std::size_t ThreadPool::queued() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this]() { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_ && !accepting_) {
+      // Already shut down; workers may already be joined.
+    }
+    accepting_ = false;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) {
+      w.join();
+    }
+  }
+}
+
+void ThreadPool::shutdown_now() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    accepting_ = false;
+    stop_ = true;
+    queue_.clear();
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) {
+      w.join();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this]() { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        // stop_ set and nothing left to drain.
+        return;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    try {
+      task();
+    } catch (...) {
+      // Exceptions from packaged_task are captured into the future; a bare
+      // enqueue() callable that throws would otherwise terminate — swallow
+      // and continue, matching executor conventions.
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+      if (queue_.empty() && active_ == 0) {
+        idle_cv_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace pa

@@ -1,0 +1,62 @@
+#include "pa/common/time_utils.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+
+namespace pa {
+
+namespace {
+
+// One calibration unit: a short arithmetic loop with a data dependency so
+// the optimizer cannot elide it.
+double burn_unit(std::uint64_t iterations) {
+  double acc = 1.0;
+  for (std::uint64_t i = 0; i < iterations; ++i) {
+    acc = acc * 1.0000001 + 1e-9;
+    if (acc > 2.0) {
+      acc -= 1.0;
+    }
+  }
+  return acc;
+}
+
+std::atomic<double> g_iters_per_second{0.0};
+std::atomic<double> g_sink{0.0};
+
+double calibrate() {
+  constexpr std::uint64_t kProbe = 2'000'000;
+  const double t0 = wall_seconds();
+  g_sink.store(burn_unit(kProbe), std::memory_order_relaxed);
+  const double dt = wall_seconds() - t0;
+  const double rate = dt > 0.0 ? static_cast<double>(kProbe) / dt : 1e9;
+  g_iters_per_second.store(rate, std::memory_order_relaxed);
+  return rate;
+}
+
+}  // namespace
+
+void burn_cpu(double seconds) {
+  if (seconds <= 0.0) {
+    return;
+  }
+  double rate = g_iters_per_second.load(std::memory_order_relaxed);
+  if (rate <= 0.0) {
+    rate = calibrate();
+  }
+  const double deadline = wall_seconds() + seconds;
+  // Work in slices so long burns stay close to the requested duration even
+  // if calibration drifted (frequency scaling, contention).
+  for (;;) {
+    const double remaining = deadline - wall_seconds();
+    if (remaining <= 0.0) {
+      break;
+    }
+    const double slice = remaining < 0.001 ? remaining : 0.001;
+    const auto iters =
+        static_cast<std::uint64_t>(std::max(1.0, slice * rate));
+    g_sink.store(burn_unit(iters), std::memory_order_relaxed);
+  }
+}
+
+}  // namespace pa

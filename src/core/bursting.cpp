@@ -1,0 +1,40 @@
+#include "pa/core/bursting.h"
+
+#include "pa/common/error.h"
+#include "pa/common/log.h"
+
+namespace pa::core {
+
+AdaptiveBurster::AdaptiveBurster(PilotComputeService& service,
+                                 BurstPolicy policy,
+                                 std::function<double()> estimated_wait_seconds)
+    : service_(service),
+      policy_(std::move(policy)),
+      estimated_wait_(std::move(estimated_wait_seconds)) {
+  PA_REQUIRE_ARG(static_cast<bool>(estimated_wait_), "null wait estimator");
+  PA_REQUIRE_ARG(!policy_.burst_pilot.resource_url.empty(),
+                 "burst pilot needs a resource URL");
+  PA_REQUIRE_ARG(policy_.max_burst_pilots >= 1,
+                 "policy must allow at least one burst pilot");
+}
+
+bool AdaptiveBurster::evaluate() {
+  if (bursts() >= policy_.max_burst_pilots) {
+    return false;
+  }
+  if (service_.unfinished_units() < policy_.min_pending_units) {
+    return false;
+  }
+  const double wait = estimated_wait_();
+  if (wait <= policy_.wait_threshold) {
+    return false;
+  }
+  PA_LOG(kInfo, "burster") << "estimated wait " << wait << " s > threshold "
+                           << policy_.wait_threshold
+                           << " s: submitting burst pilot on "
+                           << policy_.burst_pilot.resource_url;
+  burst_pilots_.push_back(service_.submit_pilot(policy_.burst_pilot));
+  return true;
+}
+
+}  // namespace pa::core

@@ -1,0 +1,481 @@
+#include "pa/core/pilot_compute_service.h"
+
+#include <memory>
+
+#include "pa/common/log.h"
+
+namespace pa::core {
+
+PilotState Pilot::state() const {
+  PA_CHECK_MSG(service_ != nullptr, "state() on invalid Pilot");
+  return service_->pilot_state(id_);
+}
+
+void Pilot::cancel() {
+  PA_CHECK_MSG(service_ != nullptr, "cancel() on invalid Pilot");
+  service_->cancel_pilot(id_);
+}
+
+void Pilot::wait_active(double timeout_seconds) {
+  PA_CHECK_MSG(service_ != nullptr, "wait_active() on invalid Pilot");
+  service_->wait_pilot_active(id_, timeout_seconds);
+}
+
+UnitState ComputeUnit::state() const {
+  PA_CHECK_MSG(service_ != nullptr, "state() on invalid ComputeUnit");
+  return service_->unit_state(id_);
+}
+
+UnitTimes ComputeUnit::times() const {
+  PA_CHECK_MSG(service_ != nullptr, "times() on invalid ComputeUnit");
+  return service_->unit_times(id_);
+}
+
+void ComputeUnit::cancel() {
+  PA_CHECK_MSG(service_ != nullptr, "cancel() on invalid ComputeUnit");
+  service_->cancel_unit(id_);
+}
+
+UnitState ComputeUnit::wait(double timeout_seconds) {
+  PA_CHECK_MSG(service_ != nullptr, "wait() on invalid ComputeUnit");
+  return service_->wait_unit(id_, timeout_seconds);
+}
+
+PilotComputeService::PilotComputeService(Runtime& runtime,
+                                         const std::string& scheduler_policy)
+    : runtime_(runtime), workload_(make_scheduler(scheduler_policy)) {}
+
+PilotComputeService::~PilotComputeService() {
+  try {
+    shutdown();
+  } catch (...) {
+    // Destructor must not throw; shutdown failures at teardown are moot.
+  }
+}
+
+void PilotComputeService::attach_data_service(DataServiceInterface* data) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  data_ = data;
+}
+
+void PilotComputeService::set_requeue_on_pilot_failure(bool requeue) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  requeue_on_pilot_failure_ = requeue;
+}
+
+void PilotComputeService::set_pilot_restart_policy(int max_restarts) {
+  PA_REQUIRE_ARG(max_restarts >= 0, "max_restarts must be >= 0");
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  pilot_max_restarts_ = max_restarts;
+}
+
+void PilotComputeService::observe_units(UnitObserver observer) {
+  PA_REQUIRE_ARG(static_cast<bool>(observer), "null observer");
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  unit_observers_.push_back(std::move(observer));
+}
+
+PilotComputeService::PilotRecord& PilotComputeService::pilot_record(
+    const std::string& pilot_id) {
+  const auto it = pilots_.find(pilot_id);
+  if (it == pilots_.end()) {
+    throw NotFound("unknown pilot: " + pilot_id);
+  }
+  return it->second;
+}
+
+const PilotComputeService::PilotRecord& PilotComputeService::pilot_record(
+    const std::string& pilot_id) const {
+  const auto it = pilots_.find(pilot_id);
+  if (it == pilots_.end()) {
+    throw NotFound("unknown pilot: " + pilot_id);
+  }
+  return it->second;
+}
+
+PilotComputeService::UnitRecord& PilotComputeService::unit_record(
+    const std::string& unit_id) {
+  const auto it = units_.find(unit_id);
+  if (it == units_.end()) {
+    throw NotFound("unknown unit: " + unit_id);
+  }
+  return it->second;
+}
+
+const PilotComputeService::UnitRecord& PilotComputeService::unit_record(
+    const std::string& unit_id) const {
+  const auto it = units_.find(unit_id);
+  if (it == units_.end()) {
+    throw NotFound("unknown unit: " + unit_id);
+  }
+  return it->second;
+}
+
+Pilot PilotComputeService::submit_pilot(const PilotDescription& description) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  return submit_pilot_locked(description, /*restarts_used=*/0);
+}
+
+Pilot PilotComputeService::submit_pilot_locked(
+    const PilotDescription& description, int restarts_used) {
+  PA_REQUIRE_ARG(description.nodes > 0, "pilot needs nodes");
+  PA_REQUIRE_ARG(description.walltime > 0.0, "pilot needs walltime");
+  PA_REQUIRE_ARG(!shut_down_, "service is shut down");
+
+  const std::string pilot_id = pilot_ids_.next();
+  PilotRecord rec;
+  rec.description = description;
+  rec.submit_time = runtime_.now();
+  rec.restarts_used = restarts_used;
+  pilots_.emplace(pilot_id, std::move(rec));
+
+  PilotRuntimeCallbacks callbacks;
+  callbacks.on_active = [this](const std::string& id, int cores,
+                               const std::string& site) {
+    on_pilot_active(id, cores, site);
+  };
+  callbacks.on_terminated = [this](const std::string& id, PilotState state) {
+    on_pilot_terminated(id, state);
+  };
+
+  pilots_.at(pilot_id).sm.transition(PilotState::kSubmitted);
+  runtime_.start_pilot(pilot_id, description, std::move(callbacks));
+  PA_LOG(kInfo, "pcs") << "submitted pilot " << pilot_id << " to "
+                       << description.resource_url;
+  return Pilot(pilot_id, this);
+}
+
+void PilotComputeService::on_pilot_active(const std::string& pilot_id,
+                                          int total_cores,
+                                          const std::string& site) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  auto& rec = pilot_record(pilot_id);
+  if (!rec.sm.try_transition(PilotState::kActive)) {
+    return;  // cancelled while the allocation came up
+  }
+  rec.active_time = runtime_.now();
+  rec.total_cores = total_cores;
+  rec.site = site;
+  metrics_.pilot_startup_times.add(rec.active_time - rec.submit_time);
+  workload_.add_pilot(pilot_id, site, total_cores, rec.description.priority,
+                      rec.description.cost_per_core_hour,
+                      rec.active_time + rec.description.walltime);
+  PA_LOG(kInfo, "pcs") << "pilot " << pilot_id << " active on " << site
+                       << " with " << total_cores << " cores";
+  schedule_pass_locked();
+}
+
+void PilotComputeService::on_pilot_terminated(const std::string& pilot_id,
+                                              PilotState state) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  auto& rec = pilot_record(pilot_id);
+  const std::vector<std::string> orphans = workload_.remove_pilot(pilot_id);
+  rec.sm.try_transition(state);
+  const PilotDescription restart_description = rec.description;
+  const int restarts_used = rec.restarts_used;
+  const bool restart = state == PilotState::kFailed && !shut_down_ &&
+                       restarts_used < pilot_max_restarts_;
+  for (const auto& unit_id : orphans) {
+    auto& unit = unit_record(unit_id);
+    if (is_final(unit.sm.state())) {
+      continue;
+    }
+    if (requeue_on_pilot_failure_ && !unit.cancel_requested) {
+      // Recovery: back to the queue; the unit re-runs on another pilot.
+      unit.pilot_id.clear();
+      ++metrics_.requeues;
+      // State machine: RUNNING/SCHEDULED -> FAILED would be terminal, so
+      // we model a requeue as a fresh PENDING attempt (observers notified
+      // of the reset, then re-attached to the fresh machine).
+      const UnitState prior = unit.sm.state();
+      for (const auto& obs : unit_observers_) {
+        obs(unit_id, prior, UnitState::kPending);
+      }
+      unit.sm = UnitStateMachine(UnitState::kPending);
+      unit.sm.observe([this, unit_id](UnitState from, UnitState to) {
+        for (const auto& obs : unit_observers_) {
+          obs(unit_id, from, to);
+        }
+      });
+      ++unit.attempts;
+      workload_.requeue_unit_front(unit_id, unit.description);
+      PA_LOG(kInfo, "pcs") << "requeued " << unit_id << " after pilot "
+                           << pilot_id << " terminated";
+    } else {
+      finalize_unit_locked(unit, unit_id, UnitState::kFailed);
+    }
+  }
+  if (restart) {
+    // Fault tolerance: replace the failed allocation. `rec` may be
+    // invalidated by the map insertion below, hence the copies above.
+    PA_LOG(kInfo, "pcs") << "restarting failed pilot " << pilot_id
+                         << " (restart " << restarts_used + 1 << "/"
+                         << pilot_max_restarts_ << ")";
+    submit_pilot_locked(restart_description, restarts_used + 1);
+  }
+  schedule_pass_locked();
+}
+
+ComputeUnit PilotComputeService::submit_unit(
+    const ComputeUnitDescription& description) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  PA_REQUIRE_ARG(!shut_down_, "service is shut down");
+  PA_REQUIRE_ARG(description.cores > 0, "unit needs cores");
+  const std::string unit_id = unit_ids_.next();
+  UnitRecord rec;
+  rec.description = description;
+  rec.times.submitted = runtime_.now();
+  if (metrics_.first_submit_time < 0.0) {
+    metrics_.first_submit_time = rec.times.submitted;
+  }
+  auto [uit, inserted] = units_.emplace(unit_id, std::move(rec));
+  PA_CHECK(inserted);
+  // Forward every transition of this unit to the service-level observers.
+  uit->second.sm.observe([this, unit_id](UnitState from, UnitState to) {
+    for (const auto& obs : unit_observers_) {
+      obs(unit_id, from, to);
+    }
+  });
+  uit->second.sm.transition(UnitState::kPending);
+  workload_.enqueue_unit(unit_id, description);
+  schedule_pass_locked();
+  return ComputeUnit(unit_id, this);
+}
+
+std::vector<ComputeUnit> PilotComputeService::submit_units(
+    const std::vector<ComputeUnitDescription>& descriptions) {
+  std::vector<ComputeUnit> out;
+  out.reserve(descriptions.size());
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  for (const auto& d : descriptions) {
+    out.push_back(submit_unit(d));
+  }
+  return out;
+}
+
+void PilotComputeService::schedule_pass_locked() {
+  const auto assignments = workload_.schedule_pass(runtime_.now(), data_);
+  for (const auto& a : assignments) {
+    dispatch_unit_locked(a.unit_id, a.pilot_id);
+  }
+}
+
+void PilotComputeService::dispatch_unit_locked(const std::string& unit_id,
+                                               const std::string& pilot_id) {
+  auto& unit = unit_record(unit_id);
+  unit.pilot_id = pilot_id;
+  unit.times.scheduled = runtime_.now();
+
+  const auto& pilot = pilot_record(pilot_id);
+  const bool needs_staging =
+      data_ != nullptr && !unit.description.input_data.empty();
+  if (!needs_staging) {
+    unit.sm.transition(UnitState::kScheduled);
+    execute_unit_locked(unit_id);
+    return;
+  }
+
+  unit.sm.transition(UnitState::kStagingIn);
+  // Counting barrier across all input data units.
+  auto remaining =
+      std::make_shared<std::size_t>(unit.description.input_data.size());
+  const std::string site = pilot.site;
+  for (const auto& du : unit.description.input_data) {
+    data_->stage_to_site(du, site, [this, unit_id, remaining]() {
+      std::lock_guard<std::recursive_mutex> lock(mutex_);
+      if (--*remaining > 0) {
+        return;
+      }
+      auto& u = unit_record(unit_id);
+      if (is_final(u.sm.state())) {
+        return;  // canceled/failed while staging
+      }
+      if (!workload_.has_pilot(u.pilot_id)) {
+        return;  // pilot died during staging; termination path requeued us
+      }
+      u.sm.transition(UnitState::kScheduled);
+      execute_unit_locked(unit_id);
+    });
+  }
+}
+
+void PilotComputeService::execute_unit_locked(const std::string& unit_id) {
+  auto& unit = unit_record(unit_id);
+  unit.sm.transition(UnitState::kRunning);
+  unit.times.started = runtime_.now();
+  // Tag the completion with the attempt number so a stale completion from
+  // a terminated pilot cannot be mistaken for a later re-run's.
+  const int attempt = unit.attempts;
+  runtime_.execute_unit(unit.pilot_id, unit.description, unit_id,
+                        [this, unit_id, attempt](bool success) {
+                          on_unit_done(unit_id, success, attempt);
+                        });
+}
+
+void PilotComputeService::on_unit_done(const std::string& unit_id,
+                                       bool success, int attempt) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  auto& unit = unit_record(unit_id);
+  if (attempt != unit.attempts) {
+    return;  // completion of a superseded attempt
+  }
+  if (is_final(unit.sm.state())) {
+    return;  // already finalized (e.g. pilot died and unit was failed)
+  }
+  if (unit.sm.state() != UnitState::kRunning) {
+    return;  // requeued after pilot failure; this completion is stale
+  }
+  workload_.unit_finished(unit_id);
+
+  UnitState final_state = UnitState::kFailed;
+  if (unit.cancel_requested) {
+    final_state = UnitState::kCanceled;
+  } else if (success) {
+    final_state = UnitState::kDone;
+  }
+  if (final_state == UnitState::kDone && data_ != nullptr) {
+    for (const auto& du : unit.description.output_data) {
+      const auto pit = pilots_.find(unit.pilot_id);
+      if (pit != pilots_.end()) {
+        data_->register_output(du, pit->second.site);
+      }
+    }
+  }
+  finalize_unit_locked(unit, unit_id, final_state);
+  schedule_pass_locked();
+}
+
+void PilotComputeService::finalize_unit_locked(UnitRecord& unit,
+                                               const std::string& unit_id,
+                                               UnitState final_state) {
+  unit.times.finished = runtime_.now();
+  unit.sm.try_transition(final_state);
+  metrics_.last_finish_time = unit.times.finished;
+  switch (final_state) {
+    case UnitState::kDone:
+      ++metrics_.units_done;
+      metrics_.unit_wait_times.add(unit.times.wait_time());
+      metrics_.unit_exec_times.add(unit.times.exec_time());
+      break;
+    case UnitState::kFailed:
+      ++metrics_.units_failed;
+      break;
+    case UnitState::kCanceled:
+      ++metrics_.units_canceled;
+      break;
+    default:
+      PA_CHECK_MSG(false, "finalize with non-final state for " << unit_id);
+  }
+}
+
+PilotState PilotComputeService::pilot_state(const std::string& pilot_id) const {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  return pilot_record(pilot_id).sm.state();
+}
+
+UnitState PilotComputeService::unit_state(const std::string& unit_id) const {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  return unit_record(unit_id).sm.state();
+}
+
+UnitTimes PilotComputeService::unit_times(const std::string& unit_id) const {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  return unit_record(unit_id).times;
+}
+
+void PilotComputeService::cancel_pilot(const std::string& pilot_id) {
+  {
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    auto& rec = pilot_record(pilot_id);
+    if (is_final(rec.sm.state())) {
+      return;
+    }
+  }
+  // Cancel outside the lock: the runtime may need to synchronize with
+  // worker threads that are themselves blocked on our mutex (LocalRuntime).
+  // The runtime reports termination through on_pilot_terminated.
+  runtime_.cancel_pilot(pilot_id);
+}
+
+void PilotComputeService::cancel_unit(const std::string& unit_id) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  auto& unit = unit_record(unit_id);
+  if (is_final(unit.sm.state())) {
+    return;
+  }
+  unit.cancel_requested = true;
+  if (workload_.remove_queued_unit(unit_id)) {
+    finalize_unit_locked(unit, unit_id, UnitState::kCanceled);
+  }
+  // Otherwise the unit is staging or running; it records CANCELED when its
+  // current attempt finishes (payloads are not forcibly interrupted).
+}
+
+void PilotComputeService::shutdown() {
+  std::vector<std::string> to_cancel;
+  {
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    if (shut_down_) {
+      return;
+    }
+    shut_down_ = true;
+    for (const auto& [id, rec] : pilots_) {
+      if (!is_final(rec.sm.state())) {
+        to_cancel.push_back(id);
+      }
+    }
+  }
+  for (const auto& id : to_cancel) {
+    runtime_.cancel_pilot(id);
+  }
+}
+
+std::size_t PilotComputeService::total_units() const {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  return units_.size();
+}
+
+std::size_t PilotComputeService::unfinished_units() const {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [id, rec] : units_) {
+    if (!is_final(rec.sm.state())) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+ServiceMetrics PilotComputeService::metrics() const {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  return metrics_;
+}
+
+void PilotComputeService::wait_all_units(double timeout_seconds) {
+  runtime_.drive_until([this]() { return unfinished_units() == 0; },
+                       timeout_seconds);
+}
+
+void PilotComputeService::wait_pilot_active(const std::string& pilot_id,
+                                            double timeout_seconds) {
+  runtime_.drive_until(
+      [this, &pilot_id]() {
+        const PilotState s = pilot_state(pilot_id);
+        if (s == PilotState::kFailed || s == PilotState::kCanceled) {
+          throw InvalidStateError("pilot " + pilot_id +
+                                  " terminated before becoming active");
+        }
+        return s == PilotState::kActive || s == PilotState::kDone;
+      },
+      timeout_seconds);
+}
+
+UnitState PilotComputeService::wait_unit(const std::string& unit_id,
+                                         double timeout_seconds) {
+  runtime_.drive_until(
+      [this, &unit_id]() { return is_final(unit_state(unit_id)); },
+      timeout_seconds);
+  return unit_state(unit_id);
+}
+
+}  // namespace pa::core

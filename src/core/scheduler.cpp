@@ -1,0 +1,250 @@
+#include "pa/core/scheduler.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "pa/common/error.h"
+
+namespace pa::core {
+
+namespace {
+
+/// Mutable capacity tracker over the pilot snapshot.
+struct Capacity {
+  explicit Capacity(const std::vector<PilotView>& pilots) : pilots_(pilots) {
+    free_.reserve(pilots.size());
+    for (const auto& p : pilots) {
+      free_.push_back(p.free_cores);
+    }
+  }
+
+  bool fits(std::size_t i, const UnitView& u) const {
+    return u.cores <= free_[i] &&
+           u.expected_duration <= pilots_[i].remaining_walltime &&
+           u.cores <= pilots_[i].total_cores;
+  }
+
+  void take(std::size_t i, const UnitView& u) {
+    free_[i] -= u.cores;
+    PA_CHECK_MSG(free_[i] >= 0, "scheduler oversubscribed pilot "
+                                    << pilots_[i].pilot_id);
+  }
+
+  const std::vector<PilotView>& pilots_;
+  std::vector<int> free_;
+};
+
+/// First pilot (by declaration order) that fits; returns npos if none.
+std::size_t first_fit(const Capacity& cap, const UnitView& u) {
+  for (std::size_t i = 0; i < cap.pilots_.size(); ++i) {
+    if (cap.fits(i, u)) {
+      return i;
+    }
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+constexpr auto kNone = static_cast<std::size_t>(-1);
+
+/// Honors a preferred_site hint when it fits; otherwise first fit.
+std::size_t preferred_or_first_fit(const Capacity& cap, const UnitView& u) {
+  if (!u.preferred_site.empty()) {
+    for (std::size_t i = 0; i < cap.pilots_.size(); ++i) {
+      if (cap.pilots_[i].site == u.preferred_site && cap.fits(i, u)) {
+        return i;
+      }
+    }
+  }
+  return first_fit(cap, u);
+}
+
+}  // namespace
+
+std::vector<Assignment> FifoScheduler::schedule(
+    const std::vector<UnitView>& queued, const std::vector<PilotView>& pilots) {
+  Capacity cap(pilots);
+  std::vector<Assignment> out;
+  for (const auto& u : queued) {
+    const std::size_t i = preferred_or_first_fit(cap, u);
+    if (i == kNone) {
+      break;  // strict FCFS: head-of-line blocking
+    }
+    cap.take(i, u);
+    out.push_back({u.unit_id, pilots[i].pilot_id});
+  }
+  return out;
+}
+
+std::vector<Assignment> BackfillScheduler::schedule(
+    const std::vector<UnitView>& queued, const std::vector<PilotView>& pilots) {
+  Capacity cap(pilots);
+  std::vector<Assignment> out;
+  for (const auto& u : queued) {
+    const std::size_t i = preferred_or_first_fit(cap, u);
+    if (i == kNone) {
+      continue;  // skip, try the next unit
+    }
+    cap.take(i, u);
+    out.push_back({u.unit_id, pilots[i].pilot_id});
+  }
+  return out;
+}
+
+std::vector<Assignment> RoundRobinScheduler::schedule(
+    const std::vector<UnitView>& queued, const std::vector<PilotView>& pilots) {
+  if (pilots.empty()) {
+    return {};
+  }
+  Capacity cap(pilots);
+  std::vector<Assignment> out;
+  for (const auto& u : queued) {
+    // Try pilots starting at the rotating cursor.
+    std::size_t chosen = kNone;
+    for (std::size_t k = 0; k < pilots.size(); ++k) {
+      const std::size_t i = (cursor_ + k) % pilots.size();
+      if (cap.fits(i, u)) {
+        chosen = i;
+        break;
+      }
+    }
+    if (chosen == kNone) {
+      continue;
+    }
+    cap.take(chosen, u);
+    out.push_back({u.unit_id, pilots[chosen].pilot_id});
+    cursor_ = (chosen + 1) % pilots.size();
+  }
+  return out;
+}
+
+std::vector<Assignment> DataAffinityScheduler::schedule(
+    const std::vector<UnitView>& queued, const std::vector<PilotView>& pilots) {
+  Capacity cap(pilots);
+  std::vector<Assignment> out;
+  for (const auto& u : queued) {
+    std::size_t best = kNone;
+    double best_local = -1.0;
+    for (std::size_t i = 0; i < pilots.size(); ++i) {
+      if (!cap.fits(i, u)) {
+        continue;
+      }
+      double local = 0.0;
+      const auto it = u.input_bytes_by_site.find(pilots[i].site);
+      if (it != u.input_bytes_by_site.end()) {
+        local = it->second;
+      }
+      // Tie-break towards emptier pilots to avoid convoying everything
+      // onto one allocation when data is replicated everywhere.
+      if (local > best_local ||
+          (local == best_local && best != kNone &&
+           cap.free_[i] > cap.free_[best])) {
+        best = i;
+        best_local = local;
+      }
+    }
+    if (best == kNone) {
+      continue;  // backfill behaviour for the rest of the queue
+    }
+    cap.take(best, u);
+    out.push_back({u.unit_id, pilots[best].pilot_id});
+  }
+  return out;
+}
+
+std::vector<Assignment> CostAwareScheduler::schedule(
+    const std::vector<UnitView>& queued, const std::vector<PilotView>& pilots) {
+  Capacity cap(pilots);
+  std::vector<Assignment> out;
+  for (const auto& u : queued) {
+    std::size_t best = kNone;
+    for (std::size_t i = 0; i < pilots.size(); ++i) {
+      if (!cap.fits(i, u)) {
+        continue;
+      }
+      if (best == kNone) {
+        best = i;
+        continue;
+      }
+      const auto& a = pilots[i];
+      const auto& b = pilots[best];
+      if (a.cost_per_core_hour < b.cost_per_core_hour ||
+          (a.cost_per_core_hour == b.cost_per_core_hour &&
+           a.priority > b.priority)) {
+        best = i;
+      }
+    }
+    if (best == kNone) {
+      continue;
+    }
+    cap.take(best, u);
+    out.push_back({u.unit_id, pilots[best].pilot_id});
+  }
+  return out;
+}
+
+std::vector<Assignment> LargestFirstScheduler::schedule(
+    const std::vector<UnitView>& queued, const std::vector<PilotView>& pilots) {
+  std::vector<UnitView> order = queued;
+  std::stable_sort(order.begin(), order.end(),
+                   [](const UnitView& a, const UnitView& b) {
+                     return a.cores > b.cores;
+                   });
+  Capacity cap(pilots);
+  std::vector<Assignment> out;
+  for (const auto& u : order) {
+    const std::size_t i = preferred_or_first_fit(cap, u);
+    if (i == kNone) {
+      continue;
+    }
+    cap.take(i, u);
+    out.push_back({u.unit_id, pilots[i].pilot_id});
+  }
+  return out;
+}
+
+std::vector<Assignment> ShortestFirstScheduler::schedule(
+    const std::vector<UnitView>& queued, const std::vector<PilotView>& pilots) {
+  std::vector<UnitView> order = queued;
+  std::stable_sort(order.begin(), order.end(),
+                   [](const UnitView& a, const UnitView& b) {
+                     return a.expected_duration < b.expected_duration;
+                   });
+  Capacity cap(pilots);
+  std::vector<Assignment> out;
+  for (const auto& u : order) {
+    const std::size_t i = preferred_or_first_fit(cap, u);
+    if (i == kNone) {
+      continue;
+    }
+    cap.take(i, u);
+    out.push_back({u.unit_id, pilots[i].pilot_id});
+  }
+  return out;
+}
+
+std::unique_ptr<Scheduler> make_scheduler(const std::string& policy) {
+  if (policy == "fifo") {
+    return std::make_unique<FifoScheduler>();
+  }
+  if (policy == "backfill") {
+    return std::make_unique<BackfillScheduler>();
+  }
+  if (policy == "round-robin") {
+    return std::make_unique<RoundRobinScheduler>();
+  }
+  if (policy == "data-affinity") {
+    return std::make_unique<DataAffinityScheduler>();
+  }
+  if (policy == "cost-aware") {
+    return std::make_unique<CostAwareScheduler>();
+  }
+  if (policy == "largest-first") {
+    return std::make_unique<LargestFirstScheduler>();
+  }
+  if (policy == "shortest-first") {
+    return std::make_unique<ShortestFirstScheduler>();
+  }
+  throw InvalidArgument("unknown scheduler policy: " + policy);
+}
+
+}  // namespace pa::core

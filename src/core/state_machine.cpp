@@ -1,0 +1,103 @@
+#include "pa/core/state_machine.h"
+
+namespace pa::core {
+
+const char* to_string(PilotState s) {
+  switch (s) {
+    case PilotState::kNew:
+      return "NEW";
+    case PilotState::kSubmitted:
+      return "SUBMITTED";
+    case PilotState::kActive:
+      return "ACTIVE";
+    case PilotState::kDone:
+      return "DONE";
+    case PilotState::kFailed:
+      return "FAILED";
+    case PilotState::kCanceled:
+      return "CANCELED";
+  }
+  return "?";
+}
+
+const char* to_string(UnitState s) {
+  switch (s) {
+    case UnitState::kNew:
+      return "NEW";
+    case UnitState::kPending:
+      return "PENDING";
+    case UnitState::kStagingIn:
+      return "STAGING_IN";
+    case UnitState::kScheduled:
+      return "SCHEDULED";
+    case UnitState::kRunning:
+      return "RUNNING";
+    case UnitState::kDone:
+      return "DONE";
+    case UnitState::kFailed:
+      return "FAILED";
+    case UnitState::kCanceled:
+      return "CANCELED";
+  }
+  return "?";
+}
+
+bool is_final(PilotState s) {
+  return s == PilotState::kDone || s == PilotState::kFailed ||
+         s == PilotState::kCanceled;
+}
+
+bool is_final(UnitState s) {
+  return s == UnitState::kDone || s == UnitState::kFailed ||
+         s == UnitState::kCanceled;
+}
+
+namespace detail {
+
+bool pilot_transition_allowed(PilotState from, PilotState to) {
+  if (is_final(from)) {
+    return false;  // final states are sticky
+  }
+  switch (from) {
+    case PilotState::kNew:
+      return to == PilotState::kSubmitted || to == PilotState::kCanceled ||
+             to == PilotState::kFailed;
+    case PilotState::kSubmitted:
+      return to == PilotState::kActive || to == PilotState::kCanceled ||
+             to == PilotState::kFailed;
+    case PilotState::kActive:
+      return to == PilotState::kDone || to == PilotState::kCanceled ||
+             to == PilotState::kFailed;
+    default:
+      return false;
+  }
+}
+
+bool unit_transition_allowed(UnitState from, UnitState to) {
+  if (is_final(from)) {
+    return false;
+  }
+  // Cancellation and failure are reachable from every non-final state.
+  if (to == UnitState::kCanceled || to == UnitState::kFailed) {
+    return true;
+  }
+  switch (from) {
+    case UnitState::kNew:
+      return to == UnitState::kPending;
+    case UnitState::kPending:
+      // Stage-in is optional: units without input data skip to scheduled.
+      return to == UnitState::kStagingIn || to == UnitState::kScheduled;
+    case UnitState::kStagingIn:
+      return to == UnitState::kScheduled;
+    case UnitState::kScheduled:
+      return to == UnitState::kRunning;
+    case UnitState::kRunning:
+      return to == UnitState::kDone;
+    default:
+      return false;
+  }
+}
+
+}  // namespace detail
+
+}  // namespace pa::core

@@ -1,0 +1,205 @@
+#include "pa/core/workload_manager.h"
+
+#include <algorithm>
+
+#include "pa/common/error.h"
+
+namespace pa::core {
+
+WorkloadManager::WorkloadManager(std::unique_ptr<Scheduler> scheduler)
+    : scheduler_(std::move(scheduler)) {
+  PA_REQUIRE_ARG(scheduler_ != nullptr, "null scheduler");
+}
+
+void WorkloadManager::add_pilot(const std::string& pilot_id,
+                                const std::string& site, int total_cores,
+                                int priority, double cost_per_core_hour,
+                                double walltime_end) {
+  PA_REQUIRE_ARG(total_cores > 0, "pilot without cores: " << pilot_id);
+  PA_REQUIRE_ARG(pilots_.find(pilot_id) == pilots_.end(),
+                 "pilot already registered: " << pilot_id);
+  PilotRecord rec;
+  rec.site = site;
+  rec.total_cores = total_cores;
+  rec.free_cores = total_cores;
+  rec.priority = priority;
+  rec.cost_per_core_hour = cost_per_core_hour;
+  rec.walltime_end = walltime_end;
+  pilots_.emplace(pilot_id, std::move(rec));
+  pilot_order_.push_back(pilot_id);
+}
+
+std::vector<std::string> WorkloadManager::remove_pilot(
+    const std::string& pilot_id) {
+  const auto it = pilots_.find(pilot_id);
+  if (it == pilots_.end()) {
+    return {};
+  }
+  pilots_.erase(it);
+  pilot_order_.erase(
+      std::remove(pilot_order_.begin(), pilot_order_.end(), pilot_id),
+      pilot_order_.end());
+  std::vector<std::string> orphans;
+  for (auto bit = bound_.begin(); bit != bound_.end();) {
+    if (bit->second.pilot_id == pilot_id) {
+      orphans.push_back(bit->first);
+      bit = bound_.erase(bit);
+    } else {
+      ++bit;
+    }
+  }
+  return orphans;
+}
+
+bool WorkloadManager::has_pilot(const std::string& pilot_id) const {
+  return pilots_.find(pilot_id) != pilots_.end();
+}
+
+WorkloadManager::QueuedUnit WorkloadManager::make_queued(
+    const std::string& unit_id, const ComputeUnitDescription& description) {
+  QueuedUnit q;
+  q.unit_id = unit_id;
+  q.cores = description.cores;
+  q.expected_duration = description.duration;
+  q.input_data = description.input_data;
+  q.preferred_site = description.attributes.get_string("preferred_site", "");
+  return q;
+}
+
+void WorkloadManager::enqueue_unit(const std::string& unit_id,
+                                   const ComputeUnitDescription& description) {
+  PA_REQUIRE_ARG(description.cores > 0, "unit needs cores: " << unit_id);
+  PA_REQUIRE_ARG(bound_.find(unit_id) == bound_.end(),
+                 "unit already bound: " << unit_id);
+  queue_.push_back(make_queued(unit_id, description));
+}
+
+void WorkloadManager::requeue_unit_front(
+    const std::string& unit_id, const ComputeUnitDescription& description) {
+  queue_.push_front(make_queued(unit_id, description));
+}
+
+bool WorkloadManager::remove_queued_unit(const std::string& unit_id) {
+  const auto it =
+      std::find_if(queue_.begin(), queue_.end(),
+                   [&](const QueuedUnit& q) { return q.unit_id == unit_id; });
+  if (it == queue_.end()) {
+    return false;
+  }
+  queue_.erase(it);
+  return true;
+}
+
+int WorkloadManager::free_cores(const std::string& pilot_id) const {
+  const auto it = pilots_.find(pilot_id);
+  if (it == pilots_.end()) {
+    throw NotFound("unknown pilot: " + pilot_id);
+  }
+  return it->second.free_cores;
+}
+
+int WorkloadManager::total_free_cores() const {
+  int total = 0;
+  for (const auto& [id, rec] : pilots_) {
+    total += rec.free_cores;
+  }
+  return total;
+}
+
+UnitView WorkloadManager::make_view(const QueuedUnit& unit,
+                                    const DataServiceInterface* data) const {
+  UnitView v;
+  v.unit_id = unit.unit_id;
+  v.cores = unit.cores;
+  v.expected_duration = unit.expected_duration;
+  v.preferred_site = unit.preferred_site;
+  if (data != nullptr && !unit.input_data.empty()) {
+    for (const auto& du : unit.input_data) {
+      v.total_input_bytes += data->total_bytes(du);
+      for (const auto& pid : pilot_order_) {
+        const auto& site = pilots_.at(pid).site;
+        const double local = data->bytes_on_site(du, site);
+        if (local > 0.0) {
+          v.input_bytes_by_site[site] += local;
+        }
+      }
+    }
+  }
+  return v;
+}
+
+std::vector<Assignment> WorkloadManager::schedule_pass(
+    double now, const DataServiceInterface* data) {
+  if (queue_.empty() || pilots_.empty()) {
+    return {};
+  }
+  std::vector<PilotView> pilot_views;
+  pilot_views.reserve(pilot_order_.size());
+  for (const auto& pid : pilot_order_) {
+    const auto& rec = pilots_.at(pid);
+    PilotView pv;
+    pv.pilot_id = pid;
+    pv.site = rec.site;
+    pv.total_cores = rec.total_cores;
+    pv.free_cores = rec.free_cores;
+    pv.priority = rec.priority;
+    pv.cost_per_core_hour = rec.cost_per_core_hour;
+    pv.remaining_walltime = rec.walltime_end - now;
+    pilot_views.push_back(std::move(pv));
+  }
+
+  std::vector<UnitView> unit_views;
+  unit_views.reserve(queue_.size());
+  for (const auto& q : queue_) {
+    unit_views.push_back(make_view(q, data));
+  }
+
+  std::vector<Assignment> proposed =
+      scheduler_->schedule(unit_views, pilot_views);
+
+  // Apply: validate capacity (defense against buggy strategies), reserve
+  // cores, move units from queue to bound.
+  std::vector<Assignment> accepted;
+  for (const auto& a : proposed) {
+    const auto pit = pilots_.find(a.pilot_id);
+    PA_CHECK_MSG(pit != pilots_.end(),
+                 "scheduler assigned to unknown pilot " << a.pilot_id);
+    const auto qit = std::find_if(
+        queue_.begin(), queue_.end(),
+        [&](const QueuedUnit& q) { return q.unit_id == a.unit_id; });
+    PA_CHECK_MSG(qit != queue_.end(),
+                 "scheduler assigned unknown/duplicate unit " << a.unit_id);
+    PA_CHECK_MSG(qit->cores <= pit->second.free_cores,
+                 "scheduler oversubscribed pilot " << a.pilot_id);
+    pit->second.free_cores -= qit->cores;
+    bound_.emplace(a.unit_id, BoundUnit{a.pilot_id, qit->cores});
+    queue_.erase(qit);
+    accepted.push_back(a);
+  }
+  return accepted;
+}
+
+void WorkloadManager::unit_finished(const std::string& unit_id) {
+  const auto it = bound_.find(unit_id);
+  if (it == bound_.end()) {
+    return;  // pilot already removed (termination race) — nothing to free
+  }
+  const auto pit = pilots_.find(it->second.pilot_id);
+  if (pit != pilots_.end()) {
+    pit->second.free_cores += it->second.cores;
+    PA_CHECK_MSG(pit->second.free_cores <= pit->second.total_cores,
+                 "core accounting corrupt on pilot " << it->second.pilot_id);
+  }
+  bound_.erase(it);
+}
+
+const std::string& WorkloadManager::bound_pilot(
+    const std::string& unit_id) const {
+  const auto it = bound_.find(unit_id);
+  if (it == bound_.end()) {
+    throw NotFound("unit not bound: " + unit_id);
+  }
+  return it->second.pilot_id;
+}
+
+}  // namespace pa::core

@@ -1,0 +1,321 @@
+#include "pa/data/pilot_data_service.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "pa/common/error.h"
+#include "pa/common/log.h"
+#include "pa/common/rng.h"
+
+namespace pa::data {
+
+PilotDataService::PilotDataService(infra::NetworkModel& network)
+    : network_(network) {}
+
+void PilotDataService::register_storage(
+    std::shared_ptr<infra::StorageSystem> storage) {
+  PA_REQUIRE_ARG(storage != nullptr, "null storage");
+  const std::string site = storage->site();
+  PA_REQUIRE_ARG(storages_.find(site) == storages_.end(),
+                 "storage already registered for site " << site);
+  storages_.emplace(site, std::move(storage));
+}
+
+std::string PilotDataService::add_data_pilot(const std::string& site,
+                                             double capacity_bytes) {
+  PA_REQUIRE_ARG(capacity_bytes > 0.0, "capacity must be positive");
+  const auto sit = storages_.find(site);
+  PA_REQUIRE_ARG(sit != storages_.end(),
+                 "no storage registered for site " << site);
+  PA_REQUIRE_ARG(data_pilots_.find(site) == data_pilots_.end(),
+                 "data-pilot already exists at " << site);
+  if (capacity_bytes > sit->second->free_bytes()) {
+    throw ResourceError("storage at " + site +
+                        " cannot back requested data-pilot capacity");
+  }
+  DataPilot dp;
+  dp.id = dp_ids_.next();
+  dp.site = site;
+  dp.capacity = capacity_bytes;
+  data_pilots_.emplace(site, dp);
+  return dp.id;
+}
+
+PilotDataService::DataPilot& PilotDataService::pilot_at(
+    const std::string& site) {
+  const auto it = data_pilots_.find(site);
+  if (it == data_pilots_.end()) {
+    throw NotFound("no data-pilot at site: " + site);
+  }
+  return it->second;
+}
+
+const PilotDataService::DataPilot& PilotDataService::pilot_at(
+    const std::string& site) const {
+  const auto it = data_pilots_.find(site);
+  if (it == data_pilots_.end()) {
+    throw NotFound("no data-pilot at site: " + site);
+  }
+  return it->second;
+}
+
+PilotDataService::DataUnit& PilotDataService::unit(const std::string& du_id) {
+  const auto it = units_.find(du_id);
+  if (it == units_.end()) {
+    throw NotFound("unknown data unit: " + du_id);
+  }
+  return it->second;
+}
+
+const PilotDataService::DataUnit& PilotDataService::unit(
+    const std::string& du_id) const {
+  const auto it = units_.find(du_id);
+  if (it == units_.end()) {
+    throw NotFound("unknown data unit: " + du_id);
+  }
+  return it->second;
+}
+
+void PilotDataService::add_replica(DataUnit& du, const std::string& site) {
+  if (du.replica_sites.count(site) > 0) {
+    return;
+  }
+  DataPilot& dp = pilot_at(site);
+  if (dp.used + du.bytes > dp.capacity) {
+    throw ResourceError("data-pilot at " + site + " is full (unit " + du.id +
+                        ")");
+  }
+  dp.used += du.bytes;
+  du.replica_sites.insert(site);
+  storages_.at(site)->create_file(du.id, du.bytes);
+}
+
+std::string PilotDataService::submit_data_unit(
+    const DataUnitDescription& description) {
+  PA_REQUIRE_ARG(description.bytes >= 0.0, "negative size");
+  DataUnit du;
+  du.id = du_ids_.next();
+  du.name = description.name;
+  du.bytes = description.bytes;
+  auto [it, inserted] = units_.emplace(du.id, std::move(du));
+  PA_CHECK(inserted);
+  add_replica(it->second, description.initial_site);
+  return it->first;
+}
+
+std::string PilotDataService::pick_source(const DataUnit& du,
+                                          const std::string& dst) const {
+  PA_CHECK_MSG(!du.replica_sites.empty(), "DU without replicas: " << du.id);
+  std::string best;
+  double best_t = std::numeric_limits<double>::infinity();
+  for (const auto& src : du.replica_sites) {
+    const double t = network_.estimate_seconds(src, dst, du.bytes);
+    if (t < best_t) {
+      best_t = t;
+      best = src;
+    }
+  }
+  return best;
+}
+
+void PilotDataService::replicate(const std::string& du_id,
+                                 const std::string& dst_site,
+                                 std::function<void()> done) {
+  DataUnit& du = unit(du_id);
+  if (du.replica_sites.count(dst_site) > 0) {
+    if (done) {
+      done();
+    }
+    return;
+  }
+  // Reserve destination capacity up front so concurrent placements cannot
+  // overshoot; the file itself appears on completion.
+  DataPilot& dp = pilot_at(dst_site);
+  auto& waiters = du.inflight[dst_site];
+  waiters.push_back(std::move(done));
+  if (waiters.size() > 1) {
+    return;  // a transfer to this site is already in flight
+  }
+  if (dp.used + du.bytes > dp.capacity) {
+    throw ResourceError("data-pilot at " + dst_site + " is full (unit " +
+                        du_id + ")");
+  }
+  dp.used += du.bytes;
+
+  const std::string src = pick_source(du, dst_site);
+  ++transfers_started_;
+  bytes_transferred_ += du.bytes;
+  PA_LOG(kDebug, "pilot-data") << "staging " << du_id << " " << src << " -> "
+                               << dst_site << " (" << du.bytes << " B)";
+  network_.transfer(src, dst_site, du.bytes, [this, du_id, dst_site]() {
+    DataUnit& u = unit(du_id);
+    u.replica_sites.insert(dst_site);
+    storages_.at(dst_site)->create_file(u.id, u.bytes);
+    if (!network_.transfer_times().empty()) {
+      staging_times_.add(network_.transfer_times().values().back());
+    }
+    auto node = u.inflight.extract(dst_site);
+    if (!node.empty()) {
+      for (auto& cb : node.mapped()) {
+        if (cb) {
+          cb();
+        }
+      }
+    }
+  });
+}
+
+void PilotDataService::remove_replica(const std::string& du_id,
+                                      const std::string& site) {
+  DataUnit& du = unit(du_id);
+  PA_REQUIRE_ARG(du.replica_sites.count(site) > 0,
+                 "no replica of " << du_id << " at " << site);
+  PA_REQUIRE_ARG(du.replica_sites.size() > 1,
+                 "refusing to remove the last replica of " << du_id);
+  du.replica_sites.erase(site);
+  pilot_at(site).used -= du.bytes;
+  storages_.at(site)->delete_file(du.id);
+}
+
+std::size_t PilotDataService::ensure_replication(const std::string& du_id,
+                                                 int replicas,
+                                                 std::function<void()> done) {
+  PA_REQUIRE_ARG(replicas >= 1, "replicas must be >= 1");
+  DataUnit& du = unit(du_id);
+  if (static_cast<int>(data_pilots_.size()) < replicas) {
+    throw ResourceError("cannot hold " + std::to_string(replicas) +
+                        " replicas of " + du_id + ": only " +
+                        std::to_string(data_pilots_.size()) +
+                        " data-pilot sites exist");
+  }
+  const int missing = replicas - static_cast<int>(du.replica_sites.size());
+  if (missing <= 0) {
+    if (done) {
+      done();
+    }
+    return 0;
+  }
+
+  // Candidate sites without a replica, most free capacity first.
+  std::vector<const DataPilot*> candidates;
+  for (const auto& [site, dp] : data_pilots_) {
+    if (du.replica_sites.count(site) == 0) {
+      candidates.push_back(&dp);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const DataPilot* a, const DataPilot* b) {
+              return (a->capacity - a->used) > (b->capacity - b->used);
+            });
+  PA_CHECK(static_cast<int>(candidates.size()) >= missing);
+
+  auto remaining = std::make_shared<int>(missing);
+  auto barrier = [remaining, done = std::move(done)]() {
+    if (--*remaining == 0 && done) {
+      done();
+    }
+  };
+  std::size_t started = 0;
+  for (int i = 0; i < missing; ++i) {
+    replicate(du_id, candidates[static_cast<std::size_t>(i)]->site, barrier);
+    ++started;
+  }
+  return started;
+}
+
+std::size_t PilotDataService::replica_count(const std::string& du_id) const {
+  return unit(du_id).replica_sites.size();
+}
+
+std::vector<std::string> PilotDataService::place_replicas(
+    const std::vector<std::string>& du_ids, PlacementPolicy policy,
+    std::uint64_t seed) {
+  PA_REQUIRE_ARG(!data_pilots_.empty(), "no data-pilots registered");
+  std::vector<std::string> sites;
+  sites.reserve(data_pilots_.size());
+  for (const auto& [site, dp] : data_pilots_) {
+    sites.push_back(site);
+  }
+  pa::Rng rng(seed);
+  std::vector<std::string> chosen;
+  chosen.reserve(du_ids.size());
+  std::size_t cursor = 0;
+  for (const auto& du_id : du_ids) {
+    std::string dst;
+    switch (policy) {
+      case PlacementPolicy::kRandom:
+        dst = sites[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(sites.size()) - 1))];
+        break;
+      case PlacementPolicy::kRoundRobin:
+        dst = sites[cursor++ % sites.size()];
+        break;
+      case PlacementPolicy::kLeastLoaded: {
+        double best_free = -1.0;
+        for (const auto& s : sites) {
+          const DataPilot& dp = pilot_at(s);
+          const double free = dp.capacity - dp.used;
+          if (free > best_free) {
+            best_free = free;
+            dst = s;
+          }
+        }
+        break;
+      }
+    }
+    replicate(du_id, dst, nullptr);
+    chosen.push_back(dst);
+  }
+  return chosen;
+}
+
+double PilotDataService::bytes_on_site(const std::string& du_id,
+                                       const std::string& site) const {
+  const DataUnit& du = unit(du_id);
+  return du.replica_sites.count(site) > 0 ? du.bytes : 0.0;
+}
+
+double PilotDataService::total_bytes(const std::string& du_id) const {
+  return unit(du_id).bytes;
+}
+
+void PilotDataService::stage_to_site(const std::string& du_id,
+                                     const std::string& site,
+                                     std::function<void()> done) {
+  replicate(du_id, site, std::move(done));
+}
+
+void PilotDataService::register_output(const std::string& du_id,
+                                       const std::string& site) {
+  const auto it = units_.find(du_id);
+  if (it == units_.end()) {
+    // Output DU declared by name only: create a zero-byte placeholder the
+    // application can size later; common for marker outputs.
+    DataUnit du;
+    du.id = du_id;
+    du.bytes = 0.0;
+    auto [nit, inserted] = units_.emplace(du_id, std::move(du));
+    PA_CHECK(inserted);
+    add_replica(nit->second, site);
+    return;
+  }
+  add_replica(it->second, site);
+}
+
+DataUnitState PilotDataService::state(const std::string& du_id) const {
+  return unit(du_id).replica_sites.empty() ? DataUnitState::kPending
+                                           : DataUnitState::kResident;
+}
+
+std::vector<std::string> PilotDataService::replica_sites(
+    const std::string& du_id) const {
+  const DataUnit& du = unit(du_id);
+  return {du.replica_sites.begin(), du.replica_sites.end()};
+}
+
+double PilotDataService::data_pilot_free_bytes(const std::string& site) const {
+  const DataPilot& dp = pilot_at(site);
+  return dp.capacity - dp.used;
+}
+
+}  // namespace pa::data

@@ -1,0 +1,146 @@
+#include "pa/engines/dataflow.h"
+
+#include <algorithm>
+
+#include "pa/common/error.h"
+#include "pa/common/time_utils.h"
+
+namespace pa::engines {
+
+DataflowGraph::DataflowGraph(mem::InMemoryStore& store) : store_(store) {}
+
+void DataflowGraph::add_stage(const std::string& name, int parallelism,
+                              StageBody body,
+                              const std::vector<std::string>& dependencies) {
+  PA_REQUIRE_ARG(!name.empty(), "stage needs a name");
+  PA_REQUIRE_ARG(parallelism >= 1, "stage parallelism must be >= 1");
+  PA_REQUIRE_ARG(static_cast<bool>(body), "stage needs a body");
+  PA_REQUIRE_ARG(stages_.find(name) == stages_.end(),
+                 "duplicate stage: " << name);
+  Stage stage;
+  stage.name = name;
+  stage.parallelism = parallelism;
+  stage.body = std::move(body);
+  stage.order = next_order_++;
+  for (const auto& dep : dependencies) {
+    PA_REQUIRE_ARG(stages_.find(dep) != stages_.end(),
+                   "unknown dependency '" << dep << "' of stage " << name);
+    stage.deps.insert(dep);
+  }
+  stages_.emplace(name, std::move(stage));
+}
+
+std::vector<std::string> DataflowGraph::topological_order() const {
+  // Kahn's algorithm with (level, insertion order) tie-breaking for a
+  // deterministic plan.
+  std::map<std::string, std::size_t> indegree;
+  std::map<std::string, std::vector<std::string>> dependents;
+  for (const auto& [name, stage] : stages_) {
+    indegree[name] = stage.deps.size();
+    for (const auto& dep : stage.deps) {
+      dependents[dep].push_back(name);
+    }
+  }
+  std::vector<std::string> ready;
+  for (const auto& [name, deg] : indegree) {
+    if (deg == 0) {
+      ready.push_back(name);
+    }
+  }
+  auto by_order = [this](const std::string& a, const std::string& b) {
+    return stages_.at(a).order < stages_.at(b).order;
+  };
+  std::sort(ready.begin(), ready.end(), by_order);
+
+  std::vector<std::string> out;
+  while (!ready.empty()) {
+    const std::string name = ready.front();
+    ready.erase(ready.begin());
+    out.push_back(name);
+    auto dit = dependents.find(name);
+    if (dit == dependents.end()) {
+      continue;
+    }
+    for (const auto& dep : dit->second) {
+      if (--indegree[dep] == 0) {
+        ready.insert(std::upper_bound(ready.begin(), ready.end(), dep,
+                                      by_order),
+                     dep);
+      }
+    }
+  }
+  PA_CHECK_MSG(out.size() == stages_.size(), "cycle in dataflow graph");
+  return out;
+}
+
+DataflowResult DataflowGraph::run(core::PilotComputeService& service,
+                                  double timeout_seconds) {
+  const pa::Stopwatch total_clock;
+  DataflowResult result;
+
+  // Wavefront execution: submit every stage whose deps completed; a stage's
+  // units all finish before it is marked complete. Independent stages in
+  // the same wave share the pilot concurrently.
+  std::set<std::string> completed;
+  std::set<std::string> submitted;
+  std::map<std::string, std::vector<core::ComputeUnit>> inflight;
+  std::map<std::string, pa::Stopwatch> stage_clocks;
+
+  while (completed.size() < stages_.size()) {
+    // Submit newly-runnable stages (deterministic order).
+    for (const auto& name : topological_order()) {
+      if (submitted.count(name) > 0) {
+        continue;
+      }
+      const Stage& stage = stages_.at(name);
+      const bool runnable = std::all_of(
+          stage.deps.begin(), stage.deps.end(),
+          [&](const std::string& d) { return completed.count(d) > 0; });
+      if (!runnable) {
+        continue;
+      }
+      submitted.insert(name);
+      stage_clocks.emplace(name, pa::Stopwatch());
+      auto& units = inflight[name];
+      units.reserve(static_cast<std::size_t>(stage.parallelism));
+      for (int t = 0; t < stage.parallelism; ++t) {
+        core::ComputeUnitDescription d;
+        d.name = name + "-" + std::to_string(t);
+        d.cores = 1;
+        d.work = [this, &stage, t]() {
+          StageContext ctx;
+          ctx.task_index = t;
+          ctx.parallelism = stage.parallelism;
+          ctx.store = &store_;
+          stage.body(ctx);
+        };
+        units.push_back(service.submit_unit(d));
+      }
+    }
+
+    PA_CHECK_MSG(!inflight.empty(), "dataflow stalled with stages remaining");
+
+    // Wait for the oldest in-flight stage to finish (simple and correct;
+    // other stages continue running meanwhile).
+    const std::string name = inflight.begin()->first;
+    for (auto& unit : inflight.begin()->second) {
+      const core::UnitState s = unit.wait(timeout_seconds);
+      if (s != core::UnitState::kDone) {
+        throw Error("dataflow stage " + name + " unit " + unit.id() +
+                    " ended in state " + std::string(core::to_string(s)));
+      }
+    }
+    StageResult sr;
+    sr.name = name;
+    sr.seconds = stage_clocks.at(name).elapsed();
+    sr.tasks = stages_.at(name).parallelism;
+    result.stages.push_back(sr);
+    completed.insert(name);
+    inflight.erase(inflight.begin());
+  }
+
+  result.total_seconds = total_clock.elapsed();
+  return result;
+}
+
+}  // namespace pa::engines

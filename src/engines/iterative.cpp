@@ -1,0 +1,135 @@
+#include "pa/engines/iterative.h"
+
+#include <atomic>
+#include <mutex>
+
+#include "pa/common/error.h"
+#include "pa/common/time_utils.h"
+
+namespace pa::engines {
+
+KMeansEngine::KMeansEngine(core::PilotComputeService& service,
+                           mem::InMemoryStore& store)
+    : service_(service), store_(store) {}
+
+void KMeansEngine::load_dataset(const std::string& dataset,
+                                const PointBlock& block, int partitions) {
+  PA_REQUIRE_ARG(partitions > 0, "need partitions");
+  PA_REQUIRE_ARG(block.count() >= static_cast<std::size_t>(partitions),
+                 "fewer points than partitions");
+  PA_REQUIRE_ARG(datasets_.find(dataset) == datasets_.end(),
+                 "dataset exists: " << dataset);
+  PartitionSet set;
+  set.dim = block.dim;
+  set.total_points = block.count();
+  const std::size_t n = block.count();
+  const auto p = static_cast<std::size_t>(partitions);
+  for (std::size_t i = 0; i < p; ++i) {
+    const std::size_t begin = n * i / p;
+    const std::size_t end = n * (i + 1) / p;
+    PointBlock part;
+    part.dim = block.dim;
+    part.values.assign(block.values.begin() + static_cast<long>(begin * block.dim),
+                       block.values.begin() + static_cast<long>(end * block.dim));
+    set.serialized.push_back(serialize_points(part));
+  }
+  datasets_.emplace(dataset, std::move(set));
+}
+
+KMeansJobResult KMeansEngine::run(const std::string& dataset,
+                                  const KMeansJobConfig& config) {
+  const auto dit = datasets_.find(dataset);
+  if (dit == datasets_.end()) {
+    throw NotFound("unknown dataset: " + dataset);
+  }
+  const PartitionSet& set = dit->second;
+  const int partitions = static_cast<int>(set.serialized.size());
+  PA_REQUIRE_ARG(config.partitions <= 0 || config.partitions == partitions,
+                 "config partitions disagree with loaded dataset");
+
+  const pa::Stopwatch total_clock;
+  KMeansJobResult result;
+
+  // Initial centroids from the first partition (deterministic).
+  {
+    const PointBlock first = deserialize_points(set.serialized.front());
+    result.centroids = initial_centroids(first, config.k);
+  }
+
+  auto load_seconds = std::make_shared<std::atomic<double>>(0.0);
+  auto add_load_time = [load_seconds](double dt) {
+    double cur = load_seconds->load();
+    while (!load_seconds->compare_exchange_weak(cur, cur + dt)) {
+    }
+  };
+
+  for (int iter = 0; iter < config.max_iterations; ++iter) {
+    const pa::Stopwatch iter_clock;
+    auto partials_mutex = std::make_shared<std::mutex>();
+    auto merged = std::make_shared<KMeansPartial>(config.k, set.dim);
+    const Centroids centroids = result.centroids;  // broadcast copy
+
+    std::vector<core::ComputeUnit> units;
+    units.reserve(static_cast<std::size_t>(partitions));
+    for (int p = 0; p < partitions; ++p) {
+      core::ComputeUnitDescription d;
+      d.name = dataset + "-iter" + std::to_string(iter) + "-part" +
+               std::to_string(p);
+      d.cores = 1;
+      d.work = [this, &set, p, centroids, merged, partials_mutex, config,
+                dataset, add_load_time]() {
+        std::shared_ptr<const PointBlock> block;
+        const std::string key = dataset + "/part-" + std::to_string(p);
+        auto load_partition = [&]() {
+          const pa::Stopwatch load_clock;
+          const std::string& bytes =
+              set.serialized[static_cast<std::size_t>(p)];
+          if (config.reload_bandwidth_bytes_per_s > 0.0) {
+            // Occupy the core like a blocking storage read would.
+            pa::burn_cpu(static_cast<double>(bytes.size()) /
+                         config.reload_bandwidth_bytes_per_s);
+          }
+          PointBlock b = deserialize_points(bytes);
+          add_load_time(load_clock.elapsed());
+          return b;
+        };
+        if (config.use_cache) {
+          block = store_.get_or_load<PointBlock>(key, [&]() {
+            PointBlock b = load_partition();
+            const double footprint =
+                static_cast<double>(b.values.size() * sizeof(double));
+            return std::make_pair(std::move(b), footprint);
+          });
+        } else {
+          block = std::make_shared<PointBlock>(load_partition());
+        }
+        KMeansPartial partial = kmeans_assign(*block, centroids);
+        std::lock_guard<std::mutex> lock(*partials_mutex);
+        merged->merge(partial);
+      };
+      units.push_back(service_.submit_unit(d));
+    }
+    for (auto& unit : units) {
+      const core::UnitState s = unit.wait(config.timeout_seconds);
+      if (s != core::UnitState::kDone) {
+        throw Error("kmeans unit " + unit.id() + " ended in state " +
+                    std::string(core::to_string(s)));
+      }
+    }
+
+    const Centroids next = kmeans_update(*merged, result.centroids);
+    const double shift = centroid_shift(next, result.centroids);
+    result.centroids = next;
+    result.inertia = merged->inertia;
+    result.iterations = iter + 1;
+    result.iteration_seconds.push_back(iter_clock.elapsed());
+    if (shift < config.tolerance) {
+      break;
+    }
+  }
+  result.load_seconds = load_seconds->load();
+  result.total_seconds = total_clock.elapsed();
+  return result;
+}
+
+}  // namespace pa::engines

@@ -1,0 +1,191 @@
+#include "pa/engines/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "pa/common/error.h"
+#include "pa/common/rng.h"
+
+namespace pa::engines {
+
+void KMeansPartial::merge(const KMeansPartial& other) {
+  PA_REQUIRE_ARG(k == other.k && dim == other.dim,
+                 "merging incompatible partials");
+  for (std::size_t i = 0; i < sums.size(); ++i) {
+    sums[i] += other.sums[i];
+  }
+  for (std::size_t c = 0; c < k; ++c) {
+    counts[c] += other.counts[c];
+  }
+  inertia += other.inertia;
+}
+
+KMeansPartial kmeans_assign(const PointBlock& block,
+                            const Centroids& centroids) {
+  PA_REQUIRE_ARG(block.dim == centroids.dim, "dimension mismatch");
+  KMeansPartial partial(centroids.k, centroids.dim);
+  const std::size_t n = block.count();
+  const std::size_t dim = block.dim;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* p = block.point(i);
+    double best = std::numeric_limits<double>::max();
+    std::size_t best_c = 0;
+    for (std::size_t c = 0; c < centroids.k; ++c) {
+      const double* q = centroids.centroid(c);
+      double d2 = 0.0;
+      for (std::size_t j = 0; j < dim; ++j) {
+        const double diff = p[j] - q[j];
+        d2 += diff * diff;
+      }
+      if (d2 < best) {
+        best = d2;
+        best_c = c;
+      }
+    }
+    double* sum = partial.sums.data() + best_c * dim;
+    for (std::size_t j = 0; j < dim; ++j) {
+      sum[j] += p[j];
+    }
+    partial.counts[best_c] += 1;
+    partial.inertia += best;
+  }
+  return partial;
+}
+
+Centroids kmeans_update(const KMeansPartial& merged,
+                        const Centroids& previous) {
+  PA_REQUIRE_ARG(merged.k == previous.k && merged.dim == previous.dim,
+                 "update with incompatible partial");
+  Centroids next;
+  next.k = previous.k;
+  next.dim = previous.dim;
+  next.values.resize(previous.values.size());
+  for (std::size_t c = 0; c < merged.k; ++c) {
+    if (merged.counts[c] == 0) {
+      std::copy_n(previous.centroid(c), previous.dim,
+                  next.values.begin() + static_cast<long>(c * next.dim));
+      continue;
+    }
+    const double inv = 1.0 / static_cast<double>(merged.counts[c]);
+    for (std::size_t j = 0; j < merged.dim; ++j) {
+      next.values[c * next.dim + j] = merged.sums[c * merged.dim + j] * inv;
+    }
+  }
+  return next;
+}
+
+double centroid_shift(const Centroids& a, const Centroids& b) {
+  PA_REQUIRE_ARG(a.k == b.k && a.dim == b.dim, "shift of incompatible sets");
+  double max_shift = 0.0;
+  for (std::size_t c = 0; c < a.k; ++c) {
+    double d2 = 0.0;
+    for (std::size_t j = 0; j < a.dim; ++j) {
+      const double diff = a.values[c * a.dim + j] - b.values[c * b.dim + j];
+      d2 += diff * diff;
+    }
+    max_shift = std::max(max_shift, std::sqrt(d2));
+  }
+  return max_shift;
+}
+
+PointBlock generate_clustered_points(std::size_t n, std::size_t k,
+                                     std::size_t dim, std::uint64_t seed,
+                                     double separation) {
+  PA_REQUIRE_ARG(n > 0 && k > 0 && dim > 0, "bad generator parameters");
+  pa::Rng rng(seed);
+  // Cluster centers on a scaled random lattice so distances are ~separation.
+  std::vector<double> centers(k * dim);
+  for (std::size_t c = 0; c < k; ++c) {
+    for (std::size_t j = 0; j < dim; ++j) {
+      centers[c * dim + j] =
+          static_cast<double>(c) * separation + rng.normal(0.0, 0.5);
+    }
+  }
+  PointBlock block;
+  block.dim = dim;
+  block.values.resize(n * dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t c = i % k;  // balanced clusters
+    for (std::size_t j = 0; j < dim; ++j) {
+      block.values[i * dim + j] = centers[c * dim + j] + rng.normal(0.0, 1.0);
+    }
+  }
+  return block;
+}
+
+Centroids initial_centroids(const PointBlock& block, std::size_t k) {
+  PA_REQUIRE_ARG(k > 0 && block.count() >= k,
+                 "need at least k points for initialization");
+  Centroids c;
+  c.k = k;
+  c.dim = block.dim;
+  c.values.resize(k * block.dim);
+  // Spread the seed points with a stride, plus an offset of i so that data
+  // laid out round-robin by cluster (index % k) still yields one seed per
+  // cluster (a bare multiple-of-stride index pattern would alias).
+  const std::size_t stride = block.count() / k;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t offset = std::min(i, stride - 1);
+    const std::size_t idx = std::min(i * stride + offset, block.count() - 1);
+    std::copy_n(block.point(idx), block.dim,
+                c.values.begin() + static_cast<long>(i * block.dim));
+  }
+  return c;
+}
+
+std::string serialize_points(const PointBlock& block) {
+  std::string out;
+  const std::uint64_t dim = block.dim;
+  const std::uint64_t count = block.count();
+  out.resize(2 * sizeof(std::uint64_t) + block.values.size() * sizeof(double));
+  char* p = out.data();
+  std::memcpy(p, &dim, sizeof(dim));
+  p += sizeof(dim);
+  std::memcpy(p, &count, sizeof(count));
+  p += sizeof(count);
+  std::memcpy(p, block.values.data(), block.values.size() * sizeof(double));
+  return out;
+}
+
+PointBlock deserialize_points(const std::string& bytes) {
+  PA_REQUIRE_ARG(bytes.size() >= 2 * sizeof(std::uint64_t),
+                 "truncated point block");
+  std::uint64_t dim = 0;
+  std::uint64_t count = 0;
+  const char* p = bytes.data();
+  std::memcpy(&dim, p, sizeof(dim));
+  p += sizeof(dim);
+  std::memcpy(&count, p, sizeof(count));
+  p += sizeof(count);
+  PointBlock block;
+  block.dim = static_cast<std::size_t>(dim);
+  const std::size_t values = static_cast<std::size_t>(dim * count);
+  PA_REQUIRE_ARG(
+      bytes.size() == 2 * sizeof(std::uint64_t) + values * sizeof(double),
+      "corrupt point block");
+  block.values.resize(values);
+  std::memcpy(block.values.data(), p, values * sizeof(double));
+  return block;
+}
+
+KMeansReferenceResult kmeans_reference(const PointBlock& block, std::size_t k,
+                                       int max_iterations, double tolerance) {
+  KMeansReferenceResult result;
+  result.centroids = initial_centroids(block, k);
+  for (int it = 0; it < max_iterations; ++it) {
+    const KMeansPartial partial = kmeans_assign(block, result.centroids);
+    const Centroids next = kmeans_update(partial, result.centroids);
+    const double shift = centroid_shift(next, result.centroids);
+    result.centroids = next;
+    result.inertia = partial.inertia;
+    result.iterations = it + 1;
+    if (shift < tolerance) {
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace pa::engines

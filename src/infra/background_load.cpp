@@ -1,0 +1,87 @@
+#include "pa/infra/background_load.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pa::infra {
+
+BackgroundLoad::BackgroundLoad(sim::Engine& engine, ResourceManager& target,
+                               BackgroundLoadConfig config)
+    : engine_(engine),
+      target_(target),
+      config_(std::move(config)),
+      rng_(config_.seed) {
+  PA_REQUIRE_ARG(config_.mean_interarrival > 0.0,
+                 "interarrival must be positive");
+}
+
+BackgroundLoad::~BackgroundLoad() { stop(); }
+
+void BackgroundLoad::start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  arm_next();
+}
+
+void BackgroundLoad::stop() {
+  if (!running_) {
+    return;
+  }
+  running_ = false;
+  if (pending_ != 0) {
+    engine_.cancel(pending_);
+    pending_ = 0;
+  }
+}
+
+void BackgroundLoad::arm_next() {
+  const double dt = rng_.exponential(1.0 / config_.mean_interarrival);
+  pending_ = engine_.schedule(dt, [this]() {
+    pending_ = 0;
+    if (!running_) {
+      return;
+    }
+    submit_one();
+    arm_next();
+  });
+}
+
+void BackgroundLoad::submit_one() {
+  JobRequest req;
+  req.name = "bg-" + std::to_string(submitted_);
+  // Background jobs come from a community of ~50 distinct users, so
+  // per-owner limits bite individual users without throttling the load.
+  req.owner = "bg-user-" + std::to_string(submitted_ % 50);
+  const double raw_nodes =
+      rng_.lognormal(config_.nodes_mu, config_.nodes_sigma);
+  req.num_nodes = std::clamp(static_cast<int>(std::lround(raw_nodes)), 1,
+                             config_.max_nodes);
+  req.duration = rng_.lognormal(config_.runtime_mu, config_.runtime_sigma);
+  req.walltime_limit = req.duration * config_.walltime_factor;
+  target_.submit(std::move(req));
+  ++submitted_;
+}
+
+BackgroundLoadConfig BackgroundLoad::for_utilization(double utilization,
+                                                     int total_nodes,
+                                                     std::uint64_t seed) {
+  PA_REQUIRE_ARG(utilization > 0.0 && utilization < 1.0,
+                 "utilization must be in (0, 1): " << utilization);
+  PA_REQUIRE_ARG(total_nodes > 0, "total_nodes must be positive");
+  BackgroundLoadConfig cfg;
+  cfg.seed = seed;
+  cfg.max_nodes = std::max(1, total_nodes / 2);
+  // Offered load = E[nodes] * E[runtime] / interarrival.
+  const double mean_nodes = std::min<double>(
+      cfg.max_nodes, std::exp(cfg.nodes_mu + 0.5 * cfg.nodes_sigma *
+                                                  cfg.nodes_sigma));
+  const double mean_runtime =
+      std::exp(cfg.runtime_mu + 0.5 * cfg.runtime_sigma * cfg.runtime_sigma);
+  cfg.mean_interarrival = mean_nodes * mean_runtime /
+                          (utilization * static_cast<double>(total_nodes));
+  return cfg;
+}
+
+}  // namespace pa::infra

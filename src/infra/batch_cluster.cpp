@@ -1,0 +1,405 @@
+#include "pa/infra/batch_cluster.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pa/common/log.h"
+
+namespace pa::infra {
+
+BatchCluster::BatchCluster(sim::Engine& engine, BatchClusterConfig config)
+    : engine_(engine), config_(std::move(config)) {
+  PA_REQUIRE_ARG(config_.num_nodes > 0, "cluster needs nodes");
+  PA_REQUIRE_ARG(config_.node.cores > 0, "nodes need cores");
+  for (int i = 0; i < config_.num_nodes; ++i) {
+    free_node_ids_.insert(i);
+  }
+}
+
+std::string BatchCluster::next_job_id() {
+  return config_.name + ".job-" + std::to_string(next_id_++);
+}
+
+std::string BatchCluster::submit(JobRequest request) {
+  PA_REQUIRE_ARG(request.num_nodes > 0, "job must request nodes");
+  PA_REQUIRE_ARG(request.num_nodes <= config_.num_nodes,
+                 "job requests " << request.num_nodes << " nodes, site has "
+                                 << config_.num_nodes);
+  PA_REQUIRE_ARG(request.walltime_limit > 0.0, "walltime must be positive");
+  request.walltime_limit =
+      std::min(request.walltime_limit, config_.max_walltime);
+
+  QueuedJob job;
+  job.id = next_job_id();
+  job.request = std::move(request);
+  job.submit_time = engine_.now();
+  states_[job.id] = JobState::kQueued;
+  queue_.push_back(std::move(job));
+  PA_LOG(kDebug, "batch") << config_.name << " queued "
+                          << queue_.back().id;
+  const std::string id = queue_.back().id;
+  request_schedule_pass();
+  return id;
+}
+
+void BatchCluster::cancel(const std::string& job_id) {
+  const auto sit = states_.find(job_id);
+  if (sit == states_.end()) {
+    throw NotFound("unknown job: " + job_id);
+  }
+  switch (sit->second) {
+    case JobState::kQueued: {
+      const auto it =
+          std::find_if(queue_.begin(), queue_.end(),
+                       [&](const QueuedJob& j) { return j.id == job_id; });
+      PA_CHECK(it != queue_.end());
+      JobRequest req = std::move(it->request);
+      queue_.erase(it);
+      sit->second = JobState::kCanceled;
+      if (req.on_stopped) {
+        engine_.schedule(0.0, [cb = std::move(req.on_stopped), job_id]() {
+          cb(job_id, StopReason::kCanceled);
+        });
+      }
+      // Cancelling a queued job may unblock the head reservation.
+      request_schedule_pass();
+      break;
+    }
+    case JobState::kRunning:
+      stop_job(job_id, StopReason::kCanceled);
+      break;
+    default:
+      break;  // already final — idempotent
+  }
+}
+
+JobState BatchCluster::job_state(const std::string& job_id) const {
+  const auto it = states_.find(job_id);
+  if (it == states_.end()) {
+    throw NotFound("unknown job: " + job_id);
+  }
+  return it->second;
+}
+
+void BatchCluster::account_busy(double until) {
+  busy_node_seconds_ +=
+      static_cast<double>(busy_nodes_) * (until - last_account_time_);
+  last_account_time_ = until;
+}
+
+double BatchCluster::busy_node_seconds() const {
+  return busy_node_seconds_ + static_cast<double>(busy_nodes_) *
+                                  (engine_.now() - last_account_time_);
+}
+
+double BatchCluster::utilization() const {
+  const double t = engine_.now();
+  if (t <= 0.0) {
+    return 0.0;
+  }
+  return busy_node_seconds() / (static_cast<double>(config_.num_nodes) * t);
+}
+
+std::vector<int> BatchCluster::take_nodes(int count) {
+  PA_CHECK_MSG(static_cast<int>(free_node_ids_.size()) >= count,
+               "taking " << count << " nodes but only "
+                         << free_node_ids_.size() << " free");
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(count));
+  auto it = free_node_ids_.begin();
+  for (int i = 0; i < count; ++i) {
+    out.push_back(*it);
+    it = free_node_ids_.erase(it);
+  }
+  account_busy(engine_.now());
+  busy_nodes_ += count;
+  return out;
+}
+
+void BatchCluster::release_nodes(const std::vector<int>& nodes) {
+  account_busy(engine_.now());
+  busy_nodes_ -= static_cast<int>(nodes.size());
+  PA_CHECK(busy_nodes_ >= 0);
+  for (int n : nodes) {
+    const bool inserted = free_node_ids_.insert(n).second;
+    PA_CHECK_MSG(inserted, "node " << n << " double-freed");
+  }
+}
+
+void BatchCluster::start_job(QueuedJob job, std::vector<int> nodes) {
+  const double now = engine_.now();
+  RunningJob run;
+  run.id = job.id;
+  run.request = std::move(job.request);
+  run.node_ids = std::move(nodes);
+  run.start_time = now;
+
+  double run_for = run.request.walltime_limit;
+  run.planned_reason = StopReason::kWalltime;
+  if (run.request.duration >= 0.0 &&
+      run.request.duration <= run.request.walltime_limit) {
+    run_for = run.request.duration;
+    run.planned_reason = StopReason::kCompleted;
+  }
+  run.kill_time = now + run_for;
+
+  states_[run.id] = JobState::kRunning;
+  queue_waits_.add(now - job.submit_time);
+  running_per_owner_[run.request.owner] += 1;
+
+  const std::string id = run.id;
+  run.stop_event = engine_.schedule(run_for, [this, id]() {
+    const auto it = running_.find(id);
+    if (it == running_.end()) {
+      return;  // stopped earlier (cancel raced with the timer)
+    }
+    it->second.stop_event = 0;
+    stop_job(id, it->second.planned_reason);
+  });
+
+  Allocation alloc;
+  alloc.site = config_.name;
+  alloc.node_ids = run.node_ids;
+  alloc.cores_per_node = config_.node.cores;
+
+  auto on_started = run.request.on_started;
+  running_.emplace(run.id, std::move(run));
+  PA_LOG(kDebug, "batch") << config_.name << " started " << id << " on "
+                          << alloc.node_ids.size() << " nodes";
+  if (on_started) {
+    on_started(id, alloc);
+  }
+}
+
+void BatchCluster::stop_job(const std::string& job_id, StopReason reason) {
+  const auto it = running_.find(job_id);
+  PA_CHECK_MSG(it != running_.end(), "stop of non-running job " << job_id);
+  RunningJob run = std::move(it->second);
+  running_.erase(it);
+  if (run.stop_event != 0) {
+    engine_.cancel(run.stop_event);
+  }
+  release_nodes(run.node_ids);
+  const auto owner_it = running_per_owner_.find(run.request.owner);
+  PA_CHECK(owner_it != running_per_owner_.end() && owner_it->second > 0);
+  if (--owner_it->second == 0) {
+    running_per_owner_.erase(owner_it);
+  }
+  switch (reason) {
+    case StopReason::kCompleted:
+      states_[job_id] = JobState::kDone;
+      break;
+    case StopReason::kCanceled:
+      states_[job_id] = JobState::kCanceled;
+      break;
+    case StopReason::kWalltime:
+    case StopReason::kPreempted:
+      states_[job_id] = JobState::kFailed;
+      break;
+  }
+  if (run.request.on_stopped) {
+    run.request.on_stopped(job_id, reason);
+  }
+  request_schedule_pass();
+}
+
+bool BatchCluster::owner_at_limit(const std::string& owner) const {
+  if (config_.max_running_per_owner <= 0) {
+    return false;
+  }
+  const auto it = running_per_owner_.find(owner);
+  return it != running_per_owner_.end() &&
+         it->second >= config_.max_running_per_owner;
+}
+
+void BatchCluster::request_schedule_pass() {
+  if (config_.scheduler_cycle <= 0.0) {
+    // Event-driven: run as a zero-delay event so callbacks never re-enter
+    // the caller's stack frame.
+    engine_.schedule(0.0, [this]() { schedule_pass(); });
+    return;
+  }
+  if (cycle_pass_pending_) {
+    return;
+  }
+  cycle_pass_pending_ = true;
+  // Align to the next scheduling-cycle boundary, as a periodic LRMS
+  // scheduler would.
+  const double now = engine_.now();
+  const double next =
+      (std::floor(now / config_.scheduler_cycle) + 1.0) *
+      config_.scheduler_cycle;
+  engine_.schedule_at(next, [this]() {
+    cycle_pass_pending_ = false;
+    schedule_pass();
+  });
+}
+
+void BatchCluster::schedule_pass() {
+  // 1. FCFS over *eligible* jobs (owner under its running-job limit).
+  // Ineligible jobs are skipped without blocking others — matching how
+  // production schedulers treat per-user limits.
+  auto first_eligible = [this]() {
+    return std::find_if(queue_.begin(), queue_.end(),
+                        [this](const QueuedJob& j) {
+                          return !owner_at_limit(j.request.owner);
+                        });
+  };
+  for (;;) {
+    auto it = first_eligible();
+    if (it == queue_.end() || it->request.num_nodes > free_nodes()) {
+      break;
+    }
+    QueuedJob job = std::move(*it);
+    queue_.erase(it);
+    std::vector<int> nodes = take_nodes(job.request.num_nodes);
+    start_job(std::move(job), std::move(nodes));
+  }
+  const auto head_it = first_eligible();
+  if (head_it == queue_.end() || !config_.enable_backfill) {
+    // Owner-limited jobs may still be waiting; a later completion or the
+    // next cycle re-triggers us.
+    return;
+  }
+
+  // 2. EASY backfill. Compute the head job's shadow time: the earliest time
+  // enough nodes are guaranteed free (running jobs end at their walltime
+  // kill time at the latest).
+  const int head_need = head_it->request.num_nodes;
+  int available = free_nodes();
+  PA_CHECK(available < head_need);
+
+  std::vector<const RunningJob*> by_end;
+  by_end.reserve(running_.size());
+  for (const auto& [id, run] : running_) {
+    by_end.push_back(&run);
+  }
+  std::sort(by_end.begin(), by_end.end(),
+            [](const RunningJob* a, const RunningJob* b) {
+              return a->kill_time < b->kill_time;
+            });
+
+  double shadow_time = sim::kTimeInfinity;
+  int freed_at_shadow = available;
+  for (const RunningJob* run : by_end) {
+    freed_at_shadow += static_cast<int>(run->node_ids.size());
+    if (freed_at_shadow >= head_need) {
+      shadow_time = run->kill_time;
+      break;
+    }
+  }
+  PA_CHECK_MSG(shadow_time < sim::kTimeInfinity,
+               "head job can never start: " << head_need << " nodes");
+  // Nodes beyond what the head needs at its shadow start; backfill jobs
+  // using only extra nodes may run past the shadow time.
+  const int extra_nodes = freed_at_shadow - head_need;
+
+  // Try each queued job (after the head) in FCFS order.
+  const double now = engine_.now();
+  int backfill_extra_budget = extra_nodes;
+  for (auto it = std::next(head_it); it != queue_.end();) {
+    const int need = it->request.num_nodes;
+    if (need > free_nodes() || owner_at_limit(it->request.owner)) {
+      ++it;
+      continue;
+    }
+    const bool ends_before_shadow =
+        now + it->request.walltime_limit <= shadow_time;
+    const bool fits_in_extra = need <= backfill_extra_budget;
+    if (!ends_before_shadow && !fits_in_extra) {
+      ++it;
+      continue;
+    }
+    if (!ends_before_shadow) {
+      backfill_extra_budget -= need;
+    }
+    QueuedJob job = std::move(*it);
+    it = queue_.erase(it);
+    std::vector<int> nodes = take_nodes(job.request.num_nodes);
+    start_job(std::move(job), std::move(nodes));
+  }
+}
+
+double BatchCluster::estimate_start_time(int num_nodes) const {
+  PA_REQUIRE_ARG(num_nodes > 0 && num_nodes <= config_.num_nodes,
+                 "bad node count: " << num_nodes);
+  // Pessimistic estimate: the new job goes behind the whole current queue.
+  // Walk a copy of (free, running-ends, queued-needs) forward in time.
+  struct End {
+    double time;
+    int nodes;
+  };
+  std::vector<End> ends;
+  ends.reserve(running_.size());
+  for (const auto& [id, run] : running_) {
+    ends.push_back({run.kill_time, static_cast<int>(run.node_ids.size())});
+  }
+  std::sort(ends.begin(), ends.end(),
+            [](const End& a, const End& b) { return a.time < b.time; });
+
+  int avail = free_nodes();
+  double t = engine_.now();
+  std::size_t ei = 0;
+  auto advance_until = [&](int needed) {
+    while (avail < needed && ei < ends.size()) {
+      avail += ends[ei].nodes;
+      t = ends[ei].time;
+      ++ei;
+    }
+  };
+  // Start every queued job in FCFS order (ignoring backfill: pessimistic),
+  // modelling each as occupying nodes until its walltime.
+  for (const auto& queued : queue_) {
+    advance_until(queued.request.num_nodes);
+    if (avail < queued.request.num_nodes) {
+      return sim::kTimeInfinity;
+    }
+    avail -= queued.request.num_nodes;
+    // Its nodes come back at t + walltime.
+    ends.insert(std::upper_bound(ends.begin() + static_cast<long>(ei),
+                                 ends.end(), t + queued.request.walltime_limit,
+                                 [](double v, const End& e) {
+                                   return v < e.time;
+                                 }),
+                {t + queued.request.walltime_limit, queued.request.num_nodes});
+  }
+  advance_until(num_nodes);
+  if (avail < num_nodes) {
+    return sim::kTimeInfinity;
+  }
+  return t;
+}
+
+const char* to_string(JobState s) {
+  switch (s) {
+    case JobState::kNew:
+      return "NEW";
+    case JobState::kQueued:
+      return "QUEUED";
+    case JobState::kRunning:
+      return "RUNNING";
+    case JobState::kDone:
+      return "DONE";
+    case JobState::kFailed:
+      return "FAILED";
+    case JobState::kCanceled:
+      return "CANCELED";
+  }
+  return "?";
+}
+
+const char* to_string(StopReason r) {
+  switch (r) {
+    case StopReason::kCompleted:
+      return "COMPLETED";
+    case StopReason::kCanceled:
+      return "CANCELED";
+    case StopReason::kWalltime:
+      return "WALLTIME";
+    case StopReason::kPreempted:
+      return "PREEMPTED";
+  }
+  return "?";
+}
+
+}  // namespace pa::infra

@@ -1,0 +1,182 @@
+#include "pa/infra/cloud.h"
+
+#include <algorithm>
+
+#include "pa/common/log.h"
+
+namespace pa::infra {
+
+CloudProvider::CloudProvider(sim::Engine& engine, CloudConfig config)
+    : engine_(engine), config_(std::move(config)), rng_(config_.seed) {
+  PA_REQUIRE_ARG(config_.quota_cores > 0, "cloud quota must be positive");
+  PA_REQUIRE_ARG(config_.vm.cores > 0, "VM needs cores");
+}
+
+std::string CloudProvider::submit(JobRequest request) {
+  PA_REQUIRE_ARG(request.num_nodes > 0, "job must request VMs");
+  const int cores = request.num_nodes * config_.vm.cores;
+  PA_REQUIRE_ARG(cores <= config_.quota_cores,
+                 "request of " << cores << " cores exceeds quota "
+                               << config_.quota_cores);
+  request.walltime_limit =
+      std::min(request.walltime_limit, config_.max_walltime);
+
+  PendingJob job;
+  job.id = config_.name + ".vmset-" + std::to_string(next_id_++);
+  job.request = std::move(request);
+  job.submit_time = engine_.now();
+  states_[job.id] = JobState::kQueued;
+  const std::string id = job.id;
+  quota_queue_.push_back(std::move(job));
+  engine_.schedule(0.0, [this]() { try_provision(); });
+  return id;
+}
+
+void CloudProvider::try_provision() {
+  while (!quota_queue_.empty()) {
+    const int need =
+        quota_queue_.front().request.num_nodes * config_.vm.cores;
+    if (cores_in_use_ + need > config_.quota_cores) {
+      return;  // quota exhausted; wait for terminations
+    }
+    PendingJob job = std::move(quota_queue_.front());
+    quota_queue_.pop_front();
+    begin_provisioning(std::move(job));
+  }
+}
+
+void CloudProvider::begin_provisioning(PendingJob job) {
+  const double now = engine_.now();
+  const int cores = job.request.num_nodes * config_.vm.cores;
+  cores_in_use_ += cores;
+
+  // Gang start: the request is ready when its slowest VM boots.
+  double slowest = 0.0;
+  for (int i = 0; i < job.request.num_nodes; ++i) {
+    slowest = std::max(
+        slowest, rng_.lognormal(config_.startup_mu, config_.startup_sigma));
+  }
+
+  RunningJob run;
+  run.id = job.id;
+  run.request = std::move(job.request);
+  run.cores = cores;
+  run.start_time = now;  // billing starts at provisioning
+  run.ready_time = now + slowest;
+
+  double run_for = run.request.walltime_limit;
+  run.planned_reason = StopReason::kWalltime;
+  if (run.request.duration >= 0.0 &&
+      run.request.duration <= run.request.walltime_limit) {
+    run_for = run.request.duration;
+    run.planned_reason = StopReason::kCompleted;
+  }
+
+  const std::string id = run.id;
+  const double submit_time = job.submit_time;
+  const int num_nodes = run.request.num_nodes;
+  run.stop_event = engine_.schedule(slowest + run_for, [this, id]() {
+    const auto it = running_.find(id);
+    if (it == running_.end()) {
+      return;
+    }
+    it->second.stop_event = 0;
+    stop_job(id, it->second.planned_reason);
+  });
+  running_.emplace(id, std::move(run));
+
+  engine_.schedule(slowest, [this, id, submit_time, num_nodes]() {
+    const auto it = running_.find(id);
+    if (it == running_.end()) {
+      return;  // cancelled while provisioning
+    }
+    states_[id] = JobState::kRunning;
+    queue_waits_.add(engine_.now() - submit_time);
+    Allocation alloc;
+    alloc.site = config_.name;
+    for (int i = 0; i < num_nodes; ++i) {
+      alloc.node_ids.push_back(i);
+    }
+    alloc.cores_per_node = config_.vm.cores;
+    if (it->second.request.on_started) {
+      it->second.request.on_started(id, alloc);
+    }
+  });
+}
+
+void CloudProvider::cancel(const std::string& job_id) {
+  const auto sit = states_.find(job_id);
+  if (sit == states_.end()) {
+    throw NotFound("unknown job: " + job_id);
+  }
+  if (sit->second == JobState::kQueued) {
+    // Either still in the quota queue or provisioning.
+    const auto it =
+        std::find_if(quota_queue_.begin(), quota_queue_.end(),
+                     [&](const PendingJob& j) { return j.id == job_id; });
+    if (it != quota_queue_.end()) {
+      JobRequest req = std::move(it->request);
+      quota_queue_.erase(it);
+      sit->second = JobState::kCanceled;
+      if (req.on_stopped) {
+        engine_.schedule(0.0, [cb = std::move(req.on_stopped), job_id]() {
+          cb(job_id, StopReason::kCanceled);
+        });
+      }
+      return;
+    }
+    // Provisioning: VMs already billed; terminate them.
+    stop_job(job_id, StopReason::kCanceled);
+  } else if (sit->second == JobState::kRunning) {
+    stop_job(job_id, StopReason::kCanceled);
+  }
+}
+
+JobState CloudProvider::job_state(const std::string& job_id) const {
+  const auto it = states_.find(job_id);
+  if (it == states_.end()) {
+    throw NotFound("unknown job: " + job_id);
+  }
+  return it->second;
+}
+
+void CloudProvider::stop_job(const std::string& job_id, StopReason reason) {
+  const auto it = running_.find(job_id);
+  PA_CHECK_MSG(it != running_.end(), "stop of unknown vmset " << job_id);
+  RunningJob run = std::move(it->second);
+  running_.erase(it);
+  if (run.stop_event != 0) {
+    engine_.cancel(run.stop_event);
+  }
+  cores_in_use_ -= run.cores;
+  PA_CHECK(cores_in_use_ >= 0);
+  billed_core_seconds_ +=
+      static_cast<double>(run.cores) * (engine_.now() - run.start_time);
+  switch (reason) {
+    case StopReason::kCompleted:
+      states_[job_id] = JobState::kDone;
+      break;
+    case StopReason::kCanceled:
+      states_[job_id] = JobState::kCanceled;
+      break;
+    case StopReason::kWalltime:
+    case StopReason::kPreempted:
+      states_[job_id] = JobState::kFailed;
+      break;
+  }
+  if (run.request.on_stopped) {
+    run.request.on_stopped(job_id, reason);
+  }
+  try_provision();
+}
+
+double CloudProvider::total_cost() const {
+  double core_seconds = billed_core_seconds_;
+  for (const auto& [id, run] : running_) {
+    core_seconds +=
+        static_cast<double>(run.cores) * (engine_.now() - run.start_time);
+  }
+  return core_seconds / 3600.0 * config_.cost_per_core_hour;
+}
+
+}  // namespace pa::infra

@@ -1,0 +1,208 @@
+#include "pa/infra/htc_pool.h"
+
+#include <algorithm>
+
+#include "pa/common/log.h"
+
+namespace pa::infra {
+
+HtcPool::HtcPool(sim::Engine& engine, HtcPoolConfig config)
+    : engine_(engine),
+      config_(std::move(config)),
+      rng_(config_.seed),
+      free_slots_(config_.num_slots) {
+  PA_REQUIRE_ARG(config_.num_slots > 0, "pool needs slots");
+  PA_REQUIRE_ARG(config_.match_latency_min >= 0.0 &&
+                     config_.match_latency_max >= config_.match_latency_min,
+                 "bad match latency range");
+}
+
+std::string HtcPool::submit(JobRequest request) {
+  PA_REQUIRE_ARG(request.num_nodes > 0, "job must request slots");
+  PA_REQUIRE_ARG(request.num_nodes <= config_.num_slots,
+                 "job requests " << request.num_nodes << " slots, pool has "
+                                 << config_.num_slots);
+  request.walltime_limit =
+      std::min(request.walltime_limit, config_.max_walltime);
+
+  PendingJob job;
+  job.id = config_.name + ".job-" + std::to_string(next_id_++);
+  job.request = std::move(request);
+  job.submit_time = engine_.now();
+  job.match_ready_time =
+      job.submit_time +
+      rng_.uniform(config_.match_latency_min, config_.match_latency_max);
+  states_[job.id] = JobState::kQueued;
+
+  const std::string id = job.id;
+  pending_.push_back(std::move(job));
+  // A job becomes eligible once matchmaking completes.
+  engine_.schedule_at(pending_.back().match_ready_time,
+                      [this]() { try_dispatch(); });
+  return id;
+}
+
+void HtcPool::cancel(const std::string& job_id) {
+  const auto sit = states_.find(job_id);
+  if (sit == states_.end()) {
+    throw NotFound("unknown job: " + job_id);
+  }
+  if (sit->second == JobState::kQueued) {
+    const auto it =
+        std::find_if(pending_.begin(), pending_.end(),
+                     [&](const PendingJob& j) { return j.id == job_id; });
+    PA_CHECK(it != pending_.end());
+    JobRequest req = std::move(it->request);
+    pending_.erase(it);
+    sit->second = JobState::kCanceled;
+    if (req.on_stopped) {
+      engine_.schedule(0.0, [cb = std::move(req.on_stopped), job_id]() {
+        cb(job_id, StopReason::kCanceled);
+      });
+    }
+  } else if (sit->second == JobState::kRunning) {
+    stop_job(job_id, StopReason::kCanceled);
+  }
+}
+
+JobState HtcPool::job_state(const std::string& job_id) const {
+  const auto it = states_.find(job_id);
+  if (it == states_.end()) {
+    throw NotFound("unknown job: " + job_id);
+  }
+  return it->second;
+}
+
+void HtcPool::try_dispatch() {
+  const double now = engine_.now();
+  // Matched jobs start FCFS-by-readiness when enough slots are free.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+      if (it->match_ready_time > now) {
+        continue;
+      }
+      if (it->request.num_nodes > free_slots_) {
+        continue;
+      }
+      if (config_.max_running_per_owner > 0) {
+        const auto oit = running_per_owner_.find(it->request.owner);
+        if (oit != running_per_owner_.end() &&
+            oit->second >= config_.max_running_per_owner) {
+          continue;
+        }
+      }
+      PendingJob job = std::move(*it);
+      pending_.erase(it);
+      start_job(std::move(job));
+      progress = true;
+      break;
+    }
+  }
+}
+
+void HtcPool::start_job(PendingJob job) {
+  const double now = engine_.now();
+  RunningJob run;
+  run.id = job.id;
+  run.request = std::move(job.request);
+  run.slots = run.request.num_nodes;
+  run.start_time = now;
+  free_slots_ -= run.slots;
+  PA_CHECK(free_slots_ >= 0);
+
+  double run_for = run.request.walltime_limit;
+  run.planned_reason = StopReason::kWalltime;
+  if (run.request.duration >= 0.0 &&
+      run.request.duration <= run.request.walltime_limit) {
+    run_for = run.request.duration;
+    run.planned_reason = StopReason::kCompleted;
+  }
+
+  states_[run.id] = JobState::kRunning;
+  queue_waits_.add(now - job.submit_time);
+  running_per_owner_[run.request.owner] += 1;
+
+  const std::string id = run.id;
+  run.stop_event = engine_.schedule(run_for, [this, id]() {
+    const auto it = running_.find(id);
+    if (it == running_.end()) {
+      return;
+    }
+    it->second.stop_event = 0;
+    stop_job(id, it->second.planned_reason);
+  });
+
+  Allocation alloc;
+  alloc.site = config_.name;
+  for (int i = 0; i < run.slots; ++i) {
+    alloc.node_ids.push_back(i);  // slot ids are anonymous in a pool
+  }
+  alloc.cores_per_node = config_.cores_per_slot;
+
+  auto on_started = run.request.on_started;
+  auto [rit, inserted] = running_.emplace(run.id, std::move(run));
+  PA_CHECK(inserted);
+  arm_preemption(rit->second);
+  if (on_started) {
+    on_started(id, alloc);
+  }
+}
+
+void HtcPool::arm_preemption(RunningJob& run) {
+  if (config_.preemption_rate <= 0.0) {
+    return;
+  }
+  const double dt = rng_.exponential(config_.preemption_rate *
+                                     static_cast<double>(run.slots));
+  const std::string id = run.id;
+  run.preempt_event = engine_.schedule(dt, [this, id]() {
+    const auto it = running_.find(id);
+    if (it == running_.end()) {
+      return;
+    }
+    it->second.preempt_event = 0;
+    ++preemptions_;
+    PA_LOG(kDebug, "htc") << config_.name << " preempted " << id;
+    stop_job(id, StopReason::kPreempted);
+  });
+}
+
+void HtcPool::stop_job(const std::string& job_id, StopReason reason) {
+  const auto it = running_.find(job_id);
+  PA_CHECK_MSG(it != running_.end(), "stop of non-running job " << job_id);
+  RunningJob run = std::move(it->second);
+  running_.erase(it);
+  if (run.stop_event != 0) {
+    engine_.cancel(run.stop_event);
+  }
+  if (run.preempt_event != 0) {
+    engine_.cancel(run.preempt_event);
+  }
+  free_slots_ += run.slots;
+  PA_CHECK(free_slots_ <= config_.num_slots);
+  const auto oit = running_per_owner_.find(run.request.owner);
+  PA_CHECK(oit != running_per_owner_.end() && oit->second > 0);
+  if (--oit->second == 0) {
+    running_per_owner_.erase(oit);
+  }
+  switch (reason) {
+    case StopReason::kCompleted:
+      states_[job_id] = JobState::kDone;
+      break;
+    case StopReason::kCanceled:
+      states_[job_id] = JobState::kCanceled;
+      break;
+    case StopReason::kWalltime:
+    case StopReason::kPreempted:
+      states_[job_id] = JobState::kFailed;
+      break;
+  }
+  if (run.request.on_stopped) {
+    run.request.on_stopped(job_id, reason);
+  }
+  try_dispatch();
+}
+
+}  // namespace pa::infra

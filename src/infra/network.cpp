@@ -1,0 +1,163 @@
+#include "pa/infra/network.h"
+
+#include "pa/common/error.h"
+
+namespace pa::infra {
+
+NetworkModel::NetworkModel(sim::Engine& engine) : engine_(engine) {}
+
+void NetworkModel::set_link(const std::string& src, const std::string& dst,
+                            LinkSpec spec, bool symmetric) {
+  PA_REQUIRE_ARG(spec.bandwidth_bps > 0.0, "bandwidth must be positive");
+  PA_REQUIRE_ARG(spec.latency >= 0.0, "latency must be non-negative");
+  specs_[{src, dst}] = spec;
+  if (symmetric) {
+    specs_[{dst, src}] = spec;
+  }
+}
+
+const LinkSpec& NetworkModel::spec_for(const std::string& src,
+                                       const std::string& dst) const {
+  if (src == dst) {
+    return loopback_;
+  }
+  const auto it = specs_.find({src, dst});
+  if (it == specs_.end()) {
+    throw NotFound("no link configured: " + src + " -> " + dst);
+  }
+  return it->second;
+}
+
+NetworkModel::Link& NetworkModel::link_for(const std::string& src,
+                                           const std::string& dst) {
+  const LinkKey key{src, dst};
+  auto it = links_.find(key);
+  if (it == links_.end()) {
+    Link link;
+    link.spec = spec_for(src, dst);
+    link.last_update = engine_.now();
+    it = links_.emplace(key, std::move(link)).first;
+  }
+  return it->second;
+}
+
+void NetworkModel::advance_link(Link& link) {
+  const double now = engine_.now();
+  const double dt = now - link.last_update;
+  link.last_update = now;
+  if (dt <= 0.0 || link.active.empty()) {
+    return;
+  }
+  const double rate = link.rate_per_transfer();
+  for (auto& [id, t] : link.active) {
+    if (t.started) {
+      t.remaining_bytes -= rate * dt;
+      if (t.remaining_bytes < 0.0) {
+        t.remaining_bytes = 0.0;
+      }
+    }
+  }
+}
+
+void NetworkModel::reschedule_link(Link& link) {
+  const double rate = link.rate_per_transfer();
+  for (auto& [id, t] : link.active) {
+    if (t.event != 0) {
+      engine_.cancel(t.event);
+      t.event = 0;
+    }
+    if (!t.started) {
+      continue;  // its latency event is pending separately
+    }
+    const double eta = t.remaining_bytes / rate;
+    const TransferId tid = id;
+    t.event = engine_.schedule(eta, [this, &link, tid]() {
+      complete_transfer(link, tid);
+    });
+  }
+}
+
+TransferId NetworkModel::transfer(const std::string& src,
+                                  const std::string& dst, double bytes,
+                                  std::function<void()> on_complete) {
+  PA_REQUIRE_ARG(bytes >= 0.0, "negative transfer size");
+  Link& link = link_for(src, dst);
+  advance_link(link);
+
+  const TransferId id = next_id_++;
+  Transfer t;
+  t.id = id;
+  t.remaining_bytes = bytes;
+  t.start_time = engine_.now();
+  t.on_complete = std::move(on_complete);
+  link.active.emplace(id, std::move(t));
+  transfer_link_[id] = {src, dst};
+
+  // Latency phase: the transfer occupies a slot (affecting others' rates
+  // only after data starts flowing) — we model latency as a fixed delay
+  // before the byte stream begins.
+  engine_.schedule(link.spec.latency, [this, &link, id]() {
+    const auto it = link.active.find(id);
+    if (it == link.active.end()) {
+      return;  // cancelled during latency
+    }
+    advance_link(link);
+    it->second.started = true;
+    if (it->second.remaining_bytes <= 0.0) {
+      complete_transfer(link, id);
+      return;
+    }
+    reschedule_link(link);
+  });
+  return id;
+}
+
+void NetworkModel::complete_transfer(Link& link, TransferId id) {
+  advance_link(link);
+  const auto it = link.active.find(id);
+  PA_CHECK(it != link.active.end());
+  Transfer t = std::move(it->second);
+  link.active.erase(it);
+  transfer_link_.erase(id);
+  if (t.event != 0) {
+    engine_.cancel(t.event);
+  }
+  transfer_times_.add(engine_.now() - t.start_time);
+  reschedule_link(link);
+  if (t.on_complete) {
+    t.on_complete();
+  }
+}
+
+bool NetworkModel::cancel(TransferId id) {
+  const auto key_it = transfer_link_.find(id);
+  if (key_it == transfer_link_.end()) {
+    return false;
+  }
+  Link& link = links_.at(key_it->second);
+  advance_link(link);
+  const auto it = link.active.find(id);
+  PA_CHECK(it != link.active.end());
+  if (it->second.event != 0) {
+    engine_.cancel(it->second.event);
+  }
+  link.active.erase(it);
+  transfer_link_.erase(key_it);
+  reschedule_link(link);
+  return true;
+}
+
+double NetworkModel::estimate_seconds(const std::string& src,
+                                      const std::string& dst,
+                                      double bytes) const {
+  const LinkSpec& spec = spec_for(src, dst);
+  return spec.latency + bytes / spec.bandwidth_bps;
+}
+
+int NetworkModel::active_on_link(const std::string& src,
+                                 const std::string& dst) const {
+  const auto it = links_.find({src, dst});
+  return it == links_.end() ? 0 : static_cast<int>(it->second.active.size());
+}
+
+}  // namespace pa::infra

@@ -1,0 +1,174 @@
+#include "pa/infra/serverless.h"
+
+#include <algorithm>
+
+namespace pa::infra {
+
+ServerlessPlatform::ServerlessPlatform(sim::Engine& engine,
+                                       ServerlessConfig config)
+    : engine_(engine), config_(std::move(config)), rng_(config_.seed) {
+  PA_REQUIRE_ARG(config_.concurrency_limit > 0, "need concurrency > 0");
+}
+
+std::string ServerlessPlatform::submit(JobRequest request) {
+  PA_REQUIRE_ARG(request.num_nodes == 1,
+                 "serverless invocations are single-container");
+  request.walltime_limit =
+      std::min(request.walltime_limit, config_.max_duration);
+
+  PendingInvocation inv;
+  inv.id = config_.name + ".inv-" + std::to_string(next_id_++);
+  inv.request = std::move(request);
+  inv.submit_time = engine_.now();
+  states_[inv.id] = JobState::kQueued;
+  const std::string id = inv.id;
+  pending_.push_back(std::move(inv));
+  engine_.schedule(0.0, [this]() { try_dispatch(); });
+  return id;
+}
+
+void ServerlessPlatform::sweep_warm_pool() {
+  const double now = engine_.now();
+  while (!warm_expiries_.empty() && warm_expiries_.front() <= now) {
+    warm_expiries_.pop_front();
+  }
+}
+
+std::size_t ServerlessPlatform::warm_pool_size() {
+  sweep_warm_pool();
+  return warm_expiries_.size();
+}
+
+void ServerlessPlatform::try_dispatch() {
+  sweep_warm_pool();
+  while (!pending_.empty() && active_ < config_.concurrency_limit) {
+    PendingInvocation inv = std::move(pending_.front());
+    pending_.pop_front();
+    start_invocation(std::move(inv));
+  }
+}
+
+void ServerlessPlatform::start_invocation(PendingInvocation inv) {
+  const double now = engine_.now();
+  ++active_;
+
+  double startup = 0.0;
+  if (!warm_expiries_.empty()) {
+    warm_expiries_.pop_front();  // reuse one warm container
+    startup = config_.warm_start_latency;
+    ++warm_starts_;
+  } else {
+    startup = rng_.lognormal(config_.cold_start_mu, config_.cold_start_sigma);
+    ++cold_starts_;
+  }
+
+  RunningInvocation run;
+  run.id = inv.id;
+  run.request = std::move(inv.request);
+  run.start_time = now;
+
+  double run_for = run.request.walltime_limit;
+  run.planned_reason = StopReason::kWalltime;
+  if (run.request.duration >= 0.0 &&
+      run.request.duration <= run.request.walltime_limit) {
+    run_for = run.request.duration;
+    run.planned_reason = StopReason::kCompleted;
+  }
+
+  const std::string id = run.id;
+  const double submit_time = inv.submit_time;
+  run.stop_event = engine_.schedule(startup + run_for, [this, id]() {
+    const auto it = running_.find(id);
+    if (it == running_.end()) {
+      return;
+    }
+    it->second.stop_event = 0;
+    stop_invocation(id, it->second.planned_reason);
+  });
+  running_.emplace(id, std::move(run));
+
+  engine_.schedule(startup, [this, id, submit_time]() {
+    const auto it = running_.find(id);
+    if (it == running_.end()) {
+      return;
+    }
+    states_[id] = JobState::kRunning;
+    queue_waits_.add(engine_.now() - submit_time);
+    Allocation alloc;
+    alloc.site = config_.name;
+    alloc.node_ids = {0};
+    alloc.cores_per_node = 1;
+    if (it->second.request.on_started) {
+      it->second.request.on_started(id, alloc);
+    }
+  });
+}
+
+void ServerlessPlatform::cancel(const std::string& job_id) {
+  const auto sit = states_.find(job_id);
+  if (sit == states_.end()) {
+    throw NotFound("unknown invocation: " + job_id);
+  }
+  if (sit->second == JobState::kQueued) {
+    const auto it = std::find_if(
+        pending_.begin(), pending_.end(),
+        [&](const PendingInvocation& p) { return p.id == job_id; });
+    if (it != pending_.end()) {
+      JobRequest req = std::move(it->request);
+      pending_.erase(it);
+      sit->second = JobState::kCanceled;
+      if (req.on_stopped) {
+        engine_.schedule(0.0, [cb = std::move(req.on_stopped), job_id]() {
+          cb(job_id, StopReason::kCanceled);
+        });
+      }
+      return;
+    }
+    stop_invocation(job_id, StopReason::kCanceled);
+  } else if (sit->second == JobState::kRunning) {
+    stop_invocation(job_id, StopReason::kCanceled);
+  }
+}
+
+JobState ServerlessPlatform::job_state(const std::string& job_id) const {
+  const auto it = states_.find(job_id);
+  if (it == states_.end()) {
+    throw NotFound("unknown invocation: " + job_id);
+  }
+  return it->second;
+}
+
+void ServerlessPlatform::stop_invocation(const std::string& id,
+                                         StopReason reason) {
+  const auto it = running_.find(id);
+  PA_CHECK_MSG(it != running_.end(), "stop of unknown invocation " << id);
+  RunningInvocation run = std::move(it->second);
+  running_.erase(it);
+  if (run.stop_event != 0) {
+    engine_.cancel(run.stop_event);
+  }
+  --active_;
+  PA_CHECK(active_ >= 0);
+  const double now = engine_.now();
+  billed_gb_seconds_ += (now - run.start_time) * config_.function_gb;
+  // The finished container stays warm for keepalive seconds.
+  warm_expiries_.push_back(now + config_.keepalive);
+  switch (reason) {
+    case StopReason::kCompleted:
+      states_[id] = JobState::kDone;
+      break;
+    case StopReason::kCanceled:
+      states_[id] = JobState::kCanceled;
+      break;
+    case StopReason::kWalltime:
+    case StopReason::kPreempted:
+      states_[id] = JobState::kFailed;
+      break;
+  }
+  if (run.request.on_stopped) {
+    run.request.on_stopped(id, reason);
+  }
+  try_dispatch();
+}
+
+}  // namespace pa::infra

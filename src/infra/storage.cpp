@@ -1,0 +1,176 @@
+#include "pa/infra/storage.h"
+
+#include "pa/common/error.h"
+
+namespace pa::infra {
+
+const char* to_string(StorageTier tier) {
+  switch (tier) {
+    case StorageTier::kParallelFs:
+      return "parallel-fs";
+    case StorageTier::kObjectStore:
+      return "object-store";
+    case StorageTier::kLocalSsd:
+      return "local-ssd";
+  }
+  return "?";
+}
+
+StorageSystem::StorageSystem(sim::Engine& engine, StorageConfig config)
+    : engine_(engine), config_(std::move(config)) {
+  PA_REQUIRE_ARG(config_.read_bandwidth > 0.0 && config_.write_bandwidth > 0.0,
+                 "bandwidths must be positive");
+  read_ch_.bandwidth = config_.read_bandwidth;
+  write_ch_.bandwidth = config_.write_bandwidth;
+}
+
+void StorageSystem::create_file(const std::string& path, double bytes) {
+  PA_REQUIRE_ARG(bytes >= 0.0, "negative file size");
+  PA_REQUIRE_ARG(files_.find(path) == files_.end(),
+                 "file exists: " << path << " on " << config_.name);
+  if (used_bytes_ + bytes > config_.capacity_bytes) {
+    throw ResourceError("storage " + config_.name + " full: cannot hold " +
+                        path);
+  }
+  files_[path] = bytes;
+  used_bytes_ += bytes;
+}
+
+void StorageSystem::delete_file(const std::string& path) {
+  const auto it = files_.find(path);
+  if (it == files_.end()) {
+    throw NotFound("no such file: " + path + " on " + config_.name);
+  }
+  used_bytes_ -= it->second;
+  files_.erase(it);
+}
+
+bool StorageSystem::exists(const std::string& path) const {
+  return files_.find(path) != files_.end();
+}
+
+double StorageSystem::file_size(const std::string& path) const {
+  const auto it = files_.find(path);
+  if (it == files_.end()) {
+    throw NotFound("no such file: " + path + " on " + config_.name);
+  }
+  return it->second;
+}
+
+void StorageSystem::advance(Channel& ch) {
+  const double now = engine_.now();
+  const double dt = now - ch.last_update;
+  ch.last_update = now;
+  const std::size_t started = ch.started_count();
+  if (dt <= 0.0 || started == 0) {
+    return;
+  }
+  const double rate = ch.bandwidth / static_cast<double>(started);
+  for (auto& [id, op] : ch.active) {
+    if (!op.started) {
+      continue;
+    }
+    op.remaining -= rate * dt;
+    if (op.remaining < 0.0) {
+      op.remaining = 0.0;
+    }
+  }
+}
+
+void StorageSystem::reschedule(Channel& ch, pa::SampleSet& samples) {
+  const std::size_t started = ch.started_count();
+  if (started == 0) {
+    return;
+  }
+  const double rate = ch.bandwidth / static_cast<double>(started);
+  for (auto& [id, op] : ch.active) {
+    if (op.event != 0) {
+      engine_.cancel(op.event);
+      op.event = 0;
+    }
+    if (!op.started) {
+      continue;
+    }
+    const std::uint64_t oid = id;
+    op.event = engine_.schedule(op.remaining / rate,
+                                [this, &ch, oid, &samples]() {
+                                  complete(ch, oid, samples);
+                                });
+  }
+}
+
+void StorageSystem::complete(Channel& ch, std::uint64_t id,
+                             pa::SampleSet& samples) {
+  advance(ch);
+  const auto it = ch.active.find(id);
+  PA_CHECK(it != ch.active.end());
+  Channel::Op op = std::move(it->second);
+  ch.active.erase(it);
+  if (op.event != 0) {
+    engine_.cancel(op.event);
+  }
+  samples.add(engine_.now() - op.start);
+  reschedule(ch, samples);
+  if (op.done) {
+    op.done();
+  }
+}
+
+void StorageSystem::start_op(Channel& ch, double bytes,
+                             std::function<void()> done,
+                             pa::SampleSet& samples) {
+  advance(ch);
+  const std::uint64_t id = next_op_++;
+  Channel::Op op;
+  op.remaining = bytes;
+  op.start = engine_.now();
+  op.done = std::move(done);
+  ch.active.emplace(id, std::move(op));
+  // Bytes begin flowing once the per-op latency elapses.
+  engine_.schedule(config_.latency, [this, &ch, id, &samples]() {
+    const auto it = ch.active.find(id);
+    if (it == ch.active.end()) {
+      return;
+    }
+    advance(ch);
+    it->second.started = true;
+    if (it->second.remaining <= 0.0) {
+      complete(ch, id, samples);
+      return;
+    }
+    reschedule(ch, samples);
+  });
+}
+
+void StorageSystem::read(const std::string& path,
+                         std::function<void()> on_complete) {
+  const double bytes = file_size(path);  // throws if missing
+  start_op(read_ch_, bytes, std::move(on_complete), read_times_);
+}
+
+void StorageSystem::write(const std::string& path, double bytes,
+                          std::function<void()> on_complete) {
+  PA_REQUIRE_ARG(bytes >= 0.0, "negative write size");
+  if (used_bytes_ + bytes > config_.capacity_bytes) {
+    throw ResourceError("storage " + config_.name + " full: cannot write " +
+                        path);
+  }
+  // Reserve capacity immediately; the file becomes visible on completion.
+  // Overwrites release the old size at completion.
+  used_bytes_ += bytes;
+  auto finish = [this, path, bytes, cb = std::move(on_complete)]() {
+    const auto it = files_.find(path);
+    if (it != files_.end()) {
+      used_bytes_ -= it->second;  // replacing an existing file
+      it->second = bytes;
+    } else {
+      files_[path] = bytes;
+    }
+    if (cb) {
+      cb();
+    }
+  };
+  start_op(write_ch_, bytes, std::move(finish), write_times_);
+}
+
+}  // namespace pa::infra

@@ -1,0 +1,149 @@
+#include "pa/mem/in_memory_store.h"
+
+#include <limits>
+
+namespace pa::mem {
+
+namespace {
+std::size_t hash_key(const std::string& key) {
+  return std::hash<std::string>{}(key);
+}
+
+/// fetch_add for atomic<double> (not provided by the standard for FP).
+void atomic_add(std::atomic<double>& target, double delta) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+}  // namespace
+
+InMemoryStore::InMemoryStore(std::size_t num_shards, double capacity_bytes)
+    : capacity_bytes_(capacity_bytes) {
+  PA_REQUIRE_ARG(num_shards > 0, "store needs at least one shard");
+  shards_.reserve(num_shards);
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+InMemoryStore::Shard& InMemoryStore::shard_for(const std::string& key) {
+  return *shards_[hash_key(key) % shards_.size()];
+}
+
+const InMemoryStore::Shard& InMemoryStore::shard_for(
+    const std::string& key) const {
+  return *shards_[hash_key(key) % shards_.size()];
+}
+
+std::uint64_t InMemoryStore::put(const std::string& key, std::any value,
+                                 double bytes) {
+  PA_REQUIRE_ARG(bytes >= 0.0, "negative byte footprint");
+  Shard& shard = shard_for(key);
+  std::uint64_t new_version = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    Entry& e = shard.entries[key];
+    atomic_add(resident_bytes_, bytes - e.bytes);
+    e.value = std::make_shared<const std::any>(std::move(value));
+    e.bytes = bytes;
+    e.version += 1;
+    e.put_seq = put_seq_.fetch_add(1, std::memory_order_relaxed);
+    new_version = e.version;
+  }
+  puts_.fetch_add(1, std::memory_order_relaxed);
+  evict_if_needed();
+  return new_version;
+}
+
+std::shared_ptr<const std::any> InMemoryStore::get(const std::string& key) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second.value;
+}
+
+std::uint64_t InMemoryStore::version(const std::string& key) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.entries.find(key);
+  return it == shard.entries.end() ? 0 : it->second.version;
+}
+
+bool InMemoryStore::erase(const std::string& key) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) {
+    return false;
+  }
+  atomic_add(resident_bytes_, -it->second.bytes);
+  shard.entries.erase(it);
+  return true;
+}
+
+void InMemoryStore::clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const auto& [k, e] : shard->entries) {
+      atomic_add(resident_bytes_, -e.bytes);
+    }
+    shard->entries.clear();
+  }
+}
+
+void InMemoryStore::evict_if_needed() {
+  if (capacity_bytes_ <= 0.0) {
+    return;
+  }
+  while (resident_bytes_.load(std::memory_order_relaxed) > capacity_bytes_) {
+    // Find the globally oldest entry (by put sequence). Linear over shards;
+    // eviction is the rare path.
+    Shard* victim_shard = nullptr;
+    std::string victim_key;
+    std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      for (const auto& [k, e] : shard->entries) {
+        if (e.put_seq < oldest) {
+          oldest = e.put_seq;
+          victim_shard = shard.get();
+          victim_key = k;
+        }
+      }
+    }
+    if (victim_shard == nullptr) {
+      return;  // store empty; a concurrent clear raced us
+    }
+    {
+      std::lock_guard<std::mutex> lock(victim_shard->mutex);
+      const auto it = victim_shard->entries.find(victim_key);
+      if (it != victim_shard->entries.end() && it->second.put_seq == oldest) {
+        atomic_add(resident_bytes_, -it->second.bytes);
+        victim_shard->entries.erase(it);
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+}
+
+StoreStats InMemoryStore::stats() const {
+  StoreStats s;
+  s.puts = puts_.load(std::memory_order_relaxed);
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.resident_bytes = resident_bytes_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    s.entries += shard->entries.size();
+  }
+  return s;
+}
+
+}  // namespace pa::mem

@@ -1,0 +1,222 @@
+#include "pa/miniapp/experiment.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "pa/common/error.h"
+
+namespace pa::miniapp {
+
+void ExperimentDesign::add_factor(const std::string& name,
+                                  std::vector<std::string> levels) {
+  PA_REQUIRE_ARG(!name.empty(), "factor needs a name");
+  PA_REQUIRE_ARG(!levels.empty(), "factor needs levels: " << name);
+  PA_REQUIRE_ARG(factors_.find(name) == factors_.end(),
+                 "duplicate factor: " << name);
+  names_.push_back(name);
+  factors_.emplace(name, std::move(levels));
+}
+
+void ExperimentDesign::add_factor(const std::string& name,
+                                  const std::vector<double>& levels) {
+  std::vector<std::string> s;
+  s.reserve(levels.size());
+  for (double v : levels) {
+    std::ostringstream oss;
+    oss << v;
+    s.push_back(oss.str());
+  }
+  add_factor(name, std::move(s));
+}
+
+void ExperimentDesign::add_factor(const std::string& name,
+                                  const std::vector<std::int64_t>& levels) {
+  std::vector<std::string> s;
+  s.reserve(levels.size());
+  for (std::int64_t v : levels) {
+    s.push_back(std::to_string(v));
+  }
+  add_factor(name, std::move(s));
+}
+
+void ExperimentDesign::set_repetitions(int reps) {
+  PA_REQUIRE_ARG(reps >= 1, "repetitions must be >= 1");
+  repetitions_ = reps;
+}
+
+std::vector<pa::Config> ExperimentDesign::combinations() const {
+  std::vector<pa::Config> out;
+  if (names_.empty()) {
+    out.emplace_back();
+    return out;
+  }
+  std::size_t total = 1;
+  for (const auto& name : names_) {
+    total *= factors_.at(name).size();
+  }
+  out.reserve(total);
+  std::vector<std::size_t> idx(names_.size(), 0);
+  for (std::size_t t = 0; t < total; ++t) {
+    pa::Config cfg;
+    for (std::size_t f = 0; f < names_.size(); ++f) {
+      cfg.set(names_[f], factors_.at(names_[f])[idx[f]]);
+    }
+    out.push_back(std::move(cfg));
+    // Odometer increment, last factor fastest.
+    for (std::size_t f = names_.size(); f-- > 0;) {
+      if (++idx[f] < factors_.at(names_[f]).size()) {
+        break;
+      }
+      idx[f] = 0;
+    }
+  }
+  return out;
+}
+
+void ResultSet::add(Observation observation) {
+  if (observations_.empty()) {
+    factor_names_ = observation.factors.keys();
+  }
+  observations_.push_back(std::move(observation));
+}
+
+std::vector<std::string> ResultSet::metric_names() const {
+  std::set<std::string> names;
+  for (const auto& obs : observations_) {
+    for (const auto& [k, v] : obs.metrics) {
+      names.insert(k);
+    }
+  }
+  return {names.begin(), names.end()};
+}
+
+pa::Table ResultSet::to_table(const std::string& title) const {
+  pa::Table table(title);
+  std::vector<std::string> cols = factor_names_;
+  cols.push_back("rep");
+  const std::vector<std::string> metrics = metric_names();
+  cols.insert(cols.end(), metrics.begin(), metrics.end());
+  table.set_columns(cols);
+  for (const auto& obs : observations_) {
+    std::vector<pa::Cell> row;
+    for (const auto& f : factor_names_) {
+      row.emplace_back(obs.factors.get_string(f, ""));
+    }
+    row.emplace_back(static_cast<std::int64_t>(obs.repetition));
+    for (const auto& m : metrics) {
+      const auto it = obs.metrics.find(m);
+      row.emplace_back(it == obs.metrics.end() ? 0.0 : it->second);
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+bool ResultSet::matches(const Observation& obs, const pa::Config& where) {
+  for (const auto& key : where.keys()) {
+    if (obs.factors.get_string(key, "\x01missing") !=
+        where.get_string(key)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+pa::Table ResultSet::summary_table(const std::string& metric,
+                                   const std::string& title) const {
+  pa::Table table(title.empty() ? metric + " summary" : title);
+  std::vector<std::string> cols = factor_names_;
+  cols.push_back(metric + "_mean");
+  cols.push_back(metric + "_sd");
+  cols.push_back("n");
+  table.set_columns(cols);
+
+  // Group observations by factor combination (string key), preserving
+  // first-seen order.
+  std::vector<std::string> order;
+  std::map<std::string, pa::SampleSet> groups;
+  std::map<std::string, pa::Config> group_factors;
+  for (const auto& obs : observations_) {
+    const std::string key = obs.factors.to_string();
+    if (groups.find(key) == groups.end()) {
+      order.push_back(key);
+      group_factors.emplace(key, obs.factors);
+    }
+    const auto it = obs.metrics.find(metric);
+    if (it != obs.metrics.end()) {
+      groups[key].add(it->second);
+    }
+  }
+  for (const auto& key : order) {
+    std::vector<pa::Cell> row;
+    for (const auto& f : factor_names_) {
+      row.emplace_back(group_factors.at(key).get_string(f, ""));
+    }
+    const auto& samples = groups.at(key);
+    row.emplace_back(samples.mean());
+    row.emplace_back(samples.stddev());
+    row.emplace_back(static_cast<std::int64_t>(samples.count()));
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+pa::SampleSet ResultSet::metric_samples(const std::string& metric,
+                                        const pa::Config& where) const {
+  pa::SampleSet samples;
+  for (const auto& obs : observations_) {
+    if (!matches(obs, where)) {
+      continue;
+    }
+    const auto it = obs.metrics.find(metric);
+    if (it != obs.metrics.end()) {
+      samples.add(it->second);
+    }
+  }
+  return samples;
+}
+
+double ResultSet::mean_metric(const std::string& metric,
+                              const pa::Config& where) const {
+  const pa::SampleSet samples = metric_samples(metric, where);
+  if (samples.empty()) {
+    throw NotFound("no observations match for metric " + metric + " where " +
+                   where.to_string());
+  }
+  return samples.mean();
+}
+
+ExperimentRunner::ExperimentRunner(std::string name, TrialFn trial)
+    : name_(std::move(name)), trial_(std::move(trial)) {
+  PA_REQUIRE_ARG(static_cast<bool>(trial_), "null trial function");
+}
+
+ResultSet ExperimentRunner::run(const ExperimentDesign& design,
+                                std::uint64_t base_seed) {
+  ResultSet results;
+  const std::vector<pa::Config> combos = design.combinations();
+  const std::size_t total =
+      combos.size() * static_cast<std::size_t>(design.repetitions());
+  std::size_t done = 0;
+  for (std::size_t c = 0; c < combos.size(); ++c) {
+    for (int rep = 0; rep < design.repetitions(); ++rep) {
+      Observation obs;
+      obs.factors = combos[c];
+      obs.repetition = rep;
+      // Deterministic, well-spread per-trial seed.
+      obs.seed = base_seed * 0x9E3779B97F4A7C15ULL +
+                 static_cast<std::uint64_t>(c) * 1000003ULL +
+                 static_cast<std::uint64_t>(rep);
+      obs.metrics = trial_(obs.factors, obs.seed);
+      results.add(std::move(obs));
+      ++done;
+      if (progress_) {
+        progress_(done, total);
+      }
+    }
+  }
+  return results;
+}
+
+}  // namespace pa::miniapp

@@ -1,0 +1,73 @@
+#include "pa/miniapp/task_profile.h"
+
+#include <memory>
+
+#include "pa/common/error.h"
+#include "pa/common/time_utils.h"
+
+namespace pa::miniapp {
+
+double MachineProfile::predict_seconds(const TaskProfile& task) const {
+  PA_REQUIRE_ARG(gflops > 0.0 && read_bandwidth > 0.0 && write_bandwidth > 0.0,
+                 "machine rates must be positive");
+  return task.compute_gflop / gflops + task.read_bytes / read_bandwidth +
+         task.write_bytes / write_bandwidth;
+}
+
+core::ComputeUnitDescription make_profiled_unit(const TaskProfile& task,
+                                                const MachineProfile& machine,
+                                                int cores) {
+  PA_REQUIRE_ARG(cores > 0, "unit needs cores");
+  core::ComputeUnitDescription d;
+  d.cores = cores;
+  d.duration = machine.predict_seconds(task);
+  d.attributes.set("compute_gflop", task.compute_gflop);
+  d.attributes.set("read_bytes", task.read_bytes);
+  d.attributes.set("write_bytes", task.write_bytes);
+
+  const double compute_seconds = task.compute_gflop / machine.gflops;
+  const double io_seconds = d.duration - compute_seconds;
+  const auto memory_doubles =
+      static_cast<std::size_t>(task.memory_bytes / sizeof(double));
+  d.work = [compute_seconds, io_seconds, memory_doubles]() {
+    // Working set: allocate and touch the profiled footprint (stride-
+    // walked twice so the pages really exist and cache pressure is real).
+    if (memory_doubles > 0) {
+      std::vector<double> buffer(memory_doubles, 1.0);
+      double acc = 0.0;
+      for (std::size_t pass = 0; pass < 2; ++pass) {
+        for (std::size_t i = 0; i < buffer.size(); i += 64) {
+          acc += buffer[i];
+          buffer[i] = acc * 1e-9;
+        }
+      }
+      // Keep the optimizer honest.
+      if (acc == 42.424242) {
+        throw Error("unreachable");
+      }
+    }
+    pa::burn_cpu(compute_seconds);
+    // I/O phases emulated as (busy) time: a blocking read occupies the
+    // slot exactly like compute from the scheduler's perspective.
+    pa::burn_cpu(io_seconds);
+  };
+  return d;
+}
+
+std::vector<core::ComputeUnitDescription> make_profiled_batch(
+    std::size_t count, const TaskProfile& base, const MachineProfile& machine,
+    const pa::DurationDistribution& scale_distribution, pa::Rng& rng,
+    int cores) {
+  std::vector<core::ComputeUnitDescription> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double scale = std::max(1e-6, scale_distribution.sample(rng));
+    core::ComputeUnitDescription d =
+        make_profiled_unit(base.scaled(scale), machine, cores);
+    d.name = "profiled-" + std::to_string(i);
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+}  // namespace pa::miniapp

@@ -1,0 +1,53 @@
+#include "pa/models/planner.h"
+
+#include <algorithm>
+
+#include "pa/common/error.h"
+
+namespace pa::models {
+
+ConfigurationSelector::ConfigurationSelector(
+    LinearModel model, std::function<double(double)> transform)
+    : model_(std::move(model)), transform_(std::move(transform)) {}
+
+double ConfigurationSelector::predict(const ConfigOption& option) const {
+  const double raw = model_.predict(option.features);
+  return transform_ ? transform_(raw) : raw;
+}
+
+std::vector<ConfigOption> ConfigurationSelector::feasible(
+    const std::vector<ConfigOption>& options, double target) const {
+  std::vector<ConfigOption> out;
+  for (const auto& option : options) {
+    if (predict(option) >= target) {
+      out.push_back(option);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ConfigOption& a, const ConfigOption& b) {
+                     return a.cost < b.cost;
+                   });
+  return out;
+}
+
+std::optional<ConfigOption> ConfigurationSelector::select(
+    const std::vector<ConfigOption>& options, double target) const {
+  const std::vector<ConfigOption> ok = feasible(options, target);
+  if (ok.empty()) {
+    return std::nullopt;
+  }
+  // Among equal-cost leaders, prefer the highest predicted headroom.
+  const double best_cost = ok.front().cost;
+  const ConfigOption* best = &ok.front();
+  for (const auto& option : ok) {
+    if (option.cost > best_cost) {
+      break;
+    }
+    if (predict(option) > predict(*best)) {
+      best = &option;
+    }
+  }
+  return *best;
+}
+
+}  // namespace pa::models

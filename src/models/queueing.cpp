@@ -1,0 +1,35 @@
+#include "pa/models/queueing.h"
+
+#include "pa/common/error.h"
+
+namespace pa::models {
+
+double MMcQueue::probability_of_waiting() const {
+  PA_REQUIRE_ARG(servers >= 1, "need at least one server");
+  PA_REQUIRE_ARG(arrival_rate > 0.0 && service_rate > 0.0,
+                 "rates must be positive");
+  PA_REQUIRE_ARG(stable(), "M/M/c unstable: rho = " << utilization());
+  const double a = offered_load();
+  const int c = servers;
+
+  // Erlang-B computed iteratively: B(0) = 1; B(k) = a*B(k-1)/(k + a*B(k-1)).
+  double b = 1.0;
+  for (int k = 1; k <= c; ++k) {
+    b = a * b / (static_cast<double>(k) + a * b);
+  }
+  // Erlang-C from Erlang-B: C = c*B / (c - a*(1 - B)).
+  const double cc = static_cast<double>(c);
+  return cc * b / (cc - a * (1.0 - b));
+}
+
+double MMcQueue::expected_wait() const {
+  const double c_prob = probability_of_waiting();
+  return c_prob /
+         (static_cast<double>(servers) * service_rate - arrival_rate);
+}
+
+double MMcQueue::expected_queue_length() const {
+  return arrival_rate * expected_wait();
+}
+
+}  // namespace pa::models

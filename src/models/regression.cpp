@@ -1,0 +1,175 @@
+#include "pa/models/regression.h"
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "pa/common/error.h"
+
+namespace pa::models {
+
+double LinearModel::predict(const std::vector<double>& features) const {
+  PA_REQUIRE_ARG(features.size() == coefficients.size(),
+                 "feature count mismatch: " << features.size() << " vs "
+                                            << coefficients.size());
+  double y = intercept;
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    y += coefficients[i] * features[i];
+  }
+  return y;
+}
+
+std::string LinearModel::to_string() const {
+  std::ostringstream oss;
+  oss << "y = " << intercept;
+  for (std::size_t i = 0; i < coefficients.size(); ++i) {
+    const double c = coefficients[i];
+    oss << (c >= 0.0 ? " + " : " - ") << std::abs(c) << "*";
+    if (i < feature_names.size() && !feature_names[i].empty()) {
+      oss << feature_names[i];
+    } else {
+      oss << "x" << i;
+    }
+  }
+  return oss.str();
+}
+
+std::vector<double> solve_linear_system(std::vector<std::vector<double>> a,
+                                        std::vector<double> b) {
+  const std::size_t n = a.size();
+  PA_REQUIRE_ARG(b.size() == n, "dimension mismatch");
+  for (const auto& row : a) {
+    PA_REQUIRE_ARG(row.size() == n, "matrix not square");
+  }
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) {
+        pivot = r;
+      }
+    }
+    if (std::abs(a[pivot][col]) < 1e-12) {
+      throw InvalidArgument("singular system in OLS fit");
+    }
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a[r][col] / a[col][col];
+      for (std::size_t c = col; c < n; ++c) {
+        a[r][c] -= f * a[col][c];
+      }
+      b[r] -= f * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double s = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) {
+      s -= a[i][c] * x[c];
+    }
+    x[i] = s / a[i][i];
+  }
+  return x;
+}
+
+OlsRegression::OlsRegression(std::vector<std::string> feature_names)
+    : feature_names_(std::move(feature_names)) {}
+
+void OlsRegression::add_sample(const std::vector<double>& features,
+                               double target) {
+  if (!features_.empty()) {
+    PA_REQUIRE_ARG(features.size() == features_.front().size(),
+                   "inconsistent feature count");
+  }
+  if (!feature_names_.empty()) {
+    PA_REQUIRE_ARG(features.size() == feature_names_.size(),
+                   "feature count does not match names");
+  }
+  features_.push_back(features);
+  targets_.push_back(target);
+}
+
+LinearModel OlsRegression::fit_rows(const std::vector<std::size_t>& rows) const {
+  PA_REQUIRE_ARG(!rows.empty(), "no samples");
+  const std::size_t k = features_.front().size();
+  const std::size_t p = k + 1;  // + intercept
+  PA_REQUIRE_ARG(rows.size() >= p,
+                 "need at least " << p << " samples, have " << rows.size());
+
+  // Normal equations: (X^T X) beta = X^T y with X = [1 | features].
+  std::vector<std::vector<double>> xtx(p, std::vector<double>(p, 0.0));
+  std::vector<double> xty(p, 0.0);
+  for (const std::size_t r : rows) {
+    std::vector<double> x(p, 1.0);
+    for (std::size_t j = 0; j < k; ++j) {
+      x[j + 1] = features_[r][j];
+    }
+    for (std::size_t i = 0; i < p; ++i) {
+      for (std::size_t j = 0; j < p; ++j) {
+        xtx[i][j] += x[i] * x[j];
+      }
+      xty[i] += x[i] * targets_[r];
+    }
+  }
+  const std::vector<double> beta = solve_linear_system(std::move(xtx),
+                                                       std::move(xty));
+
+  LinearModel model;
+  model.intercept = beta[0];
+  model.coefficients.assign(beta.begin() + 1, beta.end());
+  model.feature_names = feature_names_;
+  model.n_samples = rows.size();
+
+  // Diagnostics on the fitting rows.
+  double y_mean = 0.0;
+  for (const std::size_t r : rows) {
+    y_mean += targets_[r];
+  }
+  y_mean /= static_cast<double>(rows.size());
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (const std::size_t r : rows) {
+    const double pred = model.predict(features_[r]);
+    ss_res += (targets_[r] - pred) * (targets_[r] - pred);
+    ss_tot += (targets_[r] - y_mean) * (targets_[r] - y_mean);
+  }
+  model.rmse = std::sqrt(ss_res / static_cast<double>(rows.size()));
+  model.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot
+                                 : (ss_res < 1e-12 ? 1.0 : 0.0);
+  return model;
+}
+
+LinearModel OlsRegression::fit() const {
+  std::vector<std::size_t> all(targets_.size());
+  std::iota(all.begin(), all.end(), 0);
+  return fit_rows(all);
+}
+
+double OlsRegression::cross_validated_rmse(int folds) const {
+  PA_REQUIRE_ARG(folds >= 2, "need at least 2 folds");
+  PA_REQUIRE_ARG(targets_.size() >= static_cast<std::size_t>(folds),
+                 "fewer samples than folds");
+  double ss = 0.0;
+  std::size_t count = 0;
+  for (int f = 0; f < folds; ++f) {
+    std::vector<std::size_t> train;
+    std::vector<std::size_t> test;
+    for (std::size_t i = 0; i < targets_.size(); ++i) {
+      if (static_cast<int>(i % static_cast<std::size_t>(folds)) == f) {
+        test.push_back(i);
+      } else {
+        train.push_back(i);
+      }
+    }
+    const LinearModel model = fit_rows(train);
+    for (const std::size_t r : test) {
+      const double err = targets_[r] - model.predict(features_[r]);
+      ss += err * err;
+      ++count;
+    }
+  }
+  return std::sqrt(ss / static_cast<double>(count));
+}
+
+}  // namespace pa::models

@@ -1,0 +1,138 @@
+#include "pa/rt/local_runtime.h"
+
+#include <chrono>
+#include <thread>
+
+#include "pa/common/error.h"
+#include "pa/common/log.h"
+#include "pa/common/time_utils.h"
+#include "pa/saga/url.h"
+
+namespace pa::rt {
+
+LocalRuntime::LocalRuntime(LocalRuntimeConfig config)
+    : config_(config), epoch_(pa::wall_seconds()) {}
+
+LocalRuntime::~LocalRuntime() {
+  std::map<std::string, std::shared_ptr<PilotEntry>> pilots;
+  std::vector<std::shared_ptr<PilotEntry>> graveyard;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pilots.swap(pilots_);
+    graveyard.swap(graveyard_);
+  }
+  for (auto& [id, entry] : pilots) {
+    entry->stopping.store(true);
+    entry->pool->shutdown_now();
+  }
+  for (auto& entry : graveyard) {
+    entry->pool->shutdown_now();
+  }
+}
+
+double LocalRuntime::now() const { return pa::wall_seconds() - epoch_; }
+
+void LocalRuntime::start_pilot(const std::string& pilot_id,
+                               const core::PilotDescription& description,
+                               core::PilotRuntimeCallbacks callbacks) {
+  const saga::Url url = saga::Url::parse(description.resource_url);
+  PA_REQUIRE_ARG(url.scheme == "local",
+                 "LocalRuntime only accepts local:// URLs, got "
+                     << description.resource_url);
+  const int cores_per_node = static_cast<int>(description.attributes.get_int(
+      "cores_per_node",
+      url.query.get_int("cores_per_node", config_.default_cores_per_node)));
+  PA_REQUIRE_ARG(cores_per_node > 0, "cores_per_node must be positive");
+  const int total_cores = description.nodes * cores_per_node;
+
+  auto entry = std::make_shared<PilotEntry>();
+  entry->callbacks = std::move(callbacks);
+  entry->pool =
+      std::make_unique<pa::ThreadPool>(static_cast<std::size_t>(total_cores));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    PA_REQUIRE_ARG(pilots_.find(pilot_id) == pilots_.end(),
+                   "pilot id reused: " << pilot_id);
+    pilots_.emplace(pilot_id, entry);
+  }
+  PA_LOG(kInfo, "local-rt") << "pilot " << pilot_id << " active with "
+                            << total_cores << " threads";
+  // Local allocations are immediate: report ACTIVE synchronously (the
+  // Runtime contract allows it).
+  if (entry->callbacks.on_active) {
+    entry->callbacks.on_active(pilot_id, total_cores, url.host);
+  }
+}
+
+void LocalRuntime::cancel_pilot(const std::string& pilot_id) {
+  std::shared_ptr<PilotEntry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = pilots_.find(pilot_id);
+    if (it == pilots_.end()) {
+      throw NotFound("unknown pilot: " + pilot_id);
+    }
+    entry = it->second;
+    pilots_.erase(it);
+    graveyard_.push_back(entry);
+  }
+  entry->stopping.store(true);
+  if (entry->callbacks.on_terminated) {
+    entry->callbacks.on_terminated(pilot_id, core::PilotState::kCanceled);
+  }
+  // The pool's in-flight payloads finish on their own; their completions
+  // are suppressed by `stopping`. Threads are joined at destruction.
+}
+
+void LocalRuntime::execute_unit(const std::string& pilot_id,
+                                const core::ComputeUnitDescription& description,
+                                const std::string& unit_id,
+                                std::function<void(bool)> on_done) {
+  std::shared_ptr<PilotEntry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = pilots_.find(pilot_id);
+    if (it == pilots_.end()) {
+      throw NotFound("unknown pilot: " + pilot_id);
+    }
+    entry = it->second;
+  }
+  // Copy what the worker needs; the description may not outlive the call.
+  auto work = description.work;
+  const double duration = description.duration;
+  entry->pool->enqueue([entry, work = std::move(work), duration, unit_id,
+                        done = std::move(on_done)]() {
+    bool ok = true;
+    try {
+      if (work) {
+        work();
+      } else {
+        pa::burn_cpu(duration);
+      }
+    } catch (const std::exception& e) {
+      PA_LOG(kWarn, "local-rt")
+          << "unit " << unit_id << " payload threw: " << e.what();
+      ok = false;
+    } catch (...) {
+      ok = false;
+    }
+    if (entry->stopping.load()) {
+      return;  // pilot cancelled while we ran; completion is moot
+    }
+    done(ok);
+  });
+}
+
+void LocalRuntime::drive_until(const std::function<bool()>& predicate,
+                               double timeout_seconds) {
+  const double deadline = pa::wall_seconds() + timeout_seconds;
+  while (!predicate()) {
+    if (pa::wall_seconds() > deadline) {
+      throw TimeoutError("local wait timed out after " +
+                         std::to_string(timeout_seconds) + " s");
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+}  // namespace pa::rt

@@ -1,0 +1,63 @@
+#include "pa/saga/job.h"
+
+#include "pa/common/error.h"
+#include "pa/saga/session.h"
+
+namespace pa::saga {
+
+struct Job::Impl {
+  std::string id;
+  std::shared_ptr<infra::ResourceManager> rm;
+};
+
+const std::string& Job::id() const {
+  PA_CHECK_MSG(impl_ != nullptr, "id() on invalid Job");
+  return impl_->id;
+}
+
+infra::JobState Job::state() const {
+  PA_CHECK_MSG(impl_ != nullptr, "state() on invalid Job");
+  return impl_->rm->job_state(impl_->id);
+}
+
+void Job::cancel() {
+  PA_CHECK_MSG(impl_ != nullptr, "cancel() on invalid Job");
+  impl_->rm->cancel(impl_->id);
+}
+
+JobService::JobService(Session& session, const std::string& resource_url)
+    : url_string_(resource_url), rm_(session.resolve(resource_url)) {}
+
+const std::string& JobService::site_name() const { return rm_->site_name(); }
+
+int JobService::total_cores() const { return rm_->total_cores(); }
+
+Job JobService::submit(const JobDescription& description) {
+  PA_REQUIRE_ARG(description.number_of_nodes > 0, "nodes must be positive");
+  PA_REQUIRE_ARG(description.walltime_limit > 0.0,
+                 "walltime must be positive");
+
+  infra::JobRequest request;
+  request.name = description.executable;
+  request.owner = description.owner;
+  request.num_nodes = description.number_of_nodes;
+  request.walltime_limit = description.walltime_limit;
+  request.duration = description.simulated_duration;
+  if (description.on_started) {
+    request.on_started = [cb = description.on_started](
+                             const std::string& /*job_id*/,
+                             const infra::Allocation& alloc) { cb(alloc); };
+  }
+  if (description.on_stopped) {
+    request.on_stopped = [cb = description.on_stopped](
+                             const std::string& /*job_id*/,
+                             infra::StopReason reason) { cb(reason); };
+  }
+
+  auto impl = std::make_shared<Job::Impl>();
+  impl->rm = rm_;
+  impl->id = rm_->submit(std::move(request));
+  return Job(std::move(impl));
+}
+
+}  // namespace pa::saga

@@ -1,0 +1,42 @@
+#include "pa/saga/session.h"
+
+#include "pa/common/error.h"
+
+namespace pa::saga {
+
+std::string Session::normalize(const std::string& url) {
+  return Url::parse(url).to_string();
+}
+
+void Session::register_resource(const std::string& url,
+                                std::shared_ptr<infra::ResourceManager> rm) {
+  PA_REQUIRE_ARG(static_cast<bool>(rm), "null resource manager");
+  const std::string key = normalize(url);
+  PA_REQUIRE_ARG(resources_.find(key) == resources_.end(),
+                 "resource already registered: " << key);
+  resources_.emplace(key, std::move(rm));
+}
+
+std::shared_ptr<infra::ResourceManager> Session::resolve(
+    const std::string& url) const {
+  const auto it = resources_.find(normalize(url));
+  if (it == resources_.end()) {
+    throw NotFound("no resource registered for URL: " + url);
+  }
+  return it->second;
+}
+
+bool Session::has(const std::string& url) const {
+  return resources_.find(normalize(url)) != resources_.end();
+}
+
+std::vector<std::string> Session::resource_urls() const {
+  std::vector<std::string> out;
+  out.reserve(resources_.size());
+  for (const auto& [k, v] : resources_) {
+    out.push_back(k);
+  }
+  return out;
+}
+
+}  // namespace pa::saga

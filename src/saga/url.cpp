@@ -1,0 +1,50 @@
+#include "pa/saga/url.h"
+
+#include <algorithm>
+
+#include "pa/common/error.h"
+
+namespace pa::saga {
+
+Url Url::parse(const std::string& text) {
+  Url url;
+  const auto scheme_end = text.find("://");
+  PA_REQUIRE_ARG(scheme_end != std::string::npos && scheme_end > 0,
+                 "URL missing scheme: '" << text << "'");
+  url.scheme = text.substr(0, scheme_end);
+
+  std::string rest = text.substr(scheme_end + 3);
+  const auto query_pos = rest.find('?');
+  std::string query;
+  if (query_pos != std::string::npos) {
+    query = rest.substr(query_pos + 1);
+    rest = rest.substr(0, query_pos);
+  }
+  const auto path_pos = rest.find('/');
+  if (path_pos != std::string::npos) {
+    url.host = rest.substr(0, path_pos);
+    url.path = rest.substr(path_pos);
+  } else {
+    url.host = rest;
+  }
+  PA_REQUIRE_ARG(!url.host.empty(), "URL missing host: '" << text << "'");
+  if (!query.empty()) {
+    // Query uses '&' separators; Config::parse accepts ',' and ';' — map.
+    std::replace(query.begin(), query.end(), '&', ',');
+    url.query = pa::Config::parse(query);
+  }
+  return url;
+}
+
+std::string Url::to_string() const {
+  std::string out = scheme + "://" + host + path;
+  const std::string q = query.to_string();
+  if (!q.empty()) {
+    std::string amp = q;
+    std::replace(amp.begin(), amp.end(), ',', '&');
+    out += "?" + amp;
+  }
+  return out;
+}
+
+}  // namespace pa::saga

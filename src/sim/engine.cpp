@@ -1,0 +1,101 @@
+#include "pa/sim/engine.h"
+
+namespace pa::sim {
+
+EventId Engine::schedule_at(Time t, Callback cb) {
+  PA_REQUIRE_ARG(t >= now_,
+                 "cannot schedule in the past: t=" << t << " now=" << now_);
+  PA_REQUIRE_ARG(static_cast<bool>(cb), "null callback");
+  const EventId id = next_id_++;
+  const Key key{t, next_seq_++};
+  queue_.emplace(key, Entry{id, std::move(cb)});
+  by_id_.emplace(id, key);
+  return id;
+}
+
+bool Engine::cancel(EventId id) {
+  const auto it = by_id_.find(id);
+  if (it == by_id_.end()) {
+    return false;
+  }
+  queue_.erase(it->second);
+  by_id_.erase(it);
+  return true;
+}
+
+bool Engine::step() {
+  if (queue_.empty()) {
+    return false;
+  }
+  auto it = queue_.begin();
+  PA_CHECK_MSG(it->first.first >= now_, "event queue went backwards");
+  now_ = it->first.first;
+  // Move the callback out before erasing: the callback may schedule or
+  // cancel other events (but cannot touch this one — it is already removed).
+  Callback cb = std::move(it->second.cb);
+  by_id_.erase(it->second.id);
+  queue_.erase(it);
+  ++processed_;
+  cb();
+  return true;
+}
+
+void Engine::run() {
+  while (step()) {
+  }
+}
+
+Time Engine::run_until(Time t) {
+  PA_REQUIRE_ARG(t >= now_, "run_until into the past");
+  while (!queue_.empty() && queue_.begin()->first.first <= t) {
+    step();
+  }
+  now_ = t;
+  return now_;
+}
+
+Time Engine::next_event_time() const {
+  return queue_.empty() ? kTimeInfinity : queue_.begin()->first.first;
+}
+
+PeriodicTimer::PeriodicTimer(Engine& engine, Time period,
+                             std::function<void()> cb)
+    : engine_(engine), period_(period), cb_(std::move(cb)) {
+  PA_REQUIRE_ARG(period_ > 0.0, "timer period must be positive");
+}
+
+PeriodicTimer::~PeriodicTimer() { stop(); }
+
+void PeriodicTimer::start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  arm();
+}
+
+void PeriodicTimer::stop() {
+  if (!running_) {
+    return;
+  }
+  running_ = false;
+  if (pending_ != 0) {
+    engine_.cancel(pending_);
+    pending_ = 0;
+  }
+}
+
+void PeriodicTimer::arm() {
+  pending_ = engine_.schedule(period_, [this]() {
+    pending_ = 0;
+    if (!running_) {
+      return;
+    }
+    cb_();
+    if (running_) {
+      arm();
+    }
+  });
+}
+
+}  // namespace pa::sim

@@ -1,0 +1,172 @@
+#include "pa/stream/broker.h"
+
+#include <atomic>
+#include <functional>
+
+#include "pa/common/time_utils.h"
+
+namespace pa::stream {
+
+void Broker::create_topic(const std::string& topic, int partitions) {
+  PA_REQUIRE_ARG(partitions > 0, "topic needs partitions: " << topic);
+  std::lock_guard<std::mutex> lock(topics_mutex_);
+  PA_REQUIRE_ARG(topics_.find(topic) == topics_.end(),
+                 "topic exists: " << topic);
+  auto t = std::make_unique<Topic>();
+  t->partitions.reserve(static_cast<std::size_t>(partitions));
+  for (int i = 0; i < partitions; ++i) {
+    t->partitions.push_back(std::make_unique<Partition>());
+  }
+  topics_.emplace(topic, std::move(t));
+}
+
+bool Broker::has_topic(const std::string& topic) const {
+  std::lock_guard<std::mutex> lock(topics_mutex_);
+  return topics_.find(topic) != topics_.end();
+}
+
+const Broker::Topic& Broker::topic_ref(const std::string& topic) const {
+  std::lock_guard<std::mutex> lock(topics_mutex_);
+  const auto it = topics_.find(topic);
+  if (it == topics_.end()) {
+    throw NotFound("unknown topic: " + topic);
+  }
+  return *it->second;
+}
+
+Broker::Topic& Broker::topic_ref(const std::string& topic) {
+  std::lock_guard<std::mutex> lock(topics_mutex_);
+  const auto it = topics_.find(topic);
+  if (it == topics_.end()) {
+    throw NotFound("unknown topic: " + topic);
+  }
+  return *it->second;
+}
+
+Broker::Partition& Broker::partition_ref(Topic& t, int partition) {
+  PA_REQUIRE_ARG(partition >= 0 &&
+                     partition < static_cast<int>(t.partitions.size()),
+                 "partition out of range: " << partition);
+  return *t.partitions[static_cast<std::size_t>(partition)];
+}
+
+const Broker::Partition& Broker::partition_ref(const Topic& t, int partition) {
+  PA_REQUIRE_ARG(partition >= 0 &&
+                     partition < static_cast<int>(t.partitions.size()),
+                 "partition out of range: " << partition);
+  return *t.partitions[static_cast<std::size_t>(partition)];
+}
+
+int Broker::partition_count(const std::string& topic) const {
+  return static_cast<int>(topic_ref(topic).partitions.size());
+}
+
+std::vector<std::string> Broker::topic_names() const {
+  std::lock_guard<std::mutex> lock(topics_mutex_);
+  std::vector<std::string> out;
+  out.reserve(topics_.size());
+  for (const auto& [name, t] : topics_) {
+    out.push_back(name);
+  }
+  return out;
+}
+
+std::pair<int, std::uint64_t> Broker::produce(const std::string& topic,
+                                              std::string key,
+                                              std::string payload) {
+  Topic& t = topic_ref(topic);
+  int partition = 0;
+  const int nparts = static_cast<int>(t.partitions.size());
+  if (!key.empty()) {
+    partition = static_cast<int>(std::hash<std::string>{}(key) %
+                                 static_cast<std::size_t>(nparts));
+  } else {
+    partition = static_cast<int>(
+        t.rr_cursor.fetch_add(1, std::memory_order_relaxed) %
+        static_cast<std::uint64_t>(nparts));
+  }
+  const std::uint64_t offset =
+      produce_to(topic, partition, std::move(key), std::move(payload));
+  return {partition, offset};
+}
+
+std::uint64_t Broker::produce_to(const std::string& topic, int partition,
+                                 std::string key, std::string payload) {
+  Topic& t = topic_ref(topic);
+  Partition& p = partition_ref(t, partition);
+  const std::uint64_t bytes = payload.size();
+  std::uint64_t offset = 0;
+  {
+    std::lock_guard<std::mutex> lock(p.mutex);
+    Message msg;
+    msg.offset = p.base_offset + p.log.size();
+    msg.produce_time = pa::wall_seconds();
+    msg.key = std::move(key);
+    msg.payload = std::move(payload);
+    offset = msg.offset;
+    p.log.push_back(std::move(msg));
+  }
+  {
+    std::lock_guard<std::mutex> lock(t.stats_mutex);
+    t.stats.messages_in += 1;
+    t.stats.bytes_in += bytes;
+  }
+  return offset;
+}
+
+std::uint64_t Broker::fetch(const std::string& topic, int partition,
+                            std::uint64_t offset, std::size_t max_messages,
+                            std::vector<Message>& out) const {
+  const Topic& t = topic_ref(topic);
+  const Partition& p = partition_ref(t, partition);
+  std::lock_guard<std::mutex> lock(p.mutex);
+  if (offset < p.base_offset) {
+    throw NotFound("offset " + std::to_string(offset) +
+                   " below retention on " + topic + "/" +
+                   std::to_string(partition));
+  }
+  const std::uint64_t end = p.base_offset + p.log.size();
+  std::uint64_t next = offset;
+  std::size_t appended = 0;
+  while (next < end && appended < max_messages) {
+    out.push_back(p.log[static_cast<std::size_t>(next - p.base_offset)]);
+    ++next;
+    ++appended;
+  }
+  return next;
+}
+
+std::uint64_t Broker::end_offset(const std::string& topic,
+                                 int partition) const {
+  const Topic& t = topic_ref(topic);
+  const Partition& p = partition_ref(t, partition);
+  std::lock_guard<std::mutex> lock(p.mutex);
+  return p.base_offset + p.log.size();
+}
+
+std::uint64_t Broker::begin_offset(const std::string& topic,
+                                   int partition) const {
+  const Topic& t = topic_ref(topic);
+  const Partition& p = partition_ref(t, partition);
+  std::lock_guard<std::mutex> lock(p.mutex);
+  return p.base_offset;
+}
+
+void Broker::truncate(const std::string& topic, int partition,
+                      std::uint64_t up_to_offset) {
+  Topic& t = topic_ref(topic);
+  Partition& p = partition_ref(t, partition);
+  std::lock_guard<std::mutex> lock(p.mutex);
+  while (!p.log.empty() && p.base_offset < up_to_offset) {
+    p.log.pop_front();
+    ++p.base_offset;
+  }
+}
+
+TopicStats Broker::stats(const std::string& topic) const {
+  const Topic& t = topic_ref(topic);
+  std::lock_guard<std::mutex> lock(t.stats_mutex);
+  return t.stats;
+}
+
+}  // namespace pa::stream

@@ -1,0 +1,36 @@
+#include "pa/stream/producer.h"
+
+namespace pa::stream {
+
+Producer::Producer(Broker& broker, std::string topic, ProducerConfig config)
+    : broker_(broker), topic_(std::move(topic)), config_(config) {
+  PA_REQUIRE_ARG(config_.batch_size > 0, "batch size must be positive");
+  buffer_.reserve(config_.batch_size);
+}
+
+Producer::~Producer() {
+  try {
+    flush();
+  } catch (...) {
+    // Destructor must not throw; unflushed messages are lost, as with a
+    // real client that is destroyed without flushing.
+  }
+}
+
+void Producer::send(std::string key, std::string payload) {
+  bytes_ += payload.size();
+  ++messages_;
+  buffer_.push_back({std::move(key), std::move(payload)});
+  if (buffer_.size() >= config_.batch_size) {
+    flush();
+  }
+}
+
+void Producer::flush() {
+  for (auto& msg : buffer_) {
+    broker_.produce(topic_, std::move(msg.key), std::move(msg.payload));
+  }
+  buffer_.clear();
+}
+
+}  // namespace pa::stream

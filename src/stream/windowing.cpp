@@ -1,0 +1,97 @@
+#include "pa/stream/windowing.h"
+
+#include <cmath>
+
+#include "pa/common/error.h"
+
+namespace pa::stream {
+
+TumblingWindow::TumblingWindow(double window_seconds, double allowed_lateness)
+    : window_seconds_(window_seconds), allowed_lateness_(allowed_lateness) {
+  PA_REQUIRE_ARG(window_seconds_ > 0.0, "window width must be positive");
+  PA_REQUIRE_ARG(allowed_lateness_ >= 0.0, "lateness must be non-negative");
+}
+
+std::int64_t TumblingWindow::window_index(double t) const {
+  return static_cast<std::int64_t>(std::floor(t / window_seconds_));
+}
+
+WindowResult TumblingWindow::close_window(std::int64_t index) {
+  WindowResult result;
+  result.index = index;
+  result.start = static_cast<double>(index) * window_seconds_;
+  result.end = result.start + window_seconds_;
+  const auto it = open_.find(index);
+  if (it != open_.end()) {
+    result.per_key = std::move(it->second);
+    open_.erase(it);
+  }
+  return result;
+}
+
+std::vector<WindowResult> TumblingWindow::add(const Message& message,
+                                              double value) {
+  const double t = message.produce_time;
+  const std::int64_t idx = window_index(t);
+
+  // A closed window is one whose end has passed the watermark by more
+  // than the allowed lateness.
+  const bool closed =
+      watermark_ > -std::numeric_limits<double>::infinity() &&
+      (static_cast<double>(idx) + 1.0) * window_seconds_ +
+              allowed_lateness_ <=
+          watermark_;
+  if (closed) {
+    ++late_dropped_;
+  } else {
+    open_[idx][message.key].add(value);
+  }
+
+  std::vector<WindowResult> emitted;
+  if (t > watermark_) {
+    watermark_ = t;
+    // Emit every open window whose end (+ lateness) the watermark passed.
+    while (!open_.empty()) {
+      const std::int64_t oldest = open_.begin()->first;
+      const double close_at =
+          (static_cast<double>(oldest) + 1.0) * window_seconds_ +
+          allowed_lateness_;
+      if (watermark_ < close_at) {
+        break;
+      }
+      emitted.push_back(close_window(oldest));
+    }
+  }
+  return emitted;
+}
+
+std::vector<WindowResult> TumblingWindow::flush() {
+  std::vector<WindowResult> out;
+  while (!open_.empty()) {
+    out.push_back(close_window(open_.begin()->first));
+  }
+  return out;
+}
+
+WindowResult merge_windows(const std::vector<WindowResult>& parts) {
+  PA_REQUIRE_ARG(!parts.empty(), "nothing to merge");
+  WindowResult merged = parts.front();
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    PA_REQUIRE_ARG(parts[i].index == merged.index,
+                   "merging windows with different indices");
+    for (const auto& [key, agg] : parts[i].per_key) {
+      KeyAggregate& into = merged.per_key[key];
+      into.count += agg.count;
+      into.sum += agg.sum;
+      if (agg.min < into.min) {
+        into.min = agg.min;
+      }
+      if (agg.max > into.max) {
+        into.max = agg.max;
+      }
+    }
+  }
+  return merged;
+}
+
+}  // namespace pa::stream

@@ -1,0 +1,162 @@
+#include "pa/common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include "pa/common/stats.h"
+
+namespace pa {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) {
+      ++equal;
+    }
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(10.0, 20.0);
+    EXPECT_GE(u, 10.0);
+    EXPECT_LT(u, 20.0);
+  }
+}
+
+TEST(Rng, UniformIntBoundsInclusive) {
+  Rng rng(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    saw_lo |= v == 3;
+    saw_hi |= v == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(5);
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) {
+    s.add(rng.normal(10.0, 3.0));
+  }
+  EXPECT_NEAR(s.mean(), 10.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 3.0, 0.1);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(5);
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) {
+    s.add(rng.exponential(0.5));
+  }
+  EXPECT_NEAR(s.mean(), 2.0, 0.1);
+}
+
+TEST(Rng, LognormalMatchesAnalyticMean) {
+  Rng rng(5);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) {
+    s.add(rng.lognormal(1.0, 0.5));
+  }
+  const double expected = std::exp(1.0 + 0.5 * 0.5 * 0.5);
+  EXPECT_NEAR(s.mean() / expected, 1.0, 0.05);
+}
+
+TEST(Rng, PoissonMeanSmallLambda) {
+  Rng rng(5);
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) {
+    s.add(static_cast<double>(rng.poisson(3.0)));
+  }
+  EXPECT_NEAR(s.mean(), 3.0, 0.1);
+}
+
+TEST(Rng, PoissonMeanLargeLambdaUsesNormalApprox) {
+  Rng rng(5);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) {
+    s.add(static_cast<double>(rng.poisson(200.0)));
+  }
+  EXPECT_NEAR(s.mean(), 200.0, 2.0);
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(5);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) {
+    hits += rng.bernoulli(0.25) ? 1 : 0;
+  }
+  EXPECT_NEAR(hits / 100000.0, 0.25, 0.01);
+}
+
+TEST(Rng, SplitStreamsDecorrelated) {
+  Rng parent(9);
+  Rng c1 = parent.split(1);
+  Rng c2 = parent.split(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (c1.next_u64() == c2.next_u64()) {
+      ++equal;
+    }
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(DurationDistribution, ConstantSamplesExactly) {
+  Rng rng(1);
+  const auto d = DurationDistribution::constant(4.5);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(d.sample(rng), 4.5);
+  }
+  EXPECT_DOUBLE_EQ(d.mean(), 4.5);
+}
+
+TEST(DurationDistribution, SamplesNonNegative) {
+  Rng rng(1);
+  const auto d = DurationDistribution::normal(0.1, 5.0);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(d.sample(rng), 0.0);
+  }
+}
+
+TEST(DurationDistribution, MeanFormulas) {
+  EXPECT_DOUBLE_EQ(DurationDistribution::uniform(2.0, 4.0).mean(), 3.0);
+  EXPECT_DOUBLE_EQ(DurationDistribution::exponential(0.25).mean(), 4.0);
+  EXPECT_NEAR(DurationDistribution::lognormal(0.0, 1.0).mean(),
+              std::exp(0.5), 1e-12);
+}
+
+TEST(Rng, UniformBoundsValidated) {
+  Rng rng(1);
+  EXPECT_DEATH(rng.uniform(5.0, 1.0), "uniform bounds");
+}
+
+}  // namespace
+}  // namespace pa

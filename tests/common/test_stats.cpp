@@ -1,0 +1,129 @@
+#include "pa/common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pa/common/error.h"
+#include "pa/common/rng.h"
+
+namespace pa {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(42.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(RunningStats, KnownSequence) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(v);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.normal(3.0, 2.0);
+    (i % 2 == 0 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
+}
+
+TEST(SampleSet, PercentilesExact) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) {
+    s.add(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 100.0);
+  EXPECT_NEAR(s.median(), 50.5, 1e-12);
+  EXPECT_NEAR(s.percentile(25.0), 25.75, 1e-12);
+}
+
+TEST(SampleSet, PercentileAfterMoreAdds) {
+  SampleSet s;
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.median(), 1.0);
+  s.add(3.0);
+  s.add(2.0);
+  // The lazily sorted cache must refresh after new values arrive.
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(SampleSet, PercentileRangeChecked) {
+  SampleSet s;
+  s.add(1.0);
+  EXPECT_THROW(s.percentile(-1.0), InvalidArgument);
+  EXPECT_THROW(s.percentile(101.0), InvalidArgument);
+}
+
+TEST(SampleSet, MeanAndStddev) {
+  SampleSet s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(v);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(SampleSet, SummaryMentionsCount) {
+  SampleSet s;
+  s.add(1.0);
+  s.add(2.0);
+  EXPECT_NE(s.summary().find("n=2"), std::string::npos);
+}
+
+TEST(RelativeError, Basics) {
+  EXPECT_DOUBLE_EQ(relative_error(110.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(relative_error(90.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(relative_error(5.0, 0.0, 1.0), 5.0);
+}
+
+}  // namespace
+}  // namespace pa

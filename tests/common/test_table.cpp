@@ -1,0 +1,107 @@
+#include "pa/common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "pa/common/error.h"
+
+namespace pa {
+namespace {
+
+TEST(Table, AsciiContainsHeadersAndValues) {
+  Table t("demo");
+  t.set_columns(std::vector<std::string>{"name", "count"});
+  t.add_row({std::string("foo"), static_cast<std::int64_t>(7)});
+  const std::string ascii = t.to_ascii();
+  EXPECT_NE(ascii.find("name"), std::string::npos);
+  EXPECT_NE(ascii.find("count"), std::string::npos);
+  EXPECT_NE(ascii.find("foo"), std::string::npos);
+  EXPECT_NE(ascii.find("7"), std::string::npos);
+}
+
+TEST(Table, RowSizeValidated) {
+  Table t;
+  t.set_columns(std::vector<std::string>{"a", "b"});
+  EXPECT_THROW(t.add_row({std::string("only-one")}), InvalidArgument);
+}
+
+TEST(Table, ColumnsLockedAfterRows) {
+  Table t;
+  t.set_columns(std::vector<std::string>{"a"});
+  t.add_row({std::string("x")});
+  EXPECT_THROW(t.set_columns(std::vector<std::string>{"a", "b"}),
+               InvalidArgument);
+}
+
+TEST(Table, DoublePrecisionRespected) {
+  Table t;
+  t.set_columns({Column{"v", 2, true}});
+  t.add_row({3.14159});
+  EXPECT_NE(t.to_ascii().find("3.14"), std::string::npos);
+  EXPECT_EQ(t.to_ascii().find("3.142"), std::string::npos);
+}
+
+TEST(Table, CsvEscaping) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Table, CsvRoundTripStructure) {
+  Table t;
+  t.set_columns(std::vector<std::string>{"k", "v"});
+  t.add_row({std::string("x"), 1.5});
+  t.add_row({std::string("y,z"), 2.5});
+  const std::string csv = t.to_csv();
+  std::istringstream iss(csv);
+  std::string line;
+  std::getline(iss, line);
+  EXPECT_EQ(line, "k,v");
+  std::getline(iss, line);
+  EXPECT_EQ(line, "x,1.500");
+  std::getline(iss, line);
+  EXPECT_EQ(line, "\"y,z\",2.500");
+}
+
+TEST(Table, AtAccessorBoundsChecked) {
+  Table t;
+  t.set_columns(std::vector<std::string>{"a"});
+  t.add_row({static_cast<std::int64_t>(1)});
+  EXPECT_EQ(std::get<std::int64_t>(t.at(0, 0)), 1);
+  EXPECT_THROW(t.at(1, 0), InvalidArgument);
+  EXPECT_THROW(t.at(0, 1), InvalidArgument);
+}
+
+TEST(Table, WriteCsvToFile) {
+  Table t;
+  t.set_columns(std::vector<std::string>{"a"});
+  t.add_row({static_cast<std::int64_t>(5)});
+  const std::string path = "/tmp/pa_table_test.csv";
+  t.write_csv(path);
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "a\n5\n");
+  std::remove(path.c_str());
+}
+
+TEST(Table, WriteCsvBadPathThrows) {
+  Table t;
+  t.set_columns(std::vector<std::string>{"a"});
+  EXPECT_THROW(t.write_csv("/nonexistent-dir/x.csv"), Error);
+}
+
+TEST(Table, PrintIncludesTitle) {
+  Table t("My Title");
+  t.set_columns(std::vector<std::string>{"a"});
+  std::ostringstream oss;
+  t.print(oss);
+  EXPECT_NE(oss.str().find("My Title"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pa

@@ -1,0 +1,119 @@
+#include "pa/common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <thread>
+
+#include "pa/common/error.h"
+
+namespace pa {
+namespace {
+
+TEST(ThreadPool, ExecutesSubmittedWork) {
+  ThreadPool pool(4);
+  auto future = pool.submit([]() { return 6 * 7; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, RunsManyTasks) {
+  ThreadPool pool(8);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.enqueue([&counter]() { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPool, UsesMultipleThreads) {
+  ThreadPool pool(4);
+  std::mutex m;
+  std::set<std::thread::id> ids;
+  std::atomic<int> running{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.enqueue([&]() {
+      running.fetch_add(1);
+      // Hold the thread briefly so others must pick up work.
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      std::lock_guard<std::mutex> lock(m);
+      ids.insert(std::this_thread::get_id());
+    });
+  }
+  pool.wait_idle();
+  EXPECT_GE(ids.size(), 2u);
+}
+
+TEST(ThreadPool, FutureCarriesExceptions) {
+  ThreadPool pool(1);
+  auto future = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, EnqueueExceptionSwallowed) {
+  ThreadPool pool(1);
+  pool.enqueue([]() { throw std::runtime_error("fire and forget"); });
+  std::atomic<bool> ran{false};
+  pool.enqueue([&ran]() { ran.store(true); });
+  pool.wait_idle();
+  EXPECT_TRUE(ran.load());  // pool survived the throwing task
+}
+
+TEST(ThreadPool, ShutdownDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.enqueue([&counter]() {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        counter.fetch_add(1);
+      });
+    }
+    pool.shutdown();
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ShutdownNowDiscardsQueued) {
+  std::atomic<int> counter{0};
+  ThreadPool pool(1);
+  // Block the single worker, then stack up tasks that will be discarded.
+  std::atomic<bool> release{false};
+  pool.enqueue([&release]() {
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  for (int i = 0; i < 50; ++i) {
+    pool.enqueue([&counter]() { counter.fetch_add(1); });
+  }
+  release.store(true);
+  pool.shutdown_now();
+  EXPECT_LT(counter.load(), 50);
+}
+
+TEST(ThreadPool, RejectsWorkAfterShutdown) {
+  ThreadPool pool(1);
+  pool.shutdown();
+  EXPECT_THROW(pool.enqueue([]() {}), InvalidStateError);
+}
+
+TEST(ThreadPool, SizeReported) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, RequiresAtLeastOneThread) {
+  EXPECT_THROW(ThreadPool(0), InvalidArgument);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace pa

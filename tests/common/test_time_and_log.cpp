@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "pa/common/id.h"
+#include "pa/common/log.h"
+#include "pa/common/time_utils.h"
+
+namespace pa {
+namespace {
+
+TEST(WallSeconds, Monotonic) {
+  const double a = wall_seconds();
+  const double b = wall_seconds();
+  EXPECT_GE(b, a);
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double t = sw.elapsed();
+  EXPECT_GE(t, 0.018);
+  EXPECT_LT(t, 1.0);  // generous upper bound for loaded CI
+  sw.restart();
+  EXPECT_LT(sw.elapsed(), 0.018);
+}
+
+TEST(BurnCpu, ApproximatesRequestedDuration) {
+  burn_cpu(0.001);  // warm calibration
+  Stopwatch sw;
+  burn_cpu(0.05);
+  const double t = sw.elapsed();
+  EXPECT_GE(t, 0.045);
+  EXPECT_LT(t, 0.5);  // scheduling noise allowance
+}
+
+TEST(BurnCpu, ZeroAndNegativeAreNoOps) {
+  Stopwatch sw;
+  burn_cpu(0.0);
+  burn_cpu(-1.0);
+  EXPECT_LT(sw.elapsed(), 0.01);
+}
+
+TEST(IdGenerator, SequentialAndPrefixed) {
+  IdGenerator gen("unit");
+  EXPECT_EQ(gen.next(), "unit-0");
+  EXPECT_EQ(gen.next(), "unit-1");
+  gen.reset();
+  EXPECT_EQ(gen.next(), "unit-0");
+}
+
+TEST(IdGenerator, ThreadSafeUniqueness) {
+  IdGenerator gen("x");
+  std::vector<std::thread> threads;
+  std::mutex m;
+  std::set<std::string> ids;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&]() {
+      for (int i = 0; i < 250; ++i) {
+        const std::string id = gen.next();
+        std::lock_guard<std::mutex> lock(m);
+        ids.insert(id);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(ids.size(), 1000u);
+}
+
+TEST(Log, LevelGatesEmission) {
+  const LogLevel saved = Log::level();
+  Log::set_level(LogLevel::kError);
+  EXPECT_FALSE(Log::enabled(LogLevel::kDebug));
+  EXPECT_FALSE(Log::enabled(LogLevel::kWarn));
+  EXPECT_TRUE(Log::enabled(LogLevel::kError));
+  Log::set_level(LogLevel::kDebug);
+  EXPECT_TRUE(Log::enabled(LogLevel::kDebug));
+  Log::set_level(saved);
+}
+
+TEST(Log, MacroCompilesAndStreams) {
+  const LogLevel saved = Log::level();
+  Log::set_level(LogLevel::kOff);
+  // With logging off the stream expression must not be evaluated eagerly
+  // into output (and must still compile with mixed types).
+  PA_LOG(kInfo, "test") << "value=" << 42 << " pi=" << 3.14;
+  Log::set_level(saved);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace pa

@@ -1,0 +1,306 @@
+#include "pa/core/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "pa/common/error.h"
+#include "pa/common/rng.h"
+
+namespace pa::core {
+namespace {
+
+PilotView pilot(const std::string& id, const std::string& site, int free,
+                double cost = 0.0, double walltime = 1e9) {
+  PilotView p;
+  p.pilot_id = id;
+  p.site = site;
+  p.total_cores = free;
+  p.free_cores = free;
+  p.cost_per_core_hour = cost;
+  p.remaining_walltime = walltime;
+  return p;
+}
+
+UnitView unit(const std::string& id, int cores, double duration = 1.0) {
+  UnitView u;
+  u.unit_id = id;
+  u.cores = cores;
+  u.expected_duration = duration;
+  return u;
+}
+
+/// Checks the capacity invariant for any scheduler output.
+void check_capacity(const std::vector<Assignment>& assignments,
+                    const std::vector<UnitView>& units,
+                    const std::vector<PilotView>& pilots) {
+  std::map<std::string, int> used;
+  std::map<std::string, int> unit_cores;
+  std::map<std::string, int> assigned_count;
+  for (const auto& u : units) {
+    unit_cores[u.unit_id] = u.cores;
+  }
+  for (const auto& a : assignments) {
+    used[a.pilot_id] += unit_cores.at(a.unit_id);
+    assigned_count[a.unit_id] += 1;
+    EXPECT_EQ(assigned_count[a.unit_id], 1) << "unit assigned twice";
+  }
+  for (const auto& p : pilots) {
+    EXPECT_LE(used[p.pilot_id], p.free_cores)
+        << "pilot " << p.pilot_id << " oversubscribed";
+  }
+}
+
+TEST(FifoScheduler, AssignsInOrder) {
+  FifoScheduler sched;
+  const std::vector<PilotView> pilots = {pilot("p1", "a", 4)};
+  const std::vector<UnitView> units = {unit("u1", 2), unit("u2", 2),
+                                       unit("u3", 2)};
+  const auto out = sched.schedule(units, pilots);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].unit_id, "u1");
+  EXPECT_EQ(out[1].unit_id, "u2");
+  check_capacity(out, units, pilots);
+}
+
+TEST(FifoScheduler, HeadOfLineBlocks) {
+  FifoScheduler sched;
+  const std::vector<PilotView> pilots = {pilot("p1", "a", 4)};
+  // u1 cannot fit anywhere; u2 could, but FIFO must not jump it ahead.
+  const std::vector<UnitView> units = {unit("u1", 8), unit("u2", 1)};
+  const auto out = sched.schedule(units, pilots);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(BackfillScheduler, SkipsBlockedHead) {
+  BackfillScheduler sched;
+  const std::vector<PilotView> pilots = {pilot("p1", "a", 4)};
+  const std::vector<UnitView> units = {unit("u1", 8), unit("u2", 1)};
+  const auto out = sched.schedule(units, pilots);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].unit_id, "u2");
+}
+
+TEST(BackfillScheduler, RespectsWalltime) {
+  BackfillScheduler sched;
+  std::vector<PilotView> pilots = {pilot("p1", "a", 4, 0.0, 10.0)};
+  const std::vector<UnitView> units = {unit("u-long", 1, 100.0),
+                                       unit("u-short", 1, 5.0)};
+  const auto out = sched.schedule(units, pilots);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].unit_id, "u-short");
+}
+
+TEST(BackfillScheduler, PreferredSiteHonored) {
+  BackfillScheduler sched;
+  const std::vector<PilotView> pilots = {pilot("p1", "a", 4),
+                                         pilot("p2", "b", 4)};
+  UnitView u = unit("u1", 1);
+  u.preferred_site = "b";
+  const auto out = sched.schedule({u}, pilots);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].pilot_id, "p2");
+}
+
+TEST(BackfillScheduler, PreferredSiteFallsBackWhenFull) {
+  BackfillScheduler sched;
+  const std::vector<PilotView> pilots = {pilot("p1", "a", 4),
+                                         pilot("p2", "b", 0)};
+  UnitView u = unit("u1", 1);
+  u.preferred_site = "b";
+  const auto out = sched.schedule({u}, pilots);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].pilot_id, "p1");
+}
+
+TEST(RoundRobinScheduler, SpreadsAcrossPilots) {
+  RoundRobinScheduler sched;
+  const std::vector<PilotView> pilots = {pilot("p1", "a", 4),
+                                         pilot("p2", "b", 4)};
+  const std::vector<UnitView> units = {unit("u1", 1), unit("u2", 1),
+                                       unit("u3", 1), unit("u4", 1)};
+  const auto out = sched.schedule(units, pilots);
+  ASSERT_EQ(out.size(), 4u);
+  std::map<std::string, int> per_pilot;
+  for (const auto& a : out) {
+    per_pilot[a.pilot_id] += 1;
+  }
+  EXPECT_EQ(per_pilot["p1"], 2);
+  EXPECT_EQ(per_pilot["p2"], 2);
+}
+
+TEST(RoundRobinScheduler, CursorPersistsAcrossCalls) {
+  RoundRobinScheduler sched;
+  const std::vector<PilotView> pilots = {pilot("p1", "a", 4),
+                                         pilot("p2", "b", 4)};
+  const auto first = sched.schedule({unit("u1", 1)}, pilots);
+  const auto second = sched.schedule({unit("u2", 1)}, pilots);
+  ASSERT_EQ(first.size(), 1u);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_NE(first[0].pilot_id, second[0].pilot_id);
+}
+
+TEST(DataAffinityScheduler, PicksSiteWithMostLocalData) {
+  DataAffinityScheduler sched;
+  const std::vector<PilotView> pilots = {pilot("p1", "a", 4),
+                                         pilot("p2", "b", 4)};
+  UnitView u = unit("u1", 1);
+  u.input_bytes_by_site["a"] = 1e6;
+  u.input_bytes_by_site["b"] = 9e6;
+  u.total_input_bytes = 1e7;
+  const auto out = sched.schedule({u}, pilots);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].pilot_id, "p2");
+}
+
+TEST(DataAffinityScheduler, FallsBackWhenDataSiteFull) {
+  DataAffinityScheduler sched;
+  const std::vector<PilotView> pilots = {pilot("p1", "a", 4),
+                                         pilot("p2", "b", 0)};
+  UnitView u = unit("u1", 1);
+  u.input_bytes_by_site["b"] = 9e6;
+  const auto out = sched.schedule({u}, pilots);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].pilot_id, "p1");
+}
+
+TEST(DataAffinityScheduler, NoDataBehavesLikeBackfill) {
+  DataAffinityScheduler sched;
+  const std::vector<PilotView> pilots = {pilot("p1", "a", 2)};
+  const std::vector<UnitView> units = {unit("u1", 4), unit("u2", 1)};
+  const auto out = sched.schedule(units, pilots);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].unit_id, "u2");
+}
+
+TEST(CostAwareScheduler, PrefersCheapestPilot) {
+  CostAwareScheduler sched;
+  const std::vector<PilotView> pilots = {pilot("cloud", "ec2", 8, 0.04),
+                                         pilot("hpc", "hpc-a", 8, 0.0)};
+  const auto out = sched.schedule({unit("u1", 1)}, pilots);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].pilot_id, "hpc");
+}
+
+TEST(CostAwareScheduler, SpillsToExpensiveWhenCheapFull) {
+  CostAwareScheduler sched;
+  const std::vector<PilotView> pilots = {pilot("cloud", "ec2", 8, 0.04),
+                                         pilot("hpc", "hpc-a", 1, 0.0)};
+  const std::vector<UnitView> units = {unit("u1", 1), unit("u2", 1)};
+  const auto out = sched.schedule(units, pilots);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].pilot_id, "hpc");
+  EXPECT_EQ(out[1].pilot_id, "cloud");
+}
+
+TEST(CostAwareScheduler, PriorityBreaksCostTies) {
+  CostAwareScheduler sched;
+  PilotView low = pilot("low", "a", 8, 0.0);
+  low.priority = 1;
+  PilotView high = pilot("high", "b", 8, 0.0);
+  high.priority = 5;
+  const auto out = sched.schedule({unit("u1", 1)}, {low, high});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].pilot_id, "high");
+}
+
+TEST(LargestFirstScheduler, PlacesBigUnitsFirst) {
+  LargestFirstScheduler sched;
+  const std::vector<PilotView> pilots = {pilot("p1", "a", 4)};
+  // FCFS order: small first. Largest-first places the 4-core unit, and the
+  // small one no longer fits.
+  const std::vector<UnitView> units = {unit("small", 1), unit("big", 4)};
+  const auto out = sched.schedule(units, pilots);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].unit_id, "big");
+}
+
+TEST(ShortestFirstScheduler, PrefersShortUnits) {
+  ShortestFirstScheduler sched;
+  const std::vector<PilotView> pilots = {pilot("p1", "a", 1)};
+  // FCFS order: long first. SJF places the short unit into the single
+  // slot instead.
+  std::vector<UnitView> units = {unit("long", 1, 100.0),
+                                 unit("short", 1, 1.0)};
+  const auto out = sched.schedule(units, pilots);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].unit_id, "short");
+}
+
+TEST(ShortestFirstScheduler, StableAmongEqualDurations) {
+  ShortestFirstScheduler sched;
+  const std::vector<PilotView> pilots = {pilot("p1", "a", 1)};
+  std::vector<UnitView> units = {unit("first", 1, 5.0),
+                                 unit("second", 1, 5.0)};
+  const auto out = sched.schedule(units, pilots);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].unit_id, "first");  // stable sort keeps FCFS ties
+}
+
+TEST(MakeScheduler, KnownPoliciesConstructible) {
+  for (const std::string name : {"fifo", "backfill", "round-robin",
+                                 "data-affinity", "cost-aware",
+                                 "largest-first", "shortest-first"}) {
+    const auto sched = make_scheduler(name);
+    ASSERT_NE(sched, nullptr);
+    EXPECT_EQ(std::string(sched->name()), name);
+  }
+}
+
+TEST(MakeScheduler, UnknownPolicyThrows) {
+  EXPECT_THROW(make_scheduler("quantum"), pa::InvalidArgument);
+}
+
+// Property test: no scheduler ever oversubscribes or double-assigns, over
+// randomized workloads.
+class SchedulerProperty : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SchedulerProperty, CapacityInvariantHolds) {
+  pa::Rng rng(42);
+  for (int round = 0; round < 50; ++round) {
+    const auto sched = make_scheduler(GetParam());
+    std::vector<PilotView> pilots;
+    const int npilots = static_cast<int>(rng.uniform_int(1, 4));
+    for (int p = 0; p < npilots; ++p) {
+      pilots.push_back(pilot("p" + std::to_string(p),
+                             "site" + std::to_string(p % 2),
+                             static_cast<int>(rng.uniform_int(1, 16)), 0.0,
+                             rng.uniform(10.0, 1000.0)));
+    }
+    std::vector<UnitView> units;
+    const int nunits = static_cast<int>(rng.uniform_int(1, 30));
+    for (int u = 0; u < nunits; ++u) {
+      UnitView uv = unit("u" + std::to_string(u),
+                         static_cast<int>(rng.uniform_int(1, 8)),
+                         rng.uniform(1.0, 100.0));
+      if (rng.bernoulli(0.3)) {
+        uv.input_bytes_by_site["site0"] = rng.uniform(0.0, 1e6);
+      }
+      units.push_back(std::move(uv));
+    }
+    const auto out = sched->schedule(units, pilots);
+    check_capacity(out, units, pilots);
+    // Walltime invariant.
+    std::map<std::string, const PilotView*> by_id;
+    for (const auto& p : pilots) {
+      by_id[p.pilot_id] = &p;
+    }
+    std::map<std::string, const UnitView*> u_by_id;
+    for (const auto& u : units) {
+      u_by_id[u.unit_id] = &u;
+    }
+    for (const auto& a : out) {
+      EXPECT_LE(u_by_id.at(a.unit_id)->expected_duration,
+                by_id.at(a.pilot_id)->remaining_walltime);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, SchedulerProperty,
+                         ::testing::Values("fifo", "backfill", "round-robin",
+                                           "data-affinity", "cost-aware",
+                                           "largest-first",
+                                           "shortest-first"));
+
+}  // namespace
+}  // namespace pa::core

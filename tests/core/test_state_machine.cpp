@@ -1,0 +1,175 @@
+#include "pa/core/state_machine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pa/common/error.h"
+
+namespace pa::core {
+namespace {
+
+// --- exhaustive transition-table properties ---
+
+const std::vector<PilotState> kAllPilotStates = {
+    PilotState::kNew,  PilotState::kSubmitted, PilotState::kActive,
+    PilotState::kDone, PilotState::kFailed,    PilotState::kCanceled};
+
+const std::vector<UnitState> kAllUnitStates = {
+    UnitState::kNew,       UnitState::kPending, UnitState::kStagingIn,
+    UnitState::kScheduled, UnitState::kRunning, UnitState::kDone,
+    UnitState::kFailed,    UnitState::kCanceled};
+
+TEST(PilotStateMachine, FinalStatesAreSticky) {
+  for (const PilotState from : kAllPilotStates) {
+    if (!is_final(from)) {
+      continue;
+    }
+    for (const PilotState to : kAllPilotStates) {
+      if (to == from) {
+        continue;
+      }
+      EXPECT_FALSE(detail::pilot_transition_allowed(from, to))
+          << to_string(from) << " -> " << to_string(to);
+    }
+  }
+}
+
+TEST(UnitStateMachine, FinalStatesAreSticky) {
+  for (const UnitState from : kAllUnitStates) {
+    if (!is_final(from)) {
+      continue;
+    }
+    for (const UnitState to : kAllUnitStates) {
+      if (to == from) {
+        continue;
+      }
+      EXPECT_FALSE(detail::unit_transition_allowed(from, to))
+          << to_string(from) << " -> " << to_string(to);
+    }
+  }
+}
+
+TEST(UnitStateMachine, EveryNonFinalStateCanFailAndCancel) {
+  for (const UnitState from : kAllUnitStates) {
+    if (is_final(from)) {
+      continue;
+    }
+    EXPECT_TRUE(detail::unit_transition_allowed(from, UnitState::kFailed));
+    EXPECT_TRUE(detail::unit_transition_allowed(from, UnitState::kCanceled));
+  }
+}
+
+TEST(PilotStateMachine, HappyPath) {
+  PilotStateMachine sm(PilotState::kNew);
+  sm.transition(PilotState::kSubmitted);
+  sm.transition(PilotState::kActive);
+  sm.transition(PilotState::kDone);
+  EXPECT_EQ(sm.state(), PilotState::kDone);
+}
+
+TEST(PilotStateMachine, SkippingStatesRejected) {
+  PilotStateMachine sm(PilotState::kNew);
+  EXPECT_THROW(sm.transition(PilotState::kActive), InvalidStateError);
+  EXPECT_THROW(sm.transition(PilotState::kDone), InvalidStateError);
+  EXPECT_EQ(sm.state(), PilotState::kNew);  // unchanged after rejection
+}
+
+TEST(UnitStateMachine, HappyPathWithStaging) {
+  UnitStateMachine sm(UnitState::kNew);
+  sm.transition(UnitState::kPending);
+  sm.transition(UnitState::kStagingIn);
+  sm.transition(UnitState::kScheduled);
+  sm.transition(UnitState::kRunning);
+  sm.transition(UnitState::kDone);
+  EXPECT_EQ(sm.state(), UnitState::kDone);
+}
+
+TEST(UnitStateMachine, StagingIsOptional) {
+  UnitStateMachine sm(UnitState::kPending);
+  sm.transition(UnitState::kScheduled);
+  EXPECT_EQ(sm.state(), UnitState::kScheduled);
+}
+
+TEST(UnitStateMachine, BackwardsRejected) {
+  UnitStateMachine sm(UnitState::kRunning);
+  EXPECT_THROW(sm.transition(UnitState::kPending), InvalidStateError);
+  EXPECT_THROW(sm.transition(UnitState::kScheduled), InvalidStateError);
+}
+
+TEST(StateMachine, SelfTransitionIsNoOp) {
+  int notifications = 0;
+  UnitStateMachine sm(UnitState::kPending);
+  sm.observe([&](UnitState, UnitState) { ++notifications; });
+  sm.transition(UnitState::kPending);
+  EXPECT_EQ(notifications, 0);
+}
+
+TEST(StateMachine, ObserversSeeFromAndTo) {
+  UnitStateMachine sm(UnitState::kNew);
+  std::vector<std::pair<UnitState, UnitState>> seen;
+  sm.observe([&](UnitState from, UnitState to) { seen.emplace_back(from, to); });
+  sm.transition(UnitState::kPending);
+  sm.transition(UnitState::kScheduled);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], std::make_pair(UnitState::kNew, UnitState::kPending));
+  EXPECT_EQ(seen[1],
+            std::make_pair(UnitState::kPending, UnitState::kScheduled));
+}
+
+TEST(StateMachine, MultipleObserversAllNotified) {
+  UnitStateMachine sm(UnitState::kNew);
+  int a = 0;
+  int b = 0;
+  sm.observe([&](UnitState, UnitState) { ++a; });
+  sm.observe([&](UnitState, UnitState) { ++b; });
+  sm.transition(UnitState::kPending);
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+}
+
+TEST(StateMachine, TryTransitionReturnsFalseInsteadOfThrowing) {
+  UnitStateMachine sm(UnitState::kDone);
+  EXPECT_FALSE(sm.try_transition(UnitState::kRunning));
+  EXPECT_EQ(sm.state(), UnitState::kDone);
+  EXPECT_TRUE(sm.try_transition(UnitState::kDone));  // self, trivially true
+}
+
+TEST(StateNames, Roundtrip) {
+  EXPECT_STREQ(to_string(PilotState::kActive), "ACTIVE");
+  EXPECT_STREQ(to_string(UnitState::kStagingIn), "STAGING_IN");
+  EXPECT_STREQ(to_string(UnitState::kCanceled), "CANCELED");
+}
+
+TEST(StateFinality, Predicates) {
+  EXPECT_TRUE(is_final(PilotState::kFailed));
+  EXPECT_FALSE(is_final(PilotState::kActive));
+  EXPECT_TRUE(is_final(UnitState::kCanceled));
+  EXPECT_FALSE(is_final(UnitState::kRunning));
+}
+
+// Reachability: every unit state is reachable from NEW via allowed edges.
+TEST(UnitStateMachine, AllStatesReachableFromNew) {
+  std::set<UnitState> reached{UnitState::kNew};
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const UnitState from : reached) {
+      for (const UnitState to : kAllUnitStates) {
+        if (reached.count(to) == 0 &&
+            detail::unit_transition_allowed(from, to)) {
+          reached.insert(to);
+          changed = true;
+          break;
+        }
+      }
+      if (changed) {
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(reached.size(), kAllUnitStates.size());
+}
+
+}  // namespace
+}  // namespace pa::core

@@ -1,0 +1,168 @@
+#include "pa/core/workload_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "pa/common/error.h"
+
+namespace pa::core {
+namespace {
+
+ComputeUnitDescription unit_desc(int cores = 1, double duration = 1.0) {
+  ComputeUnitDescription d;
+  d.cores = cores;
+  d.duration = duration;
+  return d;
+}
+
+TEST(WorkloadManager, SchedulesQueuedUnitsOntoPilot) {
+  WorkloadManager wm(make_scheduler("backfill"));
+  wm.add_pilot("p1", "a", 4, 0, 0.0, 1e9);
+  wm.enqueue_unit("u1", unit_desc(2));
+  wm.enqueue_unit("u2", unit_desc(2));
+  wm.enqueue_unit("u3", unit_desc(2));
+  const auto out = wm.schedule_pass(0.0, nullptr);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(wm.free_cores("p1"), 0);
+  EXPECT_EQ(wm.queued_units(), 1u);
+  EXPECT_EQ(wm.bound_pilot("u1"), "p1");
+}
+
+TEST(WorkloadManager, UnitFinishedReleasesCores) {
+  WorkloadManager wm(make_scheduler("backfill"));
+  wm.add_pilot("p1", "a", 2, 0, 0.0, 1e9);
+  wm.enqueue_unit("u1", unit_desc(2));
+  wm.schedule_pass(0.0, nullptr);
+  EXPECT_EQ(wm.free_cores("p1"), 0);
+  wm.unit_finished("u1");
+  EXPECT_EQ(wm.free_cores("p1"), 2);
+  EXPECT_THROW(wm.bound_pilot("u1"), pa::NotFound);
+}
+
+TEST(WorkloadManager, RemovePilotReturnsOrphans) {
+  WorkloadManager wm(make_scheduler("backfill"));
+  wm.add_pilot("p1", "a", 4, 0, 0.0, 1e9);
+  wm.enqueue_unit("u1", unit_desc(2));
+  wm.enqueue_unit("u2", unit_desc(2));
+  wm.schedule_pass(0.0, nullptr);
+  const auto orphans = wm.remove_pilot("p1");
+  ASSERT_EQ(orphans.size(), 2u);
+  EXPECT_FALSE(wm.has_pilot("p1"));
+  EXPECT_EQ(wm.pilot_count(), 0u);
+}
+
+TEST(WorkloadManager, RemoveUnknownPilotReturnsEmpty) {
+  WorkloadManager wm(make_scheduler("backfill"));
+  EXPECT_TRUE(wm.remove_pilot("ghost").empty());
+}
+
+TEST(WorkloadManager, RequeueFrontPreservesPriority) {
+  WorkloadManager wm(make_scheduler("fifo"));
+  wm.enqueue_unit("u1", unit_desc(1));
+  wm.enqueue_unit("u2", unit_desc(1));
+  // Simulate recovery: u9 re-enters at the front.
+  wm.requeue_unit_front("u9", unit_desc(1));
+  wm.add_pilot("p1", "a", 1, 0, 0.0, 1e9);
+  const auto out = wm.schedule_pass(0.0, nullptr);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].unit_id, "u9");
+}
+
+TEST(WorkloadManager, RemoveQueuedUnit) {
+  WorkloadManager wm(make_scheduler("backfill"));
+  wm.enqueue_unit("u1", unit_desc(1));
+  EXPECT_TRUE(wm.remove_queued_unit("u1"));
+  EXPECT_FALSE(wm.remove_queued_unit("u1"));
+  EXPECT_EQ(wm.queued_units(), 0u);
+}
+
+TEST(WorkloadManager, NoSchedulingWithoutPilots) {
+  WorkloadManager wm(make_scheduler("backfill"));
+  wm.enqueue_unit("u1", unit_desc(1));
+  EXPECT_TRUE(wm.schedule_pass(0.0, nullptr).empty());
+}
+
+TEST(WorkloadManager, WalltimeExpiryBlocksBinding) {
+  WorkloadManager wm(make_scheduler("backfill"));
+  wm.add_pilot("p1", "a", 4, 0, 0.0, /*walltime_end=*/100.0);
+  wm.enqueue_unit("u1", unit_desc(1, /*duration=*/200.0));
+  // At t=0, 200s of work does not fit in 100s of remaining walltime.
+  EXPECT_TRUE(wm.schedule_pass(0.0, nullptr).empty());
+  // A short unit does fit.
+  wm.enqueue_unit("u2", unit_desc(1, 50.0));
+  const auto out = wm.schedule_pass(0.0, nullptr);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].unit_id, "u2");
+}
+
+TEST(WorkloadManager, DuplicatePilotRejected) {
+  WorkloadManager wm(make_scheduler("backfill"));
+  wm.add_pilot("p1", "a", 4, 0, 0.0, 1e9);
+  EXPECT_THROW(wm.add_pilot("p1", "a", 4, 0, 0.0, 1e9), pa::InvalidArgument);
+}
+
+TEST(WorkloadManager, TotalFreeCores) {
+  WorkloadManager wm(make_scheduler("backfill"));
+  wm.add_pilot("p1", "a", 4, 0, 0.0, 1e9);
+  wm.add_pilot("p2", "b", 8, 0, 0.0, 1e9);
+  EXPECT_EQ(wm.total_free_cores(), 12);
+  wm.enqueue_unit("u1", unit_desc(3));
+  wm.schedule_pass(0.0, nullptr);
+  EXPECT_EQ(wm.total_free_cores(), 9);
+}
+
+TEST(WorkloadManager, DataServiceDrivesAffinity) {
+  // Minimal in-test data service.
+  class FakeData : public DataServiceInterface {
+   public:
+    double bytes_on_site(const std::string& du,
+                         const std::string& site) const override {
+      return du == "du-1" && site == "b" ? 1e6 : 0.0;
+    }
+    double total_bytes(const std::string&) const override { return 1e6; }
+    void stage_to_site(const std::string&, const std::string&,
+                       std::function<void()> done) override {
+      done();
+    }
+    void register_output(const std::string&, const std::string&) override {}
+  };
+
+  WorkloadManager wm(make_scheduler("data-affinity"));
+  wm.add_pilot("p1", "a", 4, 0, 0.0, 1e9);
+  wm.add_pilot("p2", "b", 4, 0, 0.0, 1e9);
+  ComputeUnitDescription d = unit_desc(1);
+  d.input_data = {"du-1"};
+  wm.enqueue_unit("u1", d);
+  FakeData data;
+  const auto out = wm.schedule_pass(0.0, &data);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].pilot_id, "p2");
+}
+
+TEST(WorkloadManager, PreferredSiteAttributeFlowsThrough) {
+  WorkloadManager wm(make_scheduler("backfill"));
+  wm.add_pilot("p1", "a", 4, 0, 0.0, 1e9);
+  wm.add_pilot("p2", "b", 4, 0, 0.0, 1e9);
+  ComputeUnitDescription d = unit_desc(1);
+  d.attributes.set("preferred_site", std::string("b"));
+  wm.enqueue_unit("u1", d);
+  const auto out = wm.schedule_pass(0.0, nullptr);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].pilot_id, "p2");
+}
+
+TEST(WorkloadManager, InvalidInputsRejected) {
+  WorkloadManager wm(make_scheduler("backfill"));
+  EXPECT_THROW(wm.add_pilot("p", "a", 0, 0, 0.0, 1e9), pa::InvalidArgument);
+  EXPECT_THROW(wm.enqueue_unit("u", unit_desc(0)), pa::InvalidArgument);
+  EXPECT_THROW(wm.free_cores("ghost"), pa::NotFound);
+  EXPECT_THROW(WorkloadManager(nullptr), pa::InvalidArgument);
+}
+
+TEST(WorkloadManager, UnitFinishedOnUnboundIsNoOp) {
+  WorkloadManager wm(make_scheduler("backfill"));
+  wm.unit_finished("ghost");  // must not throw (pilot-failure races)
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace pa::core

@@ -1,0 +1,160 @@
+#include "pa/engines/dataflow.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+
+#include "pa/common/error.h"
+#include "pa/rt/local_runtime.h"
+
+namespace pa::engines {
+namespace {
+
+class DataflowTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    runtime_ = std::make_unique<rt::LocalRuntime>();
+    service_ = std::make_unique<core::PilotComputeService>(*runtime_);
+    core::PilotDescription pd;
+    pd.resource_url = "local://host";
+    pd.nodes = 4;
+    pd.walltime = 1e9;
+    service_->submit_pilot(pd);
+  }
+
+  std::unique_ptr<rt::LocalRuntime> runtime_;
+  std::unique_ptr<core::PilotComputeService> service_;
+  mem::InMemoryStore store_;
+};
+
+TEST_F(DataflowTest, LinearPipelineRunsInOrder) {
+  DataflowGraph graph(store_);
+  std::atomic<int> sequence{0};
+  std::atomic<int> extract_at{-1};
+  std::atomic<int> transform_at{-1};
+  std::atomic<int> load_at{-1};
+  graph.add_stage("extract", 1, [&](const StageContext&) {
+    extract_at = sequence.fetch_add(1);
+  });
+  graph.add_stage("transform", 1, [&](const StageContext&) {
+    transform_at = sequence.fetch_add(1);
+  }, {"extract"});
+  graph.add_stage("load", 1, [&](const StageContext&) {
+    load_at = sequence.fetch_add(1);
+  }, {"transform"});
+  const DataflowResult result = graph.run(*service_);
+  EXPECT_LT(extract_at.load(), transform_at.load());
+  EXPECT_LT(transform_at.load(), load_at.load());
+  EXPECT_EQ(result.stages.size(), 3u);
+}
+
+TEST_F(DataflowTest, ParallelismPerStage) {
+  DataflowGraph graph(store_);
+  std::atomic<int> tasks_ran{0};
+  graph.add_stage("wide", 12, [&](const StageContext& ctx) {
+    EXPECT_GE(ctx.task_index, 0);
+    EXPECT_LT(ctx.task_index, 12);
+    EXPECT_EQ(ctx.parallelism, 12);
+    tasks_ran.fetch_add(1);
+  });
+  graph.run(*service_);
+  EXPECT_EQ(tasks_ran.load(), 12);
+}
+
+TEST_F(DataflowTest, DiamondDependency) {
+  DataflowGraph graph(store_);
+  std::atomic<bool> a_done{false};
+  std::atomic<bool> b_done{false};
+  std::atomic<bool> c_done{false};
+  std::atomic<bool> join_saw_all{false};
+  graph.add_stage("a", 1, [&](const StageContext&) { a_done = true; });
+  graph.add_stage("b", 2, [&](const StageContext&) {
+    EXPECT_TRUE(a_done.load());
+    b_done = true;
+  }, {"a"});
+  graph.add_stage("c", 2, [&](const StageContext&) {
+    EXPECT_TRUE(a_done.load());
+    c_done = true;
+  }, {"a"});
+  graph.add_stage("join", 1, [&](const StageContext&) {
+    join_saw_all = b_done.load() && c_done.load();
+  }, {"b", "c"});
+  graph.run(*service_);
+  EXPECT_TRUE(join_saw_all.load());
+}
+
+TEST_F(DataflowTest, StagesShareDataThroughStore) {
+  DataflowGraph graph(store_);
+  graph.add_stage("produce", 4, [](const StageContext& ctx) {
+    ctx.store->put_typed<int>("part-" + std::to_string(ctx.task_index),
+                              ctx.task_index * 10, 4);
+  });
+  std::atomic<int> total{0};
+  graph.add_stage("consume", 1, [&](const StageContext& ctx) {
+    int sum = 0;
+    for (int i = 0; i < 4; ++i) {
+      sum += *ctx.store->get_typed<int>("part-" + std::to_string(i));
+    }
+    total = sum;
+  }, {"produce"});
+  graph.run(*service_);
+  EXPECT_EQ(total.load(), 0 + 10 + 20 + 30);
+}
+
+TEST_F(DataflowTest, TopologicalOrderDeterministic) {
+  DataflowGraph graph(store_);
+  graph.add_stage("s1", 1, [](const StageContext&) {});
+  graph.add_stage("s2", 1, [](const StageContext&) {}, {"s1"});
+  graph.add_stage("s3", 1, [](const StageContext&) {}, {"s1"});
+  graph.add_stage("s4", 1, [](const StageContext&) {}, {"s2", "s3"});
+  const auto order = graph.topological_order();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], "s1");
+  EXPECT_EQ(order[1], "s2");  // insertion order among ready stages
+  EXPECT_EQ(order[2], "s3");
+  EXPECT_EQ(order[3], "s4");
+}
+
+TEST_F(DataflowTest, StageResultsTimed) {
+  DataflowGraph graph(store_);
+  graph.add_stage("s", 2, [](const StageContext&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  });
+  const DataflowResult result = graph.run(*service_);
+  ASSERT_EQ(result.stages.size(), 1u);
+  EXPECT_GE(result.stages[0].seconds, 0.009);
+  EXPECT_EQ(result.stages[0].tasks, 2);
+  EXPECT_GE(result.total_seconds, result.stages[0].seconds);
+}
+
+TEST_F(DataflowTest, UnknownDependencyRejected) {
+  DataflowGraph graph(store_);
+  EXPECT_THROW(
+      graph.add_stage("s", 1, [](const StageContext&) {}, {"missing"}),
+      pa::InvalidArgument);
+}
+
+TEST_F(DataflowTest, DuplicateStageRejected) {
+  DataflowGraph graph(store_);
+  graph.add_stage("s", 1, [](const StageContext&) {});
+  EXPECT_THROW(graph.add_stage("s", 1, [](const StageContext&) {}),
+               pa::InvalidArgument);
+}
+
+TEST_F(DataflowTest, InvalidParallelismRejected) {
+  DataflowGraph graph(store_);
+  EXPECT_THROW(graph.add_stage("s", 0, [](const StageContext&) {}),
+               pa::InvalidArgument);
+}
+
+TEST_F(DataflowTest, FailingStageThrows) {
+  DataflowGraph graph(store_);
+  graph.add_stage("boom", 1, [](const StageContext&) {
+    throw std::runtime_error("stage failure");
+  });
+  EXPECT_THROW(graph.run(*service_), pa::Error);
+}
+
+}  // namespace
+}  // namespace pa::engines

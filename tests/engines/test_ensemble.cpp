@@ -1,0 +1,183 @@
+#include "pa/engines/ensemble.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "pa/common/error.h"
+#include "pa/infra/batch_cluster.h"
+#include "pa/rt/local_runtime.h"
+#include "pa/rt/sim_runtime.h"
+#include "pa/saga/session.h"
+
+namespace pa::engines {
+namespace {
+
+/// Simulated stack helper for ensemble runs at scale.
+struct SimStack {
+  explicit SimStack(int nodes = 8, int cores = 8) {
+    infra::BatchClusterConfig cfg;
+    cfg.name = "hpc";
+    cfg.num_nodes = nodes;
+    cfg.node.cores = cores;
+    session.register_resource(
+        "slurm://hpc", std::make_shared<infra::BatchCluster>(engine, cfg));
+    runtime = std::make_unique<rt::SimRuntime>(engine, session);
+    service = std::make_unique<core::PilotComputeService>(*runtime);
+    core::PilotDescription pd;
+    pd.resource_url = "slurm://hpc";
+    pd.nodes = nodes;
+    pd.walltime = 1e8;
+    core::Pilot pilot = service->submit_pilot(pd);
+    // Exclude pilot startup from the ensemble timings.
+    pilot.wait_active();
+  }
+
+  sim::Engine engine;
+  saga::Session session;
+  std::unique_ptr<rt::SimRuntime> runtime;
+  std::unique_ptr<core::PilotComputeService> service;
+};
+
+ReplicaExchangeConfig small_config() {
+  ReplicaExchangeConfig cfg;
+  cfg.replicas = 8;
+  cfg.generations = 5;
+  cfg.md_duration = 10.0;
+  cfg.exchange_base = 0.5;
+  cfg.exchange_per_replica = 0.01;
+  return cfg;
+}
+
+TEST(ReplicaExchangeSim, RunsAllGenerations) {
+  SimStack stack;
+  ReplicaExchangeDriver driver(small_config());
+  const auto result = driver.run(*stack.service);
+  EXPECT_EQ(result.generation_seconds.size(), 5u);
+  EXPECT_GT(result.makespan, 0.0);
+  EXPECT_EQ(result.energies.size(), 8u);
+  EXPECT_EQ(result.temperatures.size(), 8u);
+}
+
+TEST(ReplicaExchangeSim, MakespanMatchesStructure) {
+  SimStack stack(8, 1);  // 8 cores: all 8 replicas in one wave
+  ReplicaExchangeConfig cfg = small_config();
+  ReplicaExchangeDriver driver(cfg);
+  const auto result = driver.run(*stack.service);
+  // Per generation: one wave of 10 s MD (+ dispatch 0.02) + exchange unit
+  // (0.5 + 0.08 + 0.02 dispatch).
+  const double expected_gen = 10.02 + 0.6;
+  for (const double g : result.generation_seconds) {
+    EXPECT_NEAR(g, expected_gen, 0.1);
+  }
+}
+
+TEST(ReplicaExchangeSim, StrongScalingImprovesWithCores) {
+  ReplicaExchangeConfig cfg = small_config();
+  cfg.replicas = 32;
+  auto makespan_with_nodes = [&](int nodes) {
+    SimStack stack(nodes, 1);
+    ReplicaExchangeDriver driver(cfg);
+    return driver.run(*stack.service).makespan;
+  };
+  const double m8 = makespan_with_nodes(8);    // 4 waves
+  const double m32 = makespan_with_nodes(32);  // 1 wave
+  EXPECT_GT(m8, m32);
+  // Wave structure: ~4x MD time ratio, diluted by the serial exchange.
+  EXPECT_GT(m8 / m32, 2.0);
+}
+
+TEST(ReplicaExchangeSim, TemperatureLadderIsGeometric) {
+  SimStack stack;
+  ReplicaExchangeConfig cfg = small_config();
+  cfg.generations = 1;
+  cfg.t_min = 300.0;
+  cfg.t_max = 600.0;
+  ReplicaExchangeDriver driver(cfg);
+  const auto result = driver.run(*stack.service);
+  // After exchanges temperatures are a permutation of the ladder: sorted
+  // they must match the geometric sequence.
+  std::vector<double> temps = result.temperatures;
+  std::sort(temps.begin(), temps.end());
+  EXPECT_NEAR(temps.front(), 300.0, 1e-9);
+  EXPECT_NEAR(temps.back(), 600.0, 1e-9);
+  for (std::size_t i = 1; i < temps.size(); ++i) {
+    EXPECT_NEAR(temps[i] / temps[i - 1],
+                std::pow(2.0, 1.0 / 7.0), 1e-6);
+  }
+}
+
+TEST(ReplicaExchangeSim, ExchangesAttemptedEachGeneration) {
+  SimStack stack;
+  ReplicaExchangeConfig cfg = small_config();
+  cfg.replicas = 8;
+  cfg.generations = 4;
+  ReplicaExchangeDriver driver(cfg);
+  const auto result = driver.run(*stack.service);
+  // Even generations: 4 pairs; odd: 3 pairs -> 4+3+4+3 = 14.
+  EXPECT_EQ(result.exchanges_attempted, 14u);
+  EXPECT_LE(result.exchanges_accepted, result.exchanges_attempted);
+  EXPECT_GE(result.acceptance_rate(), 0.0);
+  EXPECT_LE(result.acceptance_rate(), 1.0);
+}
+
+TEST(ReplicaExchangeSim, SomeExchangesAcceptedOverLongRuns) {
+  SimStack stack;
+  ReplicaExchangeConfig cfg = small_config();
+  cfg.generations = 40;
+  cfg.md_duration = 0.1;
+  ReplicaExchangeDriver driver(cfg);
+  const auto result = driver.run(*stack.service);
+  // Adjacent temperatures are close: Metropolis accepts a healthy
+  // fraction.
+  EXPECT_GT(result.acceptance_rate(), 0.1);
+}
+
+TEST(ReplicaExchangeSim, DeterministicForSeed) {
+  ReplicaExchangeConfig cfg = small_config();
+  cfg.md_noise = 0.2;
+  auto run_once = [&]() {
+    SimStack stack;
+    ReplicaExchangeDriver driver(cfg);
+    const auto r = driver.run(*stack.service);
+    return std::make_pair(r.makespan, r.exchanges_accepted);
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(ReplicaExchangeLocal, RunsWithRealPayloads) {
+  rt::LocalRuntime runtime;
+  core::PilotComputeService service(runtime);
+  core::PilotDescription pd;
+  pd.resource_url = "local://host";
+  pd.nodes = 4;
+  pd.walltime = 1e9;
+  service.submit_pilot(pd);
+
+  ReplicaExchangeConfig cfg;
+  cfg.replicas = 4;
+  cfg.generations = 2;
+  cfg.md_duration = 0.01;  // real CPU seconds
+  cfg.exchange_base = 0.001;
+  cfg.exchange_per_replica = 0.0;
+  cfg.timeout_seconds = 120.0;
+  ReplicaExchangeDriver driver(cfg);
+  const auto result = driver.run(service);
+  EXPECT_EQ(result.generation_seconds.size(), 2u);
+  EXPECT_GT(result.makespan, 0.0);
+}
+
+TEST(ReplicaExchangeConfigValidation, Rejected) {
+  ReplicaExchangeConfig cfg;
+  cfg.replicas = 1;
+  EXPECT_THROW(ReplicaExchangeDriver{cfg}, pa::InvalidArgument);
+  cfg = ReplicaExchangeConfig{};
+  cfg.generations = 0;
+  EXPECT_THROW(ReplicaExchangeDriver{cfg}, pa::InvalidArgument);
+  cfg = ReplicaExchangeConfig{};
+  cfg.t_min = 700.0;  // above t_max
+  EXPECT_THROW(ReplicaExchangeDriver{cfg}, pa::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pa::engines

@@ -1,0 +1,170 @@
+#include "pa/engines/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include "pa/common/error.h"
+
+namespace pa::engines {
+namespace {
+
+TEST(KMeansData, GeneratorShapes) {
+  const PointBlock block = generate_clustered_points(100, 4, 3, 1);
+  EXPECT_EQ(block.count(), 100u);
+  EXPECT_EQ(block.dim, 3u);
+  EXPECT_EQ(block.values.size(), 300u);
+}
+
+TEST(KMeansData, SerializationRoundTrip) {
+  const PointBlock block = generate_clustered_points(50, 3, 5, 2);
+  const std::string bytes = serialize_points(block);
+  const PointBlock back = deserialize_points(bytes);
+  EXPECT_EQ(back.dim, block.dim);
+  EXPECT_EQ(back.count(), block.count());
+  EXPECT_EQ(back.values, block.values);
+}
+
+TEST(KMeansData, DeserializeRejectsCorruptInput) {
+  EXPECT_THROW(deserialize_points("short"), pa::InvalidArgument);
+  const PointBlock block = generate_clustered_points(10, 2, 2, 3);
+  std::string bytes = serialize_points(block);
+  bytes.pop_back();
+  EXPECT_THROW(deserialize_points(bytes), pa::InvalidArgument);
+}
+
+TEST(KMeansAssign, SinglePointGoesToNearestCentroid) {
+  PointBlock block;
+  block.dim = 2;
+  block.values = {5.0, 5.0};
+  Centroids c;
+  c.k = 2;
+  c.dim = 2;
+  c.values = {0.0, 0.0, 6.0, 6.0};
+  const KMeansPartial partial = kmeans_assign(block, c);
+  EXPECT_EQ(partial.counts[0], 0u);
+  EXPECT_EQ(partial.counts[1], 1u);
+  EXPECT_DOUBLE_EQ(partial.sums[2], 5.0);
+  EXPECT_DOUBLE_EQ(partial.inertia, 2.0);  // (1^2 + 1^2)
+}
+
+TEST(KMeansPartial, MergeAddsComponentwise) {
+  KMeansPartial a(2, 1);
+  a.sums = {1.0, 2.0};
+  a.counts = {1, 1};
+  a.inertia = 0.5;
+  KMeansPartial b(2, 1);
+  b.sums = {3.0, 4.0};
+  b.counts = {2, 3};
+  b.inertia = 1.5;
+  a.merge(b);
+  EXPECT_EQ(a.sums, (std::vector<double>{4.0, 6.0}));
+  EXPECT_EQ(a.counts, (std::vector<std::size_t>{3, 4}));
+  EXPECT_DOUBLE_EQ(a.inertia, 2.0);
+}
+
+TEST(KMeansPartial, MergeRejectsIncompatible) {
+  KMeansPartial a(2, 1);
+  KMeansPartial b(3, 1);
+  EXPECT_THROW(a.merge(b), pa::InvalidArgument);
+}
+
+TEST(KMeansUpdate, ComputesMeans) {
+  KMeansPartial merged(1, 2);
+  merged.sums = {10.0, 20.0};
+  merged.counts = {4};
+  Centroids prev;
+  prev.k = 1;
+  prev.dim = 2;
+  prev.values = {0.0, 0.0};
+  const Centroids next = kmeans_update(merged, prev);
+  EXPECT_DOUBLE_EQ(next.values[0], 2.5);
+  EXPECT_DOUBLE_EQ(next.values[1], 5.0);
+}
+
+TEST(KMeansUpdate, EmptyClusterKeepsPosition) {
+  KMeansPartial merged(2, 1);
+  merged.sums = {10.0, 0.0};
+  merged.counts = {2, 0};
+  Centroids prev;
+  prev.k = 2;
+  prev.dim = 1;
+  prev.values = {1.0, 7.0};
+  const Centroids next = kmeans_update(merged, prev);
+  EXPECT_DOUBLE_EQ(next.values[0], 5.0);
+  EXPECT_DOUBLE_EQ(next.values[1], 7.0);  // untouched
+}
+
+TEST(KMeansShift, ZeroForIdenticalSets) {
+  Centroids a;
+  a.k = 2;
+  a.dim = 2;
+  a.values = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(centroid_shift(a, a), 0.0);
+}
+
+TEST(KMeansShift, MaxOverCentroids) {
+  Centroids a;
+  a.k = 2;
+  a.dim = 1;
+  a.values = {0.0, 0.0};
+  Centroids b = a;
+  b.values = {1.0, 5.0};
+  EXPECT_DOUBLE_EQ(centroid_shift(a, b), 5.0);
+}
+
+TEST(KMeansReference, ConvergesOnSeparableData) {
+  const PointBlock block = generate_clustered_points(3000, 4, 2, 9);
+  const auto result = kmeans_reference(block, 4, 100, 1e-6);
+  EXPECT_LT(result.iterations, 100);  // converged, did not just run out
+  // Well-separated clusters with sd 1: mean in-cluster squared distance
+  // ~= dim = 2, so inertia/n should be close to 2.
+  const double per_point = result.inertia / static_cast<double>(block.count());
+  EXPECT_GT(per_point, 1.0);
+  EXPECT_LT(per_point, 3.5);
+}
+
+TEST(KMeansReference, InertiaMonotonicallyNonIncreasing) {
+  const PointBlock block = generate_clustered_points(500, 3, 2, 12);
+  Centroids c = initial_centroids(block, 3);
+  double prev_inertia = -1.0;
+  for (int i = 0; i < 10; ++i) {
+    const KMeansPartial partial = kmeans_assign(block, c);
+    if (prev_inertia >= 0.0) {
+      EXPECT_LE(partial.inertia, prev_inertia + 1e-9);
+    }
+    prev_inertia = partial.inertia;
+    c = kmeans_update(partial, c);
+  }
+}
+
+TEST(KMeansReference, KEqualsNIsPerfect) {
+  const PointBlock block = generate_clustered_points(8, 8, 2, 5);
+  const auto result = kmeans_reference(block, 8, 50, 1e-9);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-6);
+}
+
+TEST(KMeansInit, RequiresEnoughPoints) {
+  const PointBlock block = generate_clustered_points(3, 3, 2, 5);
+  EXPECT_THROW(initial_centroids(block, 4), pa::InvalidArgument);
+}
+
+TEST(KMeansAssign, DimensionMismatchRejected) {
+  PointBlock block;
+  block.dim = 2;
+  block.values = {0.0, 0.0};
+  Centroids c;
+  c.k = 1;
+  c.dim = 3;
+  c.values = {0.0, 0.0, 0.0};
+  EXPECT_THROW(kmeans_assign(block, c), pa::InvalidArgument);
+}
+
+TEST(KMeansData, DeterministicGenerator) {
+  const PointBlock a = generate_clustered_points(100, 4, 3, 42);
+  const PointBlock b = generate_clustered_points(100, 4, 3, 42);
+  EXPECT_EQ(a.values, b.values);
+  const PointBlock c = generate_clustered_points(100, 4, 3, 43);
+  EXPECT_NE(a.values, c.values);
+}
+
+}  // namespace
+}  // namespace pa::engines

@@ -1,0 +1,164 @@
+#include "pa/engines/mapreduce.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "pa/miniapp/workloads.h"
+#include "pa/rt/local_runtime.h"
+
+namespace pa::engines {
+namespace {
+
+class MapReduceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    runtime_ = std::make_unique<rt::LocalRuntime>();
+    service_ = std::make_unique<core::PilotComputeService>(*runtime_);
+    core::PilotDescription pd;
+    pd.resource_url = "local://host";
+    pd.nodes = 4;
+    pd.walltime = 1e9;
+    service_->submit_pilot(pd);
+  }
+
+  std::unique_ptr<rt::LocalRuntime> runtime_;
+  std::unique_ptr<core::PilotComputeService> service_;
+};
+
+using WordCountJob = MapReduceJob<std::string, std::string, int, int>;
+
+WordCountJob::Mapper word_mapper() {
+  return [](const std::string& line, Emitter<std::string, int>& emit) {
+    for (const auto& word : miniapp::split_words(line)) {
+      emit.emit(word, 1);
+    }
+  };
+}
+
+WordCountJob::Reducer sum_reducer() {
+  return [](const std::string&, std::vector<int>& counts) {
+    int total = 0;
+    for (int c : counts) {
+      total += c;
+    }
+    return total;
+  };
+}
+
+TEST_F(MapReduceTest, WordCountSmall) {
+  const std::vector<std::string> lines = {"a b a", "b c", "a"};
+  WordCountJob job(word_mapper(), sum_reducer(), {2, 2, 60.0});
+  const auto result = job.run(*service_, lines);
+  EXPECT_EQ(result.at("a"), 3);
+  EXPECT_EQ(result.at("b"), 2);
+  EXPECT_EQ(result.at("c"), 1);
+  EXPECT_EQ(result.size(), 3u);
+}
+
+TEST_F(MapReduceTest, MatchesSerialReference) {
+  const auto corpus = miniapp::generate_text_corpus(500, 12, 100, 7);
+  WordCountJob job(word_mapper(), sum_reducer(), {8, 4, 120.0});
+  const auto parallel = job.run(*service_, corpus);
+  const auto serial = mapreduce_serial<std::string, std::string, int, int>(
+      corpus, word_mapper(), sum_reducer());
+  EXPECT_EQ(parallel, serial);
+}
+
+TEST_F(MapReduceTest, ResultsIndependentOfTaskCounts) {
+  const auto corpus = miniapp::generate_text_corpus(300, 8, 50, 11);
+  std::map<std::string, int> reference;
+  for (const auto& [m, r] : std::vector<std::pair<int, int>>{
+           {1, 1}, {2, 3}, {7, 2}, {16, 8}}) {
+    WordCountJob job(word_mapper(), sum_reducer(), {m, r, 120.0});
+    const auto result = job.run(*service_, corpus);
+    if (reference.empty()) {
+      reference = result;
+    } else {
+      EXPECT_EQ(result, reference) << "m=" << m << " r=" << r;
+    }
+  }
+}
+
+TEST_F(MapReduceTest, EmptyInputYieldsEmptyOutput) {
+  WordCountJob job(word_mapper(), sum_reducer(), {4, 2, 60.0});
+  const auto result = job.run(*service_, {});
+  EXPECT_TRUE(result.empty());
+}
+
+TEST_F(MapReduceTest, MoreTasksThanRecords) {
+  const std::vector<std::string> lines = {"x y"};
+  WordCountJob job(word_mapper(), sum_reducer(), {8, 4, 60.0});
+  const auto result = job.run(*service_, lines);
+  EXPECT_EQ(result.at("x"), 1);
+  EXPECT_EQ(result.at("y"), 1);
+}
+
+TEST_F(MapReduceTest, StatsPopulated) {
+  const std::vector<std::string> lines = {"a b", "c d"};
+  WordCountJob job(word_mapper(), sum_reducer(), {2, 2, 60.0});
+  job.run(*service_, lines);
+  const MapReduceStats& stats = job.stats();
+  EXPECT_EQ(stats.pairs_emitted, 4u);
+  EXPECT_EQ(stats.distinct_keys, 4u);
+  EXPECT_GT(stats.total_seconds, 0.0);
+  EXPECT_GE(stats.total_seconds,
+            stats.map_seconds);  // total includes both phases
+}
+
+TEST_F(MapReduceTest, KmerMatchingPipeline) {
+  // The genome-sequencing stand-in (E4): count reference k-mer hits over
+  // sequencer reads.
+  const std::string reference = miniapp::generate_dna(2000, 3);
+  const auto reads = miniapp::generate_reads(reference, 200, 50, 0.01, 4);
+  constexpr std::size_t kK = 12;
+  std::set<std::string> ref_kmers;
+  for (auto& k : miniapp::extract_kmers(reference, kK)) {
+    ref_kmers.insert(std::move(k));
+  }
+
+  using KmerJob = MapReduceJob<std::string, std::string, int, int>;
+  KmerJob job(
+      [&ref_kmers](const std::string& read, Emitter<std::string, int>& emit) {
+        for (const auto& kmer : miniapp::extract_kmers(read, kK)) {
+          if (ref_kmers.count(kmer) > 0) {
+            emit.emit(kmer, 1);
+          }
+        }
+      },
+      [](const std::string&, std::vector<int>& v) {
+        return static_cast<int>(v.size());
+      },
+      {8, 4, 120.0});
+  const auto hits = job.run(*service_, reads);
+  // Reads are sampled from the reference with 1% error: most k-mers match.
+  EXPECT_GT(hits.size(), 100u);
+  std::size_t total_hits = 0;
+  for (const auto& [k, v] : hits) {
+    total_hits += static_cast<std::size_t>(v);
+  }
+  // 200 reads * 39 k-mers/read = 7800 k-mer instances; with errors some
+  // fraction is lost, but the bulk must match.
+  EXPECT_GT(total_hits, 4000u);
+}
+
+TEST_F(MapReduceTest, InvalidConfigRejected) {
+  EXPECT_THROW(WordCountJob(word_mapper(), sum_reducer(), {0, 1, 1.0}),
+               pa::InvalidArgument);
+  EXPECT_THROW(WordCountJob(word_mapper(), sum_reducer(), {1, 0, 1.0}),
+               pa::InvalidArgument);
+}
+
+TEST(Emitter, HashPartitioningIsStable) {
+  Emitter<std::string, int> a(4);
+  Emitter<std::string, int> b(4);
+  a.emit("key", 1);
+  b.emit("key", 2);
+  // Same key -> same bucket in every emitter.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(a.buckets()[i].empty(), b.buckets()[i].empty());
+  }
+}
+
+}  // namespace
+}  // namespace pa::engines

@@ -1,0 +1,102 @@
+#include "pa/infra/background_load.h"
+
+#include <gtest/gtest.h>
+
+#include "pa/infra/batch_cluster.h"
+
+namespace pa::infra {
+namespace {
+
+TEST(BackgroundLoad, SubmitsJobsOverTime) {
+  sim::Engine engine;
+  BatchClusterConfig cfg;
+  cfg.num_nodes = 64;
+  BatchCluster cluster(engine, cfg);
+  BackgroundLoadConfig load_cfg;
+  load_cfg.mean_interarrival = 60.0;
+  BackgroundLoad load(engine, cluster, load_cfg);
+  load.start();
+  engine.run_until(3600.0);
+  load.stop();
+  // Expect roughly 3600/60 = 60 arrivals; allow wide tolerance.
+  EXPECT_GT(load.jobs_submitted(), 30u);
+  EXPECT_LT(load.jobs_submitted(), 120u);
+}
+
+TEST(BackgroundLoad, StopHaltsSubmission) {
+  sim::Engine engine;
+  BatchClusterConfig cfg;
+  cfg.num_nodes = 64;
+  BatchCluster cluster(engine, cfg);
+  BackgroundLoadConfig load_cfg;
+  load_cfg.mean_interarrival = 10.0;
+  BackgroundLoad load(engine, cluster, load_cfg);
+  load.start();
+  engine.run_until(100.0);
+  load.stop();
+  const std::size_t at_stop = load.jobs_submitted();
+  engine.run_until(1000.0);
+  EXPECT_EQ(load.jobs_submitted(), at_stop);
+}
+
+TEST(BackgroundLoad, UtilizationTargetApproximatelyMet) {
+  sim::Engine engine;
+  BatchClusterConfig cfg;
+  cfg.num_nodes = 128;
+  BatchCluster cluster(engine, cfg);
+  const auto load_cfg = BackgroundLoad::for_utilization(0.6, cfg.num_nodes, 5);
+  BackgroundLoad load(engine, cluster, load_cfg);
+  load.start();
+  // Warm up for a week of simulated time.
+  engine.run_until(7.0 * 24 * 3600.0);
+  load.stop();
+  // Offered load 0.6: achieved utilization should be in the ballpark
+  // (queueing and lognormal tails make this noisy).
+  EXPECT_GT(cluster.utilization(), 0.35);
+  EXPECT_LT(cluster.utilization(), 0.85);
+}
+
+TEST(BackgroundLoad, HigherTargetUtilizationMeansLongerWaits) {
+  auto queue_wait_at = [](double utilization) {
+    sim::Engine engine;
+    BatchClusterConfig cfg;
+    cfg.num_nodes = 64;
+    BatchCluster cluster(engine, cfg);
+    const auto load_cfg =
+        BackgroundLoad::for_utilization(utilization, cfg.num_nodes, 7);
+    BackgroundLoad load(engine, cluster, load_cfg);
+    load.start();
+    engine.run_until(14.0 * 24 * 3600.0);
+    load.stop();
+    return cluster.queue_waits().mean();
+  };
+  EXPECT_LT(queue_wait_at(0.3), queue_wait_at(0.9));
+}
+
+TEST(BackgroundLoad, DeterministicForSeed) {
+  auto run_once = []() {
+    sim::Engine engine;
+    BatchClusterConfig cfg;
+    cfg.num_nodes = 64;
+    BatchCluster cluster(engine, cfg);
+    BackgroundLoadConfig load_cfg;
+    load_cfg.mean_interarrival = 30.0;
+    load_cfg.seed = 77;
+    BackgroundLoad load(engine, cluster, load_cfg);
+    load.start();
+    engine.run_until(24 * 3600.0);
+    load.stop();
+    return std::make_pair(load.jobs_submitted(),
+                          cluster.queue_waits().mean());
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(BackgroundLoad, ForUtilizationValidatesArgs) {
+  EXPECT_THROW(BackgroundLoad::for_utilization(0.0, 10), pa::InvalidArgument);
+  EXPECT_THROW(BackgroundLoad::for_utilization(1.0, 10), pa::InvalidArgument);
+  EXPECT_THROW(BackgroundLoad::for_utilization(0.5, 0), pa::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pa::infra

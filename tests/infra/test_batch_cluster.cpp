@@ -1,0 +1,346 @@
+#include "pa/infra/batch_cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "pa/common/error.h"
+#include "pa/common/rng.h"
+
+namespace pa::infra {
+namespace {
+
+BatchClusterConfig small_cluster(int nodes = 4) {
+  BatchClusterConfig cfg;
+  cfg.name = "hpc";
+  cfg.num_nodes = nodes;
+  cfg.node.cores = 8;
+  return cfg;
+}
+
+JobRequest job(int nodes, double duration, double walltime = 0.0) {
+  JobRequest req;
+  req.num_nodes = nodes;
+  req.duration = duration;
+  req.walltime_limit = walltime > 0.0 ? walltime : duration * 2.0 + 10.0;
+  return req;
+}
+
+TEST(BatchCluster, ImmediateStartWhenEmpty) {
+  sim::Engine engine;
+  BatchCluster cluster(engine, small_cluster());
+  double started_at = -1.0;
+  Allocation alloc;
+  JobRequest req = job(2, 100.0);
+  req.on_started = [&](const std::string&, const Allocation& a) {
+    started_at = engine.now();
+    alloc = a;
+  };
+  const std::string id = cluster.submit(std::move(req));
+  EXPECT_EQ(cluster.job_state(id), JobState::kQueued);
+  engine.run_until(1.0);
+  EXPECT_DOUBLE_EQ(started_at, 0.0);
+  EXPECT_EQ(alloc.node_ids.size(), 2u);
+  EXPECT_EQ(alloc.cores_per_node, 8);
+  EXPECT_EQ(alloc.site, "hpc");
+  EXPECT_EQ(cluster.job_state(id), JobState::kRunning);
+}
+
+TEST(BatchCluster, CompletesAtDuration) {
+  sim::Engine engine;
+  BatchCluster cluster(engine, small_cluster());
+  StopReason reason = StopReason::kCanceled;
+  double stopped_at = -1.0;
+  JobRequest req = job(1, 50.0);
+  req.on_stopped = [&](const std::string&, StopReason r) {
+    reason = r;
+    stopped_at = engine.now();
+  };
+  const std::string id = cluster.submit(std::move(req));
+  engine.run();
+  EXPECT_EQ(reason, StopReason::kCompleted);
+  EXPECT_DOUBLE_EQ(stopped_at, 50.0);
+  EXPECT_EQ(cluster.job_state(id), JobState::kDone);
+  EXPECT_EQ(cluster.free_nodes(), 4);
+}
+
+TEST(BatchCluster, WalltimeKillsOpenEndedJob) {
+  sim::Engine engine;
+  BatchCluster cluster(engine, small_cluster());
+  StopReason reason = StopReason::kCompleted;
+  JobRequest req;
+  req.num_nodes = 1;
+  req.duration = -1.0;  // pilot-style open-ended job
+  req.walltime_limit = 100.0;
+  req.on_stopped = [&](const std::string&, StopReason r) { reason = r; };
+  const std::string id = cluster.submit(std::move(req));
+  engine.run();
+  EXPECT_EQ(reason, StopReason::kWalltime);
+  EXPECT_EQ(cluster.job_state(id), JobState::kFailed);
+  EXPECT_DOUBLE_EQ(engine.now(), 100.0);
+}
+
+TEST(BatchCluster, WalltimeKillsOverrunningJob) {
+  sim::Engine engine;
+  BatchCluster cluster(engine, small_cluster());
+  StopReason reason = StopReason::kCompleted;
+  JobRequest req = job(1, 500.0, /*walltime=*/100.0);
+  req.on_stopped = [&](const std::string&, StopReason r) { reason = r; };
+  cluster.submit(std::move(req));
+  engine.run();
+  EXPECT_EQ(reason, StopReason::kWalltime);
+  EXPECT_DOUBLE_EQ(engine.now(), 100.0);
+}
+
+TEST(BatchCluster, FcfsQueueing) {
+  sim::Engine engine;
+  BatchCluster cluster(engine, small_cluster(4));
+  std::vector<std::string> starts;
+  auto track = [&starts](const std::string& name) {
+    return [&starts, name](const std::string&, const Allocation&) {
+      starts.push_back(name);
+    };
+  };
+  JobRequest a = job(4, 100.0);
+  a.on_started = track("a");
+  cluster.submit(std::move(a));
+  JobRequest b = job(4, 50.0);
+  b.on_started = track("b");
+  cluster.submit(std::move(b));
+  JobRequest c = job(4, 50.0);
+  c.on_started = track("c");
+  cluster.submit(std::move(c));
+  engine.run();
+  ASSERT_EQ(starts.size(), 3u);
+  EXPECT_EQ(starts[0], "a");
+  EXPECT_EQ(starts[1], "b");
+  EXPECT_EQ(starts[2], "c");
+}
+
+TEST(BatchCluster, BackfillFillsHoles) {
+  sim::Engine engine;
+  BatchCluster cluster(engine, small_cluster(4));
+  // a: 2 nodes for 100s. b: needs 4 nodes -> blocked until 100.
+  // c: 2 nodes, walltime 50 -> fits in the hole before b's shadow time.
+  double c_started = -1.0;
+  double b_started = -1.0;
+  cluster.submit(job(2, 100.0, 100.0));
+  JobRequest b = job(4, 10.0, 20.0);
+  b.on_started = [&](const std::string&, const Allocation&) {
+    b_started = engine.now();
+  };
+  cluster.submit(std::move(b));
+  JobRequest c = job(2, 40.0, 50.0);
+  c.on_started = [&](const std::string&, const Allocation&) {
+    c_started = engine.now();
+  };
+  cluster.submit(std::move(c));
+  engine.run();
+  EXPECT_DOUBLE_EQ(c_started, 0.0);    // backfilled immediately
+  EXPECT_DOUBLE_EQ(b_started, 100.0);  // head not delayed
+}
+
+TEST(BatchCluster, StrictFcfsDoesNotBackfill) {
+  sim::Engine engine;
+  BatchClusterConfig cfg = small_cluster(4);
+  cfg.enable_backfill = false;
+  BatchCluster cluster(engine, cfg);
+  double c_started = -1.0;
+  cluster.submit(job(2, 100.0, 100.0));
+  cluster.submit(job(4, 10.0, 20.0));  // blocked head
+  JobRequest c = job(2, 40.0, 50.0);
+  c.on_started = [&](const std::string&, const Allocation&) {
+    c_started = engine.now();
+  };
+  cluster.submit(std::move(c));
+  engine.run();
+  EXPECT_GT(c_started, 0.0);  // had to wait behind the blocked head
+}
+
+TEST(BatchCluster, AllJobsEventuallyStart) {
+  // Liveness property over randomized workloads, both policies.
+  for (const bool backfill : {true, false}) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      pa::Rng rng(seed);
+      sim::Engine engine;
+      BatchClusterConfig cfg = small_cluster(8);
+      cfg.enable_backfill = backfill;
+      BatchCluster cluster(engine, cfg);
+      std::vector<double> starts(40, -1.0);
+      for (std::size_t i = 0; i < starts.size(); ++i) {
+        JobRequest r;
+        r.num_nodes = static_cast<int>(rng.uniform_int(1, 8));
+        r.duration = rng.uniform(10.0, 500.0);
+        r.walltime_limit = r.duration * 1.2;
+        r.on_started = [&starts, i, &engine](const std::string&,
+                                             const Allocation&) {
+          starts[i] = engine.now();
+        };
+        cluster.submit(std::move(r));
+      }
+      engine.run();
+      for (std::size_t i = 0; i < starts.size(); ++i) {
+        EXPECT_GE(starts[i], 0.0)
+            << "job " << i << " never started (seed " << seed << ")";
+      }
+    }
+  }
+}
+
+TEST(BatchCluster, BackfillImprovesOrMatchesMakespan) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    pa::Rng rng(seed);
+    std::vector<std::pair<int, double>> spec;
+    for (int i = 0; i < 40; ++i) {
+      spec.emplace_back(static_cast<int>(rng.uniform_int(1, 8)),
+                        rng.uniform(10.0, 500.0));
+    }
+    auto run_policy = [&](bool backfill) {
+      sim::Engine engine;
+      BatchClusterConfig cfg = small_cluster(8);
+      cfg.enable_backfill = backfill;
+      BatchCluster cluster(engine, cfg);
+      for (const auto& [nodes, duration] : spec) {
+        JobRequest r;
+        r.num_nodes = nodes;
+        r.duration = duration;
+        // Exact walltimes so EASY's reservations are tight and backfill
+        // can only help.
+        r.walltime_limit = duration;
+        cluster.submit(std::move(r));
+      }
+      engine.run();
+      return engine.now();
+    };
+    EXPECT_LE(run_policy(true), run_policy(false) + 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(BatchCluster, NeverOversubscribed) {
+  pa::Rng rng(17);
+  sim::Engine engine;
+  BatchCluster cluster(engine, small_cluster(8));
+  int max_busy = 0;
+  for (int i = 0; i < 60; ++i) {
+    JobRequest r;
+    r.num_nodes = static_cast<int>(rng.uniform_int(1, 6));
+    r.duration = rng.uniform(5.0, 100.0);
+    r.walltime_limit = r.duration + 10.0;
+    cluster.submit(std::move(r));
+  }
+  while (engine.step()) {
+    EXPECT_GE(cluster.free_nodes(), 0);
+    max_busy = std::max(max_busy, 8 - cluster.free_nodes());
+  }
+  EXPECT_LE(max_busy, 8);
+  EXPECT_EQ(cluster.free_nodes(), 8);  // all released at the end
+}
+
+TEST(BatchCluster, CancelQueuedJob) {
+  sim::Engine engine;
+  BatchCluster cluster(engine, small_cluster(2));
+  cluster.submit(job(2, 100.0));
+  StopReason reason = StopReason::kCompleted;
+  JobRequest r = job(2, 50.0);
+  r.on_stopped = [&](const std::string&, StopReason why) { reason = why; };
+  const std::string id = cluster.submit(std::move(r));
+  engine.run_until(1.0);
+  EXPECT_EQ(cluster.job_state(id), JobState::kQueued);
+  cluster.cancel(id);
+  engine.run();
+  EXPECT_EQ(cluster.job_state(id), JobState::kCanceled);
+  EXPECT_EQ(reason, StopReason::kCanceled);
+}
+
+TEST(BatchCluster, CancelRunningJobFreesNodes) {
+  sim::Engine engine;
+  BatchCluster cluster(engine, small_cluster(2));
+  const std::string id = cluster.submit(job(2, 1000.0));
+  engine.run_until(1.0);
+  EXPECT_EQ(cluster.free_nodes(), 0);
+  cluster.cancel(id);
+  EXPECT_EQ(cluster.free_nodes(), 2);
+  EXPECT_EQ(cluster.job_state(id), JobState::kCanceled);
+}
+
+TEST(BatchCluster, CancelIsIdempotentOnFinalJobs) {
+  sim::Engine engine;
+  BatchCluster cluster(engine, small_cluster(2));
+  const std::string id = cluster.submit(job(1, 1.0));
+  engine.run();
+  EXPECT_EQ(cluster.job_state(id), JobState::kDone);
+  cluster.cancel(id);  // no-op, no throw
+  EXPECT_EQ(cluster.job_state(id), JobState::kDone);
+}
+
+TEST(BatchCluster, UnknownJobThrows) {
+  sim::Engine engine;
+  BatchCluster cluster(engine, small_cluster());
+  EXPECT_THROW(cluster.job_state("nope"), pa::NotFound);
+  EXPECT_THROW(cluster.cancel("nope"), pa::NotFound);
+}
+
+TEST(BatchCluster, RejectsOversizedJob) {
+  sim::Engine engine;
+  BatchCluster cluster(engine, small_cluster(4));
+  EXPECT_THROW(cluster.submit(job(5, 1.0)), pa::InvalidArgument);
+}
+
+TEST(BatchCluster, QueueWaitRecorded) {
+  sim::Engine engine;
+  BatchCluster cluster(engine, small_cluster(1));
+  cluster.submit(job(1, 100.0));
+  cluster.submit(job(1, 10.0));
+  engine.run();
+  ASSERT_EQ(cluster.queue_waits().count(), 2u);
+  EXPECT_DOUBLE_EQ(cluster.queue_waits().min(), 0.0);
+  EXPECT_DOUBLE_EQ(cluster.queue_waits().max(), 100.0);
+}
+
+TEST(BatchCluster, UtilizationAccounting) {
+  sim::Engine engine;
+  BatchCluster cluster(engine, small_cluster(2));
+  cluster.submit(job(1, 50.0));
+  engine.run();
+  engine.run_until(100.0);
+  // 1 node busy 50 s out of 2 nodes * 100 s = 0.25.
+  EXPECT_NEAR(cluster.utilization(), 0.25, 1e-9);
+  EXPECT_NEAR(cluster.busy_node_seconds(), 50.0, 1e-9);
+}
+
+TEST(BatchCluster, EstimateStartTimeEmptyCluster) {
+  sim::Engine engine;
+  BatchCluster cluster(engine, small_cluster(4));
+  EXPECT_DOUBLE_EQ(cluster.estimate_start_time(2), 0.0);
+}
+
+TEST(BatchCluster, EstimateStartTimeBehindQueue) {
+  sim::Engine engine;
+  BatchCluster cluster(engine, small_cluster(2));
+  cluster.submit(job(2, 100.0, 100.0));
+  cluster.submit(job(2, 100.0, 100.0));
+  engine.run_until(1.0);
+  // A new 2-node job goes behind the running (ends <= 100) and queued
+  // (walltime 100) jobs: estimate = 200.
+  EXPECT_NEAR(cluster.estimate_start_time(2), 200.0, 1e-9);
+}
+
+TEST(BatchCluster, WalltimeClampedToSiteMax) {
+  sim::Engine engine;
+  BatchClusterConfig cfg = small_cluster();
+  cfg.max_walltime = 60.0;
+  BatchCluster cluster(engine, cfg);
+  StopReason reason = StopReason::kCompleted;
+  JobRequest r;
+  r.num_nodes = 1;
+  r.duration = -1.0;
+  r.walltime_limit = 1e9;  // clamped to 60
+  r.on_stopped = [&](const std::string&, StopReason why) { reason = why; };
+  cluster.submit(std::move(r));
+  engine.run();
+  EXPECT_DOUBLE_EQ(engine.now(), 60.0);
+  EXPECT_EQ(reason, StopReason::kWalltime);
+}
+
+}  // namespace
+}  // namespace pa::infra

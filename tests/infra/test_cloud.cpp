@@ -1,0 +1,170 @@
+#include "pa/infra/cloud.h"
+
+#include <gtest/gtest.h>
+
+#include "pa/common/error.h"
+
+namespace pa::infra {
+namespace {
+
+CloudConfig cloud_config(int quota_cores = 64) {
+  CloudConfig cfg;
+  cfg.name = "ec2";
+  cfg.quota_cores = quota_cores;
+  cfg.vm.cores = 4;
+  cfg.startup_mu = 3.7;
+  cfg.startup_sigma = 0.5;
+  cfg.cost_per_core_hour = 0.04;
+  cfg.seed = 21;
+  return cfg;
+}
+
+JobRequest job(int vms, double duration) {
+  JobRequest req;
+  req.num_nodes = vms;
+  req.duration = duration;
+  req.walltime_limit = duration * 2.0 + 1000.0;
+  return req;
+}
+
+TEST(CloudProvider, ProvisioningLatencyBeforeStart) {
+  sim::Engine engine;
+  CloudProvider cloud(engine, cloud_config());
+  double started = -1.0;
+  JobRequest r = job(2, 100.0);
+  r.on_started = [&](const std::string&, const Allocation&) {
+    started = engine.now();
+  };
+  cloud.submit(std::move(r));
+  engine.run_until(1.0);
+  EXPECT_DOUBLE_EQ(started, -1.0);  // VMs still booting
+  engine.run();
+  EXPECT_GT(started, 5.0);    // lognormal(3.7, .5): median ~40 s
+  EXPECT_LT(started, 500.0);  // sanity upper bound
+}
+
+TEST(CloudProvider, GangStartUsesSlowestVm) {
+  // With more VMs, the max of the startup samples grows stochastically;
+  // here we only assert the callback carries the full allocation.
+  sim::Engine engine;
+  CloudProvider cloud(engine, cloud_config());
+  Allocation alloc;
+  JobRequest r = job(3, 10.0);
+  r.on_started = [&](const std::string&, const Allocation& a) { alloc = a; };
+  cloud.submit(std::move(r));
+  engine.run();
+  EXPECT_EQ(alloc.node_ids.size(), 3u);
+  EXPECT_EQ(alloc.cores_per_node, 4);
+}
+
+TEST(CloudProvider, QuotaQueuesExcessRequests) {
+  sim::Engine engine;
+  CloudProvider cloud(engine, cloud_config(8));  // 2 VMs worth
+  int started = 0;
+  for (int i = 0; i < 3; ++i) {
+    JobRequest r = job(1, 50.0);
+    r.on_started = [&](const std::string&, const Allocation&) { ++started; };
+    cloud.submit(std::move(r));
+  }
+  engine.run_until(200.0);
+  // Two fit the quota at once; the third runs after one terminates.
+  EXPECT_EQ(cloud.cores_in_use() <= 8, true);
+  engine.run();
+  EXPECT_EQ(started, 3);
+}
+
+TEST(CloudProvider, QuotaRejectsOversizedSingleRequest) {
+  sim::Engine engine;
+  CloudProvider cloud(engine, cloud_config(8));
+  EXPECT_THROW(cloud.submit(job(3, 1.0)), pa::InvalidArgument);
+}
+
+TEST(CloudProvider, CostGrowsWithUsage) {
+  sim::Engine engine;
+  CloudProvider cloud(engine, cloud_config());
+  cloud.submit(job(1, 3600.0));  // 4 cores * 1h (plus startup)
+  engine.run();
+  const double cost = cloud.total_cost();
+  // >= 4 core-hours * 0.04 = 0.16; startup adds a little.
+  EXPECT_GE(cost, 0.16);
+  EXPECT_LT(cost, 0.2);
+}
+
+TEST(CloudProvider, CostIncludesRunningVms) {
+  sim::Engine engine;
+  CloudProvider cloud(engine, cloud_config());
+  cloud.submit(job(1, 1e6));
+  engine.run_until(3600.0);
+  EXPECT_GT(cloud.total_cost(), 0.1);
+}
+
+TEST(CloudProvider, CancelWhileQueuedOnQuota) {
+  sim::Engine engine;
+  CloudProvider cloud(engine, cloud_config(4));
+  cloud.submit(job(1, 10000.0));
+  StopReason reason = StopReason::kCompleted;
+  JobRequest r = job(1, 10.0);
+  r.on_stopped = [&](const std::string&, StopReason why) { reason = why; };
+  const std::string id = cloud.submit(std::move(r));
+  engine.run_until(1.0);
+  cloud.cancel(id);
+  engine.run_until(2.0);
+  EXPECT_EQ(reason, StopReason::kCanceled);
+  EXPECT_EQ(cloud.job_state(id), JobState::kCanceled);
+}
+
+TEST(CloudProvider, CancelRunningReleasesQuota) {
+  sim::Engine engine;
+  CloudProvider cloud(engine, cloud_config());
+  const std::string id = cloud.submit(job(2, 1e6));
+  engine.run_until(300.0);
+  EXPECT_EQ(cloud.job_state(id), JobState::kRunning);
+  EXPECT_EQ(cloud.cores_in_use(), 8);
+  cloud.cancel(id);
+  EXPECT_EQ(cloud.cores_in_use(), 0);
+  EXPECT_EQ(cloud.job_state(id), JobState::kCanceled);
+}
+
+TEST(CloudProvider, CompletionReleasesQuota) {
+  sim::Engine engine;
+  CloudProvider cloud(engine, cloud_config());
+  const std::string id = cloud.submit(job(1, 20.0));
+  engine.run();
+  EXPECT_EQ(cloud.job_state(id), JobState::kDone);
+  EXPECT_EQ(cloud.cores_in_use(), 0);
+}
+
+TEST(CloudProvider, QueueWaitsRecorded) {
+  sim::Engine engine;
+  CloudProvider cloud(engine, cloud_config());
+  cloud.submit(job(1, 5.0));
+  engine.run();
+  ASSERT_EQ(cloud.queue_waits().count(), 1u);
+  EXPECT_GT(cloud.queue_waits().min(), 0.0);
+}
+
+TEST(CloudProvider, UnknownJobThrows) {
+  sim::Engine engine;
+  CloudProvider cloud(engine, cloud_config());
+  EXPECT_THROW(cloud.job_state("x"), pa::NotFound);
+  EXPECT_THROW(cloud.cancel("x"), pa::NotFound);
+}
+
+TEST(CloudProvider, DeterministicForSeed) {
+  auto run_once = []() {
+    sim::Engine engine;
+    CloudProvider cloud(engine, cloud_config());
+    double started = -1.0;
+    JobRequest r = job(4, 10.0);
+    r.on_started = [&](const std::string&, const Allocation&) {
+      started = engine.now();
+    };
+    cloud.submit(std::move(r));
+    engine.run();
+    return started;
+  };
+  EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace pa::infra

@@ -1,0 +1,182 @@
+#include "pa/infra/htc_pool.h"
+
+#include <gtest/gtest.h>
+
+#include "pa/common/error.h"
+
+namespace pa::infra {
+namespace {
+
+HtcPoolConfig pool_config(int slots = 8) {
+  HtcPoolConfig cfg;
+  cfg.name = "osg";
+  cfg.num_slots = slots;
+  cfg.cores_per_slot = 2;
+  cfg.match_latency_min = 10.0;
+  cfg.match_latency_max = 10.0;  // deterministic for tests
+  return cfg;
+}
+
+JobRequest job(int slots, double duration) {
+  JobRequest req;
+  req.num_nodes = slots;
+  req.duration = duration;
+  req.walltime_limit = duration * 2.0 + 10.0;
+  return req;
+}
+
+TEST(HtcPool, MatchmakingDelaysStart) {
+  sim::Engine engine;
+  HtcPool pool(engine, pool_config());
+  double started = -1.0;
+  JobRequest r = job(1, 100.0);
+  r.on_started = [&](const std::string&, const Allocation&) {
+    started = engine.now();
+  };
+  pool.submit(std::move(r));
+  engine.run_until(5.0);
+  EXPECT_DOUBLE_EQ(started, -1.0);  // still matching
+  engine.run_until(20.0);
+  EXPECT_DOUBLE_EQ(started, 10.0);
+}
+
+TEST(HtcPool, AllocationExposesSlotCores) {
+  sim::Engine engine;
+  HtcPool pool(engine, pool_config());
+  Allocation alloc;
+  JobRequest r = job(3, 100.0);
+  r.on_started = [&](const std::string&, const Allocation& a) { alloc = a; };
+  pool.submit(std::move(r));
+  engine.run_until(20.0);
+  EXPECT_EQ(alloc.node_ids.size(), 3u);
+  EXPECT_EQ(alloc.cores_per_node, 2);
+  EXPECT_EQ(alloc.site, "osg");
+}
+
+TEST(HtcPool, SlotsLimitConcurrency) {
+  sim::Engine engine;
+  HtcPool pool(engine, pool_config(4));
+  int started = 0;
+  for (int i = 0; i < 8; ++i) {
+    JobRequest r = job(1, 1000.0);
+    r.on_started = [&](const std::string&, const Allocation&) { ++started; };
+    pool.submit(std::move(r));
+  }
+  engine.run_until(50.0);
+  EXPECT_EQ(started, 4);
+  EXPECT_EQ(pool.free_slots(), 0);
+}
+
+TEST(HtcPool, CompletionFreesSlotsAndDispatchesNext) {
+  sim::Engine engine;
+  HtcPool pool(engine, pool_config(1));
+  std::vector<double> starts;
+  for (int i = 0; i < 3; ++i) {
+    JobRequest r = job(1, 100.0);
+    r.on_started = [&](const std::string&, const Allocation&) {
+      starts.push_back(engine.now());
+    };
+    pool.submit(std::move(r));
+  }
+  engine.run();
+  ASSERT_EQ(starts.size(), 3u);
+  EXPECT_DOUBLE_EQ(starts[0], 10.0);
+  EXPECT_DOUBLE_EQ(starts[1], 110.0);
+  EXPECT_DOUBLE_EQ(starts[2], 210.0);
+}
+
+TEST(HtcPool, PreemptionKillsRunningJobs) {
+  sim::Engine engine;
+  HtcPoolConfig cfg = pool_config(4);
+  cfg.preemption_rate = 1.0 / 50.0;  // one event per 50 slot-seconds
+  cfg.seed = 3;
+  HtcPool pool(engine, cfg);
+  int preempted = 0;
+  int completed = 0;
+  for (int i = 0; i < 4; ++i) {
+    JobRequest r = job(1, 10000.0);
+    r.walltime_limit = 20000.0;
+    r.on_stopped = [&](const std::string&, StopReason why) {
+      if (why == StopReason::kPreempted) {
+        ++preempted;
+      } else if (why == StopReason::kCompleted) {
+        ++completed;
+      }
+    };
+    pool.submit(std::move(r));
+  }
+  engine.run();
+  // With a mean preemption interval of 50 s and 10000 s jobs, essentially
+  // every job is preempted.
+  EXPECT_EQ(preempted, 4);
+  EXPECT_EQ(completed, 0);
+  EXPECT_EQ(pool.preemption_count(), 4u);
+  EXPECT_EQ(pool.free_slots(), 4);
+}
+
+TEST(HtcPool, NoPreemptionWhenDisabled) {
+  sim::Engine engine;
+  HtcPool pool(engine, pool_config());
+  StopReason reason = StopReason::kPreempted;
+  JobRequest r = job(1, 100.0);
+  r.on_stopped = [&](const std::string&, StopReason why) { reason = why; };
+  pool.submit(std::move(r));
+  engine.run();
+  EXPECT_EQ(reason, StopReason::kCompleted);
+  EXPECT_EQ(pool.preemption_count(), 0u);
+}
+
+TEST(HtcPool, CancelWhileMatching) {
+  sim::Engine engine;
+  HtcPool pool(engine, pool_config());
+  StopReason reason = StopReason::kCompleted;
+  JobRequest r = job(1, 100.0);
+  r.on_stopped = [&](const std::string&, StopReason why) { reason = why; };
+  const std::string id = pool.submit(std::move(r));
+  engine.run_until(1.0);
+  pool.cancel(id);
+  engine.run();
+  EXPECT_EQ(reason, StopReason::kCanceled);
+  EXPECT_EQ(pool.job_state(id), JobState::kCanceled);
+}
+
+TEST(HtcPool, CancelRunning) {
+  sim::Engine engine;
+  HtcPool pool(engine, pool_config());
+  const std::string id = pool.submit(job(2, 10000.0));
+  engine.run_until(20.0);
+  EXPECT_EQ(pool.job_state(id), JobState::kRunning);
+  pool.cancel(id);
+  EXPECT_EQ(pool.job_state(id), JobState::kCanceled);
+  EXPECT_EQ(pool.free_slots(), 8);
+}
+
+TEST(HtcPool, QueueWaitIncludesMatchLatency) {
+  sim::Engine engine;
+  HtcPool pool(engine, pool_config());
+  pool.submit(job(1, 10.0));
+  engine.run();
+  ASSERT_EQ(pool.queue_waits().count(), 1u);
+  EXPECT_DOUBLE_EQ(pool.queue_waits().min(), 10.0);
+}
+
+TEST(HtcPool, RejectsOversizedJob) {
+  sim::Engine engine;
+  HtcPool pool(engine, pool_config(4));
+  EXPECT_THROW(pool.submit(job(5, 1.0)), pa::InvalidArgument);
+}
+
+TEST(HtcPool, UnknownJobThrows) {
+  sim::Engine engine;
+  HtcPool pool(engine, pool_config());
+  EXPECT_THROW(pool.job_state("x"), pa::NotFound);
+}
+
+TEST(HtcPool, TotalCores) {
+  sim::Engine engine;
+  HtcPool pool(engine, pool_config(8));
+  EXPECT_EQ(pool.total_cores(), 16);
+}
+
+}  // namespace
+}  // namespace pa::infra

@@ -1,0 +1,151 @@
+#include "pa/infra/serverless.h"
+
+#include <gtest/gtest.h>
+
+#include "pa/common/error.h"
+
+namespace pa::infra {
+namespace {
+
+ServerlessConfig faas_config(int concurrency = 10) {
+  ServerlessConfig cfg;
+  cfg.name = "lambda";
+  cfg.concurrency_limit = concurrency;
+  cfg.keepalive = 100.0;
+  cfg.seed = 9;
+  return cfg;
+}
+
+JobRequest invocation(double duration) {
+  JobRequest req;
+  req.num_nodes = 1;
+  req.duration = duration;
+  req.walltime_limit = 900.0;
+  return req;
+}
+
+TEST(Serverless, FirstInvocationIsCold) {
+  sim::Engine engine;
+  ServerlessPlatform faas(engine, faas_config());
+  faas.submit(invocation(1.0));
+  engine.run();
+  EXPECT_EQ(faas.cold_starts(), 1u);
+  EXPECT_EQ(faas.warm_starts(), 0u);
+}
+
+TEST(Serverless, SecondInvocationReusesWarmContainer) {
+  sim::Engine engine;
+  ServerlessPlatform faas(engine, faas_config());
+  faas.submit(invocation(1.0));
+  engine.run();
+  faas.submit(invocation(1.0));
+  engine.run();
+  EXPECT_EQ(faas.cold_starts(), 1u);
+  EXPECT_EQ(faas.warm_starts(), 1u);
+}
+
+TEST(Serverless, KeepaliveExpiryForcesColdStart) {
+  sim::Engine engine;
+  ServerlessPlatform faas(engine, faas_config());
+  faas.submit(invocation(1.0));
+  engine.run();
+  // Let the warm container expire (keepalive = 100 s).
+  engine.run_until(engine.now() + 200.0);
+  EXPECT_EQ(faas.warm_pool_size(), 0u);
+  faas.submit(invocation(1.0));
+  engine.run();
+  EXPECT_EQ(faas.cold_starts(), 2u);
+}
+
+TEST(Serverless, ConcurrencyLimitQueues) {
+  sim::Engine engine;
+  ServerlessPlatform faas(engine, faas_config(2));
+  int started = 0;
+  for (int i = 0; i < 5; ++i) {
+    JobRequest r = invocation(100.0);
+    r.on_started = [&](const std::string&, const Allocation&) { ++started; };
+    faas.submit(std::move(r));
+  }
+  engine.run_until(50.0);
+  EXPECT_EQ(started, 2);
+  EXPECT_EQ(faas.active_invocations(), 2);
+  engine.run();
+  EXPECT_EQ(started, 5);
+}
+
+TEST(Serverless, DurationCappedAtMax) {
+  sim::Engine engine;
+  ServerlessConfig cfg = faas_config();
+  cfg.max_duration = 10.0;
+  ServerlessPlatform faas(engine, cfg);
+  StopReason reason = StopReason::kCompleted;
+  JobRequest r;
+  r.num_nodes = 1;
+  r.duration = -1.0;  // open-ended gets killed at the cap
+  r.walltime_limit = 1e9;
+  r.on_stopped = [&](const std::string&, StopReason why) { reason = why; };
+  faas.submit(std::move(r));
+  engine.run();
+  EXPECT_EQ(reason, StopReason::kWalltime);
+}
+
+TEST(Serverless, MultiNodeInvocationRejected) {
+  sim::Engine engine;
+  ServerlessPlatform faas(engine, faas_config());
+  JobRequest r;
+  r.num_nodes = 2;
+  r.duration = 1.0;
+  EXPECT_THROW(faas.submit(std::move(r)), pa::InvalidArgument);
+}
+
+TEST(Serverless, CancelQueuedInvocation) {
+  sim::Engine engine;
+  ServerlessPlatform faas(engine, faas_config(1));
+  faas.submit(invocation(100.0));
+  const std::string id = faas.submit(invocation(1.0));
+  engine.run_until(0.5);
+  faas.cancel(id);
+  engine.run();
+  EXPECT_EQ(faas.job_state(id), JobState::kCanceled);
+}
+
+TEST(Serverless, CostAccrues) {
+  sim::Engine engine;
+  ServerlessPlatform faas(engine, faas_config());
+  faas.submit(invocation(10.0));
+  engine.run();
+  EXPECT_GT(faas.total_cost(), 0.0);
+}
+
+TEST(Serverless, ColdStartsSlowerThanWarm) {
+  sim::Engine engine;
+  ServerlessPlatform faas(engine, faas_config());
+  std::vector<double> submit_times;
+  std::vector<double> start_times;
+  auto run_one = [&]() {
+    JobRequest r = invocation(1.0);
+    submit_times.push_back(engine.now());
+    r.on_started = [&](const std::string&, const Allocation&) {
+      start_times.push_back(engine.now());
+    };
+    faas.submit(std::move(r));
+    engine.run();
+  };
+  run_one();  // cold
+  run_one();  // warm
+  ASSERT_EQ(start_times.size(), 2u);
+  const double cold_latency = start_times[0] - submit_times[0];
+  const double warm_latency = start_times[1] - submit_times[1];
+  EXPECT_GT(cold_latency, warm_latency);
+}
+
+TEST(Serverless, QueueWaitsRecorded) {
+  sim::Engine engine;
+  ServerlessPlatform faas(engine, faas_config());
+  faas.submit(invocation(1.0));
+  engine.run();
+  EXPECT_EQ(faas.queue_waits().count(), 1u);
+}
+
+}  // namespace
+}  // namespace pa::infra

@@ -1,0 +1,149 @@
+#include "pa/infra/storage.h"
+
+#include <gtest/gtest.h>
+
+#include "pa/common/error.h"
+
+namespace pa::infra {
+namespace {
+
+StorageConfig pfs_config() {
+  StorageConfig cfg;
+  cfg.name = "lustre";
+  cfg.tier = StorageTier::kParallelFs;
+  cfg.site = "hpc";
+  cfg.capacity_bytes = 1e9;
+  cfg.read_bandwidth = 1e8;
+  cfg.write_bandwidth = 5e7;
+  cfg.latency = 0.01;
+  return cfg;
+}
+
+TEST(Storage, CreateAndQueryFiles) {
+  sim::Engine engine;
+  StorageSystem fs(engine, pfs_config());
+  fs.create_file("/data/a", 1000.0);
+  EXPECT_TRUE(fs.exists("/data/a"));
+  EXPECT_FALSE(fs.exists("/data/b"));
+  EXPECT_DOUBLE_EQ(fs.file_size("/data/a"), 1000.0);
+  EXPECT_DOUBLE_EQ(fs.used_bytes(), 1000.0);
+}
+
+TEST(Storage, DuplicateCreateRejected) {
+  sim::Engine engine;
+  StorageSystem fs(engine, pfs_config());
+  fs.create_file("/x", 1.0);
+  EXPECT_THROW(fs.create_file("/x", 1.0), pa::InvalidArgument);
+}
+
+TEST(Storage, CapacityEnforced) {
+  sim::Engine engine;
+  StorageSystem fs(engine, pfs_config());
+  fs.create_file("/big", 9e8);
+  EXPECT_THROW(fs.create_file("/too-much", 2e8), pa::ResourceError);
+  EXPECT_DOUBLE_EQ(fs.free_bytes(), 1e8);
+}
+
+TEST(Storage, DeleteFreesSpace) {
+  sim::Engine engine;
+  StorageSystem fs(engine, pfs_config());
+  fs.create_file("/x", 5e8);
+  fs.delete_file("/x");
+  EXPECT_FALSE(fs.exists("/x"));
+  EXPECT_DOUBLE_EQ(fs.used_bytes(), 0.0);
+  EXPECT_THROW(fs.delete_file("/x"), pa::NotFound);
+}
+
+TEST(Storage, ReadTimeMatchesBandwidth) {
+  sim::Engine engine;
+  StorageSystem fs(engine, pfs_config());
+  fs.create_file("/data", 1e8);
+  double done_at = -1.0;
+  fs.read("/data", [&]() { done_at = engine.now(); });
+  engine.run();
+  // 0.01 latency + 1e8 / 1e8 = ~1.01 s.
+  EXPECT_NEAR(done_at, 1.01, 1e-3);
+  EXPECT_EQ(fs.read_times().count(), 1u);
+}
+
+TEST(Storage, ReadOfMissingFileThrows) {
+  sim::Engine engine;
+  StorageSystem fs(engine, pfs_config());
+  EXPECT_THROW(fs.read("/nope", nullptr), pa::NotFound);
+}
+
+TEST(Storage, WriteCreatesFileOnCompletion) {
+  sim::Engine engine;
+  StorageSystem fs(engine, pfs_config());
+  double done_at = -1.0;
+  fs.write("/out", 5e7, [&]() { done_at = engine.now(); });
+  EXPECT_FALSE(fs.exists("/out"));  // not visible until complete
+  EXPECT_DOUBLE_EQ(fs.used_bytes(), 5e7);  // but reserved
+  engine.run();
+  // 0.01 latency + 5e7 / 5e7 = ~1.01 s.
+  EXPECT_NEAR(done_at, 1.01, 1e-3);
+  EXPECT_TRUE(fs.exists("/out"));
+  EXPECT_DOUBLE_EQ(fs.used_bytes(), 5e7);
+}
+
+TEST(Storage, OverwriteReplacesSize) {
+  sim::Engine engine;
+  StorageSystem fs(engine, pfs_config());
+  fs.create_file("/f", 100.0);
+  fs.write("/f", 300.0, nullptr);
+  engine.run();
+  EXPECT_DOUBLE_EQ(fs.file_size("/f"), 300.0);
+  EXPECT_DOUBLE_EQ(fs.used_bytes(), 300.0);
+}
+
+TEST(Storage, WriteCapacityEnforcedUpfront) {
+  sim::Engine engine;
+  StorageSystem fs(engine, pfs_config());
+  fs.create_file("/a", 9.5e8);
+  EXPECT_THROW(fs.write("/b", 1e8, nullptr), pa::ResourceError);
+}
+
+TEST(Storage, ConcurrentReadsShareBandwidth) {
+  sim::Engine engine;
+  StorageSystem fs(engine, pfs_config());
+  fs.create_file("/a", 1e8);
+  fs.create_file("/b", 1e8);
+  std::vector<double> done;
+  fs.read("/a", [&]() { done.push_back(engine.now()); });
+  fs.read("/b", [&]() { done.push_back(engine.now()); });
+  engine.run();
+  ASSERT_EQ(done.size(), 2u);
+  // Shared 1e8 B/s: each effectively 5e7 -> ~2 s.
+  EXPECT_NEAR(done[0], 2.0, 0.1);
+  EXPECT_NEAR(done[1], 2.0, 0.1);
+}
+
+TEST(Storage, ReadsAndWritesUseIndependentChannels) {
+  sim::Engine engine;
+  StorageSystem fs(engine, pfs_config());
+  fs.create_file("/a", 1e8);
+  std::vector<double> done;
+  fs.read("/a", [&]() { done.push_back(engine.now()); });
+  fs.write("/b", 5e7, [&]() { done.push_back(engine.now()); });
+  engine.run();
+  ASSERT_EQ(done.size(), 2u);
+  // No cross-channel contention: both ~1.01 s.
+  EXPECT_NEAR(done[0], 1.01, 0.05);
+  EXPECT_NEAR(done[1], 1.01, 0.05);
+}
+
+TEST(Storage, EstimatesMatchConfig) {
+  sim::Engine engine;
+  StorageSystem fs(engine, pfs_config());
+  EXPECT_NEAR(fs.estimate_read_seconds(1e8), 1.01, 1e-9);
+  EXPECT_NEAR(fs.estimate_write_seconds(5e7), 1.01, 1e-9);
+}
+
+TEST(Storage, TierNames) {
+  EXPECT_STREQ(to_string(StorageTier::kParallelFs), "parallel-fs");
+  EXPECT_STREQ(to_string(StorageTier::kObjectStore), "object-store");
+  EXPECT_STREQ(to_string(StorageTier::kLocalSsd), "local-ssd");
+}
+
+}  // namespace
+}  // namespace pa::infra

@@ -1,0 +1,152 @@
+#include "pa/mem/in_memory_store.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pa/common/error.h"
+
+namespace pa::mem {
+namespace {
+
+TEST(InMemoryStore, PutGetRoundTrip) {
+  InMemoryStore store;
+  store.put_typed<int>("answer", 42, sizeof(int));
+  const auto value = store.get_typed<int>("answer");
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(*value, 42);
+}
+
+TEST(InMemoryStore, MissReturnsNull) {
+  InMemoryStore store;
+  EXPECT_EQ(store.get_typed<int>("nope"), nullptr);
+  const auto stats = store.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 0u);
+}
+
+TEST(InMemoryStore, TypeMismatchThrows) {
+  InMemoryStore store;
+  store.put_typed<int>("k", 1, 4);
+  EXPECT_THROW(store.get_typed<double>("k"), pa::InvalidArgument);
+}
+
+TEST(InMemoryStore, VersionIncrements) {
+  InMemoryStore store;
+  EXPECT_EQ(store.version("k"), 0u);
+  EXPECT_EQ(store.put_typed<int>("k", 1, 4), 1u);
+  EXPECT_EQ(store.put_typed<int>("k", 2, 4), 2u);
+  EXPECT_EQ(store.version("k"), 2u);
+  EXPECT_EQ(*store.get_typed<int>("k"), 2);
+}
+
+TEST(InMemoryStore, OldReadersKeepTheirSnapshot) {
+  InMemoryStore store;
+  store.put_typed<std::string>("k", "v1", 2);
+  const auto snapshot = store.get_typed<std::string>("k");
+  store.put_typed<std::string>("k", "v2", 2);
+  EXPECT_EQ(*snapshot, "v1");  // immutable value survives the re-put
+  EXPECT_EQ(*store.get_typed<std::string>("k"), "v2");
+}
+
+TEST(InMemoryStore, EraseAndClear) {
+  InMemoryStore store;
+  store.put_typed<int>("a", 1, 8);
+  store.put_typed<int>("b", 2, 8);
+  EXPECT_TRUE(store.erase("a"));
+  EXPECT_FALSE(store.erase("a"));
+  EXPECT_EQ(store.stats().entries, 1u);
+  EXPECT_DOUBLE_EQ(store.stats().resident_bytes, 8.0);
+  store.clear();
+  EXPECT_EQ(store.stats().entries, 0u);
+  EXPECT_DOUBLE_EQ(store.stats().resident_bytes, 0.0);
+}
+
+TEST(InMemoryStore, GetOrLoadCachesThrough) {
+  InMemoryStore store;
+  int loads = 0;
+  auto loader = [&loads]() {
+    ++loads;
+    return std::make_pair(std::vector<int>{1, 2, 3}, 12.0);
+  };
+  const auto a = store.get_or_load<std::vector<int>>("data", loader);
+  const auto b = store.get_or_load<std::vector<int>>("data", loader);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(*b, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loads, 1);  // second call was a hit
+}
+
+TEST(InMemoryStore, ResidentBytesTracked) {
+  InMemoryStore store;
+  store.put_typed<int>("a", 1, 100.0);
+  store.put_typed<int>("b", 2, 50.0);
+  EXPECT_DOUBLE_EQ(store.stats().resident_bytes, 150.0);
+  store.put_typed<int>("a", 3, 30.0);  // replaces 100 with 30
+  EXPECT_DOUBLE_EQ(store.stats().resident_bytes, 80.0);
+}
+
+TEST(InMemoryStore, CapacityEvictsOldest) {
+  InMemoryStore store(4, /*capacity_bytes=*/100.0);
+  store.put_typed<int>("a", 1, 60.0);
+  store.put_typed<int>("b", 2, 60.0);  // exceeds 100: "a" evicted
+  EXPECT_EQ(store.get_typed<int>("a"), nullptr);
+  ASSERT_NE(store.get_typed<int>("b"), nullptr);
+  EXPECT_GE(store.stats().evictions, 1u);
+  EXPECT_LE(store.stats().resident_bytes, 100.0);
+}
+
+TEST(InMemoryStore, UnlimitedCapacityNeverEvicts) {
+  InMemoryStore store(4, 0.0);
+  for (int i = 0; i < 100; ++i) {
+    store.put_typed<int>("k" + std::to_string(i), i, 1e6);
+  }
+  EXPECT_EQ(store.stats().evictions, 0u);
+  EXPECT_EQ(store.stats().entries, 100u);
+}
+
+TEST(InMemoryStore, ConcurrentPutsAndGets) {
+  InMemoryStore store(16);
+  std::vector<std::thread> threads;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&store, &mismatches, t]() {
+      for (int i = 0; i < 500; ++i) {
+        const std::string key = "k" + std::to_string(i % 50);
+        store.put_typed<int>(key, i, 4);
+        const auto v = store.get_typed<int>(key);
+        if (v == nullptr) {
+          mismatches.fetch_add(1);
+        }
+      }
+      (void)t;
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(store.stats().puts, 4000u);
+}
+
+TEST(InMemoryStore, StatsCountHitsAndMisses) {
+  InMemoryStore store;
+  store.put_typed<int>("k", 1, 4);
+  store.get("k");
+  store.get("k");
+  store.get("missing");
+  const auto stats = store.stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.puts, 1u);
+}
+
+TEST(InMemoryStore, InvalidArgsRejected) {
+  EXPECT_THROW(InMemoryStore(0), pa::InvalidArgument);
+  InMemoryStore store;
+  EXPECT_THROW(store.put("k", std::any(1), -1.0), pa::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pa::mem

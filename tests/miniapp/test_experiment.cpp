@@ -1,0 +1,162 @@
+#include "pa/miniapp/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pa/common/error.h"
+
+namespace pa::miniapp {
+namespace {
+
+TEST(ExperimentDesign, CartesianProductSizeAndOrder) {
+  ExperimentDesign design;
+  design.add_factor("a", std::vector<std::int64_t>{1, 2});
+  design.add_factor("b", std::vector<std::string>{"x", "y", "z"});
+  const auto combos = design.combinations();
+  ASSERT_EQ(combos.size(), 6u);
+  // Last factor varies fastest.
+  EXPECT_EQ(combos[0].get_string("a"), "1");
+  EXPECT_EQ(combos[0].get_string("b"), "x");
+  EXPECT_EQ(combos[1].get_string("b"), "y");
+  EXPECT_EQ(combos[3].get_string("a"), "2");
+}
+
+TEST(ExperimentDesign, NoFactorsMeansOneEmptyCombo) {
+  ExperimentDesign design;
+  EXPECT_EQ(design.combinations().size(), 1u);
+}
+
+TEST(ExperimentDesign, TrialCountIncludesReps) {
+  ExperimentDesign design;
+  design.add_factor("a", std::vector<std::int64_t>{1, 2, 3});
+  design.set_repetitions(5);
+  EXPECT_EQ(design.trial_count(), 15u);
+}
+
+TEST(ExperimentDesign, Validation) {
+  ExperimentDesign design;
+  EXPECT_THROW(design.add_factor("", std::vector<std::string>{"x"}),
+               pa::InvalidArgument);
+  EXPECT_THROW(design.add_factor("a", std::vector<std::string>{}),
+               pa::InvalidArgument);
+  design.add_factor("a", std::vector<std::string>{"x"});
+  EXPECT_THROW(design.add_factor("a", std::vector<std::string>{"y"}),
+               pa::InvalidArgument);
+  EXPECT_THROW(design.set_repetitions(0), pa::InvalidArgument);
+}
+
+TEST(ExperimentRunner, RunsAllTrialsWithDistinctSeeds) {
+  ExperimentDesign design;
+  design.add_factor("n", std::vector<std::int64_t>{1, 2});
+  design.set_repetitions(3);
+  std::set<std::uint64_t> seeds;
+  ExperimentRunner runner("demo", [&](const pa::Config& factors,
+                                      std::uint64_t seed) {
+    seeds.insert(seed);
+    return std::map<std::string, double>{
+        {"value", static_cast<double>(factors.get_int("n")) * 10.0}};
+  });
+  const ResultSet results = runner.run(design);
+  EXPECT_EQ(results.size(), 6u);
+  EXPECT_EQ(seeds.size(), 6u);  // all trials decorrelated
+}
+
+TEST(ExperimentRunner, SeedsDeterministicAcrossRuns) {
+  ExperimentDesign design;
+  design.add_factor("n", std::vector<std::int64_t>{1, 2});
+  design.set_repetitions(2);
+  auto collect = [&]() {
+    std::vector<std::uint64_t> seeds;
+    ExperimentRunner runner("demo", [&](const pa::Config&, std::uint64_t s) {
+      seeds.push_back(s);
+      return std::map<std::string, double>{};
+    });
+    runner.run(design, 99);
+    return seeds;
+  };
+  EXPECT_EQ(collect(), collect());
+}
+
+TEST(ExperimentRunner, ProgressReported) {
+  ExperimentDesign design;
+  design.add_factor("n", std::vector<std::int64_t>{1, 2, 3});
+  ExperimentRunner runner("demo", [](const pa::Config&, std::uint64_t) {
+    return std::map<std::string, double>{};
+  });
+  std::vector<std::size_t> progress;
+  runner.set_progress([&](std::size_t done, std::size_t total) {
+    progress.push_back(done);
+    EXPECT_EQ(total, 3u);
+  });
+  runner.run(design);
+  EXPECT_EQ(progress, (std::vector<std::size_t>{1, 2, 3}));
+}
+
+class ResultSetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int n : {1, 2}) {
+      for (int rep = 0; rep < 3; ++rep) {
+        Observation obs;
+        obs.factors.set("n", static_cast<std::int64_t>(n));
+        obs.repetition = rep;
+        obs.metrics["runtime"] = 10.0 * n + rep;
+        obs.metrics["throughput"] = 100.0 / n;
+        results_.add(std::move(obs));
+      }
+    }
+  }
+
+  ResultSet results_;
+};
+
+TEST_F(ResultSetTest, MetricNamesSorted) {
+  EXPECT_EQ(results_.metric_names(),
+            (std::vector<std::string>{"runtime", "throughput"}));
+}
+
+TEST_F(ResultSetTest, RawTableShape) {
+  const pa::Table table = results_.to_table("raw");
+  EXPECT_EQ(table.row_count(), 6u);
+  EXPECT_EQ(table.column_count(), 4u);  // n, rep, runtime, throughput
+}
+
+TEST_F(ResultSetTest, SummaryAggregatesPerCombination) {
+  const pa::Table table = results_.summary_table("runtime");
+  ASSERT_EQ(table.row_count(), 2u);
+  // n=1: runtimes 10, 11, 12 -> mean 11.
+  EXPECT_DOUBLE_EQ(std::get<double>(table.at(0, 1)), 11.0);
+  EXPECT_EQ(std::get<std::int64_t>(table.at(0, 3)), 3);
+  // n=2: 20, 21, 22 -> mean 21.
+  EXPECT_DOUBLE_EQ(std::get<double>(table.at(1, 1)), 21.0);
+}
+
+TEST_F(ResultSetTest, MeanMetricWithFilter) {
+  pa::Config where;
+  where.set("n", static_cast<std::int64_t>(2));
+  EXPECT_DOUBLE_EQ(results_.mean_metric("runtime", where), 21.0);
+  EXPECT_DOUBLE_EQ(results_.mean_metric("throughput", where), 50.0);
+}
+
+TEST_F(ResultSetTest, MeanMetricNoMatchThrows) {
+  pa::Config where;
+  where.set("n", static_cast<std::int64_t>(99));
+  EXPECT_THROW(results_.mean_metric("runtime", where), pa::NotFound);
+}
+
+TEST_F(ResultSetTest, MetricSamplesFiltered) {
+  pa::Config where;
+  where.set("n", static_cast<std::int64_t>(1));
+  const pa::SampleSet samples = results_.metric_samples("runtime", where);
+  EXPECT_EQ(samples.count(), 3u);
+  EXPECT_DOUBLE_EQ(samples.min(), 10.0);
+  EXPECT_DOUBLE_EQ(samples.max(), 12.0);
+}
+
+TEST(ExperimentRunner, NullTrialRejected) {
+  EXPECT_THROW(ExperimentRunner("x", nullptr), pa::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pa::miniapp

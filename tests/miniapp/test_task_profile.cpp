@@ -1,0 +1,122 @@
+#include "pa/miniapp/task_profile.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "pa/core/pilot_compute_service.h"
+#include "pa/infra/batch_cluster.h"
+#include "pa/rt/local_runtime.h"
+#include "pa/rt/sim_runtime.h"
+#include "pa/saga/session.h"
+
+namespace pa::miniapp {
+namespace {
+
+TEST(MachineProfile, PredictionComposesPhases) {
+  MachineProfile machine;
+  machine.gflops = 2.0;
+  machine.read_bandwidth = 1e8;
+  machine.write_bandwidth = 5e7;
+  TaskProfile task;
+  task.compute_gflop = 4.0;   // 2 s
+  task.read_bytes = 2e8;      // 2 s
+  task.write_bytes = 1e8;     // 2 s
+  EXPECT_NEAR(machine.predict_seconds(task), 6.0, 1e-12);
+}
+
+TEST(MachineProfile, InvalidRatesRejected) {
+  MachineProfile machine;
+  machine.gflops = 0.0;
+  EXPECT_THROW(machine.predict_seconds(TaskProfile{}), pa::InvalidArgument);
+}
+
+TEST(TaskProfile, ScalingIsElementwise) {
+  TaskProfile task{2.0, 4.0, 6.0, 8.0};
+  const TaskProfile scaled = task.scaled(0.5);
+  EXPECT_DOUBLE_EQ(scaled.compute_gflop, 1.0);
+  EXPECT_DOUBLE_EQ(scaled.read_bytes, 2.0);
+  EXPECT_DOUBLE_EQ(scaled.write_bytes, 3.0);
+  EXPECT_DOUBLE_EQ(scaled.memory_bytes, 4.0);
+}
+
+TEST(ProfiledUnit, CarriesPredictionAndAttributes) {
+  MachineProfile machine;
+  TaskProfile task;
+  task.compute_gflop = 4.0;
+  const auto d = make_profiled_unit(task, machine, 2);
+  EXPECT_EQ(d.cores, 2);
+  EXPECT_NEAR(d.duration, 2.0, 1e-12);
+  EXPECT_NEAR(d.attributes.get_double("compute_gflop"), 4.0, 1e-12);
+  EXPECT_TRUE(static_cast<bool>(d.work));
+}
+
+TEST(ProfiledUnit, SimulatedDurationDrivesSimRuntime) {
+  sim::Engine engine;
+  saga::Session session;
+  infra::BatchClusterConfig cfg;
+  cfg.name = "hpc";
+  cfg.num_nodes = 2;
+  session.register_resource(
+      "slurm://hpc", std::make_shared<infra::BatchCluster>(engine, cfg));
+  rt::SimRuntime runtime(engine, session);
+  core::PilotComputeService service(runtime);
+  core::PilotDescription pd;
+  pd.resource_url = "slurm://hpc";
+  pd.nodes = 1;
+  pd.walltime = 1e6;
+  service.submit_pilot(pd);
+
+  MachineProfile machine;
+  machine.gflops = 2.0;
+  TaskProfile task;
+  task.compute_gflop = 20.0;  // 10 s on this machine
+  core::ComputeUnit unit =
+      service.submit_unit(make_profiled_unit(task, machine));
+  unit.wait(1e6);
+  EXPECT_NEAR(unit.times().exec_time(), 10.02, 1e-6);  // + dispatch
+}
+
+TEST(ProfiledUnit, EmulatorRunsOnLocalRuntime) {
+  rt::LocalRuntime runtime;
+  core::PilotComputeService service(runtime);
+  core::PilotDescription pd;
+  pd.resource_url = "local://host";
+  pd.nodes = 1;
+  pd.walltime = 1e9;
+  service.submit_pilot(pd);
+
+  MachineProfile machine;
+  machine.gflops = 1e9;           // compute ~free
+  machine.read_bandwidth = 1e12;  // io ~free
+  machine.write_bandwidth = 1e12;
+  TaskProfile task;
+  task.compute_gflop = 0.02;      // ~20 ms
+  task.memory_bytes = 8e6;        // 1M doubles touched
+  core::ComputeUnit unit =
+      service.submit_unit(make_profiled_unit(task, machine));
+  EXPECT_EQ(unit.wait(60.0), core::UnitState::kDone);
+}
+
+TEST(ProfiledBatch, SamplesScalesAndNames) {
+  pa::Rng rng(3);
+  MachineProfile machine;
+  TaskProfile base;
+  base.compute_gflop = 2.0;  // 1 s at default gflops
+  const auto batch = make_profiled_batch(
+      50, base, machine, pa::DurationDistribution::uniform(0.5, 2.0), rng);
+  ASSERT_EQ(batch.size(), 50u);
+  double min_d = 1e9;
+  double max_d = 0.0;
+  for (const auto& d : batch) {
+    min_d = std::min(min_d, d.duration);
+    max_d = std::max(max_d, d.duration);
+    EXPECT_FALSE(d.name.empty());
+  }
+  EXPECT_GE(min_d, 0.5);
+  EXPECT_LE(max_d, 2.0);
+  EXPECT_GT(max_d, min_d);  // heterogeneity actually present
+}
+
+}  // namespace
+}  // namespace pa::miniapp

@@ -1,0 +1,171 @@
+#include "pa/miniapp/workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "pa/common/error.h"
+
+namespace pa::miniapp {
+namespace {
+
+TEST(TaskBatch, SamplesDurations) {
+  pa::Rng rng(1);
+  const auto batch = make_task_batch(
+      100, 2, pa::DurationDistribution::uniform(1.0, 5.0), rng, false);
+  EXPECT_EQ(batch.size(), 100u);
+  for (const auto& d : batch) {
+    EXPECT_EQ(d.cores, 2);
+    EXPECT_GE(d.duration, 1.0);
+    EXPECT_LT(d.duration, 5.0);
+    EXPECT_FALSE(static_cast<bool>(d.work));
+  }
+}
+
+TEST(TaskBatch, RealWorkAttachesPayload) {
+  pa::Rng rng(1);
+  const auto batch =
+      make_task_batch(3, 1, pa::DurationDistribution::constant(0.0), rng, true);
+  for (const auto& d : batch) {
+    EXPECT_TRUE(static_cast<bool>(d.work));
+    d.work();  // zero-duration burn returns immediately
+  }
+}
+
+TEST(TextCorpus, ShapeAndZipfSkew) {
+  const auto corpus = generate_text_corpus(1000, 10, 50, 3);
+  EXPECT_EQ(corpus.size(), 1000u);
+  std::map<std::string, int> counts;
+  for (const auto& line : corpus) {
+    const auto words = split_words(line);
+    EXPECT_EQ(words.size(), 10u);
+    for (const auto& w : words) {
+      counts[w] += 1;
+    }
+  }
+  // Zipf: rank-0 word far more frequent than rank-30.
+  EXPECT_GT(counts["w0"], counts["w30"] * 3);
+}
+
+TEST(TextCorpus, Deterministic) {
+  EXPECT_EQ(generate_text_corpus(10, 5, 20, 7),
+            generate_text_corpus(10, 5, 20, 7));
+  EXPECT_NE(generate_text_corpus(10, 5, 20, 7),
+            generate_text_corpus(10, 5, 20, 8));
+}
+
+TEST(SplitWords, HandlesWhitespace) {
+  EXPECT_EQ(split_words("  a  bb   c "),
+            (std::vector<std::string>{"a", "bb", "c"}));
+  EXPECT_TRUE(split_words("").empty());
+}
+
+TEST(Dna, AlphabetAndLength) {
+  const std::string dna = generate_dna(1000, 5);
+  EXPECT_EQ(dna.size(), 1000u);
+  for (char c : dna) {
+    EXPECT_TRUE(c == 'A' || c == 'C' || c == 'G' || c == 'T');
+  }
+}
+
+TEST(Reads, SampledFromReference) {
+  const std::string ref = generate_dna(500, 1);
+  const auto reads = generate_reads(ref, 50, 30, 0.0, 2);
+  EXPECT_EQ(reads.size(), 50u);
+  for (const auto& read : reads) {
+    EXPECT_EQ(read.size(), 30u);
+    // Zero error rate: every read is an exact substring.
+    EXPECT_NE(ref.find(read), std::string::npos);
+  }
+}
+
+TEST(Reads, ErrorRateMutates) {
+  const std::string ref = generate_dna(500, 1);
+  const auto clean = generate_reads(ref, 100, 50, 0.0, 3);
+  const auto noisy = generate_reads(ref, 100, 50, 0.2, 3);
+  int exact = 0;
+  for (const auto& read : noisy) {
+    exact += ref.find(read) != std::string::npos ? 1 : 0;
+  }
+  // At 20% per-base error over 50 bases, exact matches are essentially
+  // impossible.
+  EXPECT_LT(exact, 5);
+  (void)clean;
+}
+
+TEST(Reads, ValidatesArgs) {
+  EXPECT_THROW(generate_reads("ACGT", 1, 10, 0.0, 1), pa::InvalidArgument);
+}
+
+TEST(Kmers, CountAndContent) {
+  const auto kmers = extract_kmers("ACGTA", 3);
+  EXPECT_EQ(kmers, (std::vector<std::string>{"ACG", "CGT", "GTA"}));
+  EXPECT_TRUE(extract_kmers("AC", 3).empty());
+  EXPECT_THROW(extract_kmers("ACGT", 0), pa::InvalidArgument);
+}
+
+TEST(Frames, GeneratorShape) {
+  pa::Rng rng(4);
+  const DetectorFrame frame = generate_frame(64, 48, 5, rng);
+  EXPECT_EQ(frame.width, 64u);
+  EXPECT_EQ(frame.height, 48u);
+  EXPECT_EQ(frame.pixels.size(), 64u * 48u);
+}
+
+TEST(Frames, SerializationRoundTrip) {
+  pa::Rng rng(4);
+  const DetectorFrame frame = generate_frame(32, 32, 3, rng);
+  const std::string bytes = serialize_frame(frame);
+  const DetectorFrame back = deserialize_frame(bytes);
+  EXPECT_EQ(back.width, frame.width);
+  EXPECT_EQ(back.height, frame.height);
+  EXPECT_EQ(back.pixels, frame.pixels);
+}
+
+TEST(Frames, DeserializeRejectsCorrupt) {
+  EXPECT_THROW(deserialize_frame("xy"), pa::InvalidArgument);
+  pa::Rng rng(4);
+  std::string bytes = serialize_frame(generate_frame(8, 8, 1, rng));
+  bytes.pop_back();
+  EXPECT_THROW(deserialize_frame(bytes), pa::InvalidArgument);
+}
+
+TEST(Reconstruction, FindsInjectedPeaks) {
+  pa::Rng rng(10);
+  int total_found = 0;
+  constexpr int kFrames = 20;
+  constexpr int kPeaksPerFrame = 4;
+  for (int i = 0; i < kFrames; ++i) {
+    const DetectorFrame frame = generate_frame(128, 128, kPeaksPerFrame, rng);
+    const ReconstructionResult r = reconstruct_frame(frame);
+    total_found += r.peaks_found;
+    EXPECT_GT(r.background_mean, 30.0);
+    EXPECT_LT(r.background_mean, 80.0);
+  }
+  // Peaks can merge or sit at edges; expect to recover most of them.
+  const double avg = static_cast<double>(total_found) / kFrames;
+  EXPECT_GT(avg, kPeaksPerFrame * 0.5);
+  EXPECT_LT(avg, kPeaksPerFrame * 1.5);
+}
+
+TEST(Reconstruction, NoPeaksInPureNoise) {
+  pa::Rng rng(11);
+  int total = 0;
+  for (int i = 0; i < 10; ++i) {
+    const DetectorFrame frame = generate_frame(64, 64, 0, rng);
+    total += reconstruct_frame(frame).peaks_found;
+  }
+  EXPECT_LE(total, 10);  // a stray fluctuation or two at most
+}
+
+TEST(Reconstruction, TinyFrameRejected) {
+  DetectorFrame frame;
+  frame.width = 2;
+  frame.height = 2;
+  frame.pixels.assign(4, 0);
+  EXPECT_THROW(reconstruct_frame(frame), pa::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pa::miniapp

@@ -1,0 +1,162 @@
+#include "pa/models/analytical.h"
+
+#include <gtest/gtest.h>
+
+#include "pa/common/error.h"
+
+namespace pa::models {
+namespace {
+
+TEST(Amdahl, KnownValues) {
+  AmdahlModel m{0.1};
+  EXPECT_DOUBLE_EQ(m.speedup(1), 1.0);
+  // S(10) = 1 / (0.1 + 0.9/10) = 1/0.19.
+  EXPECT_NEAR(m.speedup(10), 1.0 / 0.19, 1e-12);
+  // Asymptote: 1/serial_fraction.
+  EXPECT_NEAR(m.speedup(1000000), 10.0, 0.01);
+}
+
+TEST(Amdahl, EfficiencyDecreasesWithProcessors) {
+  AmdahlModel m{0.05};
+  EXPECT_GT(m.efficiency(2), m.efficiency(16));
+  EXPECT_GT(m.efficiency(16), m.efficiency(256));
+  EXPECT_NEAR(m.efficiency(1), 1.0, 1e-12);
+}
+
+TEST(Amdahl, ArgValidated) {
+  AmdahlModel m{0.1};
+  EXPECT_THROW(m.speedup(0), pa::InvalidArgument);
+}
+
+TEST(PilotTaskFarm, SingleWave) {
+  PilotTaskFarmModel m;
+  m.queue_wait = 100.0;
+  m.pilot_startup = 2.0;
+  m.task_duration = 10.0;
+  m.dispatch_overhead = 0.02;
+  m.pilot_cores = 16;
+  m.cores_per_task = 1;
+  // 16 tasks fit one wave.
+  EXPECT_NEAR(m.makespan(16), 100.0 + 2.0 + 10.02, 1e-9);
+}
+
+TEST(PilotTaskFarm, MultipleWaves) {
+  PilotTaskFarmModel m;
+  m.pilot_cores = 4;
+  m.task_duration = 1.0;
+  m.dispatch_overhead = 0.0;
+  m.queue_wait = 0.0;
+  m.pilot_startup = 0.0;
+  EXPECT_NEAR(m.makespan(10), 3.0, 1e-9);  // ceil(10/4)=3 waves
+  EXPECT_NEAR(m.makespan(0), 0.0, 1e-9);
+}
+
+TEST(PilotTaskFarm, ConcurrencyFromCoresPerTask) {
+  PilotTaskFarmModel m;
+  m.pilot_cores = 16;
+  m.cores_per_task = 4;
+  EXPECT_EQ(m.concurrency(), 4);
+  m.cores_per_task = 32;
+  EXPECT_THROW(m.concurrency(), pa::InvalidArgument);
+}
+
+TEST(PilotTaskFarm, PilotBeatsDirectSubmissionWhenQueuesAreLong) {
+  PilotTaskFarmModel m;
+  m.queue_wait = 600.0;
+  m.pilot_startup = 2.0;
+  m.task_duration = 10.0;
+  m.pilot_cores = 64;
+  const double pilot = m.makespan(256);
+  const double direct =
+      m.direct_submission_makespan(256, /*per_job_wait=*/600.0,
+                                   /*cluster_slots=*/64);
+  EXPECT_LT(pilot, direct);
+}
+
+TEST(ReplicaExchange, GenerationTimeComposition) {
+  ReplicaExchangeModel m;
+  m.queue_wait = 0.0;
+  m.pilot_startup = 0.0;
+  m.md_duration = 10.0;
+  m.dispatch_overhead = 0.0;
+  m.exchange_base = 1.0;
+  m.exchange_per_replica = 0.1;
+  m.pilot_cores = 8;
+  m.cores_per_replica = 1;
+  // 16 replicas on 8 slots: 2 waves of 10 + exchange (1 + 1.6) = 22.6.
+  EXPECT_NEAR(m.generation_time(16), 22.6, 1e-9);
+  EXPECT_NEAR(m.makespan(16, 10), 226.0, 1e-9);
+}
+
+TEST(ReplicaExchange, ExchangeLimitsSpeedup) {
+  ReplicaExchangeModel m;
+  m.md_duration = 10.0;
+  m.exchange_base = 1.0;
+  m.exchange_per_replica = 0.05;
+  m.cores_per_replica = 1;
+  m.pilot_cores = 64;
+  // Speedup from 1 slot to 64 slots for 64 replicas.
+  const double s = m.speedup(64, 10, 1);
+  EXPECT_GT(s, 10.0);
+  // Serial exchange caps it below the ideal 64.
+  EXPECT_LT(s, 64.0);
+}
+
+TEST(ReplicaExchange, MoreCoresNeverSlower) {
+  ReplicaExchangeModel m;
+  m.pilot_cores = 8;
+  const double t8 = m.makespan(32, 5);
+  m.pilot_cores = 16;
+  const double t16 = m.makespan(32, 5);
+  m.pilot_cores = 32;
+  const double t32 = m.makespan(32, 5);
+  EXPECT_GE(t8, t16);
+  EXPECT_GE(t16, t32);
+}
+
+TEST(ReplicaExchange, ArgsValidated) {
+  ReplicaExchangeModel m;
+  EXPECT_THROW(m.makespan(0, 1), pa::InvalidArgument);
+  EXPECT_THROW(m.makespan(1, 0), pa::InvalidArgument);
+}
+
+TEST(Bursting, BurstHelpsWhenQueueLong) {
+  BurstingModel m;
+  m.hpc_queue_wait = 3600.0;
+  m.cloud_startup = 60.0;
+  m.task_duration = 10.0;
+  m.tasks = 1024;
+  m.hpc_cores = 64;
+  m.cloud_cores = 64;
+  EXPECT_LT(m.burst_makespan(), m.hpc_only_makespan());
+}
+
+TEST(Bursting, BurstNeutralWhenQueueShort) {
+  BurstingModel m;
+  m.hpc_queue_wait = 0.0;
+  m.cloud_startup = 600.0;
+  m.task_duration = 1.0;
+  m.tasks = 64;
+  m.hpc_cores = 64;
+  m.cloud_cores = 64;
+  // Work finishes on HPC before the cloud even boots: burst cannot beat it
+  // meaningfully.
+  EXPECT_NEAR(m.burst_makespan(), m.hpc_only_makespan(), 0.5);
+}
+
+TEST(Bursting, MakespanConsistentWithCapacityIntegral) {
+  BurstingModel m;
+  m.hpc_queue_wait = 100.0;
+  m.cloud_startup = 50.0;
+  m.task_duration = 4.0;
+  m.tasks = 300;
+  m.hpc_cores = 10;
+  m.cloud_cores = 20;
+  const double t = m.burst_makespan();
+  const double hpc_work = (t - 100.0) * 10;
+  const double cloud_work = (t - 50.0) * 20;
+  EXPECT_NEAR(hpc_work + cloud_work, 300.0 * 4.0, 1.0);
+}
+
+}  // namespace
+}  // namespace pa::models

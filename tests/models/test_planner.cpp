@@ -1,0 +1,85 @@
+#include "pa/models/planner.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pa::models {
+namespace {
+
+LinearModel throughput_model() {
+  // throughput = 100 + 50*workers - 2*msg_kb
+  LinearModel m;
+  m.intercept = 100.0;
+  m.coefficients = {50.0, -2.0};
+  m.feature_names = {"workers", "msg_kb"};
+  return m;
+}
+
+std::vector<ConfigOption> options() {
+  return {
+      {"1 worker", {1.0, 4.0}, 1.0},   // 142
+      {"2 workers", {2.0, 4.0}, 2.0},  // 192
+      {"4 workers", {4.0, 4.0}, 4.0},  // 292
+      {"8 workers", {8.0, 4.0}, 8.0},  // 492
+  };
+}
+
+TEST(ConfigurationSelector, PredictsThroughModel) {
+  ConfigurationSelector sel(throughput_model());
+  EXPECT_DOUBLE_EQ(sel.predict(options()[0]), 142.0);
+  EXPECT_DOUBLE_EQ(sel.predict(options()[3]), 492.0);
+}
+
+TEST(ConfigurationSelector, PicksCheapestMeetingTarget) {
+  ConfigurationSelector sel(throughput_model());
+  const auto chosen = sel.select(options(), 180.0);
+  ASSERT_TRUE(chosen.has_value());
+  EXPECT_EQ(chosen->label, "2 workers");
+}
+
+TEST(ConfigurationSelector, ExactBoundaryCounts) {
+  ConfigurationSelector sel(throughput_model());
+  const auto chosen = sel.select(options(), 142.0);
+  ASSERT_TRUE(chosen.has_value());
+  EXPECT_EQ(chosen->label, "1 worker");
+}
+
+TEST(ConfigurationSelector, NoneFeasible) {
+  ConfigurationSelector sel(throughput_model());
+  EXPECT_FALSE(sel.select(options(), 1000.0).has_value());
+  EXPECT_TRUE(sel.feasible(options(), 1000.0).empty());
+}
+
+TEST(ConfigurationSelector, FeasibleSortedByCost) {
+  ConfigurationSelector sel(throughput_model());
+  const auto ok = sel.feasible(options(), 180.0);
+  ASSERT_EQ(ok.size(), 3u);
+  EXPECT_EQ(ok[0].label, "2 workers");
+  EXPECT_EQ(ok[2].label, "8 workers");
+}
+
+TEST(ConfigurationSelector, CostTieBreaksTowardsHeadroom) {
+  ConfigurationSelector sel(throughput_model());
+  std::vector<ConfigOption> tied = {
+      {"weak", {2.0, 16.0}, 3.0},    // 168
+      {"strong", {2.0, 1.0}, 3.0},   // 198
+  };
+  const auto chosen = sel.select(tied, 150.0);
+  ASSERT_TRUE(chosen.has_value());
+  EXPECT_EQ(chosen->label, "strong");
+}
+
+TEST(ConfigurationSelector, TransformAppliesToLogModels) {
+  // Model in log space: log(y) = 2 + 1*x  ->  y = exp(2 + x).
+  LinearModel log_model;
+  log_model.intercept = 2.0;
+  log_model.coefficients = {1.0};
+  ConfigurationSelector sel(log_model,
+                            [](double v) { return std::exp(v); });
+  const ConfigOption option{"x=1", {1.0}, 1.0};
+  EXPECT_NEAR(sel.predict(option), std::exp(3.0), 1e-9);
+}
+
+}  // namespace
+}  // namespace pa::models

@@ -1,0 +1,136 @@
+#include "pa/models/regression.h"
+
+#include <gtest/gtest.h>
+
+#include "pa/common/error.h"
+#include "pa/common/rng.h"
+
+namespace pa::models {
+namespace {
+
+TEST(SolveLinearSystem, Identity) {
+  const auto x = solve_linear_system({{1, 0}, {0, 1}}, {3.0, 4.0});
+  EXPECT_DOUBLE_EQ(x[0], 3.0);
+  EXPECT_DOUBLE_EQ(x[1], 4.0);
+}
+
+TEST(SolveLinearSystem, Known3x3) {
+  // 2x + y - z = 8; -3x - y + 2z = -11; -2x + y + 2z = -3
+  // solution: x=2, y=3, z=-1.
+  const auto x = solve_linear_system(
+      {{2, 1, -1}, {-3, -1, 2}, {-2, 1, 2}}, {8, -11, -3});
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+  EXPECT_NEAR(x[2], -1.0, 1e-12);
+}
+
+TEST(SolveLinearSystem, NeedsPivoting) {
+  // Leading zero forces a row swap.
+  const auto x = solve_linear_system({{0, 1}, {1, 0}}, {5.0, 7.0});
+  EXPECT_DOUBLE_EQ(x[0], 7.0);
+  EXPECT_DOUBLE_EQ(x[1], 5.0);
+}
+
+TEST(SolveLinearSystem, SingularThrows) {
+  EXPECT_THROW(solve_linear_system({{1, 1}, {2, 2}}, {1.0, 2.0}),
+               pa::InvalidArgument);
+}
+
+TEST(SolveLinearSystem, DimensionMismatchThrows) {
+  EXPECT_THROW(solve_linear_system({{1, 0}}, {1.0}), pa::InvalidArgument);
+}
+
+TEST(OlsRegression, RecoversExactLinearModel) {
+  OlsRegression reg({"a", "b"});
+  pa::Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const double a = rng.uniform(0.0, 10.0);
+    const double b = rng.uniform(-5.0, 5.0);
+    reg.add_sample({a, b}, 2.0 + 3.0 * a - 1.5 * b);
+  }
+  const LinearModel model = reg.fit();
+  EXPECT_NEAR(model.intercept, 2.0, 1e-9);
+  EXPECT_NEAR(model.coefficients[0], 3.0, 1e-9);
+  EXPECT_NEAR(model.coefficients[1], -1.5, 1e-9);
+  EXPECT_NEAR(model.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(model.rmse, 0.0, 1e-9);
+}
+
+TEST(OlsRegression, NoisyFitHasReasonableDiagnostics) {
+  OlsRegression reg;
+  pa::Rng rng(9);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(0.0, 100.0);
+    reg.add_sample({x}, 10.0 + 0.5 * x + rng.normal(0.0, 2.0));
+  }
+  const LinearModel model = reg.fit();
+  EXPECT_NEAR(model.intercept, 10.0, 0.5);
+  EXPECT_NEAR(model.coefficients[0], 0.5, 0.02);
+  EXPECT_GT(model.r_squared, 0.95);
+  EXPECT_NEAR(model.rmse, 2.0, 0.4);
+}
+
+TEST(OlsRegression, PredictUsesCoefficients) {
+  LinearModel m;
+  m.intercept = 1.0;
+  m.coefficients = {2.0, -1.0};
+  EXPECT_DOUBLE_EQ(m.predict({3.0, 4.0}), 1.0 + 6.0 - 4.0);
+  EXPECT_THROW(m.predict({1.0}), pa::InvalidArgument);
+}
+
+TEST(OlsRegression, ToStringNamesFeatures) {
+  OlsRegression reg({"partitions", "msg_bytes"});
+  for (int i = 0; i < 10; ++i) {
+    reg.add_sample({static_cast<double>(i), static_cast<double>(i * i)},
+                   1.0 + 2.0 * i + 0.5 * i * i);
+  }
+  const std::string s = reg.fit().to_string();
+  EXPECT_NE(s.find("partitions"), std::string::npos);
+  EXPECT_NE(s.find("msg_bytes"), std::string::npos);
+}
+
+TEST(OlsRegression, TooFewSamplesThrows) {
+  OlsRegression reg;
+  reg.add_sample({1.0}, 1.0);
+  EXPECT_THROW(reg.fit(), pa::InvalidArgument);
+}
+
+TEST(OlsRegression, InconsistentFeatureCountsRejected) {
+  OlsRegression reg;
+  reg.add_sample({1.0, 2.0}, 1.0);
+  EXPECT_THROW(reg.add_sample({1.0}, 2.0), pa::InvalidArgument);
+  OlsRegression named({"a"});
+  EXPECT_THROW(named.add_sample({1.0, 2.0}, 1.0), pa::InvalidArgument);
+}
+
+TEST(OlsRegression, CrossValidationNearNoiseLevel) {
+  OlsRegression reg;
+  pa::Rng rng(13);
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.uniform(0.0, 10.0);
+    reg.add_sample({x}, 3.0 * x + rng.normal(0.0, 1.0));
+  }
+  const double cv = reg.cross_validated_rmse(5);
+  EXPECT_NEAR(cv, 1.0, 0.3);
+}
+
+TEST(OlsRegression, CrossValidationArgsValidated) {
+  OlsRegression reg;
+  reg.add_sample({1.0}, 1.0);
+  reg.add_sample({2.0}, 2.0);
+  EXPECT_THROW(reg.cross_validated_rmse(1), pa::InvalidArgument);
+  EXPECT_THROW(reg.cross_validated_rmse(10), pa::InvalidArgument);
+}
+
+TEST(OlsRegression, RSquaredZeroForConstantModelOnVaryingData) {
+  // Feature uncorrelated with target: R^2 ~ 0.
+  OlsRegression reg;
+  pa::Rng rng(3);
+  for (int i = 0; i < 400; ++i) {
+    reg.add_sample({rng.uniform(0.0, 1.0)}, rng.normal(0.0, 1.0));
+  }
+  EXPECT_LT(reg.fit().r_squared, 0.05);
+}
+
+}  // namespace
+}  // namespace pa::models

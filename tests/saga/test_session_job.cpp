@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "pa/common/error.h"
+#include "pa/infra/batch_cluster.h"
+#include "pa/saga/job.h"
+#include "pa/saga/session.h"
+
+namespace pa::saga {
+namespace {
+
+class SagaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    infra::BatchClusterConfig cfg;
+    cfg.name = "hpc-a";
+    cfg.num_nodes = 4;
+    cfg.node.cores = 8;
+    cluster_ = std::make_shared<infra::BatchCluster>(engine_, cfg);
+    session_.register_resource("slurm://hpc-a", cluster_);
+  }
+
+  sim::Engine engine_;
+  Session session_;
+  std::shared_ptr<infra::BatchCluster> cluster_;
+};
+
+TEST_F(SagaTest, ResolveRegisteredResource) {
+  EXPECT_TRUE(session_.has("slurm://hpc-a"));
+  EXPECT_EQ(session_.resolve("slurm://hpc-a").get(), cluster_.get());
+}
+
+TEST_F(SagaTest, ResolveUnknownThrows) {
+  EXPECT_FALSE(session_.has("slurm://other"));
+  EXPECT_THROW(session_.resolve("slurm://other"), pa::NotFound);
+}
+
+TEST_F(SagaTest, DuplicateRegistrationRejected) {
+  EXPECT_THROW(session_.register_resource("slurm://hpc-a", cluster_),
+               pa::InvalidArgument);
+}
+
+TEST_F(SagaTest, NullResourceRejected) {
+  EXPECT_THROW(session_.register_resource("x://y", nullptr),
+               pa::InvalidArgument);
+}
+
+TEST_F(SagaTest, ResourceUrlsSorted) {
+  infra::BatchClusterConfig cfg;
+  cfg.name = "hpc-b";
+  session_.register_resource(
+      "slurm://aaa", std::make_shared<infra::BatchCluster>(engine_, cfg));
+  const auto urls = session_.resource_urls();
+  ASSERT_EQ(urls.size(), 2u);
+  EXPECT_EQ(urls[0], "slurm://aaa");
+  EXPECT_EQ(urls[1], "slurm://hpc-a");
+}
+
+TEST_F(SagaTest, SubmitRunsJobThroughAdaptor) {
+  JobService service(session_, "slurm://hpc-a");
+  EXPECT_EQ(service.site_name(), "hpc-a");
+  EXPECT_EQ(service.total_cores(), 32);
+
+  infra::Allocation seen;
+  bool stopped = false;
+  JobDescription jd;
+  jd.executable = "ensemble-member";
+  jd.number_of_nodes = 2;
+  jd.walltime_limit = 100.0;
+  jd.simulated_duration = 50.0;
+  jd.on_started = [&](const infra::Allocation& a) { seen = a; };
+  jd.on_stopped = [&](infra::StopReason r) {
+    stopped = true;
+    EXPECT_EQ(r, infra::StopReason::kCompleted);
+  };
+  Job job = service.submit(jd);
+  EXPECT_TRUE(job.valid());
+  EXPECT_EQ(job.state(), infra::JobState::kQueued);
+  engine_.run();
+  EXPECT_TRUE(stopped);
+  EXPECT_EQ(seen.node_ids.size(), 2u);
+  EXPECT_EQ(job.state(), infra::JobState::kDone);
+}
+
+TEST_F(SagaTest, CancelThroughHandle) {
+  JobService service(session_, "slurm://hpc-a");
+  JobDescription jd;
+  jd.number_of_nodes = 1;
+  jd.walltime_limit = 1000.0;
+  jd.simulated_duration = -1.0;
+  Job job = service.submit(jd);
+  engine_.run_until(1.0);
+  EXPECT_EQ(job.state(), infra::JobState::kRunning);
+  job.cancel();
+  engine_.run();
+  EXPECT_EQ(job.state(), infra::JobState::kCanceled);
+}
+
+TEST_F(SagaTest, InvalidDescriptionRejected) {
+  JobService service(session_, "slurm://hpc-a");
+  JobDescription jd;
+  jd.number_of_nodes = 0;
+  EXPECT_THROW(service.submit(jd), pa::InvalidArgument);
+  jd.number_of_nodes = 1;
+  jd.walltime_limit = 0.0;
+  EXPECT_THROW(service.submit(jd), pa::InvalidArgument);
+}
+
+TEST_F(SagaTest, JobServiceForUnknownResourceThrows) {
+  EXPECT_THROW(JobService(session_, "pbs://nowhere"), pa::NotFound);
+}
+
+TEST(SagaJob, DefaultHandleInvalid) {
+  Job job;
+  EXPECT_FALSE(job.valid());
+}
+
+}  // namespace
+}  // namespace pa::saga

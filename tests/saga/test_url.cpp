@@ -1,0 +1,51 @@
+#include "pa/saga/url.h"
+
+#include <gtest/gtest.h>
+
+#include "pa/common/error.h"
+
+namespace pa::saga {
+namespace {
+
+TEST(Url, ParseSchemeHost) {
+  const Url u = Url::parse("slurm://stampede2");
+  EXPECT_EQ(u.scheme, "slurm");
+  EXPECT_EQ(u.host, "stampede2");
+  EXPECT_TRUE(u.path.empty());
+}
+
+TEST(Url, ParseWithPath) {
+  const Url u = Url::parse("file://archive/data/run42");
+  EXPECT_EQ(u.scheme, "file");
+  EXPECT_EQ(u.host, "archive");
+  EXPECT_EQ(u.path, "/data/run42");
+}
+
+TEST(Url, ParseWithQuery) {
+  const Url u = Url::parse("local://host?cores_per_node=8&numa=2");
+  EXPECT_EQ(u.scheme, "local");
+  EXPECT_EQ(u.host, "host");
+  EXPECT_EQ(u.query.get_int("cores_per_node"), 8);
+  EXPECT_EQ(u.query.get_int("numa"), 2);
+}
+
+TEST(Url, RoundTrip) {
+  for (const std::string s :
+       {"slurm://hpc-a", "condor://osg/pool", "ec2://us-east?quota=64"}) {
+    EXPECT_EQ(Url::parse(s).to_string(), s);
+  }
+}
+
+TEST(Url, MalformedRejected) {
+  EXPECT_THROW(Url::parse("no-scheme"), pa::InvalidArgument);
+  EXPECT_THROW(Url::parse("://host"), pa::InvalidArgument);
+  EXPECT_THROW(Url::parse("scheme://"), pa::InvalidArgument);
+}
+
+TEST(Url, Equality) {
+  EXPECT_EQ(Url::parse("a://b"), Url::parse("a://b"));
+  EXPECT_FALSE(Url::parse("a://b") == Url::parse("a://c"));
+}
+
+}  // namespace
+}  // namespace pa::saga

@@ -1,0 +1,185 @@
+#include "pa/sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pa/common/error.h"
+
+namespace pa::sim {
+namespace {
+
+TEST(Engine, StartsAtZero) {
+  Engine e;
+  EXPECT_DOUBLE_EQ(e.now(), 0.0);
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(Engine, EventsFireInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule(3.0, [&]() { order.push_back(3); });
+  e.schedule(1.0, [&]() { order.push_back(1); });
+  e.schedule(2.0, [&]() { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(e.now(), 3.0);
+}
+
+TEST(Engine, SameTimeFifoOrder) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    e.schedule(1.0, [&order, i]() { order.push_back(i); });
+  }
+  e.run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(Engine, CallbackMaySchedule) {
+  Engine e;
+  int fired = 0;
+  e.schedule(1.0, [&]() {
+    ++fired;
+    e.schedule(1.0, [&]() { ++fired; });
+  });
+  e.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(e.now(), 2.0);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine e;
+  bool fired = false;
+  const EventId id = e.schedule(1.0, [&]() { fired = true; });
+  EXPECT_TRUE(e.cancel(id));
+  e.run();
+  EXPECT_FALSE(fired);
+  EXPECT_FALSE(e.cancel(id));  // already gone
+}
+
+TEST(Engine, CancelFromCallback) {
+  Engine e;
+  bool second_fired = false;
+  EventId second = 0;
+  e.schedule(1.0, [&]() { EXPECT_TRUE(e.cancel(second)); });
+  second = e.schedule(2.0, [&]() { second_fired = true; });
+  e.run();
+  EXPECT_FALSE(second_fired);
+}
+
+TEST(Engine, RunUntilAdvancesClockExactly) {
+  Engine e;
+  int fired = 0;
+  e.schedule(1.0, [&]() { ++fired; });
+  e.schedule(5.0, [&]() { ++fired; });
+  e.run_until(3.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(e.now(), 3.0);
+  EXPECT_EQ(e.pending(), 1u);
+  e.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, RunUntilIncludesBoundary) {
+  Engine e;
+  int fired = 0;
+  e.schedule(2.0, [&]() { ++fired; });
+  e.run_until(2.0);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Engine, StepReturnsFalseWhenEmpty) {
+  Engine e;
+  EXPECT_FALSE(e.step());
+  e.schedule(0.0, []() {});
+  EXPECT_TRUE(e.step());
+  EXPECT_FALSE(e.step());
+}
+
+TEST(Engine, SchedulingInPastRejected) {
+  Engine e;
+  e.schedule(1.0, []() {});
+  e.run();
+  EXPECT_THROW(e.schedule_at(0.5, []() {}), pa::InvalidArgument);
+  EXPECT_THROW(e.schedule(-1.0, []() {}), pa::InvalidArgument);
+}
+
+TEST(Engine, ProcessedCounts) {
+  Engine e;
+  for (int i = 0; i < 5; ++i) {
+    e.schedule(static_cast<double>(i), []() {});
+  }
+  e.run();
+  EXPECT_EQ(e.processed(), 5u);
+}
+
+TEST(Engine, NextEventTime) {
+  Engine e;
+  EXPECT_EQ(e.next_event_time(), kTimeInfinity);
+  e.schedule(4.0, []() {});
+  EXPECT_DOUBLE_EQ(e.next_event_time(), 4.0);
+}
+
+TEST(Engine, DeterministicReplay) {
+  auto run_once = []() {
+    Engine e;
+    std::vector<double> times;
+    // A small cascade of events re-scheduling each other.
+    std::function<void(int)> chain = [&](int depth) {
+      times.push_back(e.now());
+      if (depth < 20) {
+        e.schedule(0.5 * depth + 0.1, [&chain, depth]() { chain(depth + 1); });
+      }
+    };
+    e.schedule(0.0, [&chain]() { chain(0); });
+    e.run();
+    return times;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(PeriodicTimer, FiresRepeatedly) {
+  Engine e;
+  int fired = 0;
+  PeriodicTimer timer(e, 1.0, [&]() { ++fired; });
+  timer.start();
+  e.run_until(5.5);
+  EXPECT_EQ(fired, 5);
+  timer.stop();
+  e.run();
+  EXPECT_EQ(fired, 5);
+}
+
+TEST(PeriodicTimer, StopFromCallback) {
+  Engine e;
+  int fired = 0;
+  PeriodicTimer timer(e, 1.0, [&]() {
+    if (++fired == 3) {
+      timer.stop();
+    }
+  });
+  timer.start();
+  e.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(PeriodicTimer, DoubleStartIsIdempotent) {
+  Engine e;
+  int fired = 0;
+  PeriodicTimer timer(e, 1.0, [&]() { ++fired; });
+  timer.start();
+  timer.start();
+  e.run_until(2.5);
+  EXPECT_EQ(fired, 2);  // not doubled
+}
+
+TEST(PeriodicTimer, InvalidPeriodRejected) {
+  Engine e;
+  EXPECT_THROW(PeriodicTimer(e, 0.0, []() {}), pa::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pa::sim

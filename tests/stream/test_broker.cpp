@@ -1,0 +1,215 @@
+#include "pa/stream/broker.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "pa/common/error.h"
+
+namespace pa::stream {
+namespace {
+
+TEST(Broker, CreateAndQueryTopics) {
+  Broker broker;
+  broker.create_topic("frames", 4);
+  EXPECT_TRUE(broker.has_topic("frames"));
+  EXPECT_FALSE(broker.has_topic("other"));
+  EXPECT_EQ(broker.partition_count("frames"), 4);
+  EXPECT_EQ(broker.topic_names(), std::vector<std::string>{"frames"});
+}
+
+TEST(Broker, DuplicateTopicRejected) {
+  Broker broker;
+  broker.create_topic("t", 1);
+  EXPECT_THROW(broker.create_topic("t", 1), pa::InvalidArgument);
+  EXPECT_THROW(broker.create_topic("empty", 0), pa::InvalidArgument);
+}
+
+TEST(Broker, UnknownTopicThrows) {
+  Broker broker;
+  std::vector<Message> out;
+  EXPECT_THROW(broker.produce("ghost", "", "x"), pa::NotFound);
+  EXPECT_THROW(broker.fetch("ghost", 0, 0, 1, out), pa::NotFound);
+}
+
+TEST(Broker, ProduceFetchRoundTrip) {
+  Broker broker;
+  broker.create_topic("t", 1);
+  broker.produce_to("t", 0, "k1", "hello");
+  broker.produce_to("t", 0, "k2", "world");
+  std::vector<Message> out;
+  const auto next = broker.fetch("t", 0, 0, 10, out);
+  EXPECT_EQ(next, 2u);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].payload, "hello");
+  EXPECT_EQ(out[0].offset, 0u);
+  EXPECT_EQ(out[1].payload, "world");
+  EXPECT_EQ(out[1].offset, 1u);
+}
+
+TEST(Broker, FetchRespectsMaxMessages) {
+  Broker broker;
+  broker.create_topic("t", 1);
+  for (int i = 0; i < 10; ++i) {
+    broker.produce_to("t", 0, "", std::to_string(i));
+  }
+  std::vector<Message> out;
+  const auto next = broker.fetch("t", 0, 0, 3, out);
+  EXPECT_EQ(next, 3u);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(Broker, FetchFromMiddle) {
+  Broker broker;
+  broker.create_topic("t", 1);
+  for (int i = 0; i < 5; ++i) {
+    broker.produce_to("t", 0, "", std::to_string(i));
+  }
+  std::vector<Message> out;
+  broker.fetch("t", 0, 3, 10, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].payload, "3");
+}
+
+TEST(Broker, EmptyFetchReturnsSameOffset) {
+  Broker broker;
+  broker.create_topic("t", 1);
+  std::vector<Message> out;
+  EXPECT_EQ(broker.fetch("t", 0, 0, 10, out), 0u);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Broker, KeyedMessagesLandInSamePartition) {
+  Broker broker;
+  broker.create_topic("t", 8);
+  std::set<int> partitions;
+  for (int i = 0; i < 20; ++i) {
+    partitions.insert(broker.produce("t", "stable-key", "x").first);
+  }
+  EXPECT_EQ(partitions.size(), 1u);
+}
+
+TEST(Broker, UnkeyedMessagesSpreadAcrossPartitions) {
+  Broker broker;
+  broker.create_topic("t", 4);
+  std::set<int> partitions;
+  for (int i = 0; i < 16; ++i) {
+    partitions.insert(broker.produce("t", "", "x").first);
+  }
+  EXPECT_EQ(partitions.size(), 4u);
+}
+
+TEST(Broker, PerPartitionFifoOrder) {
+  Broker broker;
+  broker.create_topic("t", 2);
+  for (int i = 0; i < 100; ++i) {
+    broker.produce_to("t", i % 2, "", std::to_string(i));
+  }
+  for (int p = 0; p < 2; ++p) {
+    std::vector<Message> out;
+    broker.fetch("t", p, 0, 1000, out);
+    int last = -1;
+    for (const auto& m : out) {
+      const int v = std::stoi(m.payload);
+      EXPECT_GT(v, last);
+      last = v;
+    }
+  }
+}
+
+TEST(Broker, EndAndBeginOffsets) {
+  Broker broker;
+  broker.create_topic("t", 1);
+  EXPECT_EQ(broker.end_offset("t", 0), 0u);
+  EXPECT_EQ(broker.begin_offset("t", 0), 0u);
+  broker.produce_to("t", 0, "", "a");
+  broker.produce_to("t", 0, "", "b");
+  EXPECT_EQ(broker.end_offset("t", 0), 2u);
+}
+
+TEST(Broker, TruncateEnforcesRetention) {
+  Broker broker;
+  broker.create_topic("t", 1);
+  for (int i = 0; i < 10; ++i) {
+    broker.produce_to("t", 0, "", std::to_string(i));
+  }
+  broker.truncate("t", 0, 5);
+  EXPECT_EQ(broker.begin_offset("t", 0), 5u);
+  std::vector<Message> out;
+  EXPECT_THROW(broker.fetch("t", 0, 2, 10, out), pa::NotFound);
+  broker.fetch("t", 0, 5, 10, out);
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out[0].payload, "5");
+}
+
+TEST(Broker, StatsAccumulate) {
+  Broker broker;
+  broker.create_topic("t", 2);
+  broker.produce("t", "", "12345");
+  broker.produce("t", "", "678");
+  const TopicStats stats = broker.stats("t");
+  EXPECT_EQ(stats.messages_in, 2u);
+  EXPECT_EQ(stats.bytes_in, 8u);
+}
+
+TEST(Broker, PartitionOutOfRangeRejected) {
+  Broker broker;
+  broker.create_topic("t", 2);
+  EXPECT_THROW(broker.produce_to("t", 2, "", "x"), pa::InvalidArgument);
+  EXPECT_THROW(broker.produce_to("t", -1, "", "x"), pa::InvalidArgument);
+}
+
+TEST(Broker, ConcurrentProducersPreserveCountAndOrder) {
+  Broker broker;
+  broker.create_topic("t", 4);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&broker, t]() {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Each producer keys by its own id: its messages stay ordered
+        // within one partition.
+        broker.produce("t", "producer-" + std::to_string(t),
+                       std::to_string(i));
+      }
+    });
+  }
+  for (auto& th : producers) {
+    th.join();
+  }
+  EXPECT_EQ(broker.stats("t").messages_in,
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+  // Per-producer order within its partition.
+  for (int p = 0; p < 4; ++p) {
+    std::vector<Message> out;
+    broker.fetch("t", p, 0, 100000, out);
+    std::map<std::string, int> last_seen;
+    for (const auto& m : out) {
+      const int v = std::stoi(m.payload);
+      const auto it = last_seen.find(m.key);
+      if (it != last_seen.end()) {
+        EXPECT_GT(v, it->second) << "order violated for " << m.key;
+      }
+      last_seen[m.key] = v;
+    }
+  }
+}
+
+TEST(Broker, ProduceTimestampsMonotonicPerPartition) {
+  Broker broker;
+  broker.create_topic("t", 1);
+  for (int i = 0; i < 10; ++i) {
+    broker.produce_to("t", 0, "", "x");
+  }
+  std::vector<Message> out;
+  broker.fetch("t", 0, 0, 100, out);
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    EXPECT_GE(out[i].produce_time, out[i - 1].produce_time);
+  }
+}
+
+}  // namespace
+}  // namespace pa::stream

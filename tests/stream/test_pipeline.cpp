@@ -1,0 +1,149 @@
+#include "pa/stream/pilot_streaming.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+
+#include "pa/core/pilot_compute_service.h"
+#include "pa/rt/local_runtime.h"
+#include "pa/stream/producer.h"
+
+namespace pa::stream {
+namespace {
+
+TEST(Producer, BatchesAndFlushes) {
+  Broker broker;
+  broker.create_topic("t", 2);
+  ProducerConfig cfg;
+  cfg.batch_size = 10;
+  Producer producer(broker, "t", cfg);
+  for (int i = 0; i < 9; ++i) {
+    producer.send("", "x");
+  }
+  EXPECT_EQ(broker.stats("t").messages_in, 0u);  // still buffered
+  producer.send("", "x");                        // 10th triggers flush
+  EXPECT_EQ(broker.stats("t").messages_in, 10u);
+  producer.send("", "y");
+  producer.flush();
+  EXPECT_EQ(broker.stats("t").messages_in, 11u);
+  EXPECT_EQ(producer.messages_sent(), 11u);
+  EXPECT_EQ(producer.bytes_sent(), 11u);
+}
+
+TEST(Producer, DestructorFlushes) {
+  Broker broker;
+  broker.create_topic("t", 1);
+  {
+    Producer producer(broker, "t");
+    producer.send("", "abc");
+  }
+  EXPECT_EQ(broker.stats("t").messages_in, 1u);
+}
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    runtime_ = std::make_unique<rt::LocalRuntime>();
+    service_ = std::make_unique<core::PilotComputeService>(*runtime_);
+    core::PilotDescription pd;
+    pd.resource_url = "local://host";
+    pd.nodes = 6;
+    pd.walltime = 1e9;
+    service_->submit_pilot(pd);
+  }
+
+  std::unique_ptr<rt::LocalRuntime> runtime_;
+  std::unique_ptr<core::PilotComputeService> service_;
+  Broker broker_;
+};
+
+TEST_F(PipelineTest, AllMessagesConsumedExactlyOnceByCount) {
+  PilotStreamingService streaming(*service_, broker_);
+  StreamPipelineConfig cfg;
+  cfg.topic = "frames";
+  cfg.partitions = 4;
+  cfg.producers = 2;
+  cfg.consumers = 2;
+  cfg.messages_per_producer = 2000;
+  cfg.message_bytes = 128;
+  const StreamPipelineResult result = streaming.run_pipeline(cfg);
+  EXPECT_EQ(result.messages, 4000u);
+  EXPECT_EQ(result.bytes, 4000u * 128u);
+  EXPECT_GT(result.throughput_msgs_per_s, 0.0);
+  EXPECT_EQ(result.e2e_latency.count(), 4000u);
+}
+
+TEST_F(PipelineTest, HandlerInvokedPerMessage) {
+  PilotStreamingService streaming(*service_, broker_);
+  auto handled = std::make_shared<std::atomic<int>>(0);
+  StreamPipelineConfig cfg;
+  cfg.topic = "t2";
+  cfg.partitions = 2;
+  cfg.producers = 1;
+  cfg.consumers = 1;
+  cfg.messages_per_producer = 500;
+  cfg.handler = [handled](const Message&) { handled->fetch_add(1); };
+  streaming.run_pipeline(cfg);
+  EXPECT_EQ(handled->load(), 500);
+}
+
+TEST_F(PipelineTest, SingleCorePilotStillCompletes) {
+  // Producers run first, then consumers drain — no deadlock even with
+  // fewer cores than units.
+  rt::LocalRuntime runtime;
+  core::PilotComputeService service(runtime);
+  core::PilotDescription pd;
+  pd.resource_url = "local://tiny";
+  pd.nodes = 1;
+  pd.walltime = 1e9;
+  service.submit_pilot(pd);
+  Broker broker;
+  PilotStreamingService streaming(service, broker);
+  StreamPipelineConfig cfg;
+  cfg.topic = "t";
+  cfg.partitions = 2;
+  cfg.producers = 1;
+  cfg.consumers = 2;
+  cfg.messages_per_producer = 200;
+  const auto result = streaming.run_pipeline(cfg);
+  EXPECT_EQ(result.messages, 200u);
+}
+
+TEST_F(PipelineTest, RateLimitedProducerStretchesDuration) {
+  PilotStreamingService streaming(*service_, broker_);
+  StreamPipelineConfig cfg;
+  cfg.topic = "t3";
+  cfg.partitions = 1;
+  cfg.producers = 1;
+  cfg.consumers = 1;
+  cfg.messages_per_producer = 50;
+  cfg.produce_rate = 500.0;  // 50 msgs at 500/s -> >= 0.1 s
+  const auto result = streaming.run_pipeline(cfg);
+  EXPECT_GE(result.duration_seconds, 0.09);
+  EXPECT_EQ(result.messages, 50u);
+}
+
+TEST_F(PipelineTest, ConsecutiveRunsIndependent) {
+  PilotStreamingService streaming(*service_, broker_);
+  StreamPipelineConfig cfg;
+  cfg.topic = "t4";
+  cfg.partitions = 2;
+  cfg.producers = 1;
+  cfg.consumers = 1;
+  cfg.messages_per_producer = 100;
+  const auto r1 = streaming.run_pipeline(cfg);
+  const auto r2 = streaming.run_pipeline(cfg);
+  EXPECT_EQ(r1.messages, 100u);
+  EXPECT_EQ(r2.messages, 100u);  // fresh group: does not re-read r1's data
+}
+
+TEST_F(PipelineTest, InvalidConfigRejected) {
+  PilotStreamingService streaming(*service_, broker_);
+  StreamPipelineConfig cfg;
+  cfg.producers = 0;
+  EXPECT_THROW(streaming.run_pipeline(cfg), pa::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pa::stream

@@ -1,0 +1,146 @@
+#include "pa/stream/windowing.h"
+
+#include <gtest/gtest.h>
+
+#include "pa/common/error.h"
+
+namespace pa::stream {
+namespace {
+
+Message msg(double t, std::string key = "k") {
+  Message m;
+  m.produce_time = t;
+  m.key = std::move(key);
+  return m;
+}
+
+TEST(TumblingWindow, AssignsByEventTime) {
+  TumblingWindow win(10.0);
+  EXPECT_TRUE(win.add(msg(1.0), 5.0).empty());
+  EXPECT_TRUE(win.add(msg(9.9), 7.0).empty());
+  // Crossing into the next window closes the first.
+  const auto emitted = win.add(msg(10.1), 1.0);
+  ASSERT_EQ(emitted.size(), 1u);
+  EXPECT_EQ(emitted[0].index, 0);
+  EXPECT_DOUBLE_EQ(emitted[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(emitted[0].end, 10.0);
+  const KeyAggregate& agg = emitted[0].per_key.at("k");
+  EXPECT_EQ(agg.count, 2u);
+  EXPECT_DOUBLE_EQ(agg.sum, 12.0);
+  EXPECT_DOUBLE_EQ(agg.min, 5.0);
+  EXPECT_DOUBLE_EQ(agg.max, 7.0);
+  EXPECT_DOUBLE_EQ(agg.mean(), 6.0);
+}
+
+TEST(TumblingWindow, PerKeySeparation) {
+  TumblingWindow win(10.0);
+  win.add(msg(1.0, "a"), 1.0);
+  win.add(msg(2.0, "b"), 2.0);
+  win.add(msg(3.0, "a"), 3.0);
+  const auto emitted = win.add(msg(15.0, "c"), 0.0);
+  ASSERT_EQ(emitted.size(), 1u);
+  EXPECT_EQ(emitted[0].per_key.size(), 2u);
+  EXPECT_EQ(emitted[0].per_key.at("a").count, 2u);
+  EXPECT_EQ(emitted[0].per_key.at("b").count, 1u);
+}
+
+TEST(TumblingWindow, SkippedWindowsEmitOnlyExisting) {
+  TumblingWindow win(1.0);
+  win.add(msg(0.5), 1.0);
+  // Jump far ahead: only window 0 existed; it must be emitted once.
+  const auto emitted = win.add(msg(100.5), 2.0);
+  ASSERT_EQ(emitted.size(), 1u);
+  EXPECT_EQ(emitted[0].index, 0);
+  EXPECT_EQ(win.open_windows(), 1u);  // the window containing t=100.5
+}
+
+TEST(TumblingWindow, OutOfOrderWithinLatenessAccepted) {
+  TumblingWindow win(10.0, /*allowed_lateness=*/5.0);
+  win.add(msg(1.0), 1.0);
+  win.add(msg(12.0), 2.0);  // watermark 12 < 10 + 5: window 0 still open
+  EXPECT_EQ(win.open_windows(), 2u);
+  const auto emitted = win.add(msg(3.0), 3.0);  // late but within lateness
+  EXPECT_TRUE(emitted.empty());
+  EXPECT_EQ(win.late_dropped(), 0u);
+  const auto closed = win.add(msg(16.0), 0.0);  // watermark 16 >= 15
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_EQ(closed[0].per_key.at("k").count, 2u);  // both on-time + late
+}
+
+TEST(TumblingWindow, TooLateDropped) {
+  TumblingWindow win(10.0, 0.0);
+  win.add(msg(1.0), 1.0);
+  win.add(msg(25.0), 2.0);  // closes window 0
+  const auto emitted = win.add(msg(2.0), 3.0);  // window 0 already closed
+  EXPECT_TRUE(emitted.empty());
+  EXPECT_EQ(win.late_dropped(), 1u);
+}
+
+TEST(TumblingWindow, FlushEmitsOpenWindows) {
+  TumblingWindow win(10.0);
+  win.add(msg(1.0), 1.0);
+  win.add(msg(11.0), 2.0);
+  const auto flushed = win.flush();
+  // Window 0 closed when watermark crossed 10... no: lateness 0 and
+  // watermark 11 >= 10 closed window 0 already at add(11).
+  ASSERT_EQ(flushed.size(), 1u);
+  EXPECT_EQ(flushed[0].index, 1);
+  EXPECT_EQ(win.open_windows(), 0u);
+}
+
+TEST(TumblingWindow, WatermarkTracksMaxTime) {
+  TumblingWindow win(10.0, 100.0);
+  win.add(msg(5.0), 1.0);
+  win.add(msg(3.0), 1.0);  // older message does not move the watermark
+  EXPECT_DOUBLE_EQ(win.watermark(), 5.0);
+}
+
+TEST(TumblingWindow, NegativeEventTimesSupported) {
+  // Offsets from an arbitrary epoch can be negative; floor division must
+  // still bucket correctly.
+  TumblingWindow win(10.0);
+  win.add(msg(-5.0), 1.0);
+  const auto emitted = win.add(msg(6.0), 2.0);
+  ASSERT_EQ(emitted.size(), 1u);
+  EXPECT_EQ(emitted[0].index, -1);
+  EXPECT_DOUBLE_EQ(emitted[0].start, -10.0);
+}
+
+TEST(TumblingWindow, Validation) {
+  EXPECT_THROW(TumblingWindow(0.0), pa::InvalidArgument);
+  EXPECT_THROW(TumblingWindow(1.0, -1.0), pa::InvalidArgument);
+}
+
+TEST(MergeWindows, CombinesPerKey) {
+  WindowResult a;
+  a.index = 3;
+  a.per_key["x"].add(1.0);
+  a.per_key["x"].add(3.0);
+  WindowResult b;
+  b.index = 3;
+  b.per_key["x"].add(5.0);
+  b.per_key["y"].add(2.0);
+  const WindowResult merged = merge_windows({a, b});
+  EXPECT_EQ(merged.per_key.at("x").count, 3u);
+  EXPECT_DOUBLE_EQ(merged.per_key.at("x").sum, 9.0);
+  EXPECT_DOUBLE_EQ(merged.per_key.at("x").min, 1.0);
+  EXPECT_DOUBLE_EQ(merged.per_key.at("x").max, 5.0);
+  EXPECT_EQ(merged.per_key.at("y").count, 1u);
+}
+
+TEST(MergeWindows, IndexMismatchRejected) {
+  WindowResult a;
+  a.index = 1;
+  WindowResult b;
+  b.index = 2;
+  EXPECT_THROW(merge_windows({a, b}), pa::InvalidArgument);
+  EXPECT_THROW(merge_windows({}), pa::InvalidArgument);
+}
+
+TEST(KeyAggregate, EmptyMeanIsZero) {
+  KeyAggregate agg;
+  EXPECT_DOUBLE_EQ(agg.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace pa::stream
