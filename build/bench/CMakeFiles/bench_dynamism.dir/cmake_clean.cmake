@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dynamism.dir/bench_dynamism.cpp.o"
+  "CMakeFiles/bench_dynamism.dir/bench_dynamism.cpp.o.d"
+  "bench_dynamism"
+  "bench_dynamism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dynamism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_miniapp_sweep.dir/bench_miniapp_sweep.cpp.o"
+  "CMakeFiles/bench_miniapp_sweep.dir/bench_miniapp_sweep.cpp.o.d"
+  "bench_miniapp_sweep"
+  "bench_miniapp_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_miniapp_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

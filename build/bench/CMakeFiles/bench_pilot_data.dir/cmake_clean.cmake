@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pilot_data.dir/bench_pilot_data.cpp.o"
+  "CMakeFiles/bench_pilot_data.dir/bench_pilot_data.cpp.o.d"
+  "bench_pilot_data"
+  "bench_pilot_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pilot_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_pilot_overhead.cpp" "bench/CMakeFiles/bench_pilot_overhead.dir/bench_pilot_overhead.cpp.o" "gcc" "bench/CMakeFiles/bench_pilot_overhead.dir/bench_pilot_overhead.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rt/CMakeFiles/pa_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/saga/CMakeFiles/pa_saga.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/pa_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/infra/CMakeFiles/pa_infra.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/pa_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/engines/CMakeFiles/pa_engines.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pa_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/pa_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/miniapp/CMakeFiles/pa_miniapp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

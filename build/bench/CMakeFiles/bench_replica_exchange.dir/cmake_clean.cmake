@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_replica_exchange.dir/bench_replica_exchange.cpp.o"
+  "CMakeFiles/bench_replica_exchange.dir/bench_replica_exchange.cpp.o.d"
+  "bench_replica_exchange"
+  "bench_replica_exchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_replica_exchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_bursting.dir/cloud_bursting.cpp.o"
+  "CMakeFiles/cloud_bursting.dir/cloud_bursting.cpp.o.d"
+  "cloud_bursting"
+  "cloud_bursting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_bursting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ensemble_kalman.dir/ensemble_kalman.cpp.o"
+  "CMakeFiles/ensemble_kalman.dir/ensemble_kalman.cpp.o.d"
+  "ensemble_kalman"
+  "ensemble_kalman.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ensemble_kalman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

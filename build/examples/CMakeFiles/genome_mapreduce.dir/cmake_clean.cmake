@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genome_mapreduce.dir/genome_mapreduce.cpp.o"
+  "CMakeFiles/genome_mapreduce.dir/genome_mapreduce.cpp.o.d"
+  "genome_mapreduce"
+  "genome_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genome_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kmeans_iterative.dir/kmeans_iterative.cpp.o"
+  "CMakeFiles/kmeans_iterative.dir/kmeans_iterative.cpp.o.d"
+  "kmeans_iterative"
+  "kmeans_iterative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kmeans_iterative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

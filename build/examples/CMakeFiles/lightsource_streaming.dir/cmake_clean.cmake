@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lightsource_streaming.dir/lightsource_streaming.cpp.o"
+  "CMakeFiles/lightsource_streaming.dir/lightsource_streaming.cpp.o.d"
+  "lightsource_streaming"
+  "lightsource_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lightsource_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replica_exchange.dir/replica_exchange.cpp.o"
+  "CMakeFiles/replica_exchange.dir/replica_exchange.cpp.o.d"
+  "replica_exchange"
+  "replica_exchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replica_exchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

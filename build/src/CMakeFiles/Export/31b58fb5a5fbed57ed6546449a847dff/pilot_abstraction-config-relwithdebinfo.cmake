@@ -1,0 +1,129 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "RelWithDebInfo".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "pa::pa_common" for configuration "RelWithDebInfo"
+set_property(TARGET pa::pa_common APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(pa::pa_common PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libpa_common.a"
+  )
+
+list(APPEND _cmake_import_check_targets pa::pa_common )
+list(APPEND _cmake_import_check_files_for_pa::pa_common "${_IMPORT_PREFIX}/lib/libpa_common.a" )
+
+# Import target "pa::pa_sim" for configuration "RelWithDebInfo"
+set_property(TARGET pa::pa_sim APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(pa::pa_sim PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libpa_sim.a"
+  )
+
+list(APPEND _cmake_import_check_targets pa::pa_sim )
+list(APPEND _cmake_import_check_files_for_pa::pa_sim "${_IMPORT_PREFIX}/lib/libpa_sim.a" )
+
+# Import target "pa::pa_infra" for configuration "RelWithDebInfo"
+set_property(TARGET pa::pa_infra APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(pa::pa_infra PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libpa_infra.a"
+  )
+
+list(APPEND _cmake_import_check_targets pa::pa_infra )
+list(APPEND _cmake_import_check_files_for_pa::pa_infra "${_IMPORT_PREFIX}/lib/libpa_infra.a" )
+
+# Import target "pa::pa_saga" for configuration "RelWithDebInfo"
+set_property(TARGET pa::pa_saga APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(pa::pa_saga PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libpa_saga.a"
+  )
+
+list(APPEND _cmake_import_check_targets pa::pa_saga )
+list(APPEND _cmake_import_check_files_for_pa::pa_saga "${_IMPORT_PREFIX}/lib/libpa_saga.a" )
+
+# Import target "pa::pa_core" for configuration "RelWithDebInfo"
+set_property(TARGET pa::pa_core APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(pa::pa_core PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libpa_core.a"
+  )
+
+list(APPEND _cmake_import_check_targets pa::pa_core )
+list(APPEND _cmake_import_check_files_for_pa::pa_core "${_IMPORT_PREFIX}/lib/libpa_core.a" )
+
+# Import target "pa::pa_rt" for configuration "RelWithDebInfo"
+set_property(TARGET pa::pa_rt APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(pa::pa_rt PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libpa_rt.a"
+  )
+
+list(APPEND _cmake_import_check_targets pa::pa_rt )
+list(APPEND _cmake_import_check_files_for_pa::pa_rt "${_IMPORT_PREFIX}/lib/libpa_rt.a" )
+
+# Import target "pa::pa_data" for configuration "RelWithDebInfo"
+set_property(TARGET pa::pa_data APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(pa::pa_data PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libpa_data.a"
+  )
+
+list(APPEND _cmake_import_check_targets pa::pa_data )
+list(APPEND _cmake_import_check_files_for_pa::pa_data "${_IMPORT_PREFIX}/lib/libpa_data.a" )
+
+# Import target "pa::pa_mem" for configuration "RelWithDebInfo"
+set_property(TARGET pa::pa_mem APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(pa::pa_mem PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libpa_mem.a"
+  )
+
+list(APPEND _cmake_import_check_targets pa::pa_mem )
+list(APPEND _cmake_import_check_files_for_pa::pa_mem "${_IMPORT_PREFIX}/lib/libpa_mem.a" )
+
+# Import target "pa::pa_stream" for configuration "RelWithDebInfo"
+set_property(TARGET pa::pa_stream APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(pa::pa_stream PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libpa_stream.a"
+  )
+
+list(APPEND _cmake_import_check_targets pa::pa_stream )
+list(APPEND _cmake_import_check_files_for_pa::pa_stream "${_IMPORT_PREFIX}/lib/libpa_stream.a" )
+
+# Import target "pa::pa_models" for configuration "RelWithDebInfo"
+set_property(TARGET pa::pa_models APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(pa::pa_models PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libpa_models.a"
+  )
+
+list(APPEND _cmake_import_check_targets pa::pa_models )
+list(APPEND _cmake_import_check_files_for_pa::pa_models "${_IMPORT_PREFIX}/lib/libpa_models.a" )
+
+# Import target "pa::pa_engines" for configuration "RelWithDebInfo"
+set_property(TARGET pa::pa_engines APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(pa::pa_engines PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libpa_engines.a"
+  )
+
+list(APPEND _cmake_import_check_targets pa::pa_engines )
+list(APPEND _cmake_import_check_files_for_pa::pa_engines "${_IMPORT_PREFIX}/lib/libpa_engines.a" )
+
+# Import target "pa::pa_miniapp" for configuration "RelWithDebInfo"
+set_property(TARGET pa::pa_miniapp APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(pa::pa_miniapp PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libpa_miniapp.a"
+  )
+
+list(APPEND _cmake_import_check_targets pa::pa_miniapp )
+list(APPEND _cmake_import_check_files_for_pa::pa_miniapp "${_IMPORT_PREFIX}/lib/libpa_miniapp.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

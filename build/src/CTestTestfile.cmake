@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("infra")
+subdirs("saga")
+subdirs("core")
+subdirs("rt")
+subdirs("data")
+subdirs("mem")
+subdirs("stream")
+subdirs("models")
+subdirs("engines")
+subdirs("miniapp")

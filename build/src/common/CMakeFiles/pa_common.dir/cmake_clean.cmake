@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_common.dir/config.cpp.o"
+  "CMakeFiles/pa_common.dir/config.cpp.o.d"
+  "CMakeFiles/pa_common.dir/error.cpp.o"
+  "CMakeFiles/pa_common.dir/error.cpp.o.d"
+  "CMakeFiles/pa_common.dir/histogram.cpp.o"
+  "CMakeFiles/pa_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/pa_common.dir/log.cpp.o"
+  "CMakeFiles/pa_common.dir/log.cpp.o.d"
+  "CMakeFiles/pa_common.dir/stats.cpp.o"
+  "CMakeFiles/pa_common.dir/stats.cpp.o.d"
+  "CMakeFiles/pa_common.dir/table.cpp.o"
+  "CMakeFiles/pa_common.dir/table.cpp.o.d"
+  "CMakeFiles/pa_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/pa_common.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/pa_common.dir/time_utils.cpp.o"
+  "CMakeFiles/pa_common.dir/time_utils.cpp.o.d"
+  "libpa_common.a"
+  "libpa_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bursting.cpp" "src/core/CMakeFiles/pa_core.dir/bursting.cpp.o" "gcc" "src/core/CMakeFiles/pa_core.dir/bursting.cpp.o.d"
+  "/root/repo/src/core/pilot_compute_service.cpp" "src/core/CMakeFiles/pa_core.dir/pilot_compute_service.cpp.o" "gcc" "src/core/CMakeFiles/pa_core.dir/pilot_compute_service.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/core/CMakeFiles/pa_core.dir/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/pa_core.dir/scheduler.cpp.o.d"
+  "/root/repo/src/core/state_machine.cpp" "src/core/CMakeFiles/pa_core.dir/state_machine.cpp.o" "gcc" "src/core/CMakeFiles/pa_core.dir/state_machine.cpp.o.d"
+  "/root/repo/src/core/workload_manager.cpp" "src/core/CMakeFiles/pa_core.dir/workload_manager.cpp.o" "gcc" "src/core/CMakeFiles/pa_core.dir/workload_manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_core.dir/bursting.cpp.o"
+  "CMakeFiles/pa_core.dir/bursting.cpp.o.d"
+  "CMakeFiles/pa_core.dir/pilot_compute_service.cpp.o"
+  "CMakeFiles/pa_core.dir/pilot_compute_service.cpp.o.d"
+  "CMakeFiles/pa_core.dir/scheduler.cpp.o"
+  "CMakeFiles/pa_core.dir/scheduler.cpp.o.d"
+  "CMakeFiles/pa_core.dir/state_machine.cpp.o"
+  "CMakeFiles/pa_core.dir/state_machine.cpp.o.d"
+  "CMakeFiles/pa_core.dir/workload_manager.cpp.o"
+  "CMakeFiles/pa_core.dir/workload_manager.cpp.o.d"
+  "libpa_core.a"
+  "libpa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_data.dir/pilot_data_service.cpp.o"
+  "CMakeFiles/pa_data.dir/pilot_data_service.cpp.o.d"
+  "libpa_data.a"
+  "libpa_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engines/dataflow.cpp" "src/engines/CMakeFiles/pa_engines.dir/dataflow.cpp.o" "gcc" "src/engines/CMakeFiles/pa_engines.dir/dataflow.cpp.o.d"
+  "/root/repo/src/engines/enkf.cpp" "src/engines/CMakeFiles/pa_engines.dir/enkf.cpp.o" "gcc" "src/engines/CMakeFiles/pa_engines.dir/enkf.cpp.o.d"
+  "/root/repo/src/engines/ensemble.cpp" "src/engines/CMakeFiles/pa_engines.dir/ensemble.cpp.o" "gcc" "src/engines/CMakeFiles/pa_engines.dir/ensemble.cpp.o.d"
+  "/root/repo/src/engines/iterative.cpp" "src/engines/CMakeFiles/pa_engines.dir/iterative.cpp.o" "gcc" "src/engines/CMakeFiles/pa_engines.dir/iterative.cpp.o.d"
+  "/root/repo/src/engines/kmeans.cpp" "src/engines/CMakeFiles/pa_engines.dir/kmeans.cpp.o" "gcc" "src/engines/CMakeFiles/pa_engines.dir/kmeans.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pa_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/pa_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pa_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_engines.dir/dataflow.cpp.o"
+  "CMakeFiles/pa_engines.dir/dataflow.cpp.o.d"
+  "CMakeFiles/pa_engines.dir/enkf.cpp.o"
+  "CMakeFiles/pa_engines.dir/enkf.cpp.o.d"
+  "CMakeFiles/pa_engines.dir/ensemble.cpp.o"
+  "CMakeFiles/pa_engines.dir/ensemble.cpp.o.d"
+  "CMakeFiles/pa_engines.dir/iterative.cpp.o"
+  "CMakeFiles/pa_engines.dir/iterative.cpp.o.d"
+  "CMakeFiles/pa_engines.dir/kmeans.cpp.o"
+  "CMakeFiles/pa_engines.dir/kmeans.cpp.o.d"
+  "libpa_engines.a"
+  "libpa_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/infra/background_load.cpp" "src/infra/CMakeFiles/pa_infra.dir/background_load.cpp.o" "gcc" "src/infra/CMakeFiles/pa_infra.dir/background_load.cpp.o.d"
+  "/root/repo/src/infra/batch_cluster.cpp" "src/infra/CMakeFiles/pa_infra.dir/batch_cluster.cpp.o" "gcc" "src/infra/CMakeFiles/pa_infra.dir/batch_cluster.cpp.o.d"
+  "/root/repo/src/infra/cloud.cpp" "src/infra/CMakeFiles/pa_infra.dir/cloud.cpp.o" "gcc" "src/infra/CMakeFiles/pa_infra.dir/cloud.cpp.o.d"
+  "/root/repo/src/infra/htc_pool.cpp" "src/infra/CMakeFiles/pa_infra.dir/htc_pool.cpp.o" "gcc" "src/infra/CMakeFiles/pa_infra.dir/htc_pool.cpp.o.d"
+  "/root/repo/src/infra/network.cpp" "src/infra/CMakeFiles/pa_infra.dir/network.cpp.o" "gcc" "src/infra/CMakeFiles/pa_infra.dir/network.cpp.o.d"
+  "/root/repo/src/infra/serverless.cpp" "src/infra/CMakeFiles/pa_infra.dir/serverless.cpp.o" "gcc" "src/infra/CMakeFiles/pa_infra.dir/serverless.cpp.o.d"
+  "/root/repo/src/infra/storage.cpp" "src/infra/CMakeFiles/pa_infra.dir/storage.cpp.o" "gcc" "src/infra/CMakeFiles/pa_infra.dir/storage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pa_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_infra.dir/background_load.cpp.o"
+  "CMakeFiles/pa_infra.dir/background_load.cpp.o.d"
+  "CMakeFiles/pa_infra.dir/batch_cluster.cpp.o"
+  "CMakeFiles/pa_infra.dir/batch_cluster.cpp.o.d"
+  "CMakeFiles/pa_infra.dir/cloud.cpp.o"
+  "CMakeFiles/pa_infra.dir/cloud.cpp.o.d"
+  "CMakeFiles/pa_infra.dir/htc_pool.cpp.o"
+  "CMakeFiles/pa_infra.dir/htc_pool.cpp.o.d"
+  "CMakeFiles/pa_infra.dir/network.cpp.o"
+  "CMakeFiles/pa_infra.dir/network.cpp.o.d"
+  "CMakeFiles/pa_infra.dir/serverless.cpp.o"
+  "CMakeFiles/pa_infra.dir/serverless.cpp.o.d"
+  "CMakeFiles/pa_infra.dir/storage.cpp.o"
+  "CMakeFiles/pa_infra.dir/storage.cpp.o.d"
+  "libpa_infra.a"
+  "libpa_infra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_infra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_mem.dir/in_memory_store.cpp.o"
+  "CMakeFiles/pa_mem.dir/in_memory_store.cpp.o.d"
+  "libpa_mem.a"
+  "libpa_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

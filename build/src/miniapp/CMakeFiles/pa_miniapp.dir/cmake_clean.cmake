@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_miniapp.dir/experiment.cpp.o"
+  "CMakeFiles/pa_miniapp.dir/experiment.cpp.o.d"
+  "CMakeFiles/pa_miniapp.dir/task_profile.cpp.o"
+  "CMakeFiles/pa_miniapp.dir/task_profile.cpp.o.d"
+  "CMakeFiles/pa_miniapp.dir/workloads.cpp.o"
+  "CMakeFiles/pa_miniapp.dir/workloads.cpp.o.d"
+  "libpa_miniapp.a"
+  "libpa_miniapp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_miniapp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

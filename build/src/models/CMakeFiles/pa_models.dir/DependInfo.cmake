@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/planner.cpp" "src/models/CMakeFiles/pa_models.dir/planner.cpp.o" "gcc" "src/models/CMakeFiles/pa_models.dir/planner.cpp.o.d"
+  "/root/repo/src/models/queueing.cpp" "src/models/CMakeFiles/pa_models.dir/queueing.cpp.o" "gcc" "src/models/CMakeFiles/pa_models.dir/queueing.cpp.o.d"
+  "/root/repo/src/models/regression.cpp" "src/models/CMakeFiles/pa_models.dir/regression.cpp.o" "gcc" "src/models/CMakeFiles/pa_models.dir/regression.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pa_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_models.dir/planner.cpp.o"
+  "CMakeFiles/pa_models.dir/planner.cpp.o.d"
+  "CMakeFiles/pa_models.dir/queueing.cpp.o"
+  "CMakeFiles/pa_models.dir/queueing.cpp.o.d"
+  "CMakeFiles/pa_models.dir/regression.cpp.o"
+  "CMakeFiles/pa_models.dir/regression.cpp.o.d"
+  "libpa_models.a"
+  "libpa_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

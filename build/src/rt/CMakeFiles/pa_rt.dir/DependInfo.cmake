@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rt/local_runtime.cpp" "src/rt/CMakeFiles/pa_rt.dir/local_runtime.cpp.o" "gcc" "src/rt/CMakeFiles/pa_rt.dir/local_runtime.cpp.o.d"
+  "/root/repo/src/rt/sim_runtime.cpp" "src/rt/CMakeFiles/pa_rt.dir/sim_runtime.cpp.o" "gcc" "src/rt/CMakeFiles/pa_rt.dir/sim_runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/saga/CMakeFiles/pa_saga.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/infra/CMakeFiles/pa_infra.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_rt.dir/local_runtime.cpp.o"
+  "CMakeFiles/pa_rt.dir/local_runtime.cpp.o.d"
+  "CMakeFiles/pa_rt.dir/sim_runtime.cpp.o"
+  "CMakeFiles/pa_rt.dir/sim_runtime.cpp.o.d"
+  "libpa_rt.a"
+  "libpa_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_saga.dir/job.cpp.o"
+  "CMakeFiles/pa_saga.dir/job.cpp.o.d"
+  "CMakeFiles/pa_saga.dir/session.cpp.o"
+  "CMakeFiles/pa_saga.dir/session.cpp.o.d"
+  "CMakeFiles/pa_saga.dir/url.cpp.o"
+  "CMakeFiles/pa_saga.dir/url.cpp.o.d"
+  "libpa_saga.a"
+  "libpa_saga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_saga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

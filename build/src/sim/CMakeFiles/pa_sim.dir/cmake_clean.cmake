@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_sim.dir/engine.cpp.o"
+  "CMakeFiles/pa_sim.dir/engine.cpp.o.d"
+  "libpa_sim.a"
+  "libpa_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

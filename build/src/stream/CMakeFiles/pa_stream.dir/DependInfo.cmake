@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/broker.cpp" "src/stream/CMakeFiles/pa_stream.dir/broker.cpp.o" "gcc" "src/stream/CMakeFiles/pa_stream.dir/broker.cpp.o.d"
+  "/root/repo/src/stream/consumer.cpp" "src/stream/CMakeFiles/pa_stream.dir/consumer.cpp.o" "gcc" "src/stream/CMakeFiles/pa_stream.dir/consumer.cpp.o.d"
+  "/root/repo/src/stream/pilot_streaming.cpp" "src/stream/CMakeFiles/pa_stream.dir/pilot_streaming.cpp.o" "gcc" "src/stream/CMakeFiles/pa_stream.dir/pilot_streaming.cpp.o.d"
+  "/root/repo/src/stream/producer.cpp" "src/stream/CMakeFiles/pa_stream.dir/producer.cpp.o" "gcc" "src/stream/CMakeFiles/pa_stream.dir/producer.cpp.o.d"
+  "/root/repo/src/stream/windowing.cpp" "src/stream/CMakeFiles/pa_stream.dir/windowing.cpp.o" "gcc" "src/stream/CMakeFiles/pa_stream.dir/windowing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_stream.dir/broker.cpp.o"
+  "CMakeFiles/pa_stream.dir/broker.cpp.o.d"
+  "CMakeFiles/pa_stream.dir/consumer.cpp.o"
+  "CMakeFiles/pa_stream.dir/consumer.cpp.o.d"
+  "CMakeFiles/pa_stream.dir/pilot_streaming.cpp.o"
+  "CMakeFiles/pa_stream.dir/pilot_streaming.cpp.o.d"
+  "CMakeFiles/pa_stream.dir/producer.cpp.o"
+  "CMakeFiles/pa_stream.dir/producer.cpp.o.d"
+  "CMakeFiles/pa_stream.dir/windowing.cpp.o"
+  "CMakeFiles/pa_stream.dir/windowing.cpp.o.d"
+  "libpa_stream.a"
+  "libpa_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_fault_tolerance.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_fault_tolerance.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_runtimes.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_runtimes.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_scheduler.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_scheduler.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_service_local.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_service_local.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_service_sim.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_service_sim.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_state_machine.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_state_machine.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_workload_manager.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_workload_manager.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engines.dir/engines/test_dataflow.cpp.o"
+  "CMakeFiles/test_engines.dir/engines/test_dataflow.cpp.o.d"
+  "CMakeFiles/test_engines.dir/engines/test_enkf.cpp.o"
+  "CMakeFiles/test_engines.dir/engines/test_enkf.cpp.o.d"
+  "CMakeFiles/test_engines.dir/engines/test_ensemble.cpp.o"
+  "CMakeFiles/test_engines.dir/engines/test_ensemble.cpp.o.d"
+  "CMakeFiles/test_engines.dir/engines/test_iterative.cpp.o"
+  "CMakeFiles/test_engines.dir/engines/test_iterative.cpp.o.d"
+  "CMakeFiles/test_engines.dir/engines/test_kmeans.cpp.o"
+  "CMakeFiles/test_engines.dir/engines/test_kmeans.cpp.o.d"
+  "CMakeFiles/test_engines.dir/engines/test_mapreduce.cpp.o"
+  "CMakeFiles/test_engines.dir/engines/test_mapreduce.cpp.o.d"
+  "test_engines"
+  "test_engines.pdb"
+  "test_engines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

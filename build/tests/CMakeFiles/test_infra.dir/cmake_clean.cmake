@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_infra.dir/infra/test_background_load.cpp.o"
+  "CMakeFiles/test_infra.dir/infra/test_background_load.cpp.o.d"
+  "CMakeFiles/test_infra.dir/infra/test_batch_cluster.cpp.o"
+  "CMakeFiles/test_infra.dir/infra/test_batch_cluster.cpp.o.d"
+  "CMakeFiles/test_infra.dir/infra/test_cloud.cpp.o"
+  "CMakeFiles/test_infra.dir/infra/test_cloud.cpp.o.d"
+  "CMakeFiles/test_infra.dir/infra/test_htc_pool.cpp.o"
+  "CMakeFiles/test_infra.dir/infra/test_htc_pool.cpp.o.d"
+  "CMakeFiles/test_infra.dir/infra/test_network.cpp.o"
+  "CMakeFiles/test_infra.dir/infra/test_network.cpp.o.d"
+  "CMakeFiles/test_infra.dir/infra/test_serverless.cpp.o"
+  "CMakeFiles/test_infra.dir/infra/test_serverless.cpp.o.d"
+  "CMakeFiles/test_infra.dir/infra/test_storage.cpp.o"
+  "CMakeFiles/test_infra.dir/infra/test_storage.cpp.o.d"
+  "test_infra"
+  "test_infra.pdb"
+  "test_infra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_infra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

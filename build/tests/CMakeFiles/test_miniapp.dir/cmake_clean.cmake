@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_miniapp.dir/miniapp/test_experiment.cpp.o"
+  "CMakeFiles/test_miniapp.dir/miniapp/test_experiment.cpp.o.d"
+  "CMakeFiles/test_miniapp.dir/miniapp/test_task_profile.cpp.o"
+  "CMakeFiles/test_miniapp.dir/miniapp/test_task_profile.cpp.o.d"
+  "CMakeFiles/test_miniapp.dir/miniapp/test_workloads.cpp.o"
+  "CMakeFiles/test_miniapp.dir/miniapp/test_workloads.cpp.o.d"
+  "test_miniapp"
+  "test_miniapp.pdb"
+  "test_miniapp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_miniapp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

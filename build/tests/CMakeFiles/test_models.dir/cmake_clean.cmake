@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_models.dir/models/test_analytical.cpp.o"
+  "CMakeFiles/test_models.dir/models/test_analytical.cpp.o.d"
+  "CMakeFiles/test_models.dir/models/test_planner.cpp.o"
+  "CMakeFiles/test_models.dir/models/test_planner.cpp.o.d"
+  "CMakeFiles/test_models.dir/models/test_queueing.cpp.o"
+  "CMakeFiles/test_models.dir/models/test_queueing.cpp.o.d"
+  "CMakeFiles/test_models.dir/models/test_regression.cpp.o"
+  "CMakeFiles/test_models.dir/models/test_regression.cpp.o.d"
+  "test_models"
+  "test_models.pdb"
+  "test_models[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_saga.dir/saga/test_session_job.cpp.o"
+  "CMakeFiles/test_saga.dir/saga/test_session_job.cpp.o.d"
+  "CMakeFiles/test_saga.dir/saga/test_url.cpp.o"
+  "CMakeFiles/test_saga.dir/saga/test_url.cpp.o.d"
+  "test_saga"
+  "test_saga.pdb"
+  "test_saga[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_saga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stream.dir/stream/test_broker.cpp.o"
+  "CMakeFiles/test_stream.dir/stream/test_broker.cpp.o.d"
+  "CMakeFiles/test_stream.dir/stream/test_consumer_group.cpp.o"
+  "CMakeFiles/test_stream.dir/stream/test_consumer_group.cpp.o.d"
+  "CMakeFiles/test_stream.dir/stream/test_pipeline.cpp.o"
+  "CMakeFiles/test_stream.dir/stream/test_pipeline.cpp.o.d"
+  "CMakeFiles/test_stream.dir/stream/test_windowing.cpp.o"
+  "CMakeFiles/test_stream.dir/stream/test_windowing.cpp.o.d"
+  "test_stream"
+  "test_stream.pdb"
+  "test_stream[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
