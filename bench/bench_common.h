@@ -6,6 +6,7 @@
 /// evaluation (see EXPERIMENTS.md). They share these builders so the
 /// simulated testbed is identical across experiments.
 
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -13,6 +14,8 @@
 #include "pa/common/stats.h"
 #include "pa/common/table.h"
 #include "pa/core/pilot_compute_service.h"
+#include "pa/obs/export.h"
+#include "pa/obs/metrics.h"
 #include "pa/data/pilot_data_service.h"
 #include "pa/infra/background_load.h"
 #include "pa/infra/batch_cluster.h"
@@ -125,6 +128,39 @@ inline void print_header(const std::string& experiment_id,
   std::cout << "\n################################################\n"
             << "# " << experiment_id << ": " << description << "\n"
             << "################################################\n";
+}
+
+/// Parses `--metrics-out <file>` (or `--metrics-out=<file>`) from argv.
+/// Returns the path, or "" when the flag is absent.
+inline std::string metrics_out_path(int argc, char** argv) {
+  const std::string flag = "--metrics-out";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == flag && i + 1 < argc) {
+      return argv[i + 1];
+    }
+    if (arg.rfind(flag + "=", 0) == 0) {
+      return arg.substr(flag.size() + 1);
+    }
+  }
+  return "";
+}
+
+/// Writes the registry (and optional trace) as JSON to `path`; logs where
+/// it went. No-op when `path` is empty.
+inline void write_metrics_file(const std::string& path,
+                               const obs::MetricsRegistry* metrics,
+                               const obs::Tracer* tracer = nullptr) {
+  if (path.empty()) {
+    return;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot open metrics output file: " << path << "\n";
+    return;
+  }
+  obs::write_json(out, metrics, tracer);
+  std::cout << "metrics written to " << path << "\n";
 }
 
 }  // namespace pa::bench

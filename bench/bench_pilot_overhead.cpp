@@ -15,12 +15,14 @@
 #include <iostream>
 #include <memory>
 
+#include "bench_common.h"
 #include "pa/common/table.h"
 #include "pa/core/pilot_compute_service.h"
 #include "pa/infra/background_load.h"
 #include "pa/infra/batch_cluster.h"
 #include "pa/infra/cloud.h"
 #include "pa/infra/htc_pool.h"
+#include "pa/obs/metrics.h"
 #include "pa/rt/sim_runtime.h"
 #include "pa/saga/session.h"
 
@@ -40,7 +42,8 @@ struct World {
   std::unique_ptr<rt::SimRuntime> runtime;
   std::string url;
 
-  static std::unique_ptr<World> hpc(std::uint64_t seed, double utilization) {
+  static std::unique_ptr<World> hpc(std::uint64_t seed, double utilization,
+                                    obs::MetricsRegistry* metrics = nullptr) {
     auto w = std::make_unique<World>();
     infra::BatchClusterConfig cfg;
     cfg.name = "hpc";
@@ -49,6 +52,7 @@ struct World {
     cfg.scheduler_cycle = 45.0;        // periodic LRMS scheduler
     cfg.max_running_per_owner = kPilotNodes;
     auto cluster = std::make_shared<infra::BatchCluster>(w->engine, cfg);
+    cluster->attach_metrics(metrics);
     w->rm = cluster;
     w->url = "slurm://hpc";
     w->session.register_resource(w->url, cluster);
@@ -103,8 +107,10 @@ struct ModeResult {
 
 /// Pilot mode: one placeholder allocation, 1-core units inside it.
 ModeResult run_pilot_mode(World& world, int tasks, double task_seconds,
-                          int pilot_nodes) {
+                          int pilot_nodes,
+                          obs::MetricsRegistry* metrics = nullptr) {
   core::PilotComputeService service(*world.runtime, "backfill");
+  service.attach_observability(nullptr, metrics);
   core::PilotDescription pd;
   pd.resource_url = world.url;
   pd.nodes = pilot_nodes;
@@ -151,10 +157,17 @@ ModeResult run_direct_mode(World& world, int tasks, double task_seconds) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::cout << "\n################################################\n"
             << "# E1: pilot overhead vs per-task submission\n"
             << "################################################\n";
+
+  // --metrics-out <file>: accumulate pa::obs metrics across all
+  // configurations and dump them as JSON at the end of the run.
+  const std::string metrics_path = pa::bench::metrics_out_path(argc, argv);
+  obs::MetricsRegistry registry;
+  obs::MetricsRegistry* metrics =
+      metrics_path.empty() ? nullptr : &registry;
 
   Table table("E1: pilot vs direct submission (matched per-user budget)");
   table.set_columns({Column{"infra", 0, true}, Column{"tasks", 0, true},
@@ -178,9 +191,9 @@ int main() {
         auto make_world = [&]() -> std::unique_ptr<World> {
           switch (kind) {
             case Kind::kHpcLoaded:
-              return World::hpc(7, 0.70);
+              return World::hpc(7, 0.70, metrics);
             case Kind::kHpcIdle:
-              return World::hpc(7, 0.0);
+              return World::hpc(7, 0.0, metrics);
             case Kind::kHtc:
               return World::htc(7);
             case Kind::kCloud:
@@ -191,7 +204,7 @@ int main() {
         auto pilot_world = make_world();
         auto direct_world = make_world();
         const auto p =
-            run_pilot_mode(*pilot_world, tasks, task_s, kPilotNodes);
+            run_pilot_mode(*pilot_world, tasks, task_s, kPilotNodes, metrics);
         const auto d = run_direct_mode(*direct_world, tasks, task_s);
         table.add_row({label, static_cast<std::int64_t>(tasks),
                        static_cast<std::int64_t>(task_s), p.makespan,
@@ -210,5 +223,6 @@ int main() {
          "and matchmaking/boot latency per task; the pilot pays them\n"
          "once. For few long tasks the two converge (pilot overhead "
          "amortized away).\n";
+  pa::bench::write_metrics_file(metrics_path, metrics);
   return 0;
 }

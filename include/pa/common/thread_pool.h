@@ -40,10 +40,14 @@ class ThreadPool {
   /// Enqueues fire-and-forget work.
   void enqueue(std::function<void()> fn);
 
-  /// Blocks until the queue is empty and all workers are idle.
+  /// Blocks until the queue is empty and all workers are idle. Returns
+  /// immediately (never hangs) when called after shutdown()/shutdown_now():
+  /// the queue is then drained or discarded and no worker is active.
   void wait_idle();
 
   /// Stops accepting work; drains the queue, then joins workers.
+  /// Idempotent: repeated calls return immediately (a concurrent second
+  /// caller may return before the first finishes joining).
   void shutdown();
 
   /// Stops accepting work; discards queued tasks, joins workers after the

@@ -25,6 +25,8 @@
 #include "pa/core/state_machine.h"
 #include "pa/core/types.h"
 #include "pa/core/workload_manager.h"
+#include "pa/obs/metrics.h"
+#include "pa/obs/tracer.h"
 
 namespace pa::core {
 
@@ -104,6 +106,18 @@ class PilotComputeService {
   /// Connects Pilot-Data so schedulers see locality and stage-in happens
   /// automatically for units with input_data.
   void attach_data_service(DataServiceInterface* data);
+
+  /// Connects the observability layer. Either argument may be null.
+  /// With a tracer attached the service records pilot lifecycle spans
+  /// ("pilot.startup" submit->active, "pilot.active" active->terminated),
+  /// unit spans ("unit.wait" submit->start, "unit.exec" start->finish) and
+  /// per-transition "pilot.state"/"unit.state" events — all stamped with
+  /// the *runtime's* clock (simulated time on SimRuntime, wall time on
+  /// LocalRuntime). With a registry attached the service and its workload
+  /// manager export lifecycle counters and scheduler-decision metrics
+  /// ("pcs.*", "wm.*"). Both sinks must outlive their attachment.
+  void attach_observability(obs::Tracer* tracer,
+                            obs::MetricsRegistry* metrics);
 
   /// Submits a pilot; it proceeds NEW -> SUBMITTED -> ACTIVE asynchronously.
   Pilot submit_pilot(const PilotDescription& description);
@@ -200,6 +214,8 @@ class PilotComputeService {
   mutable std::recursive_mutex mutex_;
   WorkloadManager workload_;
   DataServiceInterface* data_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* obs_metrics_ = nullptr;
   bool requeue_on_pilot_failure_ = true;
   int pilot_max_restarts_ = 0;
   bool shut_down_ = false;

@@ -93,12 +93,18 @@ class RoundRobinScheduler : public Scheduler {
   const char* name() const override { return "round-robin"; }
 
  private:
-  std::size_t cursor_ = 0;
+  /// Rotation cursor, keyed by the last-assigned pilot's id rather than a
+  /// raw index: the pilot vector may shrink or be reordered between
+  /// scheduling rounds (pilot churn), and an index would then silently
+  /// restart the rotation from an unrelated pilot. Empty = start at 0.
+  std::string last_pilot_id_;
 };
 
 /// Binds each unit to the pilot whose site holds the most of its input
 /// data (minimizing stage-in volume); falls back to backfill behaviour for
-/// units without data. The Pilot-Data scheduler of ref [66].
+/// units without data. A `preferred_site` hint is honored when the unit
+/// has no local data anywhere (data locality dominates the hint
+/// otherwise). The Pilot-Data scheduler of ref [66].
 class DataAffinityScheduler : public Scheduler {
  public:
   std::vector<Assignment> schedule(const std::vector<UnitView>& queued,
@@ -136,7 +142,13 @@ class ShortestFirstScheduler : public Scheduler {
 };
 
 /// Factory by policy name ("fifo", "backfill", "round-robin",
-/// "data-affinity", "cost-aware", "largest-first").
+/// "data-affinity", "cost-aware", "largest-first", "shortest-first");
+/// throws pa::InvalidArgument for unknown names. The full registered list
+/// is `scheduler_policy_names()` — keep doc, factory, and tests in sync
+/// through it.
 std::unique_ptr<Scheduler> make_scheduler(const std::string& policy);
+
+/// Every policy name `make_scheduler` accepts, in registration order.
+const std::vector<std::string>& scheduler_policy_names();
 
 }  // namespace pa::core

@@ -16,6 +16,7 @@
 #include "pa/core/runtime.h"
 #include "pa/core/scheduler.h"
 #include "pa/core/types.h"
+#include "pa/obs/metrics.h"
 
 namespace pa::core {
 
@@ -66,6 +67,11 @@ class WorkloadManager {
 
   const Scheduler& scheduler() const { return *scheduler_; }
 
+  /// Emits scheduler-decision counters ("wm.schedule_passes",
+  /// "wm.units_assigned") and queue/capacity gauges into `metrics`.
+  /// Pass nullptr to detach; the registry must outlive its attachment.
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
  private:
   struct PilotRecord {
     std::string site;
@@ -95,6 +101,7 @@ class WorkloadManager {
                      const DataServiceInterface* data) const;
 
   std::unique_ptr<Scheduler> scheduler_;
+  obs::MetricsRegistry* metrics_ = nullptr;
   std::map<std::string, PilotRecord> pilots_;
   std::vector<std::string> pilot_order_;  ///< stable view order
   std::deque<QueuedUnit> queue_;

@@ -8,6 +8,7 @@
 /// waits emerge from competing load (see `BackgroundLoad`), which is what
 /// makes the pilot's late binding measurably valuable in experiment E1.
 
+#include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
@@ -17,6 +18,7 @@
 
 #include "pa/common/stats.h"
 #include "pa/infra/resource_manager.h"
+#include "pa/obs/metrics.h"
 #include "pa/sim/engine.h"
 
 namespace pa::infra {
@@ -82,6 +84,17 @@ class BatchCluster : public ResourceManager {
   /// pilot placement). Returns simulated absolute time.
   double estimate_start_time(int num_nodes) const;
 
+  /// Exports queue-wait histograms, utilization/queue gauges, and
+  /// job/backfill/schedule-pass counters into `metrics` under
+  /// "batch.<name>.". Pass nullptr to detach. The registry must outlive
+  /// the cluster (or the detach).
+  void attach_metrics(obs::MetricsRegistry* metrics);
+
+  /// Number of schedule_pass() invocations so far. Event-driven passes are
+  /// coalesced per timestamp, so a burst of N same-time submits costs one
+  /// pass, not N (the pre-coalescing behaviour was quadratic in N).
+  std::uint64_t schedule_passes() const { return schedule_pass_count_; }
+
  private:
   struct QueuedJob {
     std::string id;
@@ -126,6 +139,14 @@ class BatchCluster : public ResourceManager {
   int busy_nodes_ = 0;
   std::map<std::string, int> running_per_owner_;
   bool cycle_pass_pending_ = false;
+  /// Coalesces the event-driven (scheduler_cycle == 0) path the same way
+  /// cycle_pass_pending_ coalesces the periodic path: N submits/stops at
+  /// one timestamp request one pass, not N.
+  bool event_pass_pending_ = false;
+  std::uint64_t schedule_pass_count_ = 0;
+
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::string metric_prefix_;
 };
 
 }  // namespace pa::infra

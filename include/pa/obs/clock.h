@@ -1,0 +1,51 @@
+#pragma once
+/// \file clock.h
+/// \brief Pluggable time source for the observability layer.
+///
+/// The same instrumentation code must produce simulated timestamps when the
+/// middleware runs on `pa::rt::SimRuntime` (so traces line up with the DES
+/// clock) and wall-clock timestamps on `pa::rt::LocalRuntime`. A `Clock` is
+/// the seam: `Tracer` stamps records through whichever implementation it
+/// was constructed with.
+
+#include <functional>
+
+#include "pa/common/time_utils.h"
+#include "pa/sim/engine.h"
+
+namespace pa::obs {
+
+/// Time source interface; `now()` is seconds on some monotonic axis.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual double now() const = 0;
+};
+
+/// Wall time (monotonic, see pa::wall_seconds) — for LocalRuntime stacks.
+class WallClock final : public Clock {
+ public:
+  double now() const override { return pa::wall_seconds(); }
+};
+
+/// Virtual time of a DES engine — for SimRuntime stacks.
+class SimClock final : public Clock {
+ public:
+  explicit SimClock(const sim::Engine& engine) : engine_(engine) {}
+  double now() const override { return engine_.now(); }
+
+ private:
+  const sim::Engine& engine_;
+};
+
+/// Adapts any callable returning seconds (e.g. [&rt]{ return rt.now(); }).
+class FunctionClock final : public Clock {
+ public:
+  explicit FunctionClock(std::function<double()> fn) : fn_(std::move(fn)) {}
+  double now() const override { return fn_(); }
+
+ private:
+  std::function<double()> fn_;
+};
+
+}  // namespace pa::obs

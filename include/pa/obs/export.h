@@ -1,0 +1,42 @@
+#pragma once
+/// \file export.h
+/// \brief End-of-run exporters for metrics and traces.
+///
+/// JSON is the machine-readable artifact benchmark runs dump via
+/// `--metrics-out` (one self-contained document: counters, gauges,
+/// histogram summaries, spans, events); CSV is the flat form for
+/// spreadsheet/pandas consumption. Exporters read consistent snapshots, so
+/// they may run while writers are still active (numbers are then simply
+/// "as of now").
+
+#include <ostream>
+#include <string>
+
+#include "pa/obs/metrics.h"
+#include "pa/obs/tracer.h"
+
+namespace pa::obs {
+
+/// Escapes a string for embedding in a JSON document (quotes included).
+std::string json_quote(const std::string& s);
+
+/// {"counters": {...}, "gauges": {...}, "histograms": {name: summary...}}
+void write_metrics_json(std::ostream& out, const MetricsRegistry& registry);
+
+/// {"dropped": n, "spans": [...], "events": [...]}
+void write_trace_json(std::ostream& out, const Tracer& tracer);
+
+/// One combined document: {"metrics": ..., "trace": ...}. Either source
+/// may be null; its section is then an empty object.
+void write_json(std::ostream& out, const MetricsRegistry* registry,
+                const Tracer* tracer);
+
+/// Flat rows: "counter,<name>,<value>", "gauge,<name>,<value>",
+/// "histogram,<name>,<count>,<mean>,<min>,<p50>,<p95>,<p99>,<max>".
+void write_metrics_csv(std::ostream& out, const MetricsRegistry& registry);
+
+/// Flat rows: "span,<name>,<entity>,<start>,<end>" and
+/// "event,<name>,<entity>,<time>,<detail>".
+void write_trace_csv(std::ostream& out, const Tracer& tracer);
+
+}  // namespace pa::obs

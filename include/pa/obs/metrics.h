@@ -1,0 +1,113 @@
+#pragma once
+/// \file metrics.h
+/// \brief Thread-safe metrics registry: counters, gauges, and latency
+/// histograms keyed by name.
+///
+/// Design goals (arXiv:2103.00091 shows overhead claims need per-component
+/// instrumentation, not end-to-end timers):
+///  * shared safely between the middleware and LocalRuntime pool workers —
+///    counters are relaxed atomics, gauges CAS, histograms mutex-guarded;
+///  * near-zero cost when unused — instrumented components hold a nullable
+///    `MetricsRegistry*` and skip all work when no sink is attached;
+///  * instrument handles returned by the registry are stable for its
+///    lifetime, so hot paths can look a metric up once and keep the
+///    reference.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "pa/common/histogram.h"
+
+namespace pa::obs {
+
+/// Monotonic event count (jobs started, passes run, messages produced).
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written instantaneous value (queue length, free nodes, utilization).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Mutex-guarded wrapper making `pa::LatencyHistogram` safe to record into
+/// from concurrent pool workers.
+class Histogram {
+ public:
+  explicit Histogram(double min_value = 1e-6, double max_value = 4096.0)
+      : hist_(min_value, max_value) {}
+
+  void record(double value) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    hist_.record(value);
+  }
+  void record_n(double value, std::uint64_t count) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    hist_.record_n(value, count);
+  }
+  /// Consistent copy for readers/exporters.
+  LatencyHistogram snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hist_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  LatencyHistogram hist_;
+};
+
+/// Named instrument registry. Lookup is mutex-guarded; the returned
+/// references stay valid for the registry's lifetime (instruments are
+/// heap-allocated and never removed).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the counter named `name`, creating it on first use.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// Bounds apply only on first creation; later calls return the existing
+  /// histogram unchanged.
+  Histogram& histogram(const std::string& name, double min_value = 1e-6,
+                       double max_value = 4096.0);
+
+  /// Sorted-by-name snapshots for exporters.
+  std::vector<std::pair<std::string, std::uint64_t>> counters() const;
+  std::vector<std::pair<std::string, double>> gauges() const;
+  std::vector<std::pair<std::string, LatencyHistogram>> histograms() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace pa::obs

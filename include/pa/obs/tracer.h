@@ -1,0 +1,92 @@
+#pragma once
+/// \file tracer.h
+/// \brief Lightweight span/event recorder for pilot- and unit-lifecycle
+/// transitions.
+///
+/// A *span* is a named interval attached to an entity (e.g. span
+/// "pilot.startup" on pilot-1 covering submit -> active); an *event* is a
+/// point-in-time record (e.g. "unit.state" with detail "RUNNING").
+/// Timestamps come either from the tracer's pluggable `Clock` (sim virtual
+/// clock for SimRuntime stacks, wall clock for LocalRuntime) or are passed
+/// explicitly by instrumented components that already know their runtime's
+/// clock.
+///
+/// Thread-safe; storage is bounded (`max_records`) so long benchmark runs
+/// cannot grow without limit — overflow is counted, never silent.
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "pa/obs/clock.h"
+
+namespace pa::obs {
+
+/// A named interval on an entity's lifecycle.
+struct Span {
+  std::string name;    ///< e.g. "pilot.startup", "unit.exec"
+  std::string entity;  ///< e.g. "pilot-1", "unit-42"
+  double start = 0.0;
+  double end = -1.0;  ///< -1 while still open
+};
+
+/// A point-in-time record.
+struct Event {
+  std::string name;    ///< e.g. "unit.state"
+  std::string entity;  ///< e.g. "unit-42"
+  std::string detail;  ///< e.g. "RUNNING"
+  double time = 0.0;
+};
+
+class Tracer {
+ public:
+  using SpanId = std::size_t;
+  static constexpr SpanId kInvalidSpan = static_cast<SpanId>(-1);
+
+  /// The clock must outlive the tracer. `max_records` bounds spans and
+  /// events independently.
+  explicit Tracer(const Clock& clock, std::size_t max_records = 1 << 20);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Opens a span stamped with the tracer's clock. Returns kInvalidSpan
+  /// (and counts a drop) at capacity.
+  SpanId begin_span(std::string name, std::string entity);
+  /// Closes an open span with the tracer's clock; no-op for kInvalidSpan.
+  void end_span(SpanId id);
+
+  /// Records a completed span with caller-supplied timestamps (components
+  /// that sit on a specific runtime clock use this form).
+  void record_span(std::string name, std::string entity, double start,
+                   double end);
+
+  /// Point event stamped with the tracer's clock.
+  void event(std::string name, std::string entity, std::string detail = "");
+  /// Point event with a caller-supplied timestamp.
+  void event_at(double time, std::string name, std::string entity,
+                std::string detail = "");
+
+  double now() const { return clock_.now(); }
+
+  /// Consistent snapshots.
+  std::vector<Span> spans() const;
+  std::vector<Event> events() const;
+  /// Spans with `name`, in record order (test/analysis convenience).
+  std::vector<Span> spans_named(const std::string& name) const;
+  /// Records discarded because a buffer was full.
+  std::size_t dropped() const;
+
+  void clear();
+
+ private:
+  const Clock& clock_;
+  const std::size_t max_records_;
+  mutable std::mutex mutex_;
+  std::vector<Span> spans_;
+  std::vector<Event> events_;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace pa::obs

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "pa/common/error.h"
+#include "pa/obs/metrics.h"
 
 namespace pa::stream {
 
@@ -80,6 +81,17 @@ class Broker {
 
   TopicStats stats(const std::string& topic) const;
 
+  /// Attaches a metrics registry: every produce increments
+  /// "stream.<topic>.messages_in" / "stream.<topic>.bytes_in" counters.
+  /// Pass nullptr to detach. The registry must outlive its attachment;
+  /// near-zero cost while detached (one relaxed atomic load per produce).
+  void attach_metrics(obs::MetricsRegistry* metrics);
+
+  /// Refreshes per-topic backlog gauges "stream.<topic>.backlog" (sum over
+  /// partitions of end_offset - begin_offset, i.e. retained-but-unconsumed
+  /// depth) in the attached registry. No-op when detached.
+  void export_backlog_gauges();
+
  private:
   struct Partition {
     mutable std::mutex mutex;
@@ -101,6 +113,7 @@ class Broker {
 
   mutable std::mutex topics_mutex_;
   std::map<std::string, std::unique_ptr<Topic>> topics_;
+  std::atomic<obs::MetricsRegistry*> metrics_{nullptr};
 };
 
 }  // namespace pa::stream

@@ -37,12 +37,15 @@ void ThreadPool::shutdown() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stop_ && !accepting_) {
-      // Already shut down; workers may already be joined.
+      // Already shut down by an earlier call, which joined the workers;
+      // returning here avoids racing a concurrent joiner on w.join().
+      return;
     }
     accepting_ = false;
     stop_ = true;
   }
   cv_.notify_all();
+  idle_cv_.notify_all();
   for (auto& w : workers_) {
     if (w.joinable()) {
       w.join();
@@ -58,6 +61,9 @@ void ThreadPool::shutdown_now() {
     queue_.clear();
   }
   cv_.notify_all();
+  // Discarded tasks will never run: wake wait_idle() callers so they
+  // re-check against the now-empty queue instead of sleeping forever.
+  idle_cv_.notify_all();
   for (auto& w : workers_) {
     if (w.joinable()) {
       w.join();

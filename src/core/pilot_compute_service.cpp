@@ -58,6 +58,14 @@ void PilotComputeService::attach_data_service(DataServiceInterface* data) {
   data_ = data;
 }
 
+void PilotComputeService::attach_observability(obs::Tracer* tracer,
+                                               obs::MetricsRegistry* metrics) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  tracer_ = tracer;
+  obs_metrics_ = metrics;
+  workload_.set_metrics(metrics);
+}
+
 void PilotComputeService::set_requeue_on_pilot_failure(bool requeue) {
   std::lock_guard<std::recursive_mutex> lock(mutex_);
   requeue_on_pilot_failure_ = requeue;
@@ -139,6 +147,13 @@ Pilot PilotComputeService::submit_pilot_locked(
   };
 
   pilots_.at(pilot_id).sm.transition(PilotState::kSubmitted);
+  if (tracer_ != nullptr) {
+    tracer_->event_at(runtime_.now(), "pilot.state", pilot_id,
+                      to_string(PilotState::kSubmitted));
+  }
+  if (obs_metrics_ != nullptr) {
+    obs_metrics_->counter("pcs.pilots_submitted").inc();
+  }
   runtime_.start_pilot(pilot_id, description, std::move(callbacks));
   PA_LOG(kInfo, "pcs") << "submitted pilot " << pilot_id << " to "
                        << description.resource_url;
@@ -157,6 +172,20 @@ void PilotComputeService::on_pilot_active(const std::string& pilot_id,
   rec.total_cores = total_cores;
   rec.site = site;
   metrics_.pilot_startup_times.add(rec.active_time - rec.submit_time);
+  if (tracer_ != nullptr) {
+    // Explicit runtime timestamps: simulated time under SimRuntime, wall
+    // time under LocalRuntime, regardless of the tracer's own clock.
+    tracer_->record_span("pilot.startup", pilot_id, rec.submit_time,
+                         rec.active_time);
+    tracer_->event_at(rec.active_time, "pilot.state", pilot_id,
+                      to_string(PilotState::kActive));
+  }
+  if (obs_metrics_ != nullptr) {
+    obs_metrics_->counter("pcs.pilots_active").inc();
+    obs_metrics_
+        ->histogram("pcs.pilot_startup", 1e-3, 30.0 * 24.0 * 3600.0)
+        .record(rec.active_time - rec.submit_time);
+  }
   workload_.add_pilot(pilot_id, site, total_cores, rec.description.priority,
                       rec.description.cost_per_core_hour,
                       rec.active_time + rec.description.walltime);
@@ -171,6 +200,21 @@ void PilotComputeService::on_pilot_terminated(const std::string& pilot_id,
   auto& rec = pilot_record(pilot_id);
   const std::vector<std::string> orphans = workload_.remove_pilot(pilot_id);
   rec.sm.try_transition(state);
+  const double terminated_at = runtime_.now();
+  if (tracer_ != nullptr) {
+    if (rec.active_time >= 0.0) {
+      tracer_->record_span("pilot.active", pilot_id, rec.active_time,
+                           terminated_at);
+    }
+    tracer_->event_at(terminated_at, "pilot.state", pilot_id,
+                      to_string(rec.sm.state()));
+  }
+  if (obs_metrics_ != nullptr) {
+    obs_metrics_
+        ->counter(std::string("pcs.pilots_terminated.") +
+                  to_string(rec.sm.state()))
+        .inc();
+  }
   const PilotDescription restart_description = rec.description;
   const int restarts_used = rec.restarts_used;
   const bool restart = state == PilotState::kFailed && !shut_down_ &&
@@ -184,6 +228,9 @@ void PilotComputeService::on_pilot_terminated(const std::string& pilot_id,
       // Recovery: back to the queue; the unit re-runs on another pilot.
       unit.pilot_id.clear();
       ++metrics_.requeues;
+      if (obs_metrics_ != nullptr) {
+        obs_metrics_->counter("pcs.unit_requeues").inc();
+      }
       // State machine: RUNNING/SCHEDULED -> FAILED would be terminal, so
       // we model a requeue as a fresh PENDING attempt (observers notified
       // of the reset, then re-attached to the fresh machine).
@@ -193,6 +240,10 @@ void PilotComputeService::on_pilot_terminated(const std::string& pilot_id,
       }
       unit.sm = UnitStateMachine(UnitState::kPending);
       unit.sm.observe([this, unit_id](UnitState from, UnitState to) {
+        if (tracer_ != nullptr) {
+          tracer_->event_at(runtime_.now(), "unit.state", unit_id,
+                            to_string(to));
+        }
         for (const auto& obs : unit_observers_) {
           obs(unit_id, from, to);
         }
@@ -230,12 +281,19 @@ ComputeUnit PilotComputeService::submit_unit(
   }
   auto [uit, inserted] = units_.emplace(unit_id, std::move(rec));
   PA_CHECK(inserted);
-  // Forward every transition of this unit to the service-level observers.
+  // Forward every transition of this unit to the tracer and the
+  // service-level observers.
   uit->second.sm.observe([this, unit_id](UnitState from, UnitState to) {
+    if (tracer_ != nullptr) {
+      tracer_->event_at(runtime_.now(), "unit.state", unit_id, to_string(to));
+    }
     for (const auto& obs : unit_observers_) {
       obs(unit_id, from, to);
     }
   });
+  if (obs_metrics_ != nullptr) {
+    obs_metrics_->counter("pcs.units_submitted").inc();
+  }
   uit->second.sm.transition(UnitState::kPending);
   workload_.enqueue_unit(unit_id, description);
   schedule_pass_locked();
@@ -351,17 +409,36 @@ void PilotComputeService::finalize_unit_locked(UnitRecord& unit,
   unit.times.finished = runtime_.now();
   unit.sm.try_transition(final_state);
   metrics_.last_finish_time = unit.times.finished;
+  if (tracer_ != nullptr && unit.times.started >= 0.0) {
+    tracer_->record_span("unit.wait", unit_id, unit.times.submitted,
+                         unit.times.started);
+    tracer_->record_span("unit.exec", unit_id, unit.times.started,
+                         unit.times.finished);
+  }
   switch (final_state) {
     case UnitState::kDone:
       ++metrics_.units_done;
       metrics_.unit_wait_times.add(unit.times.wait_time());
       metrics_.unit_exec_times.add(unit.times.exec_time());
+      if (obs_metrics_ != nullptr) {
+        obs_metrics_->counter("pcs.units_done").inc();
+        obs_metrics_->histogram("pcs.unit_wait", 1e-3, 30.0 * 24.0 * 3600.0)
+            .record(unit.times.wait_time());
+        obs_metrics_->histogram("pcs.unit_exec", 1e-3, 30.0 * 24.0 * 3600.0)
+            .record(unit.times.exec_time());
+      }
       break;
     case UnitState::kFailed:
       ++metrics_.units_failed;
+      if (obs_metrics_ != nullptr) {
+        obs_metrics_->counter("pcs.units_failed").inc();
+      }
       break;
     case UnitState::kCanceled:
       ++metrics_.units_canceled;
+      if (obs_metrics_ != nullptr) {
+        obs_metrics_->counter("pcs.units_canceled").inc();
+      }
       break;
     default:
       PA_CHECK_MSG(false, "finalize with non-final state for " << unit_id);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "pa/common/error.h"
 
@@ -96,12 +97,24 @@ std::vector<Assignment> RoundRobinScheduler::schedule(
     return {};
   }
   Capacity cap(pilots);
+  // Resume the rotation just after the pilot that took the previous
+  // assignment. Looking it up by id keeps the rotation fair when the pilot
+  // set shrank or was reordered since the last round; a vanished pilot
+  // restarts from the front.
+  std::size_t start = 0;
+  if (!last_pilot_id_.empty()) {
+    for (std::size_t i = 0; i < pilots.size(); ++i) {
+      if (pilots[i].pilot_id == last_pilot_id_) {
+        start = (i + 1) % pilots.size();
+        break;
+      }
+    }
+  }
   std::vector<Assignment> out;
   for (const auto& u : queued) {
-    // Try pilots starting at the rotating cursor.
     std::size_t chosen = kNone;
     for (std::size_t k = 0; k < pilots.size(); ++k) {
-      const std::size_t i = (cursor_ + k) % pilots.size();
+      const std::size_t i = (start + k) % pilots.size();
       if (cap.fits(i, u)) {
         chosen = i;
         break;
@@ -112,7 +125,8 @@ std::vector<Assignment> RoundRobinScheduler::schedule(
     }
     cap.take(chosen, u);
     out.push_back({u.unit_id, pilots[chosen].pilot_id});
-    cursor_ = (chosen + 1) % pilots.size();
+    last_pilot_id_ = pilots[chosen].pilot_id;
+    start = (chosen + 1) % pilots.size();
   }
   return out;
 }
@@ -140,6 +154,17 @@ std::vector<Assignment> DataAffinityScheduler::schedule(
            cap.free_[i] > cap.free_[best])) {
         best = i;
         best_local = local;
+      }
+    }
+    // Placement hint: when no candidate site holds any of the unit's data
+    // there is no dominant data site, so the preferred_site hint wins —
+    // matching every other policy (preferred_or_first_fit).
+    if (best_local <= 0.0 && !u.preferred_site.empty()) {
+      for (std::size_t i = 0; i < pilots.size(); ++i) {
+        if (pilots[i].site == u.preferred_site && cap.fits(i, u)) {
+          best = i;
+          break;
+        }
       }
     }
     if (best == kNone) {
@@ -222,29 +247,61 @@ std::vector<Assignment> ShortestFirstScheduler::schedule(
   return out;
 }
 
+namespace {
+
+using SchedulerFactory = std::unique_ptr<Scheduler> (*)();
+
+/// Single registration point: the factory, the documented name list, and
+/// the tests all read from here.
+const std::vector<std::pair<std::string, SchedulerFactory>>&
+scheduler_registry() {
+  static const std::vector<std::pair<std::string, SchedulerFactory>> registry =
+      {
+          {"fifo", []() -> std::unique_ptr<Scheduler> {
+             return std::make_unique<FifoScheduler>();
+           }},
+          {"backfill", []() -> std::unique_ptr<Scheduler> {
+             return std::make_unique<BackfillScheduler>();
+           }},
+          {"round-robin", []() -> std::unique_ptr<Scheduler> {
+             return std::make_unique<RoundRobinScheduler>();
+           }},
+          {"data-affinity", []() -> std::unique_ptr<Scheduler> {
+             return std::make_unique<DataAffinityScheduler>();
+           }},
+          {"cost-aware", []() -> std::unique_ptr<Scheduler> {
+             return std::make_unique<CostAwareScheduler>();
+           }},
+          {"largest-first", []() -> std::unique_ptr<Scheduler> {
+             return std::make_unique<LargestFirstScheduler>();
+           }},
+          {"shortest-first", []() -> std::unique_ptr<Scheduler> {
+             return std::make_unique<ShortestFirstScheduler>();
+           }},
+      };
+  return registry;
+}
+
+}  // namespace
+
 std::unique_ptr<Scheduler> make_scheduler(const std::string& policy) {
-  if (policy == "fifo") {
-    return std::make_unique<FifoScheduler>();
-  }
-  if (policy == "backfill") {
-    return std::make_unique<BackfillScheduler>();
-  }
-  if (policy == "round-robin") {
-    return std::make_unique<RoundRobinScheduler>();
-  }
-  if (policy == "data-affinity") {
-    return std::make_unique<DataAffinityScheduler>();
-  }
-  if (policy == "cost-aware") {
-    return std::make_unique<CostAwareScheduler>();
-  }
-  if (policy == "largest-first") {
-    return std::make_unique<LargestFirstScheduler>();
-  }
-  if (policy == "shortest-first") {
-    return std::make_unique<ShortestFirstScheduler>();
+  for (const auto& [name, factory] : scheduler_registry()) {
+    if (policy == name) {
+      return factory();
+    }
   }
   throw InvalidArgument("unknown scheduler policy: " + policy);
+}
+
+const std::vector<std::string>& scheduler_policy_names() {
+  static const std::vector<std::string> names = []() {
+    std::vector<std::string> out;
+    for (const auto& [name, factory] : scheduler_registry()) {
+      out.push_back(name);
+    }
+    return out;
+  }();
+  return names;
 }
 
 }  // namespace pa::core

@@ -130,6 +130,9 @@ UnitView WorkloadManager::make_view(const QueuedUnit& unit,
 
 std::vector<Assignment> WorkloadManager::schedule_pass(
     double now, const DataServiceInterface* data) {
+  if (metrics_ != nullptr) {
+    metrics_->counter("wm.schedule_passes").inc();
+  }
   if (queue_.empty() || pilots_.empty()) {
     return {};
   }
@@ -175,6 +178,12 @@ std::vector<Assignment> WorkloadManager::schedule_pass(
     bound_.emplace(a.unit_id, BoundUnit{a.pilot_id, qit->cores});
     queue_.erase(qit);
     accepted.push_back(a);
+  }
+  if (metrics_ != nullptr) {
+    metrics_->counter("wm.units_assigned").inc(accepted.size());
+    metrics_->gauge("wm.queued_units")
+        .set(static_cast<double>(queue_.size()));
+    metrics_->gauge("wm.free_cores").set(total_free_cores());
   }
   return accepted;
 }

@@ -145,6 +145,11 @@ void BatchCluster::start_job(QueuedJob job, std::vector<int> nodes) {
 
   states_[run.id] = JobState::kRunning;
   queue_waits_.add(now - job.submit_time);
+  if (metrics_ != nullptr) {
+    metrics_->histogram(metric_prefix_ + "queue_wait", 1e-3, 30 * 24 * 3600.0)
+        .record(now - job.submit_time);
+    metrics_->counter(metric_prefix_ + "jobs_started").inc();
+  }
   running_per_owner_[run.request.owner] += 1;
 
   const std::string id = run.id;
@@ -197,6 +202,10 @@ void BatchCluster::stop_job(const std::string& job_id, StopReason reason) {
       states_[job_id] = JobState::kFailed;
       break;
   }
+  if (metrics_ != nullptr) {
+    metrics_->counter(metric_prefix_ + "jobs_stopped." + to_string(reason))
+        .inc();
+  }
   if (run.request.on_stopped) {
     run.request.on_stopped(job_id, reason);
   }
@@ -212,11 +221,24 @@ bool BatchCluster::owner_at_limit(const std::string& owner) const {
          it->second >= config_.max_running_per_owner;
 }
 
+void BatchCluster::attach_metrics(obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  metric_prefix_ = "batch." + config_.name + ".";
+}
+
 void BatchCluster::request_schedule_pass() {
   if (config_.scheduler_cycle <= 0.0) {
     // Event-driven: run as a zero-delay event so callbacks never re-enter
-    // the caller's stack frame.
-    engine_.schedule(0.0, [this]() { schedule_pass(); });
+    // the caller's stack frame. Coalesced: a burst of same-time
+    // submits/stops requests one pass, not one per call.
+    if (event_pass_pending_) {
+      return;
+    }
+    event_pass_pending_ = true;
+    engine_.schedule(0.0, [this]() {
+      event_pass_pending_ = false;
+      schedule_pass();
+    });
     return;
   }
   if (cycle_pass_pending_) {
@@ -236,6 +258,14 @@ void BatchCluster::request_schedule_pass() {
 }
 
 void BatchCluster::schedule_pass() {
+  ++schedule_pass_count_;
+  if (metrics_ != nullptr) {
+    metrics_->counter(metric_prefix_ + "schedule_passes").inc();
+    metrics_->gauge(metric_prefix_ + "free_nodes").set(free_nodes());
+    metrics_->gauge(metric_prefix_ + "queue_length")
+        .set(static_cast<double>(queue_.size()));
+    metrics_->gauge(metric_prefix_ + "utilization").set(utilization());
+  }
   // 1. FCFS over *eligible* jobs (owner under its running-job limit).
   // Ineligible jobs are skipped without blocking others — matching how
   // production schedulers treat per-user limits.
@@ -312,6 +342,9 @@ void BatchCluster::schedule_pass() {
     }
     if (!ends_before_shadow) {
       backfill_extra_budget -= need;
+    }
+    if (metrics_ != nullptr) {
+      metrics_->counter(metric_prefix_ + "backfill_starts").inc();
     }
     QueuedJob job = std::move(*it);
     it = queue_.erase(it);

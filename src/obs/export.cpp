@@ -1,0 +1,179 @@
+#include "pa/obs/export.h"
+
+#include <cstdio>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+namespace pa::obs {
+
+namespace {
+
+/// JSON has no Infinity/NaN literals; open spans (end = -1) pass through
+/// as-is since -1 is valid JSON.
+void write_number(std::ostream& out, double v) {
+  if (v != v) {
+    out << "null";
+    return;
+  }
+  if (v == std::numeric_limits<double>::infinity()) {
+    out << "1e308";
+    return;
+  }
+  if (v == -std::numeric_limits<double>::infinity()) {
+    out << "-1e308";
+    return;
+  }
+  std::ostringstream ss;
+  ss << std::setprecision(15) << v;
+  out << ss.str();
+}
+
+void write_histogram_summary(std::ostream& out, const LatencyHistogram& h) {
+  out << "{\"count\": " << h.count() << ", \"sum\": ";
+  write_number(out, h.sum());
+  out << ", \"mean\": ";
+  write_number(out, h.mean());
+  out << ", \"min\": ";
+  write_number(out, h.min());
+  out << ", \"p50\": ";
+  write_number(out, h.p50());
+  out << ", \"p95\": ";
+  write_number(out, h.p95());
+  out << ", \"p99\": ";
+  write_number(out, h.p99());
+  out << ", \"max\": ";
+  write_number(out, h.max());
+  out << "}";
+}
+
+}  // namespace
+
+std::string json_quote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+void write_metrics_json(std::ostream& out, const MetricsRegistry& registry) {
+  out << "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : registry.counters()) {
+    out << (first ? "" : ", ") << json_quote(name) << ": " << value;
+    first = false;
+  }
+  out << "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : registry.gauges()) {
+    out << (first ? "" : ", ") << json_quote(name) << ": ";
+    write_number(out, value);
+    first = false;
+  }
+  out << "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : registry.histograms()) {
+    out << (first ? "" : ", ") << json_quote(name) << ": ";
+    write_histogram_summary(out, hist);
+    first = false;
+  }
+  out << "}}";
+}
+
+void write_trace_json(std::ostream& out, const Tracer& tracer) {
+  out << "{\"dropped\": " << tracer.dropped() << ", \"spans\": [";
+  bool first = true;
+  for (const auto& s : tracer.spans()) {
+    out << (first ? "" : ", ") << "{\"name\": " << json_quote(s.name)
+        << ", \"entity\": " << json_quote(s.entity) << ", \"start\": ";
+    write_number(out, s.start);
+    out << ", \"end\": ";
+    write_number(out, s.end);
+    out << "}";
+    first = false;
+  }
+  out << "], \"events\": [";
+  first = true;
+  for (const auto& e : tracer.events()) {
+    out << (first ? "" : ", ") << "{\"name\": " << json_quote(e.name)
+        << ", \"entity\": " << json_quote(e.entity)
+        << ", \"detail\": " << json_quote(e.detail) << ", \"time\": ";
+    write_number(out, e.time);
+    out << "}";
+    first = false;
+  }
+  out << "]}";
+}
+
+void write_json(std::ostream& out, const MetricsRegistry* registry,
+                const Tracer* tracer) {
+  out << "{\"metrics\": ";
+  if (registry != nullptr) {
+    write_metrics_json(out, *registry);
+  } else {
+    out << "{}";
+  }
+  out << ", \"trace\": ";
+  if (tracer != nullptr) {
+    write_trace_json(out, *tracer);
+  } else {
+    out << "{}";
+  }
+  out << "}\n";
+}
+
+void write_metrics_csv(std::ostream& out, const MetricsRegistry& registry) {
+  for (const auto& [name, value] : registry.counters()) {
+    out << "counter," << name << "," << value << "\n";
+  }
+  for (const auto& [name, value] : registry.gauges()) {
+    out << "gauge," << name << "," << value << "\n";
+  }
+  for (const auto& [name, h] : registry.histograms()) {
+    out << "histogram," << name << "," << h.count() << "," << h.mean() << ","
+        << h.min() << "," << h.p50() << "," << h.p95() << "," << h.p99()
+        << "," << h.max() << "\n";
+  }
+}
+
+void write_trace_csv(std::ostream& out, const Tracer& tracer) {
+  for (const auto& s : tracer.spans()) {
+    out << "span," << s.name << "," << s.entity << "," << s.start << ","
+        << s.end << "\n";
+  }
+  for (const auto& e : tracer.events()) {
+    out << "event," << e.name << "," << e.entity << "," << e.time << ","
+        << e.detail << "\n";
+  }
+}
+
+}  // namespace pa::obs

@@ -1,0 +1,105 @@
+#include "pa/obs/tracer.h"
+
+#include "pa/common/error.h"
+
+namespace pa::obs {
+
+Tracer::Tracer(const Clock& clock, std::size_t max_records)
+    : clock_(clock), max_records_(max_records) {
+  PA_REQUIRE_ARG(max_records > 0, "tracer needs capacity");
+}
+
+Tracer::SpanId Tracer::begin_span(std::string name, std::string entity) {
+  const double t = clock_.now();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (spans_.size() >= max_records_) {
+    ++dropped_;
+    return kInvalidSpan;
+  }
+  Span s;
+  s.name = std::move(name);
+  s.entity = std::move(entity);
+  s.start = t;
+  spans_.push_back(std::move(s));
+  return spans_.size() - 1;
+}
+
+void Tracer::end_span(SpanId id) {
+  if (id == kInvalidSpan) {
+    return;
+  }
+  const double t = clock_.now();
+  std::lock_guard<std::mutex> lock(mutex_);
+  PA_REQUIRE_ARG(id < spans_.size(), "unknown span id: " << id);
+  spans_[id].end = t;
+}
+
+void Tracer::record_span(std::string name, std::string entity, double start,
+                         double end) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (spans_.size() >= max_records_) {
+    ++dropped_;
+    return;
+  }
+  Span s;
+  s.name = std::move(name);
+  s.entity = std::move(entity);
+  s.start = start;
+  s.end = end;
+  spans_.push_back(std::move(s));
+}
+
+void Tracer::event(std::string name, std::string entity, std::string detail) {
+  event_at(clock_.now(), std::move(name), std::move(entity),
+           std::move(detail));
+}
+
+void Tracer::event_at(double time, std::string name, std::string entity,
+                      std::string detail) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (events_.size() >= max_records_) {
+    ++dropped_;
+    return;
+  }
+  Event e;
+  e.name = std::move(name);
+  e.entity = std::move(entity);
+  e.detail = std::move(detail);
+  e.time = time;
+  events_.push_back(std::move(e));
+}
+
+std::vector<Span> Tracer::spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+std::vector<Event> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::vector<Span> Tracer::spans_named(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Span> out;
+  for (const auto& s : spans_) {
+    if (s.name == name) {
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+std::size_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.clear();
+  events_.clear();
+  dropped_ = 0;
+}
+
+}  // namespace pa::obs

@@ -26,8 +26,15 @@ void SimRuntime::start_pilot(const std::string& pilot_id,
   jd.number_of_nodes = description.nodes;
   jd.walltime_limit = description.walltime;
   jd.simulated_duration = -1.0;  // placeholder job: runs until killed
-  jd.on_started = [this, entry, pilot_id](const infra::Allocation& alloc) {
-    if (entry->terminated) {
+  // The job callbacks are stored inside the resource's job record, and
+  // entry->job keeps that resource alive: capturing `entry` by shared_ptr
+  // here would close an ownership cycle (entry -> job -> resource -> callback
+  // -> entry) that leaks every pilot still active at teardown. pilots_ owns
+  // the entries for the runtime's lifetime, so a weak capture suffices.
+  const std::weak_ptr<PilotEntry> weak = entry;
+  jd.on_started = [this, weak, pilot_id](const infra::Allocation& alloc) {
+    const auto entry = weak.lock();
+    if (!entry || entry->terminated) {
       return;
     }
     // Agent bootstrap before the pilot is usable.
@@ -42,8 +49,9 @@ void SimRuntime::start_pilot(const std::string& pilot_id,
       }
     });
   };
-  jd.on_stopped = [this, entry, pilot_id](infra::StopReason reason) {
-    if (entry->terminated) {
+  jd.on_stopped = [this, weak, pilot_id](infra::StopReason reason) {
+    const auto entry = weak.lock();
+    if (!entry || entry->terminated) {
       return;
     }
     entry->terminated = true;

@@ -111,6 +111,10 @@ std::uint64_t Broker::produce_to(const std::string& topic, int partition,
     t.stats.messages_in += 1;
     t.stats.bytes_in += bytes;
   }
+  if (obs::MetricsRegistry* m = metrics_.load(std::memory_order_acquire)) {
+    m->counter("stream." + topic + ".messages_in").inc();
+    m->counter("stream." + topic + ".bytes_in").inc(bytes);
+  }
   return offset;
 }
 
@@ -167,6 +171,27 @@ TopicStats Broker::stats(const std::string& topic) const {
   const Topic& t = topic_ref(topic);
   std::lock_guard<std::mutex> lock(t.stats_mutex);
   return t.stats;
+}
+
+void Broker::attach_metrics(obs::MetricsRegistry* metrics) {
+  metrics_.store(metrics, std::memory_order_release);
+}
+
+void Broker::export_backlog_gauges() {
+  obs::MetricsRegistry* m = metrics_.load(std::memory_order_acquire);
+  if (m == nullptr) {
+    return;
+  }
+  for (const auto& name : topic_names()) {
+    const Topic& t = topic_ref(name);
+    std::uint64_t backlog = 0;
+    for (const auto& p : t.partitions) {
+      std::lock_guard<std::mutex> lock(p->mutex);
+      backlog += p->log.size();
+    }
+    m->gauge("stream." + name + ".backlog")
+        .set(static_cast<double>(backlog));
+  }
 }
 
 }  // namespace pa::stream

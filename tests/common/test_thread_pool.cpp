@@ -115,5 +115,57 @@ TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
   SUCCEED();
 }
 
+// Regression: shutdown() used to fall through an empty already-shut-down
+// branch and join workers a second time; it must return early instead.
+TEST(ThreadPool, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  pool.enqueue([]() {});
+  pool.shutdown();
+  pool.shutdown();  // second call must be a no-op, not a double join
+  pool.shutdown_now();
+  SUCCEED();
+}
+
+TEST(ThreadPool, WaitIdleReturnsAfterShutdown) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.enqueue([&counter]() { counter.fetch_add(1); });
+  }
+  pool.shutdown();  // drains the queue, joins workers
+  pool.wait_idle();  // documented: returns immediately, never hangs
+  EXPECT_EQ(counter.load(), 8);
+}
+
+TEST(ThreadPool, WaitIdleReturnsAfterShutdownNow) {
+  ThreadPool pool(2);
+  std::atomic<bool> release{false};
+  for (int i = 0; i < 8; ++i) {
+    pool.enqueue([&release]() {
+      while (!release.load()) {
+        std::this_thread::yield();
+      }
+    });
+  }
+  release.store(true);
+  pool.shutdown_now();  // discards queued tasks
+  pool.wait_idle();  // must return even though discarded tasks never ran
+  SUCCEED();
+}
+
+TEST(ThreadPool, ConcurrentShutdownCallsDontRace) {
+  ThreadPool pool(4);
+  for (int i = 0; i < 32; ++i) {
+    pool.enqueue([]() {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    });
+  }
+  std::thread other([&pool]() { pool.shutdown(); });
+  pool.shutdown();
+  other.join();
+  pool.wait_idle();
+  SUCCEED();
+}
+
 }  // namespace
 }  // namespace pa

@@ -140,6 +140,65 @@ TEST(RoundRobinScheduler, CursorPersistsAcrossCalls) {
   EXPECT_NE(first[0].pilot_id, second[0].pilot_id);
 }
 
+// Regression: the cursor used to be a raw index into the pilot vector, so
+// removing or reordering pilots between calls made the rotation restart or
+// double-serve a pilot. The cursor is keyed by the last-assigned pilot id.
+TEST(RoundRobinScheduler, CursorSurvivesPilotReorder) {
+  RoundRobinScheduler sched;
+  const auto first = sched.schedule(
+      {unit("u1", 1)}, {pilot("p1", "a", 4), pilot("p2", "b", 4),
+                        pilot("p3", "c", 4)});
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0].pilot_id, "p1");
+  // Same pilots, different order. Rotation must continue after p1 (-> p2);
+  // the old index-based cursor would have landed on position 1 == p1 again.
+  const auto second = sched.schedule(
+      {unit("u2", 1)}, {pilot("p3", "c", 4), pilot("p1", "a", 4),
+                        pilot("p2", "b", 4)});
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].pilot_id, "p2");
+}
+
+TEST(RoundRobinScheduler, CursorResetsWhenLastPilotGone) {
+  RoundRobinScheduler sched;
+  const auto first =
+      sched.schedule({unit("u1", 1)}, {pilot("p1", "a", 4),
+                                       pilot("p2", "b", 4)});
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0].pilot_id, "p1");
+  // p1 terminated; the scheduler must fall back to the head of the new set
+  // instead of indexing past it.
+  const auto second =
+      sched.schedule({unit("u2", 1)}, {pilot("p2", "b", 4)});
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].pilot_id, "p2");
+}
+
+TEST(RoundRobinScheduler, FairAcrossGrowingPilotSet) {
+  RoundRobinScheduler sched;
+  std::map<std::string, int> per_pilot;
+  std::vector<PilotView> pilots = {pilot("p1", "a", 100),
+                                   pilot("p2", "b", 100)};
+  for (int i = 0; i < 4; ++i) {
+    const auto out =
+        sched.schedule({unit("u" + std::to_string(i), 1)}, pilots);
+    ASSERT_EQ(out.size(), 1u);
+    per_pilot[out[0].pilot_id] += 1;
+  }
+  pilots.push_back(pilot("p3", "c", 100));
+  for (int i = 4; i < 10; ++i) {
+    const auto out =
+        sched.schedule({unit("u" + std::to_string(i), 1)}, pilots);
+    ASSERT_EQ(out.size(), 1u);
+    per_pilot[out[0].pilot_id] += 1;
+  }
+  // 10 units over a 2-then-3 pilot set: every pilot keeps getting turns
+  // and the spread stays balanced (4/4/2 with the id-keyed cursor).
+  EXPECT_EQ(per_pilot["p1"], 4);
+  EXPECT_EQ(per_pilot["p2"], 4);
+  EXPECT_EQ(per_pilot["p3"], 2);
+}
+
 TEST(DataAffinityScheduler, PicksSiteWithMostLocalData) {
   DataAffinityScheduler sched;
   const std::vector<PilotView> pilots = {pilot("p1", "a", 4),
@@ -171,6 +230,43 @@ TEST(DataAffinityScheduler, NoDataBehavesLikeBackfill) {
   const auto out = sched.schedule(units, pilots);
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0].unit_id, "u2");
+}
+
+// Regression: data-affinity used to drop the preferred_site hint entirely
+// and first-fit units without input data.
+TEST(DataAffinityScheduler, HonorsPreferredSiteWithoutData) {
+  DataAffinityScheduler sched;
+  const std::vector<PilotView> pilots = {pilot("p1", "a", 4),
+                                         pilot("p2", "b", 4)};
+  UnitView u = unit("u1", 1);
+  u.preferred_site = "b";
+  const auto out = sched.schedule({u}, pilots);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].pilot_id, "p2");
+}
+
+TEST(DataAffinityScheduler, LocalDataDominatesPreferredSite) {
+  DataAffinityScheduler sched;
+  const std::vector<PilotView> pilots = {pilot("p1", "a", 4),
+                                         pilot("p2", "b", 4)};
+  UnitView u = unit("u1", 1);
+  u.preferred_site = "b";
+  u.input_bytes_by_site["a"] = 5e6;
+  u.total_input_bytes = 5e6;
+  const auto out = sched.schedule({u}, pilots);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].pilot_id, "p1") << "data locality must beat the hint";
+}
+
+TEST(DataAffinityScheduler, PreferredSiteFallsBackWhenFull) {
+  DataAffinityScheduler sched;
+  const std::vector<PilotView> pilots = {pilot("p1", "a", 4),
+                                         pilot("p2", "b", 0)};
+  UnitView u = unit("u1", 1);
+  u.preferred_site = "b";
+  const auto out = sched.schedule({u}, pilots);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].pilot_id, "p1");
 }
 
 TEST(CostAwareScheduler, PrefersCheapestPilot) {
@@ -249,6 +345,23 @@ TEST(MakeScheduler, KnownPoliciesConstructible) {
 
 TEST(MakeScheduler, UnknownPolicyThrows) {
   EXPECT_THROW(make_scheduler("quantum"), pa::InvalidArgument);
+  EXPECT_THROW(make_scheduler(""), pa::InvalidArgument);
+}
+
+// The factory and its documentation are kept in sync through one registry:
+// every advertised policy constructs, reports its own name, and nothing
+// else is accepted.
+TEST(MakeScheduler, PolicyNamesMatchFactory) {
+  const auto& names = scheduler_policy_names();
+  const std::vector<std::string> documented = {
+      "fifo",          "backfill",      "round-robin", "data-affinity",
+      "cost-aware",    "largest-first", "shortest-first"};
+  EXPECT_EQ(names, documented);
+  for (const auto& name : names) {
+    const auto sched = make_scheduler(name);
+    ASSERT_NE(sched, nullptr);
+    EXPECT_EQ(std::string(sched->name()), name);
+  }
 }
 
 // Property test: no scheduler ever oversubscribes or double-assigns, over

@@ -342,5 +342,61 @@ TEST(BatchCluster, WalltimeClampedToSiteMax) {
   EXPECT_EQ(reason, StopReason::kWalltime);
 }
 
+// Regression: in event-driven mode (scheduler_cycle == 0) every submit used
+// to schedule its own zero-delay pass, so a burst of N same-time submits ran
+// N full passes over the queue — quadratic work. Requests at one timestamp
+// must coalesce into a single pass.
+TEST(BatchCluster, EventDrivenPassesCoalesced) {
+  sim::Engine engine;
+  BatchCluster cluster(engine, small_cluster(4));
+  constexpr int kBurst = 16;
+  int done = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    JobRequest r = job(1, 10.0);
+    r.on_stopped = [&](const std::string&, StopReason) { ++done; };
+    cluster.submit(std::move(r));
+  }
+  EXPECT_EQ(cluster.schedule_passes(), 0u);
+  engine.run_until(0.0);  // drain the zero-delay events at t = 0
+  EXPECT_EQ(cluster.schedule_passes(), 1u)
+      << "a same-timestamp submit burst must cost one pass, not one each";
+  engine.run();
+  EXPECT_EQ(done, kBurst);
+}
+
+TEST(BatchCluster, CoalescingStillSchedulesLaterArrivals) {
+  sim::Engine engine;
+  BatchCluster cluster(engine, small_cluster(2));
+  int done = 0;
+  auto tracked = [&](int nodes, double duration) {
+    JobRequest r = job(nodes, duration);
+    r.on_stopped = [&](const std::string&, StopReason) { ++done; };
+    return r;
+  };
+  cluster.submit(tracked(2, 10.0));
+  engine.schedule(5.0, [&]() { cluster.submit(tracked(2, 10.0)); });
+  engine.schedule(5.0, [&]() { cluster.submit(tracked(1, 10.0)); });
+  engine.run();
+  EXPECT_EQ(done, 3);
+  // t=0 burst: 1 pass; t=5 burst: 1 pass; then one per job completion.
+  EXPECT_GE(cluster.schedule_passes(), 3u);
+}
+
+TEST(BatchCluster, ExportsMetricsWhenAttached) {
+  sim::Engine engine;
+  BatchCluster cluster(engine, small_cluster(4));
+  obs::MetricsRegistry registry;
+  cluster.attach_metrics(&registry);
+  cluster.submit(job(2, 100.0));
+  cluster.submit(job(1, 50.0));
+  engine.run();
+  EXPECT_EQ(registry.counter("batch.hpc.jobs_started").value(), 2u);
+  EXPECT_EQ(
+      registry.counter("batch.hpc.jobs_stopped.COMPLETED").value(), 2u);
+  const auto waits = registry.histogram("batch.hpc.queue_wait").snapshot();
+  EXPECT_EQ(waits.count(), 2u);
+  EXPECT_GT(registry.counter("batch.hpc.schedule_passes").value(), 0u);
+}
+
 }  // namespace
 }  // namespace pa::infra

@@ -1,0 +1,145 @@
+#include "pa/obs/export.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "pa/obs/clock.h"
+#include "pa/obs/metrics.h"
+#include "pa/obs/tracer.h"
+
+namespace pa::obs {
+namespace {
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+/// Structural sanity without a JSON parser: every brace/bracket closes.
+void expect_balanced(const std::string& doc) {
+  int braces = 0;
+  int brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < doc.size(); ++i) {
+    const char c = doc[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;  // skip escaped char
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': ++braces; break;
+      case '}': --braces; break;
+      case '[': ++brackets; break;
+      case ']': --brackets; break;
+      default: break;
+    }
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(JsonQuote, EscapesSpecials) {
+  EXPECT_EQ(json_quote("plain"), "\"plain\"");
+  EXPECT_EQ(json_quote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(json_quote("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(json_quote("a\nb"), "\"a\\nb\"");
+  EXPECT_EQ(json_quote(std::string(1, '\x01')), "\"\\u0001\"");
+}
+
+TEST(Export, MetricsJsonContainsAllInstruments) {
+  MetricsRegistry reg;
+  reg.counter("jobs_started").inc(3);
+  reg.gauge("utilization").set(0.5);
+  reg.histogram("queue_wait").record(2.0);
+
+  std::ostringstream out;
+  write_metrics_json(out, reg);
+  const std::string doc = out.str();
+  expect_balanced(doc);
+  EXPECT_TRUE(contains(doc, "\"counters\""));
+  EXPECT_TRUE(contains(doc, "\"jobs_started\": 3"));
+  EXPECT_TRUE(contains(doc, "\"gauges\""));
+  EXPECT_TRUE(contains(doc, "\"utilization\""));
+  EXPECT_TRUE(contains(doc, "\"histograms\""));
+  EXPECT_TRUE(contains(doc, "\"queue_wait\""));
+  EXPECT_TRUE(contains(doc, "\"p99\""));
+}
+
+TEST(Export, TraceJsonContainsSpansAndEvents) {
+  FunctionClock clock([]() { return 1.5; });
+  Tracer tracer(clock);
+  tracer.record_span("pilot.startup", "pilot-1", 0.0, 2.0);
+  tracer.event("unit.state", "unit-1", "RUNNING");
+
+  std::ostringstream out;
+  write_trace_json(out, tracer);
+  const std::string doc = out.str();
+  expect_balanced(doc);
+  EXPECT_TRUE(contains(doc, "\"spans\""));
+  EXPECT_TRUE(contains(doc, "\"pilot.startup\""));
+  EXPECT_TRUE(contains(doc, "\"events\""));
+  EXPECT_TRUE(contains(doc, "\"RUNNING\""));
+  EXPECT_TRUE(contains(doc, "\"dropped\": 0"));
+}
+
+TEST(Export, CombinedJsonToleratesNullSources) {
+  std::ostringstream out;
+  write_json(out, nullptr, nullptr);
+  const std::string doc = out.str();
+  expect_balanced(doc);
+  EXPECT_TRUE(contains(doc, "\"metrics\""));
+  EXPECT_TRUE(contains(doc, "\"trace\""));
+}
+
+TEST(Export, CombinedJsonWithBothSources) {
+  MetricsRegistry reg;
+  reg.counter("c").inc();
+  FunctionClock clock([]() { return 0.0; });
+  Tracer tracer(clock);
+  tracer.record_span("s", "e", 0.0, 1.0);
+  std::ostringstream out;
+  write_json(out, &reg, &tracer);
+  const std::string doc = out.str();
+  expect_balanced(doc);
+  EXPECT_TRUE(contains(doc, "\"c\": 1"));
+  EXPECT_TRUE(contains(doc, "\"s\""));
+}
+
+TEST(Export, MetricsCsvRows) {
+  MetricsRegistry reg;
+  reg.counter("jobs").inc(7);
+  reg.gauge("util").set(0.25);
+  reg.histogram("wait").record(3.0);
+
+  std::ostringstream out;
+  write_metrics_csv(out, reg);
+  const std::string doc = out.str();
+  EXPECT_TRUE(contains(doc, "counter,jobs,7"));
+  EXPECT_TRUE(contains(doc, "gauge,util,0.25"));
+  EXPECT_TRUE(contains(doc, "histogram,wait,1,"));
+}
+
+TEST(Export, TraceCsvRows) {
+  FunctionClock clock([]() { return 0.0; });
+  Tracer tracer(clock);
+  tracer.record_span("unit.exec", "u1", 1.0, 2.0);
+  tracer.event_at(1.5, "unit.state", "u1", "DONE");
+
+  std::ostringstream out;
+  write_trace_csv(out, tracer);
+  const std::string doc = out.str();
+  EXPECT_TRUE(contains(doc, "span,unit.exec,u1,1,2"));
+  EXPECT_TRUE(contains(doc, "event,unit.state,u1,1.5,DONE"));
+}
+
+}  // namespace
+}  // namespace pa::obs

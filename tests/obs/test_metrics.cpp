@@ -1,0 +1,118 @@
+#include "pa/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace pa::obs {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, SetAndAdd) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.set(3.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+  g.add(-1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+  g.set(7.0);  // set overwrites, independent of prior adds
+  EXPECT_DOUBLE_EQ(g.value(), 7.0);
+}
+
+TEST(Histogram, RecordsAndSummarizes) {
+  Histogram h(1e-3, 1000.0);
+  for (int i = 1; i <= 100; ++i) {
+    h.record(static_cast<double>(i));
+  }
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count(), 100u);
+  EXPECT_DOUBLE_EQ(snap.min(), 1.0);
+  EXPECT_DOUBLE_EQ(snap.max(), 100.0);
+  EXPECT_NEAR(snap.mean(), 50.5, 1e-9);
+}
+
+TEST(MetricsRegistry, SameNameReturnsSameInstrument) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x");
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  EXPECT_EQ(b.value(), 1u);
+
+  Gauge& g1 = reg.gauge("y");
+  Gauge& g2 = reg.gauge("y");
+  EXPECT_EQ(&g1, &g2);
+
+  Histogram& h1 = reg.histogram("z", 1e-3, 10.0);
+  Histogram& h2 = reg.histogram("z");  // bounds ignored after creation
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(MetricsRegistry, NamespacesAreIndependent) {
+  MetricsRegistry reg;
+  reg.counter("same").inc(5);
+  reg.gauge("same").set(2.0);
+  reg.histogram("same").record(1.0);
+  EXPECT_EQ(reg.counter("same").value(), 5u);
+  EXPECT_DOUBLE_EQ(reg.gauge("same").value(), 2.0);
+  EXPECT_EQ(reg.histogram("same").snapshot().count(), 1u);
+}
+
+TEST(MetricsRegistry, SnapshotsAreSortedByName) {
+  MetricsRegistry reg;
+  reg.counter("b").inc(2);
+  reg.counter("a").inc(1);
+  reg.gauge("d").set(4.0);
+  reg.gauge("c").set(3.0);
+  const auto counters = reg.counters();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0].first, "a");
+  EXPECT_EQ(counters[0].second, 1u);
+  EXPECT_EQ(counters[1].first, "b");
+  const auto gauges = reg.gauges();
+  ASSERT_EQ(gauges.size(), 2u);
+  EXPECT_EQ(gauges[0].first, "c");
+  EXPECT_EQ(gauges[1].first, "d");
+}
+
+// The registry is shared by LocalRuntime pool workers: concurrent lookup
+// and increment of the same and distinct instruments must not lose counts
+// (and must be clean under -DPA_SANITIZE=thread).
+TEST(MetricsRegistry, ConcurrentIncrementsDontLoseCounts) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, t]() {
+      for (int i = 0; i < kIncrements; ++i) {
+        reg.counter("shared").inc();
+        reg.counter("own." + std::to_string(t)).inc();
+        reg.histogram("lat").record(1.0 + t);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(reg.counter("shared").value(),
+            static_cast<std::uint64_t>(kThreads) * kIncrements);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(reg.counter("own." + std::to_string(t)).value(),
+              static_cast<std::uint64_t>(kIncrements));
+  }
+  EXPECT_EQ(reg.histogram("lat").snapshot().count(),
+            static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+}  // namespace
+}  // namespace pa::obs

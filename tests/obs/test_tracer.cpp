@@ -1,0 +1,115 @@
+#include "pa/obs/tracer.h"
+
+#include <gtest/gtest.h>
+
+#include "pa/obs/clock.h"
+#include "pa/sim/engine.h"
+
+namespace pa::obs {
+namespace {
+
+// Spans stamped through a SimClock advance with the engine's virtual time,
+// not wall time.
+TEST(Tracer, SimClockStampsVirtualTime) {
+  sim::Engine engine;
+  SimClock clock(engine);
+  Tracer tracer(clock);
+
+  const auto id = tracer.begin_span("pilot.startup", "pilot-1");
+  engine.run_until(42.0);
+  tracer.end_span(id);
+
+  const auto spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "pilot.startup");
+  EXPECT_EQ(spans[0].entity, "pilot-1");
+  EXPECT_DOUBLE_EQ(spans[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(spans[0].end, 42.0);
+}
+
+TEST(Tracer, OpenSpanHasNegativeEnd) {
+  sim::Engine engine;
+  SimClock clock(engine);
+  Tracer tracer(clock);
+  tracer.begin_span("pilot.active", "pilot-1");
+  const auto spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_LT(spans[0].end, 0.0);
+}
+
+TEST(Tracer, ExplicitTimestampsBypassClock) {
+  FunctionClock clock([]() { return 999.0; });
+  Tracer tracer(clock);
+  tracer.record_span("unit.exec", "unit-1", 10.0, 20.5);
+  tracer.event_at(15.0, "unit.state", "unit-1", "RUNNING");
+
+  const auto spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_DOUBLE_EQ(spans[0].start, 10.0);
+  EXPECT_DOUBLE_EQ(spans[0].end, 20.5);
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_DOUBLE_EQ(events[0].time, 15.0);
+  EXPECT_EQ(events[0].detail, "RUNNING");
+}
+
+TEST(Tracer, EventUsesClock) {
+  sim::Engine engine;
+  SimClock clock(engine);
+  Tracer tracer(clock);
+  engine.run_until(7.0);
+  tracer.event("pilot.state", "pilot-1", "ACTIVE");
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_DOUBLE_EQ(events[0].time, 7.0);
+}
+
+TEST(Tracer, SpansNamedFilters) {
+  FunctionClock clock([]() { return 0.0; });
+  Tracer tracer(clock);
+  tracer.record_span("unit.wait", "u1", 0.0, 1.0);
+  tracer.record_span("unit.exec", "u1", 1.0, 2.0);
+  tracer.record_span("unit.exec", "u2", 1.0, 3.0);
+  const auto execs = tracer.spans_named("unit.exec");
+  ASSERT_EQ(execs.size(), 2u);
+  EXPECT_EQ(execs[0].entity, "u1");
+  EXPECT_EQ(execs[1].entity, "u2");
+}
+
+TEST(Tracer, BoundedBuffersCountDrops) {
+  FunctionClock clock([]() { return 0.0; });
+  Tracer tracer(clock, /*max_records=*/2);
+  tracer.record_span("s", "e1", 0.0, 1.0);
+  tracer.record_span("s", "e2", 0.0, 1.0);
+  tracer.record_span("s", "e3", 0.0, 1.0);  // over capacity -> dropped
+  EXPECT_EQ(tracer.spans().size(), 2u);
+  EXPECT_EQ(tracer.dropped(), 1u);
+
+  // Events are bounded independently from spans.
+  tracer.event("ev", "e1");
+  tracer.event("ev", "e2");
+  tracer.event("ev", "e3");
+  EXPECT_EQ(tracer.events().size(), 2u);
+  EXPECT_EQ(tracer.dropped(), 2u);
+
+  const auto invalid = tracer.begin_span("s", "e4");
+  EXPECT_EQ(invalid, Tracer::kInvalidSpan);
+  tracer.end_span(invalid);  // no-op, must not throw
+  EXPECT_EQ(tracer.dropped(), 3u);
+}
+
+TEST(Tracer, ClearResetsEverything) {
+  FunctionClock clock([]() { return 0.0; });
+  Tracer tracer(clock, 1);
+  tracer.record_span("s", "e", 0.0, 1.0);
+  tracer.record_span("s", "e", 0.0, 1.0);  // dropped
+  tracer.clear();
+  EXPECT_TRUE(tracer.spans().empty());
+  EXPECT_TRUE(tracer.events().empty());
+  EXPECT_EQ(tracer.dropped(), 0u);
+  tracer.record_span("s", "e", 0.0, 1.0);  // capacity available again
+  EXPECT_EQ(tracer.spans().size(), 1u);
+}
+
+}  // namespace
+}  // namespace pa::obs

@@ -211,5 +211,35 @@ TEST(Broker, ProduceTimestampsMonotonicPerPartition) {
   }
 }
 
+TEST(Broker, ExportsPerTopicThroughputMetrics) {
+  Broker broker;
+  obs::MetricsRegistry registry;
+  broker.attach_metrics(&registry);
+  broker.create_topic("frames", 2);
+  broker.create_topic("results", 1);
+  broker.produce("frames", "", "aaaa");     // 4 bytes
+  broker.produce("frames", "k", "bbbbbb");  // 6 bytes
+  broker.produce("results", "", "cc");      // 2 bytes
+
+  EXPECT_EQ(registry.counter("stream.frames.messages_in").value(), 2u);
+  EXPECT_EQ(registry.counter("stream.frames.bytes_in").value(), 10u);
+  EXPECT_EQ(registry.counter("stream.results.messages_in").value(), 1u);
+  EXPECT_EQ(registry.counter("stream.results.bytes_in").value(), 2u);
+
+  broker.export_backlog_gauges();
+  EXPECT_DOUBLE_EQ(registry.gauge("stream.frames.backlog").value(), 2.0);
+  EXPECT_DOUBLE_EQ(registry.gauge("stream.results.backlog").value(), 1.0);
+
+  // Consumed/retained depth: truncation shrinks the backlog gauge.
+  broker.truncate("results", 0, 1);
+  broker.export_backlog_gauges();
+  EXPECT_DOUBLE_EQ(registry.gauge("stream.results.backlog").value(), 0.0);
+
+  // Detach: produces stop counting.
+  broker.attach_metrics(nullptr);
+  broker.produce("frames", "", "x");
+  EXPECT_EQ(registry.counter("stream.frames.messages_in").value(), 2u);
+}
+
 }  // namespace
 }  // namespace pa::stream
