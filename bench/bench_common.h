@@ -108,12 +108,15 @@ struct SimWorld {
   }
 };
 
-/// Local real-execution world sized to the machine.
+/// Local real-execution world sized to the machine. An optional metrics
+/// registry (which must outlive the world) collects the service's
+/// "pcs.*"/"wm.*" series across configurations.
 struct LocalWorld {
   rt::LocalRuntime runtime;
   core::PilotComputeService service{runtime, "backfill"};
 
-  explicit LocalWorld(int cores) {
+  explicit LocalWorld(int cores, obs::MetricsRegistry* metrics = nullptr) {
+    service.attach_observability(nullptr, metrics);
     core::PilotDescription pd;
     pd.resource_url = "local://bench";
     pd.nodes = cores;

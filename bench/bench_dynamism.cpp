@@ -22,9 +22,11 @@ struct Outcome {
   double cost = 0.0;
 };
 
-Outcome run_strategy(bool use_hpc, bool use_cloud, double utilization) {
+Outcome run_strategy(bool use_hpc, bool use_cloud, double utilization,
+                     obs::MetricsRegistry* metrics = nullptr) {
   SimWorld world(19, utilization);
   core::PilotComputeService service(*world.runtime, "cost-aware");
+  service.attach_observability(nullptr, metrics);
   if (use_hpc) {
     core::PilotDescription pd;
     pd.resource_url = "slurm://hpc";
@@ -56,17 +58,21 @@ Outcome run_strategy(bool use_hpc, bool use_cloud, double utilization) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   print_header("E9", "runtime cloud bursting under HPC queue congestion");
+
+  const std::string metrics_path = metrics_out_path(argc, argv);
+  obs::MetricsRegistry registry;
+  obs::MetricsRegistry* metrics = metrics_path.empty() ? nullptr : &registry;
 
   Table table("E9: 1024 x 30 s tasks, HPC at ~85% background utilization");
   table.set_columns({Column{"strategy", 0, true},
                      Column{"makespan_s", 1, true},
                      Column{"makespan_h", 2, true},
                      Column{"cloud_cost_usd", 3, true}});
-  const Outcome hpc_only = run_strategy(true, false, 0.85);
-  const Outcome cloud_only = run_strategy(false, true, 0.85);
-  const Outcome burst = run_strategy(true, true, 0.85);
+  const Outcome hpc_only = run_strategy(true, false, 0.85, metrics);
+  const Outcome cloud_only = run_strategy(false, true, 0.85, metrics);
+  const Outcome burst = run_strategy(true, true, 0.85, metrics);
   table.add_row({std::string("hpc-only"), hpc_only.makespan,
                  hpc_only.makespan / 3600.0, hpc_only.cost});
   table.add_row({std::string("cloud-only"), cloud_only.makespan,
@@ -96,11 +102,12 @@ int main() {
   idle.set_columns({Column{"strategy", 0, true},
                     Column{"makespan_s", 1, true},
                     Column{"cloud_cost_usd", 3, true}});
-  const Outcome idle_hpc = run_strategy(true, false, 0.0);
-  const Outcome idle_burst = run_strategy(true, true, 0.0);
+  const Outcome idle_hpc = run_strategy(true, false, 0.0, metrics);
+  const Outcome idle_burst = run_strategy(true, true, 0.0, metrics);
   idle.add_row({std::string("hpc-only"), idle_hpc.makespan, idle_hpc.cost});
   idle.add_row(
       {std::string("hpc+cloud-burst"), idle_burst.makespan, idle_burst.cost});
   idle.print(std::cout);
+  write_metrics_file(metrics_path, metrics);
   return 0;
 }

@@ -26,7 +26,8 @@ struct Outcome {
 };
 
 Outcome run_config(double preemption_rate, bool requeue, int restarts,
-                   int pilot_count = 1, int nodes_per_pilot = 16) {
+                   int pilot_count = 1, int nodes_per_pilot = 16,
+                   obs::MetricsRegistry* metrics = nullptr) {
   sim::Engine engine;
   saga::Session session;
   infra::HtcPoolConfig cfg;
@@ -41,6 +42,7 @@ Outcome run_config(double preemption_rate, bool requeue, int restarts,
   session.register_resource("condor://pool", pool);
   rt::SimRuntime runtime(engine, session);
   core::PilotComputeService service(runtime, "backfill");
+  service.attach_observability(nullptr, metrics);
   service.set_requeue_on_pilot_failure(requeue);
   service.set_pilot_restart_policy(restarts);
 
@@ -75,8 +77,12 @@ Outcome run_config(double preemption_rate, bool requeue, int restarts,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   pa::bench::print_header("E12", "workload survival under slot preemption");
+
+  const std::string metrics_path = pa::bench::metrics_out_path(argc, argv);
+  obs::MetricsRegistry registry;
+  obs::MetricsRegistry* metrics = metrics_path.empty() ? nullptr : &registry;
 
   Table table("E12: 256 x 300 s tasks on a preempting 32-slot pool");
   table.set_columns(
@@ -97,8 +103,8 @@ int main() {
 
   for (const double lifetime : {7200.0, 1800.0, 600.0}) {
     for (const auto& config : configs) {
-      const Outcome o =
-          run_config(1.0 / lifetime, config.requeue, config.restarts);
+      const Outcome o = run_config(1.0 / lifetime, config.requeue,
+                                   config.restarts, 1, 16, metrics);
       table.add_row({static_cast<std::int64_t>(lifetime),
                      std::string(config.label),
                      static_cast<std::int64_t>(o.done),
@@ -129,7 +135,7 @@ int main() {
                          Shape{"4 x 4 slots", 4, 4},
                          Shape{"16 x 1 slot", 16, 1}}) {
     const Outcome o =
-        run_config(1.0 / 600.0, true, 1000, s.pilots, s.nodes);
+        run_config(1.0 / 600.0, true, 1000, s.pilots, s.nodes, metrics);
     shape.add_row({std::string(s.label), static_cast<std::int64_t>(o.done),
                    o.makespan, static_cast<std::int64_t>(o.requeues),
                    static_cast<std::int64_t>(o.preemptions)});
@@ -142,5 +148,6 @@ int main() {
                "rate, paying for each eviction with a restart and the\n"
                "re-execution of in-flight tasks; without recovery a single "
                "eviction strands\nthe remaining workload.\n";
+  pa::bench::write_metrics_file(metrics_path, metrics);
   return 0;
 }

@@ -9,11 +9,15 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pa;        // NOLINT
   using namespace pa::bench; // NOLINT
 
   print_header("E10", "one workload, four infrastructures");
+
+  const std::string metrics_path = metrics_out_path(argc, argv);
+  obs::MetricsRegistry registry;
+  obs::MetricsRegistry* metrics = metrics_path.empty() ? nullptr : &registry;
 
   Table table("E10: 256 x 20 s single-core tasks via identical client code");
   table.set_columns({Column{"infrastructure", 0, true},
@@ -39,6 +43,7 @@ int main() {
   for (const auto& target : targets) {
     SimWorld world(23);
     core::PilotComputeService service(*world.runtime, "backfill");
+    service.attach_observability(nullptr, metrics);
     const int pilot_count = target.url == "lambda://faas" ? 32 : 1;
     for (int p = 0; p < pilot_count; ++p) {
       core::PilotDescription pd;
@@ -66,5 +71,6 @@ int main() {
                "infrastructure (instant HPC on an idle queue,\nmatchmaking "
                "latency on HTC, VM boot on cloud, cold starts on "
                "serverless).\n";
+  write_metrics_file(metrics_path, metrics);
   return 0;
 }

@@ -12,12 +12,16 @@
 #include "bench_common.h"
 #include "pa/engines/iterative.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pa;          // NOLINT
   using namespace pa::bench;   // NOLINT
   using namespace pa::engines; // NOLINT
 
   print_header("E5", "iterative K-means with and without Pilot-Memory");
+
+  const std::string metrics_path = metrics_out_path(argc, argv);
+  obs::MetricsRegistry registry;
+  obs::MetricsRegistry* metrics = metrics_path.empty() ? nullptr : &registry;
 
   Table table("E5: K-means, 10 fixed iterations, k=8, dim=16, 8 partitions");
   table.set_columns({Column{"points", 0, true}, Column{"mode", 0, true},
@@ -30,7 +34,7 @@ int main() {
     double uncached_total = 0.0;
     for (const bool cached : {false, true}) {
       mem::InMemoryStore store;
-      LocalWorld world(4);
+      LocalWorld world(4, metrics);
       KMeansEngine engine(world.service, store);
       engine.load_dataset("pts", block, 8);
       KMeansJobConfig cfg;
@@ -61,5 +65,6 @@ int main() {
   std::cout << "\nExpected shape (paper/ref [68]): the cached mode pays "
                "deserialization once\ninstead of every generation; speedup "
                "grows with the data-size-to-compute ratio.\n";
+  write_metrics_file(metrics_path, metrics);
   return 0;
 }

@@ -15,12 +15,16 @@
 #include "pa/engines/mapreduce.h"
 #include "pa/miniapp/workloads.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pa;          // NOLINT
   using namespace pa::bench;   // NOLINT
   using namespace pa::engines; // NOLINT
 
   print_header("E4", "Pilot-MapReduce: wordcount and k-mer matching");
+
+  const std::string metrics_path = metrics_out_path(argc, argv);
+  obs::MetricsRegistry registry;
+  obs::MetricsRegistry* metrics = metrics_path.empty() ? nullptr : &registry;
 
   using WordCount = MapReduceJob<std::string, std::string, int, int>;
   const WordCount::Mapper mapper = [](const std::string& line,
@@ -45,7 +49,7 @@ int main() {
                   Column{"klines_per_s", 1, true}});
   for (const std::size_t lines : {20000UL, 40000UL, 80000UL, 160000UL}) {
     const auto corpus = miniapp::generate_text_corpus(lines, 12, 5000, 17);
-    LocalWorld world(4);
+    LocalWorld world(4, metrics);
     WordCount job(mapper, reducer, {8, 4, 600.0});
     job.run(world.service, corpus);
     const auto& s = job.stats();
@@ -63,7 +67,7 @@ int main() {
   const auto corpus = miniapp::generate_text_corpus(160000, 12, 5000, 17);
   for (const auto& [m, r] : std::vector<std::pair<int, int>>{
            {1, 1}, {2, 2}, {4, 4}, {8, 4}, {16, 8}, {64, 16}}) {
-    LocalWorld world(4);
+    LocalWorld world(4, metrics);
     WordCount job(mapper, reducer, {m, r, 600.0});
     job.run(world.service, corpus);
     scale.add_row({static_cast<std::int64_t>(m), static_cast<std::int64_t>(r),
@@ -86,7 +90,7 @@ int main() {
   for (const std::size_t reads : {2000UL, 8000UL, 32000UL}) {
     const auto read_set =
         miniapp::generate_reads(reference, reads, 100, 0.01, 29);
-    LocalWorld world(4);
+    LocalWorld world(4, metrics);
     KmerJob job(
         [&ref_kmers](const std::string& read,
                      Emitter<std::string, int>& emit) {
@@ -111,5 +115,6 @@ int main() {
   std::cout << "\nExpected shape (paper/ref [54]): runtime linear in input "
                "volume; moderate\ntask counts amortize per-unit overhead, "
                "very fine granularity re-inflates it.\n";
+  write_metrics_file(metrics_path, metrics);
   return 0;
 }

@@ -12,11 +12,15 @@
 #include "pa/miniapp/experiment.h"
 #include "pa/miniapp/workloads.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pa;        // NOLINT
   using namespace pa::bench; // NOLINT
 
   print_header("E7", "Mini-App framework: automated factorial experiment");
+
+  const std::string metrics_path = metrics_out_path(argc, argv);
+  obs::MetricsRegistry registry;
+  obs::MetricsRegistry* metrics = metrics_path.empty() ? nullptr : &registry;
 
   miniapp::ExperimentDesign design;
   design.add_factor("pilot_nodes", std::vector<std::int64_t>{4, 16});
@@ -26,9 +30,10 @@ int main() {
 
   miniapp::ExperimentRunner runner(
       "task-farm-sweep",
-      [](const pa::Config& factors, std::uint64_t seed) {
+      [metrics](const pa::Config& factors, std::uint64_t seed) {
         SimWorld world(seed);
         core::PilotComputeService service(*world.runtime, "backfill");
+        service.attach_observability(nullptr, metrics);
         core::PilotDescription pd;
         pd.resource_url = "slurm://hpc";
         pd.nodes = static_cast<int>(factors.get_int("pilot_nodes"));
@@ -76,5 +81,6 @@ int main() {
                "~tasks; lognormal\ndurations add variance across "
                "repetitions that the constant rows lack —\nexactly the "
                "factor/level reasoning the framework automates.\n";
+  write_metrics_file(metrics_path, metrics);
   return 0;
 }

@@ -11,11 +11,15 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pa;        // NOLINT
   using namespace pa::bench; // NOLINT
 
   print_header("E3", "Pilot-Data: transfers and data-aware placement");
+
+  const std::string metrics_path = metrics_out_path(argc, argv);
+  obs::MetricsRegistry registry;
+  obs::MetricsRegistry* metrics = metrics_path.empty() ? nullptr : &registry;
 
   // --- Part A: transfer time vs volume ---
   Table xfer("E3a: stage-in time vs data-unit size (hpc -> cloud, 10 Gbit)");
@@ -47,6 +51,7 @@ int main() {
   for (const std::string sched : {"data-affinity", "round-robin"}) {
     SimWorld world(5);
     core::PilotComputeService service(*world.runtime, sched);
+    service.attach_observability(nullptr, metrics);
     service.attach_data_service(world.pilot_data.get());
     // One pilot per site holding data.
     core::PilotDescription hpc_pd;
@@ -89,5 +94,6 @@ int main() {
                "linearly with volume\npast the latency floor; the "
                "data-affinity policy eliminates WAN staging and\nshortens "
                "the makespan of data-bound workloads.\n";
+  write_metrics_file(metrics_path, metrics);
   return 0;
 }

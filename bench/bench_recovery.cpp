@@ -1,0 +1,247 @@
+/// E13 — pa::journal: submit-path overhead and recovery time.
+///
+/// Part A measures what the write-ahead journal costs on the manager's
+/// hot path: the wall time of submitting a bag of units on the
+/// LocalRuntime with no journal attached vs each durability mode.
+/// The headline metric is the *durability* overhead of group commit —
+/// its cost over sync=none (journaling with fsync left to the OS) —
+/// because that is the cost group commit exists to amortize; it must
+/// stay within 10%. The absolute cost of journaling at all (vs the
+/// no-journal baseline) is reported alongside: each submit serializes
+/// several validated lifecycle records through the manager, which is
+/// the price of a recoverable history, not of the fsync policy.
+///
+/// Part B measures the recovery side: time for RecoveryCoordinator to
+/// replay logs of growing length, with and without a compacted snapshot
+/// (which shrinks replay work to the post-snapshot suffix).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "bench_common.h"
+#include "pa/journal/journal.h"
+#include "pa/journal/recovery.h"
+#include "pa/journal/service_journal.h"
+
+namespace {
+
+using namespace pa;        // NOLINT
+using namespace pa::bench; // NOLINT
+
+/// mkdtemp-backed scratch directory (removed on destruction).
+struct TempDir {
+  std::string path;
+  TempDir() {
+    char tmpl[] = "/tmp/pa_bench_recovery_XXXXXX";
+    char* made = ::mkdtemp(tmpl);
+    if (made == nullptr) {
+      std::cerr << "mkdtemp failed\n";
+      std::exit(1);
+    }
+    path = made;
+  }
+  ~TempDir() { std::system(("rm -rf '" + path + "'").c_str()); }
+};
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// --- Part A: submit-path overhead -----------------------------------------
+
+constexpr int kUnits = 4000;
+
+/// Submits kUnits trivial units on the LocalRuntime and returns the wall
+/// time of the submit loop alone (the path the journal hooks into).
+double run_submit_path(journal::Journal* j) {
+  LocalWorld world(4);
+  std::unique_ptr<journal::ServiceJournal> sink;
+  if (j != nullptr) {
+    sink = std::make_unique<journal::ServiceJournal>(*j);
+    world.service.attach_journal(sink.get());
+  }
+  const double t0 = now_seconds();
+  for (int i = 0; i < kUnits; ++i) {
+    core::ComputeUnitDescription d;
+    d.cores = 1;
+    d.duration = 1.0;
+    d.work = []() {};
+    world.service.submit_unit(d);
+  }
+  const double elapsed = now_seconds() - t0;
+  world.service.wait_all_units(600.0);
+  world.service.attach_journal(nullptr);
+  return elapsed;
+}
+
+double best_of(int reps, journal::WriterConfig::Sync sync, bool journaled) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    TempDir dir;
+    journal::JournalConfig config;
+    config.writer.sync = sync;
+    std::unique_ptr<journal::Journal> j;
+    if (journaled) {
+      j = std::make_unique<journal::Journal>(dir.path, config);
+    }
+    best = std::min(best, run_submit_path(j.get()));
+  }
+  return best;
+}
+
+// --- Part B: recovery time vs log length ----------------------------------
+
+/// Writes a synthetic-but-valid journal: one active pilot plus `units`
+/// full unit lifecycles (6 records each), optionally compacting.
+void write_history(const std::string& dir, int units,
+                   std::size_t snapshot_every) {
+  journal::JournalConfig config;
+  config.writer.sync = journal::WriterConfig::Sync::kNone;  // generation speed
+  config.snapshot_every_records = snapshot_every;
+  journal::Journal j(dir, config);
+  auto rec = [](journal::RecordType type, const std::string& entity) {
+    journal::Record r;
+    r.type = type;
+    r.entity = entity;
+    return r;
+  };
+  {
+    journal::Record r = rec(journal::RecordType::kPilotSubmit, "pilot-0");
+    r.fields = {{"resource_url", "slurm://hpc"}, {"nodes", "8"},
+                {"walltime", "86400"},           {"priority", "0"},
+                {"cost_per_core_hour", "0"},     {"restarts_used", "0"}};
+    j.append(r);
+    journal::Record s = rec(journal::RecordType::kPilotState, "pilot-0");
+    s.fields["state"] = core::to_string(core::PilotState::kSubmitted);
+    j.append(s);
+    journal::Record a = rec(journal::RecordType::kPilotState, "pilot-0");
+    a.fields["state"] = core::to_string(core::PilotState::kActive);
+    a.fields["cores"] = "128";
+    a.fields["site"] = "hpc";
+    j.append(a);
+  }
+  for (int i = 0; i < units; ++i) {
+    const std::string id = "unit-" + std::to_string(i);
+    journal::Record sub = rec(journal::RecordType::kUnitSubmit, id);
+    sub.fields = {{"cores", "1"}, {"duration", "30"}};
+    j.append(sub);
+    for (const core::UnitState st :
+         {core::UnitState::kPending, core::UnitState::kScheduled,
+          core::UnitState::kRunning, core::UnitState::kDone}) {
+      if (st == core::UnitState::kScheduled) {
+        journal::Record bind = rec(journal::RecordType::kUnitBind, id);
+        bind.fields["pilot"] = "pilot-0";
+        j.append(bind);
+      }
+      journal::Record s = rec(journal::RecordType::kUnitState, id);
+      s.fields["state"] = core::to_string(st);
+      j.append(s);
+    }
+  }
+  j.close();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_header("E13", "journal submit-path overhead and recovery time");
+
+  const std::string metrics_path = metrics_out_path(argc, argv);
+  obs::MetricsRegistry registry;
+  obs::MetricsRegistry* metrics = metrics_path.empty() ? nullptr : &registry;
+
+  Table overhead("E13a: submit-path cost, " + std::to_string(kUnits) +
+                 " units on LocalRuntime (best of 3)");
+  overhead.set_columns({Column{"mode", 0, true},
+                        Column{"submit_loop_s", 4, true},
+                        Column{"per_unit_us", 2, true},
+                        Column{"overhead_pct", 1, true}});
+
+  constexpr int kReps = 3;
+  const double baseline =
+      best_of(kReps, journal::WriterConfig::Sync::kGroup, /*journaled=*/false);
+  struct Mode {
+    const char* label;
+    journal::WriterConfig::Sync sync;
+  };
+  const Mode modes[] = {
+      {"sync=none", journal::WriterConfig::Sync::kNone},
+      {"group-commit", journal::WriterConfig::Sync::kGroup},
+      {"fsync-every-record", journal::WriterConfig::Sync::kEveryRecord}};
+  overhead.add_row({std::string("no-journal"), baseline,
+                    baseline * 1e6 / kUnits, 0.0});
+  double none_s = 0.0;
+  double group_s = 0.0;
+  for (const Mode& mode : modes) {
+    const double t = best_of(kReps, mode.sync, /*journaled=*/true);
+    if (mode.sync == journal::WriterConfig::Sync::kNone) {
+      none_s = t;
+    } else if (mode.sync == journal::WriterConfig::Sync::kGroup) {
+      group_s = t;
+    }
+    overhead.add_row({std::string(mode.label), t, t * 1e6 / kUnits,
+                      (t - baseline) / baseline * 100.0});
+  }
+  overhead.print(std::cout);
+  const double durability_pct = (group_s - none_s) / none_s * 100.0;
+  std::cout << "\nJournal overhead on the submit hot path with group commit "
+               "enabled:\n  durability cost of group commit vs non-durable "
+               "journaling (sync=none): "
+            << std::fixed << std::setprecision(1) << durability_pct
+            << "%  (bound: <= 10%)\n"
+            << (durability_pct <= 10.0 ? "  PASS" : "  FAIL")
+            << " — append() only moves the record into the flusher queue; "
+               "the background\n  flusher batches the encodes, writes, and "
+               "fsyncs, so making the log durable\n  costs almost nothing "
+               "over writing it at all. fsync-every-record is the\n  "
+               "unamortized ceiling: one disk round-trip per record.\n"
+               "  (overhead_pct column: total cost of journaling vs running "
+               "with no journal\n  attached — each submit logs the unit's "
+               "full validated lifecycle.)\n";
+  if (metrics != nullptr) {
+    metrics->gauge("journal.bench_group_commit_overhead_pct")
+        .set(durability_pct);
+  }
+
+  Table recov("E13b: recovery time vs journal length");
+  recov.set_columns({Column{"wal_records", 0, true},
+                     Column{"snapshot", 0, true},
+                     Column{"recover_ms", 2, true},
+                     Column{"replayed", 0, true},
+                     Column{"recovered_units", 0, true}});
+  for (const int units : {150, 1500, 7500}) {  // ~1k / ~10k / ~50k records
+    for (const bool snapshot : {false, true}) {
+      TempDir dir;
+      // Snapshot variant compacts every ~1/5th of the log, so recovery
+      // replays only the suffix after the last snapshot.
+      write_history(dir.path, units,
+                    snapshot ? static_cast<std::size_t>(units) : 0);
+      journal::RecoveryCoordinator coordinator(dir.path);
+      coordinator.set_metrics(metrics);
+      const double t0 = now_seconds();
+      const journal::RecoveryResult result = coordinator.recover();
+      const double elapsed = now_seconds() - t0;
+      recov.add_row(
+          {static_cast<std::int64_t>(result.records_replayed +
+                                     result.records_skipped),
+           std::string(snapshot ? "yes" : "no"), elapsed * 1000.0,
+           static_cast<std::int64_t>(result.records_replayed),
+           static_cast<std::int64_t>(result.image.units().size())});
+    }
+  }
+  recov.print(std::cout);
+  std::cout << "\nExpected shape: replay time is linear in wal length; a "
+               "compacted snapshot\nbounds the replayed suffix to the "
+               "records since the last compaction, so\nrecovery cost drops "
+               "to loading the snapshot — O(live state), independent of\n"
+               "how long the run has been appending history.\n";
+  write_metrics_file(metrics_path, metrics);
+  return 0;
+}

@@ -13,11 +13,15 @@
 #include "pa/engines/ensemble.h"
 #include "pa/models/analytical.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pa;        // NOLINT
   using namespace pa::bench; // NOLINT
 
   print_header("E2", "replica-exchange strong scaling vs analytical model");
+
+  const std::string metrics_path = metrics_out_path(argc, argv);
+  obs::MetricsRegistry registry;
+  obs::MetricsRegistry* metrics = metrics_path.empty() ? nullptr : &registry;
 
   constexpr int kReplicas = 256;
   constexpr int kGenerations = 10;
@@ -37,6 +41,7 @@ int main() {
     const int nodes = cores / 16;
     SimWorld world(11, /*utilization=*/0.0, /*hpc_nodes=*/std::max(nodes, 1));
     core::PilotComputeService service(*world.runtime);
+    service.attach_observability(nullptr, metrics);
     core::PilotDescription pd;
     pd.resource_url = "slurm://hpc";
     pd.nodes = std::max(nodes, 1);
@@ -80,5 +85,6 @@ int main() {
                "waves shrink,\nflattening once the serial exchange step "
                "dominates; the analytical model\ntracks the measured curve "
                "within a few percent.\n";
+  write_metrics_file(metrics_path, metrics);
   return 0;
 }

@@ -11,11 +11,15 @@
 #include "bench_common.h"
 #include "pa/miniapp/workloads.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pa;        // NOLINT
   using namespace pa::bench; // NOLINT
 
   print_header("E8", "pilot-internal scheduling policy ablation");
+
+  const std::string metrics_path = metrics_out_path(argc, argv);
+  obs::MetricsRegistry registry;
+  obs::MetricsRegistry* metrics = metrics_path.empty() ? nullptr : &registry;
 
   Table table("E8: heterogeneous bag (512 tasks, 1-16 cores, 5-300 s)");
   table.set_columns({Column{"policy", 0, true}, Column{"makespan_s", 1, true},
@@ -51,6 +55,7 @@ int main() {
                                    "shortest-first", "round-robin"}) {
     SimWorld world(13);
     core::PilotComputeService service(*world.runtime, policy);
+    service.attach_observability(nullptr, metrics);
     for (const char* url : {"slurm://hpc", "slurm://hpc"}) {
       core::PilotDescription pd;
       pd.resource_url = url;
@@ -73,5 +78,6 @@ int main() {
                "behind wide tasks;\nbackfilling recovers most of it; "
                "largest-first reduces fragmentation further\non mixed "
                "workloads.\n";
+  write_metrics_file(metrics_path, metrics);
   return 0;
 }

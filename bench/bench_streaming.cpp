@@ -16,11 +16,15 @@
 #include "pa/models/regression.h"
 #include "pa/stream/pilot_streaming.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pa;        // NOLINT
   using namespace pa::bench; // NOLINT
 
   print_header("E6", "Pilot-Streaming throughput/latency + statistical model");
+
+  const std::string metrics_path = metrics_out_path(argc, argv);
+  obs::MetricsRegistry registry;
+  obs::MetricsRegistry* metrics = metrics_path.empty() ? nullptr : &registry;
 
   Table table("E6a: pipeline characterization (reconstruction kernel)");
   table.set_columns({Column{"partitions", 0, true},
@@ -45,7 +49,7 @@ int main() {
       if (consumers > partitions) {
         continue;
       }
-      LocalWorld world(consumers + 1);
+      LocalWorld world(consumers + 1, metrics);
       stream::Broker broker;
       stream::PilotStreamingService streaming(world.service, broker);
       stream::StreamPipelineConfig cfg;
@@ -80,7 +84,7 @@ int main() {
                      Column{"throughput_msg_s", 0, true},
                      Column{"throughput_MB_s", 2, true}});
   for (const std::size_t bytes : {256UL, 1024UL, 4096UL, 16384UL, 65536UL}) {
-    LocalWorld world(2);
+    LocalWorld world(2, metrics);
     stream::Broker broker;
     stream::PilotStreamingService streaming(world.service, broker);
     stream::StreamPipelineConfig cfg;
@@ -113,7 +117,7 @@ int main() {
   for (const int partitions : {1, 2, 4}) {
     for (const int consumers : {1, 2}) {
       for (const double msg_kb : {1.0, 4.0, 16.0}) {
-        LocalWorld world(consumers + 1);
+        LocalWorld world(consumers + 1, metrics);
         stream::Broker broker;
         stream::PilotStreamingService streaming(world.service, broker);
         stream::StreamPipelineConfig cfg;
@@ -190,5 +194,6 @@ int main() {
                "captures the throughput surface well enough\nfor resource "
                "selection (R^2 reported above; parallelism effects are "
                "muted on a\nsingle-core host).\n";
+  write_metrics_file(metrics_path, metrics);
   return 0;
 }

@@ -25,6 +25,16 @@ class IdGenerator {
   /// Resets the counter (tests only; not thread-safe vs concurrent next()).
   void reset() { counter_.store(0, std::memory_order_relaxed); }
 
+  /// Advances the counter to at least `n` so ids below it are never
+  /// handed out (resuming a recovered journal must not reuse journaled
+  /// ids). Never moves the counter backwards.
+  void skip_to(std::uint64_t n) {
+    std::uint64_t cur = counter_.load(std::memory_order_relaxed);
+    while (cur < n && !counter_.compare_exchange_weak(
+                          cur, n, std::memory_order_relaxed)) {
+    }
+  }
+
  private:
   std::string prefix_;
   std::atomic<std::uint64_t> counter_{0};

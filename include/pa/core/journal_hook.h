@@ -1,0 +1,50 @@
+#pragma once
+/// \file journal_hook.h
+/// \brief Sink interface for the write-ahead state journal.
+///
+/// `pa::core` cannot depend on `pa::journal` (the journal replays state
+/// through core's transition-legality functions), so the service emits
+/// its durable events through this narrow interface and `pa::journal`
+/// provides the concrete adapter (`pa::journal::ServiceJournal`). Every
+/// method corresponds to one journal record type; the service calls them
+/// with its lock held, at the exact point the matching in-memory mutation
+/// is validated — before any externally observable effect depends on it.
+
+#include <string>
+
+#include "pa/core/types.h"
+
+namespace pa::core {
+
+class JournalSink {
+ public:
+  virtual ~JournalSink() = default;
+
+  /// A new pilot entered the service (entity exists, state NEW).
+  virtual void pilot_submitted(const std::string& pilot_id,
+                               const PilotDescription& description,
+                               int restarts_used, double time) = 0;
+  /// A validated pilot state-machine transition. `total_cores`/`site` are
+  /// meaningful when `to` is ACTIVE (0/"" otherwise).
+  virtual void pilot_state(const std::string& pilot_id, PilotState to,
+                           int total_cores, const std::string& site,
+                           double time) = 0;
+  /// A new unit entered the late-binding queue (entity exists, state NEW).
+  virtual void unit_submitted(const std::string& unit_id,
+                              const ComputeUnitDescription& description,
+                              double time) = 0;
+  /// The scheduler bound a unit to a pilot.
+  virtual void unit_bound(const std::string& unit_id,
+                          const std::string& pilot_id, double time) = 0;
+  /// A validated unit state-machine transition.
+  virtual void unit_state(const std::string& unit_id, UnitState to,
+                          double time) = 0;
+  /// A bound unit went back to the queue after its pilot terminated
+  /// (models the RUNNING -> fresh PENDING attempt reset).
+  virtual void unit_requeued(const std::string& unit_id, double time) = 0;
+  /// A data unit's output was registered at a site (placement decision).
+  virtual void data_placed(const std::string& data_unit,
+                           const std::string& site, double time) = 0;
+};
+
+}  // namespace pa::core

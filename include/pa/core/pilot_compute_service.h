@@ -21,6 +21,7 @@
 
 #include "pa/common/id.h"
 #include "pa/common/stats.h"
+#include "pa/core/journal_hook.h"
 #include "pa/core/runtime.h"
 #include "pa/core/state_machine.h"
 #include "pa/core/types.h"
@@ -119,6 +120,14 @@ class PilotComputeService {
   void attach_observability(obs::Tracer* tracer,
                             obs::MetricsRegistry* metrics);
 
+  /// Connects the write-ahead state journal. Every validated lifecycle
+  /// event (pilot submit + state transitions, unit submit/bind/state/
+  /// requeue, data placement) is emitted through the sink at the point it
+  /// is applied in memory. Attach *before* submitting work — pilots and
+  /// units submitted earlier are not retroactively journaled. Pass
+  /// nullptr to detach; the sink must outlive its attachment.
+  void attach_journal(JournalSink* journal);
+
   /// Submits a pilot; it proceeds NEW -> SUBMITTED -> ACTIVE asynchronously.
   Pilot submit_pilot(const PilotDescription& description);
 
@@ -137,6 +146,12 @@ class PilotComputeService {
   /// pilot (0 disables; default 0). Together with unit requeueing this
   /// gives at-least-once task execution on unreliable pools.
   void set_pilot_restart_policy(int max_restarts);
+
+  /// Bounds how often a single unit may be requeued after pilot failures
+  /// before it is marked FAILED instead (guards against a poison unit
+  /// ping-ponging forever across dying pilots). -1 = unbounded; default
+  /// see WorkloadManager::kDefaultMaxRequeues.
+  void set_max_unit_requeues(int max_requeues);
 
   /// Observer for every unit state transition (in addition to per-unit
   /// waits). Called with the service lock held; keep callbacks short and
@@ -164,6 +179,12 @@ class PilotComputeService {
                          double timeout_seconds = 3600.0);
   UnitState wait_unit(const std::string& unit_id,
                       double timeout_seconds = 3600.0);
+
+  /// Advances the internal "pilot-N"/"unit-N" id generators to at least
+  /// the given ordinals. A recovered journal's ids must never be reissued
+  /// by the resumed service (pa::journal::resume calls this with the
+  /// ordinals past the journaled history).
+  void advance_ids(std::uint64_t next_pilot, std::uint64_t next_unit);
 
   std::size_t total_units() const;
   std::size_t unfinished_units() const;
@@ -216,6 +237,7 @@ class PilotComputeService {
   DataServiceInterface* data_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
   obs::MetricsRegistry* obs_metrics_ = nullptr;
+  JournalSink* journal_ = nullptr;
   bool requeue_on_pilot_failure_ = true;
   int pilot_max_restarts_ = 0;
   bool shut_down_ = false;

@@ -41,10 +41,26 @@ class WorkloadManager {
   void enqueue_unit(const std::string& unit_id,
                     const ComputeUnitDescription& description);
 
+  /// Units may requeue this often before the manager refuses; see
+  /// set_max_requeues. High enough that legitimate fault-tolerance churn
+  /// (pilot preemption storms) never trips it, low enough that a poison
+  /// unit cannot cycle forever.
+  static constexpr int kDefaultMaxRequeues = 1000;
+
   /// Re-enqueues a previously bound unit (pilot failure recovery) at the
-  /// front of the queue, preserving its original priority.
-  void requeue_unit_front(const std::string& unit_id,
+  /// front of the queue, preserving its original priority. Returns false
+  /// — and drops the unit's requeue bookkeeping — when the unit has
+  /// already been requeued max_requeues times; the caller must then fail
+  /// the unit instead.
+  bool requeue_unit_front(const std::string& unit_id,
                           const ComputeUnitDescription& description);
+
+  /// Bounds per-unit requeues (-1 = unbounded). Takes effect for
+  /// subsequent requeue_unit_front calls; existing counts are kept.
+  void set_max_requeues(int max_requeues);
+  int max_requeues() const { return max_requeues_; }
+  /// How often `unit_id` has been requeued so far (0 if never/forgotten).
+  int requeue_count(const std::string& unit_id) const;
 
   /// Drops a queued unit (cancellation). Returns false if not queued.
   bool remove_queued_unit(const std::string& unit_id);
@@ -102,10 +118,12 @@ class WorkloadManager {
 
   std::unique_ptr<Scheduler> scheduler_;
   obs::MetricsRegistry* metrics_ = nullptr;
+  int max_requeues_ = kDefaultMaxRequeues;
   std::map<std::string, PilotRecord> pilots_;
   std::vector<std::string> pilot_order_;  ///< stable view order
   std::deque<QueuedUnit> queue_;
   std::map<std::string, BoundUnit> bound_;
+  std::map<std::string, int> requeue_counts_;  ///< per live unit
 };
 
 }  // namespace pa::core

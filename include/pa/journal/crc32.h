@@ -1,0 +1,44 @@
+#pragma once
+/// \file crc32.h
+/// \brief CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) used to
+/// checksum journal record payloads.
+///
+/// Self-contained so the journal has no dependency on zlib; the table is
+/// built once at static-init time. The algorithm matches zlib's `crc32`,
+/// which keeps journals inspectable with standard tooling.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace pa::journal {
+
+namespace detail {
+inline const std::array<std::uint32_t, 256>& crc32_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1U) != 0 ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+}  // namespace detail
+
+/// CRC-32 of `size` bytes at `data` (zlib-compatible).
+inline std::uint32_t crc32(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  const auto& table = detail::crc32_table();
+  std::uint32_t c = 0xFFFFFFFFU;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = table[(c ^ bytes[i]) & 0xFFU] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFU;
+}
+
+}  // namespace pa::journal

@@ -1,0 +1,46 @@
+#pragma once
+/// \file service_journal.h
+/// \brief Adapter from the core `JournalSink` hook points to journal
+/// records.
+///
+/// Attach with `service.attach_journal(&adapter)` *before* submitting any
+/// pilots or units, so every lifecycle event of the workload is captured.
+/// The adapter translates each typed hook into the corresponding
+/// `Record`, with exactly the fields `ManagerImage::apply` consumes on
+/// replay.
+
+#include <string>
+
+#include "pa/core/journal_hook.h"
+#include "pa/journal/journal.h"
+
+namespace pa::journal {
+
+class ServiceJournal final : public core::JournalSink {
+ public:
+  explicit ServiceJournal(Journal& journal) : journal_(journal) {}
+
+  void pilot_submitted(const std::string& pilot_id,
+                       const core::PilotDescription& description,
+                       int restarts_used, double time) override;
+  void pilot_state(const std::string& pilot_id, core::PilotState to,
+                   int total_cores, const std::string& site,
+                   double time) override;
+  void unit_submitted(const std::string& unit_id,
+                      const core::ComputeUnitDescription& description,
+                      double time) override;
+  void unit_bound(const std::string& unit_id, const std::string& pilot_id,
+                  double time) override;
+  void unit_state(const std::string& unit_id, core::UnitState to,
+                  double time) override;
+  void unit_requeued(const std::string& unit_id, double time) override;
+  void data_placed(const std::string& data_unit, const std::string& site,
+                   double time) override;
+
+  Journal& journal() { return journal_; }
+
+ private:
+  Journal& journal_;
+};
+
+}  // namespace pa::journal

@@ -1,0 +1,104 @@
+#pragma once
+/// \file writer.h
+/// \brief Append-only journal writer with group commit.
+///
+/// `append()` assigns the sequence number and enqueues the record — the
+/// hot path never encodes or touches the filesystem. A background flusher
+/// thread drains the queue, encodes the pending records, writes them with
+/// one `write(2)` and (in group-commit mode) one `fsync(2)`, amortizing
+/// both the serialization and the sync cost over the batch exactly as
+/// database WALs do. Durability guarantee: the
+/// on-disk file is always a byte prefix of the appended stream, possibly
+/// ending in a torn frame if the process died mid-write — which the reader
+/// detects and the recovery coordinator truncates.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "pa/journal/record.h"
+#include "pa/obs/metrics.h"
+
+namespace pa::journal {
+
+struct WriterConfig {
+  /// Durability mode.
+  enum class Sync {
+    kNone,         ///< never fsync; OS decides (fastest, weakest)
+    kGroup,        ///< one fsync per drained batch (group commit; default)
+    kEveryRecord,  ///< append() blocks until its record is fsynced
+  };
+  Sync sync = Sync::kGroup;
+  /// Max records the flusher coalesces into one write/fsync.
+  std::size_t max_batch_records = 512;
+  /// Truncate an existing file on open (false = append to it).
+  bool truncate_existing = false;
+};
+
+/// Thread-safe append-only writer. All methods may be called from any
+/// thread; `close()` (or destruction) flushes and joins the flusher.
+class Writer {
+ public:
+  /// Opens (creating if needed) `path`. `first_seq` seeds the sequence
+  /// counter — recovery passes `last replayed seq + 1` so a resumed
+  /// journal stays strictly monotonic.
+  explicit Writer(std::string path, WriterConfig config = {},
+                  std::uint64_t first_seq = 1);
+  ~Writer();
+
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  /// Stamps `record.seq`, enqueues the record and returns the seq.
+  /// In kEveryRecord mode, blocks until the record is durable.
+  std::uint64_t append(Record record);
+
+  /// Blocks until every previously appended record is written (and, in
+  /// syncing modes, fsynced).
+  void flush();
+
+  /// Flushes, stops the flusher thread and closes the file. Idempotent.
+  void close();
+
+  /// Empties the log file (after a snapshot made its contents redundant).
+  /// Pending records are flushed first; the seq counter keeps advancing.
+  void truncate_log();
+
+  std::uint64_t next_seq() const;
+  const std::string& path() const { return path_; }
+
+  /// Exports "journal.records", "journal.flushes", "journal.flushed_bytes"
+  /// counters and "journal.flush_seconds" / "journal.batch_records"
+  /// histograms. Pass nullptr to detach; registry must outlive attachment.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
+ private:
+  void flusher_loop();
+  /// Drains up to max_batch_records pending frames; returns highest seq
+  /// written, 0 if nothing was pending. Called with `mutex_` held; drops
+  /// the lock around file I/O.
+  std::uint64_t drain_locked(std::unique_lock<std::mutex>& lock);
+
+  const std::string path_;
+  const WriterConfig config_;
+  int fd_ = -1;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;     ///< flusher wakeups
+  std::condition_variable durable_cv_;  ///< flush()/append() waiters
+  std::deque<Record> pending_;  ///< seq-stamped; encoded by the flusher
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t durable_seq_ = 0;  ///< highest seq written (+synced);
+                                   ///< starts at first_seq - 1
+  bool draining_ = false;          ///< flusher is mid write/fsync
+  bool closing_ = false;
+  bool closed_ = false;
+
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::thread flusher_;
+};
+
+}  // namespace pa::journal

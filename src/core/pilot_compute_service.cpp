@@ -66,6 +66,16 @@ void PilotComputeService::attach_observability(obs::Tracer* tracer,
   workload_.set_metrics(metrics);
 }
 
+void PilotComputeService::attach_journal(JournalSink* journal) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  journal_ = journal;
+}
+
+void PilotComputeService::set_max_unit_requeues(int max_requeues) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  workload_.set_max_requeues(max_requeues);
+}
+
 void PilotComputeService::set_requeue_on_pilot_failure(bool requeue) {
   std::lock_guard<std::recursive_mutex> lock(mutex_);
   requeue_on_pilot_failure_ = requeue;
@@ -135,7 +145,24 @@ Pilot PilotComputeService::submit_pilot_locked(
   rec.description = description;
   rec.submit_time = runtime_.now();
   rec.restarts_used = restarts_used;
-  pilots_.emplace(pilot_id, std::move(rec));
+  const double submit_time = rec.submit_time;
+  auto [pit, inserted] = pilots_.emplace(pilot_id, std::move(rec));
+  PA_CHECK(inserted);
+  if (journal_ != nullptr) {
+    journal_->pilot_submitted(pilot_id, description, restarts_used,
+                              submit_time);
+  }
+  // State-machine observer: every validated transition of this pilot is
+  // journaled at the moment it is applied (ACTIVE carries cores/site,
+  // which on_pilot_active records before firing the transition).
+  pit->second.sm.observe([this, pilot_id](PilotState /*from*/,
+                                          PilotState to) {
+    if (journal_ != nullptr) {
+      const auto& p = pilots_.at(pilot_id);
+      journal_->pilot_state(pilot_id, to, p.total_cores, p.site,
+                            runtime_.now());
+    }
+  });
 
   PilotRuntimeCallbacks callbacks;
   callbacks.on_active = [this](const std::string& id, int cores,
@@ -165,12 +192,14 @@ void PilotComputeService::on_pilot_active(const std::string& pilot_id,
                                           const std::string& site) {
   std::lock_guard<std::recursive_mutex> lock(mutex_);
   auto& rec = pilot_record(pilot_id);
+  // Record capacity before firing the transition so the state-machine
+  // observer can journal cores/site with the ACTIVE record.
+  rec.total_cores = total_cores;
+  rec.site = site;
   if (!rec.sm.try_transition(PilotState::kActive)) {
     return;  // cancelled while the allocation came up
   }
   rec.active_time = runtime_.now();
-  rec.total_cores = total_cores;
-  rec.site = site;
   metrics_.pilot_startup_times.add(rec.active_time - rec.submit_time);
   if (tracer_ != nullptr) {
     // Explicit runtime timestamps: simulated time under SimRuntime, wall
@@ -224,7 +253,10 @@ void PilotComputeService::on_pilot_terminated(const std::string& pilot_id,
     if (is_final(unit.sm.state())) {
       continue;
     }
-    if (requeue_on_pilot_failure_ && !unit.cancel_requested) {
+    const bool want_requeue =
+        requeue_on_pilot_failure_ && !unit.cancel_requested;
+    if (want_requeue &&
+        workload_.requeue_unit_front(unit_id, unit.description)) {
       // Recovery: back to the queue; the unit re-runs on another pilot.
       unit.pilot_id.clear();
       ++metrics_.requeues;
@@ -235,11 +267,17 @@ void PilotComputeService::on_pilot_terminated(const std::string& pilot_id,
       // we model a requeue as a fresh PENDING attempt (observers notified
       // of the reset, then re-attached to the fresh machine).
       const UnitState prior = unit.sm.state();
+      if (journal_ != nullptr) {
+        journal_->unit_requeued(unit_id, runtime_.now());
+      }
       for (const auto& obs : unit_observers_) {
         obs(unit_id, prior, UnitState::kPending);
       }
       unit.sm = UnitStateMachine(UnitState::kPending);
       unit.sm.observe([this, unit_id](UnitState from, UnitState to) {
+        if (journal_ != nullptr) {
+          journal_->unit_state(unit_id, to, runtime_.now());
+        }
         if (tracer_ != nullptr) {
           tracer_->event_at(runtime_.now(), "unit.state", unit_id,
                             to_string(to));
@@ -249,10 +287,18 @@ void PilotComputeService::on_pilot_terminated(const std::string& pilot_id,
         }
       });
       ++unit.attempts;
-      workload_.requeue_unit_front(unit_id, unit.description);
       PA_LOG(kInfo, "pcs") << "requeued " << unit_id << " after pilot "
                            << pilot_id << " terminated";
     } else {
+      if (want_requeue) {
+        // The workload manager refused: requeue bound exhausted.
+        if (obs_metrics_ != nullptr) {
+          obs_metrics_->counter("pcs.units_failed_requeue_limit").inc();
+        }
+        PA_LOG(kWarn, "pcs") << unit_id << " exhausted its requeue bound "
+                             << "after pilot " << pilot_id
+                             << " terminated; failing it";
+      }
       finalize_unit_locked(unit, unit_id, UnitState::kFailed);
     }
   }
@@ -281,9 +327,16 @@ ComputeUnit PilotComputeService::submit_unit(
   }
   auto [uit, inserted] = units_.emplace(unit_id, std::move(rec));
   PA_CHECK(inserted);
-  // Forward every transition of this unit to the tracer and the
-  // service-level observers.
+  if (journal_ != nullptr) {
+    journal_->unit_submitted(unit_id, description,
+                             uit->second.times.submitted);
+  }
+  // Forward every transition of this unit to the journal, the tracer and
+  // the service-level observers.
   uit->second.sm.observe([this, unit_id](UnitState from, UnitState to) {
+    if (journal_ != nullptr) {
+      journal_->unit_state(unit_id, to, runtime_.now());
+    }
     if (tracer_ != nullptr) {
       tracer_->event_at(runtime_.now(), "unit.state", unit_id, to_string(to));
     }
@@ -323,6 +376,9 @@ void PilotComputeService::dispatch_unit_locked(const std::string& unit_id,
   auto& unit = unit_record(unit_id);
   unit.pilot_id = pilot_id;
   unit.times.scheduled = runtime_.now();
+  if (journal_ != nullptr) {
+    journal_->unit_bound(unit_id, pilot_id, unit.times.scheduled);
+  }
 
   const auto& pilot = pilot_record(pilot_id);
   const bool needs_staging =
@@ -396,6 +452,9 @@ void PilotComputeService::on_unit_done(const std::string& unit_id,
       const auto pit = pilots_.find(unit.pilot_id);
       if (pit != pilots_.end()) {
         data_->register_output(du, pit->second.site);
+        if (journal_ != nullptr) {
+          journal_->data_placed(du, pit->second.site, runtime_.now());
+        }
       }
     }
   }
@@ -505,6 +564,13 @@ void PilotComputeService::shutdown() {
   for (const auto& id : to_cancel) {
     runtime_.cancel_pilot(id);
   }
+}
+
+void PilotComputeService::advance_ids(std::uint64_t next_pilot,
+                                      std::uint64_t next_unit) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  pilot_ids_.skip_to(next_pilot);
+  unit_ids_.skip_to(next_unit);
 }
 
 std::size_t PilotComputeService::total_units() const {

@@ -74,9 +74,33 @@ void WorkloadManager::enqueue_unit(const std::string& unit_id,
   queue_.push_back(make_queued(unit_id, description));
 }
 
-void WorkloadManager::requeue_unit_front(
+bool WorkloadManager::requeue_unit_front(
     const std::string& unit_id, const ComputeUnitDescription& description) {
+  int& count = requeue_counts_[unit_id];
+  if (max_requeues_ >= 0 && count >= max_requeues_) {
+    requeue_counts_.erase(unit_id);  // caller fails the unit; forget it
+    if (metrics_ != nullptr) {
+      metrics_->counter("wm.requeue_limit_hits").inc();
+    }
+    return false;
+  }
+  ++count;
+  if (metrics_ != nullptr) {
+    metrics_->counter("wm.unit_requeues").inc();
+  }
   queue_.push_front(make_queued(unit_id, description));
+  return true;
+}
+
+void WorkloadManager::set_max_requeues(int max_requeues) {
+  PA_REQUIRE_ARG(max_requeues >= -1,
+                 "max_requeues must be >= -1: " << max_requeues);
+  max_requeues_ = max_requeues;
+}
+
+int WorkloadManager::requeue_count(const std::string& unit_id) const {
+  const auto it = requeue_counts_.find(unit_id);
+  return it == requeue_counts_.end() ? 0 : it->second;
 }
 
 bool WorkloadManager::remove_queued_unit(const std::string& unit_id) {
@@ -87,6 +111,7 @@ bool WorkloadManager::remove_queued_unit(const std::string& unit_id) {
     return false;
   }
   queue_.erase(it);
+  requeue_counts_.erase(unit_id);
   return true;
 }
 
@@ -200,6 +225,7 @@ void WorkloadManager::unit_finished(const std::string& unit_id) {
                  "core accounting corrupt on pilot " << it->second.pilot_id);
   }
   bound_.erase(it);
+  requeue_counts_.erase(unit_id);
 }
 
 const std::string& WorkloadManager::bound_pilot(

@@ -1,0 +1,146 @@
+#include "pa/journal/journal.h"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "pa/common/error.h"
+#include "pa/common/log.h"
+#include "pa/journal/reader.h"
+
+namespace pa::journal {
+
+std::string Journal::wal_path(const std::string& dir) {
+  return dir + "/journal.wal";
+}
+
+std::string Journal::snapshot_path(const std::string& dir) {
+  return dir + "/journal.snapshot";
+}
+
+Journal::Journal(std::string dir, JournalConfig config,
+                 const ManagerImage* resume_from)
+    : dir_(std::move(dir)), config_(config) {
+  if (::mkdir(dir_.c_str(), 0755) != 0 && errno != EEXIST) {
+    throw Error("cannot create journal directory " + dir_ + ": " +
+                std::strerror(errno));
+  }
+  std::uint64_t first_seq = 1;
+  if (resume_from != nullptr) {
+    image_ = *resume_from;
+    first_seq = image_.last_seq() + 1;
+  }
+  WriterConfig wc = config_.writer;
+  // A resumed journal starts from a fresh wal: the recovered history is
+  // re-anchored by the snapshot compact() writes below.
+  wc.truncate_existing = wc.truncate_existing || resume_from != nullptr;
+  writer_ = std::make_unique<Writer>(wal_path(dir_), wc, first_seq);
+  if (resume_from != nullptr) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    compact_locked();
+  }
+}
+
+Journal::~Journal() {
+  try {
+    close();
+  } catch (...) {
+    // Destructor must not throw.
+  }
+}
+
+void Journal::set_metrics(obs::MetricsRegistry* metrics) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  metrics_ = metrics;
+  writer_->set_metrics(metrics);
+}
+
+std::uint64_t Journal::append(Record record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Hot path: move the record to the group-commit writer, nothing else.
+  // Materialization into the image (field parsing, map updates,
+  // transition validation) is deferred: the wal itself is the staging
+  // area, and the next image drain replays its unapplied tail.
+  const std::uint64_t seq = writer_->append(std::move(record));
+  ++records_appended_;
+  if (config_.snapshot_every_records > 0 &&
+      ++records_since_snapshot_ >= config_.snapshot_every_records) {
+    compact_locked();
+  }
+  return seq;
+}
+
+void Journal::drain_image_locked() const {
+  if (applied_records_ == records_appended_) {
+    return;
+  }
+  // Settle the wal, then replay the bytes appended since the last drain —
+  // materializing the image from the log keeps the two equivalent by
+  // construction.
+  writer_->flush();
+  std::ifstream in(wal_path(dir_), std::ios::binary);
+  if (!in) {
+    throw Error("cannot read back journal wal " + wal_path(dir_));
+  }
+  in.seekg(static_cast<std::streamoff>(applied_bytes_));
+  std::string tail((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  const ReadResult result = scan(tail.data(), tail.size());
+  if (result.torn || applied_records_ + result.records.size() !=
+                         records_appended_) {
+    throw Error("journal wal " + wal_path(dir_) +
+                " diverged from appended history (torn or truncated "
+                "mid-run)");
+  }
+  for (const Record& record : result.records) {
+    image_.apply(record);
+  }
+  applied_records_ += result.records.size();
+  applied_bytes_ += result.valid_bytes;
+}
+
+void Journal::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  writer_->flush();
+}
+
+void Journal::compact() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  compact_locked();
+}
+
+void Journal::compact_locked() {
+  drain_image_locked();
+  writer_->flush();
+  Snapshot::write(snapshot_path(dir_), image_);
+  writer_->truncate_log();
+  records_since_snapshot_ = 0;
+  applied_bytes_ = 0;  // the wal restarts empty
+  if (metrics_ != nullptr) {
+    metrics_->counter("journal.compactions").inc();
+  }
+  PA_LOG(kDebug, "journal") << "compacted " << dir_ << " at seq "
+                            << image_.last_seq();
+}
+
+void Journal::close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  drain_image_locked();
+  writer_->close();
+}
+
+ManagerImage Journal::image() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  drain_image_locked();
+  return image_;
+}
+
+std::uint64_t Journal::records_appended() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_appended_;
+}
+
+}  // namespace pa::journal

@@ -1,0 +1,263 @@
+#include "pa/journal/replayer.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "pa/common/error.h"
+#include "pa/core/state_machine.h"
+
+namespace pa::journal {
+
+namespace {
+
+/// Missing-tolerant field lookup with a typed error for malformed records.
+const std::string* find_field(const Record& record, const std::string& key) {
+  const auto it = record.fields.find(key);
+  return it == record.fields.end() ? nullptr : &it->second;
+}
+
+const std::string& require_field(const Record& record, const std::string& key) {
+  const std::string* v = find_field(record, key);
+  if (v == nullptr) {
+    throw Error(std::string("journal record ") + to_string(record.type) +
+                " for " + record.entity + " lacks field '" + key + "'");
+  }
+  return *v;
+}
+
+std::vector<std::string> indexed_fields(const Record& record,
+                                        const std::string& prefix) {
+  std::vector<std::string> out;
+  for (std::size_t i = 0;; ++i) {
+    const std::string* v =
+        find_field(record, prefix + "." + std::to_string(i));
+    if (v == nullptr) {
+      break;
+    }
+    out.push_back(*v);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string format_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+double parse_double(const std::string& s, const std::string& context) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') {
+    throw Error("journal field " + context + " is not a number: " + s);
+  }
+  return v;
+}
+
+int parse_int(const std::string& s, const std::string& context) {
+  char* end = nullptr;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0') {
+    throw Error("journal field " + context + " is not an integer: " + s);
+  }
+  return static_cast<int>(v);
+}
+
+core::PilotState parse_pilot_state(const std::string& name) {
+  for (const auto s :
+       {core::PilotState::kNew, core::PilotState::kSubmitted,
+        core::PilotState::kActive, core::PilotState::kDone,
+        core::PilotState::kFailed, core::PilotState::kCanceled}) {
+    if (name == core::to_string(s)) {
+      return s;
+    }
+  }
+  throw Error("unknown pilot state in journal: " + name);
+}
+
+core::UnitState parse_unit_state(const std::string& name) {
+  for (const auto s :
+       {core::UnitState::kNew, core::UnitState::kPending,
+        core::UnitState::kStagingIn, core::UnitState::kScheduled,
+        core::UnitState::kRunning, core::UnitState::kDone,
+        core::UnitState::kFailed, core::UnitState::kCanceled}) {
+    if (name == core::to_string(s)) {
+      return s;
+    }
+  }
+  throw Error("unknown unit state in journal: " + name);
+}
+
+core::PilotDescription PilotImage::description() const {
+  core::PilotDescription d;
+  d.resource_url = resource_url;
+  d.nodes = nodes;
+  d.walltime = walltime;
+  d.priority = priority;
+  d.cost_per_core_hour = cost_per_core_hour;
+  d.attributes = Config::parse(attributes);
+  return d;
+}
+
+core::ComputeUnitDescription UnitImage::description() const {
+  core::ComputeUnitDescription d;
+  d.name = name;
+  d.cores = cores;
+  d.duration = duration;
+  d.input_data = input_data;
+  d.output_data = output_data;
+  d.attributes = Config::parse(attributes);
+  return d;
+}
+
+void ManagerImage::apply(const Record& record) {
+  switch (record.type) {
+    case RecordType::kPilotSubmit:
+      apply_pilot_submit(record);
+      break;
+    case RecordType::kPilotState:
+      apply_pilot_state(record);
+      break;
+    case RecordType::kUnitSubmit:
+      apply_unit_submit(record);
+      break;
+    case RecordType::kUnitBind: {
+      const auto it = units_.find(record.entity);
+      if (it == units_.end()) {
+        throw NotFound("journal binds unknown unit " + record.entity);
+      }
+      it->second.pilot_id = require_field(record, "pilot");
+      break;
+    }
+    case RecordType::kUnitState:
+      apply_unit_state(record);
+      break;
+    case RecordType::kUnitRequeue: {
+      const auto it = units_.find(record.entity);
+      if (it == units_.end()) {
+        throw NotFound("journal requeues unknown unit " + record.entity);
+      }
+      UnitImage& unit = it->second;
+      if (core::is_final(unit.state)) {
+        throw InvalidStateError("journal requeues final unit " +
+                                record.entity);
+      }
+      unit.state = core::UnitState::kPending;
+      unit.pilot_id.clear();
+      ++unit.attempts;
+      break;
+    }
+    case RecordType::kDataPlacement:
+      placements_[require_field(record, "site")].insert(record.entity);
+      break;
+    case RecordType::kSnapshotHeader:
+    case RecordType::kSnapshotPilot:
+    case RecordType::kSnapshotUnit:
+      throw InvalidStateError(
+          std::string("snapshot record in wal stream: ") +
+          to_string(record.type));
+  }
+  if (record.seq > last_seq_) {
+    last_seq_ = record.seq;
+  }
+}
+
+void ManagerImage::apply_pilot_submit(const Record& record) {
+  if (pilots_.count(record.entity) > 0) {
+    throw InvalidStateError("journal resubmits pilot " + record.entity);
+  }
+  PilotImage p;
+  p.resource_url = require_field(record, "resource_url");
+  p.nodes = parse_int(require_field(record, "nodes"), "nodes");
+  p.walltime = parse_double(require_field(record, "walltime"), "walltime");
+  p.priority = parse_int(require_field(record, "priority"), "priority");
+  p.cost_per_core_hour = parse_double(
+      require_field(record, "cost_per_core_hour"), "cost_per_core_hour");
+  p.restarts_used =
+      parse_int(require_field(record, "restarts_used"), "restarts_used");
+  if (const std::string* attrs = find_field(record, "attributes")) {
+    p.attributes = *attrs;
+  }
+  pilots_.emplace(record.entity, std::move(p));
+}
+
+void ManagerImage::apply_pilot_state(const Record& record) {
+  const auto it = pilots_.find(record.entity);
+  if (it == pilots_.end()) {
+    throw NotFound("journal transitions unknown pilot " + record.entity);
+  }
+  PilotImage& pilot = it->second;
+  const core::PilotState to = parse_pilot_state(require_field(record, "state"));
+  if (to != pilot.state) {  // self-transitions are no-ops, like the live SM
+    if (!core::detail::pilot_transition_allowed(pilot.state, to)) {
+      throw InvalidStateError(
+          std::string("journal has illegal pilot transition ") +
+          core::to_string(pilot.state) + " -> " + core::to_string(to) +
+          " for " + record.entity);
+    }
+    pilot.state = to;
+  }
+  if (to == core::PilotState::kActive) {
+    if (const std::string* cores = find_field(record, "cores")) {
+      pilot.total_cores = parse_int(*cores, "cores");
+    }
+    if (const std::string* site = find_field(record, "site")) {
+      pilot.site = *site;
+    }
+  }
+}
+
+void ManagerImage::apply_unit_submit(const Record& record) {
+  if (units_.count(record.entity) > 0) {
+    throw InvalidStateError("journal resubmits unit " + record.entity);
+  }
+  UnitImage u;
+  if (const std::string* name = find_field(record, "name")) {
+    u.name = *name;
+  }
+  u.cores = parse_int(require_field(record, "cores"), "cores");
+  u.duration = parse_double(require_field(record, "duration"), "duration");
+  u.input_data = indexed_fields(record, "input");
+  u.output_data = indexed_fields(record, "output");
+  if (const std::string* attrs = find_field(record, "attributes")) {
+    u.attributes = *attrs;
+  }
+  units_.emplace(record.entity, std::move(u));
+}
+
+void ManagerImage::apply_unit_state(const Record& record) {
+  const auto it = units_.find(record.entity);
+  if (it == units_.end()) {
+    throw NotFound("journal transitions unknown unit " + record.entity);
+  }
+  UnitImage& unit = it->second;
+  const core::UnitState to = parse_unit_state(require_field(record, "state"));
+  if (to == unit.state) {
+    return;  // self-transitions are no-ops, like the live SM
+  }
+  if (!core::detail::unit_transition_allowed(unit.state, to)) {
+    throw InvalidStateError(
+        std::string("journal has illegal unit transition ") +
+        core::to_string(unit.state) + " -> " + core::to_string(to) + " for " +
+        record.entity);
+  }
+  unit.state = to;
+  if (core::is_final(to)) {
+    ++unit.terminal_count;
+    unit.pilot_id.clear();
+  }
+}
+
+std::size_t ManagerImage::terminal_units() const {
+  std::size_t n = 0;
+  for (const auto& [id, unit] : units_) {
+    if (core::is_final(unit.state)) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace pa::journal

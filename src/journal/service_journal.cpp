@@ -1,0 +1,96 @@
+#include "pa/journal/service_journal.h"
+
+#include "pa/journal/replayer.h"
+
+namespace pa::journal {
+
+namespace {
+
+Record make_record(RecordType type, std::string entity, double time) {
+  Record r;
+  r.type = type;
+  r.entity = std::move(entity);
+  r.time = time;
+  return r;
+}
+
+}  // namespace
+
+void ServiceJournal::pilot_submitted(const std::string& pilot_id,
+                                     const core::PilotDescription& description,
+                                     int restarts_used, double time) {
+  Record r = make_record(RecordType::kPilotSubmit, pilot_id, time);
+  r.fields["resource_url"] = description.resource_url;
+  r.fields["nodes"] = std::to_string(description.nodes);
+  r.fields["walltime"] = format_double(description.walltime);
+  r.fields["priority"] = std::to_string(description.priority);
+  r.fields["cost_per_core_hour"] =
+      format_double(description.cost_per_core_hour);
+  r.fields["restarts_used"] = std::to_string(restarts_used);
+  const std::string attrs = description.attributes.to_string();
+  if (!attrs.empty()) {
+    r.fields["attributes"] = attrs;
+  }
+  journal_.append(std::move(r));
+}
+
+void ServiceJournal::pilot_state(const std::string& pilot_id,
+                                 core::PilotState to, int total_cores,
+                                 const std::string& site, double time) {
+  Record r = make_record(RecordType::kPilotState, pilot_id, time);
+  r.fields["state"] = core::to_string(to);
+  if (to == core::PilotState::kActive) {
+    r.fields["cores"] = std::to_string(total_cores);
+    r.fields["site"] = site;
+  }
+  journal_.append(std::move(r));
+}
+
+void ServiceJournal::unit_submitted(
+    const std::string& unit_id,
+    const core::ComputeUnitDescription& description, double time) {
+  Record r = make_record(RecordType::kUnitSubmit, unit_id, time);
+  if (!description.name.empty()) {
+    r.fields["name"] = description.name;
+  }
+  r.fields["cores"] = std::to_string(description.cores);
+  r.fields["duration"] = format_double(description.duration);
+  const std::string attrs = description.attributes.to_string();
+  if (!attrs.empty()) {
+    r.fields["attributes"] = attrs;
+  }
+  for (std::size_t i = 0; i < description.input_data.size(); ++i) {
+    r.fields["input." + std::to_string(i)] = description.input_data[i];
+  }
+  for (std::size_t i = 0; i < description.output_data.size(); ++i) {
+    r.fields["output." + std::to_string(i)] = description.output_data[i];
+  }
+  journal_.append(std::move(r));
+}
+
+void ServiceJournal::unit_bound(const std::string& unit_id,
+                                const std::string& pilot_id, double time) {
+  Record r = make_record(RecordType::kUnitBind, unit_id, time);
+  r.fields["pilot"] = pilot_id;
+  journal_.append(std::move(r));
+}
+
+void ServiceJournal::unit_state(const std::string& unit_id,
+                                core::UnitState to, double time) {
+  Record r = make_record(RecordType::kUnitState, unit_id, time);
+  r.fields["state"] = core::to_string(to);
+  journal_.append(std::move(r));
+}
+
+void ServiceJournal::unit_requeued(const std::string& unit_id, double time) {
+  journal_.append(make_record(RecordType::kUnitRequeue, unit_id, time));
+}
+
+void ServiceJournal::data_placed(const std::string& data_unit,
+                                 const std::string& site, double time) {
+  Record r = make_record(RecordType::kDataPlacement, data_unit, time);
+  r.fields["site"] = site;
+  journal_.append(std::move(r));
+}
+
+}  // namespace pa::journal

@@ -1,0 +1,186 @@
+#include "pa/journal/writer.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "pa/common/error.h"
+
+namespace pa::journal {
+
+namespace {
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+}  // namespace
+
+Writer::Writer(std::string path, WriterConfig config, std::uint64_t first_seq)
+    : path_(std::move(path)), config_(config), next_seq_(first_seq),
+      durable_seq_(first_seq - 1) {
+  PA_REQUIRE_ARG(first_seq >= 1, "journal seq numbers start at 1");
+  int flags = O_CREAT | O_WRONLY | O_CLOEXEC;
+  flags |= config_.truncate_existing ? O_TRUNC : O_APPEND;
+  fd_ = ::open(path_.c_str(), flags, 0644);
+  if (fd_ < 0) {
+    throw Error("cannot open journal " + path_ + ": " +
+                std::strerror(errno));
+  }
+  flusher_ = std::thread([this]() { flusher_loop(); });
+}
+
+Writer::~Writer() {
+  try {
+    close();
+  } catch (...) {
+    // Destructor must not throw; close() errors at teardown are moot.
+  }
+}
+
+void Writer::set_metrics(obs::MetricsRegistry* metrics) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  metrics_ = metrics;
+}
+
+std::uint64_t Writer::append(Record record) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (closing_) {
+    throw InvalidStateError("append on closed journal writer " + path_);
+  }
+  record.seq = next_seq_++;
+  const std::uint64_t seq = record.seq;
+  // Hot path: stamp + enqueue only. The flusher encodes the frame, so the
+  // submitting thread never pays serialization or file I/O.
+  const bool flusher_idle = pending_.empty() && !draining_;
+  pending_.push_back(std::move(record));
+  if (metrics_ != nullptr) {
+    metrics_->counter("journal.records").inc();
+  }
+  // The flusher only sleeps when the queue is empty; while it drains (or
+  // has a non-empty queue to re-check) a wakeup is redundant, and eliding
+  // it keeps the futex syscall off the append path.
+  if (flusher_idle || config_.sync == WriterConfig::Sync::kEveryRecord) {
+    work_cv_.notify_one();
+  }
+  if (config_.sync == WriterConfig::Sync::kEveryRecord) {
+    durable_cv_.wait(lock, [&]() { return durable_seq_ >= seq; });
+  }
+  return seq;
+}
+
+void Writer::flush() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const std::uint64_t target = next_seq_ - 1;
+  work_cv_.notify_one();
+  durable_cv_.wait(lock, [&]() { return durable_seq_ >= target; });
+}
+
+void Writer::close() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (closed_) {
+      return;
+    }
+    closing_ = true;
+    work_cv_.notify_one();
+  }
+  if (flusher_.joinable()) {
+    flusher_.join();
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  closed_ = true;
+}
+
+void Writer::truncate_log() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  work_cv_.notify_one();
+  // Wait until the flusher is idle so we never truncate under its write.
+  durable_cv_.wait(lock, [&]() { return pending_.empty() && !draining_; });
+  if (fd_ < 0) {
+    throw InvalidStateError("truncate on closed journal writer " + path_);
+  }
+  PA_CHECK_MSG(::ftruncate(fd_, 0) == 0,
+               "ftruncate failed on " << path_ << ": " << std::strerror(errno));
+  PA_CHECK_MSG(::lseek(fd_, 0, SEEK_SET) >= 0,
+               "lseek failed on " << path_);
+}
+
+std::uint64_t Writer::next_seq() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_seq_;
+}
+
+std::uint64_t Writer::drain_locked(std::unique_lock<std::mutex>& lock) {
+  if (pending_.empty()) {
+    return 0;
+  }
+  std::string batch;
+  std::uint64_t last_seq = 0;
+  std::size_t batch_records = 0;
+  while (!pending_.empty() && batch_records < config_.max_batch_records) {
+    append_frame(batch, pending_.front());
+    last_seq = pending_.front().seq;
+    pending_.pop_front();
+    ++batch_records;
+  }
+  obs::MetricsRegistry* metrics = metrics_;
+  const auto sync = config_.sync;
+  const int fd = fd_;
+
+  draining_ = true;
+  lock.unlock();
+  const auto t0 = std::chrono::steady_clock::now();
+  std::size_t written = 0;
+  while (written < batch.size()) {
+    const ssize_t n =
+        ::write(fd, batch.data() + written, batch.size() - written);
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    PA_CHECK_MSG(n > 0, "journal write failed on " << path_ << ": "
+                                                   << std::strerror(errno));
+    written += static_cast<std::size_t>(n);
+  }
+  if (sync != WriterConfig::Sync::kNone) {
+    PA_CHECK_MSG(::fsync(fd) == 0, "journal fsync failed on "
+                                       << path_ << ": "
+                                       << std::strerror(errno));
+  }
+  if (metrics != nullptr) {
+    metrics->counter("journal.flushes").inc();
+    metrics->counter("journal.flushed_bytes").inc(batch.size());
+    metrics->histogram("journal.flush_seconds", 1e-7, 60.0)
+        .record(seconds_since(t0));
+    metrics->histogram("journal.batch_records", 1.0, 1e6)
+        .record(static_cast<double>(batch_records));
+  }
+  lock.lock();
+  draining_ = false;
+  durable_seq_ = std::max(durable_seq_, last_seq);
+  durable_cv_.notify_all();
+  return last_seq;
+}
+
+void Writer::flusher_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_cv_.wait(lock, [&]() { return closing_ || !pending_.empty(); });
+    if (pending_.empty()) {
+      // closing_ and drained: final state. durable_seq_ already covers
+      // every appended record, so flush()/close() waiters are satisfied.
+      return;
+    }
+    drain_locked(lock);
+  }
+}
+
+}  // namespace pa::journal

@@ -164,5 +164,47 @@ TEST(WorkloadManager, UnitFinishedOnUnboundIsNoOp) {
   SUCCEED();
 }
 
+TEST(WorkloadManager, RequeueBoundRefusesAfterMax) {
+  WorkloadManager wm(make_scheduler("backfill"));
+  wm.set_max_requeues(2);
+  EXPECT_TRUE(wm.requeue_unit_front("u1", unit_desc()));
+  EXPECT_EQ(wm.requeue_count("u1"), 1);
+  EXPECT_TRUE(wm.requeue_unit_front("u1", unit_desc()));
+  EXPECT_EQ(wm.requeue_count("u1"), 2);
+  EXPECT_FALSE(wm.requeue_unit_front("u1", unit_desc()));
+  // Other units keep their own budget.
+  EXPECT_TRUE(wm.requeue_unit_front("u2", unit_desc()));
+}
+
+TEST(WorkloadManager, RequeueCountClearedWhenUnitFinishes) {
+  WorkloadManager wm(make_scheduler("backfill"));
+  wm.set_max_requeues(1);
+  wm.add_pilot("p1", "a", 4, 0, 0.0, 1e9);
+  EXPECT_TRUE(wm.requeue_unit_front("u1", unit_desc()));
+  wm.schedule_pass(0.0, nullptr);  // binds u1 to p1
+  wm.unit_finished("u1");          // terminal: forget the requeue history
+  EXPECT_EQ(wm.requeue_count("u1"), 0);
+  EXPECT_TRUE(wm.requeue_unit_front("u1", unit_desc()));
+}
+
+TEST(WorkloadManager, RequeueCountClearedWhenQueuedUnitRemoved) {
+  WorkloadManager wm(make_scheduler("backfill"));
+  wm.set_max_requeues(1);
+  EXPECT_TRUE(wm.requeue_unit_front("u1", unit_desc()));
+  EXPECT_TRUE(wm.remove_queued_unit("u1"));  // cancellation
+  EXPECT_EQ(wm.requeue_count("u1"), 0);
+}
+
+TEST(WorkloadManager, RequeueUnboundedWhenNegative) {
+  WorkloadManager wm(make_scheduler("backfill"));
+  wm.set_max_requeues(-1);
+  // Well past the default bound: -1 really means unbounded.
+  for (int i = 0; i < WorkloadManager::kDefaultMaxRequeues + 100; ++i) {
+    ASSERT_TRUE(wm.requeue_unit_front("u1", unit_desc()));
+  }
+  EXPECT_EQ(wm.requeue_count("u1"), WorkloadManager::kDefaultMaxRequeues + 100);
+  EXPECT_THROW(wm.set_max_requeues(-2), pa::InvalidArgument);
+}
+
 }  // namespace
 }  // namespace pa::core

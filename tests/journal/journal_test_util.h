@@ -1,0 +1,37 @@
+#pragma once
+/// Shared helpers for the journal test suites: unique scratch directories
+/// under the system temp root, removed on fixture teardown.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace pa::journal::testing {
+
+/// Creates (and owns) a fresh scratch directory.
+class TempDir {
+ public:
+  TempDir() {
+    std::string tmpl = "/tmp/pa_journal_test_XXXXXX";
+    char* made = ::mkdtemp(tmpl.data());
+    EXPECT_NE(made, nullptr);
+    path_ = made != nullptr ? made : "/tmp";
+  }
+  ~TempDir() {
+    // Best-effort recursive removal; scratch paths are short and known.
+    const std::string cmd = "rm -rf '" + path_ + "'";
+    [[maybe_unused]] const int rc = std::system(cmd.c_str());
+  }
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+  std::string file(const std::string& name) const { return path_ + "/" + name; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace pa::journal::testing
