@@ -18,7 +18,7 @@
 #include "pa/saga/session.h"
 
 int main() {
-  using namespace pa;  // NOLINT
+  using namespace pa;  // NOLINT(google-build-using-namespace): example brevity
 
   sim::Engine engine;
   saga::Session session;

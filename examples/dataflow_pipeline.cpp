@@ -81,7 +81,7 @@ int contacts(const Trajectory& t, int frame, double cutoff) {
 }  // namespace
 
 int main() {
-  using namespace pa;  // NOLINT
+  using namespace pa;  // NOLINT(google-build-using-namespace): example brevity
 
   rt::LocalRuntime runtime;
   core::PilotComputeService service(runtime);

@@ -17,7 +17,7 @@
 #include "pa/rt/local_runtime.h"
 
 int main() {
-  using namespace pa;  // NOLINT
+  using namespace pa;  // NOLINT(google-build-using-namespace): example brevity
 
   // --- synthetic sequencing run ---
   constexpr std::size_t kReferenceLength = 50000;

@@ -11,8 +11,8 @@
 #include "pa/rt/local_runtime.h"
 
 int main() {
-  using namespace pa;           // NOLINT
-  using namespace pa::engines;  // NOLINT
+  using namespace pa;           // NOLINT(google-build-using-namespace): example brevity
+  using namespace pa::engines;  // NOLINT(google-build-using-namespace): example brevity
 
   constexpr std::size_t kPoints = 100000;
   constexpr std::size_t kClusters = 6;

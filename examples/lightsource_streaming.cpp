@@ -11,7 +11,7 @@
 #include <iostream>
 #include <memory>
 
-#include <mutex>
+#include "pa/check/mutex.h"
 
 #include "pa/core/pilot_compute_service.h"
 #include "pa/miniapp/workloads.h"
@@ -20,7 +20,7 @@
 #include "pa/stream/windowing.h"
 
 int main() {
-  using namespace pa;  // NOLINT
+  using namespace pa;  // NOLINT(google-build-using-namespace): example brevity
 
   rt::LocalRuntime runtime;
   core::PilotComputeService service(runtime);
@@ -45,7 +45,8 @@ int main() {
   auto peaks_found = std::make_shared<std::atomic<std::uint64_t>>(0);
   // Windowed monitoring state: peak counts per 1-second event-time window
   // (the "global state across batches" of the streaming scenario).
-  auto window_mutex = std::make_shared<std::mutex>();
+  auto window_mutex = std::make_shared<check::Mutex>(
+      check::LockRank::kLeaf, "example::window");
   auto window = std::make_shared<stream::TumblingWindow>(1.0);
   auto closed_windows = std::make_shared<std::vector<stream::WindowResult>>();
 
@@ -63,7 +64,7 @@ int main() {
     const auto r = miniapp::reconstruct_frame(f);
     frames_processed->fetch_add(1);
     peaks_found->fetch_add(static_cast<std::uint64_t>(r.peaks_found));
-    std::lock_guard<std::mutex> lock(*window_mutex);
+    check::MutexLock lock(*window_mutex);
     stream::Message keyed = msg;
     keyed.key = "detector-0";
     for (auto& closed : window->add(keyed,
@@ -96,7 +97,7 @@ int main() {
 
   // Windowed monitoring: per-second peak rates over event time.
   {
-    std::lock_guard<std::mutex> lock(*window_mutex);
+    check::MutexLock lock(*window_mutex);
     for (auto& leftover : window->flush()) {
       closed_windows->push_back(std::move(leftover));
     }

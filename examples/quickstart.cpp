@@ -17,7 +17,7 @@
 #include "pa/saga/session.h"
 
 int main() {
-  using namespace pa;  // NOLINT
+  using namespace pa;  // NOLINT(google-build-using-namespace): example brevity
 
   // --- infrastructure: a 64-node x 16-core simulated cluster ---
   sim::Engine engine;

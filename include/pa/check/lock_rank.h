@@ -1,0 +1,69 @@
+#pragma once
+/// \file lock_rank.h
+/// \brief Static lock ranks: the repo-wide lock hierarchy.
+///
+/// Every `pa::check::Mutex` carries one of these ranks. Debug builds (and
+/// any build with PA_LOCK_RANK_CHECKS=1) maintain a per-thread stack of
+/// held ranks; acquiring a mutex whose rank is not strictly greater than
+/// the top of the stack aborts with both the held stack and the attempted
+/// acquisition printed. This turns *potential* deadlocks (an AB/BA order
+/// inversion that never fires in a given run) into deterministic test
+/// failures.
+///
+/// Rule: locks must be acquired in strictly increasing rank order. The
+/// outermost lock of the system therefore has the lowest rank, leaf locks
+/// (held around a few statements, never while calling out) the highest.
+/// The full hierarchy, with the call chains that force each edge, is
+/// documented in DESIGN.md ("Lock hierarchy"). Summary:
+///
+///   rank  mutex                         forced-below edges
+///   ----  ----------------------------  -----------------------------------
+///   10    PilotComputeService::mutex_   -> runtime, journal, tracer,
+///                                          metrics, log (callbacks under
+///                                          the service lock)
+///   20    LocalRuntime::mutex_          -> thread pool, log
+///   25    GroupCoordinator::mutex_      -> broker (rebalance queries
+///                                          partition_count)
+///   30    Broker::topics_mutex_
+///   32    Broker partition mutex        (peers never nested)
+///   34    Broker topic-stats mutex
+///   40    InMemoryStore shard mutex     (peers never nested)
+///   45    Journal::mutex_               -> writer
+///   50    journal::Writer::mutex_       -> metrics (set_metrics only)
+///   60    ThreadPool::mutex_
+///   70    Tracer::mutex_
+///   72    MetricsRegistry::mutex_       -> histogram (snapshot under
+///                                          registry lock)
+///   75    obs::Histogram::mutex_
+///   90    Log::mutex                    (innermost: logging happens under
+///                                          everything)
+///   95    kLeaf                         ad-hoc locks in tests, benches,
+///                                          engine payload lambdas
+///
+/// Peer locks that share a rank (broker partitions, store shards) are
+/// never held simultaneously by one thread — the validator enforces this
+/// too, because acquiring an equal rank is also an ordering violation.
+
+namespace pa::check {
+
+enum class LockRank : int {
+  kService = 10,
+  kRuntime = 20,
+  kStreamCoordinator = 25,
+  kBrokerTopics = 30,
+  kBrokerPartition = 32,
+  kBrokerStats = 34,
+  kStoreShard = 40,
+  kJournal = 45,
+  kJournalWriter = 50,
+  kThreadPool = 60,
+  kTracer = 70,
+  kMetricsRegistry = 72,
+  kMetricsHistogram = 75,
+  kLog = 90,
+  kLeaf = 95,
+};
+
+constexpr int rank_value(LockRank rank) { return static_cast<int>(rank); }
+
+}  // namespace pa::check

@@ -1,0 +1,178 @@
+#pragma once
+/// \file mutex.h
+/// \brief Capability-annotated synchronization primitives with a runtime
+/// lock-rank validator.
+///
+/// All locking in this repository goes through these wrappers (tools/
+/// lint.py forbids raw `std::mutex`/`std::lock_guard` outside pa::check):
+///
+///  * `Mutex` / `RecursiveMutex` — annotated capabilities, each carrying a
+///    static `LockRank` and a name;
+///  * `MutexLock` / `RecursiveMutexLock` — RAII scoped capabilities;
+///    `MutexLock` additionally supports balanced `unlock()`/`lock()` so a
+///    holder can drop the lock around blocking I/O (journal flusher,
+///    thread-pool task execution);
+///  * `CondVar` — condition variable bound to a `MutexLock`; use explicit
+///    `while (!predicate) cv.wait(lock);` loops, never predicate lambdas
+///    (the analysis cannot see a lambda's guarded reads).
+///
+/// Two independent checkers run over this discipline:
+///  * compile time: `clang++ -Wthread-safety -Werror` proves every
+///    `PA_GUARDED_BY` field is only touched with its mutex held;
+///  * run time: debug builds (or -DPA_LOCK_RANK_CHECKS=1) keep a
+///    per-thread stack of held ranks and abort, printing the attempted
+///    acquisition and the full held stack, on any rank-order inversion —
+///    catching *potential* deadlocks even when the deadlock never fires.
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+#include "pa/check/lock_rank.h"
+#include "pa/check/thread_safety.h"
+
+#ifndef PA_LOCK_RANK_CHECKS
+#ifdef NDEBUG
+#define PA_LOCK_RANK_CHECKS 0
+#else
+#define PA_LOCK_RANK_CHECKS 1
+#endif
+#endif
+
+namespace pa::check {
+
+namespace lock_rank {
+
+/// True when this build validates rank order at runtime.
+bool enabled() noexcept;
+
+/// Number of distinct pa::check locks the calling thread holds (0 when
+/// validation is compiled out). Test/diagnostic hook.
+std::size_t held_depth() noexcept;
+
+/// Validator entry points, called by Mutex/RecursiveMutex/CondVar below.
+/// `reentrant` marks recursive mutexes, whose re-acquisition by the
+/// holding thread is legal and exempt from the rank check.
+void note_acquire(const void* mu, int rank, const char* name,
+                  bool reentrant) noexcept;
+void note_release(const void* mu, const char* name) noexcept;
+/// A CondVar wait releases and reacquires `mu` at its current stack
+/// position; validates that `mu` is the most recently acquired lock and
+/// is not held recursively.
+void note_wait(const void* mu, const char* name) noexcept;
+
+}  // namespace lock_rank
+
+/// Annotated, ranked exclusive mutex.
+class PA_CAPABILITY("mutex") Mutex {
+ public:
+  /// `name` must be a string literal (stored by pointer, printed in rank
+  /// violation reports).
+  explicit Mutex(LockRank rank, const char* name) noexcept
+      : rank_(rank), name_(name) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() PA_ACQUIRE();
+  void unlock() PA_RELEASE();
+
+  LockRank rank() const noexcept { return rank_; }
+  const char* name() const noexcept { return name_; }
+
+ private:
+  friend class CondVar;
+
+  std::mutex mu_;
+  const LockRank rank_;
+  const char* const name_;
+};
+
+/// Annotated, ranked recursive mutex. Re-acquisition by the holding
+/// thread is legal; the first acquisition obeys the rank order.
+class PA_CAPABILITY("recursive_mutex") RecursiveMutex {
+ public:
+  explicit RecursiveMutex(LockRank rank, const char* name) noexcept
+      : rank_(rank), name_(name) {}
+
+  RecursiveMutex(const RecursiveMutex&) = delete;
+  RecursiveMutex& operator=(const RecursiveMutex&) = delete;
+
+  void lock() PA_ACQUIRE();
+  void unlock() PA_RELEASE();
+
+  LockRank rank() const noexcept { return rank_; }
+  const char* name() const noexcept { return name_; }
+
+ private:
+  std::recursive_mutex mu_;
+  const LockRank rank_;
+  const char* const name_;
+};
+
+/// RAII scoped capability over `Mutex`. Must hold the mutex when it is
+/// destroyed: `unlock()`/`lock()` exist for *balanced* drop-and-reacquire
+/// around blocking sections, and the destructor aborts if the guard was
+/// left unlocked (clang flags the same misuse statically).
+class PA_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) PA_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() PA_RELEASE();
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Temporarily drops the lock (e.g. around file I/O); pair with lock().
+  void unlock() PA_RELEASE();
+  /// Reacquires after unlock().
+  void lock() PA_ACQUIRE();
+
+ private:
+  friend class CondVar;
+
+  Mutex& mu_;
+  bool held_ = true;
+};
+
+/// RAII scoped capability over `RecursiveMutex`.
+class PA_SCOPED_CAPABILITY RecursiveMutexLock {
+ public:
+  explicit RecursiveMutexLock(RecursiveMutex& mu) PA_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~RecursiveMutexLock() PA_RELEASE() { mu_.unlock(); }
+
+  RecursiveMutexLock(const RecursiveMutexLock&) = delete;
+  RecursiveMutexLock& operator=(const RecursiveMutexLock&) = delete;
+
+ private:
+  RecursiveMutex& mu_;
+};
+
+/// Condition variable bound to `Mutex` via a live `MutexLock`.
+///
+/// Usage (the explicit loop keeps the guarded predicate reads visible to
+/// the static analysis):
+///
+///     MutexLock lock(mutex_);
+///     while (!ready_) {
+///       cv_.wait(lock);
+///     }
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `lock`'s mutex, blocks, reacquires before
+  /// returning. The caller must re-test its predicate (spurious wakeups).
+  void wait(MutexLock& lock);
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace pa::check

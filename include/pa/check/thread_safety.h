@@ -1,0 +1,83 @@
+#pragma once
+/// \file thread_safety.h
+/// \brief Clang thread-safety-analysis annotation macros.
+///
+/// These wrap Clang's capability attributes
+/// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) so the locking
+/// discipline of every multithreaded component is verified at compile
+/// time with `clang++ -Wthread-safety -Werror` (the `thread-safety` CI
+/// job). Under compilers without the attribute (GCC, MSVC) every macro
+/// expands to nothing, so the annotations are free documentation there.
+///
+/// Conventions used across the tree:
+///  * shared mutable fields carry `PA_GUARDED_BY(mutex_)`;
+///  * private `*_locked` helpers carry `PA_REQUIRES(mutex_)`;
+///  * callbacks that are *invoked* with a lock already held (observer
+///    lambdas, state-machine observers) carry
+///    `PA_NO_THREAD_SAFETY_ANALYSIS` plus a justification comment,
+///    because the analysis is function-local and cannot see the caller's
+///    lock.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define PA_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef PA_THREAD_ANNOTATION
+#define PA_THREAD_ANNOTATION(x)  // not supported by this compiler
+#endif
+
+/// Marks a type as a capability (a lock). `x` names the capability kind in
+/// diagnostics, e.g. PA_CAPABILITY("mutex").
+#define PA_CAPABILITY(x) PA_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases a
+/// capability (pa::check::MutexLock).
+#define PA_SCOPED_CAPABILITY PA_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field may only be accessed while holding capability `x`.
+#define PA_GUARDED_BY(x) PA_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field whose *pointee* may only be accessed while holding `x`.
+#define PA_PT_GUARDED_BY(x) PA_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the listed capabilities held on entry (and does not
+/// release them).
+#define PA_REQUIRES(...) \
+  PA_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define PA_REQUIRES_SHARED(...) \
+  PA_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it on return.
+#define PA_ACQUIRE(...) \
+  PA_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define PA_ACQUIRE_SHARED(...) \
+  PA_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (must be held on entry).
+#define PA_RELEASE(...) \
+  PA_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define PA_RELEASE_SHARED(...) \
+  PA_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `b`.
+#define PA_TRY_ACQUIRE(...) \
+  PA_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the listed capabilities (deadlock guard for
+/// public entry points of non-recursive components).
+#define PA_EXCLUDES(...) PA_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the capability `x` (Log::mutex()).
+#define PA_RETURN_CAPABILITY(x) PA_THREAD_ANNOTATION(lock_returned(x))
+
+/// Declares (without runtime effect) that the capability is held; used on
+/// assertion helpers.
+#define PA_ASSERT_CAPABILITY(x) \
+  PA_THREAD_ANNOTATION(assert_capability(x))
+
+/// Opts a function out of the analysis. Every use must carry a comment
+/// explaining which lock the caller is known to hold — tools/lint.py
+/// enforces the comment.
+#define PA_NO_THREAD_SAFETY_ANALYSIS \
+  PA_THREAD_ANNOTATION(no_thread_safety_analysis)

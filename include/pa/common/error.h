@@ -50,6 +50,12 @@ class TimeoutError : public Error {
   explicit TimeoutError(const std::string& what) : Error(what) {}
 };
 
+/// Thread-safe strerror: formats an errno value as a string. std::strerror
+/// may return a shared internal buffer (clang-tidy: concurrency-mt-unsafe),
+/// so error paths that can race — journal flusher vs. foreground close,
+/// pool workers — must use this instead.
+std::string errno_message(int err);
+
 namespace detail {
 [[noreturn]] void assertion_failed(const char* expr, const char* file, int line,
                                    const std::string& msg);
@@ -72,7 +78,8 @@ namespace detail {
   do {                                                                     \
     if (!(expr)) {                                                         \
       std::ostringstream pa_check_oss_;                                    \
-      pa_check_oss_ << msg; /* NOLINT */                                   \
+      /* NOLINT: msg expands to a caller stream expression */               \
+      pa_check_oss_ << msg;                                   \
       ::pa::detail::assertion_failed(#expr, __FILE__, __LINE__,            \
                                      pa_check_oss_.str());                 \
     }                                                                      \
@@ -83,7 +90,8 @@ namespace detail {
   do {                                                                     \
     if (!(expr)) {                                                         \
       std::ostringstream pa_req_oss_;                                      \
-      pa_req_oss_ << msg; /* NOLINT */                                     \
+      /* NOLINT: msg expands to a caller stream expression */               \
+      pa_req_oss_ << msg;                                     \
       throw ::pa::InvalidArgument(pa_req_oss_.str());                      \
     }                                                                      \
   } while (false)

@@ -3,9 +3,10 @@
 /// \brief Minimal leveled logger. Thread-safe, no allocation on disabled
 /// levels, and silent by default at Debug level so tests stay readable.
 
-#include <mutex>
 #include <sstream>
 #include <string>
+
+#include "pa/check/mutex.h"
 
 namespace pa {
 
@@ -26,7 +27,9 @@ class Log {
                     const std::string& message);
 
  private:
-  static std::mutex& mutex();
+  /// Innermost lock of the hierarchy (LockRank::kLog): components log
+  /// while holding their own locks, so the sink must nest below all.
+  static check::Mutex& mutex();
 };
 
 namespace detail {

@@ -3,15 +3,14 @@
 /// \brief Fixed-size worker pool with futures, used by the LocalRuntime's
 /// pilot agents to execute real compute-unit payloads.
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "pa/check/mutex.h"
 #include "pa/common/error.h"
 
 namespace pa {
@@ -38,37 +37,38 @@ class ThreadPool {
   }
 
   /// Enqueues fire-and-forget work.
-  void enqueue(std::function<void()> fn);
+  void enqueue(std::function<void()> fn) PA_EXCLUDES(mutex_);
 
   /// Blocks until the queue is empty and all workers are idle. Returns
   /// immediately (never hangs) when called after shutdown()/shutdown_now():
   /// the queue is then drained or discarded and no worker is active.
-  void wait_idle();
+  void wait_idle() PA_EXCLUDES(mutex_);
 
   /// Stops accepting work; drains the queue, then joins workers.
   /// Idempotent: repeated calls return immediately (a concurrent second
   /// caller may return before the first finishes joining).
-  void shutdown();
+  void shutdown() PA_EXCLUDES(mutex_);
 
   /// Stops accepting work; discards queued tasks, joins workers after the
   /// currently running tasks complete.
-  void shutdown_now();
+  void shutdown_now() PA_EXCLUDES(mutex_);
 
+  /// `workers_` is immutable after construction; no lock needed.
   std::size_t size() const { return workers_.size(); }
   /// Number of tasks waiting in the queue (diagnostic; racy by nature).
-  std::size_t queued() const;
+  std::size_t queued() const PA_EXCLUDES(mutex_);
 
  private:
-  void worker_loop();
+  void worker_loop() PA_EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::condition_variable idle_cv_;
-  std::deque<std::function<void()>> queue_;
+  mutable check::Mutex mutex_{check::LockRank::kThreadPool, "ThreadPool"};
+  check::CondVar cv_;
+  check::CondVar idle_cv_;
+  std::deque<std::function<void()>> queue_ PA_GUARDED_BY(mutex_);
   std::vector<std::thread> workers_;
-  std::size_t active_ = 0;
-  bool accepting_ = true;
-  bool stop_ = false;
+  std::size_t active_ PA_GUARDED_BY(mutex_) = 0;
+  bool accepting_ PA_GUARDED_BY(mutex_) = true;
+  bool stop_ PA_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace pa

@@ -15,10 +15,10 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "pa/check/mutex.h"
 #include "pa/common/id.h"
 #include "pa/common/stats.h"
 #include "pa/core/journal_hook.h"
@@ -213,41 +213,51 @@ class PilotComputeService {
   };
 
   void on_pilot_active(const std::string& pilot_id, int total_cores,
-                       const std::string& site);
-  void on_pilot_terminated(const std::string& pilot_id, PilotState state);
-  void on_unit_done(const std::string& unit_id, bool success, int attempt);
-  void schedule_pass_locked();
+                       const std::string& site) PA_EXCLUDES(mutex_);
+  void on_pilot_terminated(const std::string& pilot_id, PilotState state)
+      PA_EXCLUDES(mutex_);
+  void on_unit_done(const std::string& unit_id, bool success, int attempt)
+      PA_EXCLUDES(mutex_);
+  void schedule_pass_locked() PA_REQUIRES(mutex_);
   void dispatch_unit_locked(const std::string& unit_id,
-                            const std::string& pilot_id);
-  void execute_unit_locked(const std::string& unit_id);
+                            const std::string& pilot_id) PA_REQUIRES(mutex_);
+  void execute_unit_locked(const std::string& unit_id) PA_REQUIRES(mutex_);
   void finalize_unit_locked(UnitRecord& unit, const std::string& unit_id,
-                            UnitState final_state);
+                            UnitState final_state) PA_REQUIRES(mutex_);
 
-  PilotRecord& pilot_record(const std::string& pilot_id);
-  const PilotRecord& pilot_record(const std::string& pilot_id) const;
-  UnitRecord& unit_record(const std::string& unit_id);
-  const UnitRecord& unit_record(const std::string& unit_id) const;
+  PilotRecord& pilot_record(const std::string& pilot_id) PA_REQUIRES(mutex_);
+  const PilotRecord& pilot_record(const std::string& pilot_id) const
+      PA_REQUIRES(mutex_);
+  UnitRecord& unit_record(const std::string& unit_id) PA_REQUIRES(mutex_);
+  const UnitRecord& unit_record(const std::string& unit_id) const
+      PA_REQUIRES(mutex_);
 
   Pilot submit_pilot_locked(const PilotDescription& description,
-                            int restarts_used);
+                            int restarts_used) PA_REQUIRES(mutex_);
 
   Runtime& runtime_;
-  mutable std::recursive_mutex mutex_;
-  WorkloadManager workload_;
-  DataServiceInterface* data_ = nullptr;
-  obs::Tracer* tracer_ = nullptr;
-  obs::MetricsRegistry* obs_metrics_ = nullptr;
-  JournalSink* journal_ = nullptr;
-  bool requeue_on_pilot_failure_ = true;
-  int pilot_max_restarts_ = 0;
-  bool shut_down_ = false;
-  std::vector<UnitObserver> unit_observers_;
+  /// Recursive, and deliberately without PA_EXCLUDES on the public
+  /// methods: submit_units calls submit_unit under the lock, and a
+  /// synchronously-satisfiable stage-in completes (and re-enters the
+  /// service) within the caller's frame. Outermost rank of the hierarchy
+  /// (LockRank::kService).
+  mutable check::RecursiveMutex mutex_{check::LockRank::kService,
+                                       "core::PilotComputeService"};
+  WorkloadManager workload_ PA_GUARDED_BY(mutex_);
+  DataServiceInterface* data_ PA_GUARDED_BY(mutex_) = nullptr;
+  obs::Tracer* tracer_ PA_GUARDED_BY(mutex_) = nullptr;
+  obs::MetricsRegistry* obs_metrics_ PA_GUARDED_BY(mutex_) = nullptr;
+  JournalSink* journal_ PA_GUARDED_BY(mutex_) = nullptr;
+  bool requeue_on_pilot_failure_ PA_GUARDED_BY(mutex_) = true;
+  int pilot_max_restarts_ PA_GUARDED_BY(mutex_) = 0;
+  bool shut_down_ PA_GUARDED_BY(mutex_) = false;
+  std::vector<UnitObserver> unit_observers_ PA_GUARDED_BY(mutex_);
 
-  pa::IdGenerator pilot_ids_{"pilot"};
-  pa::IdGenerator unit_ids_{"unit"};
-  std::map<std::string, PilotRecord> pilots_;
-  std::map<std::string, UnitRecord> units_;
-  ServiceMetrics metrics_;
+  pa::IdGenerator pilot_ids_ PA_GUARDED_BY(mutex_){"pilot"};
+  pa::IdGenerator unit_ids_ PA_GUARDED_BY(mutex_){"unit"};
+  std::map<std::string, PilotRecord> pilots_ PA_GUARDED_BY(mutex_);
+  std::map<std::string, UnitRecord> units_ PA_GUARDED_BY(mutex_);
+  ServiceMetrics metrics_ PA_GUARDED_BY(mutex_);
 };
 
 }  // namespace pa::core

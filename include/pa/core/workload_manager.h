@@ -6,6 +6,11 @@
 /// Pure bookkeeping, no runtime dependencies — the facade drives it and a
 /// test can drive it by hand. Capacity accounting lives here so the
 /// "never oversubscribe" invariant has a single owner.
+///
+/// Thread-safety: none of its own. The manager is externally synchronized
+/// — it is a PA_GUARDED_BY member of PilotComputeService, touched only
+/// under the service lock (LockRank::kService); standalone tests drive it
+/// single-threaded.
 
 #include <deque>
 #include <map>

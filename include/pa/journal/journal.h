@@ -24,9 +24,9 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "pa/check/mutex.h"
 #include "pa/journal/replayer.h"
 #include "pa/journal/snapshot.h"
 #include "pa/journal/writer.h"
@@ -55,47 +55,50 @@ class Journal {
   /// Appends `record` to the wal; returns its sequence number. Triggers
   /// compaction when configured. Image application (and its transition
   /// validation) happens at the next drain, by wal readback.
-  std::uint64_t append(Record record);
+  std::uint64_t append(Record record) PA_EXCLUDES(mutex_);
 
   /// Blocks until all appended records are durable.
-  void flush();
+  void flush() PA_EXCLUDES(mutex_);
 
   /// Writes a snapshot of the current image and empties the wal.
-  void compact();
+  void compact() PA_EXCLUDES(mutex_);
 
   /// Flushes and closes the wal writer. Idempotent.
-  void close();
+  void close() PA_EXCLUDES(mutex_);
 
   /// Copy of the materialized state (consistent snapshot).
-  ManagerImage image() const;
+  ManagerImage image() const PA_EXCLUDES(mutex_);
 
   const std::string& dir() const { return dir_; }
-  std::uint64_t records_appended() const;
+  std::uint64_t records_appended() const PA_EXCLUDES(mutex_);
 
   /// Forwards to the writer ("journal.*" metrics) and counts
   /// "journal.compactions". Registry must outlive the attachment.
-  void set_metrics(obs::MetricsRegistry* metrics);
+  void set_metrics(obs::MetricsRegistry* metrics) PA_EXCLUDES(mutex_);
 
   static std::string wal_path(const std::string& dir);
   static std::string snapshot_path(const std::string& dir);
 
  private:
-  void compact_locked();
+  void compact_locked() PA_REQUIRES(mutex_);
   /// Replays the wal tail appended since the last drain into the image
   /// (mutex_ held; flushes the writer first). Const because the
   /// lazily-materialized image is logically unchanged by draining.
-  void drain_image_locked() const;
+  void drain_image_locked() const PA_REQUIRES(mutex_);
 
   const std::string dir_;
   const JournalConfig config_;
-  mutable std::mutex mutex_;
-  mutable ManagerImage image_;
-  mutable std::uint64_t applied_bytes_ = 0;    ///< wal prefix in the image
-  mutable std::uint64_t applied_records_ = 0;  ///< records in the image
-  std::unique_ptr<Writer> writer_;
-  std::size_t records_since_snapshot_ = 0;
-  std::uint64_t records_appended_ = 0;
-  obs::MetricsRegistry* metrics_ = nullptr;
+  /// LockRank::kJournal nests over the writer's kJournalWriter lock —
+  /// append/flush/drain call into `writer_` while holding `mutex_`.
+  mutable check::Mutex mutex_{check::LockRank::kJournal, "journal::Journal"};
+  mutable ManagerImage image_ PA_GUARDED_BY(mutex_);
+  /// Wal prefix already materialized in the image.
+  mutable std::uint64_t applied_bytes_ PA_GUARDED_BY(mutex_) = 0;
+  mutable std::uint64_t applied_records_ PA_GUARDED_BY(mutex_) = 0;
+  std::unique_ptr<Writer> writer_;  ///< set in ctor, immutable after
+  std::size_t records_since_snapshot_ PA_GUARDED_BY(mutex_) = 0;
+  std::uint64_t records_appended_ PA_GUARDED_BY(mutex_) = 0;
+  obs::MetricsRegistry* metrics_ PA_GUARDED_BY(mutex_) = nullptr;
 };
 
 }  // namespace pa::journal

@@ -12,13 +12,12 @@
 /// ending in a torn frame if the process died mid-write — which the reader
 /// detects and the recovery coordinator truncates.
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <thread>
 
+#include "pa/check/mutex.h"
 #include "pa/journal/record.h"
 #include "pa/obs/metrics.h"
 
@@ -54,50 +53,70 @@ class Writer {
 
   /// Stamps `record.seq`, enqueues the record and returns the seq.
   /// In kEveryRecord mode, blocks until the record is durable.
-  std::uint64_t append(Record record);
+  std::uint64_t append(Record record) PA_EXCLUDES(mutex_);
 
   /// Blocks until every previously appended record is written (and, in
   /// syncing modes, fsynced).
-  void flush();
+  void flush() PA_EXCLUDES(mutex_);
 
-  /// Flushes, stops the flusher thread and closes the file. Idempotent.
-  void close();
+  /// Flushes, stops the flusher thread and closes the file. Idempotent;
+  /// a concurrent second caller may return before the first finishes
+  /// joining the flusher (same contract as ThreadPool::shutdown).
+  void close() PA_EXCLUDES(mutex_);
 
   /// Empties the log file (after a snapshot made its contents redundant).
   /// Pending records are flushed first; the seq counter keeps advancing.
-  void truncate_log();
+  void truncate_log() PA_EXCLUDES(mutex_);
 
-  std::uint64_t next_seq() const;
+  std::uint64_t next_seq() const PA_EXCLUDES(mutex_);
   const std::string& path() const { return path_; }
 
   /// Exports "journal.records", "journal.flushes", "journal.flushed_bytes"
   /// counters and "journal.flush_seconds" / "journal.batch_records"
   /// histograms. Pass nullptr to detach; registry must outlive attachment.
-  void set_metrics(obs::MetricsRegistry* metrics);
+  /// Instrument handles are resolved once here (registry handles are
+  /// stable for its lifetime), so the append/flush hot paths never take
+  /// the registry lock.
+  void set_metrics(obs::MetricsRegistry* metrics) PA_EXCLUDES(mutex_);
 
  private:
-  void flusher_loop();
-  /// Drains up to max_batch_records pending frames; returns highest seq
-  /// written, 0 if nothing was pending. Called with `mutex_` held; drops
-  /// the lock around file I/O.
-  std::uint64_t drain_locked(std::unique_lock<std::mutex>& lock);
+  /// Pre-resolved instrument handles (null when detached).
+  struct MetricsHandles {
+    obs::Counter* records = nullptr;
+    obs::Counter* flushes = nullptr;
+    obs::Counter* flushed_bytes = nullptr;
+    obs::Histogram* flush_seconds = nullptr;
+    obs::Histogram* batch_records = nullptr;
+  };
+
+  void flusher_loop() PA_EXCLUDES(mutex_);
+  /// Pops and encodes up to max_batch_records pending frames into one
+  /// contiguous byte batch. Outputs the highest seq popped and the record
+  /// count.
+  std::string encode_batch(std::uint64_t& last_seq,
+                           std::size_t& batch_records) PA_REQUIRES(mutex_);
+  /// Writes (and, per config, fsyncs) one encoded batch. Runs with the
+  /// lock dropped — `fd` is passed by value and the handles are stable.
+  void write_batch(int fd, const std::string& batch,
+                   std::size_t batch_records, MetricsHandles handles);
 
   const std::string path_;
   const WriterConfig config_;
-  int fd_ = -1;
 
-  mutable std::mutex mutex_;
-  std::condition_variable work_cv_;     ///< flusher wakeups
-  std::condition_variable durable_cv_;  ///< flush()/append() waiters
-  std::deque<Record> pending_;  ///< seq-stamped; encoded by the flusher
-  std::uint64_t next_seq_ = 1;
-  std::uint64_t durable_seq_ = 0;  ///< highest seq written (+synced);
-                                   ///< starts at first_seq - 1
-  bool draining_ = false;          ///< flusher is mid write/fsync
-  bool closing_ = false;
-  bool closed_ = false;
+  mutable check::Mutex mutex_{check::LockRank::kJournalWriter,
+                              "journal::Writer"};
+  check::CondVar work_cv_;     ///< flusher wakeups
+  check::CondVar durable_cv_;  ///< flush()/append() waiters
+  int fd_ PA_GUARDED_BY(mutex_) = -1;
+  std::deque<Record> pending_ PA_GUARDED_BY(mutex_);  ///< seq-stamped
+  std::uint64_t next_seq_ PA_GUARDED_BY(mutex_) = 1;
+  /// Highest seq written (+synced); starts at first_seq - 1.
+  std::uint64_t durable_seq_ PA_GUARDED_BY(mutex_) = 0;
+  bool draining_ PA_GUARDED_BY(mutex_) = false;  ///< flusher mid write/fsync
+  bool closing_ PA_GUARDED_BY(mutex_) = false;
+  bool closed_ PA_GUARDED_BY(mutex_) = false;
+  MetricsHandles metrics_ PA_GUARDED_BY(mutex_);
 
-  obs::MetricsRegistry* metrics_ = nullptr;
   std::thread flusher_;
 };
 

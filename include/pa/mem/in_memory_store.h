@@ -16,11 +16,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "pa/check/mutex.h"
 #include "pa/common/error.h"
 
 namespace pa::mem {
@@ -109,8 +109,9 @@ class InMemoryStore {
   };
 
   struct Shard {
-    mutable std::mutex mutex;
-    std::map<std::string, Entry> entries;
+    mutable check::Mutex mutex{check::LockRank::kStoreShard,
+                               "mem::InMemoryStore::Shard"};
+    std::map<std::string, Entry> entries PA_GUARDED_BY(mutex);
   };
 
   Shard& shard_for(const std::string& key);

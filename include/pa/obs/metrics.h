@@ -17,10 +17,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "pa/check/mutex.h"
 #include "pa/common/histogram.h"
 
 namespace pa::obs {
@@ -63,22 +63,23 @@ class Histogram {
       : hist_(min_value, max_value) {}
 
   void record(double value) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    check::MutexLock lock(mutex_);
     hist_.record(value);
   }
   void record_n(double value, std::uint64_t count) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    check::MutexLock lock(mutex_);
     hist_.record_n(value, count);
   }
   /// Consistent copy for readers/exporters.
   LatencyHistogram snapshot() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    check::MutexLock lock(mutex_);
     return hist_;
   }
 
  private:
-  mutable std::mutex mutex_;
-  LatencyHistogram hist_;
+  mutable check::Mutex mutex_{check::LockRank::kMetricsHistogram,
+                              "obs::Histogram"};
+  LatencyHistogram hist_ PA_GUARDED_BY(mutex_);
 };
 
 /// Named instrument registry. Lookup is mutex-guarded; the returned
@@ -104,10 +105,14 @@ class MetricsRegistry {
   std::vector<std::pair<std::string, LatencyHistogram>> histograms() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable check::Mutex mutex_{check::LockRank::kMetricsRegistry,
+                              "obs::MetricsRegistry"};
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      PA_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      PA_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      PA_GUARDED_BY(mutex_);
 };
 
 }  // namespace pa::obs

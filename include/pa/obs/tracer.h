@@ -15,10 +15,10 @@
 /// cannot grow without limit — overflow is counted, never silent.
 
 #include <cstddef>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "pa/check/mutex.h"
 #include "pa/obs/clock.h"
 
 namespace pa::obs {
@@ -83,10 +83,10 @@ class Tracer {
  private:
   const Clock& clock_;
   const std::size_t max_records_;
-  mutable std::mutex mutex_;
-  std::vector<Span> spans_;
-  std::vector<Event> events_;
-  std::size_t dropped_ = 0;
+  mutable check::Mutex mutex_{check::LockRank::kTracer, "obs::Tracer"};
+  std::vector<Span> spans_ PA_GUARDED_BY(mutex_);
+  std::vector<Event> events_ PA_GUARDED_BY(mutex_);
+  std::size_t dropped_ PA_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace pa::obs

@@ -10,13 +10,12 @@
 /// code paths compute real results (DESIGN.md).
 
 #include <atomic>
-#include <condition_variable>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "pa/check/mutex.h"
 #include "pa/common/thread_pool.h"
 #include "pa/core/runtime.h"
 
@@ -59,11 +58,14 @@ class LocalRuntime : public core::Runtime {
 
   LocalRuntimeConfig config_;
   double epoch_;
-  mutable std::mutex mutex_;
-  std::map<std::string, std::shared_ptr<PilotEntry>> pilots_;
+  /// LockRank::kRuntime: held only around the pilot map, never across
+  /// pool joins or unit payloads.
+  mutable check::Mutex mutex_{check::LockRank::kRuntime, "rt::LocalRuntime"};
+  std::map<std::string, std::shared_ptr<PilotEntry>> pilots_
+      PA_GUARDED_BY(mutex_);
   /// Pools of cancelled pilots are drained and destroyed lazily here to
   /// avoid joining worker threads while callers hold external locks.
-  std::vector<std::shared_ptr<PilotEntry>> graveyard_;
+  std::vector<std::shared_ptr<PilotEntry>> graveyard_ PA_GUARDED_BY(mutex_);
 };
 
 }  // namespace pa::rt

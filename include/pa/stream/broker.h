@@ -18,10 +18,10 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "pa/check/mutex.h"
 #include "pa/common/error.h"
 #include "pa/obs/metrics.h"
 
@@ -94,25 +94,34 @@ class Broker {
 
  private:
   struct Partition {
-    mutable std::mutex mutex;
-    std::deque<Message> log;
-    std::uint64_t base_offset = 0;  ///< offset of log.front()
+    mutable check::Mutex mutex{check::LockRank::kBrokerPartition,
+                               "stream::Broker::Partition"};
+    std::deque<Message> log PA_GUARDED_BY(mutex);
+    std::uint64_t base_offset PA_GUARDED_BY(mutex) = 0;  ///< log.front()
   };
 
   struct Topic {
+    /// Immutable after create_topic() publishes the Topic — safe to walk
+    /// without topics_mutex_.
     std::vector<std::unique_ptr<Partition>> partitions;
-    mutable std::mutex stats_mutex;
-    TopicStats stats;
+    mutable check::Mutex stats_mutex{check::LockRank::kBrokerStats,
+                                     "stream::Broker::Topic::stats"};
+    TopicStats stats PA_GUARDED_BY(stats_mutex);
     std::atomic<std::uint64_t> rr_cursor{0};
   };
 
-  const Topic& topic_ref(const std::string& topic) const;
-  Topic& topic_ref(const std::string& topic);
+  /// Returns a reference that outlives the internal lookup lock: topics
+  /// are never erased, so Topic objects live as long as the broker.
+  const Topic& topic_ref(const std::string& topic) const
+      PA_EXCLUDES(topics_mutex_);
+  Topic& topic_ref(const std::string& topic) PA_EXCLUDES(topics_mutex_);
   static Partition& partition_ref(Topic& t, int partition);
   static const Partition& partition_ref(const Topic& t, int partition);
 
-  mutable std::mutex topics_mutex_;
-  std::map<std::string, std::unique_ptr<Topic>> topics_;
+  mutable check::Mutex topics_mutex_{check::LockRank::kBrokerTopics,
+                                     "stream::Broker::topics"};
+  std::map<std::string, std::unique_ptr<Topic>> topics_
+      PA_GUARDED_BY(topics_mutex_);
   std::atomic<obs::MetricsRegistry*> metrics_{nullptr};
 };
 

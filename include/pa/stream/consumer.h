@@ -11,11 +11,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "pa/check/mutex.h"
 #include "pa/stream/broker.h"
 
 namespace pa::stream {
@@ -23,33 +23,54 @@ namespace pa::stream {
 /// Tracks group membership, assignments, and committed offsets.
 class GroupCoordinator {
  public:
+  /// One member's coherent view of its group, taken under a single lock:
+  /// the generation, the partitions assigned to the member in that
+  /// generation, and the committed offset of each assigned partition.
+  struct MemberView {
+    std::uint64_t generation = 0;
+    std::vector<int> partitions;
+    std::map<int, std::uint64_t> committed;  ///< keyed by partition
+  };
+
   explicit GroupCoordinator(Broker& broker) : broker_(broker) {}
 
   /// Adds a member; triggers a rebalance (generation bump).
   void join(const std::string& topic, const std::string& group,
-            const std::string& member_id);
+            const std::string& member_id) PA_EXCLUDES(mutex_);
   /// Removes a member; triggers a rebalance.
   void leave(const std::string& topic, const std::string& group,
-             const std::string& member_id);
+             const std::string& member_id) PA_EXCLUDES(mutex_);
 
   /// Current generation of the group (changes on every rebalance).
   std::uint64_t generation(const std::string& topic,
-                           const std::string& group) const;
+                           const std::string& group) const
+      PA_EXCLUDES(mutex_);
 
   /// Partitions assigned to `member_id` in the current generation.
   std::vector<int> assignment(const std::string& topic,
                               const std::string& group,
-                              const std::string& member_id) const;
+                              const std::string& member_id) const
+      PA_EXCLUDES(mutex_);
+
+  /// Atomic generation + assignment + committed-offsets snapshot for one
+  /// member. Consumers must use this (not generation()/assignment()
+  /// separately) when refreshing: reading the pieces under different lock
+  /// acquisitions can pair generation N with the assignment of N+1 when a
+  /// rebalance lands between the calls.
+  MemberView member_view(const std::string& topic, const std::string& group,
+                         const std::string& member_id) const
+      PA_EXCLUDES(mutex_);
 
   /// Committed offset for a partition (0 if never committed).
   std::uint64_t committed(const std::string& topic, const std::string& group,
-                          int partition) const;
+                          int partition) const PA_EXCLUDES(mutex_);
   void commit(const std::string& topic, const std::string& group,
-              int partition, std::uint64_t offset);
+              int partition, std::uint64_t offset) PA_EXCLUDES(mutex_);
 
   /// Messages remaining for the group across all partitions of the topic
   /// (end offsets minus committed offsets).
-  std::uint64_t lag(const std::string& topic, const std::string& group) const;
+  std::uint64_t lag(const std::string& topic, const std::string& group) const
+      PA_EXCLUDES(mutex_);
 
  private:
   struct Group {
@@ -61,13 +82,17 @@ class GroupCoordinator {
 
   using GroupKey = std::pair<std::string, std::string>;
 
-  void rebalance(const std::string& topic, Group& group);
+  /// Recomputes assignments; calls the broker (kBrokerTopics nests below
+  /// kStreamCoordinator) for the partition count.
+  void rebalance(const std::string& topic, Group& group)
+      PA_REQUIRES(mutex_);
   const Group* find_group(const std::string& topic,
-                          const std::string& group) const;
+                          const std::string& group) const PA_REQUIRES(mutex_);
 
   Broker& broker_;
-  mutable std::mutex mutex_;
-  std::map<GroupKey, Group> groups_;
+  mutable check::Mutex mutex_{check::LockRank::kStreamCoordinator,
+                              "stream::GroupCoordinator"};
+  std::map<GroupKey, Group> groups_ PA_GUARDED_BY(mutex_);
 };
 
 /// A group member pulling messages from its assigned partitions.

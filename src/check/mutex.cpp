@@ -1,0 +1,178 @@
+#include "pa/check/mutex.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace pa::check {
+
+namespace lock_rank {
+
+#if PA_LOCK_RANK_CHECKS
+
+namespace {
+
+/// One held lock. `count` > 1 only for recursive mutexes.
+struct Held {
+  const void* mu;
+  int rank;
+  const char* name;
+  int count;
+};
+
+/// Per-thread stack of held locks, in acquisition order. A fresh thread
+/// starts empty by construction, which is the "ranks reset across
+/// threads" guarantee.
+thread_local std::vector<Held> t_held;
+
+[[noreturn]] void violation(const char* what, const void* mu, int rank,
+                            const char* name) {
+  // stderr + abort, not an exception: a rank inversion is a programming
+  // error that must fail loudly even inside noexcept paths, and abort()
+  // is what death tests expect.
+  std::fprintf(stderr,
+               "pa::check lock rank violation: %s\n"
+               "  attempted: %-24s rank %3d  (%p)\n"
+               "  held stack (acquisition order, oldest first):\n",
+               what, name, rank, mu);
+  if (t_held.empty()) {
+    std::fprintf(stderr, "    <empty>\n");
+  }
+  for (const Held& h : t_held) {
+    std::fprintf(stderr, "    %-24s rank %3d  count %d  (%p)\n", h.name,
+                 h.rank, h.count, h.mu);
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+bool enabled() noexcept { return true; }
+
+std::size_t held_depth() noexcept { return t_held.size(); }
+
+void note_acquire(const void* mu, int rank, const char* name,
+                  bool reentrant) noexcept {
+  for (Held& h : t_held) {
+    if (h.mu == mu) {
+      if (!reentrant) {
+        violation("relocking a non-recursive mutex already held by this "
+                  "thread (self-deadlock)",
+                  mu, rank, name);
+      }
+      ++h.count;
+      return;
+    }
+  }
+  if (!t_held.empty() && rank <= t_held.back().rank) {
+    violation("acquisition order inversion (ranks must strictly increase; "
+              "see DESIGN.md lock hierarchy)",
+              mu, rank, name);
+  }
+  t_held.push_back(Held{mu, rank, name, 1});
+}
+
+void note_release(const void* mu, const char* name) noexcept {
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (it->mu != mu) {
+      continue;
+    }
+    if (--it->count > 0) {
+      return;  // recursive unlock, frame stays
+    }
+    if (it != t_held.rbegin()) {
+      violation("non-LIFO release (unlock order must mirror lock order)",
+                mu, rank_value(LockRank::kLeaf), name);
+    }
+    t_held.pop_back();
+    return;
+  }
+  violation("releasing a mutex this thread does not hold", mu,
+            rank_value(LockRank::kLeaf), name);
+}
+
+void note_wait(const void* mu, const char* name) noexcept {
+  if (t_held.empty() || t_held.back().mu != mu) {
+    violation("condition wait on a mutex that is not the most recently "
+              "acquired lock",
+              mu, rank_value(LockRank::kLeaf), name);
+  }
+  if (t_held.back().count != 1) {
+    violation("condition wait on a recursively held mutex", mu,
+              rank_value(LockRank::kLeaf), name);
+  }
+  // The wait releases and reacquires `mu` at the same stack position, so
+  // the stack itself is left untouched.
+}
+
+#else  // !PA_LOCK_RANK_CHECKS
+
+bool enabled() noexcept { return false; }
+std::size_t held_depth() noexcept { return 0; }
+void note_acquire(const void*, int, const char*, bool) noexcept {}
+void note_release(const void*, const char*) noexcept {}
+void note_wait(const void*, const char*) noexcept {}
+
+#endif  // PA_LOCK_RANK_CHECKS
+
+}  // namespace lock_rank
+
+void Mutex::lock() {
+  lock_rank::note_acquire(this, rank_value(rank_), name_,
+                          /*reentrant=*/false);
+  mu_.lock();
+}
+
+void Mutex::unlock() {
+  lock_rank::note_release(this, name_);
+  mu_.unlock();
+}
+
+void RecursiveMutex::lock() {
+  lock_rank::note_acquire(this, rank_value(rank_), name_,
+                          /*reentrant=*/true);
+  mu_.lock();
+}
+
+void RecursiveMutex::unlock() {
+  lock_rank::note_release(this, name_);
+  mu_.unlock();
+}
+
+MutexLock::~MutexLock() {
+  if (!held_) {
+    // Destroying a guard that was left unlocked is a discipline bug the
+    // static analysis also flags; fail as loudly at runtime.
+    std::fprintf(stderr,
+                 "pa::check: MutexLock(%s) destroyed while unlocked\n",
+                 mu_.name());
+    std::fflush(stderr);
+    std::abort();
+  }
+  mu_.unlock();
+}
+
+void MutexLock::unlock() {
+  held_ = false;
+  mu_.unlock();
+}
+
+void MutexLock::lock() {
+  mu_.lock();
+  held_ = true;
+}
+
+void CondVar::wait(MutexLock& lock) {
+  Mutex& mu = lock.mu_;
+  lock_rank::note_wait(&mu, mu.name());
+  // Adopt the already-held native mutex, wait (unlock + block + relock),
+  // then release ownership back to the MutexLock. The rank stack is
+  // deliberately untouched: the lock returns to the same stack position,
+  // and the thread cannot acquire anything else while blocked.
+  std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+  cv_.wait(native);
+  native.release();
+}
+
+}  // namespace pa::check

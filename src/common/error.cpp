@@ -1,7 +1,26 @@
 #include "pa/common/error.h"
 
+#include <string.h>
+
 #include <cstdlib>
 #include <iostream>
+
+namespace pa {
+
+std::string errno_message(int err) {
+  char buf[256];
+#if defined(_GNU_SOURCE) || (defined(__GLIBC__) && defined(__USE_GNU))
+  // GNU strerror_r may return a static string instead of filling buf.
+  return std::string(::strerror_r(err, buf, sizeof(buf)));
+#else
+  if (::strerror_r(err, buf, sizeof(buf)) != 0) {
+    return "errno " + std::to_string(err);
+  }
+  return std::string(buf);
+#endif
+}
+
+}  // namespace pa
 
 namespace pa::detail {
 

@@ -33,8 +33,8 @@ LogLevel Log::level() {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
-std::mutex& Log::mutex() {
-  static std::mutex m;
+check::Mutex& Log::mutex() {
+  static check::Mutex m{check::LockRank::kLog, "Log"};
   return m;
 }
 
@@ -43,7 +43,7 @@ void Log::write(LogLevel level, const std::string& component,
   if (!enabled(level)) {
     return;
   }
-  std::lock_guard<std::mutex> lock(mutex());
+  check::MutexLock lock(mutex());
   std::cerr << "[" << level_name(level) << "] " << component << ": " << message
             << "\n";
 }

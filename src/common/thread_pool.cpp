@@ -2,6 +2,8 @@
 
 namespace pa {
 
+using check::MutexLock;
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
   PA_REQUIRE_ARG(num_threads > 0, "thread pool needs at least one thread");
   workers_.reserve(num_threads);
@@ -14,7 +16,7 @@ ThreadPool::~ThreadPool() { shutdown(); }
 
 void ThreadPool::enqueue(std::function<void()> fn) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (!accepting_) {
       throw InvalidStateError("thread pool is shut down");
     }
@@ -24,18 +26,20 @@ void ThreadPool::enqueue(std::function<void()> fn) {
 }
 
 std::size_t ThreadPool::queued() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return queue_.size();
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_cv_.wait(lock, [this]() { return queue_.empty() && active_ == 0; });
+  MutexLock lock(mutex_);
+  while (!queue_.empty() || active_ != 0) {
+    idle_cv_.wait(lock);
+  }
 }
 
 void ThreadPool::shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (stop_ && !accepting_) {
       // Already shut down by an earlier call, which joined the workers;
       // returning here avoids racing a concurrent joiner on w.join().
@@ -55,7 +59,7 @@ void ThreadPool::shutdown() {
 
 void ThreadPool::shutdown_now() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     accepting_ = false;
     stop_ = true;
     queue_.clear();
@@ -72,19 +76,19 @@ void ThreadPool::shutdown_now() {
 }
 
 void ThreadPool::worker_loop() {
+  MutexLock lock(mutex_);
   for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this]() { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        // stop_ set and nothing left to drain.
-        return;
-      }
-      task = std::move(queue_.front());
-      queue_.pop_front();
-      ++active_;
+    while (!stop_ && queue_.empty()) {
+      cv_.wait(lock);
     }
+    if (queue_.empty()) {
+      // stop_ set and nothing left to drain.
+      return;
+    }
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    ++active_;
+    lock.unlock();
     try {
       task();
     } catch (...) {
@@ -92,12 +96,11 @@ void ThreadPool::worker_loop() {
       // enqueue() callable that throws would otherwise terminate — swallow
       // and continue, matching executor conventions.
     }
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      --active_;
-      if (queue_.empty() && active_ == 0) {
-        idle_cv_.notify_all();
-      }
+    task = nullptr;  // destroy captured state while unlocked
+    lock.lock();
+    --active_;
+    if (queue_.empty() && active_ == 0) {
+      idle_cv_.notify_all();
     }
   }
 }

@@ -1,7 +1,8 @@
 #include "pa/engines/iterative.h"
 
 #include <atomic>
-#include <mutex>
+
+#include "pa/check/mutex.h"
 
 #include "pa/common/error.h"
 #include "pa/common/time_utils.h"
@@ -65,7 +66,8 @@ KMeansJobResult KMeansEngine::run(const std::string& dataset,
 
   for (int iter = 0; iter < config.max_iterations; ++iter) {
     const pa::Stopwatch iter_clock;
-    auto partials_mutex = std::make_shared<std::mutex>();
+    auto partials_mutex = std::make_shared<check::Mutex>(
+        check::LockRank::kLeaf, "kmeans::partials");
     auto merged = std::make_shared<KMeansPartial>(config.k, set.dim);
     const Centroids centroids = result.centroids;  // broadcast copy
 
@@ -104,7 +106,7 @@ KMeansJobResult KMeansEngine::run(const std::string& dataset,
           block = std::make_shared<PointBlock>(load_partition());
         }
         KMeansPartial partial = kmeans_assign(*block, centroids);
-        std::lock_guard<std::mutex> lock(*partials_mutex);
+        check::MutexLock lock(*partials_mutex);
         merged->merge(partial);
       };
       units.push_back(service_.submit_unit(d));

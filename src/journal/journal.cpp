@@ -3,7 +3,6 @@
 #include <sys/stat.h>
 
 #include <cerrno>
-#include <cstring>
 #include <fstream>
 #include <utility>
 
@@ -26,7 +25,7 @@ Journal::Journal(std::string dir, JournalConfig config,
     : dir_(std::move(dir)), config_(config) {
   if (::mkdir(dir_.c_str(), 0755) != 0 && errno != EEXIST) {
     throw Error("cannot create journal directory " + dir_ + ": " +
-                std::strerror(errno));
+                errno_message(errno));
   }
   std::uint64_t first_seq = 1;
   if (resume_from != nullptr) {
@@ -39,7 +38,7 @@ Journal::Journal(std::string dir, JournalConfig config,
   wc.truncate_existing = wc.truncate_existing || resume_from != nullptr;
   writer_ = std::make_unique<Writer>(wal_path(dir_), wc, first_seq);
   if (resume_from != nullptr) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    check::MutexLock lock(mutex_);
     compact_locked();
   }
 }
@@ -53,13 +52,13 @@ Journal::~Journal() {
 }
 
 void Journal::set_metrics(obs::MetricsRegistry* metrics) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  check::MutexLock lock(mutex_);
   metrics_ = metrics;
   writer_->set_metrics(metrics);
 }
 
 std::uint64_t Journal::append(Record record) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  check::MutexLock lock(mutex_);
   // Hot path: move the record to the group-commit writer, nothing else.
   // Materialization into the image (field parsing, map updates,
   // transition validation) is deferred: the wal itself is the staging
@@ -103,12 +102,12 @@ void Journal::drain_image_locked() const {
 }
 
 void Journal::flush() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  check::MutexLock lock(mutex_);
   writer_->flush();
 }
 
 void Journal::compact() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  check::MutexLock lock(mutex_);
   compact_locked();
 }
 
@@ -127,19 +126,19 @@ void Journal::compact_locked() {
 }
 
 void Journal::close() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  check::MutexLock lock(mutex_);
   drain_image_locked();
   writer_->close();
 }
 
 ManagerImage Journal::image() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  check::MutexLock lock(mutex_);
   drain_image_locked();
   return image_;
 }
 
 std::uint64_t Journal::records_appended() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  check::MutexLock lock(mutex_);
   return records_appended_;
 }
 

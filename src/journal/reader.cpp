@@ -65,7 +65,7 @@ ReadResult read_journal(const std::string& path) {
 void truncate_file(const std::string& path, std::uint64_t bytes) {
   if (::truncate(path.c_str(), static_cast<off_t>(bytes)) != 0) {
     throw Error("cannot truncate " + path + " to " + std::to_string(bytes) +
-                " bytes: " + std::strerror(errno));
+                " bytes: " + errno_message(errno));
   }
 }
 

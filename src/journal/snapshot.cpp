@@ -143,7 +143,7 @@ void Snapshot::write(const std::string& path, const ManagerImage& image) {
   const int fd = ::open(tmp.c_str(), O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC,
                         0644);
   if (fd < 0) {
-    throw Error("cannot write snapshot " + tmp + ": " + std::strerror(errno));
+    throw Error("cannot write snapshot " + tmp + ": " + errno_message(errno));
   }
   std::size_t written = 0;
   while (written < bytes.size()) {
@@ -155,7 +155,7 @@ void Snapshot::write(const std::string& path, const ManagerImage& image) {
     if (n <= 0) {
       ::close(fd);
       throw Error("snapshot write failed on " + tmp + ": " +
-                  std::strerror(errno));
+                  errno_message(errno));
     }
     written += static_cast<std::size_t>(n);
   }
@@ -166,7 +166,7 @@ void Snapshot::write(const std::string& path, const ManagerImage& image) {
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     throw Error("cannot publish snapshot " + path + ": " +
-                std::strerror(errno));
+                errno_message(errno));
   }
 }
 

@@ -5,7 +5,6 @@
 
 #include <cerrno>
 #include <chrono>
-#include <cstring>
 #include <utility>
 #include <vector>
 
@@ -21,15 +20,19 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 }  // namespace
 
 Writer::Writer(std::string path, WriterConfig config, std::uint64_t first_seq)
-    : path_(std::move(path)), config_(config), next_seq_(first_seq),
-      durable_seq_(first_seq - 1) {
+    : path_(std::move(path)), config_(config) {
   PA_REQUIRE_ARG(first_seq >= 1, "journal seq numbers start at 1");
   int flags = O_CREAT | O_WRONLY | O_CLOEXEC;
   flags |= config_.truncate_existing ? O_TRUNC : O_APPEND;
-  fd_ = ::open(path_.c_str(), flags, 0644);
-  if (fd_ < 0) {
-    throw Error("cannot open journal " + path_ + ": " +
-                std::strerror(errno));
+  {
+    check::MutexLock lock(mutex_);
+    next_seq_ = first_seq;
+    durable_seq_ = first_seq - 1;
+    fd_ = ::open(path_.c_str(), flags, 0644);
+    if (fd_ < 0) {
+      throw Error("cannot open journal " + path_ + ": " +
+                  errno_message(errno));
+    }
   }
   flusher_ = std::thread([this]() { flusher_loop(); });
 }
@@ -43,47 +46,73 @@ Writer::~Writer() {
 }
 
 void Writer::set_metrics(obs::MetricsRegistry* metrics) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  metrics_ = metrics;
+  // Resolve the instrument handles before taking our own mutex: registry
+  // handles are stable for its lifetime, so append()/write_batch() never
+  // touch the registry lock again — and the writer lock never nests over
+  // the registry lock.
+  MetricsHandles handles;
+  if (metrics != nullptr) {
+    handles.records = &metrics->counter("journal.records");
+    handles.flushes = &metrics->counter("journal.flushes");
+    handles.flushed_bytes = &metrics->counter("journal.flushed_bytes");
+    handles.flush_seconds = &metrics->histogram("journal.flush_seconds",
+                                                1e-7, 60.0);
+    handles.batch_records = &metrics->histogram("journal.batch_records",
+                                                1.0, 1e6);
+  }
+  check::MutexLock lock(mutex_);
+  metrics_ = handles;
 }
 
 std::uint64_t Writer::append(Record record) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  if (closing_) {
-    throw InvalidStateError("append on closed journal writer " + path_);
+  obs::Counter* records_counter = nullptr;
+  std::uint64_t seq = 0;
+  {
+    check::MutexLock lock(mutex_);
+    if (closing_) {
+      throw InvalidStateError("append on closed journal writer " + path_);
+    }
+    record.seq = next_seq_++;
+    seq = record.seq;
+    // Hot path: stamp + enqueue only. The flusher encodes the frame, so the
+    // submitting thread never pays serialization or file I/O.
+    const bool flusher_idle = pending_.empty() && !draining_;
+    pending_.push_back(std::move(record));
+    records_counter = metrics_.records;
+    // The flusher only sleeps when the queue is empty; while it drains (or
+    // has a non-empty queue to re-check) a wakeup is redundant, and eliding
+    // it keeps the futex syscall off the append path.
+    if (flusher_idle || config_.sync == WriterConfig::Sync::kEveryRecord) {
+      work_cv_.notify_one();
+    }
+    if (config_.sync == WriterConfig::Sync::kEveryRecord) {
+      while (durable_seq_ < seq) {
+        durable_cv_.wait(lock);
+      }
+    }
   }
-  record.seq = next_seq_++;
-  const std::uint64_t seq = record.seq;
-  // Hot path: stamp + enqueue only. The flusher encodes the frame, so the
-  // submitting thread never pays serialization or file I/O.
-  const bool flusher_idle = pending_.empty() && !draining_;
-  pending_.push_back(std::move(record));
-  if (metrics_ != nullptr) {
-    metrics_->counter("journal.records").inc();
-  }
-  // The flusher only sleeps when the queue is empty; while it drains (or
-  // has a non-empty queue to re-check) a wakeup is redundant, and eliding
-  // it keeps the futex syscall off the append path.
-  if (flusher_idle || config_.sync == WriterConfig::Sync::kEveryRecord) {
-    work_cv_.notify_one();
-  }
-  if (config_.sync == WriterConfig::Sync::kEveryRecord) {
-    durable_cv_.wait(lock, [&]() { return durable_seq_ >= seq; });
+  if (records_counter != nullptr) {
+    records_counter->inc();  // lock-free; off the critical section
   }
   return seq;
 }
 
 void Writer::flush() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  check::MutexLock lock(mutex_);
   const std::uint64_t target = next_seq_ - 1;
   work_cv_.notify_one();
-  durable_cv_.wait(lock, [&]() { return durable_seq_ >= target; });
+  while (durable_seq_ < target) {
+    durable_cv_.wait(lock);
+  }
 }
 
 void Writer::close() {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    if (closed_) {
+    check::MutexLock lock(mutex_);
+    if (closed_ || closing_) {
+      // Already closed, or a concurrent close() owns the join — returning
+      // here keeps flusher_.join() single-callered (calling join() on the
+      // same std::thread from two threads is undefined behavior).
       return;
     }
     closing_ = true;
@@ -92,7 +121,7 @@ void Writer::close() {
   if (flusher_.joinable()) {
     flusher_.join();
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  check::MutexLock lock(mutex_);
   if (fd_ >= 0) {
     ::close(fd_);
     fd_ = -1;
@@ -101,43 +130,42 @@ void Writer::close() {
 }
 
 void Writer::truncate_log() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  check::MutexLock lock(mutex_);
   work_cv_.notify_one();
   // Wait until the flusher is idle so we never truncate under its write.
-  durable_cv_.wait(lock, [&]() { return pending_.empty() && !draining_; });
+  while (!pending_.empty() || draining_) {
+    durable_cv_.wait(lock);
+  }
   if (fd_ < 0) {
     throw InvalidStateError("truncate on closed journal writer " + path_);
   }
   PA_CHECK_MSG(::ftruncate(fd_, 0) == 0,
-               "ftruncate failed on " << path_ << ": " << std::strerror(errno));
+               "ftruncate failed on " << path_ << ": " << errno_message(errno));
   PA_CHECK_MSG(::lseek(fd_, 0, SEEK_SET) >= 0,
                "lseek failed on " << path_);
 }
 
 std::uint64_t Writer::next_seq() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  check::MutexLock lock(mutex_);
   return next_seq_;
 }
 
-std::uint64_t Writer::drain_locked(std::unique_lock<std::mutex>& lock) {
-  if (pending_.empty()) {
-    return 0;
-  }
+std::string Writer::encode_batch(std::uint64_t& last_seq,
+                                 std::size_t& batch_records) {
   std::string batch;
-  std::uint64_t last_seq = 0;
-  std::size_t batch_records = 0;
+  last_seq = 0;
+  batch_records = 0;
   while (!pending_.empty() && batch_records < config_.max_batch_records) {
     append_frame(batch, pending_.front());
     last_seq = pending_.front().seq;
     pending_.pop_front();
     ++batch_records;
   }
-  obs::MetricsRegistry* metrics = metrics_;
-  const auto sync = config_.sync;
-  const int fd = fd_;
+  return batch;
+}
 
-  draining_ = true;
-  lock.unlock();
+void Writer::write_batch(int fd, const std::string& batch,
+                         std::size_t batch_records, MetricsHandles handles) {
   const auto t0 = std::chrono::steady_clock::now();
   std::size_t written = 0;
   while (written < batch.size()) {
@@ -147,39 +175,45 @@ std::uint64_t Writer::drain_locked(std::unique_lock<std::mutex>& lock) {
       continue;
     }
     PA_CHECK_MSG(n > 0, "journal write failed on " << path_ << ": "
-                                                   << std::strerror(errno));
+                                                   << errno_message(errno));
     written += static_cast<std::size_t>(n);
   }
-  if (sync != WriterConfig::Sync::kNone) {
+  if (config_.sync != WriterConfig::Sync::kNone) {
     PA_CHECK_MSG(::fsync(fd) == 0, "journal fsync failed on "
                                        << path_ << ": "
-                                       << std::strerror(errno));
+                                       << errno_message(errno));
   }
-  if (metrics != nullptr) {
-    metrics->counter("journal.flushes").inc();
-    metrics->counter("journal.flushed_bytes").inc(batch.size());
-    metrics->histogram("journal.flush_seconds", 1e-7, 60.0)
-        .record(seconds_since(t0));
-    metrics->histogram("journal.batch_records", 1.0, 1e6)
-        .record(static_cast<double>(batch_records));
+  if (handles.flushes != nullptr) {
+    handles.flushes->inc();
+    handles.flushed_bytes->inc(batch.size());
+    handles.flush_seconds->record(seconds_since(t0));
+    handles.batch_records->record(static_cast<double>(batch_records));
   }
-  lock.lock();
-  draining_ = false;
-  durable_seq_ = std::max(durable_seq_, last_seq);
-  durable_cv_.notify_all();
-  return last_seq;
 }
 
 void Writer::flusher_loop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  check::MutexLock lock(mutex_);
   while (true) {
-    work_cv_.wait(lock, [&]() { return closing_ || !pending_.empty(); });
+    while (!closing_ && pending_.empty()) {
+      work_cv_.wait(lock);
+    }
     if (pending_.empty()) {
       // closing_ and drained: final state. durable_seq_ already covers
       // every appended record, so flush()/close() waiters are satisfied.
       return;
     }
-    drain_locked(lock);
+    std::uint64_t last_seq = 0;
+    std::size_t batch_records = 0;
+    const std::string batch = encode_batch(last_seq, batch_records);
+    const int fd = fd_;
+    const MetricsHandles handles = metrics_;
+    draining_ = true;
+    lock.unlock();
+    write_batch(fd, batch, batch_records, handles);
+    lock.lock();
+    draining_ = false;
+    durable_seq_ = std::max(durable_seq_, last_seq);
+    durable_cv_.notify_all();
   }
 }
 

@@ -42,7 +42,7 @@ std::uint64_t InMemoryStore::put(const std::string& key, std::any value,
   Shard& shard = shard_for(key);
   std::uint64_t new_version = 0;
   {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    check::MutexLock lock(shard.mutex);
     Entry& e = shard.entries[key];
     atomic_add(resident_bytes_, bytes - e.bytes);
     e.value = std::make_shared<const std::any>(std::move(value));
@@ -58,7 +58,7 @@ std::uint64_t InMemoryStore::put(const std::string& key, std::any value,
 
 std::shared_ptr<const std::any> InMemoryStore::get(const std::string& key) {
   Shard& shard = shard_for(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  check::MutexLock lock(shard.mutex);
   const auto it = shard.entries.find(key);
   if (it == shard.entries.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -70,14 +70,14 @@ std::shared_ptr<const std::any> InMemoryStore::get(const std::string& key) {
 
 std::uint64_t InMemoryStore::version(const std::string& key) {
   Shard& shard = shard_for(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  check::MutexLock lock(shard.mutex);
   const auto it = shard.entries.find(key);
   return it == shard.entries.end() ? 0 : it->second.version;
 }
 
 bool InMemoryStore::erase(const std::string& key) {
   Shard& shard = shard_for(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  check::MutexLock lock(shard.mutex);
   const auto it = shard.entries.find(key);
   if (it == shard.entries.end()) {
     return false;
@@ -89,7 +89,7 @@ bool InMemoryStore::erase(const std::string& key) {
 
 void InMemoryStore::clear() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    check::MutexLock lock(shard->mutex);
     for (const auto& [k, e] : shard->entries) {
       atomic_add(resident_bytes_, -e.bytes);
     }
@@ -108,7 +108,7 @@ void InMemoryStore::evict_if_needed() {
     std::string victim_key;
     std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
     for (auto& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard->mutex);
+      check::MutexLock lock(shard->mutex);
       for (const auto& [k, e] : shard->entries) {
         if (e.put_seq < oldest) {
           oldest = e.put_seq;
@@ -121,7 +121,7 @@ void InMemoryStore::evict_if_needed() {
       return;  // store empty; a concurrent clear raced us
     }
     {
-      std::lock_guard<std::mutex> lock(victim_shard->mutex);
+      check::MutexLock lock(victim_shard->mutex);
       const auto it = victim_shard->entries.find(victim_key);
       if (it != victim_shard->entries.end() && it->second.put_seq == oldest) {
         atomic_add(resident_bytes_, -it->second.bytes);
@@ -140,7 +140,7 @@ StoreStats InMemoryStore::stats() const {
   s.evictions = evictions_.load(std::memory_order_relaxed);
   s.resident_bytes = resident_bytes_.load(std::memory_order_relaxed);
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    check::MutexLock lock(shard->mutex);
     s.entries += shard->entries.size();
   }
   return s;

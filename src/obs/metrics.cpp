@@ -3,7 +3,7 @@
 namespace pa::obs {
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  check::MutexLock lock(mutex_);
   auto& slot = counters_[name];
   if (!slot) {
     slot = std::make_unique<Counter>();
@@ -12,7 +12,7 @@ Counter& MetricsRegistry::counter(const std::string& name) {
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  check::MutexLock lock(mutex_);
   auto& slot = gauges_[name];
   if (!slot) {
     slot = std::make_unique<Gauge>();
@@ -22,7 +22,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       double min_value, double max_value) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  check::MutexLock lock(mutex_);
   auto& slot = histograms_[name];
   if (!slot) {
     slot = std::make_unique<Histogram>(min_value, max_value);
@@ -32,7 +32,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
 
 std::vector<std::pair<std::string, std::uint64_t>> MetricsRegistry::counters()
     const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  check::MutexLock lock(mutex_);
   std::vector<std::pair<std::string, std::uint64_t>> out;
   out.reserve(counters_.size());
   for (const auto& [name, c] : counters_) {
@@ -42,7 +42,7 @@ std::vector<std::pair<std::string, std::uint64_t>> MetricsRegistry::counters()
 }
 
 std::vector<std::pair<std::string, double>> MetricsRegistry::gauges() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  check::MutexLock lock(mutex_);
   std::vector<std::pair<std::string, double>> out;
   out.reserve(gauges_.size());
   for (const auto& [name, g] : gauges_) {
@@ -53,7 +53,7 @@ std::vector<std::pair<std::string, double>> MetricsRegistry::gauges() const {
 
 std::vector<std::pair<std::string, LatencyHistogram>>
 MetricsRegistry::histograms() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  check::MutexLock lock(mutex_);
   std::vector<std::pair<std::string, LatencyHistogram>> out;
   out.reserve(histograms_.size());
   for (const auto& [name, h] : histograms_) {

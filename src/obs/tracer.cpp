@@ -11,7 +11,7 @@ Tracer::Tracer(const Clock& clock, std::size_t max_records)
 
 Tracer::SpanId Tracer::begin_span(std::string name, std::string entity) {
   const double t = clock_.now();
-  std::lock_guard<std::mutex> lock(mutex_);
+  check::MutexLock lock(mutex_);
   if (spans_.size() >= max_records_) {
     ++dropped_;
     return kInvalidSpan;
@@ -29,14 +29,14 @@ void Tracer::end_span(SpanId id) {
     return;
   }
   const double t = clock_.now();
-  std::lock_guard<std::mutex> lock(mutex_);
+  check::MutexLock lock(mutex_);
   PA_REQUIRE_ARG(id < spans_.size(), "unknown span id: " << id);
   spans_[id].end = t;
 }
 
 void Tracer::record_span(std::string name, std::string entity, double start,
                          double end) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  check::MutexLock lock(mutex_);
   if (spans_.size() >= max_records_) {
     ++dropped_;
     return;
@@ -56,7 +56,7 @@ void Tracer::event(std::string name, std::string entity, std::string detail) {
 
 void Tracer::event_at(double time, std::string name, std::string entity,
                       std::string detail) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  check::MutexLock lock(mutex_);
   if (events_.size() >= max_records_) {
     ++dropped_;
     return;
@@ -70,17 +70,17 @@ void Tracer::event_at(double time, std::string name, std::string entity,
 }
 
 std::vector<Span> Tracer::spans() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  check::MutexLock lock(mutex_);
   return spans_;
 }
 
 std::vector<Event> Tracer::events() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  check::MutexLock lock(mutex_);
   return events_;
 }
 
 std::vector<Span> Tracer::spans_named(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  check::MutexLock lock(mutex_);
   std::vector<Span> out;
   for (const auto& s : spans_) {
     if (s.name == name) {
@@ -91,12 +91,12 @@ std::vector<Span> Tracer::spans_named(const std::string& name) const {
 }
 
 std::size_t Tracer::dropped() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  check::MutexLock lock(mutex_);
   return dropped_;
 }
 
 void Tracer::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  check::MutexLock lock(mutex_);
   spans_.clear();
   events_.clear();
   dropped_ = 0;

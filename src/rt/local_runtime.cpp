@@ -17,7 +17,7 @@ LocalRuntime::~LocalRuntime() {
   std::map<std::string, std::shared_ptr<PilotEntry>> pilots;
   std::vector<std::shared_ptr<PilotEntry>> graveyard;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    check::MutexLock lock(mutex_);
     pilots.swap(pilots_);
     graveyard.swap(graveyard_);
   }
@@ -50,7 +50,7 @@ void LocalRuntime::start_pilot(const std::string& pilot_id,
   entry->pool =
       std::make_unique<pa::ThreadPool>(static_cast<std::size_t>(total_cores));
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    check::MutexLock lock(mutex_);
     PA_REQUIRE_ARG(pilots_.find(pilot_id) == pilots_.end(),
                    "pilot id reused: " << pilot_id);
     pilots_.emplace(pilot_id, entry);
@@ -67,7 +67,7 @@ void LocalRuntime::start_pilot(const std::string& pilot_id,
 void LocalRuntime::cancel_pilot(const std::string& pilot_id) {
   std::shared_ptr<PilotEntry> entry;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    check::MutexLock lock(mutex_);
     const auto it = pilots_.find(pilot_id);
     if (it == pilots_.end()) {
       throw NotFound("unknown pilot: " + pilot_id);
@@ -90,7 +90,7 @@ void LocalRuntime::execute_unit(const std::string& pilot_id,
                                 std::function<void(bool)> on_done) {
   std::shared_ptr<PilotEntry> entry;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    check::MutexLock lock(mutex_);
     const auto it = pilots_.find(pilot_id);
     if (it == pilots_.end()) {
       throw NotFound("unknown pilot: " + pilot_id);

@@ -9,7 +9,7 @@ namespace pa::stream {
 
 void Broker::create_topic(const std::string& topic, int partitions) {
   PA_REQUIRE_ARG(partitions > 0, "topic needs partitions: " << topic);
-  std::lock_guard<std::mutex> lock(topics_mutex_);
+  check::MutexLock lock(topics_mutex_);
   PA_REQUIRE_ARG(topics_.find(topic) == topics_.end(),
                  "topic exists: " << topic);
   auto t = std::make_unique<Topic>();
@@ -21,12 +21,12 @@ void Broker::create_topic(const std::string& topic, int partitions) {
 }
 
 bool Broker::has_topic(const std::string& topic) const {
-  std::lock_guard<std::mutex> lock(topics_mutex_);
+  check::MutexLock lock(topics_mutex_);
   return topics_.find(topic) != topics_.end();
 }
 
 const Broker::Topic& Broker::topic_ref(const std::string& topic) const {
-  std::lock_guard<std::mutex> lock(topics_mutex_);
+  check::MutexLock lock(topics_mutex_);
   const auto it = topics_.find(topic);
   if (it == topics_.end()) {
     throw NotFound("unknown topic: " + topic);
@@ -35,7 +35,7 @@ const Broker::Topic& Broker::topic_ref(const std::string& topic) const {
 }
 
 Broker::Topic& Broker::topic_ref(const std::string& topic) {
-  std::lock_guard<std::mutex> lock(topics_mutex_);
+  check::MutexLock lock(topics_mutex_);
   const auto it = topics_.find(topic);
   if (it == topics_.end()) {
     throw NotFound("unknown topic: " + topic);
@@ -62,7 +62,7 @@ int Broker::partition_count(const std::string& topic) const {
 }
 
 std::vector<std::string> Broker::topic_names() const {
-  std::lock_guard<std::mutex> lock(topics_mutex_);
+  check::MutexLock lock(topics_mutex_);
   std::vector<std::string> out;
   out.reserve(topics_.size());
   for (const auto& [name, t] : topics_) {
@@ -97,7 +97,7 @@ std::uint64_t Broker::produce_to(const std::string& topic, int partition,
   const std::uint64_t bytes = payload.size();
   std::uint64_t offset = 0;
   {
-    std::lock_guard<std::mutex> lock(p.mutex);
+    check::MutexLock lock(p.mutex);
     Message msg;
     msg.offset = p.base_offset + p.log.size();
     msg.produce_time = pa::wall_seconds();
@@ -107,7 +107,7 @@ std::uint64_t Broker::produce_to(const std::string& topic, int partition,
     p.log.push_back(std::move(msg));
   }
   {
-    std::lock_guard<std::mutex> lock(t.stats_mutex);
+    check::MutexLock lock(t.stats_mutex);
     t.stats.messages_in += 1;
     t.stats.bytes_in += bytes;
   }
@@ -123,7 +123,7 @@ std::uint64_t Broker::fetch(const std::string& topic, int partition,
                             std::vector<Message>& out) const {
   const Topic& t = topic_ref(topic);
   const Partition& p = partition_ref(t, partition);
-  std::lock_guard<std::mutex> lock(p.mutex);
+  check::MutexLock lock(p.mutex);
   if (offset < p.base_offset) {
     throw NotFound("offset " + std::to_string(offset) +
                    " below retention on " + topic + "/" +
@@ -144,7 +144,7 @@ std::uint64_t Broker::end_offset(const std::string& topic,
                                  int partition) const {
   const Topic& t = topic_ref(topic);
   const Partition& p = partition_ref(t, partition);
-  std::lock_guard<std::mutex> lock(p.mutex);
+  check::MutexLock lock(p.mutex);
   return p.base_offset + p.log.size();
 }
 
@@ -152,7 +152,7 @@ std::uint64_t Broker::begin_offset(const std::string& topic,
                                    int partition) const {
   const Topic& t = topic_ref(topic);
   const Partition& p = partition_ref(t, partition);
-  std::lock_guard<std::mutex> lock(p.mutex);
+  check::MutexLock lock(p.mutex);
   return p.base_offset;
 }
 
@@ -160,7 +160,7 @@ void Broker::truncate(const std::string& topic, int partition,
                       std::uint64_t up_to_offset) {
   Topic& t = topic_ref(topic);
   Partition& p = partition_ref(t, partition);
-  std::lock_guard<std::mutex> lock(p.mutex);
+  check::MutexLock lock(p.mutex);
   while (!p.log.empty() && p.base_offset < up_to_offset) {
     p.log.pop_front();
     ++p.base_offset;
@@ -169,7 +169,7 @@ void Broker::truncate(const std::string& topic, int partition,
 
 TopicStats Broker::stats(const std::string& topic) const {
   const Topic& t = topic_ref(topic);
-  std::lock_guard<std::mutex> lock(t.stats_mutex);
+  check::MutexLock lock(t.stats_mutex);
   return t.stats;
 }
 
@@ -186,7 +186,7 @@ void Broker::export_backlog_gauges() {
     const Topic& t = topic_ref(name);
     std::uint64_t backlog = 0;
     for (const auto& p : t.partitions) {
-      std::lock_guard<std::mutex> lock(p->mutex);
+      check::MutexLock lock(p->mutex);
       backlog += p->log.size();
     }
     m->gauge("stream." + name + ".backlog")

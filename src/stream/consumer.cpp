@@ -31,7 +31,7 @@ void GroupCoordinator::rebalance(const std::string& topic, Group& group) {
 
 void GroupCoordinator::join(const std::string& topic, const std::string& group,
                             const std::string& member_id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  check::MutexLock lock(mutex_);
   Group& g = groups_[{topic, group}];
   PA_REQUIRE_ARG(g.members.insert(member_id).second,
                  "member already in group: " << member_id);
@@ -41,7 +41,7 @@ void GroupCoordinator::join(const std::string& topic, const std::string& group,
 void GroupCoordinator::leave(const std::string& topic,
                              const std::string& group,
                              const std::string& member_id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  check::MutexLock lock(mutex_);
   const auto it = groups_.find({topic, group});
   if (it == groups_.end()) {
     return;
@@ -59,7 +59,7 @@ const GroupCoordinator::Group* GroupCoordinator::find_group(
 
 std::uint64_t GroupCoordinator::generation(const std::string& topic,
                                            const std::string& group) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  check::MutexLock lock(mutex_);
   const Group* g = find_group(topic, group);
   return g == nullptr ? 0 : g->generation;
 }
@@ -67,7 +67,7 @@ std::uint64_t GroupCoordinator::generation(const std::string& topic,
 std::vector<int> GroupCoordinator::assignment(
     const std::string& topic, const std::string& group,
     const std::string& member_id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  check::MutexLock lock(mutex_);
   const Group* g = find_group(topic, group);
   if (g == nullptr) {
     return {};
@@ -76,10 +76,31 @@ std::vector<int> GroupCoordinator::assignment(
   return it == g->assignments.end() ? std::vector<int>{} : it->second;
 }
 
+GroupCoordinator::MemberView GroupCoordinator::member_view(
+    const std::string& topic, const std::string& group,
+    const std::string& member_id) const {
+  check::MutexLock lock(mutex_);
+  MemberView view;
+  const Group* g = find_group(topic, group);
+  if (g == nullptr) {
+    return view;
+  }
+  view.generation = g->generation;
+  const auto it = g->assignments.find(member_id);
+  if (it != g->assignments.end()) {
+    view.partitions = it->second;
+  }
+  for (int p : view.partitions) {
+    const auto c = g->committed.find(p);
+    view.committed[p] = c == g->committed.end() ? 0 : c->second;
+  }
+  return view;
+}
+
 std::uint64_t GroupCoordinator::committed(const std::string& topic,
                                           const std::string& group,
                                           int partition) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  check::MutexLock lock(mutex_);
   const Group* g = find_group(topic, group);
   if (g == nullptr) {
     return 0;
@@ -91,7 +112,7 @@ std::uint64_t GroupCoordinator::committed(const std::string& topic,
 void GroupCoordinator::commit(const std::string& topic,
                               const std::string& group, int partition,
                               std::uint64_t offset) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  check::MutexLock lock(mutex_);
   Group& g = groups_[{topic, group}];
   std::uint64_t& cur = g.committed[partition];
   cur = std::max(cur, offset);
@@ -129,16 +150,21 @@ Consumer::~Consumer() {
 }
 
 void Consumer::refresh_assignment() {
-  const std::uint64_t gen = coordinator_.generation(topic_, group_);
-  if (gen == generation_) {
+  // One coherent snapshot: generation, partitions, and committed offsets
+  // all come from the same coordinator lock acquisition, so a rebalance
+  // landing mid-refresh can never pair one generation's number with
+  // another generation's assignment.
+  const GroupCoordinator::MemberView view =
+      coordinator_.member_view(topic_, group_, member_id_);
+  if (view.generation == generation_) {
     return;
   }
-  generation_ = gen;
-  assigned_ = coordinator_.assignment(topic_, group_, member_id_);
+  generation_ = view.generation;
+  assigned_ = view.partitions;
   positions_.clear();
   for (int p : assigned_) {
     // Resume from the group's committed offset, clamped to retention.
-    positions_[p] = std::max(coordinator_.committed(topic_, group_, p),
+    positions_[p] = std::max(view.committed.at(p),
                              broker_.begin_offset(topic_, p));
   }
   rr_index_ = 0;

@@ -1,10 +1,10 @@
 #include "pa/stream/pilot_streaming.h"
 
 #include <chrono>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "pa/check/mutex.h"
 #include "pa/common/error.h"
 #include "pa/common/time_utils.h"
 
@@ -33,7 +33,8 @@ StreamPipelineResult PilotStreamingService::run_pipeline(
   }
 
   auto producers_done = std::make_shared<std::atomic<int>>(0);
-  auto latency_mutex = std::make_shared<std::mutex>();
+  auto latency_mutex = std::make_shared<check::Mutex>(
+      check::LockRank::kLeaf, "streaming::latency");
   auto latency = std::make_shared<pa::LatencyHistogram>();
   auto consumed = std::make_shared<std::atomic<std::uint64_t>>(0);
   auto consumed_bytes = std::make_shared<std::atomic<std::uint64_t>>(0);
@@ -101,7 +102,7 @@ StreamPipelineResult PilotStreamingService::run_pipeline(
         consumed->fetch_add(batch.size());
         consumed_bytes->fetch_add(bytes);
       }
-      std::lock_guard<std::mutex> lock(*latency_mutex);
+      check::MutexLock lock(*latency_mutex);
       latency->merge(local_latency);
     };
     units.push_back(service_.submit_unit(d));

@@ -1,0 +1,182 @@
+#include "pa/check/mutex.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace pa::check {
+namespace {
+
+// The validator is compiled in for every test build (PA_LOCK_RANK_CHECKS
+// defaults ON via CMake); guard anyway so a build with it forced off still
+// compiles and skips.
+bool rank_checks_on() { return lock_rank::enabled(); }
+
+TEST(LockRank, CorrectOrderNestingPasses) {
+  Mutex outer{LockRank::kService, "test::outer"};
+  Mutex inner{LockRank::kJournal, "test::inner"};
+  Mutex leaf{LockRank::kLeaf, "test::leaf"};
+  {
+    MutexLock a(outer);
+    MutexLock b(inner);
+    MutexLock c(leaf);
+    if (rank_checks_on()) {
+      EXPECT_EQ(lock_rank::held_depth(), 3u);
+    }
+  }
+  if (rank_checks_on()) {
+    EXPECT_EQ(lock_rank::held_depth(), 0u);
+  }
+}
+
+TEST(LockRank, SameRankSequentialReacquirePasses) {
+  // Sequential (non-nested) acquisition of same-rank locks is legal — the
+  // store locks its shards one at a time this way.
+  Mutex a{LockRank::kStoreShard, "test::shard-a"};
+  Mutex b{LockRank::kStoreShard, "test::shard-b"};
+  { MutexLock la(a); }
+  { MutexLock lb(b); }
+  SUCCEED();
+}
+
+using LockRankDeathTest = ::testing::Test;
+
+TEST(LockRankDeathTest, RankInversionAborts) {
+  if (!rank_checks_on()) {
+    GTEST_SKIP() << "PA_LOCK_RANK_CHECKS disabled in this build";
+  }
+  Mutex inner{LockRank::kJournal, "test::inner"};
+  Mutex outer{LockRank::kService, "test::outer"};
+  EXPECT_DEATH(
+      {
+        MutexLock a(inner);
+        MutexLock b(outer);  // kService(10) under kJournal(45): inversion
+      },
+      "lock rank violation.*inversion");
+}
+
+TEST(LockRankDeathTest, SameRankNestingAborts) {
+  if (!rank_checks_on()) {
+    GTEST_SKIP() << "PA_LOCK_RANK_CHECKS disabled in this build";
+  }
+  Mutex a{LockRank::kStoreShard, "test::shard-a"};
+  Mutex b{LockRank::kStoreShard, "test::shard-b"};
+  EXPECT_DEATH(
+      {
+        MutexLock la(a);
+        MutexLock lb(b);  // equal ranks may not nest
+      },
+      "lock rank violation");
+}
+
+TEST(LockRankDeathTest, SelfDeadlockRelockAborts) {
+  if (!rank_checks_on()) {
+    GTEST_SKIP() << "PA_LOCK_RANK_CHECKS disabled in this build";
+  }
+  Mutex m{LockRank::kLeaf, "test::self"};
+  EXPECT_DEATH(
+      {
+        MutexLock a(m);
+        m.lock();  // non-recursive relock by the holder
+      },
+      "self-deadlock");
+}
+
+TEST(LockRank, RecursiveReacquirePasses) {
+  RecursiveMutex m{LockRank::kService, "test::recursive"};
+  RecursiveMutexLock a(m);
+  {
+    RecursiveMutexLock b(m);  // legal re-entry, exempt from the rank check
+    if (rank_checks_on()) {
+      // One stack frame, count 2 — still a single held lock.
+      EXPECT_EQ(lock_rank::held_depth(), 1u);
+    }
+  }
+  if (rank_checks_on()) {
+    EXPECT_EQ(lock_rank::held_depth(), 1u);
+  }
+}
+
+TEST(LockRank, RecursiveReacquireAllowedBelowHigherRank) {
+  // The service re-enters its own (outermost) lock while inner locks are
+  // held — e.g. submit_pilot_locked journaling under the journal mutex is
+  // impossible, but callbacks re-entering the service are real. Re-entry
+  // must be exempt from the strictly-increasing rule.
+  RecursiveMutex svc{LockRank::kService, "test::svc"};
+  Mutex jn{LockRank::kJournal, "test::jn"};
+  RecursiveMutexLock a(svc);
+  MutexLock b(jn);
+  RecursiveMutexLock c(svc);  // re-entry, not a new (inverted) acquisition
+  SUCCEED();
+}
+
+TEST(LockRank, RanksResetAcrossThreads) {
+  if (!rank_checks_on()) {
+    GTEST_SKIP() << "PA_LOCK_RANK_CHECKS disabled in this build";
+  }
+  Mutex low{LockRank::kLeaf, "test::low"};
+  MutexLock hold(low);  // this thread now sits at the innermost rank
+  // A fresh thread starts with an empty held stack: acquiring an
+  // outer-rank lock there is legal even while this thread holds kLeaf.
+  std::thread t([&]() {
+    EXPECT_EQ(lock_rank::held_depth(), 0u);
+    Mutex high{LockRank::kService, "test::high"};
+    MutexLock l(high);
+    EXPECT_EQ(lock_rank::held_depth(), 1u);
+  });
+  t.join();
+  EXPECT_EQ(lock_rank::held_depth(), 1u);  // still just `low` here
+}
+
+TEST(LockRank, MutexLockBalancedDropAndReacquire) {
+  Mutex m{LockRank::kJournalWriter, "test::drop"};
+  MutexLock lock(m);
+  lock.unlock();  // drop around "I/O"
+  if (rank_checks_on()) {
+    EXPECT_EQ(lock_rank::held_depth(), 0u);
+  }
+  lock.lock();  // balanced reacquire; destructor releases normally
+  if (rank_checks_on()) {
+    EXPECT_EQ(lock_rank::held_depth(), 1u);
+  }
+}
+
+TEST(LockRank, CondVarWaitKeepsStackPosition) {
+  Mutex m{LockRank::kThreadPool, "test::cv"};
+  CondVar cv;
+  bool ready = false;
+  std::thread waker([&]() {
+    MutexLock lock(m);
+    ready = true;
+    cv.notify_one();
+  });
+  {
+    MutexLock lock(m);
+    while (!ready) {
+      cv.wait(lock);
+    }
+    if (rank_checks_on()) {
+      EXPECT_EQ(lock_rank::held_depth(), 1u);
+    }
+  }
+  waker.join();
+}
+
+TEST(LockRankDeathTest, CondVarWaitUnderInnerLockAborts) {
+  if (!rank_checks_on()) {
+    GTEST_SKIP() << "PA_LOCK_RANK_CHECKS disabled in this build";
+  }
+  Mutex outer{LockRank::kService, "test::outer"};
+  Mutex inner{LockRank::kJournal, "test::inner"};
+  CondVar cv;
+  EXPECT_DEATH(
+      {
+        MutexLock a(outer);
+        MutexLock b(inner);
+        cv.wait(a);  // waiting on `outer` would block with `inner` held
+      },
+      "condition wait");
+}
+
+}  // namespace
+}  // namespace pa::check

@@ -30,7 +30,7 @@ TEST(ThreadPool, RunsManyTasks) {
 
 TEST(ThreadPool, UsesMultipleThreads) {
   ThreadPool pool(4);
-  std::mutex m;
+  check::Mutex m{check::LockRank::kLeaf, "test"};
   std::set<std::thread::id> ids;
   std::atomic<int> running{0};
   for (int i = 0; i < 16; ++i) {
@@ -38,7 +38,7 @@ TEST(ThreadPool, UsesMultipleThreads) {
       running.fetch_add(1);
       // Hold the thread briefly so others must pick up work.
       std::this_thread::sleep_for(std::chrono::milliseconds(20));
-      std::lock_guard<std::mutex> lock(m);
+      check::MutexLock lock(m);
       ids.insert(std::this_thread::get_id());
     });
   }

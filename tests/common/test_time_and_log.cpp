@@ -52,13 +52,13 @@ TEST(IdGenerator, SequentialAndPrefixed) {
 TEST(IdGenerator, ThreadSafeUniqueness) {
   IdGenerator gen("x");
   std::vector<std::thread> threads;
-  std::mutex m;
+  check::Mutex m{check::LockRank::kLeaf, "test"};
   std::set<std::string> ids;
   for (int t = 0; t < 4; ++t) {
     threads.emplace_back([&]() {
       for (int i = 0; i < 250; ++i) {
         const std::string id = gen.next();
-        std::lock_guard<std::mutex> lock(m);
+        check::MutexLock lock(m);
         ids.insert(id);
       }
     });

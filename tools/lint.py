@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Project-specific lints for the pilot-abstraction repository.
+
+Three disciplines, each enforced mechanically because each has burned us
+(or real middleware like it) before:
+
+ 1. Synchronization goes through pa::check. Raw std::mutex /
+    std::lock_guard / std::unique_lock / std::scoped_lock /
+    std::condition_variable outside include/pa/check + src/check bypass
+    both the clang thread-safety annotations and the runtime lock-rank
+    validator, so a single raw site silently re-opens the whole class of
+    ordering deadlocks the wrappers exist to catch.
+
+ 2. Determinism. Simulation results must replay bit-identically, so wall
+    clocks and nondeterministic seeds are confined to two approved files
+    (time_utils.h for pa::wall_seconds, rng.h for the seeded SplitMix64).
+    std::random_device, rand()/srand(), and system_clock/high_resolution
+    _clock reads anywhere else break replay.
+
+ 3. Validated state transitions. Pilot/unit lifecycle state changes must
+    flow through StateMachine::transition so the transition table (and the
+    journal observers hanging off it) see every change. Direct writes to
+    `state_` outside state_machine.h, or wholesale machine replacement
+    without an explicit `lint:allow-state-reset` justification, bypass
+    validation and silently desynchronize the write-ahead journal.
+
+Plus one meta-rule: every suppression (NOLINT or
+PA_NO_THREAD_SAFETY_ANALYSIS) must carry a justification, so suppressions
+stay auditable.
+
+Exit status 0 = clean, 1 = findings (one per line: path:line: message).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# Directories scanned (library + tests + examples; build trees excluded).
+SCAN_DIRS = ["include", "src", "tests", "examples", "tools"]
+CXX_SUFFIXES = {".h", ".hpp", ".cc", ".cpp", ".cxx"}
+
+# --- rule 1: raw synchronization primitives ---------------------------------
+SYNC_ALLOWED = {
+    "include/pa/check/mutex.h",
+    "include/pa/check/thread_safety.h",
+    "src/check/mutex.cpp",
+}
+RAW_SYNC = re.compile(
+    r"\bstd::(mutex|recursive_mutex|timed_mutex|shared_mutex|lock_guard|"
+    r"unique_lock|scoped_lock|shared_lock|condition_variable(_any)?)\b"
+)
+
+# --- rule 2: nondeterminism sources ------------------------------------------
+TIME_ALLOWED = {
+    "include/pa/common/time_utils.h",
+    "include/pa/common/rng.h",
+}
+NONDETERMINISM = re.compile(
+    r"\bstd::random_device\b|\brand\s*\(\s*\)|\bsrand\s*\(|"
+    r"\bsystem_clock\b|\bhigh_resolution_clock\b"
+)
+
+# --- rule 3: state-machine bypasses ------------------------------------------
+SM_FILE = "include/pa/core/state_machine.h"
+STATE_WRITE = re.compile(r"\bstate_\s*=[^=]")
+SM_REPLACE = re.compile(r"=\s*(UnitStateMachine|PilotStateMachine)\s*\(")
+SM_RESET_MARKER = "lint:allow-state-reset"
+
+# --- meta-rule: suppressions need justification ------------------------------
+NOLINT = re.compile(r"NOLINT(NEXTLINE)?\b")
+NOLINT_JUSTIFIED = re.compile(r"NOLINT(NEXTLINE)?(\([^)]*\))?\s*[:]\s*\S")
+NO_TSA = re.compile(r"\bPA_NO_THREAD_SAFETY_ANALYSIS\b")
+
+
+def is_comment_only(line: str) -> bool:
+    stripped = line.lstrip()
+    return stripped.startswith("//") or stripped.startswith("*") or \
+        stripped.startswith("/*")
+
+
+def nearby_comment_mentions(lines: list[str], idx: int, needle: str,
+                            radius: int = 6) -> bool:
+    lo = max(0, idx - radius)
+    hi = min(len(lines), idx + 2)
+    return any(needle in lines[i] for i in range(lo, hi))
+
+
+def lint_file(rel: str, text: str) -> list[tuple[int, str]]:
+    findings: list[tuple[int, str]] = []
+    lines = text.splitlines()
+    for i, line in enumerate(lines):
+        lineno = i + 1
+        code = line.split("//", 1)[0]
+
+        if rel not in SYNC_ALLOWED and rel != "tools/lint.py":
+            m = RAW_SYNC.search(code)
+            if m:
+                findings.append((
+                    lineno,
+                    f"raw std::{m.group(1)} — use pa::check::Mutex/"
+                    f"MutexLock/CondVar (see include/pa/check/mutex.h)",
+                ))
+
+        if rel not in TIME_ALLOWED and rel != "tools/lint.py":
+            m = NONDETERMINISM.search(code)
+            if m:
+                findings.append((
+                    lineno,
+                    f"nondeterminism source `{m.group(0).strip()}` — use "
+                    f"pa::wall_seconds (time_utils.h) or pa::Rng (rng.h)",
+                ))
+
+        if rel != SM_FILE and rel != "tools/lint.py":
+            if STATE_WRITE.search(code) and not is_comment_only(line):
+                findings.append((
+                    lineno,
+                    "direct write to `state_` — lifecycle changes must go "
+                    "through StateMachine::transition",
+                ))
+            if SM_REPLACE.search(code):
+                if not nearby_comment_mentions(lines, i, SM_RESET_MARKER):
+                    findings.append((
+                        lineno,
+                        "state machine replaced without a nearby "
+                        f"`{SM_RESET_MARKER}` justification comment",
+                    ))
+
+        if rel != "tools/lint.py":
+            if NOLINT.search(line) and not NOLINT_JUSTIFIED.search(line):
+                findings.append((
+                    lineno,
+                    "NOLINT without justification — write "
+                    "`NOLINT(<check>): <reason>`",
+                ))
+            if NO_TSA.search(code) and "#define" not in code and \
+                    rel != "include/pa/check/thread_safety.h":
+                if not nearby_comment_mentions(lines, i,
+                                               "NO_THREAD_SAFETY_ANALYSIS"):
+                    findings.append((
+                        lineno,
+                        "PA_NO_THREAD_SAFETY_ANALYSIS without an adjacent "
+                        "justification comment naming it",
+                    ))
+    return findings
+
+
+def main() -> int:
+    failures = 0
+    for d in SCAN_DIRS:
+        root = REPO / d
+        if not root.is_dir():
+            continue
+        for path in sorted(root.rglob("*")):
+            if path.suffix not in CXX_SUFFIXES:
+                continue
+            rel = path.relative_to(REPO).as_posix()
+            try:
+                text = path.read_text(encoding="utf-8")
+            except UnicodeDecodeError:
+                continue
+            for lineno, message in lint_file(rel, text):
+                print(f"{rel}:{lineno}: {message}")
+                failures += 1
+    if failures:
+        print(f"\nlint: {failures} finding(s)", file=sys.stderr)
+        return 1
+    print("lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
