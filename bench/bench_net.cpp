@@ -1,0 +1,312 @@
+/// E14 — Wire-protocol cost of the manager↔agent split.
+///
+/// The paper's P* model puts an explicit coordination channel between the
+/// Pilot-Manager and its agents; this binary prices that channel:
+///  * framing throughput — encode + CRC + incremental decode, no I/O;
+///  * message round-trip latency over InProcTransport and TcpTransport
+///    (loopback sockets), the floor under every manager↔agent exchange;
+///  * end-to-end units/s of a PilotComputeService driven through
+///    RemoteRuntime (InProc and TCP) versus the in-process LocalRuntime
+///    baseline — the protocol overhead an application actually observes;
+///  * the manager's own heartbeat RTT histogram and wire counters,
+///    exported with --metrics-out alongside the "pcs.*"/"wm.*" series.
+
+#include <atomic>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "pa/check/mutex.h"
+#include "pa/common/stats.h"
+#include "pa/common/table.h"
+#include "pa/common/time_utils.h"
+#include "pa/core/pilot_compute_service.h"
+#include "pa/net/inproc_transport.h"
+#include "pa/net/message.h"
+#include "pa/net/tcp_transport.h"
+#include "pa/net/wire.h"
+#include "pa/obs/metrics.h"
+#include "pa/rt/local_runtime.h"
+#include "pa/rt/remote_runtime.h"
+
+namespace {
+
+using namespace pa;  // NOLINT
+
+// --- 1. framing throughput --------------------------------------------------
+
+void bench_framing(Table& table, std::size_t payload_bytes, int frames) {
+  const std::string payload(payload_bytes, 'x');
+  std::string stream;
+  stream.reserve((payload_bytes + net::kFrameHeaderBytes) * frames);
+
+  Stopwatch encode_watch;
+  for (int i = 0; i < frames; ++i) {
+    net::append_frame(stream, payload);
+  }
+  const double encode_s = encode_watch.elapsed();
+
+  net::FrameDecoder decoder;
+  std::string out;
+  int decoded = 0;
+  Stopwatch decode_watch;
+  // Feed in 64 KiB chunks, like a socket read loop.
+  constexpr std::size_t kChunk = 64 * 1024;
+  for (std::size_t off = 0; off < stream.size(); off += kChunk) {
+    decoder.feed(stream.data() + off,
+                 std::min(kChunk, stream.size() - off));
+    while (decoder.next(out) == net::FrameDecoder::Status::kFrame) {
+      ++decoded;
+    }
+  }
+  const double decode_s = decode_watch.elapsed();
+  if (decoded != frames) {
+    std::cerr << "framing bench decoded " << decoded << "/" << frames << "\n";
+  }
+
+  const double mb = static_cast<double>(stream.size()) / 1e6;
+  table.add_row({static_cast<std::int64_t>(payload_bytes),
+                 static_cast<std::int64_t>(frames),
+                 mb / encode_s,
+                 mb / decode_s,
+                 static_cast<double>(frames) / decode_s / 1e6});
+}
+
+// --- 2. transport round-trip latency ----------------------------------------
+
+/// Echo `rounds` one-frame messages and record full round-trip times.
+void bench_rtt(Table& table, net::Transport& transport,
+               const std::string& label, const std::string& endpoint,
+               int rounds) {
+  const std::string listen_endpoint =
+      transport.listen(endpoint, [](const net::ConnectionPtr& conn) {
+        net::ConnectionHandlers h;
+        h.on_message = [conn](const std::string& payload) {
+          std::string frame;
+          net::append_frame(frame, payload);
+          conn->send(frame);
+        };
+        return h;
+      });
+
+  check::Mutex mu{check::LockRank::kLeaf, "bench.rtt"};
+  check::CondVar cv;
+  int pending = 0;
+  net::ConnectionHandlers h;
+  h.on_message = [&](const std::string&) {
+    check::MutexLock lock(mu);
+    --pending;
+    cv.notify_one();
+  };
+  net::ConnectionPtr client = transport.connect(listen_endpoint, h);
+
+  SampleSet rtt;
+  std::string frame;
+  net::append_frame(frame, std::string(128, 'p'));
+  for (int i = 0; i < rounds; ++i) {
+    {
+      check::MutexLock lock(mu);
+      ++pending;
+    }
+    const double start = wall_seconds();
+    client->send(frame);
+    check::MutexLock lock(mu);
+    while (pending > 0) {
+      cv.wait(lock);
+    }
+    rtt.add((wall_seconds() - start) * 1e6);
+  }
+  client->close();
+
+  table.add_row({label, static_cast<std::int64_t>(rounds),
+                 rtt.percentile(50.0), rtt.percentile(95.0),
+                 rtt.percentile(99.0), rtt.mean()});
+}
+
+// --- 3. end-to-end units/s through the service ------------------------------
+
+struct Throughput {
+  double units_per_s = 0.0;
+  std::uint64_t done = 0;
+};
+
+Throughput run_units(core::PilotComputeService& service, int units) {
+  std::atomic<int> executed{0};
+  Stopwatch watch;
+  for (int i = 0; i < units; ++i) {
+    core::ComputeUnitDescription d;
+    d.work = [&executed]() { executed.fetch_add(1); };
+    service.submit_unit(d);
+  }
+  service.wait_all_units(600.0);
+  const double elapsed = watch.elapsed();
+  return {static_cast<double>(executed.load()) / elapsed,
+          service.metrics().units_done};
+}
+
+core::PilotDescription pilot_desc(const std::string& url, int nodes) {
+  core::PilotDescription d;
+  d.resource_url = url;
+  d.nodes = nodes;
+  d.walltime = 1e9;
+  return d;
+}
+
+/// Agents created by the launcher, kept alive for the run.
+struct Farm {
+  explicit Farm(net::Transport& transport) : transport(transport) {}
+  net::Transport& transport;
+  check::Mutex mu{check::LockRank::kLeaf, "bench.farm"};
+  std::vector<std::unique_ptr<rt::AgentEndpoint>> agents PA_GUARDED_BY(mu);
+};
+
+Throughput bench_remote(net::Transport& transport,
+                        const std::string& listen_endpoint, int cores,
+                        int units, obs::MetricsRegistry* metrics,
+                        double* heartbeat_wait_s = nullptr) {
+  Farm farm(transport);
+  rt::RemoteRuntimeConfig config;
+  config.listen_endpoint = listen_endpoint;
+  config.heartbeat_interval_seconds = 0.05;
+  config.metrics = metrics;
+  std::unique_ptr<rt::RemoteRuntime> runtime;
+  config.launcher = [&](const std::string& pilot_id,
+                        const std::string& endpoint) {
+    auto agent = std::make_unique<rt::AgentEndpoint>(
+        transport, endpoint, pilot_id, runtime->payloads());
+    check::MutexLock lock(farm.mu);
+    farm.agents.push_back(std::move(agent));
+  };
+  runtime = std::make_unique<rt::RemoteRuntime>(transport, std::move(config));
+  core::PilotComputeService service(*runtime, "backfill");
+
+  core::Pilot pilot = service.submit_pilot(pilot_desc("remote://bench", cores));
+  pilot.wait_active(30.0);
+  Throughput result = run_units(service, units);
+  if (heartbeat_wait_s != nullptr) {
+    // Let a few heartbeat round-trips land so the RTT histogram has
+    // samples even on fast runs.
+    const double deadline = wall_seconds() + *heartbeat_wait_s;
+    while (wall_seconds() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string metrics_path = pa::bench::metrics_out_path(argc, argv);
+  pa::bench::print_header("E14", "wire-protocol cost of the manager↔agent "
+                                 "split (pa::net + RemoteRuntime)");
+
+  // 1. Framing.
+  Table framing("E14a: framing throughput (encode = append_frame + CRC32, "
+                "decode = FrameDecoder over 64 KiB chunks)");
+  framing.set_columns({Column{"payload_B", 0, true},
+                       Column{"frames", 0, true},
+                       Column{"encode_MB_s", 1, true},
+                       Column{"decode_MB_s", 1, true},
+                       Column{"decode_Mframes_s", 3, true}});
+  bench_framing(framing, 64, 200000);
+  bench_framing(framing, 1024, 100000);
+  bench_framing(framing, 64 * 1024, 4000);
+  framing.print(std::cout);
+
+  // 2. Round-trip latency.
+  Table rtt("E14b: one-frame echo round-trip latency (microseconds)");
+  rtt.set_columns({Column{"transport", 0, true},
+                   Column{"rounds", 0, true},
+                   Column{"p50_us", 1, true},
+                   Column{"p95_us", 1, true},
+                   Column{"p99_us", 1, true},
+                   Column{"mean_us", 1, true}});
+  {
+    net::InProcTransport transport;
+    bench_rtt(rtt, transport, "inproc", "inproc://echo", 5000);
+    transport.stop();
+  }
+  if (net::tcp_loopback_available()) {
+    net::TcpTransport transport;
+    bench_rtt(rtt, transport, "tcp-loopback", "127.0.0.1:0", 5000);
+    transport.stop();
+  } else {
+    std::cout << "(TCP loopback unavailable; skipping socket RTT)\n";
+  }
+  rtt.print(std::cout);
+
+  // 3. End-to-end service throughput: LocalRuntime baseline vs
+  // RemoteRuntime over each transport.
+  const int cores = std::max(2u, std::thread::hardware_concurrency() / 2);
+  const int units = 2000;
+  obs::MetricsRegistry metrics;
+
+  Table e2e("E14c: PilotComputeService units/s, no-op payloads (" +
+            std::to_string(units) + " units, " + std::to_string(cores) +
+            "-core pilot)");
+  e2e.set_columns({Column{"runtime", 0, true},
+                   Column{"units_done", 0, true},
+                   Column{"units_per_s", 0, true},
+                   Column{"overhead_pct", 1, true}});
+
+  double local_rate = 0.0;
+  {
+    rt::LocalRuntime runtime;
+    core::PilotComputeService service(runtime, "backfill");
+    service.submit_pilot(pilot_desc("local://bench", cores)).wait_active(30.0);
+    Throughput t = run_units(service, units);
+    local_rate = t.units_per_s;
+    e2e.add_row({std::string("local (baseline)"),
+                 static_cast<std::int64_t>(t.done), t.units_per_s, 0.0});
+  }
+  {
+    net::InProcTransport transport;
+    Throughput t = bench_remote(transport, "inproc://manager", cores, units,
+                                nullptr);
+    e2e.add_row({std::string("remote/inproc"),
+                 static_cast<std::int64_t>(t.done), t.units_per_s,
+                 100.0 * (local_rate / t.units_per_s - 1.0)});
+    transport.stop();
+  }
+  if (net::tcp_loopback_available()) {
+    net::TcpTransport transport;
+    double settle = 0.5;  // collect heartbeat RTTs for the export
+    Throughput t = bench_remote(transport, "127.0.0.1:0", cores, units,
+                                &metrics, &settle);
+    e2e.add_row({std::string("remote/tcp"),
+                 static_cast<std::int64_t>(t.done), t.units_per_s,
+                 100.0 * (local_rate / t.units_per_s - 1.0)});
+    transport.stop();
+  }
+  e2e.print(std::cout);
+
+  // 4. The manager's own wire telemetry (TCP run above).
+  Table wire("E14d: manager wire telemetry (remote/tcp run)");
+  wire.set_columns({Column{"metric", 0, true}, Column{"value", 3, false}});
+  for (const auto& [name, value] : metrics.counters()) {
+    if (name.rfind("net.", 0) == 0) {
+      wire.add_row({name, static_cast<std::int64_t>(value)});
+    }
+  }
+  for (const auto& [name, value] : metrics.gauges()) {
+    if (name.rfind("net.", 0) == 0) {
+      wire.add_row({name, value});
+    }
+  }
+  for (const auto& [name, hist] : metrics.histograms()) {
+    if (name.rfind("net.", 0) == 0) {
+      wire.add_row({name + ".count",
+                    static_cast<std::int64_t>(hist.count())});
+      wire.add_row({name + ".mean", hist.mean()});
+      wire.add_row({name + ".max", hist.max()});
+    }
+  }
+  wire.print(std::cout);
+
+  pa::bench::write_metrics_file(metrics_path, &metrics);
+  return 0;
+}

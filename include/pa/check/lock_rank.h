@@ -21,6 +21,13 @@
 ///   10    PilotComputeService::mutex_   -> runtime, journal, tracer,
 ///                                          metrics, log (callbacks under
 ///                                          the service lock)
+///   12    RemoteRuntime/AgentEndpoint   -> transport, connection, payload
+///                                          table (execute_unit sends under
+///                                          the manager lock)
+///   14    net transport registry        -> connection (I/O loop snapshots
+///                                          the list, then locks one conn)
+///   16    net connection send queue     (peers never nested)
+///   18    rt::PayloadTable              (leaf of the net send path)
 ///   20    LocalRuntime::mutex_          -> thread pool, log
 ///   25    GroupCoordinator::mutex_      -> broker (rebalance queries
 ///                                          partition_count)
@@ -48,6 +55,10 @@ namespace pa::check {
 
 enum class LockRank : int {
   kService = 10,
+  kNetRuntime = 12,
+  kNetTransport = 14,
+  kNetConnection = 16,
+  kNetPayload = 18,
   kRuntime = 20,
   kStreamCoordinator = 25,
   kBrokerTopics = 30,

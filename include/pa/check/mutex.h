@@ -168,6 +168,13 @@ class CondVar {
   /// returning. The caller must re-test its predicate (spurious wakeups).
   void wait(MutexLock& lock);
 
+  /// Like wait(), but returns after at most `seconds` even without a
+  /// notification. Returns false on timeout, true when notified (possibly
+  /// spuriously — re-test the predicate either way). Used by periodic
+  /// background loops (net delivery, heartbeats) that must both react to
+  /// work promptly and observe a stop flag.
+  bool wait_for(MutexLock& lock, double seconds);
+
   void notify_one() noexcept { cv_.notify_one(); }
   void notify_all() noexcept { cv_.notify_all(); }
 

@@ -24,7 +24,7 @@ namespace pa::infra {
 using TransferId = std::uint64_t;
 
 struct LinkSpec {
-  double bandwidth_bps = 1.25e9;  ///< bytes/s would be clearer: we use bytes/s
+  double bandwidth_Bps = 1.25e9;  ///< BYTES per second (capital B): 1.25e9 = a 10 Gbit/s link
   double latency = 0.05;          ///< one-way startup latency, seconds
 };
 
@@ -84,8 +84,8 @@ class NetworkModel {
           ++n;
         }
       }
-      return n == 0 ? spec.bandwidth_bps
-                    : spec.bandwidth_bps / static_cast<double>(n);
+      return n == 0 ? spec.bandwidth_Bps
+                    : spec.bandwidth_Bps / static_cast<double>(n);
     }
   };
 

@@ -1,0 +1,66 @@
+#pragma once
+/// \file inproc_transport.h
+/// \brief Loopback Transport: both ends live in one process, frames move
+/// through lock-free MPSC queues serviced by one delivery thread.
+///
+/// This is the deterministic stand-in for TcpTransport: no ports, no
+/// kernel buffers, no partial reads — but the *same* framing (every send
+/// still passes through wire.h encode + FrameDecoder on the receiving
+/// side) and the same threading contract, so everything layered above is
+/// exercised unmodified. Tests and single-host RemoteRuntime deployments
+/// default to it.
+///
+/// Implementation notes (details in src/net/inproc_transport.cpp):
+///  * one delivery thread per transport serves every connection, which
+///    trivially satisfies "handlers are serialized per connection";
+///  * producers push frames wait-free (MpscQueue) and wake the delivery
+///    thread with a lock-free notify; a 1 ms timed wait bounds the damage
+///    of the inherent lost-wakeup race;
+///  * per-connection inbound queues are bounded in bytes; a full queue
+///    rejects the send (backpressure is surfaced, never silently buffered).
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "pa/net/transport.h"
+
+namespace pa::net {
+
+struct InProcTransportConfig {
+  /// Bound on bytes queued toward one connection's receiver; sends beyond
+  /// it fail fast with `send_rejected`.
+  std::size_t max_queue_bytes = 4 * 1024 * 1024;
+  /// Safety-net poll period of the delivery thread (covers the lock-free
+  /// wake race; normal wakeups are immediate).
+  double idle_wait_seconds = 0.001;
+};
+
+class InProcTransport final : public Transport {
+ public:
+  explicit InProcTransport(InProcTransportConfig config = {});
+  ~InProcTransport() override;
+
+  InProcTransport(const InProcTransport&) = delete;
+  InProcTransport& operator=(const InProcTransport&) = delete;
+
+  /// `endpoint` is a free-form name (convention: "inproc://manager");
+  /// returned unchanged. Throws pa::Error when already registered.
+  std::string listen(const std::string& endpoint,
+                     AcceptHandler on_accept) override;
+
+  /// Creates a connection pair and runs the acceptor on this thread.
+  ConnectionPtr connect(const std::string& endpoint,
+                        ConnectionHandlers handlers) override;
+
+  void stop() override;
+
+  /// Implementation detail, public only so the connection class in the
+  /// .cpp can hold a typed back-pointer; definition is file-local.
+  struct Impl;
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace pa::net

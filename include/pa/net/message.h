@@ -1,0 +1,140 @@
+#pragma once
+/// \file message.h
+/// \brief The pilot wire protocol: typed messages exchanged between the
+/// Pilot-Manager (rt::RemoteRuntime) and Pilot-Agent endpoints.
+///
+/// The P* model (paper Sec. IV-A, ref [6]) defines the manager and agents
+/// as distinct components joined by an explicit coordination channel; this
+/// header is that channel's vocabulary. Every message payload starts with
+/// a versioned header
+///
+///     u8 version | u8 type | u16 reserved | u64 seq | str pilot_id
+///
+/// followed by a type-specific body using the same compact primitives as
+/// the journal codec (fixed-width little-endian integers, u32
+/// length-prefixed strings). `seq` is assigned per connection by the
+/// sender, strictly increasing, so receivers can spot reordering or loss
+/// across a reconnect.
+///
+/// Message flow:
+///
+///     manager ──kStartPilot──▶ agent      (after the agent's kHello)
+///     manager ◀─kPilotActive── agent      (allocation up, cores + site)
+///     manager ──kExecuteUnit─▶ agent
+///     manager ◀──kUnitDone──── agent
+///     manager ──kHeartbeat───▶ agent
+///     manager ◀─kHeartbeatAck─ agent      (echoes the probe timestamp)
+///     manager ──kShutdown────▶ agent      (cancel / drain)
+///     manager ◀kPilotTerminated agent     (walltime end, agent failure)
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pa/core/types.h"
+
+namespace pa::net {
+
+/// Protocol version carried in every message header. Bump on any change
+/// to the header or a body layout; receivers reject unknown versions.
+inline constexpr std::uint8_t kProtocolVersion = 1;
+
+/// Values are stable wire identifiers — append only.
+enum class MessageType : std::uint8_t {
+  kHello = 1,            ///< agent -> manager: announces pilot_id on connect
+  kStartPilot = 2,       ///< manager -> agent: pilot description
+  kPilotActive = 3,      ///< agent -> manager: allocation up (cores, site)
+  kPilotTerminated = 4,  ///< agent -> manager: final pilot state
+  kExecuteUnit = 5,      ///< manager -> agent: run a unit
+  kUnitDone = 6,         ///< agent -> manager: unit completion
+  kHeartbeat = 7,        ///< manager -> agent: liveness probe (timestamp)
+  kHeartbeatAck = 8,     ///< agent -> manager: echo of the probe
+  kShutdown = 9,         ///< manager -> agent: cancel pilot, close down
+};
+
+const char* to_string(MessageType t);
+
+/// Serializable subset of core::ComputeUnitDescription. The `work`
+/// closure cannot cross a wire; agents resolve the payload by unit id
+/// (rt::PayloadTable in loopback deployments, a named executable in real
+/// ones) or burn CPU for `duration` when none resolves.
+struct WireUnitDescription {
+  std::string unit_id;
+  std::string name;
+  std::int32_t cores = 1;
+  double duration = 1.0;
+  std::vector<std::string> input_data;
+  std::vector<std::string> output_data;
+  std::string attributes;  ///< pa::Config::to_string round-trip
+  bool has_work = false;   ///< manager registered a resolvable payload
+
+  bool operator==(const WireUnitDescription&) const = default;
+};
+
+/// One protocol message. A flat struct rather than a variant: only the
+/// fields of the active `type` are encoded on the wire, the rest stay
+/// default-initialized (and are ignored by operator== via the codec
+/// round-trip tests, which compare decoded against freshly-made values).
+struct Message {
+  MessageType type = MessageType::kHeartbeat;
+  std::uint64_t seq = 0;
+  std::string pilot_id;
+
+  // kStartPilot
+  std::string resource_url;
+  std::int32_t nodes = 0;
+  double walltime = 0.0;
+  std::int32_t priority = 0;
+  double cost_per_core_hour = 0.0;
+  std::string pilot_attributes;  ///< pa::Config::to_string round-trip
+
+  // kPilotActive
+  std::int32_t total_cores = 0;
+  std::string site;
+
+  // kPilotTerminated
+  core::PilotState pilot_state = core::PilotState::kNew;
+
+  // kExecuteUnit
+  WireUnitDescription unit;
+
+  // kUnitDone
+  std::string unit_id;
+  bool success = false;
+
+  // kHeartbeat / kHeartbeatAck
+  double timestamp = 0.0;
+
+  bool operator==(const Message&) const = default;
+};
+
+/// Serializes the message body (header + type body, no frame).
+std::string encode_message(const Message& message);
+
+/// Parses a message body; throws pa::Error on malformed input, unknown
+/// type, or unsupported version.
+Message decode_message(const char* data, std::size_t size);
+
+/// Convenience: encode_message + append_frame (wire.h framing).
+void append_message_frame(std::string& out, const Message& message);
+
+// --- adapters to/from the core vocabulary -----------------------------------
+
+/// kStartPilot from a pilot description (attributes flattened to text).
+Message make_start_pilot(const std::string& pilot_id,
+                         const core::PilotDescription& description);
+
+/// Rebuilds the description a kStartPilot message carries.
+core::PilotDescription to_pilot_description(const Message& message);
+
+/// Serializable view of a unit description (drops the work closure;
+/// `has_work` records whether the manager registered one).
+WireUnitDescription to_wire_unit(const std::string& unit_id,
+                                 const core::ComputeUnitDescription& d,
+                                 bool has_work);
+
+/// Rebuilds an executable description from the wire form (work unset —
+/// the agent resolves it separately).
+core::ComputeUnitDescription to_unit_description(const WireUnitDescription& w);
+
+}  // namespace pa::net

@@ -1,0 +1,84 @@
+#pragma once
+/// \file mpsc_queue.h
+/// \brief Lock-free multi-producer single-consumer FIFO (Vyukov's
+/// algorithm) used by InProcTransport to move frames from sender threads
+/// to the delivery thread without taking a lock on the hot path.
+///
+/// Properties:
+///  * `push` is wait-free for producers (one exchange + one store);
+///  * `pop` is single-consumer only — exactly one thread may call it;
+///  * there is a transient window after a producer's exchange and before
+///    its `next` store where `pop` reports empty although an item is in
+///    flight. Consumers must therefore never rely on a single empty pop
+///    as a quiescence signal; the delivery thread pairs the queue with a
+///    timed CondVar wait as a safety net.
+///
+/// Memory: one heap node per element plus a permanent stub; the consumer
+/// frees nodes as it pops. Destroying the queue drains remaining nodes
+/// (producers must be quiesced first).
+
+#include <atomic>
+#include <utility>
+
+namespace pa::net {
+
+template <typename T>
+class MpscQueue {
+ public:
+  MpscQueue() : head_(new Node()), tail_(head_.load()) {}
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  ~MpscQueue() {
+    Node* node = tail_;
+    while (node != nullptr) {
+      Node* next = node->next.load(std::memory_order_relaxed);
+      delete node;
+      node = next;
+    }
+  }
+
+  /// Producer side; safe from any number of threads concurrently.
+  void push(T value) {
+    Node* node = new Node(std::move(value));
+    // Publish the node as the new head, then link the previous head to
+    // it. Between the two steps the list is momentarily disconnected —
+    // see the file comment for the consumer-visible consequence.
+    Node* prev = head_.exchange(node, std::memory_order_acq_rel);
+    prev->next.store(node, std::memory_order_release);
+  }
+
+  /// Consumer side; exactly one thread. Returns false when no linked
+  /// element is available (possibly transiently — see file comment).
+  bool pop(T& out) {
+    Node* tail = tail_;
+    Node* next = tail->next.load(std::memory_order_acquire);
+    if (next == nullptr) {
+      return false;
+    }
+    out = std::move(next->value);
+    tail_ = next;
+    delete tail;
+    return true;
+  }
+
+  /// Approximate: true when the consumer has caught up with every
+  /// *linked* element. An in-flight push may not be visible yet.
+  bool empty() const {
+    return tail_->next.load(std::memory_order_acquire) == nullptr;
+  }
+
+ private:
+  struct Node {
+    Node() = default;
+    explicit Node(T v) : value(std::move(v)) {}
+    std::atomic<Node*> next{nullptr};
+    T value{};
+  };
+
+  std::atomic<Node*> head_;  ///< producers exchange here (most recent)
+  Node* tail_;               ///< consumer-owned (oldest, stub included)
+};
+
+}  // namespace pa::net

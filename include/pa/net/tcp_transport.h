@@ -1,0 +1,93 @@
+#pragma once
+/// \file tcp_transport.h
+/// \brief Real-socket Transport: non-blocking TCP on 127.0.0.1 with a
+/// dedicated I/O thread, bounded send queues, and client-side reconnect
+/// with exponential backoff + jitter.
+///
+/// Threading model (details in src/net/tcp_transport.cpp):
+///  * one I/O thread per transport owns every socket after registration:
+///    it polls, reads, decodes, dispatches handlers, flushes writes, and
+///    runs the reconnect timers. `listen`/`connect` create their sockets
+///    on the calling thread (so they can throw synchronously on a taken
+///    port / refused connection) and immediately hand the fd over;
+///  * application threads only ever touch buffers: `send()` appends a
+///    frame to the connection's bounded queue under the connection lock
+///    (rank kNetConnection) and wakes the I/O thread through a self-pipe.
+///
+/// Reconnect (client connections only — accepted connections cannot call
+/// back): on stream drop the connection stays logically open, the fd is
+/// rebuilt after an exponentially backed-off, jittered delay, and the
+/// `on_reconnect` handler fires so the application can re-introduce
+/// itself (RemoteRuntime agents re-send kHello). Bytes handed to the old
+/// socket but not received are lost (at-most-once); frames still queued
+/// locally survive the reconnect intact, since queues only ever hold
+/// whole frames. Whether a silent peer is *dead* is decided a layer up,
+/// by RemoteRuntime heartbeats — not by the transport.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "pa/net/transport.h"
+
+namespace pa::net {
+
+struct TcpTransportConfig {
+  /// Bound on bytes queued toward one connection's socket; sends beyond
+  /// it fail fast with `send_rejected`.
+  std::size_t max_send_queue_bytes = 4 * 1024 * 1024;
+  /// Upper bound on the I/O thread's poll timeout; wakeups via the
+  /// self-pipe are immediate, this only caps timer latency.
+  double poll_interval_seconds = 0.010;
+  /// Client connections re-dial after a stream drop.
+  bool reconnect = true;
+  double backoff_initial_seconds = 0.05;
+  double backoff_max_seconds = 2.0;
+  double backoff_multiplier = 2.0;
+  /// Each delay is scaled by a uniform factor in [1-j, 1+j] to decorrelate
+  /// clients redialing a restarted manager.
+  double backoff_jitter = 0.25;
+  /// Give up (and surface on_close) after this many consecutive failed
+  /// redials; 0 = never give up, the heartbeat layer decides.
+  int max_reconnect_attempts = 0;
+  /// Seed for the backoff jitter (pa::Rng keeps the transport off the
+  /// nondeterminism lint; distinct transports should use distinct seeds).
+  std::uint64_t jitter_seed = 0x7c95;
+};
+
+class TcpTransport final : public Transport {
+ public:
+  explicit TcpTransport(TcpTransportConfig config = {});
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  /// `endpoint` is "host:port" or "tcp://host:port" with a numeric IPv4
+  /// host (loopback in practice). Port 0 asks the kernel; the returned
+  /// string carries the resolved port.
+  std::string listen(const std::string& endpoint,
+                     AcceptHandler on_accept) override;
+
+  ConnectionPtr connect(const std::string& endpoint,
+                        ConnectionHandlers handlers) override;
+
+  void stop() override;
+
+  /// Implementation detail, public only so the connection class in the
+  /// .cpp can hold a typed back-pointer; definition is file-local.
+  struct Impl;
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
+
+/// True when this process can bind + connect a TCP socket on 127.0.0.1
+/// (probed once and cached). Sandboxes without network namespaces fail
+/// this; tests use it to GTEST_SKIP rather than fail, and keeping the
+/// probe here keeps socket syscalls confined to tcp_transport.cpp
+/// (tools/lint.py rule 4).
+bool tcp_loopback_available();
+
+}  // namespace pa::net

@@ -1,0 +1,122 @@
+#pragma once
+/// \file transport.h
+/// \brief Transport abstraction for the manager↔agent coordination channel.
+///
+/// The pilot papers treat manager↔agent communication as the dominant
+/// overhead at scale; this interface makes that path explicit and
+/// swappable. Two implementations ship:
+///
+///  * `InProcTransport` (inproc_transport.h) — lock-free-queue loopback
+///    inside one process: deterministic, port-free, the default for tests
+///    and for the RemoteRuntime's loopback deployments;
+///  * `TcpTransport` (tcp_transport.h) — real non-blocking sockets on
+///    127.0.0.1 with a dedicated I/O thread, heartbeat-friendly framing
+///    and reconnect with exponential backoff.
+///
+/// Both speak the same framed message protocol (wire.h + message.h), so
+/// everything above `Transport` — RemoteRuntime, PilotComputeService,
+/// WorkloadManager — is transport-agnostic.
+///
+/// Threading contract (identical for all implementations):
+///
+///  * `on_message` / `on_close` fire on the transport's delivery thread,
+///    one at a time per connection, never concurrently with each other;
+///  * handlers must not call back into the connection's `close()` (use
+///    `Transport::stop()` or close from another thread) but may `send()`;
+///  * `Connection::close()` is a barrier: once it returns, no handler for
+///    that connection is running or will run again. Never call it while
+///    holding a lock a handler acquires.
+///
+/// Delivery guarantees: messages on one connection arrive in send order,
+/// at most once. A frame accepted by `send()` can still be lost if the
+/// connection drops before the peer reads it; liveness and retry live a
+/// layer up (RemoteRuntime heartbeats + requeue).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace pa::net {
+
+/// Per-connection counters, exported through pa::obs by the owners.
+/// Snapshot semantics: values are monotonically increasing except
+/// `send_queue_depth` (instantaneous) — read them after quiescing for
+/// exact totals.
+struct ConnectionStats {
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t messages_in = 0;
+  std::uint64_t messages_out = 0;
+  std::uint64_t send_queue_depth = 0;     ///< bytes currently queued
+  std::uint64_t send_queue_hwm = 0;       ///< high-water mark of depth
+  std::uint64_t send_rejected = 0;        ///< sends refused (backpressure)
+  std::uint64_t reconnects = 0;           ///< successful re-establishments
+};
+
+/// One bidirectional, framed message stream.
+class Connection {
+ public:
+  virtual ~Connection() = default;
+
+  /// Enqueues one already-framed buffer (append_frame / append_message_
+  /// frame output). Returns false — and bumps `send_rejected` — when the
+  /// connection is closed or its bounded send queue is full; the caller
+  /// decides whether that is fatal (RemoteRuntime lets the heartbeat
+  /// deadline make the call). Thread-safe.
+  virtual bool send(std::string frame) = 0;
+
+  /// Closes and acts as a barrier for this connection's handlers (see
+  /// file comment). Idempotent. `on_close` fires at most once, before
+  /// the first close() returns.
+  virtual void close() = 0;
+
+  virtual bool is_open() const = 0;
+
+  virtual ConnectionStats stats() const = 0;
+};
+
+using ConnectionPtr = std::shared_ptr<Connection>;
+
+/// Handlers for one connection, fixed at creation. `payload` is one
+/// decoded frame payload (CRC-verified); decode_message() it.
+struct ConnectionHandlers {
+  std::function<void(const std::string& payload)> on_message;
+  std::function<void()> on_close;
+  /// TCP client connections only: the stream was re-established after a
+  /// drop. Fires on the delivery thread, before any message received on
+  /// the new stream; use it to re-introduce yourself (agents re-send
+  /// kHello). Never fires on InProc or accepted connections.
+  std::function<void()> on_reconnect;
+};
+
+/// Called for every inbound connection on a listening endpoint; returns
+/// the handlers to attach. Runs on the transport's delivery/IO thread
+/// (TCP) or on the connecting thread (InProc) — keep it cheap and do not
+/// close connections from inside it.
+using AcceptHandler =
+    std::function<ConnectionHandlers(const ConnectionPtr& connection)>;
+
+/// Factory for connections. Implementations own their delivery threads;
+/// destroying the transport stops them (equivalent to stop()).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Starts listening on `endpoint` and returns the resolved endpoint
+  /// (e.g. "127.0.0.1:0" resolves the kernel-chosen port; InProc echoes
+  /// the registered name). Throws pa::Error when the endpoint is taken.
+  virtual std::string listen(const std::string& endpoint,
+                             AcceptHandler on_accept) = 0;
+
+  /// Connects to a listening endpoint. Returns an open connection or
+  /// throws pa::Error when the endpoint does not exist / refuses.
+  virtual ConnectionPtr connect(const std::string& endpoint,
+                                ConnectionHandlers handlers) = 0;
+
+  /// Closes every connection and stops delivery threads. Barrier: after
+  /// stop() returns no handler is running. Idempotent.
+  virtual void stop() = 0;
+};
+
+}  // namespace pa::net

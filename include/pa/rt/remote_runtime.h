@@ -1,0 +1,213 @@
+#pragma once
+/// \file remote_runtime.h
+/// \brief Runtime binding that drives pilots over a pa::net wire: the
+/// Pilot-Manager half speaks the message protocol to Pilot-Agent
+/// endpoints instead of calling an in-process substrate directly.
+///
+/// This realizes the P* split the paper builds on: manager and agents
+/// are separate components joined by an explicit coordination channel,
+/// and the manager↔agent path — the dominant overhead at scale — becomes
+/// measurable wire traffic. Everything above `core::Runtime`
+/// (PilotComputeService, WorkloadManager, the engines) runs unchanged.
+///
+///     PilotComputeService
+///            │ core::Runtime
+///     RemoteRuntime (manager)      AgentEndpoint (one per pilot)
+///            │ kStartPilot/kExecuteUnit ──▶ │
+///            │ ◀── kPilotActive/kUnitDone  │ LocalRuntime (pool)
+///            └───── net::Transport ────────┘
+///
+/// Liveness: the manager heartbeats every agent; an agent that misses
+/// `heartbeat_miss_limit` consecutive intervals is declared dead and its
+/// pilot surfaces through `on_terminated(kFailed)` — which drives the
+/// middleware's existing orphan-requeue recovery. A dropped *connection*
+/// alone does not kill a pilot (TCP clients reconnect and re-introduce
+/// themselves); the heartbeat deadline is the only death authority.
+///
+/// Payloads: `ComputeUnitDescription::work` closures cannot cross a
+/// wire. The manager parks them in a `PayloadTable` keyed by unit id and
+/// the (in-process) agent resolves them by key — the loopback stand-in
+/// for the named-executable dispatch a multi-host deployment would use.
+/// Units without a resolvable payload burn CPU for their declared
+/// duration, exactly like LocalRuntime.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pa/check/mutex.h"
+#include "pa/core/runtime.h"
+#include "pa/net/message.h"
+#include "pa/net/transport.h"
+#include "pa/obs/metrics.h"
+#include "pa/rt/local_runtime.h"
+
+namespace pa::rt {
+
+/// Thread-safe unit_id -> work-closure map shared between the manager
+/// and in-process agents. The manager re-puts on every execute_unit, so
+/// requeued units resolve their payload again on the retry.
+class PayloadTable {
+ public:
+  void put(const std::string& unit_id, std::function<void()> work);
+  /// Removes and returns the closure, or an empty function when absent
+  /// (agent falls back to duration burn).
+  std::function<void()> take(const std::string& unit_id);
+  std::size_t size() const;
+
+ private:
+  /// Leaf of the net send path (DESIGN.md lock hierarchy, rank 18).
+  mutable check::Mutex mutex_{check::LockRank::kNetPayload,
+                              "rt::PayloadTable"};
+  std::map<std::string, std::function<void()>> work_ PA_GUARDED_BY(mutex_);
+};
+
+/// The Pilot-Agent: connects to the manager's endpoint, announces its
+/// pilot id (kHello), then executes whatever the manager sends on an
+/// embedded LocalRuntime. One instance per pilot, created by the
+/// `AgentLauncher` — in-process here; a real deployment would submit a
+/// placeholder job that exec's an agent binary doing exactly this.
+class AgentEndpoint {
+ public:
+  /// Connects immediately; throws pa::Error when the manager endpoint is
+  /// unreachable. `transport` must outlive the endpoint.
+  AgentEndpoint(net::Transport& transport, const std::string& endpoint,
+                std::string pilot_id, std::shared_ptr<PayloadTable> payloads,
+                LocalRuntimeConfig local_config = {});
+  ~AgentEndpoint();
+
+  AgentEndpoint(const AgentEndpoint&) = delete;
+  AgentEndpoint& operator=(const AgentEndpoint&) = delete;
+
+  /// Test hook: while true the agent swallows heartbeats (simulating a
+  /// hung agent process) so the manager's miss-limit logic can be
+  /// exercised without killing real sockets.
+  void set_unresponsive(bool value) { unresponsive_.store(value); }
+
+  /// Wire counters of the agent's connection (reconnects live here: the
+  /// agent is the dialing side).
+  net::ConnectionStats stats() const { return conn_->stats(); }
+
+ private:
+  void handle_message(const std::string& payload);
+  void send(net::Message message);
+
+  const std::string pilot_id_;
+  const std::shared_ptr<PayloadTable> payloads_;
+
+  // conn_ is declared before local_ so workers still draining inside
+  // ~LocalRuntime can send on a (closed) connection that is still alive.
+  net::ConnectionPtr conn_;
+  LocalRuntime local_;
+
+  std::atomic<bool> unresponsive_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<std::uint64_t> seq_{0};
+
+  // Cached kPilotActive body for idempotent duplicate kStartPilot
+  // handling after a reconnect; site_/cores_ are published before
+  // active_sent_ (release) and only read after it (acquire).
+  int active_cores_ = 0;
+  std::string active_site_;
+  std::atomic<bool> active_sent_{false};
+};
+
+/// Launches the agent for `pilot_id` against the manager's resolved
+/// endpoint. Runs inside start_pilot — keep it non-blocking (create an
+/// AgentEndpoint, or submit a job that will create one).
+using AgentLauncher =
+    std::function<void(const std::string& pilot_id,
+                       const std::string& endpoint)>;
+
+struct RemoteRuntimeConfig {
+  /// Passed to Transport::listen; "inproc://manager" or "127.0.0.1:0".
+  std::string listen_endpoint = "inproc://manager";
+  double heartbeat_interval_seconds = 0.25;
+  /// Dead after `heartbeat_interval_seconds * heartbeat_miss_limit`
+  /// without an ack (or any other sign of life).
+  int heartbeat_miss_limit = 4;
+  /// Required: how pilots become agents.
+  AgentLauncher launcher;
+  /// Optional sink for heartbeat RTT, reconnects, queue HWM, bytes.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// Manager-side core::Runtime over a pa::net transport. Thread-safe.
+///
+/// Resource URLs: scheme "remote" (e.g. "remote://cluster-a"); the agent
+/// rewrites it to "local://" for its embedded substrate.
+class RemoteRuntime : public core::Runtime {
+ public:
+  /// Starts listening and the heartbeat thread. `transport` must outlive
+  /// the runtime and is not stopped by it.
+  RemoteRuntime(net::Transport& transport, RemoteRuntimeConfig config);
+  ~RemoteRuntime() override;
+
+  /// Resolved listen endpoint (kernel-chosen port filled in for TCP).
+  const std::string& endpoint() const { return endpoint_; }
+
+  /// The table in-process agents resolve work closures from.
+  const std::shared_ptr<PayloadTable>& payloads() const { return payloads_; }
+
+  void start_pilot(const std::string& pilot_id,
+                   const core::PilotDescription& description,
+                   core::PilotRuntimeCallbacks callbacks) override;
+  void cancel_pilot(const std::string& pilot_id) override;
+  void execute_unit(const std::string& pilot_id,
+                    const core::ComputeUnitDescription& description,
+                    const std::string& unit_id,
+                    std::function<void(bool)> on_done) override;
+  double now() const override;
+  void drive_until(const std::function<bool()>& predicate,
+                   double timeout_seconds) override;
+
+ private:
+  struct PilotEntry {
+    core::PilotDescription description;
+    core::PilotRuntimeCallbacks callbacks;
+    net::ConnectionPtr conn;  ///< null until the agent's kHello
+    bool active = false;
+    double last_alive = 0.0;  ///< runtime-clock time of last sign of life
+    std::uint64_t hello_count = 0;  ///< re-hellos = agent reconnects
+    std::uint64_t seq = 0;
+    std::map<std::string, std::function<void(bool)>> inflight;
+  };
+
+  void handle_message(const std::weak_ptr<net::Connection>& from,
+                      const std::string& payload);
+  void heartbeat_loop();
+  bool send_on(const net::ConnectionPtr& conn, net::Message message);
+
+  RemoteRuntimeConfig config_;
+  net::Transport& transport_;
+  std::string endpoint_;
+  std::shared_ptr<PayloadTable> payloads_ = std::make_shared<PayloadTable>();
+  double epoch_;
+
+  /// Rank kNetRuntime (12): sits between the service lock (10) that is
+  /// held across execute_unit and the transport/connection/payload locks
+  /// (14/16/18) the send path takes. NEVER held while invoking service
+  /// callbacks or Connection::close() — copy under the lock, release,
+  /// then call out.
+  mutable check::Mutex mutex_{check::LockRank::kNetRuntime,
+                              "rt::RemoteRuntime"};
+  check::CondVar cv_;
+  std::map<std::string, std::shared_ptr<PilotEntry>> pilots_
+      PA_GUARDED_BY(mutex_);
+  /// Connections of terminated pilots, closed by the heartbeat thread
+  /// (handlers may not close their own connection).
+  std::vector<net::ConnectionPtr> zombies_ PA_GUARDED_BY(mutex_);
+  /// Accepted connections awaiting their kHello (not yet mapped to a
+  /// pilot); severed at shutdown so their handlers cannot outlive us.
+  std::vector<std::weak_ptr<net::Connection>> pending_ PA_GUARDED_BY(mutex_);
+  bool stopping_ PA_GUARDED_BY(mutex_) = false;
+
+  std::thread heartbeat_;
+};
+
+}  // namespace pa::rt

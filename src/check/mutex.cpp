@@ -1,5 +1,6 @@
 #include "pa/check/mutex.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -173,6 +174,16 @@ void CondVar::wait(MutexLock& lock) {
   std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
   cv_.wait(native);
   native.release();
+}
+
+bool CondVar::wait_for(MutexLock& lock, double seconds) {
+  Mutex& mu = lock.mu_;
+  lock_rank::note_wait(&mu, mu.name());
+  std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+  const auto status = cv_.wait_for(
+      native, std::chrono::duration<double>(seconds < 0.0 ? 0.0 : seconds));
+  native.release();
+  return status == std::cv_status::no_timeout;
 }
 
 }  // namespace pa::check

@@ -8,7 +8,7 @@ NetworkModel::NetworkModel(sim::Engine& engine) : engine_(engine) {}
 
 void NetworkModel::set_link(const std::string& src, const std::string& dst,
                             LinkSpec spec, bool symmetric) {
-  PA_REQUIRE_ARG(spec.bandwidth_bps > 0.0, "bandwidth must be positive");
+  PA_REQUIRE_ARG(spec.bandwidth_Bps > 0.0, "bandwidth must be positive");
   PA_REQUIRE_ARG(spec.latency >= 0.0, "latency must be non-negative");
   specs_[{src, dst}] = spec;
   if (symmetric) {
@@ -151,7 +151,7 @@ double NetworkModel::estimate_seconds(const std::string& src,
                                       const std::string& dst,
                                       double bytes) const {
   const LinkSpec& spec = spec_for(src, dst);
-  return spec.latency + bytes / spec.bandwidth_bps;
+  return spec.latency + bytes / spec.bandwidth_Bps;
 }
 
 int NetworkModel::active_on_link(const std::string& src,

@@ -1,0 +1,301 @@
+#include "pa/net/message.h"
+
+#include <cstring>
+
+#include "pa/common/error.h"
+#include "pa/net/wire.h"
+
+namespace pa::net {
+
+namespace {
+
+// Same compact primitives as the journal codec (src/journal/record.cpp):
+// fixed-width little-endian integers, u32 length-prefixed strings.
+
+void put_u8(std::string& out, std::uint8_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void put_u16(std::string& out, std::uint16_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void put_i32(std::string& out, std::int32_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void put_f64(std::string& out, double v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void put_string(std::string& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+void put_string_list(std::string& out, const std::vector<std::string>& v) {
+  put_u32(out, static_cast<std::uint32_t>(v.size()));
+  for (const std::string& s : v) {
+    put_string(out, s);
+  }
+}
+
+/// Bounds-checked cursor over a message payload.
+struct Cursor {
+  const char* data;
+  std::size_t size;
+  std::size_t pos = 0;
+
+  void need(std::size_t n) const {
+    if (pos + n > size) {
+      throw Error("net message truncated mid-payload");
+    }
+  }
+  template <typename T>
+  T take() {
+    need(sizeof(T));
+    T v;
+    std::memcpy(&v, data + pos, sizeof(T));
+    pos += sizeof(T);
+    return v;
+  }
+  std::string take_string() {
+    const auto n = take<std::uint32_t>();
+    need(n);
+    std::string s(data + pos, n);
+    pos += n;
+    return s;
+  }
+  std::vector<std::string> take_string_list() {
+    const auto n = take<std::uint32_t>();
+    // Each entry costs at least its 4-byte length prefix; reject counts
+    // the remaining bytes cannot possibly satisfy before reserving.
+    if (n > (size - pos) / sizeof(std::uint32_t)) {
+      throw Error("net message string list count exceeds payload");
+    }
+    std::vector<std::string> v;
+    v.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      v.push_back(take_string());
+    }
+    return v;
+  }
+};
+
+void put_unit(std::string& out, const WireUnitDescription& u) {
+  put_string(out, u.unit_id);
+  put_string(out, u.name);
+  put_i32(out, u.cores);
+  put_f64(out, u.duration);
+  put_string_list(out, u.input_data);
+  put_string_list(out, u.output_data);
+  put_string(out, u.attributes);
+  put_u8(out, u.has_work ? 1 : 0);
+}
+
+WireUnitDescription take_unit(Cursor& c) {
+  WireUnitDescription u;
+  u.unit_id = c.take_string();
+  u.name = c.take_string();
+  u.cores = c.take<std::int32_t>();
+  u.duration = c.take<double>();
+  u.input_data = c.take_string_list();
+  u.output_data = c.take_string_list();
+  u.attributes = c.take_string();
+  u.has_work = c.take<std::uint8_t>() != 0;
+  return u;
+}
+
+}  // namespace
+
+const char* to_string(MessageType t) {
+  switch (t) {
+    case MessageType::kHello:
+      return "hello";
+    case MessageType::kStartPilot:
+      return "start_pilot";
+    case MessageType::kPilotActive:
+      return "pilot_active";
+    case MessageType::kPilotTerminated:
+      return "pilot_terminated";
+    case MessageType::kExecuteUnit:
+      return "execute_unit";
+    case MessageType::kUnitDone:
+      return "unit_done";
+    case MessageType::kHeartbeat:
+      return "heartbeat";
+    case MessageType::kHeartbeatAck:
+      return "heartbeat_ack";
+    case MessageType::kShutdown:
+      return "shutdown";
+  }
+  return "unknown";
+}
+
+std::string encode_message(const Message& m) {
+  std::string out;
+  put_u8(out, kProtocolVersion);
+  put_u8(out, static_cast<std::uint8_t>(m.type));
+  put_u16(out, 0);  // reserved
+  put_u64(out, m.seq);
+  put_string(out, m.pilot_id);
+  switch (m.type) {
+    case MessageType::kHello:
+    case MessageType::kShutdown:
+      break;  // header only
+    case MessageType::kStartPilot:
+      put_string(out, m.resource_url);
+      put_i32(out, m.nodes);
+      put_f64(out, m.walltime);
+      put_i32(out, m.priority);
+      put_f64(out, m.cost_per_core_hour);
+      put_string(out, m.pilot_attributes);
+      break;
+    case MessageType::kPilotActive:
+      put_i32(out, m.total_cores);
+      put_string(out, m.site);
+      break;
+    case MessageType::kPilotTerminated:
+      put_u16(out, static_cast<std::uint16_t>(m.pilot_state));
+      break;
+    case MessageType::kExecuteUnit:
+      put_unit(out, m.unit);
+      break;
+    case MessageType::kUnitDone:
+      put_string(out, m.unit_id);
+      put_u8(out, m.success ? 1 : 0);
+      put_f64(out, m.timestamp);
+      break;
+    case MessageType::kHeartbeat:
+    case MessageType::kHeartbeatAck:
+      put_f64(out, m.timestamp);
+      break;
+  }
+  return out;
+}
+
+Message decode_message(const char* data, std::size_t size) {
+  Cursor c{data, size};
+  const auto version = c.take<std::uint8_t>();
+  if (version != kProtocolVersion) {
+    throw Error("net message has unsupported protocol version " +
+                std::to_string(version));
+  }
+  const auto type = c.take<std::uint8_t>();
+  if (type < static_cast<std::uint8_t>(MessageType::kHello) ||
+      type > static_cast<std::uint8_t>(MessageType::kShutdown)) {
+    throw Error("net message has unknown type " + std::to_string(type));
+  }
+  (void)c.take<std::uint16_t>();  // reserved
+  Message m;
+  m.type = static_cast<MessageType>(type);
+  m.seq = c.take<std::uint64_t>();
+  m.pilot_id = c.take_string();
+  switch (m.type) {
+    case MessageType::kHello:
+    case MessageType::kShutdown:
+      break;
+    case MessageType::kStartPilot:
+      m.resource_url = c.take_string();
+      m.nodes = c.take<std::int32_t>();
+      m.walltime = c.take<double>();
+      m.priority = c.take<std::int32_t>();
+      m.cost_per_core_hour = c.take<double>();
+      m.pilot_attributes = c.take_string();
+      break;
+    case MessageType::kPilotActive:
+      m.total_cores = c.take<std::int32_t>();
+      m.site = c.take_string();
+      break;
+    case MessageType::kPilotTerminated: {
+      const auto state = c.take<std::uint16_t>();
+      if (state > static_cast<std::uint16_t>(core::PilotState::kCanceled)) {
+        throw Error("net message has unknown pilot state " +
+                    std::to_string(state));
+      }
+      m.pilot_state = static_cast<core::PilotState>(state);
+      break;
+    }
+    case MessageType::kExecuteUnit:
+      m.unit = take_unit(c);
+      break;
+    case MessageType::kUnitDone:
+      m.unit_id = c.take_string();
+      m.success = c.take<std::uint8_t>() != 0;
+      m.timestamp = c.take<double>();
+      break;
+    case MessageType::kHeartbeat:
+    case MessageType::kHeartbeatAck:
+      m.timestamp = c.take<double>();
+      break;
+  }
+  if (c.pos != size) {
+    throw Error("net message has trailing bytes");
+  }
+  return m;
+}
+
+void append_message_frame(std::string& out, const Message& message) {
+  append_frame(out, encode_message(message));
+}
+
+Message make_start_pilot(const std::string& pilot_id,
+                         const core::PilotDescription& description) {
+  Message m;
+  m.type = MessageType::kStartPilot;
+  m.pilot_id = pilot_id;
+  m.resource_url = description.resource_url;
+  m.nodes = description.nodes;
+  m.walltime = description.walltime;
+  m.priority = description.priority;
+  m.cost_per_core_hour = description.cost_per_core_hour;
+  m.pilot_attributes = description.attributes.to_string();
+  return m;
+}
+
+core::PilotDescription to_pilot_description(const Message& message) {
+  core::PilotDescription d;
+  d.resource_url = message.resource_url;
+  d.nodes = message.nodes;
+  d.walltime = message.walltime;
+  d.priority = message.priority;
+  d.cost_per_core_hour = message.cost_per_core_hour;
+  d.attributes = Config::parse(message.pilot_attributes);
+  return d;
+}
+
+WireUnitDescription to_wire_unit(const std::string& unit_id,
+                                 const core::ComputeUnitDescription& d,
+                                 bool has_work) {
+  WireUnitDescription w;
+  w.unit_id = unit_id;
+  w.name = d.name;
+  w.cores = d.cores;
+  w.duration = d.duration;
+  w.input_data = d.input_data;
+  w.output_data = d.output_data;
+  w.attributes = d.attributes.to_string();
+  w.has_work = has_work;
+  return w;
+}
+
+core::ComputeUnitDescription to_unit_description(const WireUnitDescription& w) {
+  core::ComputeUnitDescription d;
+  d.name = w.name;
+  d.cores = w.cores;
+  d.duration = w.duration;
+  d.input_data = w.input_data;
+  d.output_data = w.output_data;
+  d.attributes = Config::parse(w.attributes);
+  return d;
+}
+
+}  // namespace pa::net

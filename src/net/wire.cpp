@@ -1,0 +1,71 @@
+#include "pa/net/wire.h"
+
+#include <cstring>
+
+#include "pa/common/error.h"
+#include "pa/journal/crc32.h"
+
+namespace pa::net {
+
+void append_frame(std::string& out, const std::string& payload) {
+  PA_REQUIRE_ARG(payload.size() <= kMaxFramePayloadBytes,
+                 "net frame payload too large: " << payload.size() << " > "
+                                                 << kMaxFramePayloadBytes);
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  const std::uint32_t crc = journal::crc32(payload.data(), payload.size());
+  out.append(reinterpret_cast<const char*>(&length), sizeof(length));
+  out.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  out.append(payload);
+}
+
+void FrameDecoder::feed(const char* data, std::size_t size) {
+  if (failed_ || size == 0) {
+    return;
+  }
+  // Drop the consumed prefix before growing the buffer, so steady-state
+  // memory is one partial frame, not the whole connection history.
+  if (consumed_ > 0) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(data, size);
+}
+
+FrameDecoder::Status FrameDecoder::fail(const std::string& reason) {
+  failed_ = true;
+  error_ = reason;
+  buffer_.clear();
+  consumed_ = 0;
+  return Status::kError;
+}
+
+FrameDecoder::Status FrameDecoder::next(std::string& payload) {
+  if (failed_) {
+    return Status::kError;
+  }
+  const std::size_t avail = buffer_.size() - consumed_;
+  if (avail < kFrameHeaderBytes) {
+    return Status::kNeedMore;
+  }
+  const char* head = buffer_.data() + consumed_;
+  std::uint32_t length = 0;
+  std::uint32_t crc = 0;
+  std::memcpy(&length, head, sizeof(length));
+  std::memcpy(&crc, head + sizeof(length), sizeof(crc));
+  if (length > kMaxFramePayloadBytes) {
+    return fail("frame declares oversized payload (" + std::to_string(length) +
+                " bytes)");
+  }
+  if (avail < kFrameHeaderBytes + length) {
+    return Status::kNeedMore;
+  }
+  const char* body = head + kFrameHeaderBytes;
+  if (journal::crc32(body, length) != crc) {
+    return fail("frame CRC mismatch");
+  }
+  payload.assign(body, length);
+  consumed_ += kFrameHeaderBytes + length;
+  return Status::kFrame;
+}
+
+}  // namespace pa::net

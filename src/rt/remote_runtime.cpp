@@ -1,0 +1,605 @@
+#include "pa/rt/remote_runtime.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "pa/common/error.h"
+#include "pa/common/log.h"
+#include "pa/common/time_utils.h"
+#include "pa/net/message.h"
+#include "pa/net/wire.h"
+#include "pa/saga/url.h"
+
+namespace pa::rt {
+
+// --- PayloadTable ------------------------------------------------------------
+
+void PayloadTable::put(const std::string& unit_id, std::function<void()> work) {
+  check::MutexLock lock(mutex_);
+  work_[unit_id] = std::move(work);
+}
+
+std::function<void()> PayloadTable::take(const std::string& unit_id) {
+  check::MutexLock lock(mutex_);
+  const auto it = work_.find(unit_id);
+  if (it == work_.end()) {
+    return {};
+  }
+  std::function<void()> work = std::move(it->second);
+  work_.erase(it);
+  return work;
+}
+
+std::size_t PayloadTable::size() const {
+  check::MutexLock lock(mutex_);
+  return work_.size();
+}
+
+// --- AgentEndpoint -----------------------------------------------------------
+
+AgentEndpoint::AgentEndpoint(net::Transport& transport,
+                             const std::string& endpoint, std::string pilot_id,
+                             std::shared_ptr<PayloadTable> payloads,
+                             LocalRuntimeConfig local_config)
+    : pilot_id_(std::move(pilot_id)),
+      payloads_(std::move(payloads)),
+      local_(local_config) {
+  net::ConnectionHandlers handlers;
+  handlers.on_message = [this](const std::string& payload) {
+    handle_message(payload);
+  };
+  handlers.on_reconnect = [this] {
+    // Fresh stream: re-introduce ourselves so the manager can re-map
+    // connection -> pilot (it replies with an idempotent kStartPilot).
+    if (conn_ != nullptr) {
+      net::Message hello;
+      hello.type = net::MessageType::kHello;
+      send(std::move(hello));
+    }
+  };
+  conn_ = transport.connect(endpoint, std::move(handlers));
+  net::Message hello;
+  hello.type = net::MessageType::kHello;
+  send(std::move(hello));
+}
+
+AgentEndpoint::~AgentEndpoint() {
+  // Barrier first: after close() no handler is running, so the embedded
+  // runtime (destroyed next, joining its pools) cannot race with
+  // handle_message. Late unit completions send into the closed
+  // connection and are rejected harmlessly.
+  conn_->close();
+}
+
+void AgentEndpoint::send(net::Message message) {
+  message.pilot_id = pilot_id_;
+  message.seq = seq_.fetch_add(1);
+  std::string frame;
+  net::append_message_frame(frame, message);
+  (void)conn_->send(std::move(frame));
+}
+
+void AgentEndpoint::handle_message(const std::string& payload) {
+  net::Message m;
+  try {
+    m = net::decode_message(payload.data(), payload.size());
+  } catch (const std::exception& e) {
+    PA_LOG(kWarn, "agent") << pilot_id_ << ": dropping bad message: "
+                           << e.what();
+    return;
+  }
+  if (m.pilot_id != pilot_id_) {
+    return;  // not ours; a confused manager is not our problem to crash on
+  }
+  switch (m.type) {
+    case net::MessageType::kStartPilot: {
+      if (started_.exchange(true)) {
+        // Duplicate after a reconnect: the pilot is already running.
+        // Re-announce ACTIVE (the manager may have missed it).
+        if (active_sent_.load(std::memory_order_acquire)) {
+          net::Message r;
+          r.type = net::MessageType::kPilotActive;
+          r.total_cores = active_cores_;
+          r.site = active_site_;
+          send(std::move(r));
+        }
+        return;
+      }
+      core::PilotDescription desc = net::to_pilot_description(m);
+      // The manager addresses resources as remote://site; our embedded
+      // substrate is the local one.
+      if (desc.resource_url.rfind("remote://", 0) == 0) {
+        desc.resource_url = "local://" + desc.resource_url.substr(9);
+      }
+      core::PilotRuntimeCallbacks callbacks;
+      callbacks.on_active = [this](const std::string&, int total_cores,
+                                   const std::string& site) {
+        active_cores_ = total_cores;
+        active_site_ = site;
+        active_sent_.store(true, std::memory_order_release);
+        net::Message r;
+        r.type = net::MessageType::kPilotActive;
+        r.total_cores = total_cores;
+        r.site = site;
+        send(std::move(r));
+      };
+      callbacks.on_terminated = [this](const std::string&,
+                                       core::PilotState state) {
+        net::Message r;
+        r.type = net::MessageType::kPilotTerminated;
+        r.pilot_state = state;
+        send(std::move(r));
+      };
+      try {
+        local_.start_pilot(pilot_id_, desc, std::move(callbacks));
+      } catch (const std::exception& e) {
+        PA_LOG(kWarn, "agent")
+            << pilot_id_ << ": start failed: " << e.what();
+        net::Message r;
+        r.type = net::MessageType::kPilotTerminated;
+        r.pilot_state = core::PilotState::kFailed;
+        send(std::move(r));
+      }
+      break;
+    }
+    case net::MessageType::kExecuteUnit: {
+      core::ComputeUnitDescription desc = net::to_unit_description(m.unit);
+      if (m.unit.has_work) {
+        desc.work = payloads_->take(m.unit.unit_id);
+      }
+      const std::string unit_id = m.unit.unit_id;
+      try {
+        local_.execute_unit(pilot_id_, desc, unit_id,
+                            [this, unit_id](bool success) {
+                              net::Message r;
+                              r.type = net::MessageType::kUnitDone;
+                              r.unit_id = unit_id;
+                              r.success = success;
+                              r.timestamp = pa::wall_seconds();
+                              send(std::move(r));
+                            });
+      } catch (const std::exception& e) {
+        PA_LOG(kWarn, "agent") << pilot_id_ << ": unit " << unit_id
+                               << " rejected: " << e.what();
+        net::Message r;
+        r.type = net::MessageType::kUnitDone;
+        r.unit_id = unit_id;
+        r.success = false;
+        r.timestamp = pa::wall_seconds();
+        send(std::move(r));
+      }
+      break;
+    }
+    case net::MessageType::kHeartbeat: {
+      if (!unresponsive_.load()) {
+        net::Message r;
+        r.type = net::MessageType::kHeartbeatAck;
+        r.timestamp = m.timestamp;  // echo the probe for RTT
+        send(std::move(r));
+      }
+      break;
+    }
+    case net::MessageType::kShutdown: {
+      try {
+        local_.cancel_pilot(pilot_id_);
+      } catch (const NotFound&) {
+        // never started or already cancelled — shutdown is idempotent
+      }
+      break;
+    }
+    default:
+      break;  // agent-bound protocol has no other types
+  }
+}
+
+// --- RemoteRuntime -----------------------------------------------------------
+
+RemoteRuntime::RemoteRuntime(net::Transport& transport,
+                             RemoteRuntimeConfig config)
+    : config_(std::move(config)),
+      transport_(transport),
+      epoch_(pa::wall_seconds()) {
+  PA_REQUIRE_ARG(config_.launcher != nullptr,
+                 "RemoteRuntime needs an AgentLauncher");
+  PA_REQUIRE_ARG(config_.heartbeat_interval_seconds > 0.0,
+                 "heartbeat interval must be positive");
+  PA_REQUIRE_ARG(config_.heartbeat_miss_limit > 0,
+                 "heartbeat miss limit must be positive");
+  endpoint_ = transport_.listen(
+      config_.listen_endpoint, [this](const net::ConnectionPtr& conn) {
+        {
+          // Track the connection until its kHello maps it to a pilot, so
+          // shutdown can sever handlers that capture `this`.
+          check::MutexLock lock(mutex_);
+          pending_.push_back(conn);
+        }
+        net::ConnectionHandlers handlers;
+        handlers.on_message = [this, weak = std::weak_ptr<net::Connection>(
+                                         conn)](const std::string& payload) {
+          handle_message(weak, payload);
+        };
+        // No on_close: a dropped stream is NOT a dead pilot (clients
+        // reconnect); only the heartbeat deadline kills.
+        return handlers;
+      });
+  heartbeat_ = std::thread([this] { heartbeat_loop(); });
+}
+
+RemoteRuntime::~RemoteRuntime() {
+  std::map<std::string, std::shared_ptr<PilotEntry>> pilots;
+  std::vector<net::ConnectionPtr> zombies;
+  std::vector<std::weak_ptr<net::Connection>> pending;
+  {
+    check::MutexLock lock(mutex_);
+    stopping_ = true;
+    pilots.swap(pilots_);
+    zombies.swap(zombies_);
+    pending.swap(pending_);
+    cv_.notify_all();
+  }
+  if (heartbeat_.joinable()) {
+    heartbeat_.join();
+  }
+  // close() barriers sever every handler that captures `this` before the
+  // runtime's members die. Teardown fires no callbacks (like
+  // ~LocalRuntime).
+  for (auto& [id, entry] : pilots) {
+    if (entry->conn) {
+      net::Message bye;
+      bye.type = net::MessageType::kShutdown;
+      bye.pilot_id = id;
+      bye.seq = entry->seq++;
+      send_on(entry->conn, std::move(bye));
+      entry->conn->close();
+    }
+  }
+  for (const auto& zombie : zombies) {
+    zombie->close();
+  }
+  for (const auto& weak : pending) {
+    if (const net::ConnectionPtr conn = weak.lock()) {
+      conn->close();
+    }
+  }
+}
+
+double RemoteRuntime::now() const { return pa::wall_seconds() - epoch_; }
+
+bool RemoteRuntime::send_on(const net::ConnectionPtr& conn,
+                            net::Message message) {
+  std::string frame;
+  net::append_message_frame(frame, message);
+  const bool accepted = conn->send(std::move(frame));
+  if (!accepted && config_.metrics != nullptr) {
+    config_.metrics->counter("net.send_rejected").inc();
+  }
+  return accepted;
+}
+
+void RemoteRuntime::start_pilot(const std::string& pilot_id,
+                                const core::PilotDescription& description,
+                                core::PilotRuntimeCallbacks callbacks) {
+  const saga::Url url = saga::Url::parse(description.resource_url);
+  PA_REQUIRE_ARG(url.scheme == "remote",
+                 "RemoteRuntime only accepts remote:// URLs, got "
+                     << description.resource_url);
+  auto entry = std::make_shared<PilotEntry>();
+  entry->description = description;
+  entry->callbacks = std::move(callbacks);
+  {
+    check::MutexLock lock(mutex_);
+    if (stopping_) {
+      throw Error("RemoteRuntime::start_pilot during shutdown");
+    }
+    PA_REQUIRE_ARG(pilots_.find(pilot_id) == pilots_.end(),
+                   "pilot id reused: " << pilot_id);
+    entry->last_alive = now();
+    pilots_.emplace(pilot_id, entry);
+  }
+  PA_LOG(kInfo, "remote-rt") << "pilot " << pilot_id << " launching agent at "
+                             << endpoint_;
+  // The launcher turns the placeholder into an agent; the agent's kHello
+  // finishes the handshake. From here on, silence kills: an agent that
+  // never reports within the heartbeat deadline fails the pilot.
+  config_.launcher(pilot_id, endpoint_);
+}
+
+void RemoteRuntime::cancel_pilot(const std::string& pilot_id) {
+  std::shared_ptr<PilotEntry> entry;
+  {
+    check::MutexLock lock(mutex_);
+    const auto it = pilots_.find(pilot_id);
+    if (it == pilots_.end()) {
+      throw NotFound("unknown pilot: " + pilot_id);
+    }
+    entry = it->second;
+    pilots_.erase(it);
+  }
+  if (entry->conn) {
+    net::Message bye;
+    bye.type = net::MessageType::kShutdown;
+    bye.pilot_id = pilot_id;
+    bye.seq = entry->seq++;  // entry is detached; no lock needed
+    send_on(entry->conn, std::move(bye));
+    entry->conn->close();
+  }
+  // Synchronous kCanceled, mirroring LocalRuntime: the service records
+  // the terminal state before this call returns, so teardown ordering
+  // (service destroyed before runtime) stays safe.
+  if (entry->callbacks.on_terminated) {
+    entry->callbacks.on_terminated(pilot_id, core::PilotState::kCanceled);
+  }
+}
+
+void RemoteRuntime::execute_unit(const std::string& pilot_id,
+                                 const core::ComputeUnitDescription& description,
+                                 const std::string& unit_id,
+                                 std::function<void(bool)> on_done) {
+  net::Message m;
+  m.type = net::MessageType::kExecuteUnit;
+  m.pilot_id = pilot_id;
+  m.unit = net::to_wire_unit(unit_id, description, description.work != nullptr);
+  net::ConnectionPtr conn;
+  {
+    check::MutexLock lock(mutex_);
+    const auto it = pilots_.find(pilot_id);
+    if (it == pilots_.end()) {
+      throw NotFound("unknown pilot: " + pilot_id);
+    }
+    it->second->inflight[unit_id] = std::move(on_done);
+    m.seq = it->second->seq++;
+    conn = it->second->conn;
+  }
+  if (description.work) {
+    // Park the closure BEFORE the message can arrive; re-put on every
+    // attempt so requeued units resolve again.
+    payloads_->put(unit_id, description.work);
+  }
+  if (conn) {
+    send_on(conn, std::move(m));
+  }
+  // No connection yet (agent still dialing) or send rejected: the unit
+  // stays in-flight, exactly like a frame lost on the wire — the
+  // heartbeat deadline fails the pilot and the middleware requeues.
+}
+
+void RemoteRuntime::drive_until(const std::function<bool()>& predicate,
+                                double timeout_seconds) {
+  const double deadline = pa::wall_seconds() + timeout_seconds;
+  while (!predicate()) {
+    if (pa::wall_seconds() > deadline) {
+      throw TimeoutError("remote wait timed out after " +
+                         std::to_string(timeout_seconds) + " s");
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+void RemoteRuntime::handle_message(
+    const std::weak_ptr<net::Connection>& from, const std::string& payload) {
+  net::Message m;
+  try {
+    m = net::decode_message(payload.data(), payload.size());
+  } catch (const std::exception& e) {
+    PA_LOG(kWarn, "remote-rt") << "dropping bad message: " << e.what();
+    return;
+  }
+  switch (m.type) {
+    case net::MessageType::kHello: {
+      const net::ConnectionPtr conn = from.lock();
+      if (conn == nullptr) {
+        return;
+      }
+      net::Message start;
+      bool known = false;
+      {
+        check::MutexLock lock(mutex_);
+        std::erase_if(pending_,
+                      [&](const std::weak_ptr<net::Connection>& w) {
+                        const net::ConnectionPtr p = w.lock();
+                        return p == nullptr || p == conn;
+                      });
+        const auto it = pilots_.find(m.pilot_id);
+        if (it != pilots_.end()) {
+          known = true;
+          auto& entry = it->second;
+          if (entry->conn && entry->conn != conn) {
+            // Superseded stream (agent reconnected through a new
+            // socket); the heartbeat thread closes it.
+            zombies_.push_back(entry->conn);
+          }
+          entry->conn = conn;
+          ++entry->hello_count;
+          entry->last_alive = now();
+          start = net::make_start_pilot(m.pilot_id, entry->description);
+          start.seq = entry->seq++;
+        }
+      }
+      if (!known) {
+        // Unknown pilot (cancelled, or a stray client): tell it to go
+        // away; we may not close from its own handler.
+        net::Message bye;
+        bye.type = net::MessageType::kShutdown;
+        bye.pilot_id = m.pilot_id;
+        send_on(conn, std::move(bye));
+        return;
+      }
+      // kStartPilot is idempotent agent-side, so re-hellos are safe.
+      send_on(conn, std::move(start));
+      break;
+    }
+    case net::MessageType::kPilotActive: {
+      std::function<void(const std::string&, int, const std::string&)> cb;
+      {
+        check::MutexLock lock(mutex_);
+        const auto it = pilots_.find(m.pilot_id);
+        if (it == pilots_.end()) {
+          return;
+        }
+        it->second->active = true;
+        it->second->last_alive = now();
+        cb = it->second->callbacks.on_active;
+      }
+      // Callbacks run with no net lock held: they re-enter the service
+      // (rank 10 < ours) — see the lock-hierarchy note in the header.
+      if (cb) {
+        cb(m.pilot_id, m.total_cores, m.site);
+      }
+      break;
+    }
+    case net::MessageType::kPilotTerminated: {
+      std::function<void(const std::string&, core::PilotState)> cb;
+      {
+        check::MutexLock lock(mutex_);
+        const auto it = pilots_.find(m.pilot_id);
+        if (it == pilots_.end()) {
+          return;  // already cancelled/failed; duplicate is harmless
+        }
+        if (it->second->conn) {
+          zombies_.push_back(it->second->conn);
+        }
+        cb = it->second->callbacks.on_terminated;
+        pilots_.erase(it);
+      }
+      if (cb) {
+        cb(m.pilot_id, m.pilot_state);
+      }
+      break;
+    }
+    case net::MessageType::kUnitDone: {
+      std::function<void(bool)> done;
+      {
+        check::MutexLock lock(mutex_);
+        const auto it = pilots_.find(m.pilot_id);
+        if (it == pilots_.end()) {
+          return;
+        }
+        it->second->last_alive = now();
+        const auto unit_it = it->second->inflight.find(m.unit_id);
+        if (unit_it != it->second->inflight.end()) {
+          done = std::move(unit_it->second);
+          it->second->inflight.erase(unit_it);
+        }
+      }
+      if (config_.metrics != nullptr) {
+        config_.metrics->counter("net.units_done").inc();
+      }
+      if (done) {
+        done(m.success);
+      }
+      // else: stale completion for a requeued attempt; dropped, exactly
+      // like the service's own attempt tagging.
+      break;
+    }
+    case net::MessageType::kHeartbeatAck: {
+      {
+        check::MutexLock lock(mutex_);
+        const auto it = pilots_.find(m.pilot_id);
+        if (it != pilots_.end()) {
+          it->second->last_alive = now();
+        }
+      }
+      if (config_.metrics != nullptr) {
+        const double rtt = pa::wall_seconds() - m.timestamp;
+        config_.metrics
+            ->histogram("net.heartbeat_rtt_seconds", 1e-7, 60.0)
+            .record(rtt < 0.0 ? 0.0 : rtt);
+      }
+      break;
+    }
+    default:
+      break;  // manager-bound protocol has no other types
+  }
+}
+
+void RemoteRuntime::heartbeat_loop() {
+  struct DeadPilot {
+    std::string pilot_id;
+    net::ConnectionPtr conn;
+    std::function<void(const std::string&, core::PilotState)> on_terminated;
+  };
+  const double deadline_seconds =
+      config_.heartbeat_interval_seconds * config_.heartbeat_miss_limit;
+  check::MutexLock lock(mutex_);
+  while (!stopping_) {
+    cv_.wait_for(lock, config_.heartbeat_interval_seconds);
+    if (stopping_) {
+      return;
+    }
+    const double t = now();
+    std::vector<std::pair<net::ConnectionPtr, net::Message>> pings;
+    std::vector<DeadPilot> dead;
+    std::vector<net::ConnectionPtr> zombies;
+    std::uint64_t reconnects = 0;
+    for (auto it = pilots_.begin(); it != pilots_.end();) {
+      auto& entry = it->second;
+      if (t - entry->last_alive > deadline_seconds) {
+        // Missed too many heartbeats: the agent is dead as far as the
+        // application is concerned. Surfacing kFailed triggers the
+        // middleware's orphan requeue for every in-flight unit.
+        dead.push_back(DeadPilot{it->first, entry->conn,
+                                 entry->callbacks.on_terminated});
+        it = pilots_.erase(it);
+        continue;
+      }
+      if (entry->conn) {
+        net::Message hb;
+        hb.type = net::MessageType::kHeartbeat;
+        hb.pilot_id = it->first;
+        hb.seq = entry->seq++;
+        hb.timestamp = pa::wall_seconds();
+        pings.emplace_back(entry->conn, std::move(hb));
+        reconnects += entry->hello_count > 0 ? entry->hello_count - 1 : 0;
+      }
+      ++it;
+    }
+    zombies.swap(zombies_);
+    std::erase_if(pending_, [](const std::weak_ptr<net::Connection>& w) {
+      return w.expired();
+    });
+    lock.unlock();  // sends, closes, and callbacks happen lock-free
+
+    std::uint64_t bytes_in = 0;
+    std::uint64_t bytes_out = 0;
+    std::uint64_t queue_hwm = 0;
+    for (auto& [conn, message] : pings) {
+      send_on(conn, std::move(message));
+      const net::ConnectionStats s = conn->stats();
+      bytes_in += s.bytes_in;
+      bytes_out += s.bytes_out;
+      queue_hwm = std::max(queue_hwm, s.send_queue_hwm);
+    }
+    for (const auto& zombie : zombies) {
+      zombie->close();
+    }
+    for (const auto& d : dead) {
+      PA_LOG(kWarn, "remote-rt")
+          << "pilot " << d.pilot_id << " missed " << config_.heartbeat_miss_limit
+          << " heartbeats (" << deadline_seconds << " s); declaring it failed";
+      if (config_.metrics != nullptr) {
+        config_.metrics->counter("net.heartbeat_deaths").inc();
+      }
+      if (d.conn) {
+        d.conn->close();
+      }
+      if (d.on_terminated) {
+        d.on_terminated(d.pilot_id, core::PilotState::kFailed);
+      }
+    }
+    if (config_.metrics != nullptr) {
+      config_.metrics->gauge("net.manager_bytes_in")
+          .set(static_cast<double>(bytes_in));
+      config_.metrics->gauge("net.manager_bytes_out")
+          .set(static_cast<double>(bytes_out));
+      config_.metrics->gauge("net.send_queue_hwm")
+          .set(static_cast<double>(queue_hwm));
+      config_.metrics->gauge("net.reconnects")
+          .set(static_cast<double>(reconnects));
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace pa::rt

@@ -1,0 +1,15 @@
+#pragma once
+// Shared helpers for the pa::net test suite.
+
+#include <gtest/gtest.h>
+
+#include "pa/net/tcp_transport.h"
+
+// Sandboxes without a loopback interface cannot bind TCP sockets; those
+// tests skip (never fail) per the CI contract for port-less environments.
+#define PA_NET_REQUIRE_TCP()                                          \
+  do {                                                                \
+    if (!pa::net::tcp_loopback_available()) {                         \
+      GTEST_SKIP() << "TCP loopback unavailable in this environment"; \
+    }                                                                 \
+  } while (0)

@@ -1,0 +1,318 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pa/check/mutex.h"
+#include "pa/common/error.h"
+#include "pa/common/time_utils.h"
+#include "pa/net/inproc_transport.h"
+#include "pa/net/wire.h"
+
+namespace pa::net {
+namespace {
+
+// Waits (bounded) until `predicate` holds; many transport effects are
+// delivered asynchronously by the delivery thread.
+template <typename Pred>
+bool eventually(Pred predicate, double timeout_seconds = 5.0) {
+  const double deadline = pa::wall_seconds() + timeout_seconds;
+  while (!predicate()) {
+    if (pa::wall_seconds() > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  return true;
+}
+
+std::string framed(const std::string& payload) {
+  std::string out;
+  append_frame(out, payload);
+  return out;
+}
+
+// A server that collects every payload it receives and optionally echoes.
+struct CollectingServer {
+  explicit CollectingServer(bool echo = false) : echo_(echo) {}
+
+  AcceptHandler acceptor() {
+    return [this](const ConnectionPtr& conn) {
+      {
+        check::MutexLock lock(mu_);
+        accepted_.push_back(conn);
+      }
+      ConnectionHandlers h;
+      h.on_message = [this, conn](const std::string& payload) {
+        {
+          check::MutexLock lock(mu_);
+          received_.push_back(payload);
+        }
+        if (echo_) conn->send(framed("echo:" + payload));
+      };
+      h.on_close = [this]() { closes_.fetch_add(1); };
+      return h;
+    };
+  }
+
+  std::vector<std::string> received() {
+    check::MutexLock lock(mu_);
+    return received_;
+  }
+  std::size_t count() {
+    check::MutexLock lock(mu_);
+    return received_.size();
+  }
+
+  const bool echo_;
+  check::Mutex mu_{check::LockRank::kLeaf, "test.collecting_server"};
+  std::vector<std::string> received_ PA_GUARDED_BY(mu_);
+  std::vector<ConnectionPtr> accepted_ PA_GUARDED_BY(mu_);
+  std::atomic<int> closes_{0};
+};
+
+TEST(InProcTransport, ListenConnectEcho) {
+  InProcTransport transport;
+  CollectingServer server(/*echo=*/true);
+  const std::string endpoint =
+      transport.listen("inproc://echo", server.acceptor());
+  EXPECT_EQ(endpoint, "inproc://echo");
+
+  check::Mutex mu{check::LockRank::kLeaf, "test.replies"};
+  std::vector<std::string> replies;
+  ConnectionHandlers h;
+  h.on_message = [&](const std::string& payload) {
+    check::MutexLock lock(mu);
+    replies.push_back(payload);
+  };
+  ConnectionPtr client = transport.connect(endpoint, h);
+  ASSERT_TRUE(client);
+  EXPECT_TRUE(client->is_open());
+
+  EXPECT_TRUE(client->send(framed("ping")));
+  ASSERT_TRUE(eventually([&] {
+    check::MutexLock lock(mu);
+    return replies.size() == 1;
+  }));
+  {
+    check::MutexLock lock(mu);
+    EXPECT_EQ(replies[0], "echo:ping");
+  }
+  transport.stop();
+}
+
+TEST(InProcTransport, ConnectToUnknownEndpointThrows) {
+  InProcTransport transport;
+  ConnectionHandlers h;
+  h.on_message = [](const std::string&) {};
+  EXPECT_THROW(transport.connect("inproc://nobody", h), pa::Error);
+  transport.stop();
+}
+
+TEST(InProcTransport, DuplicateListenThrows) {
+  InProcTransport transport;
+  CollectingServer server;
+  transport.listen("inproc://dup", server.acceptor());
+  EXPECT_THROW(transport.listen("inproc://dup", server.acceptor()), pa::Error);
+  transport.stop();
+}
+
+TEST(InProcTransport, OrderPreservedUnderConcurrentSenders) {
+  InProcTransport transport;
+  CollectingServer server;
+  transport.listen("inproc://order", server.acceptor());
+
+  constexpr int kSenders = 4;
+  constexpr int kPerSender = 250;
+  std::vector<ConnectionPtr> clients;
+  ConnectionHandlers h;
+  h.on_message = [](const std::string&) {};
+  for (int s = 0; s < kSenders; ++s) {
+    clients.push_back(transport.connect("inproc://order", h));
+  }
+
+  std::vector<std::thread> threads;
+  for (int s = 0; s < kSenders; ++s) {
+    threads.emplace_back([&, s]() {
+      for (int i = 0; i < kPerSender; ++i) {
+        std::string msg = std::to_string(s) + ":" + std::to_string(i);
+        while (!clients[s]->send(framed(msg))) {
+          std::this_thread::sleep_for(std::chrono::microseconds(100));
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  ASSERT_TRUE(eventually(
+      [&] { return server.count() == kSenders * kPerSender; }, 30.0));
+
+  // Per-connection FIFO: for each sender, indices arrive in order.
+  std::vector<int> next(kSenders, 0);
+  for (const std::string& msg : server.received()) {
+    const int s = std::stoi(msg.substr(0, msg.find(':')));
+    const int i = std::stoi(msg.substr(msg.find(':') + 1));
+    EXPECT_EQ(i, next[s]) << msg;
+    next[s] = i + 1;
+  }
+  transport.stop();
+}
+
+TEST(InProcTransport, BackpressureRejectsAndCountsWhenQueueFull) {
+  InProcTransportConfig config;
+  config.max_queue_bytes = 4 * 1024;  // tiny queue
+  InProcTransport transport(config);
+
+  // Server that never processes: block the delivery thread inside the
+  // first on_message until released, so the queue cannot drain.
+  check::Mutex mu{check::LockRank::kLeaf, "test.slow_server"};
+  check::CondVar cv;
+  bool release = false;
+  std::atomic<int> delivered{0};
+  transport.listen("inproc://slow", [&](const ConnectionPtr&) {
+    ConnectionHandlers h;
+    h.on_message = [&](const std::string&) {
+      delivered.fetch_add(1);
+      check::MutexLock lock(mu);
+      while (!release) {
+        cv.wait(lock);
+      }
+    };
+    return h;
+  });
+
+  ConnectionHandlers h;
+  h.on_message = [](const std::string&) {};
+  ConnectionPtr client = transport.connect("inproc://slow", h);
+
+  // First send gets consumed (and stuck); keep sending until rejected.
+  const std::string payload(1024, 'x');
+  bool rejected = false;
+  for (int i = 0; i < 64 && !rejected; ++i) {
+    rejected = !client->send(framed(payload));
+  }
+  EXPECT_TRUE(rejected);
+  ConnectionStats stats = client->stats();
+  EXPECT_GE(stats.send_rejected, 1u);
+  EXPECT_GT(stats.send_queue_hwm, 0u);
+
+  {
+    check::MutexLock lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  // Once drained, sends work again.
+  ASSERT_TRUE(eventually([&] { return client->send(framed("again")); }));
+  transport.stop();
+}
+
+TEST(InProcTransport, CloseFiresOnCloseOnceAndDropsPeer) {
+  InProcTransport transport;
+  CollectingServer server;
+  transport.listen("inproc://close", server.acceptor());
+
+  std::atomic<int> client_closes{0};
+  ConnectionHandlers h;
+  h.on_message = [](const std::string&) {};
+  h.on_close = [&]() { client_closes.fetch_add(1); };
+  ConnectionPtr client = transport.connect("inproc://close", h);
+
+  client->close();
+  client->close();  // idempotent
+  EXPECT_EQ(client_closes.load(), 1);
+  EXPECT_FALSE(client->is_open());
+  EXPECT_FALSE(client->send(framed("after close")));
+
+  // The peer observes the close asynchronously.
+  ASSERT_TRUE(eventually([&] { return server.closes_.load() == 1; }));
+  transport.stop();
+}
+
+TEST(InProcTransport, PeerDrainsInFlightFramesBeforeClose) {
+  InProcTransport transport;
+  CollectingServer server;
+  transport.listen("inproc://drain", server.acceptor());
+
+  ConnectionHandlers h;
+  h.on_message = [](const std::string&) {};
+  ConnectionPtr client = transport.connect("inproc://drain", h);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(client->send(framed("msg-" + std::to_string(i))));
+  }
+  client->close();
+
+  // All 100 frames must be delivered before the server's on_close.
+  ASSERT_TRUE(eventually([&] { return server.closes_.load() == 1; }));
+  EXPECT_EQ(server.count(), 100u);
+  transport.stop();
+}
+
+TEST(InProcTransport, StatsCountBytesAndMessages) {
+  InProcTransport transport;
+  CollectingServer server(/*echo=*/true);
+  transport.listen("inproc://stats", server.acceptor());
+
+  std::atomic<int> replies{0};
+  ConnectionHandlers h;
+  h.on_message = [&](const std::string&) { replies.fetch_add(1); };
+  ConnectionPtr client = transport.connect("inproc://stats", h);
+
+  const std::string frame = framed("count me");
+  ASSERT_TRUE(client->send(frame));
+  ASSERT_TRUE(eventually([&] { return replies.load() == 1; }));
+
+  ConnectionStats stats = client->stats();
+  EXPECT_EQ(stats.messages_out, 1u);
+  EXPECT_EQ(stats.bytes_out, frame.size());
+  EXPECT_EQ(stats.messages_in, 1u);
+  EXPECT_GT(stats.bytes_in, 0u);
+  transport.stop();
+}
+
+TEST(InProcTransport, StopClosesEverythingAndFiresHandlers) {
+  InProcTransport transport;
+  CollectingServer server;
+  transport.listen("inproc://stop", server.acceptor());
+
+  std::atomic<int> client_closes{0};
+  ConnectionHandlers h;
+  h.on_message = [](const std::string&) {};
+  h.on_close = [&]() { client_closes.fetch_add(1); };
+  ConnectionPtr c1 = transport.connect("inproc://stop", h);
+  ConnectionPtr c2 = transport.connect("inproc://stop", h);
+
+  transport.stop();
+  EXPECT_FALSE(c1->is_open());
+  EXPECT_FALSE(c2->is_open());
+  EXPECT_EQ(client_closes.load(), 2);
+  EXPECT_EQ(server.closes_.load(), 2);
+  // stop() is idempotent.
+  transport.stop();
+}
+
+TEST(InProcTransport, CorruptFrameClosesConnection) {
+  InProcTransport transport;
+  CollectingServer server;
+  transport.listen("inproc://corrupt", server.acceptor());
+
+  std::atomic<int> client_closes{0};
+  ConnectionHandlers h;
+  h.on_message = [](const std::string&) {};
+  h.on_close = [&]() { client_closes.fetch_add(1); };
+  ConnectionPtr client = transport.connect("inproc://corrupt", h);
+
+  std::string bad = framed("payload");
+  bad[5] = static_cast<char>(bad[5] ^ 0xff);  // break the CRC
+  ASSERT_TRUE(client->send(bad));
+
+  // The receiving side detects the corrupt stream and closes; the close
+  // propagates back to the sender.
+  ASSERT_TRUE(eventually([&] { return server.closes_.load() == 1; }));
+  ASSERT_TRUE(eventually([&] { return client_closes.load() == 1; }));
+  EXPECT_EQ(server.count(), 0u);
+  transport.stop();
+}
+
+}  // namespace
+}  // namespace pa::net

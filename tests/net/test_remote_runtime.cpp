@@ -1,0 +1,362 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net_test_util.h"
+#include "pa/check/mutex.h"
+#include "pa/common/error.h"
+#include "pa/common/time_utils.h"
+#include "pa/core/pilot_compute_service.h"
+#include "pa/net/inproc_transport.h"
+#include "pa/net/tcp_transport.h"
+#include "pa/rt/local_runtime.h"
+#include "pa/rt/remote_runtime.h"
+
+namespace pa::rt {
+namespace {
+
+using core::ComputeUnit;
+using core::ComputeUnitDescription;
+using core::Pilot;
+using core::PilotComputeService;
+using core::PilotDescription;
+using core::PilotState;
+using core::UnitState;
+
+// Owns the in-process agents the launcher creates, so tests can poke
+// individual agents (set_unresponsive) and control their lifetime.
+class AgentFarm {
+ public:
+  explicit AgentFarm(net::Transport& transport) : transport_(transport) {}
+
+  void create(const std::string& pilot_id, const std::string& endpoint,
+              const std::shared_ptr<PayloadTable>& payloads) {
+    // Construct (which connects, taking transport locks) before taking
+    // the kLeaf registry lock — ranks must strictly increase.
+    auto agent = std::make_unique<AgentEndpoint>(transport_, endpoint,
+                                                 pilot_id, payloads);
+    check::MutexLock lock(mu_);
+    agents_[pilot_id] = std::move(agent);
+  }
+
+  AgentEndpoint* agent(const std::string& pilot_id) {
+    check::MutexLock lock(mu_);
+    const auto it = agents_.find(pilot_id);
+    return it == agents_.end() ? nullptr : it->second.get();
+  }
+
+  // Simulates a killed agent process: the endpoint (and its connection)
+  // is destroyed outright.
+  void kill(const std::string& pilot_id) {
+    std::unique_ptr<AgentEndpoint> victim;
+    {
+      check::MutexLock lock(mu_);
+      const auto it = agents_.find(pilot_id);
+      if (it != agents_.end()) {
+        victim = std::move(it->second);
+        agents_.erase(it);
+      }
+    }
+    // Destructor (close + local drain) runs outside the lock.
+  }
+
+  std::size_t size() {
+    check::MutexLock lock(mu_);
+    return agents_.size();
+  }
+
+ private:
+  net::Transport& transport_;
+  check::Mutex mu_{check::LockRank::kLeaf, "test.agent_farm"};
+  std::map<std::string, std::unique_ptr<AgentEndpoint>> agents_
+      PA_GUARDED_BY(mu_);
+};
+
+PilotDescription remote_pilot(int nodes, const std::string& site = "site-a") {
+  PilotDescription d;
+  d.resource_url = "remote://" + site;
+  d.nodes = nodes;
+  d.walltime = 1e9;
+  return d;
+}
+
+// Runs `unit_count` units that each record their slot in `results`, on an
+// already-constructed service; returns when everything completed.
+void run_workload(PilotComputeService& service, int unit_count,
+                  std::vector<int>& results) {
+  results.assign(unit_count, -1);
+  for (int i = 0; i < unit_count; ++i) {
+    ComputeUnitDescription d;
+    d.name = "unit-" + std::to_string(i);
+    d.work = [&results, i]() { results[i] = i * i; };
+    service.submit_unit(d);
+  }
+  service.wait_all_units(120.0);
+}
+
+// Builds the service + runtime + farm stack over `transport`. The
+// launcher dereferences `runtime` lazily — it is only invoked from
+// start_pilot, long after construction finishes.
+struct RemoteStack {
+  RemoteStack(net::Transport& transport, const std::string& listen_endpoint,
+              double heartbeat_interval = 0.1, int miss_limit = 30,
+              obs::MetricsRegistry* metrics = nullptr)
+      : farm(transport) {
+    RemoteRuntimeConfig config;
+    config.listen_endpoint = listen_endpoint;
+    config.heartbeat_interval_seconds = heartbeat_interval;
+    config.heartbeat_miss_limit = miss_limit;
+    config.metrics = metrics;
+    config.launcher = [this](const std::string& pilot_id,
+                             const std::string& endpoint) {
+      farm.create(pilot_id, endpoint, runtime->payloads());
+    };
+    runtime = std::make_unique<RemoteRuntime>(transport, std::move(config));
+    service = std::make_unique<PilotComputeService>(*runtime, "backfill");
+  }
+
+  AgentFarm farm;
+  std::unique_ptr<RemoteRuntime> runtime;
+  std::unique_ptr<PilotComputeService> service;
+};
+
+TEST(RemoteRuntime, TwoPilotsHundredUnitsMatchLocalOverInProc) {
+  // Remote run.
+  net::InProcTransport transport;
+  RemoteStack stack(transport, "inproc://manager");
+  Pilot p1 = stack.service->submit_pilot(remote_pilot(4, "site-a"));
+  Pilot p2 = stack.service->submit_pilot(remote_pilot(4, "site-b"));
+  p1.wait_active(10.0);
+  p2.wait_active(10.0);
+  EXPECT_EQ(stack.farm.size(), 2u);
+
+  constexpr int kUnits = 120;
+  std::vector<int> remote_results;
+  run_workload(*stack.service, kUnits, remote_results);
+  EXPECT_EQ(stack.service->metrics().units_done,
+            static_cast<std::uint64_t>(kUnits));
+
+  // Identical workload on a LocalRuntime-backed service.
+  LocalRuntime local;
+  PilotComputeService local_service(local, "backfill");
+  PilotDescription d1;
+  d1.resource_url = "local://site-a";
+  d1.nodes = 4;
+  d1.walltime = 1e9;
+  local_service.submit_pilot(d1);
+  PilotDescription d2 = d1;
+  d2.resource_url = "local://site-b";
+  local_service.submit_pilot(d2);
+  std::vector<int> local_results;
+  run_workload(local_service, kUnits, local_results);
+
+  EXPECT_EQ(remote_results, local_results);
+  transport.stop();
+}
+
+TEST(RemoteRuntime, TwoPilotsHundredUnitsMatchLocalOverTcp) {
+  PA_NET_REQUIRE_TCP();
+  net::TcpTransport transport;
+  RemoteStack stack(transport, "127.0.0.1:0");
+  Pilot p1 = stack.service->submit_pilot(remote_pilot(4, "site-a"));
+  Pilot p2 = stack.service->submit_pilot(remote_pilot(4, "site-b"));
+  p1.wait_active(10.0);
+  p2.wait_active(10.0);
+
+  constexpr int kUnits = 120;
+  std::vector<int> remote_results;
+  run_workload(*stack.service, kUnits, remote_results);
+  EXPECT_EQ(stack.service->metrics().units_done,
+            static_cast<std::uint64_t>(kUnits));
+
+  LocalRuntime local;
+  PilotComputeService local_service(local, "backfill");
+  PilotDescription d;
+  d.resource_url = "local://site-a";
+  d.nodes = 4;
+  d.walltime = 1e9;
+  local_service.submit_pilot(d);
+  PilotDescription d2 = d;
+  d2.resource_url = "local://site-b";
+  local_service.submit_pilot(d2);
+  std::vector<int> local_results;
+  run_workload(local_service, kUnits, local_results);
+
+  EXPECT_EQ(remote_results, local_results);
+
+  // The agent side saw real wire traffic.
+  AgentEndpoint* agent = stack.farm.agent(p1.id());
+  ASSERT_NE(agent, nullptr);
+  net::ConnectionStats stats = agent->stats();
+  EXPECT_GT(stats.bytes_in, 0u);
+  EXPECT_GT(stats.bytes_out, 0u);
+  transport.stop();
+}
+
+TEST(RemoteRuntime, NonRemoteUrlRejected) {
+  net::InProcTransport transport;
+  RemoteStack stack(transport, "inproc://manager");
+  PilotDescription d;
+  d.resource_url = "local://host";
+  d.nodes = 1;
+  d.walltime = 10.0;
+  EXPECT_THROW(stack.service->submit_pilot(d), pa::InvalidArgument);
+  transport.stop();
+}
+
+TEST(RemoteRuntime, CancelPilotTerminatesSynchronously) {
+  net::InProcTransport transport;
+  RemoteStack stack(transport, "inproc://manager");
+  Pilot pilot = stack.service->submit_pilot(remote_pilot(2));
+  pilot.wait_active(10.0);
+  pilot.cancel();
+  EXPECT_EQ(pilot.state(), PilotState::kCanceled);
+  transport.stop();
+}
+
+// Acceptance: a hung agent (heartbeats swallowed, no unit completions)
+// is declared dead within the heartbeat deadline; its pilot fails and
+// in-flight units are requeued onto a healthy pilot.
+TEST(RemoteRuntime, HungAgentFailsPilotAndRequeuesUnits) {
+  net::InProcTransport transport;
+  // 20 ms heartbeats, dead after 3 misses = 60 ms deadline.
+  RemoteStack stack(transport, "inproc://manager",
+                    /*heartbeat_interval=*/0.02, /*miss_limit=*/3);
+
+  Pilot p1 = stack.service->submit_pilot(remote_pilot(1, "site-a"));
+  p1.wait_active(10.0);
+
+  std::atomic<bool> release{false};
+  std::atomic<int> executed{0};
+  std::vector<ComputeUnit> units;
+  for (int i = 0; i < 5; ++i) {
+    ComputeUnitDescription d;
+    d.name = "unit-" + std::to_string(i);
+    d.work = [&release, &executed]() {
+      executed.fetch_add(1);
+      while (!release.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    };
+    units.push_back(stack.service->submit_unit(d));
+  }
+  // Wait until the 1-core pilot is actually executing something.
+  const double hang_start = pa::wall_seconds();
+  while (executed.load() == 0 && pa::wall_seconds() - hang_start < 10.0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(executed.load(), 1);
+
+  // Hang the agent: no more heartbeat acks, no completions.
+  AgentEndpoint* agent = stack.farm.agent(p1.id());
+  ASSERT_NE(agent, nullptr);
+  const double dead_start = pa::wall_seconds();
+  agent->set_unresponsive(true);
+
+  // The manager must declare the pilot dead within the deadline (plus
+  // scheduling slack).
+  while (p1.state() != PilotState::kFailed &&
+         pa::wall_seconds() - dead_start < 10.0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_EQ(p1.state(), PilotState::kFailed);
+  EXPECT_LT(pa::wall_seconds() - dead_start, 2.0)
+      << "death detection took far longer than the 60 ms deadline";
+
+  // Recovery: a healthy pilot picks up the requeued units.
+  release.store(true);
+  Pilot p2 = stack.service->submit_pilot(remote_pilot(2, "site-b"));
+  p2.wait_active(10.0);
+  stack.service->wait_all_units(120.0);
+  for (auto& u : units) {
+    EXPECT_EQ(u.state(), UnitState::kDone);
+  }
+  // The stuck unit ran on the dead pilot and again on the new one.
+  EXPECT_GE(executed.load(), 5);
+  transport.stop();
+}
+
+// Acceptance (TCP flavor): killing the agent process outright — socket
+// torn down, no clean goodbye — is detected by missed heartbeats.
+TEST(RemoteRuntime, KilledAgentConnectionDetectedOverTcp) {
+  PA_NET_REQUIRE_TCP();
+  net::TcpTransport transport;
+  RemoteStack stack(transport, "127.0.0.1:0",
+                    /*heartbeat_interval=*/0.02, /*miss_limit=*/3);
+
+  Pilot p1 = stack.service->submit_pilot(remote_pilot(2, "site-a"));
+  p1.wait_active(10.0);
+
+  std::atomic<int> executed{0};
+  std::vector<ComputeUnit> units;
+  for (int i = 0; i < 8; ++i) {
+    ComputeUnitDescription d;
+    d.work = [&executed]() {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      executed.fetch_add(1);
+    };
+    units.push_back(stack.service->submit_unit(d));
+  }
+
+  // Kill the agent outright (connection closes, process "gone").
+  stack.farm.kill(p1.id());
+  const double dead_start = pa::wall_seconds();
+  while (p1.state() != PilotState::kFailed &&
+         pa::wall_seconds() - dead_start < 10.0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_EQ(p1.state(), PilotState::kFailed);
+
+  // A replacement pilot finishes whatever had not completed.
+  Pilot p2 = stack.service->submit_pilot(remote_pilot(2, "site-b"));
+  p2.wait_active(10.0);
+  stack.service->wait_all_units(120.0);
+  for (auto& u : units) {
+    EXPECT_EQ(u.state(), UnitState::kDone);
+  }
+  transport.stop();
+}
+
+TEST(RemoteRuntime, HeartbeatMetricsRecorded) {
+  obs::MetricsRegistry registry;
+  net::InProcTransport transport;
+  RemoteStack stack(transport, "inproc://manager",
+                    /*heartbeat_interval=*/0.02, /*miss_limit=*/30,
+                    &registry);
+
+  Pilot pilot = stack.service->submit_pilot(remote_pilot(2));
+  pilot.wait_active(10.0);
+  ComputeUnitDescription d;
+  d.work = []() {};
+  stack.service->submit_unit(d);
+  stack.service->wait_all_units(60.0);
+
+  // Let a few heartbeat round-trips land.
+  const double start = pa::wall_seconds();
+  bool have_rtt = false;
+  while (!have_rtt && pa::wall_seconds() - start < 10.0) {
+    for (const auto& [name, hist] : registry.histograms()) {
+      if (name == "net.heartbeat_rtt_seconds" && hist.count() > 0) {
+        have_rtt = true;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(have_rtt) << "no heartbeat RTT samples recorded";
+
+  std::uint64_t units_done = 0;
+  for (const auto& [name, value] : registry.counters()) {
+    if (name == "net.units_done") units_done = value;
+  }
+  EXPECT_EQ(units_done, 1u);
+  transport.stop();
+}
+
+}  // namespace
+}  // namespace pa::rt

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Project-specific lints for the pilot-abstraction repository.
 
-Three disciplines, each enforced mechanically because each has burned us
+Four disciplines, each enforced mechanically because each has burned us
 (or real middleware like it) before:
 
  1. Synchronization goes through pa::check. Raw std::mutex /
@@ -17,7 +17,14 @@ Three disciplines, each enforced mechanically because each has burned us
     std::random_device, rand()/srand(), and system_clock/high_resolution
     _clock reads anywhere else break replay.
 
- 3. Validated state transitions. Pilot/unit lifecycle state changes must
+ 3. Socket hygiene. Raw socket/poll syscalls live in exactly one file,
+    src/net/tcp_transport.cpp (plus the headers that declare nothing but
+    types). Everything else goes through pa::net::Transport, so there is
+    one place to audit fd lifetimes, EINTR handling, and SIGPIPE
+    suppression — and the sandbox/port-availability probe stays in one
+    translation unit.
+
+ 4. Validated state transitions. Pilot/unit lifecycle state changes must
     flow through StateMachine::transition so the transition table (and the
     journal observers hanging off it) see every change. Direct writes to
     `state_` outside state_machine.h, or wholesale machine replacement
@@ -64,7 +71,24 @@ NONDETERMINISM = re.compile(
     r"\bsystem_clock\b|\bhigh_resolution_clock\b"
 )
 
-# --- rule 3: state-machine bypasses ------------------------------------------
+# --- rule 3: socket syscalls confined to the TCP transport -------------------
+SOCKET_ALLOWED = {
+    "src/net/tcp_transport.cpp",
+}
+# Global-namespace-qualified syscall spelling (`::send(fd, ...)`), the
+# idiom the transport uses; `Class::send(` definitions don't match.
+SOCKET_SYSCALLS = re.compile(
+    r"(?<![\w>])::(socket|bind|listen|accept4?|connect|recv|recvfrom|"
+    r"send|sendto|sendmsg|recvmsg|poll|ppoll|epoll_create1?|"
+    r"epoll_ctl|epoll_wait|setsockopt|getsockopt|getsockname|getpeername|"
+    r"inet_pton|inet_ntop)\s*\("
+)
+SOCKET_HEADERS = re.compile(
+    r'#\s*include\s*<(sys/socket\.h|netinet/[^>]+|arpa/inet\.h|poll\.h|'
+    r'sys/epoll\.h)>'
+)
+
+# --- rule 4: state-machine bypasses ------------------------------------------
 SM_FILE = "include/pa/core/state_machine.h"
 STATE_WRITE = re.compile(r"\bstate_\s*=[^=]")
 SM_REPLACE = re.compile(r"=\s*(UnitStateMachine|PilotStateMachine)\s*\(")
@@ -112,6 +136,23 @@ def lint_file(rel: str, text: str) -> list[tuple[int, str]]:
                     lineno,
                     f"nondeterminism source `{m.group(0).strip()}` — use "
                     f"pa::wall_seconds (time_utils.h) or pa::Rng (rng.h)",
+                ))
+
+        if rel not in SOCKET_ALLOWED and rel != "tools/lint.py":
+            m = SOCKET_SYSCALLS.search(code)
+            if m:
+                findings.append((
+                    lineno,
+                    f"raw socket syscall `::{m.group(1)}` — socket I/O is "
+                    f"confined to src/net/tcp_transport.cpp; go through "
+                    f"pa::net::Transport",
+                ))
+            m = SOCKET_HEADERS.search(code)
+            if m:
+                findings.append((
+                    lineno,
+                    f"socket header <{m.group(1)}> — socket I/O is confined "
+                    f"to src/net/tcp_transport.cpp",
                 ))
 
         if rel != SM_FILE and rel != "tools/lint.py":
