@@ -1,0 +1,203 @@
+/// E15 — control-plane dispatch throughput.
+///
+/// The RADICAL-Pilot characterization study (PAPERS.md) shows manager-side
+/// dispatch rate — not agent capacity — caps units/s at scale. This binary
+/// measures exactly that path: a SyntheticRuntime whose pilots activate
+/// instantly and whose units complete immediately from a pool of
+/// substrate threads, so the only cost left between submit and done is
+/// the middleware control plane (command handling, state transitions,
+/// scheduling, bookkeeping). Steady-state dispatch throughput on the
+/// 64-pilot / 50k-unit workload is the acceptance number recorded in
+/// EXPERIMENTS.md E15.
+///
+/// Flags: --pilots N --units N --cores N (per pilot) --threads N
+///        (completion threads) --warmup N --timeout S --metrics-out FILE
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "pa/check/mutex.h"
+#include "pa/common/error.h"
+#include "pa/common/table.h"
+#include "pa/common/thread_pool.h"
+#include "pa/common/time_utils.h"
+#include "pa/core/pilot_compute_service.h"
+#include "pa/obs/metrics.h"
+
+namespace {
+
+using namespace pa;  // NOLINT
+
+/// Execution substrate reduced to its callback contract: pilots become
+/// active synchronously inside start_pilot, units complete immediately
+/// from `threads` pool workers. Every nanosecond measured downstream is
+/// middleware, not substrate.
+class SyntheticRuntime : public core::Runtime {
+ public:
+  explicit SyntheticRuntime(int threads) : completions_(threads) {}
+  ~SyntheticRuntime() override { completions_.shutdown(); }
+
+  void start_pilot(const std::string& pilot_id,
+                   const core::PilotDescription& description,
+                   core::PilotRuntimeCallbacks callbacks) override {
+    {
+      check::MutexLock lock(mutex_);
+      pilots_[pilot_id] = callbacks;
+    }
+    // Like LocalRuntime: activation fires synchronously, lock released.
+    callbacks.on_active(pilot_id, description.nodes, "synth");
+  }
+
+  void cancel_pilot(const std::string& pilot_id) override {
+    core::PilotRuntimeCallbacks cb;
+    {
+      check::MutexLock lock(mutex_);
+      auto it = pilots_.find(pilot_id);
+      if (it == pilots_.end()) {
+        return;
+      }
+      cb = it->second;
+      pilots_.erase(it);
+    }
+    if (cb.on_terminated) {
+      cb.on_terminated(pilot_id, core::PilotState::kCanceled);
+    }
+  }
+
+  void execute_unit(const std::string& /*pilot_id*/,
+                    const core::ComputeUnitDescription& /*description*/,
+                    const std::string& /*unit_id*/,
+                    std::function<void(bool)> on_done) override {
+    completions_.enqueue([on_done = std::move(on_done)] { on_done(true); });
+  }
+
+  double now() const override { return wall_seconds(); }
+
+  void drive_until(const std::function<bool()>& predicate,
+                   double timeout_seconds) override {
+    const double deadline = wall_seconds() + timeout_seconds;
+    while (!predicate()) {
+      if (wall_seconds() >= deadline) {
+        throw TimeoutError("bench_ctrl: drive_until timed out");
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+
+ private:
+  mutable check::Mutex mutex_{check::LockRank::kRuntime, "SyntheticRuntime"};
+  std::map<std::string, core::PilotRuntimeCallbacks> pilots_
+      PA_GUARDED_BY(mutex_);
+  pa::ThreadPool completions_;
+};
+
+int int_flag(int argc, char** argv, const std::string& name, int fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (argv[i] == "--" + name) {
+      return std::stoi(argv[i + 1]);
+    }
+  }
+  return fallback;
+}
+
+std::uint64_t counter_or_zero(const obs::MetricsRegistry& metrics,
+                              const std::string& name) {
+  for (const auto& [counter_name, value] : metrics.counters()) {
+    if (counter_name == name) {
+      return value;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int pilots = int_flag(argc, argv, "pilots", 64);
+  const int units = int_flag(argc, argv, "units", 50000);
+  const int cores = int_flag(argc, argv, "cores", 8);
+  const int threads = int_flag(argc, argv, "threads", 4);
+  const int warmup = int_flag(argc, argv, "warmup", std::min(units / 10, 2000));
+  const int timeout = int_flag(argc, argv, "timeout", 1200);
+  const std::string metrics_path = pa::bench::metrics_out_path(argc, argv);
+
+  pa::bench::print_header(
+      "E15", "control-plane dispatch throughput (SyntheticRuntime, " +
+                 std::to_string(pilots) + " pilots x " + std::to_string(cores) +
+                 " cores, " + std::to_string(units) + " units)");
+
+  pa::obs::MetricsRegistry metrics;
+  SyntheticRuntime runtime(threads);
+  pa::core::PilotComputeService service(runtime, "fifo");
+  service.attach_observability(nullptr, &metrics);
+
+  for (int i = 0; i < pilots; ++i) {
+    pa::core::PilotDescription pd;
+    pd.resource_url = "synth://ctrl";
+    pd.nodes = cores;
+    pd.walltime = 1e9;
+    service.submit_pilot(pd).wait_active(10.0);
+  }
+
+  auto make_batch = [](int n) {
+    std::vector<pa::core::ComputeUnitDescription> batch(n);
+    for (auto& d : batch) {
+      d.cores = 1;
+      d.duration = 0.0;
+    }
+    return batch;
+  };
+
+  if (warmup > 0) {
+    service.submit_units(make_batch(warmup));
+    service.wait_all_units(static_cast<double>(timeout));
+  }
+
+  pa::Stopwatch watch;
+  service.submit_units(make_batch(units));
+  service.wait_all_units(static_cast<double>(timeout));
+  const double elapsed = watch.elapsed();
+
+  pa::Table table("E15: steady-state dispatch throughput");
+  table.set_columns({pa::Column{"pilots", 0, true},
+                     pa::Column{"units", 0, true},
+                     pa::Column{"elapsed_s", 2, true},
+                     pa::Column{"units_per_s", 0, true},
+                     pa::Column{"sched_passes", 0, true},
+                     pa::Column{"passes_skipped", 0, true}});
+  table.add_row({static_cast<std::int64_t>(pilots),
+                 static_cast<std::int64_t>(units), elapsed,
+                 static_cast<double>(units) / elapsed,
+                 static_cast<std::int64_t>(
+                     counter_or_zero(metrics, "wm.schedule_passes")),
+                 static_cast<std::int64_t>(
+                     counter_or_zero(metrics, "wm.schedule_passes_skipped"))});
+  table.print(std::cout);
+
+  // Control-plane telemetry (present after the event-driven refactor).
+  pa::Table ctrl("E15b: control-plane telemetry");
+  ctrl.set_columns({pa::Column{"metric", 0, true},
+                    pa::Column{"value", 3, false}});
+  for (const auto& [name, value] : metrics.counters()) {
+    if (name.rfind("ctrl.", 0) == 0) {
+      ctrl.add_row({name, static_cast<std::int64_t>(value)});
+    }
+  }
+  for (const auto& [name, hist] : metrics.histograms()) {
+    if (name.rfind("ctrl.", 0) == 0) {
+      ctrl.add_row({name + ".count",
+                    static_cast<std::int64_t>(hist.count())});
+      ctrl.add_row({name + ".mean", hist.mean()});
+      ctrl.add_row({name + ".p99", hist.quantile(0.99)});
+    }
+  }
+  ctrl.print(std::cout);
+
+  pa::bench::write_metrics_file(metrics_path, &metrics);
+  service.shutdown();
+  return 0;
+}

@@ -44,7 +44,7 @@ void BM_SchedulerPass(benchmark::State& state) {
     pv.remaining_walltime = 1e9;
     pilots.push_back(std::move(pv));
   }
-  std::vector<core::UnitView> queue;
+  std::deque<core::UnitView> queue;
   Rng rng(1);
   for (int u = 0; u < units; ++u) {
     core::UnitView uv;

@@ -18,13 +18,18 @@
 ///
 ///   rank  mutex                         forced-below edges
 ///   ----  ----------------------------  -----------------------------------
-///   10    PilotComputeService::mutex_   -> runtime, journal, tracer,
-///                                          metrics, log (callbacks under
-///                                          the service lock)
-///   12    RemoteRuntime/AgentEndpoint   -> transport, connection, payload
+///   10    PilotComputeService snapshot  (read-model swap only; never held
+///                                          across callbacks, journaling,
+///                                          or scheduling — the apply
+///                                          thread owns that state lock-
+///                                          free, see control_plane.h)
+///   12    ControlPlane queue mutex      (command-queue depth/wakeup; cv
+///                                          waits nest under nothing and
+///                                          acquire nothing)
+///   14    RemoteRuntime/AgentEndpoint   -> transport, connection, payload
 ///                                          table (execute_unit sends under
 ///                                          the manager lock)
-///   14    net transport registry        -> connection (I/O loop snapshots
+///   15    net transport registry        -> connection (I/O loop snapshots
 ///                                          the list, then locks one conn)
 ///   16    net connection send queue     (peers never nested)
 ///   18    rt::PayloadTable              (leaf of the net send path)
@@ -55,8 +60,9 @@ namespace pa::check {
 
 enum class LockRank : int {
   kService = 10,
-  kNetRuntime = 12,
-  kNetTransport = 14,
+  kCtrlQueue = 12,
+  kNetRuntime = 14,
+  kNetTransport = 15,
   kNetConnection = 16,
   kNetPayload = 18,
   kRuntime = 20,

@@ -6,9 +6,15 @@
 /// through core's transition-legality functions), so the service emits
 /// its durable events through this narrow interface and `pa::journal`
 /// provides the concrete adapter (`pa::journal::ServiceJournal`). Every
-/// method corresponds to one journal record type; the service calls them
-/// with its lock held, at the exact point the matching in-memory mutation
-/// is validated — before any externally observable effect depends on it.
+/// method corresponds to one journal record type.
+///
+/// Threading contract: all hooks fire on the service's control-plane
+/// apply thread (see control_plane.h) — one thread, in command-apply
+/// order, at the exact point the matching in-memory mutation is
+/// validated and before any externally observable effect depends on it.
+/// An implementation therefore never sees concurrent calls, and the
+/// record sequence it observes equals the sequence a crash-recovery
+/// replay reproduces.
 
 #include <string>
 

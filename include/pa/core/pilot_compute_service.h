@@ -7,20 +7,38 @@
 /// P* machinery (pilot manager, late-binding workload manager, scheduler,
 /// agents) on whichever `Runtime` it was constructed with.
 ///
-/// Thread-safety: all public methods and all runtime callbacks lock one
-/// recursive mutex, so the service may be used from the LocalRuntime's
-/// worker threads as well as single-threaded simulation code. (Recursive
-/// because a synchronously-satisfiable stage-in completes within the
-/// caller's frame.)
+/// Threading model (event-driven control plane, see control_plane.h and
+/// DESIGN.md "Control plane"):
+///
+///  * **Writes.** Every mutation — submissions, cancellations, the three
+///    runtimes' callbacks, timer-driven schedule passes — is a command on
+///    a bounded MPSC queue drained by a single apply context that owns
+///    pilots_/units_/workload_ exclusively and lock-free. Runtime
+///    callbacks cost one wait-free push on the substrate thread; no
+///    middleware logic runs there. Synchronous mutators (submit_pilot,
+///    cancel_unit, ...) post and wait; handler exceptions (NotFound,
+///    InvalidArgument) propagate back to the caller.
+///  * **Reads.** Accessors (pilot_state, unit_times, metrics, ...) are
+///    served from a read-mostly snapshot the applier republishes at the
+///    end of each command batch. The service mutex (LockRank::kService)
+///    shrank to guarding only that snapshot swap — it is never held
+///    across callbacks, journaling, or scheduling.
+///  * **Determinism.** On a `Runtime::single_threaded()` substrate
+///    (SimRuntime) the queue drains inline on the posting thread, so
+///    simulations stay bit-identical run to run.
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "pa/check/mutex.h"
 #include "pa/common/id.h"
 #include "pa/common/stats.h"
+#include "pa/core/command.h"
+#include "pa/core/control_plane.h"
 #include "pa/core/journal_hook.h"
 #include "pa/core/runtime.h"
 #include "pa/core/state_machine.h"
@@ -114,18 +132,21 @@ class PilotComputeService {
   /// unit spans ("unit.wait" submit->start, "unit.exec" start->finish) and
   /// per-transition "pilot.state"/"unit.state" events — all stamped with
   /// the *runtime's* clock (simulated time on SimRuntime, wall time on
-  /// LocalRuntime). With a registry attached the service and its workload
-  /// manager export lifecycle counters and scheduler-decision metrics
-  /// ("pcs.*", "wm.*"). Both sinks must outlive their attachment.
+  /// LocalRuntime). With a registry attached the service, its workload
+  /// manager and its control plane export lifecycle counters, scheduler-
+  /// decision metrics and queue telemetry ("pcs.*", "wm.*", "ctrl.*").
+  /// Both sinks must outlive their attachment.
   void attach_observability(obs::Tracer* tracer,
                             obs::MetricsRegistry* metrics);
 
   /// Connects the write-ahead state journal. Every validated lifecycle
   /// event (pilot submit + state transitions, unit submit/bind/state/
   /// requeue, data placement) is emitted through the sink at the point it
-  /// is applied in memory. Attach *before* submitting work — pilots and
-  /// units submitted earlier are not retroactively journaled. Pass
-  /// nullptr to detach; the sink must outlive its attachment.
+  /// is applied in memory — by the apply context, which serializes all
+  /// events, so replay order equals apply order. Attach *before*
+  /// submitting work — pilots and units submitted earlier are not
+  /// retroactively journaled. Pass nullptr to detach; the sink must
+  /// outlive its attachment.
   void attach_journal(JournalSink* journal);
 
   /// Submits a pilot; it proceeds NEW -> SUBMITTED -> ACTIVE asynchronously.
@@ -133,6 +154,8 @@ class PilotComputeService {
 
   /// Submits a unit into the late-binding queue.
   ComputeUnit submit_unit(const ComputeUnitDescription& description);
+  /// Batch submission: posts every unit fire-and-forget and waits once,
+  /// so a large burst costs one queue round-trip, not N.
   std::vector<ComputeUnit> submit_units(
       const std::vector<ComputeUnitDescription>& descriptions);
 
@@ -154,8 +177,10 @@ class PilotComputeService {
   void set_max_unit_requeues(int max_requeues);
 
   /// Observer for every unit state transition (in addition to per-unit
-  /// waits). Called with the service lock held; keep callbacks short and
-  /// do not call back into the service from them.
+  /// waits). Called on the control plane's apply context (the apply
+  /// thread on threaded runtimes); keep callbacks short and do not call
+  /// back into the service from them — a synchronous mutator would wait
+  /// on the very thread it runs on.
   using UnitObserver =
       std::function<void(const std::string& unit_id, UnitState from,
                          UnitState to)>;
@@ -212,52 +237,121 @@ class PilotComputeService {
     int attempts = 0;
   };
 
-  void on_pilot_active(const std::string& pilot_id, int total_cores,
-                       const std::string& site) PA_EXCLUDES(mutex_);
-  void on_pilot_terminated(const std::string& pilot_id, PilotState state)
-      PA_EXCLUDES(mutex_);
-  void on_unit_done(const std::string& unit_id, bool success, int attempt)
-      PA_EXCLUDES(mutex_);
-  void schedule_pass_locked() PA_REQUIRES(mutex_);
-  void dispatch_unit_locked(const std::string& unit_id,
-                            const std::string& pilot_id) PA_REQUIRES(mutex_);
-  void execute_unit_locked(const std::string& unit_id) PA_REQUIRES(mutex_);
-  void finalize_unit_locked(UnitRecord& unit, const std::string& unit_id,
-                            UnitState final_state) PA_REQUIRES(mutex_);
+  /// What readers may see of a unit.
+  struct UnitSnap {
+    UnitState state = UnitState::kNew;
+    UnitTimes times;
+  };
 
-  PilotRecord& pilot_record(const std::string& pilot_id) PA_REQUIRES(mutex_);
-  const PilotRecord& pilot_record(const std::string& pilot_id) const
-      PA_REQUIRES(mutex_);
-  UnitRecord& unit_record(const std::string& unit_id) PA_REQUIRES(mutex_);
-  const UnitRecord& unit_record(const std::string& unit_id) const
-      PA_REQUIRES(mutex_);
+  /// The read-mostly snapshot. The applier mutates the current model in
+  /// place under a short snapshot_mutex_ hold at batch end (flushing only
+  /// dirty entries); it clones first iff a reader still shares the
+  /// pointer, so readers always see a batch-consistent state.
+  struct ReadModel {
+    std::map<std::string, PilotState> pilot_states;
+    std::map<std::string, UnitSnap> units;
+    ServiceMetrics metrics;
+    std::size_t unfinished = 0;
+  };
 
-  Pilot submit_pilot_locked(const PilotDescription& description,
-                            int restarts_used) PA_REQUIRES(mutex_);
+  /// Per-batch increments destined for ReadModel::metrics. Deltas rather
+  /// than wholesale copies: the SampleSets grow with the workload and
+  /// copying them per batch would dwarf the work being measured.
+  struct MetricsDelta {
+    std::vector<double> pilot_startups;
+    std::vector<double> unit_waits;
+    std::vector<double> unit_execs;
+    std::size_t done = 0;
+    std::size_t failed = 0;
+    std::size_t canceled = 0;
+    std::size_t requeues = 0;
+    double first_submit = -1.0;
+    double last_finish = -1.0;
+    bool any = false;
+  };
+
+  using Ctrl = ControlPlane<cmd::Command>;
+
+  // ---- apply side. Everything below runs only on the control plane's
+  // apply context and touches the apply-confined state lock-free. ----
+  void apply_command(cmd::Command& command);
+  void apply(cmd::CmdFence& c);
+  void apply(cmd::CmdSubmitPilot& c);
+  void apply(cmd::CmdSubmitUnit& c);
+  void apply(cmd::CmdPilotActive& c);
+  void apply(cmd::CmdPilotTerminated& c);
+  void apply(cmd::CmdUnitDone& c);
+  void apply(cmd::CmdStageInDone& c);
+  void apply(cmd::CmdCancelUnit& c);
+  void apply(cmd::CmdShutdown& c);
+  void apply(cmd::CmdAttachData& c);
+  void apply(cmd::CmdAttachObservability& c);
+  void apply(cmd::CmdAttachJournal& c);
+  void apply(cmd::CmdSetRequeuePolicy& c);
+  void apply(cmd::CmdSetRestartPolicy& c);
+  void apply(cmd::CmdSetMaxRequeues& c);
+  void apply(cmd::CmdObserveUnits& c);
+
+  /// Batch-end hook: one coalesced schedule pass (skipped by the workload
+  /// manager's dirty flag when nothing changed), then snapshot publish.
+  void on_batch_end();
+  void run_schedule_cycle();
+  void publish_snapshot();
+
+  void submit_pilot_apply(const std::string& pilot_id,
+                          const PilotDescription& description,
+                          int restarts_used);
+  void dispatch_unit_apply(const std::string& unit_id,
+                           const std::string& pilot_id);
+  void execute_unit_apply(const std::string& unit_id);
+  void finalize_unit_apply(UnitRecord& unit, const std::string& unit_id,
+                           UnitState final_state);
+
+  PilotRecord& pilot_record(const std::string& pilot_id);
+  UnitRecord& unit_record(const std::string& unit_id);
+  /// The observer attached to every unit state machine: journal, tracer,
+  /// user observers, snapshot dirty set.
+  UnitStateMachine::Observer make_unit_observer(const std::string& unit_id);
 
   Runtime& runtime_;
-  /// Recursive, and deliberately without PA_EXCLUDES on the public
-  /// methods: submit_units calls submit_unit under the lock, and a
-  /// synchronously-satisfiable stage-in completes (and re-enters the
-  /// service) within the caller's frame. Outermost rank of the hierarchy
-  /// (LockRank::kService).
-  mutable check::RecursiveMutex mutex_{check::LockRank::kService,
-                                       "core::PilotComputeService"};
-  WorkloadManager workload_ PA_GUARDED_BY(mutex_);
-  DataServiceInterface* data_ PA_GUARDED_BY(mutex_) = nullptr;
-  obs::Tracer* tracer_ PA_GUARDED_BY(mutex_) = nullptr;
-  obs::MetricsRegistry* obs_metrics_ PA_GUARDED_BY(mutex_) = nullptr;
-  JournalSink* journal_ PA_GUARDED_BY(mutex_) = nullptr;
-  bool requeue_on_pilot_failure_ PA_GUARDED_BY(mutex_) = true;
-  int pilot_max_restarts_ PA_GUARDED_BY(mutex_) = 0;
-  bool shut_down_ PA_GUARDED_BY(mutex_) = false;
-  std::vector<UnitObserver> unit_observers_ PA_GUARDED_BY(mutex_);
 
-  pa::IdGenerator pilot_ids_ PA_GUARDED_BY(mutex_){"pilot"};
-  pa::IdGenerator unit_ids_ PA_GUARDED_BY(mutex_){"unit"};
-  std::map<std::string, PilotRecord> pilots_ PA_GUARDED_BY(mutex_);
-  std::map<std::string, UnitRecord> units_ PA_GUARDED_BY(mutex_);
-  ServiceMetrics metrics_ PA_GUARDED_BY(mutex_);
+  // ---- apply-confined state (single writer, no lock) ----
+  WorkloadManager workload_;
+  DataServiceInterface* data_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* obs_metrics_ = nullptr;
+  JournalSink* journal_ = nullptr;
+  bool requeue_on_pilot_failure_ = true;
+  int pilot_max_restarts_ = 0;
+  std::vector<UnitObserver> unit_observers_;
+  std::map<std::string, PilotRecord> pilots_;
+  std::map<std::string, UnitRecord> units_;
+  /// Records touched since the last publish (state-machine observers and
+  /// the requeue/finalize paths feed these).
+  std::set<std::string> dirty_pilots_;
+  std::set<std::string> dirty_units_;
+  MetricsDelta delta_;
+  bool first_submit_recorded_ = false;
+
+  /// Set by the apply side (CmdShutdown); read by producer-side argument
+  /// validation so post-shutdown submits fail fast. The apply-side check
+  /// is authoritative.
+  std::atomic<bool> shut_down_{false};
+
+  /// Atomic: ids are minted at the call site, before posting.
+  pa::IdGenerator pilot_ids_{"pilot"};
+  pa::IdGenerator unit_ids_{"unit"};
+
+  /// The shrunken kService lock: guards only the snapshot pointer and
+  /// the in-place flush of dirty entries at batch end. Never held across
+  /// callbacks, journaling, scheduling, or runtime calls.
+  mutable check::Mutex snapshot_mutex_{check::LockRank::kService,
+                                       "core::PilotComputeService"};
+  std::shared_ptr<ReadModel> model_ PA_GUARDED_BY(snapshot_mutex_);
+
+  /// Declared last: destroyed first, joining the apply thread while the
+  /// state it references is still alive.
+  std::unique_ptr<Ctrl> ctrl_;
 };
 
 }  // namespace pa::core

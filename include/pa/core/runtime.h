@@ -55,6 +55,13 @@ class Runtime {
   /// Current time on this runtime's clock (simulated or wall seconds).
   virtual double now() const = 0;
 
+  /// True when the substrate never runs callbacks concurrently with the
+  /// submitting thread (everything happens on one thread, e.g. a DES).
+  /// The service's control plane uses this to drain its command queue
+  /// inline on the posting thread instead of spawning an apply thread —
+  /// which keeps single-seed simulations bit-identical.
+  virtual bool single_threaded() const { return false; }
+
   /// Drives the runtime until `predicate()` is true. For the simulated
   /// runtime this advances the event queue; for the local runtime it
   /// blocks the calling thread. Throws pa::TimeoutError if progress is

@@ -8,6 +8,8 @@
 /// is unit-testable without a runtime — and the scheduler-ablation bench
 /// (E8) can compare them under identical workloads.
 
+#include <cstddef>
+#include <deque>
 #include <map>
 #include <memory>
 #include <string>
@@ -42,10 +44,18 @@ struct UnitView {
   std::string preferred_site;
 };
 
+/// Sentinel for Assignment::queue_index: position unknown.
+inline constexpr std::size_t kNoQueueIndex = static_cast<std::size_t>(-1);
+
 /// One binding decision.
 struct Assignment {
   std::string unit_id;
   std::string pilot_id;
+  /// Position of the unit in the `queued` view the decision was computed
+  /// from; lets the workload manager apply the decision in O(1) instead
+  /// of re-searching its queue. kNoQueueIndex when unknown (the manager
+  /// falls back to a linear search).
+  std::size_t queue_index = kNoQueueIndex;
 };
 
 /// Strategy interface. Implementations must respect capacity: the sum of
@@ -53,13 +63,26 @@ struct Assignment {
 /// unit duration must fit the pilot's remaining walltime.
 class Scheduler {
  public:
+  /// Strict weak ordering over queued units (plain function pointer so
+  /// policies can share one stateless comparator).
+  using UnitOrder = bool (*)(const UnitView&, const UnitView&);
+
   virtual ~Scheduler() = default;
 
   /// Computes assignments for as many queued units as will fit.
-  /// `queued` is in FCFS order. Unassigned units simply stay queued.
+  /// `queued` is in FCFS order — unless the policy declares a
+  /// `unit_order()`, in which case the caller may (and the workload
+  /// manager does) keep the queue persistently sorted by it, so a pass
+  /// needs no re-sort. Unassigned units simply stay queued.
   virtual std::vector<Assignment> schedule(
-      const std::vector<UnitView>& queued,
+      const std::deque<UnitView>& queued,
       const std::vector<PilotView>& pilots) = 0;
+
+  /// The order this policy wants the queue maintained in, or nullptr for
+  /// FCFS (the default). The workload manager keeps its persistent queue
+  /// sorted by this comparator via insertion, turning the policy's
+  /// per-pass O(n log n) sort into O(log n) per enqueue.
+  virtual UnitOrder unit_order() const { return nullptr; }
 
   virtual const char* name() const = 0;
 };
@@ -69,7 +92,7 @@ class Scheduler {
 /// baseline the backfilling policy improves on).
 class FifoScheduler : public Scheduler {
  public:
-  std::vector<Assignment> schedule(const std::vector<UnitView>& queued,
+  std::vector<Assignment> schedule(const std::deque<UnitView>& queued,
                                    const std::vector<PilotView>& pilots) override;
   const char* name() const override { return "fifo"; }
 };
@@ -79,7 +102,7 @@ class FifoScheduler : public Scheduler {
 /// units are typically much shorter than pilot walltimes.
 class BackfillScheduler : public Scheduler {
  public:
-  std::vector<Assignment> schedule(const std::vector<UnitView>& queued,
+  std::vector<Assignment> schedule(const std::deque<UnitView>& queued,
                                    const std::vector<PilotView>& pilots) override;
   const char* name() const override { return "backfill"; }
 };
@@ -88,7 +111,7 @@ class BackfillScheduler : public Scheduler {
 /// throughput workloads over symmetric pilots).
 class RoundRobinScheduler : public Scheduler {
  public:
-  std::vector<Assignment> schedule(const std::vector<UnitView>& queued,
+  std::vector<Assignment> schedule(const std::deque<UnitView>& queued,
                                    const std::vector<PilotView>& pilots) override;
   const char* name() const override { return "round-robin"; }
 
@@ -107,7 +130,7 @@ class RoundRobinScheduler : public Scheduler {
 /// otherwise). The Pilot-Data scheduler of ref [66].
 class DataAffinityScheduler : public Scheduler {
  public:
-  std::vector<Assignment> schedule(const std::vector<UnitView>& queued,
+  std::vector<Assignment> schedule(const std::deque<UnitView>& queued,
                                    const std::vector<PilotView>& pilots) override;
   const char* name() const override { return "data-affinity"; }
 };
@@ -116,7 +139,7 @@ class DataAffinityScheduler : public Scheduler {
 /// then priority); models the HPC-first/cloud-burst policy of E9.
 class CostAwareScheduler : public Scheduler {
  public:
-  std::vector<Assignment> schedule(const std::vector<UnitView>& queued,
+  std::vector<Assignment> schedule(const std::deque<UnitView>& queued,
                                    const std::vector<PilotView>& pilots) override;
   const char* name() const override { return "cost-aware"; }
 };
@@ -125,8 +148,9 @@ class CostAwareScheduler : public Scheduler {
 /// fragmentation for mixed task sizes (heterogeneous-workload ablation).
 class LargestFirstScheduler : public Scheduler {
  public:
-  std::vector<Assignment> schedule(const std::vector<UnitView>& queued,
+  std::vector<Assignment> schedule(const std::deque<UnitView>& queued,
                                    const std::vector<PilotView>& pilots) override;
+  UnitOrder unit_order() const override;
   const char* name() const override { return "largest-first"; }
 };
 
@@ -136,8 +160,9 @@ class LargestFirstScheduler : public Scheduler {
 /// arrivals).
 class ShortestFirstScheduler : public Scheduler {
  public:
-  std::vector<Assignment> schedule(const std::vector<UnitView>& queued,
+  std::vector<Assignment> schedule(const std::deque<UnitView>& queued,
                                    const std::vector<PilotView>& pilots) override;
+  UnitOrder unit_order() const override;
   const char* name() const override { return "shortest-first"; }
 };
 

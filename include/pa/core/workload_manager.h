@@ -7,9 +7,18 @@
 /// test can drive it by hand. Capacity accounting lives here so the
 /// "never oversubscribe" invariant has a single owner.
 ///
-/// Thread-safety: none of its own. The manager is externally synchronized
-/// — it is a PA_GUARDED_BY member of PilotComputeService, touched only
-/// under the service lock (LockRank::kService); standalone tests drive it
+/// Scheduling is *incremental*: the manager keeps persistent scheduler
+/// views (pilot views refreshed in O(pilots) per pass, unit views built
+/// once at enqueue and kept in the policy's order by sorted insertion)
+/// and a dirty flag that turns a pass over unchanged state into an
+/// immediate return. Events that can enable a placement — capacity
+/// growth, enqueue/requeue, removal of a queued unit (it may have been
+/// blocking a FIFO head) — set the flag; time passing alone never does,
+/// because remaining walltime only shrinks.
+///
+/// Thread-safety: none of its own. The manager is externally serialized —
+/// it is owned by PilotComputeService's control-plane apply context (one
+/// writer, see control_plane.h); standalone tests drive it
 /// single-threaded.
 
 #include <deque>
@@ -42,7 +51,8 @@ class WorkloadManager {
   bool has_pilot(const std::string& pilot_id) const;
   std::size_t pilot_count() const { return pilots_.size(); }
 
-  /// Enqueues a unit (FCFS position = call order).
+  /// Enqueues a unit (FCFS position = call order; policies with a
+  /// unit_order() place it by sorted insertion instead, after its equals).
   void enqueue_unit(const std::string& unit_id,
                     const ComputeUnitDescription& description);
 
@@ -53,10 +63,10 @@ class WorkloadManager {
   static constexpr int kDefaultMaxRequeues = 1000;
 
   /// Re-enqueues a previously bound unit (pilot failure recovery) at the
-  /// front of the queue, preserving its original priority. Returns false
-  /// — and drops the unit's requeue bookkeeping — when the unit has
-  /// already been requeued max_requeues times; the caller must then fail
-  /// the unit instead.
+  /// front of the queue — before its equals, under a unit_order() policy —
+  /// preserving its original priority. Returns false — and drops the
+  /// unit's requeue bookkeeping — when the unit has already been requeued
+  /// max_requeues times; the caller must then fail the unit instead.
   bool requeue_unit_front(const std::string& unit_id,
                           const ComputeUnitDescription& description);
 
@@ -74,9 +84,16 @@ class WorkloadManager {
   int free_cores(const std::string& pilot_id) const;
   int total_free_cores() const;
 
+  /// True when something changed since the last executed pass, i.e. the
+  /// next schedule_pass will actually run the strategy.
+  bool dirty() const { return dirty_; }
+
   /// Runs the scheduling strategy over the current queue and capacity.
   /// Accepted assignments are applied (cores reserved, unit dequeued).
-  /// `data` may be null (no locality info).
+  /// `data` may be null (no locality info). Returns immediately — without
+  /// invoking the strategy — when nothing changed since the last pass
+  /// (the "wm.schedule_passes_skipped" counter tracks these;
+  /// "wm.schedule_passes" counts executed passes only).
   std::vector<Assignment> schedule_pass(double now,
                                         const DataServiceInterface* data);
 
@@ -89,8 +106,9 @@ class WorkloadManager {
   const Scheduler& scheduler() const { return *scheduler_; }
 
   /// Emits scheduler-decision counters ("wm.schedule_passes",
-  /// "wm.units_assigned") and queue/capacity gauges into `metrics`.
-  /// Pass nullptr to detach; the registry must outlive its attachment.
+  /// "wm.schedule_passes_skipped", "wm.units_assigned") and queue/capacity
+  /// gauges into `metrics`. Pass nullptr to detach; the registry must
+  /// outlive its attachment.
   void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
 
  private:
@@ -118,17 +136,38 @@ class WorkloadManager {
 
   static QueuedUnit make_queued(const std::string& unit_id,
                                 const ComputeUnitDescription& description);
-  UnitView make_view(const QueuedUnit& unit,
-                     const DataServiceInterface* data) const;
+  /// View without locality info (filled per pass for units that have
+  /// input data — see refresh_locality).
+  static UnitView make_base_view(const QueuedUnit& unit);
+  /// Recomputes input_bytes_by_site/total_input_bytes. Sites with no free
+  /// cores are skipped: none of their pilots can take the unit this pass
+  /// (fits() excludes them), so their byte counts cannot matter.
+  void refresh_locality(UnitView& view, const QueuedUnit& unit,
+                        const DataServiceInterface* data) const;
+  /// Inserts into queue_ and queue_views_ at the policy's position:
+  /// append/prepend under FCFS, upper/lower bound of the unit_order()
+  /// comparator otherwise (front = before equals, back = after equals).
+  void insert_queued(QueuedUnit unit, bool front);
 
   std::unique_ptr<Scheduler> scheduler_;
   obs::MetricsRegistry* metrics_ = nullptr;
   int max_requeues_ = kDefaultMaxRequeues;
   std::map<std::string, PilotRecord> pilots_;
-  std::vector<std::string> pilot_order_;  ///< stable view order
+  /// Persistent scheduler input, in registration order (the stable view
+  /// order policies rely on). site/total/priority/cost are immutable;
+  /// free_cores and remaining_walltime are refreshed each executed pass.
+  std::vector<PilotView> pilot_views_;
+  /// Free cores per site — lets the locality refresh skip sites that
+  /// cannot accept work this pass.
+  std::map<std::string, int> site_free_cores_;
+  /// queue_ and queue_views_ are parallel: same units, same positions.
   std::deque<QueuedUnit> queue_;
+  std::deque<UnitView> queue_views_;
   std::map<std::string, BoundUnit> bound_;
   std::map<std::string, int> requeue_counts_;  ///< per live unit
+  /// Set by every mutation that could enable a placement; cleared when a
+  /// pass executes. Starts clean: an empty manager has nothing to place.
+  bool dirty_ = false;
 };
 
 }  // namespace pa::core

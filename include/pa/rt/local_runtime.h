@@ -8,6 +8,13 @@
 /// declared duration) on those threads. This is the substrate for the
 /// application engines — MapReduce, iterative K-means, dataflow — so those
 /// code paths compute real results (DESIGN.md).
+///
+/// Callbacks (pilot lifecycle, unit completion) fire on worker/caller
+/// threads, possibly concurrently. The runtime keeps the base-class
+/// `single_threaded() == false`, so `PilotComputeService` runs its
+/// control plane in threaded mode: each callback just posts a command;
+/// the service's apply thread does the middleware work
+/// (see core/control_plane.h).
 
 #include <atomic>
 #include <map>

@@ -189,11 +189,12 @@ class RemoteRuntime : public core::Runtime {
   std::shared_ptr<PayloadTable> payloads_ = std::make_shared<PayloadTable>();
   double epoch_;
 
-  /// Rank kNetRuntime (12): sits between the service lock (10) that is
-  /// held across execute_unit and the transport/connection/payload locks
-  /// (14/16/18) the send path takes. NEVER held while invoking service
-  /// callbacks or Connection::close() — copy under the lock, release,
-  /// then call out.
+  /// Rank kNetRuntime (14): sits between the control-plane ranks (10/12)
+  /// and the transport/connection/payload locks (15/16/18) the send path
+  /// takes. NEVER held while invoking service callbacks or
+  /// Connection::close() — copy under the lock, release, then call out.
+  /// Since the event-driven refactor the service calls execute_unit from
+  /// its apply thread with no lock held; callbacks post commands.
   mutable check::Mutex mutex_{check::LockRank::kNetRuntime,
                               "rt::RemoteRuntime"};
   check::CondVar cv_;

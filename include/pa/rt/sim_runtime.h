@@ -42,6 +42,9 @@ class SimRuntime : public core::Runtime {
                     const std::string& unit_id,
                     std::function<void(bool)> on_done) override;
   double now() const override { return engine_.now(); }
+  /// Everything runs on the driving thread: the service drains its
+  /// command queue inline, keeping simulations deterministic.
+  bool single_threaded() const override { return true; }
   void drive_until(const std::function<bool()>& predicate,
                    double timeout_seconds) override;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <numeric>
 #include <utility>
 
 #include "pa/common/error.h"
@@ -16,6 +17,7 @@ struct Capacity {
     free_.reserve(pilots.size());
     for (const auto& p : pilots) {
       free_.push_back(p.free_cores);
+      total_free_ += p.free_cores;
     }
   }
 
@@ -27,12 +29,19 @@ struct Capacity {
 
   void take(std::size_t i, const UnitView& u) {
     free_[i] -= u.cores;
+    total_free_ -= u.cores;
     PA_CHECK_MSG(free_[i] >= 0, "scheduler oversubscribed pilot "
                                     << pilots_[i].pilot_id);
   }
 
+  /// Early-exit signal: once no pilot has a free core, no further unit
+  /// can fit, so scan loops stop — a pass over a long queue then costs
+  /// O(assigned), not O(queued).
+  bool exhausted() const { return total_free_ <= 0; }
+
   const std::vector<PilotView>& pilots_;
   std::vector<int> free_;
+  int total_free_ = 0;
 };
 
 /// First pilot (by declaration order) that fits; returns npos if none.
@@ -59,40 +68,90 @@ std::size_t preferred_or_first_fit(const Capacity& cap, const UnitView& u) {
   return first_fit(cap, u);
 }
 
+bool cores_descending(const UnitView& a, const UnitView& b) {
+  return a.cores > b.cores;
+}
+
+bool duration_ascending(const UnitView& a, const UnitView& b) {
+  return a.expected_duration < b.expected_duration;
+}
+
+/// Backfill placement in `order`. When the caller's queue is already
+/// sorted (the workload manager keeps it that way via sorted insertion)
+/// this is a single scan; otherwise an index view is stable-sorted so
+/// queue_index still refers to the caller's positions.
+std::vector<Assignment> ordered_backfill(const std::deque<UnitView>& queued,
+                                         const std::vector<PilotView>& pilots,
+                                         Scheduler::UnitOrder order) {
+  Capacity cap(pilots);
+  std::vector<Assignment> out;
+  if (std::is_sorted(queued.begin(), queued.end(), order)) {
+    for (std::size_t qi = 0; qi < queued.size() && !cap.exhausted(); ++qi) {
+      const UnitView& u = queued[qi];
+      const std::size_t i = preferred_or_first_fit(cap, u);
+      if (i == kNone) {
+        continue;
+      }
+      cap.take(i, u);
+      out.push_back({u.unit_id, pilots[i].pilot_id, qi});
+    }
+    return out;
+  }
+  std::vector<std::size_t> idx(queued.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::stable_sort(idx.begin(), idx.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return order(queued[a], queued[b]);
+                   });
+  for (std::size_t k = 0; k < idx.size() && !cap.exhausted(); ++k) {
+    const std::size_t qi = idx[k];
+    const UnitView& u = queued[qi];
+    const std::size_t i = preferred_or_first_fit(cap, u);
+    if (i == kNone) {
+      continue;
+    }
+    cap.take(i, u);
+    out.push_back({u.unit_id, pilots[i].pilot_id, qi});
+  }
+  return out;
+}
+
 }  // namespace
 
 std::vector<Assignment> FifoScheduler::schedule(
-    const std::vector<UnitView>& queued, const std::vector<PilotView>& pilots) {
+    const std::deque<UnitView>& queued, const std::vector<PilotView>& pilots) {
   Capacity cap(pilots);
   std::vector<Assignment> out;
-  for (const auto& u : queued) {
+  for (std::size_t qi = 0; qi < queued.size(); ++qi) {
+    const UnitView& u = queued[qi];
     const std::size_t i = preferred_or_first_fit(cap, u);
     if (i == kNone) {
       break;  // strict FCFS: head-of-line blocking
     }
     cap.take(i, u);
-    out.push_back({u.unit_id, pilots[i].pilot_id});
+    out.push_back({u.unit_id, pilots[i].pilot_id, qi});
   }
   return out;
 }
 
 std::vector<Assignment> BackfillScheduler::schedule(
-    const std::vector<UnitView>& queued, const std::vector<PilotView>& pilots) {
+    const std::deque<UnitView>& queued, const std::vector<PilotView>& pilots) {
   Capacity cap(pilots);
   std::vector<Assignment> out;
-  for (const auto& u : queued) {
+  for (std::size_t qi = 0; qi < queued.size() && !cap.exhausted(); ++qi) {
+    const UnitView& u = queued[qi];
     const std::size_t i = preferred_or_first_fit(cap, u);
     if (i == kNone) {
       continue;  // skip, try the next unit
     }
     cap.take(i, u);
-    out.push_back({u.unit_id, pilots[i].pilot_id});
+    out.push_back({u.unit_id, pilots[i].pilot_id, qi});
   }
   return out;
 }
 
 std::vector<Assignment> RoundRobinScheduler::schedule(
-    const std::vector<UnitView>& queued, const std::vector<PilotView>& pilots) {
+    const std::deque<UnitView>& queued, const std::vector<PilotView>& pilots) {
   if (pilots.empty()) {
     return {};
   }
@@ -111,7 +170,8 @@ std::vector<Assignment> RoundRobinScheduler::schedule(
     }
   }
   std::vector<Assignment> out;
-  for (const auto& u : queued) {
+  for (std::size_t qi = 0; qi < queued.size() && !cap.exhausted(); ++qi) {
+    const UnitView& u = queued[qi];
     std::size_t chosen = kNone;
     for (std::size_t k = 0; k < pilots.size(); ++k) {
       const std::size_t i = (start + k) % pilots.size();
@@ -124,7 +184,7 @@ std::vector<Assignment> RoundRobinScheduler::schedule(
       continue;
     }
     cap.take(chosen, u);
-    out.push_back({u.unit_id, pilots[chosen].pilot_id});
+    out.push_back({u.unit_id, pilots[chosen].pilot_id, qi});
     last_pilot_id_ = pilots[chosen].pilot_id;
     start = (chosen + 1) % pilots.size();
   }
@@ -132,10 +192,11 @@ std::vector<Assignment> RoundRobinScheduler::schedule(
 }
 
 std::vector<Assignment> DataAffinityScheduler::schedule(
-    const std::vector<UnitView>& queued, const std::vector<PilotView>& pilots) {
+    const std::deque<UnitView>& queued, const std::vector<PilotView>& pilots) {
   Capacity cap(pilots);
   std::vector<Assignment> out;
-  for (const auto& u : queued) {
+  for (std::size_t qi = 0; qi < queued.size() && !cap.exhausted(); ++qi) {
+    const UnitView& u = queued[qi];
     std::size_t best = kNone;
     double best_local = -1.0;
     for (std::size_t i = 0; i < pilots.size(); ++i) {
@@ -171,16 +232,17 @@ std::vector<Assignment> DataAffinityScheduler::schedule(
       continue;  // backfill behaviour for the rest of the queue
     }
     cap.take(best, u);
-    out.push_back({u.unit_id, pilots[best].pilot_id});
+    out.push_back({u.unit_id, pilots[best].pilot_id, qi});
   }
   return out;
 }
 
 std::vector<Assignment> CostAwareScheduler::schedule(
-    const std::vector<UnitView>& queued, const std::vector<PilotView>& pilots) {
+    const std::deque<UnitView>& queued, const std::vector<PilotView>& pilots) {
   Capacity cap(pilots);
   std::vector<Assignment> out;
-  for (const auto& u : queued) {
+  for (std::size_t qi = 0; qi < queued.size() && !cap.exhausted(); ++qi) {
+    const UnitView& u = queued[qi];
     std::size_t best = kNone;
     for (std::size_t i = 0; i < pilots.size(); ++i) {
       if (!cap.fits(i, u)) {
@@ -202,49 +264,27 @@ std::vector<Assignment> CostAwareScheduler::schedule(
       continue;
     }
     cap.take(best, u);
-    out.push_back({u.unit_id, pilots[best].pilot_id});
+    out.push_back({u.unit_id, pilots[best].pilot_id, qi});
   }
   return out;
+}
+
+Scheduler::UnitOrder LargestFirstScheduler::unit_order() const {
+  return &cores_descending;
 }
 
 std::vector<Assignment> LargestFirstScheduler::schedule(
-    const std::vector<UnitView>& queued, const std::vector<PilotView>& pilots) {
-  std::vector<UnitView> order = queued;
-  std::stable_sort(order.begin(), order.end(),
-                   [](const UnitView& a, const UnitView& b) {
-                     return a.cores > b.cores;
-                   });
-  Capacity cap(pilots);
-  std::vector<Assignment> out;
-  for (const auto& u : order) {
-    const std::size_t i = preferred_or_first_fit(cap, u);
-    if (i == kNone) {
-      continue;
-    }
-    cap.take(i, u);
-    out.push_back({u.unit_id, pilots[i].pilot_id});
-  }
-  return out;
+    const std::deque<UnitView>& queued, const std::vector<PilotView>& pilots) {
+  return ordered_backfill(queued, pilots, unit_order());
+}
+
+Scheduler::UnitOrder ShortestFirstScheduler::unit_order() const {
+  return &duration_ascending;
 }
 
 std::vector<Assignment> ShortestFirstScheduler::schedule(
-    const std::vector<UnitView>& queued, const std::vector<PilotView>& pilots) {
-  std::vector<UnitView> order = queued;
-  std::stable_sort(order.begin(), order.end(),
-                   [](const UnitView& a, const UnitView& b) {
-                     return a.expected_duration < b.expected_duration;
-                   });
-  Capacity cap(pilots);
-  std::vector<Assignment> out;
-  for (const auto& u : order) {
-    const std::size_t i = preferred_or_first_fit(cap, u);
-    if (i == kNone) {
-      continue;
-    }
-    cap.take(i, u);
-    out.push_back({u.unit_id, pilots[i].pilot_id});
-  }
-  return out;
+    const std::deque<UnitView>& queued, const std::vector<PilotView>& pilots) {
+  return ordered_backfill(queued, pilots, unit_order());
 }
 
 namespace {

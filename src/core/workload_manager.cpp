@@ -1,6 +1,7 @@
 #include "pa/core/workload_manager.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "pa/common/error.h"
 
@@ -26,7 +27,18 @@ void WorkloadManager::add_pilot(const std::string& pilot_id,
   rec.cost_per_core_hour = cost_per_core_hour;
   rec.walltime_end = walltime_end;
   pilots_.emplace(pilot_id, std::move(rec));
-  pilot_order_.push_back(pilot_id);
+
+  PilotView pv;
+  pv.pilot_id = pilot_id;
+  pv.site = site;
+  pv.total_cores = total_cores;
+  pv.free_cores = total_cores;
+  pv.priority = priority;
+  pv.cost_per_core_hour = cost_per_core_hour;
+  pv.remaining_walltime = 0.0;  // refreshed each pass
+  pilot_views_.push_back(std::move(pv));
+  site_free_cores_[site] += total_cores;
+  dirty_ = true;  // new capacity: queued units may fit now
 }
 
 std::vector<std::string> WorkloadManager::remove_pilot(
@@ -35,10 +47,13 @@ std::vector<std::string> WorkloadManager::remove_pilot(
   if (it == pilots_.end()) {
     return {};
   }
+  site_free_cores_[it->second.site] -= it->second.free_cores;
   pilots_.erase(it);
-  pilot_order_.erase(
-      std::remove(pilot_order_.begin(), pilot_order_.end(), pilot_id),
-      pilot_order_.end());
+  pilot_views_.erase(
+      std::find_if(pilot_views_.begin(), pilot_views_.end(),
+                   [&](const PilotView& pv) {
+                     return pv.pilot_id == pilot_id;
+                   }));
   std::vector<std::string> orphans;
   for (auto bit = bound_.begin(); bit != bound_.end();) {
     if (bit->second.pilot_id == pilot_id) {
@@ -48,6 +63,9 @@ std::vector<std::string> WorkloadManager::remove_pilot(
       ++bit;
     }
   }
+  // Shrinking capacity cannot enable a placement, but policy choices
+  // (rotation, affinity) change with the pilot set — cheap to re-run.
+  dirty_ = true;
   return orphans;
 }
 
@@ -66,12 +84,46 @@ WorkloadManager::QueuedUnit WorkloadManager::make_queued(
   return q;
 }
 
+UnitView WorkloadManager::make_base_view(const QueuedUnit& unit) {
+  UnitView v;
+  v.unit_id = unit.unit_id;
+  v.cores = unit.cores;
+  v.expected_duration = unit.expected_duration;
+  v.preferred_site = unit.preferred_site;
+  return v;
+}
+
+void WorkloadManager::insert_queued(QueuedUnit unit, bool front) {
+  UnitView view = make_base_view(unit);
+  const Scheduler::UnitOrder order = scheduler_->unit_order();
+  std::size_t pos;
+  if (order == nullptr) {
+    pos = front ? 0 : queue_.size();
+  } else if (front) {
+    // A requeued unit goes before its equals: it already waited once.
+    pos = static_cast<std::size_t>(
+        std::lower_bound(queue_views_.begin(), queue_views_.end(), view,
+                         order) -
+        queue_views_.begin());
+  } else {
+    pos = static_cast<std::size_t>(
+        std::upper_bound(queue_views_.begin(), queue_views_.end(), view,
+                         order) -
+        queue_views_.begin());
+  }
+  queue_.insert(queue_.begin() + static_cast<std::ptrdiff_t>(pos),
+                std::move(unit));
+  queue_views_.insert(queue_views_.begin() + static_cast<std::ptrdiff_t>(pos),
+                      std::move(view));
+  dirty_ = true;
+}
+
 void WorkloadManager::enqueue_unit(const std::string& unit_id,
                                    const ComputeUnitDescription& description) {
   PA_REQUIRE_ARG(description.cores > 0, "unit needs cores: " << unit_id);
   PA_REQUIRE_ARG(bound_.find(unit_id) == bound_.end(),
                  "unit already bound: " << unit_id);
-  queue_.push_back(make_queued(unit_id, description));
+  insert_queued(make_queued(unit_id, description), /*front=*/false);
 }
 
 bool WorkloadManager::requeue_unit_front(
@@ -88,7 +140,7 @@ bool WorkloadManager::requeue_unit_front(
   if (metrics_ != nullptr) {
     metrics_->counter("wm.unit_requeues").inc();
   }
-  queue_.push_front(make_queued(unit_id, description));
+  insert_queued(make_queued(unit_id, description), /*front=*/true);
   return true;
 }
 
@@ -110,8 +162,11 @@ bool WorkloadManager::remove_queued_unit(const std::string& unit_id) {
   if (it == queue_.end()) {
     return false;
   }
+  queue_views_.erase(queue_views_.begin() + (it - queue_.begin()));
   queue_.erase(it);
   requeue_counts_.erase(unit_id);
+  // The removed unit may have been blocking a FIFO head-of-line pass.
+  dirty_ = true;
   return true;
 }
 
@@ -131,78 +186,105 @@ int WorkloadManager::total_free_cores() const {
   return total;
 }
 
-UnitView WorkloadManager::make_view(const QueuedUnit& unit,
-                                    const DataServiceInterface* data) const {
-  UnitView v;
-  v.unit_id = unit.unit_id;
-  v.cores = unit.cores;
-  v.expected_duration = unit.expected_duration;
-  v.preferred_site = unit.preferred_site;
-  if (data != nullptr && !unit.input_data.empty()) {
-    for (const auto& du : unit.input_data) {
-      v.total_input_bytes += data->total_bytes(du);
-      for (const auto& pid : pilot_order_) {
-        const auto& site = pilots_.at(pid).site;
-        const double local = data->bytes_on_site(du, site);
-        if (local > 0.0) {
-          v.input_bytes_by_site[site] += local;
-        }
+void WorkloadManager::refresh_locality(UnitView& view, const QueuedUnit& unit,
+                                       const DataServiceInterface* data) const {
+  view.input_bytes_by_site.clear();
+  view.total_input_bytes = 0.0;
+  for (const auto& du : unit.input_data) {
+    view.total_input_bytes += data->total_bytes(du);
+    for (const auto& pv : pilot_views_) {
+      const auto sit = site_free_cores_.find(pv.site);
+      if (sit == site_free_cores_.end() || sit->second <= 0) {
+        continue;  // no pilot on this site can fit the unit this pass
+      }
+      const double local = data->bytes_on_site(du, pv.site);
+      if (local > 0.0) {
+        view.input_bytes_by_site[pv.site] += local;
       }
     }
   }
-  return v;
 }
 
 std::vector<Assignment> WorkloadManager::schedule_pass(
     double now, const DataServiceInterface* data) {
+  if (!dirty_) {
+    // Nothing changed since the last pass. Time advancing alone never
+    // enables a placement (remaining walltime only shrinks), so the
+    // strategy would return exactly what it returned last time: nothing.
+    if (metrics_ != nullptr) {
+      metrics_->counter("wm.schedule_passes_skipped").inc();
+    }
+    return {};
+  }
+  dirty_ = false;  // anything the pass itself changes, it already sees
   if (metrics_ != nullptr) {
     metrics_->counter("wm.schedule_passes").inc();
   }
   if (queue_.empty() || pilots_.empty()) {
     return {};
   }
-  std::vector<PilotView> pilot_views;
-  pilot_views.reserve(pilot_order_.size());
-  for (const auto& pid : pilot_order_) {
-    const auto& rec = pilots_.at(pid);
-    PilotView pv;
-    pv.pilot_id = pid;
-    pv.site = rec.site;
-    pv.total_cores = rec.total_cores;
+  for (auto& pv : pilot_views_) {
+    const auto& rec = pilots_.at(pv.pilot_id);
     pv.free_cores = rec.free_cores;
-    pv.priority = rec.priority;
-    pv.cost_per_core_hour = rec.cost_per_core_hour;
     pv.remaining_walltime = rec.walltime_end - now;
-    pilot_views.push_back(std::move(pv));
   }
-
-  std::vector<UnitView> unit_views;
-  unit_views.reserve(queue_.size());
-  for (const auto& q : queue_) {
-    unit_views.push_back(make_view(q, data));
+  if (data != nullptr) {
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+      if (!queue_[i].input_data.empty()) {
+        refresh_locality(queue_views_[i], queue_[i], data);
+      }
+    }
   }
 
   std::vector<Assignment> proposed =
-      scheduler_->schedule(unit_views, pilot_views);
+      scheduler_->schedule(queue_views_, pilot_views_);
 
   // Apply: validate capacity (defense against buggy strategies), reserve
-  // cores, move units from queue to bound.
+  // cores, move units from queue to bound. queue_index makes each apply
+  // O(1); taken[] catches duplicate assignments, and the queue is
+  // compacted once at the end instead of erased per unit.
+  std::vector<char> taken(queue_.size(), 0);
   std::vector<Assignment> accepted;
+  accepted.reserve(proposed.size());
   for (const auto& a : proposed) {
     const auto pit = pilots_.find(a.pilot_id);
     PA_CHECK_MSG(pit != pilots_.end(),
                  "scheduler assigned to unknown pilot " << a.pilot_id);
-    const auto qit = std::find_if(
-        queue_.begin(), queue_.end(),
-        [&](const QueuedUnit& q) { return q.unit_id == a.unit_id; });
-    PA_CHECK_MSG(qit != queue_.end(),
-                 "scheduler assigned unknown/duplicate unit " << a.unit_id);
-    PA_CHECK_MSG(qit->cores <= pit->second.free_cores,
+    std::size_t qi = a.queue_index;
+    if (qi >= queue_.size() || queue_[qi].unit_id != a.unit_id) {
+      // Fallback for strategies that do not report positions.
+      const auto qit = std::find_if(
+          queue_.begin(), queue_.end(),
+          [&](const QueuedUnit& q) { return q.unit_id == a.unit_id; });
+      PA_CHECK_MSG(qit != queue_.end(),
+                   "scheduler assigned unknown unit " << a.unit_id);
+      qi = static_cast<std::size_t>(qit - queue_.begin());
+    }
+    PA_CHECK_MSG(!taken[qi],
+                 "scheduler assigned duplicate unit " << a.unit_id);
+    const QueuedUnit& q = queue_[qi];
+    PA_CHECK_MSG(q.cores <= pit->second.free_cores,
                  "scheduler oversubscribed pilot " << a.pilot_id);
-    pit->second.free_cores -= qit->cores;
-    bound_.emplace(a.unit_id, BoundUnit{a.pilot_id, qit->cores});
-    queue_.erase(qit);
+    pit->second.free_cores -= q.cores;
+    site_free_cores_[pit->second.site] -= q.cores;
+    bound_.emplace(a.unit_id, BoundUnit{a.pilot_id, q.cores});
+    taken[qi] = 1;
     accepted.push_back(a);
+  }
+  if (!accepted.empty()) {
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < queue_.size(); ++r) {
+      if (taken[r]) {
+        continue;
+      }
+      if (w != r) {
+        queue_[w] = std::move(queue_[r]);
+        queue_views_[w] = std::move(queue_views_[r]);
+      }
+      ++w;
+    }
+    queue_.resize(w);
+    queue_views_.resize(w);
   }
   if (metrics_ != nullptr) {
     metrics_->counter("wm.units_assigned").inc(accepted.size());
@@ -221,8 +303,10 @@ void WorkloadManager::unit_finished(const std::string& unit_id) {
   const auto pit = pilots_.find(it->second.pilot_id);
   if (pit != pilots_.end()) {
     pit->second.free_cores += it->second.cores;
+    site_free_cores_[pit->second.site] += it->second.cores;
     PA_CHECK_MSG(pit->second.free_cores <= pit->second.total_cores,
                  "core accounting corrupt on pilot " << it->second.pilot_id);
+    dirty_ = true;  // capacity grew: queued units may fit now
   }
   bound_.erase(it);
   requeue_counts_.erase(unit_id);

@@ -32,7 +32,7 @@ UnitView unit(const std::string& id, int cores, double duration = 1.0) {
 
 /// Checks the capacity invariant for any scheduler output.
 void check_capacity(const std::vector<Assignment>& assignments,
-                    const std::vector<UnitView>& units,
+                    const std::deque<UnitView>& units,
                     const std::vector<PilotView>& pilots) {
   std::map<std::string, int> used;
   std::map<std::string, int> unit_cores;
@@ -54,7 +54,7 @@ void check_capacity(const std::vector<Assignment>& assignments,
 TEST(FifoScheduler, AssignsInOrder) {
   FifoScheduler sched;
   const std::vector<PilotView> pilots = {pilot("p1", "a", 4)};
-  const std::vector<UnitView> units = {unit("u1", 2), unit("u2", 2),
+  const std::deque<UnitView> units = {unit("u1", 2), unit("u2", 2),
                                        unit("u3", 2)};
   const auto out = sched.schedule(units, pilots);
   ASSERT_EQ(out.size(), 2u);
@@ -67,7 +67,7 @@ TEST(FifoScheduler, HeadOfLineBlocks) {
   FifoScheduler sched;
   const std::vector<PilotView> pilots = {pilot("p1", "a", 4)};
   // u1 cannot fit anywhere; u2 could, but FIFO must not jump it ahead.
-  const std::vector<UnitView> units = {unit("u1", 8), unit("u2", 1)};
+  const std::deque<UnitView> units = {unit("u1", 8), unit("u2", 1)};
   const auto out = sched.schedule(units, pilots);
   EXPECT_TRUE(out.empty());
 }
@@ -75,7 +75,7 @@ TEST(FifoScheduler, HeadOfLineBlocks) {
 TEST(BackfillScheduler, SkipsBlockedHead) {
   BackfillScheduler sched;
   const std::vector<PilotView> pilots = {pilot("p1", "a", 4)};
-  const std::vector<UnitView> units = {unit("u1", 8), unit("u2", 1)};
+  const std::deque<UnitView> units = {unit("u1", 8), unit("u2", 1)};
   const auto out = sched.schedule(units, pilots);
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0].unit_id, "u2");
@@ -84,7 +84,7 @@ TEST(BackfillScheduler, SkipsBlockedHead) {
 TEST(BackfillScheduler, RespectsWalltime) {
   BackfillScheduler sched;
   std::vector<PilotView> pilots = {pilot("p1", "a", 4, 0.0, 10.0)};
-  const std::vector<UnitView> units = {unit("u-long", 1, 100.0),
+  const std::deque<UnitView> units = {unit("u-long", 1, 100.0),
                                        unit("u-short", 1, 5.0)};
   const auto out = sched.schedule(units, pilots);
   ASSERT_EQ(out.size(), 1u);
@@ -117,7 +117,7 @@ TEST(RoundRobinScheduler, SpreadsAcrossPilots) {
   RoundRobinScheduler sched;
   const std::vector<PilotView> pilots = {pilot("p1", "a", 4),
                                          pilot("p2", "b", 4)};
-  const std::vector<UnitView> units = {unit("u1", 1), unit("u2", 1),
+  const std::deque<UnitView> units = {unit("u1", 1), unit("u2", 1),
                                        unit("u3", 1), unit("u4", 1)};
   const auto out = sched.schedule(units, pilots);
   ASSERT_EQ(out.size(), 4u);
@@ -226,7 +226,7 @@ TEST(DataAffinityScheduler, FallsBackWhenDataSiteFull) {
 TEST(DataAffinityScheduler, NoDataBehavesLikeBackfill) {
   DataAffinityScheduler sched;
   const std::vector<PilotView> pilots = {pilot("p1", "a", 2)};
-  const std::vector<UnitView> units = {unit("u1", 4), unit("u2", 1)};
+  const std::deque<UnitView> units = {unit("u1", 4), unit("u2", 1)};
   const auto out = sched.schedule(units, pilots);
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0].unit_id, "u2");
@@ -282,7 +282,7 @@ TEST(CostAwareScheduler, SpillsToExpensiveWhenCheapFull) {
   CostAwareScheduler sched;
   const std::vector<PilotView> pilots = {pilot("cloud", "ec2", 8, 0.04),
                                          pilot("hpc", "hpc-a", 1, 0.0)};
-  const std::vector<UnitView> units = {unit("u1", 1), unit("u2", 1)};
+  const std::deque<UnitView> units = {unit("u1", 1), unit("u2", 1)};
   const auto out = sched.schedule(units, pilots);
   ASSERT_EQ(out.size(), 2u);
   EXPECT_EQ(out[0].pilot_id, "hpc");
@@ -305,7 +305,7 @@ TEST(LargestFirstScheduler, PlacesBigUnitsFirst) {
   const std::vector<PilotView> pilots = {pilot("p1", "a", 4)};
   // FCFS order: small first. Largest-first places the 4-core unit, and the
   // small one no longer fits.
-  const std::vector<UnitView> units = {unit("small", 1), unit("big", 4)};
+  const std::deque<UnitView> units = {unit("small", 1), unit("big", 4)};
   const auto out = sched.schedule(units, pilots);
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0].unit_id, "big");
@@ -316,7 +316,7 @@ TEST(ShortestFirstScheduler, PrefersShortUnits) {
   const std::vector<PilotView> pilots = {pilot("p1", "a", 1)};
   // FCFS order: long first. SJF places the short unit into the single
   // slot instead.
-  std::vector<UnitView> units = {unit("long", 1, 100.0),
+  std::deque<UnitView> units = {unit("long", 1, 100.0),
                                  unit("short", 1, 1.0)};
   const auto out = sched.schedule(units, pilots);
   ASSERT_EQ(out.size(), 1u);
@@ -326,7 +326,7 @@ TEST(ShortestFirstScheduler, PrefersShortUnits) {
 TEST(ShortestFirstScheduler, StableAmongEqualDurations) {
   ShortestFirstScheduler sched;
   const std::vector<PilotView> pilots = {pilot("p1", "a", 1)};
-  std::vector<UnitView> units = {unit("first", 1, 5.0),
+  std::deque<UnitView> units = {unit("first", 1, 5.0),
                                  unit("second", 1, 5.0)};
   const auto out = sched.schedule(units, pilots);
   ASSERT_EQ(out.size(), 1u);
@@ -380,7 +380,7 @@ TEST_P(SchedulerProperty, CapacityInvariantHolds) {
                              static_cast<int>(rng.uniform_int(1, 16)), 0.0,
                              rng.uniform(10.0, 1000.0)));
     }
-    std::vector<UnitView> units;
+    std::deque<UnitView> units;
     const int nunits = static_cast<int>(rng.uniform_int(1, 30));
     for (int u = 0; u < nunits; ++u) {
       UnitView uv = unit("u" + std::to_string(u),

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "pa/common/error.h"
+#include "pa/obs/metrics.h"
 
 namespace pa::core {
 namespace {
@@ -204,6 +205,141 @@ TEST(WorkloadManager, RequeueUnboundedWhenNegative) {
   }
   EXPECT_EQ(wm.requeue_count("u1"), WorkloadManager::kDefaultMaxRequeues + 100);
   EXPECT_THROW(wm.set_max_requeues(-2), pa::InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Incremental scheduling: dirty flag, skip counter, persistent sorted views.
+// ---------------------------------------------------------------------------
+
+TEST(WorkloadManager, CleanPassIsSkipped) {
+  obs::MetricsRegistry reg;
+  WorkloadManager wm(make_scheduler("backfill"));
+  wm.set_metrics(&reg);
+  wm.add_pilot("p1", "a", 1, 0, 0.0, 1e9);
+  wm.enqueue_unit("u1", unit_desc(1));
+  wm.enqueue_unit("u2", unit_desc(1));  // does not fit: stays queued
+  EXPECT_TRUE(wm.dirty());
+  EXPECT_EQ(wm.schedule_pass(0.0, nullptr).size(), 1u);
+  EXPECT_FALSE(wm.dirty());
+  // Nothing changed: subsequent passes return immediately, even as time
+  // advances (shrinking walltime never enables a placement).
+  EXPECT_TRUE(wm.schedule_pass(1.0, nullptr).empty());
+  EXPECT_TRUE(wm.schedule_pass(2.0, nullptr).empty());
+  EXPECT_EQ(reg.counter("wm.schedule_passes").value(), 1u);
+  EXPECT_EQ(reg.counter("wm.schedule_passes_skipped").value(), 2u);
+}
+
+TEST(WorkloadManager, CapacityReleaseDirtiesAndReschedules) {
+  obs::MetricsRegistry reg;
+  WorkloadManager wm(make_scheduler("backfill"));
+  wm.set_metrics(&reg);
+  wm.add_pilot("p1", "a", 1, 0, 0.0, 1e9);
+  wm.enqueue_unit("u1", unit_desc(1));
+  wm.enqueue_unit("u2", unit_desc(1));
+  wm.schedule_pass(0.0, nullptr);     // binds u1, u2 blocked
+  wm.schedule_pass(1.0, nullptr);     // skipped
+  wm.unit_finished("u1");             // core freed: dirty again
+  EXPECT_TRUE(wm.dirty());
+  const auto out = wm.schedule_pass(2.0, nullptr);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].unit_id, "u2");
+  EXPECT_EQ(reg.counter("wm.schedule_passes").value(), 2u);
+  EXPECT_EQ(reg.counter("wm.schedule_passes_skipped").value(), 1u);
+}
+
+TEST(WorkloadManager, EnqueueAndPilotChangesDirty) {
+  WorkloadManager wm(make_scheduler("backfill"));
+  wm.add_pilot("p1", "a", 4, 0, 0.0, 1e9);
+  wm.schedule_pass(0.0, nullptr);
+  EXPECT_FALSE(wm.dirty());
+  wm.enqueue_unit("u1", unit_desc(1));
+  EXPECT_TRUE(wm.dirty());
+  wm.schedule_pass(1.0, nullptr);
+  EXPECT_FALSE(wm.dirty());
+  wm.add_pilot("p2", "a", 4, 0, 0.0, 1e9);
+  EXPECT_TRUE(wm.dirty());
+}
+
+TEST(WorkloadManager, RemovingQueuedUnitDirtiesFifoHead) {
+  // A blocked FIFO head hides everything behind it; removing it must
+  // re-enable a pass, or the queue would stall until unrelated churn.
+  WorkloadManager wm(make_scheduler("fifo"));
+  wm.add_pilot("p1", "a", 2, 0, 0.0, 1e9);
+  wm.enqueue_unit("big", unit_desc(8));    // never fits: blocks the head
+  wm.enqueue_unit("small", unit_desc(1));
+  EXPECT_TRUE(wm.schedule_pass(0.0, nullptr).empty());
+  EXPECT_FALSE(wm.dirty());
+  EXPECT_TRUE(wm.remove_queued_unit("big"));
+  EXPECT_TRUE(wm.dirty());
+  const auto out = wm.schedule_pass(1.0, nullptr);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].unit_id, "small");
+}
+
+TEST(WorkloadManager, SortedInsertionServesShortestFirst) {
+  // The queue is kept in policy order by insertion, so the pass itself
+  // never re-sorts — and still picks the shortest unit for the one slot.
+  WorkloadManager wm(make_scheduler("shortest-first"));
+  wm.add_pilot("p1", "a", 1, 0, 0.0, 1e9);
+  wm.enqueue_unit("long", unit_desc(1, 100.0));
+  wm.enqueue_unit("short", unit_desc(1, 1.0));
+  wm.enqueue_unit("mid", unit_desc(1, 10.0));
+  const auto out = wm.schedule_pass(0.0, nullptr);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].unit_id, "short");
+}
+
+TEST(WorkloadManager, SortedInsertionServesLargestFirst) {
+  WorkloadManager wm(make_scheduler("largest-first"));
+  wm.add_pilot("p1", "a", 4, 0, 0.0, 1e9);
+  wm.enqueue_unit("small", unit_desc(1));
+  wm.enqueue_unit("big", unit_desc(4));
+  const auto out = wm.schedule_pass(0.0, nullptr);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].unit_id, "big");
+}
+
+TEST(WorkloadManager, RequeueFrontOrderingSurvivesSubmitBurst) {
+  // The failure-recovery path races submit bursts in the event-driven
+  // service: a requeued unit must land ahead of units enqueued both
+  // before and after the failure, and the next pass must dispatch it
+  // first (FCFS position = recovery priority).
+  WorkloadManager wm(make_scheduler("fifo"));
+  wm.add_pilot("p1", "a", 1, 0, 0.0, 1e9);
+  wm.enqueue_unit("victim", unit_desc(1));
+  ASSERT_EQ(wm.schedule_pass(0.0, nullptr).size(), 1u);  // victim bound
+  wm.enqueue_unit("burst1", unit_desc(1));               // racing burst
+  const auto orphans = wm.remove_pilot("p1");            // pilot fails
+  ASSERT_EQ(orphans.size(), 1u);
+  EXPECT_EQ(orphans[0], "victim");
+  EXPECT_TRUE(wm.requeue_unit_front("victim", unit_desc(1)));
+  wm.enqueue_unit("burst2", unit_desc(1));               // burst continues
+  wm.add_pilot("p2", "a", 1, 0, 0.0, 1e9);
+  const auto first = wm.schedule_pass(1.0, nullptr);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0].unit_id, "victim");  // ahead of the whole burst
+  wm.unit_finished("victim");
+  const auto second = wm.schedule_pass(2.0, nullptr);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].unit_id, "burst1");  // burst keeps its own order
+}
+
+TEST(WorkloadManager, RequeueFrontBeforeEqualsUnderSortedPolicy) {
+  // Under an ordered policy "front" means before its equals: the requeued
+  // unit already waited once, so it wins ties, but a strictly shorter
+  // unit still goes first.
+  WorkloadManager wm(make_scheduler("shortest-first"));
+  wm.add_pilot("p1", "a", 1, 0, 0.0, 1e9);
+  wm.enqueue_unit("five-a", unit_desc(1, 5.0));
+  wm.enqueue_unit("one", unit_desc(1, 1.0));
+  EXPECT_TRUE(wm.requeue_unit_front("five-b", unit_desc(1, 5.0)));
+  auto out = wm.schedule_pass(0.0, nullptr);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].unit_id, "one");  // shorter still dominates
+  wm.unit_finished("one");
+  out = wm.schedule_pass(1.0, nullptr);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].unit_id, "five-b");  // requeued wins among equals
 }
 
 }  // namespace

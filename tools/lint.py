@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Project-specific lints for the pilot-abstraction repository.
 
-Four disciplines, each enforced mechanically because each has burned us
+Five disciplines, each enforced mechanically because each has burned us
 (or real middleware like it) before:
 
  1. Synchronization goes through pa::check. Raw std::mutex /
@@ -30,6 +30,14 @@ Four disciplines, each enforced mechanically because each has burned us
     `state_` outside state_machine.h, or wholesale machine replacement
     without an explicit `lint:allow-state-reset` justification, bypass
     validation and silently desynchronize the write-ahead journal.
+
+ 5. Callbacks post commands. Runtime callbacks (pilot lifecycle, unit
+    completion, stage-in) fire on substrate threads — a thread pool
+    worker, the network receive loop, the simulation driver. Service
+    state is owned by the control-plane apply thread, so a callback body
+    that touches it races by construction. The only legal callback shape
+    in src/core is a wait-free `ctrl_->post(<command>)`; middleware
+    logic happens when the apply thread handles the command.
 
 Plus one meta-rule: every suppression (NOLINT or
 PA_NO_THREAD_SAFETY_ANALYSIS) must carry a justification, so suppressions
@@ -94,6 +102,69 @@ STATE_WRITE = re.compile(r"\bstate_\s*=[^=]")
 SM_REPLACE = re.compile(r"=\s*(UnitStateMachine|PilotStateMachine)\s*\(")
 SM_RESET_MARKER = "lint:allow-state-reset"
 
+# --- rule 5: runtime callbacks post commands, never touch state --------------
+CALLBACK_SCOPE = "src/core/"
+CALLBACK_TRIGGERS = re.compile(
+    r"callbacks\.on_\w+\s*=|runtime_\.execute_unit\s*\(|"
+    r"data_->stage_to_site\s*\("
+)
+CALLBACK_FORBIDDEN = re.compile(
+    r"\b(workload_|units_|pilots_|journal_|tracer_|obs_metrics_|model_|"
+    r"delta_|dirty_pilots_|dirty_units_|unit_observers_|snapshot_mutex_|"
+    r"run_schedule_cycle|publish_snapshot|finalize_unit_apply|"
+    r"dispatch_unit_apply|execute_unit_apply)\b"
+)
+CALLBACK_MUST_POST = "->post("
+
+
+def lambda_body(text: str, start: int) -> tuple[int, int] | None:
+    """(open, close) indices of the first brace-balanced block after
+    `start` that is preceded by a nearby lambda introducer `[`. None when
+    the trigger takes no lambda (nullptr, named function)."""
+    intro = text.find("[", start)
+    if intro == -1 or intro - start > 200:
+        return None
+    open_idx = text.find("{", intro)
+    if open_idx == -1:
+        return None
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return (open_idx, i)
+    return None
+
+
+def lint_callback_regions(rel: str, text: str) -> list[tuple[int, str]]:
+    if not rel.startswith(CALLBACK_SCOPE) or not rel.endswith(".cpp"):
+        return []
+    findings: list[tuple[int, str]] = []
+    for m in CALLBACK_TRIGGERS.finditer(text):
+        region = lambda_body(text, m.end())
+        if region is None:
+            continue
+        body = text[region[0]:region[1] + 1]
+        lineno = text.count("\n", 0, m.start()) + 1
+        fm = CALLBACK_FORBIDDEN.search(body)
+        if fm:
+            findings.append((
+                lineno,
+                f"runtime callback touches service state `{fm.group(1)}` — "
+                f"callbacks run on substrate threads; post a command "
+                f"(ctrl_->post) and let the apply thread do the work",
+            ))
+        if CALLBACK_MUST_POST not in body:
+            findings.append((
+                lineno,
+                "runtime callback never posts a command — the only legal "
+                "callback body is a wait-free ctrl_->post(<command>)",
+            ))
+    return findings
+
+
 # --- meta-rule: suppressions need justification ------------------------------
 NOLINT = re.compile(r"NOLINT(NEXTLINE)?\b")
 NOLINT_JUSTIFIED = re.compile(r"NOLINT(NEXTLINE)?(\([^)]*\))?\s*[:]\s*\S")
@@ -114,7 +185,7 @@ def nearby_comment_mentions(lines: list[str], idx: int, needle: str,
 
 
 def lint_file(rel: str, text: str) -> list[tuple[int, str]]:
-    findings: list[tuple[int, str]] = []
+    findings: list[tuple[int, str]] = lint_callback_regions(rel, text)
     lines = text.splitlines()
     for i, line in enumerate(lines):
         lineno = i + 1
