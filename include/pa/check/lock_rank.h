@@ -26,6 +26,9 @@
 ///   12    ControlPlane queue mutex      (command-queue depth/wakeup; cv
 ///                                          waits nest under nothing and
 ///                                          acquire nothing)
+///   13    net::BatchFlusher queue       (pending-item buffer only; the
+///                                          sink runs with the lock
+///                                          dropped and may acquire 14+)
 ///   14    RemoteRuntime/AgentEndpoint   -> transport, connection, payload
 ///                                          table (execute_unit sends under
 ///                                          the manager lock)
@@ -61,6 +64,7 @@ namespace pa::check {
 enum class LockRank : int {
   kService = 10,
   kCtrlQueue = 12,
+  kNetFlusher = 13,
   kNetRuntime = 14,
   kNetTransport = 15,
   kNetConnection = 16,

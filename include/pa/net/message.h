@@ -26,6 +26,20 @@
 ///     manager ◀─kHeartbeatAck─ agent      (echoes the probe timestamp)
 ///     manager ──kShutdown────▶ agent      (cancel / drain)
 ///     manager ◀kPilotTerminated agent     (walltime end, agent failure)
+///
+/// Version 2 adds the bulk path (P* coordination cost amortized across
+/// units, after RADICAL-Pilot's bulk dispatch):
+///
+///     manager ──kUnitBatch───▶ agent      (vector of units, agent
+///                                          late-binds them to cores)
+///     manager ◀kUnitDoneBatch─ agent      (vector of completions plus the
+///                                          agent's remaining headroom)
+///
+/// Negotiation: the agent's kHello carries the agent's newest version in
+/// the header; both sides then speak min(own, peer). Batch types are only
+/// legal at version >= 2 — encoding or decoding them at version 1 is a
+/// clean pa::Error, never a decoder latch, so a v2 frame reaching a v1
+/// peer produces a protocol-version rejection rather than stream corruption.
 
 #include <cstdint>
 #include <string>
@@ -35,9 +49,14 @@
 
 namespace pa::net {
 
-/// Protocol version carried in every message header. Bump on any change
-/// to the header or a body layout; receivers reject unknown versions.
-inline constexpr std::uint8_t kProtocolVersion = 1;
+/// Newest protocol version this build speaks. Bump on any change to the
+/// header or a body layout; receivers reject versions outside
+/// [kMinProtocolVersion, kProtocolVersion].
+inline constexpr std::uint8_t kProtocolVersion = 2;
+
+/// Oldest version still decodable. Version 1 bodies are unchanged
+/// byte-for-byte under version 2; only the batch types are new.
+inline constexpr std::uint8_t kMinProtocolVersion = 1;
 
 /// Values are stable wire identifiers — append only.
 enum class MessageType : std::uint8_t {
@@ -50,6 +69,8 @@ enum class MessageType : std::uint8_t {
   kHeartbeat = 7,        ///< manager -> agent: liveness probe (timestamp)
   kHeartbeatAck = 8,     ///< agent -> manager: echo of the probe
   kShutdown = 9,         ///< manager -> agent: cancel pilot, close down
+  kUnitBatch = 10,       ///< manager -> agent: bulk unit dispatch (v2+)
+  kUnitDoneBatch = 11,   ///< agent -> manager: bulk completions + window (v2+)
 };
 
 const char* to_string(MessageType t);
@@ -71,12 +92,25 @@ struct WireUnitDescription {
   bool operator==(const WireUnitDescription&) const = default;
 };
 
+/// One completion inside a kUnitDoneBatch.
+struct WireUnitDone {
+  std::string unit_id;
+  bool success = false;
+  double timestamp = 0.0;
+
+  bool operator==(const WireUnitDone&) const = default;
+};
+
 /// One protocol message. A flat struct rather than a variant: only the
 /// fields of the active `type` are encoded on the wire, the rest stay
 /// default-initialized (and are ignored by operator== via the codec
 /// round-trip tests, which compare decoded against freshly-made values).
 struct Message {
   MessageType type = MessageType::kHeartbeat;
+  /// Header version to encode with / decoded from the header. Senders set
+  /// this to the negotiated min(own, peer) version; batch types require
+  /// version >= 2 at both encode and decode.
+  std::uint8_t version = kProtocolVersion;
   std::uint64_t seq = 0;
   std::string pilot_id;
 
@@ -105,11 +139,26 @@ struct Message {
   // kHeartbeat / kHeartbeatAck
   double timestamp = 0.0;
 
+  // kUnitBatch (v2+)
+  std::vector<WireUnitDescription> units;
+
+  // kUnitDoneBatch (v2+): completions plus the agent's scheduling window —
+  // how many more units the agent can queue (local-queue capacity minus
+  // queued and running). The manager sizes the next kUnitBatch to it.
+  std::vector<WireUnitDone> completions;
+  std::int32_t window = 0;
+
   bool operator==(const Message&) const = default;
 };
 
 /// Serializes the message body (header + type body, no frame).
 std::string encode_message(const Message& message);
+
+/// Appends the serialized body to `out` without clearing it — the
+/// zero-copy arena path. Pair with wire.h begin_frame/end_frame to build
+/// framed messages in place. Throws pa::Error when `message.version` is
+/// outside the supported range or too old for the message type.
+void encode_message_into(std::string& out, const Message& message);
 
 /// Parses a message body; throws pa::Error on malformed input, unknown
 /// type, or unsupported version.

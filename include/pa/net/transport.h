@@ -36,6 +36,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 
 namespace pa::net {
 
@@ -65,6 +66,20 @@ class Connection {
   /// decides whether that is fatal (RemoteRuntime lets the heartbeat
   /// deadline make the call). Thread-safe.
   virtual bool send(std::string frame) = 0;
+
+  /// Enqueues a gather of `message_count` consecutive framed messages in
+  /// one call — the scatter/gather tail of the arena encode path (wire.h
+  /// begin_frame/end_frame). Atomic with respect to backpressure: either
+  /// the whole gather is accepted or none of it is (returns false, bumps
+  /// `send_rejected` once). `messages_out` advances by `message_count`.
+  /// The base implementation copies into a single send(); both shipped
+  /// transports override it to queue the bytes without re-framing.
+  /// Thread-safe.
+  virtual bool send_gather(std::string_view frames,
+                           std::uint64_t message_count) {
+    (void)message_count;
+    return send(std::string(frames));
+  }
 
   /// Closes and acts as a barrier for this connection's handlers (see
   /// file comment). Idempotent. `on_close` fires at most once, before

@@ -35,6 +35,25 @@ inline constexpr std::uint32_t kMaxFramePayloadBytes = 4U * 1024U * 1024U;
 /// when the payload exceeds kMaxFramePayloadBytes.
 void append_frame(std::string& out, const std::string& payload);
 
+/// Zero-copy framing: `begin_frame` appends a placeholder header and
+/// returns the body offset; the caller encodes the payload directly into
+/// `out` (no intermediate payload string) and `end_frame` backpatches the
+/// length and CRC over the placeholder. Frames built this way are byte-
+/// identical to `append_frame` output. The pair is the arena-backed
+/// encode path: callers keep a reusable buffer, chain
+/// begin/encode/end per message, and hand the whole multi-frame gather
+/// to `Connection::send_gather` in one call.
+///
+///     std::string& arena = ...;            // capacity retained across uses
+///     const std::size_t body = begin_frame(arena);
+///     encode_message_into(arena, message); // message.h
+///     end_frame(arena, body);
+///
+/// `end_frame` throws pa::InvalidArgument when the encoded body exceeds
+/// kMaxFramePayloadBytes.
+std::size_t begin_frame(std::string& out);
+void end_frame(std::string& out, std::size_t body_start);
+
 /// Incremental frame parser. Feed it byte chunks exactly as they arrive
 /// from a socket (any fragmentation, including one byte at a time); poll
 /// `next` for completed payloads. Never throws, never crashes on garbage:

@@ -33,6 +33,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -42,6 +43,7 @@
 
 #include "pa/check/mutex.h"
 #include "pa/core/runtime.h"
+#include "pa/net/flusher.h"
 #include "pa/net/message.h"
 #include "pa/net/transport.h"
 #include "pa/obs/metrics.h"
@@ -67,18 +69,46 @@ class PayloadTable {
   std::map<std::string, std::function<void()>> work_ PA_GUARDED_BY(mutex_);
 };
 
+struct AgentEndpointConfig {
+  LocalRuntimeConfig local;
+  /// Local unit-queue capacity = queue_factor × pilot cores. The agent
+  /// advertises `capacity − queued − running` as its window in every
+  /// kUnitDoneBatch, so the manager ships batches sized to real headroom.
+  /// This caps the manager→agent pipeline depth: short units need depth
+  /// to cover the wire round-trip, so the agent keeps several batches of
+  /// queued work per slot.
+  int queue_factor = 16;
+  /// Completion-outbox flusher (group-commit batching of kUnitDone).
+  net::BatchFlusherConfig flusher;
+  /// Optional: exports net.batch_size / flush-reason counters plus
+  /// net.agent_send_rejected. Must outlive the endpoint.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Highest protocol version this agent speaks — test hook for
+  /// mixed-version deployments (1 = pre-batch peer; the manager then
+  /// falls back to per-unit kExecuteUnit).
+  std::uint8_t wire_version = net::kProtocolVersion;
+};
+
 /// The Pilot-Agent: connects to the manager's endpoint, announces its
 /// pilot id (kHello), then executes whatever the manager sends on an
 /// embedded LocalRuntime. One instance per pilot, created by the
 /// `AgentLauncher` — in-process here; a real deployment would submit a
 /// placeholder job that exec's an agent binary doing exactly this.
+///
+/// Late binding (the RADICAL-Pilot bulk-dispatch discipline): units
+/// arrive in kUnitBatch frames and land in a local queue; a small
+/// scheduler binds them to LocalRuntime slots as cores free up, so the
+/// manager round-trip is off the per-unit critical path. Completions ride
+/// a BatchFlusher outbox that coalesces them into kUnitDoneBatch frames
+/// and — unlike the old fire-and-forget send — retries frames the
+/// transport rejects under backpressure.
 class AgentEndpoint {
  public:
   /// Connects immediately; throws pa::Error when the manager endpoint is
   /// unreachable. `transport` must outlive the endpoint.
   AgentEndpoint(net::Transport& transport, const std::string& endpoint,
                 std::string pilot_id, std::shared_ptr<PayloadTable> payloads,
-                LocalRuntimeConfig local_config = {});
+                AgentEndpointConfig config = {});
   ~AgentEndpoint();
 
   AgentEndpoint(const AgentEndpoint&) = delete;
@@ -93,21 +123,60 @@ class AgentEndpoint {
   /// agent is the dialing side).
   net::ConnectionStats stats() const { return conn_->stats(); }
 
+  /// Completions dropped at teardown (undeliverable through the final
+  /// flush); the manager's orphan requeue covers them.
+  std::uint64_t completions_dropped() const {
+    return outbox_.dropped_on_close();
+  }
+
+  /// Snapshot of the late-binding scheduler (telemetry / debugging).
+  struct SchedulerStats {
+    std::size_t queued = 0;       ///< units awaiting a slot
+    std::size_t outstanding = 0;  ///< units running in the LocalRuntime
+    std::int32_t slots = 0;       ///< pilot cores (0 until kPilotActive)
+    std::int32_t window = 0;      ///< headroom advertised to the manager
+    std::size_t outbox_pending = 0;  ///< completions awaiting a flush
+  };
+  SchedulerStats scheduler_stats() const;
+
  private:
   void handle_message(const std::string& payload);
-  void send(net::Message message);
+  /// Enqueues units and pumps the local scheduler.
+  void enqueue_units(std::vector<net::WireUnitDescription> units);
+  /// Binds queued units to free LocalRuntime slots.
+  void pump();
+  void dispatch(net::WireUnitDescription unit);
+  void complete(const std::string& unit_id, bool success);
+  /// Outbox sink: arena-encodes a batch (merging kUnitDone runs into
+  /// kUnitDoneBatch when the peer speaks v2) and gathers it into the
+  /// transport. Returns what the transport rejected, for retry.
+  std::vector<net::Message> ship(std::vector<net::Message> batch,
+                                 net::FlushReason reason);
+  /// Bypasses the outbox (heartbeat acks: batching them would inflate the
+  /// manager's RTT histogram, and losing one is harmless).
+  void send_direct(net::Message message);
+  std::int32_t window();
 
   const std::string pilot_id_;
+  const AgentEndpointConfig config_;
   const std::shared_ptr<PayloadTable> payloads_;
 
-  // conn_ is declared before local_ so workers still draining inside
-  // ~LocalRuntime can send on a (closed) connection that is still alive.
+  // Destruction order (reverse of declaration) is load-bearing:
+  // ~local_ first (joins workers; its completion callbacks may still
+  // push into outbox_), then ~outbox_ (final flush attempt over the
+  // still-constructed conn_), then conn_ last.
   net::ConnectionPtr conn_;
-  LocalRuntime local_;
 
   std::atomic<bool> unresponsive_{false};
   std::atomic<bool> started_{false};
+  std::atomic<bool> draining_{false};  ///< set by ~AgentEndpoint
   std::atomic<std::uint64_t> seq_{0};
+  /// min(own, manager) protocol version, learned from message headers.
+  std::atomic<std::uint8_t> peer_version_;
+  /// Max completions merged per kUnitDoneBatch frame; halves on transport
+  /// reject (so frames shrink until they fit the send queue), doubles on
+  /// success up to the flusher's max_batch.
+  std::atomic<std::size_t> merge_cap_;
 
   // Cached kPilotActive body for idempotent duplicate kStartPilot
   // handling after a reconnect; site_/cores_ are published before
@@ -115,6 +184,20 @@ class AgentEndpoint {
   int active_cores_ = 0;
   std::string active_site_;
   std::atomic<bool> active_sent_{false};
+
+  /// Agent-local scheduler state (rank kNetRuntime; never held across
+  /// LocalRuntime calls or sends).
+  mutable check::Mutex sched_mu_{check::LockRank::kNetRuntime,
+                                 "rt::AgentEndpoint"};
+  std::deque<net::WireUnitDescription> queue_ PA_GUARDED_BY(sched_mu_);
+  int slots_ PA_GUARDED_BY(sched_mu_) = 0;        ///< pilot cores
+  int outstanding_ PA_GUARDED_BY(sched_mu_) = 0;  ///< units inside local_
+
+  std::string arena_;  ///< flusher-thread-only encode buffer
+  obs::Counter* send_rejected_counter_ = nullptr;
+
+  net::BatchFlusher outbox_;
+  LocalRuntime local_;
 };
 
 /// Launches the agent for `pilot_id` against the manager's resolved
@@ -131,9 +214,18 @@ struct RemoteRuntimeConfig {
   /// Dead after `heartbeat_interval_seconds * heartbeat_miss_limit`
   /// without an ack (or any other sign of life).
   int heartbeat_miss_limit = 4;
+  /// Pipeline depth per agent core: the manager reports
+  /// `agent cores × factor` to the service so enough units are in flight
+  /// to keep agent queues fed (the agent still binds to real cores; the
+  /// factor only deepens the dispatch pipeline the batches draw from).
+  int dispatch_window_factor = 4;
+  /// Unit-dispatch flusher (group-commit batching of kExecuteUnit into
+  /// kUnitBatch frames).
+  net::BatchFlusherConfig flusher;
   /// Required: how pilots become agents.
   AgentLauncher launcher;
-  /// Optional sink for heartbeat RTT, reconnects, queue HWM, bytes.
+  /// Optional sink for heartbeat RTT, reconnects, queue HWM, bytes, and
+  /// the flusher's batch-size / flush-reason series.
   obs::MetricsRegistry* metrics = nullptr;
 };
 
@@ -175,6 +267,16 @@ class RemoteRuntime : public core::Runtime {
     double last_alive = 0.0;  ///< runtime-clock time of last sign of life
     std::uint64_t hello_count = 0;  ///< re-hellos = agent reconnects
     std::uint64_t seq = 0;
+    /// min(own, agent) protocol version from the agent's kHello header.
+    std::uint8_t peer_version = net::kProtocolVersion;
+    /// Dispatch credits: how many more units the agent can absorb.
+    /// Seeded at kPilotActive (cores × dispatch_window_factor), debited
+    /// per shipped unit, credited per completion, and refreshed to the
+    /// agent's self-reported headroom on every kUnitDoneBatch.
+    std::int64_t window = 0;
+    /// Max units per kUnitBatch frame; halves on transport reject so
+    /// oversized frames shrink until they fit, doubles on success.
+    std::size_t flush_cap = 0;
     std::map<std::string, std::function<void(bool)>> inflight;
   };
 
@@ -182,6 +284,13 @@ class RemoteRuntime : public core::Runtime {
                       const std::string& payload);
   void heartbeat_loop();
   bool send_on(const net::ConnectionPtr& conn, net::Message message);
+  /// Dispatch sink: groups queued kExecuteUnit messages by pilot,
+  /// arena-encodes them as kUnitBatch (or per-unit frames for v1 peers)
+  /// sized to min(window, flush_cap), and gathers them into the agent's
+  /// connection. Returns what could not ship yet (no connection, no
+  /// window, transport reject) for retry.
+  std::vector<net::Message> dispatch(std::vector<net::Message> batch,
+                                     net::FlushReason reason);
 
   RemoteRuntimeConfig config_;
   net::Transport& transport_;
@@ -208,7 +317,13 @@ class RemoteRuntime : public core::Runtime {
   std::vector<std::weak_ptr<net::Connection>> pending_ PA_GUARDED_BY(mutex_);
   bool stopping_ PA_GUARDED_BY(mutex_) = false;
 
+  std::string arena_;  ///< dispatch-flusher-thread-only encode buffer
+
   std::thread heartbeat_;
+  /// Unit-dispatch flusher; closed (final flush) in the destructor before
+  /// connections are torn down. Declared last so its thread never
+  /// outlives the state the sink touches.
+  std::unique_ptr<net::BatchFlusher> dispatch_;
 };
 
 }  // namespace pa::rt

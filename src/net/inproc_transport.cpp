@@ -57,12 +57,24 @@ class InProcConnection final
       : owner_(owner), handlers_(std::move(handlers)) {}
 
   bool send(std::string frame) override {
+    return enqueue(std::move(frame), 1);
+  }
+
+  bool send_gather(std::string_view frames,
+                   std::uint64_t message_count) override {
+    // One queue node for the whole gather: the arena bytes are copied
+    // exactly once (into the node) and the peer's decoder splits the
+    // frames back out — the loopback analogue of writev().
+    return enqueue(std::string(frames), message_count);
+  }
+
+  bool enqueue(std::string bytes, std::uint64_t message_count) {
     const std::shared_ptr<InProcConnection> peer = peer_.lock();
     if (closed_.load() || peer == nullptr || peer->closed_.load()) {
       send_rejected_.fetch_add(1);
       return false;
     }
-    const std::size_t size = frame.size();
+    const std::size_t size = bytes.size();
     // Bounded backpressure: fail fast and surface it, never buffer
     // without limit. The check-then-add can overshoot by one frame per
     // concurrent sender, which is fine for a sanity bound.
@@ -75,8 +87,8 @@ class InProcConnection final
     while (depth > hwm && !send_queue_hwm_.compare_exchange_weak(hwm, depth)) {
     }
     bytes_out_.fetch_add(size);
-    messages_out_.fetch_add(1);
-    peer->inbound_.push(std::move(frame));
+    messages_out_.fetch_add(message_count);
+    peer->inbound_.push(std::move(bytes));
     owner_->wake();
     return true;
   }

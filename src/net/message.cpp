@@ -114,6 +114,27 @@ WireUnitDescription take_unit(Cursor& c) {
   return u;
 }
 
+// Smallest possible wire footprint of one entry, used to reject absurd
+// batch counts before reserving: 4 strings/lists at 4 bytes of length
+// prefix each + cores(4) + duration(8) + attributes prefix(4) + flag(1).
+constexpr std::size_t kMinWireUnitBytes = 4 * 4 + 4 + 8 + 4 + 1;
+constexpr std::size_t kMinWireUnitDoneBytes = 4 + 1 + 8;
+
+/// Reads a batch count and rejects counts the remaining payload cannot
+/// possibly satisfy (same guard as take_string_list, scaled to the
+/// entry's minimum encoded size).
+std::uint32_t take_batch_count(Cursor& c, std::size_t min_entry_bytes) {
+  const auto n = c.take<std::uint32_t>();
+  if (n > (c.size - c.pos) / min_entry_bytes) {
+    throw Error("net message batch count exceeds payload");
+  }
+  return n;
+}
+
+bool is_batch_type(MessageType t) {
+  return t == MessageType::kUnitBatch || t == MessageType::kUnitDoneBatch;
+}
+
 }  // namespace
 
 const char* to_string(MessageType t) {
@@ -136,13 +157,31 @@ const char* to_string(MessageType t) {
       return "heartbeat_ack";
     case MessageType::kShutdown:
       return "shutdown";
+    case MessageType::kUnitBatch:
+      return "unit_batch";
+    case MessageType::kUnitDoneBatch:
+      return "unit_done_batch";
   }
   return "unknown";
 }
 
 std::string encode_message(const Message& m) {
   std::string out;
-  put_u8(out, kProtocolVersion);
+  encode_message_into(out, m);
+  return out;
+}
+
+void encode_message_into(std::string& out, const Message& m) {
+  if (m.version < kMinProtocolVersion || m.version > kProtocolVersion) {
+    throw Error("net message encode at unsupported protocol version " +
+                std::to_string(m.version));
+  }
+  if (is_batch_type(m.type) && m.version < 2) {
+    throw Error("net message type " + std::string(to_string(m.type)) +
+                " requires protocol version 2, peer negotiated " +
+                std::to_string(m.version));
+  }
+  put_u8(out, m.version);
   put_u8(out, static_cast<std::uint8_t>(m.type));
   put_u16(out, 0);  // reserved
   put_u64(out, m.seq);
@@ -178,25 +217,46 @@ std::string encode_message(const Message& m) {
     case MessageType::kHeartbeatAck:
       put_f64(out, m.timestamp);
       break;
+    case MessageType::kUnitBatch:
+      put_u32(out, static_cast<std::uint32_t>(m.units.size()));
+      for (const WireUnitDescription& u : m.units) {
+        put_unit(out, u);
+      }
+      break;
+    case MessageType::kUnitDoneBatch:
+      put_i32(out, m.window);
+      put_u32(out, static_cast<std::uint32_t>(m.completions.size()));
+      for (const WireUnitDone& d : m.completions) {
+        put_string(out, d.unit_id);
+        put_u8(out, d.success ? 1 : 0);
+        put_f64(out, d.timestamp);
+      }
+      break;
   }
-  return out;
 }
 
 Message decode_message(const char* data, std::size_t size) {
   Cursor c{data, size};
   const auto version = c.take<std::uint8_t>();
-  if (version != kProtocolVersion) {
+  if (version < kMinProtocolVersion || version > kProtocolVersion) {
     throw Error("net message has unsupported protocol version " +
                 std::to_string(version));
   }
   const auto type = c.take<std::uint8_t>();
   if (type < static_cast<std::uint8_t>(MessageType::kHello) ||
-      type > static_cast<std::uint8_t>(MessageType::kShutdown)) {
+      type > static_cast<std::uint8_t>(MessageType::kUnitDoneBatch)) {
     throw Error("net message has unknown type " + std::to_string(type));
+  }
+  if (is_batch_type(static_cast<MessageType>(type)) && version < 2) {
+    throw Error("net message type " +
+                std::string(to_string(static_cast<MessageType>(type))) +
+                " requires protocol version 2, header says " +
+                std::to_string(version));
   }
   (void)c.take<std::uint16_t>();  // reserved
   Message m;
   m.type = static_cast<MessageType>(type);
+  m.version = version;
   m.seq = c.take<std::uint64_t>();
   m.pilot_id = c.take_string();
   switch (m.type) {
@@ -236,6 +296,27 @@ Message decode_message(const char* data, std::size_t size) {
     case MessageType::kHeartbeatAck:
       m.timestamp = c.take<double>();
       break;
+    case MessageType::kUnitBatch: {
+      const auto n = take_batch_count(c, kMinWireUnitBytes);
+      m.units.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        m.units.push_back(take_unit(c));
+      }
+      break;
+    }
+    case MessageType::kUnitDoneBatch: {
+      m.window = c.take<std::int32_t>();
+      const auto n = take_batch_count(c, kMinWireUnitDoneBytes);
+      m.completions.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        WireUnitDone d;
+        d.unit_id = c.take_string();
+        d.success = c.take<std::uint8_t>() != 0;
+        d.timestamp = c.take<double>();
+        m.completions.push_back(std::move(d));
+      }
+      break;
+    }
   }
   if (c.pos != size) {
     throw Error("net message has trailing bytes");
@@ -244,7 +325,15 @@ Message decode_message(const char* data, std::size_t size) {
 }
 
 void append_message_frame(std::string& out, const Message& message) {
-  append_frame(out, encode_message(message));
+  const std::size_t mark = out.size();
+  const std::size_t body = begin_frame(out);
+  try {
+    encode_message_into(out, message);
+  } catch (...) {
+    out.resize(mark);  // leave the arena frame-aligned for the caller
+    throw;
+  }
+  end_frame(out, body);
 }
 
 Message make_start_pilot(const std::string& pilot_id,

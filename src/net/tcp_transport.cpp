@@ -100,6 +100,13 @@ struct TcpTransport::Impl {
   int wake_read_fd = -1;
   int wake_write_fd = -1;
 
+  /// Eventcount: true from just before the I/O thread's pre-poll scan
+  /// until poll() returns. A sender that enqueued while this is false
+  /// knows the next scan will see its bytes (the scan re-reads every
+  /// send queue under its lock), so the self-pipe syscall is elided —
+  /// under load the pipe goes quiet and wake() costs one relaxed load.
+  std::atomic<bool> io_may_block{false};
+
   std::atomic<std::thread::id> io_id{};
   std::thread io;
 
@@ -109,6 +116,17 @@ struct TcpTransport::Impl {
     const char byte = 1;
     // A full pipe already guarantees a pending wakeup; EAGAIN is fine.
     (void)!::write(wake_write_fd, &byte, 1);
+  }
+
+  /// wake() for the send path: skip the syscall unless the I/O thread
+  /// is in (or headed into) poll() without having seen the new bytes.
+  /// Safe because io_may_block is set *before* the poll-set scan: either
+  /// the scan observes the enqueued bytes (mutex ordering), or the
+  /// sender observes the flag and writes the pipe.
+  void wake_for_send() noexcept {
+    if (io_may_block.load()) {
+      wake();
+    }
   }
 
   void run();
@@ -133,7 +151,20 @@ class TcpConnection final : public Connection,
   }
 
   bool send(std::string frame) override {
-    const std::size_t size = frame.size();
+    return enqueue(frame, 1);
+  }
+
+  bool send_gather(std::string_view frames,
+                   std::uint64_t message_count) override {
+    // The gather already IS contiguous framed bytes (arena encode path);
+    // appending it to pending_ under one lock acquisition is the
+    // userspace half of writev() — the I/O thread's swap-and-send loop
+    // flushes it with the same ::send calls either way.
+    return enqueue(frames, message_count);
+  }
+
+  bool enqueue(std::string_view bytes, std::uint64_t message_count) {
+    const std::size_t size = bytes.size();
     if (closed_.load() ||
         queued_bytes_.load() + size > owner_->config.max_send_queue_bytes) {
       send_rejected_.fetch_add(1);
@@ -145,14 +176,14 @@ class TcpConnection final : public Connection,
         send_rejected_.fetch_add(1);
         return false;
       }
-      pending_.append(frame);
+      pending_.append(bytes);
     }
     const std::size_t depth = queued_bytes_.fetch_add(size) + size;
     std::size_t hwm = send_queue_hwm_.load();
     while (depth > hwm && !send_queue_hwm_.compare_exchange_weak(hwm, depth)) {
     }
-    messages_out_.fetch_add(1);
-    owner_->wake();
+    messages_out_.fetch_add(message_count);
+    owner_->wake_for_send();
     return true;
   }
 
@@ -268,6 +299,10 @@ void TcpTransport::Impl::run() {
     }
     const double now = pa::wall_seconds();
 
+    // Senders must pipe-wake us from here on: the scan below is the last
+    // look at the send queues before poll() blocks.
+    io_may_block.store(true);
+
     // Reap closed connections' sockets and fire overdue reconnects
     // before building the poll set.
     double next_timer = now + config.poll_interval_seconds;
@@ -311,6 +346,7 @@ void TcpTransport::Impl::run() {
     const int timeout_ms =
         std::max(0, static_cast<int>((next_timer - now) * 1000.0));
     const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+    io_may_block.store(false);
     if (ready < 0) {
       if (errno == EINTR) {
         continue;  // revents are unreliable after a signal; re-poll

@@ -18,6 +18,28 @@ void append_frame(std::string& out, const std::string& payload) {
   out.append(payload);
 }
 
+std::size_t begin_frame(std::string& out) {
+  out.append(kFrameHeaderBytes, '\0');
+  return out.size();
+}
+
+void end_frame(std::string& out, std::size_t body_start) {
+  PA_REQUIRE_ARG(body_start >= kFrameHeaderBytes && body_start <= out.size(),
+                 "end_frame: body_start " << body_start
+                                          << " outside buffer of "
+                                          << out.size() << " bytes");
+  const std::size_t body_size = out.size() - body_start;
+  PA_REQUIRE_ARG(body_size <= kMaxFramePayloadBytes,
+                 "net frame payload too large: " << body_size << " > "
+                                                 << kMaxFramePayloadBytes);
+  const auto length = static_cast<std::uint32_t>(body_size);
+  const std::uint32_t crc =
+      journal::crc32(out.data() + body_start, body_size);
+  char* head = out.data() + (body_start - kFrameHeaderBytes);
+  std::memcpy(head, &length, sizeof(length));
+  std::memcpy(head + sizeof(length), &crc, sizeof(crc));
+}
+
 void FrameDecoder::feed(const char* data, std::size_t size) {
   if (failed_ || size == 0) {
     return;

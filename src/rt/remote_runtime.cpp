@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <iterator>
 #include <thread>
 #include <utility>
 
@@ -42,10 +43,22 @@ std::size_t PayloadTable::size() const {
 AgentEndpoint::AgentEndpoint(net::Transport& transport,
                              const std::string& endpoint, std::string pilot_id,
                              std::shared_ptr<PayloadTable> payloads,
-                             LocalRuntimeConfig local_config)
+                             AgentEndpointConfig config)
     : pilot_id_(std::move(pilot_id)),
+      config_(std::move(config)),
       payloads_(std::move(payloads)),
-      local_(local_config) {
+      peer_version_(std::min(config_.wire_version, net::kProtocolVersion)),
+      merge_cap_(std::max<std::size_t>(1, config_.flusher.max_batch)),
+      send_rejected_counter_(
+          config_.metrics != nullptr
+              ? &config_.metrics->counter("net.agent_send_rejected")
+              : nullptr),
+      outbox_(
+          [this](std::vector<net::Message> batch, net::FlushReason reason) {
+            return ship(std::move(batch), reason);
+          },
+          config_.flusher, config_.metrics),
+      local_(config_.local) {
   net::ConnectionHandlers handlers;
   handlers.on_message = [this](const std::string& payload) {
     handle_message(payload);
@@ -56,29 +69,195 @@ AgentEndpoint::AgentEndpoint(net::Transport& transport,
     if (conn_ != nullptr) {
       net::Message hello;
       hello.type = net::MessageType::kHello;
-      send(std::move(hello));
+      outbox_.push(std::move(hello));
+      outbox_.kick();
     }
   };
   conn_ = transport.connect(endpoint, std::move(handlers));
   net::Message hello;
   hello.type = net::MessageType::kHello;
-  send(std::move(hello));
+  outbox_.push(std::move(hello));
+  outbox_.kick();
 }
 
 AgentEndpoint::~AgentEndpoint() {
-  // Barrier first: after close() no handler is running, so the embedded
-  // runtime (destroyed next, joining its pools) cannot race with
-  // handle_message. Late unit completions send into the closed
-  // connection and are rejected harmlessly.
+  // Late-completion handling, in order:
+  //  1. stop binding queued units to new slots;
+  //  2. flush the outbox — completions the workers already produced ship
+  //     in one final batch while the stream is still up;
+  //  3. close the connection (handler barrier), so the embedded runtime
+  //     (destroyed next, joining its pools) cannot race handle_message.
+  // Completions that land between (2) and ~outbox_ are dropped-and-
+  // counted there; the manager's heartbeat-deadline orphan requeue plus
+  // the service's attempt tagging make that loss exactly-once safe.
+  draining_.store(true);
+  outbox_.flush();
   conn_->close();
 }
 
-void AgentEndpoint::send(net::Message message) {
+std::int32_t AgentEndpoint::window() {
+  check::MutexLock lock(sched_mu_);
+  const std::int64_t capacity =
+      static_cast<std::int64_t>(std::max(slots_, 1)) *
+      static_cast<std::int64_t>(std::max(config_.queue_factor, 1));
+  const std::int64_t used =
+      static_cast<std::int64_t>(queue_.size()) + outstanding_;
+  const std::int64_t free = capacity - used;
+  return free > 0 ? static_cast<std::int32_t>(free) : 0;
+}
+
+AgentEndpoint::SchedulerStats AgentEndpoint::scheduler_stats() const {
+  SchedulerStats s;
+  {
+    check::MutexLock lock(sched_mu_);
+    s.queued = queue_.size();
+    s.outstanding = static_cast<std::size_t>(outstanding_);
+    s.slots = slots_;
+    const std::int64_t capacity =
+        static_cast<std::int64_t>(std::max(slots_, 1)) *
+        static_cast<std::int64_t>(std::max(config_.queue_factor, 1));
+    const std::int64_t free =
+        capacity - static_cast<std::int64_t>(queue_.size()) - outstanding_;
+    s.window = free > 0 ? static_cast<std::int32_t>(free) : 0;
+  }
+  s.outbox_pending = outbox_.pending();
+  return s;
+}
+
+void AgentEndpoint::send_direct(net::Message message) {
+  // Heartbeat-ack fast path: batching acks would inflate the manager's
+  // RTT histogram, and a dropped ack is harmless (the next one answers).
+  message.version = peer_version_.load();
   message.pilot_id = pilot_id_;
   message.seq = seq_.fetch_add(1);
   std::string frame;
   net::append_message_frame(frame, message);
   (void)conn_->send(std::move(frame));
+}
+
+std::vector<net::Message> AgentEndpoint::ship(std::vector<net::Message> batch,
+                                              net::FlushReason /*reason*/) {
+  const std::uint8_t version = peer_version_.load();
+  std::size_t i = 0;
+  while (i < batch.size()) {
+    arena_.clear();
+    std::uint64_t frames = 0;
+    std::size_t end = i;
+    const std::size_t cap = merge_cap_.load();
+    if (version >= 2 && batch[i].type == net::MessageType::kUnitDone) {
+      // Merge the run of completions into one kUnitDoneBatch frame,
+      // carrying the scheduler's current headroom for the manager's
+      // dispatch window.
+      net::Message b;
+      b.type = net::MessageType::kUnitDoneBatch;
+      b.version = version;
+      b.pilot_id = pilot_id_;
+      while (end < batch.size() && b.completions.size() < cap &&
+             batch[end].type == net::MessageType::kUnitDone) {
+        b.completions.push_back(net::WireUnitDone{
+            batch[end].unit_id, batch[end].success, batch[end].timestamp});
+        ++end;
+      }
+      b.window = window();
+      b.seq = seq_.fetch_add(1);
+      net::append_message_frame(arena_, b);
+      frames = 1;
+    } else {
+      // Control messages — and everything on a v1 stream — keep their own
+      // frames but still share one gather into the transport.
+      while (end < batch.size() && end - i < cap &&
+             !(version >= 2 &&
+               batch[end].type == net::MessageType::kUnitDone)) {
+        net::Message& m = batch[end];
+        m.version = version;
+        m.pilot_id = pilot_id_;
+        m.seq = seq_.fetch_add(1);
+        net::append_message_frame(arena_, m);
+        ++frames;
+        ++end;
+      }
+    }
+    if (!conn_->send_gather(arena_, frames)) {
+      // Backpressure (or a closed stream): retain everything unsent — the
+      // flusher retries after its backoff — and halve the merge cap so
+      // the retried frame shrinks until it fits the send queue. This is
+      // the fix for the old fire-and-forget completion send.
+      if (send_rejected_counter_ != nullptr) {
+        send_rejected_counter_->inc();
+      }
+      merge_cap_.store(cap > 1 ? cap / 2 : 1);
+      return {std::make_move_iterator(batch.begin() +
+                                      static_cast<std::ptrdiff_t>(i)),
+              std::make_move_iterator(batch.end())};
+    }
+    const std::size_t max_cap =
+        std::max<std::size_t>(1, config_.flusher.max_batch);
+    if (cap < max_cap) {
+      merge_cap_.store(std::min(max_cap, cap * 2));
+    }
+    i = end;
+  }
+  return {};
+}
+
+void AgentEndpoint::enqueue_units(
+    std::vector<net::WireUnitDescription> units) {
+  {
+    check::MutexLock lock(sched_mu_);
+    for (auto& unit : units) {
+      queue_.push_back(std::move(unit));
+    }
+  }
+  pump();
+}
+
+void AgentEndpoint::pump() {
+  if (draining_.load()) {
+    return;
+  }
+  check::MutexLock lock(sched_mu_);
+  while (!queue_.empty() && outstanding_ < std::max(slots_, 1)) {
+    net::WireUnitDescription unit = std::move(queue_.front());
+    queue_.pop_front();
+    ++outstanding_;
+    // Late binding happens here: the unit meets its core only when one is
+    // free. LocalRuntime calls run with the scheduler lock dropped.
+    lock.unlock();
+    dispatch(std::move(unit));
+    lock.lock();
+  }
+}
+
+void AgentEndpoint::dispatch(net::WireUnitDescription unit) {
+  core::ComputeUnitDescription desc = net::to_unit_description(unit);
+  if (unit.has_work) {
+    desc.work = payloads_->take(unit.unit_id);
+  }
+  const std::string unit_id = unit.unit_id;
+  try {
+    local_.execute_unit(pilot_id_, desc, unit_id,
+                        [this, unit_id](bool success) {
+                          complete(unit_id, success);
+                        });
+  } catch (const std::exception& e) {
+    PA_LOG(kWarn, "agent") << pilot_id_ << ": unit " << unit_id
+                           << " rejected: " << e.what();
+    complete(unit_id, false);
+  }
+}
+
+void AgentEndpoint::complete(const std::string& unit_id, bool success) {
+  net::Message r;
+  r.type = net::MessageType::kUnitDone;
+  r.unit_id = unit_id;
+  r.success = success;
+  r.timestamp = pa::wall_seconds();
+  outbox_.push(std::move(r));
+  {
+    check::MutexLock lock(sched_mu_);
+    --outstanding_;
+  }
+  pump();
 }
 
 void AgentEndpoint::handle_message(const std::string& payload) {
@@ -93,6 +272,10 @@ void AgentEndpoint::handle_message(const std::string& payload) {
   if (m.pilot_id != pilot_id_) {
     return;  // not ours; a confused manager is not our problem to crash on
   }
+  // Every manager message carries the version the manager negotiated for
+  // this pilot; speak min(own, theirs) from here on.
+  peer_version_.store(
+      std::min({config_.wire_version, net::kProtocolVersion, m.version}));
   switch (m.type) {
     case net::MessageType::kStartPilot: {
       if (started_.exchange(true)) {
@@ -103,7 +286,8 @@ void AgentEndpoint::handle_message(const std::string& payload) {
           r.type = net::MessageType::kPilotActive;
           r.total_cores = active_cores_;
           r.site = active_site_;
-          send(std::move(r));
+          outbox_.push(std::move(r));
+          outbox_.kick();
         }
         return;
       }
@@ -116,6 +300,10 @@ void AgentEndpoint::handle_message(const std::string& payload) {
       core::PilotRuntimeCallbacks callbacks;
       callbacks.on_active = [this](const std::string&, int total_cores,
                                    const std::string& site) {
+        {
+          check::MutexLock lock(sched_mu_);
+          slots_ = total_cores;
+        }
         active_cores_ = total_cores;
         active_site_ = site;
         active_sent_.store(true, std::memory_order_release);
@@ -123,14 +311,17 @@ void AgentEndpoint::handle_message(const std::string& payload) {
         r.type = net::MessageType::kPilotActive;
         r.total_cores = total_cores;
         r.site = site;
-        send(std::move(r));
+        outbox_.push(std::move(r));
+        outbox_.kick();
+        pump();  // units may already be queued behind the allocation
       };
       callbacks.on_terminated = [this](const std::string&,
                                        core::PilotState state) {
         net::Message r;
         r.type = net::MessageType::kPilotTerminated;
         r.pilot_state = state;
-        send(std::move(r));
+        outbox_.push(std::move(r));
+        outbox_.kick();
       };
       try {
         local_.start_pilot(pilot_id_, desc, std::move(callbacks));
@@ -140,36 +331,19 @@ void AgentEndpoint::handle_message(const std::string& payload) {
         net::Message r;
         r.type = net::MessageType::kPilotTerminated;
         r.pilot_state = core::PilotState::kFailed;
-        send(std::move(r));
+        outbox_.push(std::move(r));
+        outbox_.kick();
       }
       break;
     }
     case net::MessageType::kExecuteUnit: {
-      core::ComputeUnitDescription desc = net::to_unit_description(m.unit);
-      if (m.unit.has_work) {
-        desc.work = payloads_->take(m.unit.unit_id);
-      }
-      const std::string unit_id = m.unit.unit_id;
-      try {
-        local_.execute_unit(pilot_id_, desc, unit_id,
-                            [this, unit_id](bool success) {
-                              net::Message r;
-                              r.type = net::MessageType::kUnitDone;
-                              r.unit_id = unit_id;
-                              r.success = success;
-                              r.timestamp = pa::wall_seconds();
-                              send(std::move(r));
-                            });
-      } catch (const std::exception& e) {
-        PA_LOG(kWarn, "agent") << pilot_id_ << ": unit " << unit_id
-                               << " rejected: " << e.what();
-        net::Message r;
-        r.type = net::MessageType::kUnitDone;
-        r.unit_id = unit_id;
-        r.success = false;
-        r.timestamp = pa::wall_seconds();
-        send(std::move(r));
-      }
+      std::vector<net::WireUnitDescription> units;
+      units.push_back(std::move(m.unit));
+      enqueue_units(std::move(units));
+      break;
+    }
+    case net::MessageType::kUnitBatch: {
+      enqueue_units(std::move(m.units));
       break;
     }
     case net::MessageType::kHeartbeat: {
@@ -177,11 +351,15 @@ void AgentEndpoint::handle_message(const std::string& payload) {
         net::Message r;
         r.type = net::MessageType::kHeartbeatAck;
         r.timestamp = m.timestamp;  // echo the probe for RTT
-        send(std::move(r));
+        send_direct(std::move(r));
       }
       break;
     }
     case net::MessageType::kShutdown: {
+      {
+        check::MutexLock lock(sched_mu_);
+        queue_.clear();  // unbound units die with the pilot
+      }
       try {
         local_.cancel_pilot(pilot_id_);
       } catch (const NotFound&) {
@@ -207,6 +385,8 @@ RemoteRuntime::RemoteRuntime(net::Transport& transport,
                  "heartbeat interval must be positive");
   PA_REQUIRE_ARG(config_.heartbeat_miss_limit > 0,
                  "heartbeat miss limit must be positive");
+  PA_REQUIRE_ARG(config_.dispatch_window_factor >= 1,
+                 "dispatch window factor must be >= 1");
   endpoint_ = transport_.listen(
       config_.listen_endpoint, [this](const net::ConnectionPtr& conn) {
         {
@@ -225,6 +405,11 @@ RemoteRuntime::RemoteRuntime(net::Transport& transport,
         return handlers;
       });
   heartbeat_ = std::thread([this] { heartbeat_loop(); });
+  dispatch_ = std::make_unique<net::BatchFlusher>(
+      [this](std::vector<net::Message> batch, net::FlushReason reason) {
+        return dispatch(std::move(batch), reason);
+      },
+      config_.flusher, config_.metrics);
 }
 
 RemoteRuntime::~RemoteRuntime() {
@@ -242,6 +427,12 @@ RemoteRuntime::~RemoteRuntime() {
   if (heartbeat_.joinable()) {
     heartbeat_.join();
   }
+  // Stop the dispatch flusher before touching connections: its final
+  // flush finds pilots_ empty and drops the remainder (the service is
+  // gone; nothing can observe those units anymore).
+  if (dispatch_ != nullptr) {
+    dispatch_->close();
+  }
   // close() barriers sever every handler that captures `this` before the
   // runtime's members die. Teardown fires no callbacks (like
   // ~LocalRuntime).
@@ -249,6 +440,7 @@ RemoteRuntime::~RemoteRuntime() {
     if (entry->conn) {
       net::Message bye;
       bye.type = net::MessageType::kShutdown;
+      bye.version = entry->peer_version;
       bye.pilot_id = id;
       bye.seq = entry->seq++;
       send_on(entry->conn, std::move(bye));
@@ -288,6 +480,7 @@ void RemoteRuntime::start_pilot(const std::string& pilot_id,
   auto entry = std::make_shared<PilotEntry>();
   entry->description = description;
   entry->callbacks = std::move(callbacks);
+  entry->flush_cap = std::max<std::size_t>(1, config_.flusher.max_batch);
   {
     check::MutexLock lock(mutex_);
     if (stopping_) {
@@ -320,6 +513,7 @@ void RemoteRuntime::cancel_pilot(const std::string& pilot_id) {
   if (entry->conn) {
     net::Message bye;
     bye.type = net::MessageType::kShutdown;
+    bye.version = entry->peer_version;
     bye.pilot_id = pilot_id;
     bye.seq = entry->seq++;  // entry is detached; no lock needed
     send_on(entry->conn, std::move(bye));
@@ -341,7 +535,6 @@ void RemoteRuntime::execute_unit(const std::string& pilot_id,
   m.type = net::MessageType::kExecuteUnit;
   m.pilot_id = pilot_id;
   m.unit = net::to_wire_unit(unit_id, description, description.work != nullptr);
-  net::ConnectionPtr conn;
   {
     check::MutexLock lock(mutex_);
     const auto it = pilots_.find(pilot_id);
@@ -349,20 +542,143 @@ void RemoteRuntime::execute_unit(const std::string& pilot_id,
       throw NotFound("unknown pilot: " + pilot_id);
     }
     it->second->inflight[unit_id] = std::move(on_done);
-    m.seq = it->second->seq++;
-    conn = it->second->conn;
   }
   if (description.work) {
     // Park the closure BEFORE the message can arrive; re-put on every
     // attempt so requeued units resolve again.
     payloads_->put(unit_id, description.work);
   }
-  if (conn) {
-    send_on(conn, std::move(m));
+  // The hot path ends here: the dispatch flusher coalesces queued units
+  // into kUnitBatch frames sized to the agent's window. Pushed with
+  // mutex_ released — the flusher lock ranks below ours.
+  dispatch_->push(std::move(m));
+}
+
+std::vector<net::Message> RemoteRuntime::dispatch(
+    std::vector<net::Message> batch, net::FlushReason /*reason*/) {
+  // Group by pilot, preserving per-pilot order (cross-pilot order carries
+  // no meaning — each pilot has its own stream).
+  std::vector<std::pair<std::string, std::vector<net::Message>>> groups;
+  for (auto& m : batch) {
+    auto it = std::find_if(
+        groups.begin(), groups.end(),
+        [&](const auto& g) { return g.first == m.pilot_id; });
+    if (it == groups.end()) {
+      groups.emplace_back(m.pilot_id, std::vector<net::Message>{});
+      it = std::prev(groups.end());
+    }
+    it->second.push_back(std::move(m));
   }
-  // No connection yet (agent still dialing) or send rejected: the unit
-  // stays in-flight, exactly like a frame lost on the wire — the
-  // heartbeat deadline fails the pilot and the middleware requeues.
+
+  std::vector<net::Message> retained;
+  for (auto& [pilot_id, msgs] : groups) {
+    std::size_t i = 0;
+    bool drop_rest = false;
+    while (i < msgs.size()) {
+      net::ConnectionPtr conn;
+      std::uint8_t version = net::kProtocolVersion;
+      std::size_t take = 0;
+      std::size_t cap = 1;
+      net::Message b;  // kUnitBatch under construction (v2 peers)
+      arena_.clear();
+      std::uint64_t frames = 0;
+      {
+        check::MutexLock lock(mutex_);
+        const auto it = pilots_.find(pilot_id);
+        if (it == pilots_.end()) {
+          // Pilot cancelled or failed: its in-flight attempts already
+          // belong to the service's orphan requeue; dropping the stale
+          // dispatches is the correct end state.
+          drop_rest = true;
+        } else {
+          auto& entry = *it->second;
+          conn = entry.conn;
+          version = entry.peer_version;
+          cap = std::max<std::size_t>(1, entry.flush_cap);
+          if (conn != nullptr && entry.window > 0) {
+            take = std::min({msgs.size() - i,
+                             static_cast<std::size_t>(entry.window), cap});
+          }
+          // Reserve the credits NOW, atomically with computing `take`.
+          // Debiting after the (unlocked) send raced with the agent's
+          // absolute window refresh: if the completion batch for these
+          // very units landed between send and debit, the debit applied
+          // on top of a window that already accounted for them, leaking
+          // credits until the window wedged at 0 with an idle agent —
+          // a permanent dispatch stall. Reserve-then-send closes that
+          // window; a transport reject credits the reservation back.
+          entry.window -= static_cast<std::int64_t>(take);
+          if (take > 0) {
+            if (version >= 2) {
+              b.type = net::MessageType::kUnitBatch;
+              b.version = version;
+              b.pilot_id = pilot_id;
+              b.seq = entry.seq++;
+              b.units.reserve(take);
+              for (std::size_t j = 0; j < take; ++j) {
+                b.units.push_back(std::move(msgs[i + j].unit));
+              }
+              net::append_message_frame(arena_, b);
+              frames = 1;
+            } else {
+              // Pre-batch peer: per-unit frames, but still one gather.
+              for (std::size_t j = 0; j < take; ++j) {
+                net::Message& m = msgs[i + j];
+                m.version = version;
+                m.seq = entry.seq++;
+                net::append_message_frame(arena_, m);
+                ++frames;
+              }
+            }
+          }
+        }
+      }
+      if (drop_rest || take == 0) {
+        break;  // drop, or retain msgs[i..) below (no conn / no window)
+      }
+      if (conn->send_gather(arena_, frames)) {
+        {
+          check::MutexLock lock(mutex_);
+          const auto it = pilots_.find(pilot_id);
+          if (it != pilots_.end()) {
+            it->second->flush_cap = std::min(
+                cap * 2, std::max<std::size_t>(1, config_.flusher.max_batch));
+          }
+        }
+        i += take;
+      } else {
+        if (config_.metrics != nullptr) {
+          config_.metrics->counter("net.send_rejected").inc();
+        }
+        {
+          check::MutexLock lock(mutex_);
+          const auto it = pilots_.find(pilot_id);
+          if (it != pilots_.end()) {
+            // Nothing shipped: return the reserved credits (a concurrent
+            // absolute refresh may make this a transient over-grant,
+            // which only deepens the agent queue; never a loss) and
+            // shrink the next frame until it fits the send queue.
+            it->second->window += static_cast<std::int64_t>(take);
+            it->second->flush_cap = cap > 1 ? cap / 2 : 1;
+          }
+        }
+        if (version >= 2) {
+          // The units were moved into the rejected batch frame; move
+          // them back so the retry re-encodes them.
+          for (std::size_t j = 0; j < take; ++j) {
+            msgs[i + j].unit = std::move(b.units[j]);
+          }
+        }
+        break;  // retain msgs[i..)
+      }
+    }
+    if (!drop_rest) {
+      for (std::size_t j = i; j < msgs.size(); ++j) {
+        retained.push_back(std::move(msgs[j]));
+      }
+    }
+  }
+  return retained;
 }
 
 void RemoteRuntime::drive_until(const std::function<bool()>& predicate,
@@ -413,7 +729,12 @@ void RemoteRuntime::handle_message(
           entry->conn = conn;
           ++entry->hello_count;
           entry->last_alive = now();
+          // Version negotiation: the hello header carries the agent's
+          // newest version; everything to this pilot now speaks
+          // min(ours, theirs). Batch frames need >= 2.
+          entry->peer_version = std::min(net::kProtocolVersion, m.version);
           start = net::make_start_pilot(m.pilot_id, entry->description);
+          start.version = entry->peer_version;
           start.seq = entry->seq++;
         }
       }
@@ -422,6 +743,7 @@ void RemoteRuntime::handle_message(
         // away; we may not close from its own handler.
         net::Message bye;
         bye.type = net::MessageType::kShutdown;
+        bye.version = std::min(net::kProtocolVersion, m.version);
         bye.pilot_id = m.pilot_id;
         send_on(conn, std::move(bye));
         return;
@@ -440,13 +762,23 @@ void RemoteRuntime::handle_message(
         }
         it->second->active = true;
         it->second->last_alive = now();
+        // Seed the dispatch window: factor × cores keeps the agent's
+        // late-binding queue fed while real cores drain it.
+        it->second->window =
+            static_cast<std::int64_t>(m.total_cores) *
+            config_.dispatch_window_factor;
         cb = it->second->callbacks.on_active;
       }
       // Callbacks run with no net lock held: they re-enter the service
       // (rank 10 < ours) — see the lock-hierarchy note in the header.
+      // The reported capacity is inflated by the window factor so the
+      // service keeps a deep enough pipeline for bulk dispatch; the
+      // agent still binds units to its real cores.
       if (cb) {
-        cb(m.pilot_id, m.total_cores, m.site);
+        cb(m.pilot_id, m.total_cores * config_.dispatch_window_factor,
+           m.site);
       }
+      dispatch_->kick();  // units may already be queued for this pilot
       break;
     }
     case net::MessageType::kPilotTerminated: {
@@ -477,6 +809,7 @@ void RemoteRuntime::handle_message(
           return;
         }
         it->second->last_alive = now();
+        it->second->window += 1;  // one slot freed
         const auto unit_it = it->second->inflight.find(m.unit_id);
         if (unit_it != it->second->inflight.end()) {
           done = std::move(unit_it->second);
@@ -491,6 +824,40 @@ void RemoteRuntime::handle_message(
       }
       // else: stale completion for a requeued attempt; dropped, exactly
       // like the service's own attempt tagging.
+      dispatch_->kick();
+      break;
+    }
+    case net::MessageType::kUnitDoneBatch: {
+      std::vector<std::pair<std::function<void(bool)>, bool>> dones;
+      {
+        check::MutexLock lock(mutex_);
+        const auto it = pilots_.find(m.pilot_id);
+        if (it == pilots_.end()) {
+          return;
+        }
+        it->second->last_alive = now();
+        // Absolute refresh from the agent's self-reported headroom: this
+        // corrects any credit drift from retained or lost frames.
+        it->second->window = m.window;
+        dones.reserve(m.completions.size());
+        for (const net::WireUnitDone& d : m.completions) {
+          const auto unit_it = it->second->inflight.find(d.unit_id);
+          if (unit_it != it->second->inflight.end()) {
+            dones.emplace_back(std::move(unit_it->second), d.success);
+            it->second->inflight.erase(unit_it);
+          }
+        }
+      }
+      if (config_.metrics != nullptr) {
+        config_.metrics->counter("net.units_done")
+            .inc(m.completions.size());
+      }
+      for (auto& [done, success] : dones) {
+        if (done) {
+          done(success);
+        }
+      }
+      dispatch_->kick();  // fresh window: ship whatever queued up
       break;
     }
     case net::MessageType::kHeartbeatAck: {
@@ -533,6 +900,8 @@ void RemoteRuntime::heartbeat_loop() {
     std::vector<DeadPilot> dead;
     std::vector<net::ConnectionPtr> zombies;
     std::uint64_t reconnects = 0;
+    std::int64_t window_sum = 0;
+    std::uint64_t inflight_sum = 0;
     for (auto it = pilots_.begin(); it != pilots_.end();) {
       auto& entry = it->second;
       if (t - entry->last_alive > deadline_seconds) {
@@ -547,12 +916,15 @@ void RemoteRuntime::heartbeat_loop() {
       if (entry->conn) {
         net::Message hb;
         hb.type = net::MessageType::kHeartbeat;
+        hb.version = entry->peer_version;
         hb.pilot_id = it->first;
         hb.seq = entry->seq++;
         hb.timestamp = pa::wall_seconds();
         pings.emplace_back(entry->conn, std::move(hb));
         reconnects += entry->hello_count > 0 ? entry->hello_count - 1 : 0;
       }
+      window_sum += entry->window;
+      inflight_sum += entry->inflight.size();
       ++it;
     }
     zombies.swap(zombies_);
@@ -597,6 +969,12 @@ void RemoteRuntime::heartbeat_loop() {
           .set(static_cast<double>(queue_hwm));
       config_.metrics->gauge("net.reconnects")
           .set(static_cast<double>(reconnects));
+      config_.metrics->gauge("net.dispatch_window")
+          .set(static_cast<double>(window_sum));
+      config_.metrics->gauge("net.dispatch_inflight")
+          .set(static_cast<double>(inflight_sum));
+      config_.metrics->gauge("net.dispatch_pending")
+          .set(static_cast<double>(dispatch_->pending()));
     }
     lock.lock();
   }

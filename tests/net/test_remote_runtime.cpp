@@ -2,8 +2,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -14,6 +16,7 @@
 #include "pa/common/time_utils.h"
 #include "pa/core/pilot_compute_service.h"
 #include "pa/net/inproc_transport.h"
+#include "pa/net/message.h"
 #include "pa/net/tcp_transport.h"
 #include "pa/rt/local_runtime.h"
 #include "pa/rt/remote_runtime.h"
@@ -36,11 +39,12 @@ class AgentFarm {
   explicit AgentFarm(net::Transport& transport) : transport_(transport) {}
 
   void create(const std::string& pilot_id, const std::string& endpoint,
-              const std::shared_ptr<PayloadTable>& payloads) {
+              const std::shared_ptr<PayloadTable>& payloads,
+              const AgentEndpointConfig& config = {}) {
     // Construct (which connects, taking transport locks) before taking
     // the kLeaf registry lock — ranks must strictly increase.
     auto agent = std::make_unique<AgentEndpoint>(transport_, endpoint,
-                                                 pilot_id, payloads);
+                                                 pilot_id, payloads, config);
     check::MutexLock lock(mu_);
     agents_[pilot_id] = std::move(agent);
   }
@@ -106,21 +110,27 @@ void run_workload(PilotComputeService& service, int unit_count,
 struct RemoteStack {
   RemoteStack(net::Transport& transport, const std::string& listen_endpoint,
               double heartbeat_interval = 0.1, int miss_limit = 30,
-              obs::MetricsRegistry* metrics = nullptr)
+              obs::MetricsRegistry* metrics = nullptr,
+              net::BatchFlusherConfig manager_flusher = {})
       : farm(transport) {
     RemoteRuntimeConfig config;
     config.listen_endpoint = listen_endpoint;
     config.heartbeat_interval_seconds = heartbeat_interval;
     config.heartbeat_miss_limit = miss_limit;
     config.metrics = metrics;
+    config.flusher = manager_flusher;
     config.launcher = [this](const std::string& pilot_id,
                              const std::string& endpoint) {
-      farm.create(pilot_id, endpoint, runtime->payloads());
+      farm.create(pilot_id, endpoint, runtime->payloads(), agent_config);
     };
     runtime = std::make_unique<RemoteRuntime>(transport, std::move(config));
     service = std::make_unique<PilotComputeService>(*runtime, "backfill");
   }
 
+  /// Applied to agents the launcher creates from this point on; set it
+  /// before submitting pilots (test hook for mixed-version / flusher
+  /// configurations).
+  AgentEndpointConfig agent_config;
   AgentFarm farm;
   std::unique_ptr<RemoteRuntime> runtime;
   std::unique_ptr<PilotComputeService> service;
@@ -355,6 +365,266 @@ TEST(RemoteRuntime, HeartbeatMetricsRecorded) {
     if (name == "net.units_done") units_done = value;
   }
   EXPECT_EQ(units_done, 1u);
+  transport.stop();
+}
+
+// Satellite regression: the agent send path must buffer-and-retry under
+// backpressure, never silently drop (the old `(void)conn_->send(...)`).
+// A deliberately undersized send queue forces the transport to reject the
+// agent's merged completion frames; every completion must still arrive,
+// exactly once, while the frames shrink until they fit.
+TEST(RemoteRuntime, BackpressuredAgentSendPathLosesNoCompletions) {
+  net::InProcTransportConfig tc;
+  tc.max_queue_bytes = 256;  // a merged completion batch cannot fit
+  net::InProcTransport transport(tc);
+
+  struct MiniManager {
+    check::Mutex mu{check::LockRank::kLeaf, "test.mini_manager"};
+    net::ConnectionPtr conn PA_GUARDED_BY(mu);
+    std::vector<std::string> completions PA_GUARDED_BY(mu);
+    bool active PA_GUARDED_BY(mu) = false;
+  } manager;
+
+  transport.listen(
+      "inproc://mini-manager", [&manager](const net::ConnectionPtr& conn) {
+        {
+          check::MutexLock lock(manager.mu);
+          manager.conn = conn;
+        }
+        net::ConnectionHandlers h;
+        h.on_message = [&manager, conn](const std::string& payload) {
+          const net::Message m =
+              net::decode_message(payload.data(), payload.size());
+          switch (m.type) {
+            case net::MessageType::kHello: {
+              core::PilotDescription d;
+              d.resource_url = "remote://mini";
+              d.nodes = 1;
+              d.walltime = 1e9;
+              std::string frame;
+              net::append_message_frame(frame,
+                                        net::make_start_pilot(m.pilot_id, d));
+              EXPECT_TRUE(conn->send(std::move(frame)));
+              break;
+            }
+            case net::MessageType::kPilotActive: {
+              check::MutexLock lock(manager.mu);
+              manager.active = true;
+              break;
+            }
+            case net::MessageType::kUnitDone: {
+              check::MutexLock lock(manager.mu);
+              manager.completions.push_back(m.unit_id);
+              break;
+            }
+            case net::MessageType::kUnitDoneBatch: {
+              check::MutexLock lock(manager.mu);
+              for (const net::WireUnitDone& d : m.completions) {
+                manager.completions.push_back(d.unit_id);
+              }
+              break;
+            }
+            default:
+              break;
+          }
+        };
+        return h;
+      });
+
+  auto payloads = std::make_shared<PayloadTable>();
+  AgentEndpointConfig config;
+  config.queue_factor = 64;
+  // Non-eager with a small delay: completions pile up, so the first flush
+  // merges far more than the send queue can hold — a guaranteed reject.
+  config.flusher.eager = false;
+  config.flusher.max_delay_seconds = 0.005;
+  AgentEndpoint agent(transport, "inproc://mini-manager", "pilot-bp",
+                      payloads, config);
+
+  const double start = pa::wall_seconds();
+  auto wait_for = [&start](const std::function<bool()>& done) {
+    while (!done() && pa::wall_seconds() - start < 20.0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  };
+  wait_for([&manager] {
+    check::MutexLock lock(manager.mu);
+    return manager.active;
+  });
+  {
+    check::MutexLock lock(manager.mu);
+    ASSERT_TRUE(manager.active);
+  }
+
+  // Feed 50 no-op units in small kUnitBatch frames (the undersized queue
+  // throttles the manager→agent direction too; retry until accepted).
+  constexpr int kUnits = 50;
+  net::ConnectionPtr to_agent;
+  {
+    check::MutexLock lock(manager.mu);
+    to_agent = manager.conn;
+  }
+  ASSERT_NE(to_agent, nullptr);
+  for (int i = 0; i < kUnits; i += 2) {
+    net::Message batch;
+    batch.type = net::MessageType::kUnitBatch;
+    batch.pilot_id = "pilot-bp";
+    for (int j = i; j < std::min(i + 2, kUnits); ++j) {
+      net::WireUnitDescription u;
+      u.unit_id = "unit-" + std::to_string(j);
+      u.duration = 0.0;  // genuinely no-op: the wire default is 1s of burn
+      batch.units.push_back(std::move(u));
+    }
+    std::string frame;
+    net::append_message_frame(frame, batch);
+    while (!to_agent->send(frame) && pa::wall_seconds() - start < 20.0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+
+  wait_for([&manager] {
+    check::MutexLock lock(manager.mu);
+    return manager.completions.size() >= kUnits;
+  });
+  std::vector<std::string> got;
+  {
+    check::MutexLock lock(manager.mu);
+    got = manager.completions;
+  }
+  EXPECT_EQ(got.size(), static_cast<std::size_t>(kUnits));
+  std::set<std::string> unique(got.begin(), got.end());
+  EXPECT_EQ(unique.size(), static_cast<std::size_t>(kUnits))
+      << "duplicate completions delivered";
+  // The fix is only proven if backpressure actually hit the agent path.
+  EXPECT_GT(agent.stats().send_rejected, 0u);
+  transport.stop();
+}
+
+// Full-stack flavor: an undersized queue between manager and agents must
+// cost only retries, never units. Exercises both directions (kUnitBatch
+// dispatch and kUnitDoneBatch completion) under adaptive frame shrinking.
+TEST(RemoteRuntime, UndersizedSendQueueLosesNoUnits) {
+  obs::MetricsRegistry registry;
+  net::InProcTransportConfig tc;
+  tc.max_queue_bytes = 768;
+  net::InProcTransport transport(tc);
+  // Non-eager manager flusher: dispatches accumulate, so early batches
+  // exceed the queue bound and must shrink-and-retry.
+  net::BatchFlusherConfig manager_flusher;
+  manager_flusher.eager = false;
+  manager_flusher.max_delay_seconds = 0.002;
+  RemoteStack stack(transport, "inproc://manager",
+                    /*heartbeat_interval=*/0.1, /*miss_limit=*/30, &registry,
+                    manager_flusher);
+  stack.agent_config.metrics = &registry;
+  // Non-eager agent outbox too: completions accumulate for 10ms before the
+  // first merge, so at least one kUnitDoneBatch frame is guaranteed to
+  // exceed the 768-byte queue no matter how the suite is scheduled.
+  stack.agent_config.flusher.eager = false;
+  stack.agent_config.flusher.max_delay_seconds = 0.01;
+
+  Pilot pilot = stack.service->submit_pilot(remote_pilot(4, "site-a"));
+  pilot.wait_active(10.0);
+
+  constexpr int kUnits = 150;
+  std::vector<int> results;
+  run_workload(*stack.service, kUnits, results);
+  for (int i = 0; i < kUnits; ++i) {
+    EXPECT_EQ(results[i], i * i) << "unit " << i;
+  }
+  EXPECT_EQ(stack.service->metrics().units_done,
+            static_cast<std::size_t>(kUnits));
+
+  std::uint64_t rejected = 0;
+  for (const auto& [name, value] : registry.counters()) {
+    if (name == "net.send_rejected" || name == "net.agent_send_rejected") {
+      rejected += value;
+    }
+  }
+  EXPECT_GT(rejected, 0u) << "queue bound never hit: test exercised nothing";
+  transport.stop();
+}
+
+// Satellite regression: completions sitting in the agent's outbox when the
+// agent dies must ship in the final exchange (dtor flush) — and units whose
+// completions did ship must NOT re-execute on the replacement pilot.
+TEST(RemoteRuntime, KilledAgentFlushesBufferedCompletionsExactlyOnce) {
+  net::InProcTransport transport;
+  RemoteStack stack(transport, "inproc://manager",
+                    /*heartbeat_interval=*/0.02, /*miss_limit=*/3);
+  // Agent outbox that never flushes on its own: completions stay buffered
+  // until the endpoint is destroyed, maximizing what is "in flight" at
+  // kill time.
+  stack.agent_config.flusher.eager = false;
+  stack.agent_config.flusher.max_delay_seconds = 3600.0;
+  stack.agent_config.flusher.max_batch = 1 << 20;
+
+  Pilot p1 = stack.service->submit_pilot(remote_pilot(2, "site-a"));
+  p1.wait_active(10.0);
+
+  std::atomic<int> executions{0};
+  constexpr int kUnits = 24;
+  std::vector<ComputeUnit> units;
+  for (int i = 0; i < kUnits; ++i) {
+    ComputeUnitDescription d;
+    d.name = "unit-" + std::to_string(i);
+    d.work = [&executions]() { executions.fetch_add(1); };
+    units.push_back(stack.service->submit_unit(d));
+  }
+  // With completions never shipping, the manager's dispatch window (2
+  // cores × factor 4 = 8) exhausts after 8 units; the agent executes
+  // exactly those 8 and buffers their completions.
+  const double start = pa::wall_seconds();
+  while (executions.load() < 8 && pa::wall_seconds() - start < 10.0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(executions.load(), 8);
+  // Let the last on_done land in the outbox before the kill.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // Kill: ~AgentEndpoint flushes the outbox as its final exchange, THEN
+  // drops the connection. The 8 buffered completions must arrive.
+  stack.farm.kill(p1.id());
+
+  // The dead pilot fails via heartbeat deadline; a replacement picks up
+  // only the 16 units whose completions never shipped. The replacement
+  // gets a normal flusher — the buffered-outbox config was only there to
+  // maximize what the kill left in flight.
+  stack.agent_config = AgentEndpointConfig{};
+  Pilot p2 = stack.service->submit_pilot(remote_pilot(2, "site-b"));
+  p2.wait_active(10.0);
+  stack.service->wait_all_units(120.0);
+  for (auto& u : units) {
+    EXPECT_EQ(u.state(), UnitState::kDone);
+  }
+  EXPECT_EQ(stack.service->metrics().units_done,
+            static_cast<std::size_t>(kUnits));
+  // Exactly-once: 8 executions on the dead pilot + 16 on the replacement.
+  // A dropped final flush would re-execute the buffered 8 (executions 32).
+  EXPECT_EQ(executions.load(), kUnits);
+  transport.stop();
+}
+
+// Mixed-version deployment: an agent that only speaks protocol v1 must get
+// per-unit kExecuteUnit dispatch (no batch frames) and still complete the
+// workload — version negotiation downgrades cleanly instead of latching
+// the decoder.
+TEST(RemoteRuntime, PreBatchAgentFallsBackToPerUnitDispatch) {
+  net::InProcTransport transport;
+  RemoteStack stack(transport, "inproc://manager");
+  stack.agent_config.wire_version = 1;
+
+  Pilot pilot = stack.service->submit_pilot(remote_pilot(2, "site-a"));
+  pilot.wait_active(10.0);
+
+  constexpr int kUnits = 40;
+  std::vector<int> results;
+  run_workload(*stack.service, kUnits, results);
+  for (int i = 0; i < kUnits; ++i) {
+    EXPECT_EQ(results[i], i * i) << "unit " << i;
+  }
+  EXPECT_EQ(stack.service->metrics().units_done,
+            static_cast<std::size_t>(kUnits));
   transport.stop();
 }
 

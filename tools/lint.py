@@ -87,13 +87,14 @@ SOCKET_ALLOWED = {
 # idiom the transport uses; `Class::send(` definitions don't match.
 SOCKET_SYSCALLS = re.compile(
     r"(?<![\w>])::(socket|bind|listen|accept4?|connect|recv|recvfrom|"
-    r"send|sendto|sendmsg|recvmsg|poll|ppoll|epoll_create1?|"
+    r"send|sendto|sendmsg|recvmsg|sendmmsg|recvmmsg|writev|readv|sendfile|"
+    r"poll|ppoll|epoll_create1?|"
     r"epoll_ctl|epoll_wait|setsockopt|getsockopt|getsockname|getpeername|"
     r"inet_pton|inet_ntop)\s*\("
 )
 SOCKET_HEADERS = re.compile(
     r'#\s*include\s*<(sys/socket\.h|netinet/[^>]+|arpa/inet\.h|poll\.h|'
-    r'sys/epoll\.h)>'
+    r'sys/epoll\.h|sys/uio\.h|sys/sendfile\.h)>'
 )
 
 # --- rule 4: state-machine bypasses ------------------------------------------
