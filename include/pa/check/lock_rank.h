@@ -23,6 +23,11 @@
 ///                                          or scheduling — the apply
 ///                                          thread owns that state lock-
 ///                                          free, see control_plane.h)
+///   11    store::StoreManager mutex     -> ctrl queue (ensure_on done-
+///                                          callbacks post commands), net
+///                                          flusher (chunk pump push), and
+///                                          the sender path (RemoteRuntime
+///                                          14 -> connection 16)
 ///   12    ControlPlane queue mutex      (command-queue depth/wakeup; cv
 ///                                          waits nest under nothing and
 ///                                          acquire nothing)
@@ -35,6 +40,10 @@
 ///   15    net transport registry        -> connection (I/O loop snapshots
 ///                                          the list, then locks one conn)
 ///   16    net connection send queue     (peers never nested)
+///   17    store::StoreAgent mutex       -> shard chunk map (assembly state
+///                                          only; replies are pushed to the
+///                                          agent outbox *after* release —
+///                                          17 may not reach back to 13)
 ///   18    rt::PayloadTable              (leaf of the net send path)
 ///   20    LocalRuntime::mutex_          -> thread pool, log
 ///   25    GroupCoordinator::mutex_      -> broker (rebalance queries
@@ -43,6 +52,8 @@
 ///   32    Broker partition mutex        (peers never nested)
 ///   34    Broker topic-stats mutex
 ///   40    InMemoryStore shard mutex     (peers never nested)
+///   42    store::Shard chunk map        (LRU + spill bookkeeping; disk I/O
+///                                          happens under it, sends never do)
 ///   45    Journal::mutex_               -> writer
 ///   50    journal::Writer::mutex_       -> metrics (set_metrics only)
 ///   60    ThreadPool::mutex_
@@ -63,11 +74,13 @@ namespace pa::check {
 
 enum class LockRank : int {
   kService = 10,
+  kStoreDirectory = 11,
   kCtrlQueue = 12,
   kNetFlusher = 13,
   kNetRuntime = 14,
   kNetTransport = 15,
   kNetConnection = 16,
+  kStoreAgent = 17,
   kNetPayload = 18,
   kRuntime = 20,
   kStreamCoordinator = 25,
@@ -75,6 +88,7 @@ enum class LockRank : int {
   kBrokerPartition = 32,
   kBrokerStats = 34,
   kStoreShard = 40,
+  kStoreChunkMap = 42,
   kJournal = 45,
   kJournalWriter = 50,
   kThreadPool = 60,

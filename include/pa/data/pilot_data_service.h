@@ -25,6 +25,10 @@
 #include "pa/infra/network.h"
 #include "pa/infra/storage.h"
 
+namespace pa::store {
+class ReplicaView;
+}  // namespace pa::store
+
 namespace pa::data {
 
 /// Description of a data unit at submission.
@@ -94,6 +98,15 @@ class PilotDataService : public core::DataServiceInterface {
       const std::vector<std::string>& du_ids, PlacementPolicy policy,
       std::uint64_t seed = 0);
 
+  /// Overlays live pa::store replica locations: for object ids the store
+  /// manages, the locality queries (bytes_on_site / total_bytes /
+  /// replica_sites) read the live replica map instead of the simulation
+  /// model, and stage_to_site completes immediately — the store's own
+  /// transfer scheduler moves the real bytes. Model-managed DUs are
+  /// unaffected, so simulated and live data can mix in one workload.
+  /// `view` must outlive the service; pass nullptr to detach.
+  void attach_live_replicas(const store::ReplicaView* view) { live_ = view; }
+
   // --- core::DataServiceInterface ---
   double bytes_on_site(const std::string& du_id,
                        const std::string& site) const override;
@@ -138,6 +151,7 @@ class PilotDataService : public core::DataServiceInterface {
   std::string pick_source(const DataUnit& du, const std::string& dst) const;
 
   infra::NetworkModel& network_;
+  const store::ReplicaView* live_ = nullptr;
   pa::IdGenerator du_ids_{"du"};
   pa::IdGenerator dp_ids_{"dp"};
   std::map<std::string, std::shared_ptr<infra::StorageSystem>> storages_;

@@ -40,6 +40,20 @@
 /// legal at version >= 2 — encoding or decoding them at version 1 is a
 /// clean pa::Error, never a decoder latch, so a v2 frame reaching a v1
 /// peer produces a protocol-version rejection rather than stream corruption.
+///
+/// Version 3 adds the data plane (pa::store, Pilot-Data as a first-class
+/// citizen): content-addressed objects travel as chunked frames so a large
+/// stage-in never head-of-line-blocks heartbeats on the same connection.
+///
+///     manager ──kObjPut────▶ agent    (one chunk; agent assembles, CRC-
+///                                      verifies, stores in its shard)
+///     manager ◀─kObjLocate── agent    (replica announce / NACK / evict)
+///     manager ──kObjGet────▶ agent    (request an object by id)
+///     manager ◀──kObjChunk── agent    (one chunk back; chunk_count = 0
+///                                      means the shard no longer holds it)
+///
+/// Object types are only legal at version >= 3, gated exactly like the
+/// batch types.
 
 #include <cstdint>
 #include <string>
@@ -52,10 +66,11 @@ namespace pa::net {
 /// Newest protocol version this build speaks. Bump on any change to the
 /// header or a body layout; receivers reject versions outside
 /// [kMinProtocolVersion, kProtocolVersion].
-inline constexpr std::uint8_t kProtocolVersion = 2;
+inline constexpr std::uint8_t kProtocolVersion = 3;
 
-/// Oldest version still decodable. Version 1 bodies are unchanged
-/// byte-for-byte under version 2; only the batch types are new.
+/// Oldest version still decodable. Version 1/2 bodies are unchanged
+/// byte-for-byte under version 3; batch types arrived in 2, object
+/// (store) types in 3.
 inline constexpr std::uint8_t kMinProtocolVersion = 1;
 
 /// Values are stable wire identifiers — append only.
@@ -71,6 +86,10 @@ enum class MessageType : std::uint8_t {
   kShutdown = 9,         ///< manager -> agent: cancel pilot, close down
   kUnitBatch = 10,       ///< manager -> agent: bulk unit dispatch (v2+)
   kUnitDoneBatch = 11,   ///< agent -> manager: bulk completions + window (v2+)
+  kObjPut = 12,          ///< manager -> agent: one object chunk to store (v3+)
+  kObjGet = 13,          ///< manager -> agent: request an object (v3+)
+  kObjChunk = 14,        ///< agent -> manager: one object chunk back (v3+)
+  kObjLocate = 15,       ///< agent -> manager: replica announce/NACK (v3+)
 };
 
 const char* to_string(MessageType t);
@@ -147,6 +166,26 @@ struct Message {
   // queued and running). The manager sizes the next kUnitBatch to it.
   std::vector<WireUnitDone> completions;
   std::int32_t window = 0;
+
+  // kObjPut / kObjChunk (v3+): one chunk of a content-addressed object.
+  // `transfer_id` correlates every chunk of one transfer (and the kObjGet
+  // that requested it); `chunk_count` in a kObjChunk of 0 is the
+  // not-found reply. `chunk_crc` is the CRC32 of `chunk_data`, computed
+  // at the source shard and verified end-to-end at the destination —
+  // it rides *inside* the frame so it survives intact frames that carry
+  // bytes corrupted at rest.
+  // kObjGet carries object_id + transfer_id only; kObjLocate carries
+  // object_id, object_bytes, `success` (false = NACK: store failed or the
+  // shard evicted/dropped the object) and `sites` (holders known to the
+  // sender; empty in agent announcements).
+  std::string object_id;
+  std::uint64_t transfer_id = 0;
+  std::uint32_t chunk_index = 0;
+  std::uint32_t chunk_count = 0;
+  std::uint64_t object_bytes = 0;
+  std::uint32_t chunk_crc = 0;
+  std::string chunk_data;
+  std::vector<std::string> sites;
 
   bool operator==(const Message&) const = default;
 };

@@ -48,6 +48,11 @@
 #include "pa/net/transport.h"
 #include "pa/obs/metrics.h"
 #include "pa/rt/local_runtime.h"
+#include "pa/store/agent.h"
+
+namespace pa::store {
+class StoreManager;
+}  // namespace pa::store
 
 namespace pa::rt {
 
@@ -87,6 +92,10 @@ struct AgentEndpointConfig {
   /// mixed-version deployments (1 = pre-batch peer; the manager then
   /// falls back to per-unit kExecuteUnit).
   std::uint8_t wire_version = net::kProtocolVersion;
+  /// The pilot's store shard (pa::store data plane). Give it a
+  /// memory_capacity_bytes / spill_dir to exercise the LRU tier; the
+  /// defaults hold everything in memory.
+  store::StoreAgentConfig store;
 };
 
 /// The Pilot-Agent: connects to the manager's endpoint, announces its
@@ -128,6 +137,9 @@ class AgentEndpoint {
   std::uint64_t completions_dropped() const {
     return outbox_.dropped_on_close();
   }
+
+  /// The pilot's store shard (direct access for tests/telemetry).
+  store::StoreAgent& store() { return store_; }
 
   /// Snapshot of the late-binding scheduler (telemetry / debugging).
   struct SchedulerStats {
@@ -196,6 +208,11 @@ class AgentEndpoint {
   std::string arena_;  ///< flusher-thread-only encode buffer
   obs::Counter* send_rejected_counter_ = nullptr;
 
+  /// Data-plane half: assembles kObjPut streams, serves kObjGet. Replies
+  /// ride outbox_ (declared below, destroyed first), so in-flight store
+  /// replies drain through the final flush like completions do.
+  store::StoreAgent store_;
+
   net::BatchFlusher outbox_;
   LocalRuntime local_;
 };
@@ -246,6 +263,19 @@ class RemoteRuntime : public core::Runtime {
   /// The table in-process agents resolve work closures from.
   const std::shared_ptr<PayloadTable>& payloads() const { return payloads_; }
 
+  /// Wires the data plane: the store's egress goes through our
+  /// connections (version-gated: pilots that negotiated protocol < 3 are
+  /// reported kGone), inbound kObjLocate/kObjChunk are forwarded to the
+  /// store, pilot lifecycle (active/lost) feeds its membership, and unit
+  /// dispatch prefetches declared input objects onto the target pilot.
+  /// Call before start_pilot; `store` must outlive the runtime. The
+  /// attached store's transfer pump is closed when the runtime is
+  /// destroyed or when another attach_store replaces it (including
+  /// nullptr) — its sender captures this runtime and has no safe
+  /// concurrent swap — so detaching ends the store's transfer service,
+  /// while its local put/get API stays usable.
+  void attach_store(store::StoreManager* store);
+
   void start_pilot(const std::string& pilot_id,
                    const core::PilotDescription& description,
                    core::PilotRuntimeCallbacks callbacks) override;
@@ -295,6 +325,10 @@ class RemoteRuntime : public core::Runtime {
   RemoteRuntimeConfig config_;
   net::Transport& transport_;
   std::string endpoint_;
+  /// Attached data plane (null = no store). Atomic because delivery and
+  /// heartbeat threads read it while the owner may attach late; writes
+  /// happen before pilots exist in practice.
+  std::atomic<store::StoreManager*> store_{nullptr};
   std::shared_ptr<PayloadTable> payloads_ = std::make_shared<PayloadTable>();
   double epoch_;
 

@@ -1,0 +1,83 @@
+#pragma once
+/// \file agent.h
+/// \brief StoreAgent: the agent-side half of the data plane — a Shard
+/// plus the wire glue that assembles inbound kObjPut streams and serves
+/// outbound kObjGet requests.
+///
+/// Owned by rt::AgentEndpoint, which routes kObjPut/kObjGet into
+/// `handle()` and enqueues whatever messages it returns on the agent
+/// outbox (the same BatchFlusher that carries completions, so chunk
+/// replies get the buffered-retry discipline for free). StoreAgent never
+/// touches a connection itself — transport access stays behind
+/// pa::net::Transport, per the socket-confinement lint.
+///
+/// Protocol behavior:
+///   * kObjPut  — chunks are assembled per transfer_id; when the last
+///     chunk lands, the object is CRC- and hash-verified and stored.
+///     Success answers kObjLocate{success=true} (the manager's directory
+///     entry + ensure trigger); verification failure answers
+///     kObjLocate{success=false} so the manager fails fast instead of
+///     waiting on an announce that never comes.
+///   * kObjGet  — the object is read CRC-verified from the shard and
+///     streamed back as kObjChunk frames; a miss (evicted, corrupt,
+///     never held) answers a single kObjChunk{chunk_count=0}.
+///   * eviction — objects the shard dropped without a spill copy are
+///     announced as kObjLocate{success=false} piggybacked on the reply
+///     batch, keeping the manager's directory honest.
+///
+/// Locking: one mutex (LockRank::kStoreAgent) guards the assembly map
+/// only; the shard has its own chunk-map lock (42) and replies are
+/// returned to the caller for sending, so rank 17 never reaches the
+/// flusher (13) or a connection (16).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pa/check/mutex.h"
+#include "pa/net/message.h"
+#include "pa/store/shard.h"
+
+namespace pa::store {
+
+struct StoreAgentConfig {
+  ShardConfig shard;
+};
+
+class StoreAgent {
+ public:
+  explicit StoreAgent(StoreAgentConfig config = {});
+
+  StoreAgent(const StoreAgent&) = delete;
+  StoreAgent& operator=(const StoreAgent&) = delete;
+
+  /// Handles one manager->agent object message; returns the replies to
+  /// enqueue on the agent outbox (never sends itself). Non-object
+  /// messages return empty.
+  std::vector<net::Message> handle(const net::Message& m);
+
+  Shard& shard() { return shard_; }
+
+ private:
+  struct Assembly {
+    std::string object_id;
+    std::vector<Chunk> chunks;
+    std::vector<bool> got;
+    std::uint32_t expected = 0;
+    std::uint32_t received = 0;
+    std::uint64_t total = 0;
+  };
+
+  std::vector<net::Message> handle_put(const net::Message& m);
+  std::vector<net::Message> handle_get(const net::Message& m);
+  static net::Message make_locate(const std::string& object_id,
+                                  std::uint64_t bytes, bool success);
+
+  mutable check::Mutex mutex_{check::LockRank::kStoreAgent,
+                              "store::StoreAgent"};
+  std::map<std::uint64_t, Assembly> assemblies_ PA_GUARDED_BY(mutex_);
+  Shard shard_;
+};
+
+}  // namespace pa::store

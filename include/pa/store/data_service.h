@@ -1,0 +1,76 @@
+#pragma once
+/// \file data_service.h
+/// \brief StoreDataService: the live store presented through the core
+/// DataServiceInterface, so WorkloadManager/DataAffinityScheduler and the
+/// stage-in barrier run against *real* replica locations instead of the
+/// simulation model.
+///
+/// This is the integration point the Pilot-Data abstraction promises:
+/// unit descriptions reference object ids in input_data, the scheduler
+/// weighs units toward sites whose shards already hold the bytes
+/// (bytes_on_site reads the replica directory), and dispatch stage-in
+/// (stage_to_site) becomes a StoreManager::ensure_on — an actual chunked
+/// transfer to the target pilot's shard, overlapped with other units'
+/// compute.
+///
+/// `ReplicaView` is the read-only slice of the same map. PilotDataService
+/// (the simulation model) accepts one via attach_live_replicas() so model
+///-driven experiments can read live placement too.
+
+#include <string>
+#include <vector>
+
+#include "pa/core/runtime.h"
+#include "pa/store/manager.h"
+
+namespace pa::store {
+
+/// Read-only live replica map: what the store actually holds right now.
+class ReplicaView {
+ public:
+  virtual ~ReplicaView() = default;
+
+  /// True when the store manages (has ever seen) this data unit.
+  virtual bool knows(const std::string& du_id) const = 0;
+  virtual double bytes(const std::string& du_id) const = 0;
+  virtual double bytes_on_site(const std::string& du_id,
+                               const std::string& site) const = 0;
+  virtual std::vector<std::string> replica_sites(
+      const std::string& du_id) const = 0;
+};
+
+/// Bridges a StoreManager into the service's data hooks. Stateless —
+/// site<->pilot mapping lives in the manager (fed by pilot_active).
+///
+/// stage_to_site always completes the barrier: a failed transfer (no
+/// pilot at the site, dead pilot, unobtainable object) fires `done`
+/// anyway and the unit runs without local bytes — stage-in degrades to
+/// remote reads rather than wedging dispatch. Failures are visible in
+/// store.ensure_failures.
+class StoreDataService : public core::DataServiceInterface,
+                         public ReplicaView {
+ public:
+  explicit StoreDataService(StoreManager& store) : store_(store) {}
+
+  // core::DataServiceInterface (bytes_on_site doubles as ReplicaView's).
+  double bytes_on_site(const std::string& du_id,
+                       const std::string& site) const override;
+  double total_bytes(const std::string& du_id) const override;
+  void stage_to_site(const std::string& du_id, const std::string& site,
+                     std::function<void()> done) override;
+  void register_output(const std::string& du_id,
+                       const std::string& site) override;
+
+  // ReplicaView
+  bool knows(const std::string& du_id) const override;
+  double bytes(const std::string& du_id) const override;
+  std::vector<std::string> replica_sites(
+      const std::string& du_id) const override;
+
+  StoreManager& store() { return store_; }
+
+ private:
+  StoreManager& store_;
+};
+
+}  // namespace pa::store

@@ -1,0 +1,69 @@
+#pragma once
+/// \file directory.h
+/// \brief Replica directory: which holders have which objects, and how
+/// many bytes each holder carries.
+///
+/// A plain (unsynchronized) value type owned by StoreManager and accessed
+/// under its mutex — the Pilot-Data catalog made live. Holders are pilot
+/// ids plus the reserved "@origin" holder for the manager's own shard.
+/// Everything here is *declared* state: a holder appears when it
+/// announces an object (kObjLocate) or when placement decides it should
+/// receive one, and disappears on NACK, eviction notice, or pilot death.
+/// The transfer layer treats a stale entry as a soft miss (a kObjGet that
+/// returns chunk_count = 0 removes the entry and retries elsewhere).
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace pa::store {
+
+/// Reserved holder name for the manager-side origin shard. '@' keeps it
+/// out of the pilot-id namespace.
+inline constexpr char kOriginHolder[] = "@origin";
+
+class ReplicaDirectory {
+ public:
+  /// Declares `holder` as having `object_id`. `bytes` updates the object
+  /// size when it was unknown (0); passing 0 keeps the known size.
+  void add(const std::string& object_id, std::uint64_t bytes,
+           const std::string& holder);
+
+  /// Removes one replica; returns true when it existed. The object stays
+  /// known (its size survives) even with zero holders left.
+  bool remove(const std::string& object_id, const std::string& holder);
+
+  /// Removes every replica held by `holder` (pilot death); returns the
+  /// affected object ids.
+  std::vector<std::string> drop_holder(const std::string& holder);
+
+  bool has(const std::string& object_id, const std::string& holder) const;
+  bool known(const std::string& object_id) const;
+  std::uint64_t bytes(const std::string& object_id) const;
+
+  /// Sorted holder list (deterministic iteration for placement).
+  std::vector<std::string> holders(const std::string& object_id) const;
+
+  /// Replica count excluding the origin holder — the number the
+  /// replication target is measured against.
+  std::size_t agent_replicas(const std::string& object_id) const;
+
+  /// Total declared bytes at `holder` (placement load).
+  std::uint64_t holder_bytes(const std::string& holder) const;
+
+  std::vector<std::string> objects() const;
+  std::size_t object_count() const { return objects_.size(); }
+
+ private:
+  struct Info {
+    std::uint64_t bytes = 0;
+    std::set<std::string> holders;
+  };
+
+  std::map<std::string, Info> objects_;
+  std::map<std::string, std::uint64_t> load_;
+};
+
+}  // namespace pa::store

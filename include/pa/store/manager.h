@@ -1,0 +1,244 @@
+#pragma once
+/// \file manager.h
+/// \brief StoreManager: the manager-side brain of the distributed object
+/// store — origin shard, replica directory, transfer orchestration,
+/// replication repair.
+///
+/// Topology is a star, like the control plane: agents only ever dial the
+/// manager, so every transfer is a manager<->agent stream and the manager
+/// is the placement authority (Pilot-Data's "manager-side placement").
+/// Replication is *pull-based from the manager's perspective*: nothing is
+/// broadcast — bytes move only when a deficit demands it (an ensure_on
+/// for a unit's stage-in, a replica count below target after a pilot
+/// death), and the manager pulls from whichever shard still holds the
+/// object when its own origin copy is gone.
+///
+/// Flows (wire vocabulary in net/message.h, v3):
+///   push  — manager streams kObjPut chunks; the agent assembles,
+///           CRC-verifies, stores, and answers kObjLocate (the announce
+///           that flips the directory entry and fires waiting ensures).
+///   pull  — manager sends kObjGet; the source agent streams kObjChunk
+///           frames back (chunk_count = 0 means it no longer holds the
+///           object: the directory entry is dropped and the next source
+///           is tried). Completed pulls land in the origin shard, then
+///           feed any pushes that were waiting on the bytes.
+///
+/// Locking: one mutex at LockRank::kStoreDirectory (11) — deliberately
+/// *below* the control-plane queue (12), the flusher (13), and the
+/// runtime/connection path (14/16), so the manager may post commands,
+/// queue pump work, and send while holding it. `done` callbacks are
+/// always invoked with the lock released (they typically post stage-in
+/// barrier commands).
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "pa/check/mutex.h"
+#include "pa/net/message.h"
+#include "pa/obs/metrics.h"
+#include "pa/store/directory.h"
+#include "pa/store/shard.h"
+#include "pa/store/transfer.h"
+
+namespace pa::store {
+
+struct StoreManagerConfig {
+  /// Origin shard (application puts + pull cache). Give it a spill_dir in
+  /// deployments that must survive agent churn: a spilled origin copy is
+  /// what makes re-replication after a sole-replica death possible.
+  ShardConfig origin;
+  /// Agent-side replicas maintained per object. 0 disables repair;
+  /// ensure_on still places on demand.
+  int replica_target = 0;
+  /// Site name reported for origin-resident bytes (replica_sites).
+  std::string origin_site = "origin";
+  TransferSchedulerConfig transfer;
+  /// Optional store.* instrumentation; must outlive the manager.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// Monotonic transfer/bookkeeping counters (also exported as store.*
+/// metrics when a registry is attached).
+struct StoreManagerStats {
+  std::uint64_t puts = 0;
+  std::uint64_t pushes = 0;       ///< object pushes queued
+  std::uint64_t push_bytes = 0;   ///< payload bytes queued for push
+  std::uint64_t pulls = 0;        ///< pulls completed into the origin
+  std::uint64_t pull_bytes = 0;
+  std::uint64_t ensure_hits = 0;  ///< ensures satisfied from the directory
+  std::uint64_t ensure_misses = 0;  ///< ensures that required a transfer
+  std::uint64_t ensure_failures = 0;
+  std::uint64_t repairs = 0;  ///< re-replications after replica loss
+  std::uint64_t pull_retries = 0;
+};
+
+class StoreManager {
+ public:
+  explicit StoreManager(StoreManagerConfig config = {});
+  ~StoreManager();
+
+  StoreManager(const StoreManager&) = delete;
+  StoreManager& operator=(const StoreManager&) = delete;
+
+  /// Wires the egress path; called by rt::RemoteRuntime::attach_store.
+  void attach_sender(ObjSender sender);
+
+  /// Fails every waiting ensure and stops the transfer pump.
+  void close();
+
+  // --- data API --------------------------------------------------------
+
+  /// Stores bytes in the origin shard; returns the content-addressed
+  /// object id (the value unit descriptions reference in input_data).
+  std::string put(std::string bytes);
+
+  /// Origin-local CRC-verified read.
+  std::optional<std::string> get(const std::string& object_id);
+
+  bool known(const std::string& object_id) const;
+  std::uint64_t object_bytes(const std::string& object_id) const;
+
+  // --- membership (driven by the runtime) ------------------------------
+
+  /// `store_capable` is false for pilots that negotiated protocol < 3;
+  /// ensures targeting them fail fast instead of waiting on an announce
+  /// that can never arrive.
+  void pilot_active(const std::string& pilot_id, const std::string& site,
+                    bool store_capable);
+
+  /// Drops the pilot's replicas, fails its waiting ensures, reroutes
+  /// pulls sourced from it, and repairs every object that fell below the
+  /// replica target — the data-plane half of heartbeat death.
+  void pilot_lost(const std::string& pilot_id);
+
+  // --- transfers -------------------------------------------------------
+
+  /// Ensures `pilot_id`'s shard holds `object_id`; `done(true)` fires
+  /// once the agent announces it (immediately when the directory already
+  /// shows it), `done(false)` on unknown object/pilot, store NACK, or
+  /// pilot death. Concurrent ensures for the same (pilot, object)
+  /// coalesce into one transfer.
+  void ensure_on(const std::string& pilot_id, const std::string& object_id,
+                 std::function<void(bool)> done);
+
+  /// Fire-and-forget ensure for every *known* object id in the list —
+  /// the unit-assignment prefetch hook (unknown ids are skipped: unit
+  /// input_data may reference data units the store does not manage).
+  void prefetch(const std::string& pilot_id,
+                const std::vector<std::string>& object_ids);
+
+  /// Starts transfers until `object_id` has `config.replica_target`
+  /// agent-side replicas (fire-and-forget; poll replica_pilots).
+  void replicate(const std::string& object_id);
+
+  // --- wire ingress (forwarded by rt::RemoteRuntime) -------------------
+
+  /// Handles kObjLocate / kObjChunk from `pilot_id`. Safe to call from
+  /// delivery threads; never invokes `done` callbacks under the lock.
+  void on_agent_message(const std::string& pilot_id, const net::Message& m);
+
+  // --- live replica map ------------------------------------------------
+
+  std::vector<std::string> replica_sites(const std::string& object_id) const;
+  std::vector<std::string> replica_pilots(const std::string& object_id) const;
+  double bytes_at_site(const std::string& object_id,
+                       const std::string& site) const;
+  /// Pilot to stage through for `site`: a holder of `object_id` at the
+  /// site when one exists, else any store-capable pilot there ("" when
+  /// the site has none).
+  std::string pick_pilot_for(const std::string& object_id,
+                             const std::string& site) const;
+  /// Declares a replica at `site` (unit output registration).
+  void record_output(const std::string& object_id, const std::string& site);
+
+  Shard& origin() { return origin_; }
+  const StoreManagerConfig& config() const { return config_; }
+  StoreManagerStats stats() const;
+  const TransferScheduler& transfers() const { return xfer_; }
+
+ private:
+  struct PilotInfo {
+    std::string site;
+    bool capable = true;
+  };
+  struct Ensure {
+    std::vector<std::function<void(bool)>> done;
+    bool queued = false;  ///< push frames already handed to the pump
+  };
+  struct Pull {
+    std::string object_id;
+    std::string source;
+    std::vector<Chunk> chunks;
+    std::vector<bool> got;  ///< per-index arrival flags (dup detection)
+    std::uint32_t expected = 0;
+    std::uint32_t received = 0;
+    std::uint64_t total = 0;
+    std::set<std::string> tried;
+  };
+  using Done = std::function<void(bool)>;
+  using FireList = std::vector<std::pair<Done, bool>>;
+
+  void ensure_on_locked(const std::string& pilot_id,
+                        const std::string& object_id, Done done,
+                        FireList& fire) PA_REQUIRES(mutex_);
+  /// Returns false when the object is unobtainable (fail path fired and
+  /// every pending ensure for it was erased).
+  bool start_transfer_locked(const std::string& pilot_id,
+                             const std::string& object_id, FireList& fire)
+      PA_REQUIRES(mutex_);
+  bool queue_push_locked(const std::string& pilot_id,
+                         const std::string& object_id, FireList& fire)
+      PA_REQUIRES(mutex_);
+  bool start_pull_locked(const std::string& object_id, FireList& fire)
+      PA_REQUIRES(mutex_);
+  bool choose_source_locked(Pull& pull) PA_REQUIRES(mutex_);
+  void fail_object_locked(const std::string& object_id, FireList& fire)
+      PA_REQUIRES(mutex_);
+  void repair_to_locked(const std::string& object_id, int target,
+                        FireList& fire) PA_REQUIRES(mutex_);
+  void collect_ensure_locked(const std::string& pilot_id,
+                             const std::string& object_id, bool ok,
+                             FireList& fire) PA_REQUIRES(mutex_);
+  void update_gauges_locked() PA_REQUIRES(mutex_);
+  static void fire(FireList& fire);
+
+  const StoreManagerConfig config_;
+  Shard origin_;
+  TransferScheduler xfer_;
+
+  mutable check::Mutex mutex_{check::LockRank::kStoreDirectory,
+                              "store::StoreManager"};
+  ReplicaDirectory directory_ PA_GUARDED_BY(mutex_);
+  std::map<std::string, PilotInfo> pilots_ PA_GUARDED_BY(mutex_);
+  std::map<std::string, std::vector<std::string>> sites_ PA_GUARDED_BY(mutex_);
+  std::map<std::pair<std::string, std::string>, Ensure> pending_
+      PA_GUARDED_BY(mutex_);
+  std::map<std::uint64_t, Pull> pulls_ PA_GUARDED_BY(mutex_);
+  std::map<std::string, std::uint64_t> pull_by_object_ PA_GUARDED_BY(mutex_);
+  std::uint64_t next_transfer_ PA_GUARDED_BY(mutex_) = 1;
+  bool closed_ PA_GUARDED_BY(mutex_) = false;
+  StoreManagerStats stats_ PA_GUARDED_BY(mutex_);
+
+  /// Pre-resolved store.* instrument handles (null when detached).
+  struct MetricsHandles {
+    obs::Counter* puts = nullptr;
+    obs::Counter* pushes = nullptr;
+    obs::Counter* push_bytes = nullptr;
+    obs::Counter* pulls = nullptr;
+    obs::Counter* pull_bytes = nullptr;
+    obs::Counter* ensure_hits = nullptr;
+    obs::Counter* ensure_misses = nullptr;
+    obs::Counter* ensure_failures = nullptr;
+    obs::Counter* repairs = nullptr;
+    obs::Gauge* objects = nullptr;
+    obs::Gauge* pending = nullptr;
+  };
+  const MetricsHandles metrics_;
+};
+
+}  // namespace pa::store

@@ -1,0 +1,107 @@
+#pragma once
+/// \file transfer.h
+/// \brief TransferScheduler: paces chunked object transfers onto pilot
+/// connections so stage-in overlaps compute without starving control
+/// traffic.
+///
+/// All manager-side object egress (kObjPut chunk streams, kObjGet
+/// requests) flows through one net::BatchFlusher pump. The pump hands the
+/// sender at most `chunks_per_pass` frames per sink pass, so even a
+/// multi-gigabyte stage-in is interleaved — heartbeats and unit batches
+/// queued on the same connection get a turn between every pass instead of
+/// waiting behind the whole object (the no-head-of-line-blocking half of
+/// "data as a first-class citizen").
+///
+/// Delivery contract (mirrors the dispatch sink in RemoteRuntime):
+///   * kSent  — frame accepted by the connection;
+///   * kBusy  — transient backpressure: the frame *and every later frame
+///              for the same pilot* are retained in order and retried
+///              after a backoff, so a chunk stream never reorders;
+///   * kGone  — the pilot is unknown, dead, or speaks a pre-v3 protocol:
+///              the frame is dropped (pilot death already fails the
+///              waiting ensures at the manager level).
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pa/net/flusher.h"
+#include "pa/net/message.h"
+#include "pa/store/chunking.h"
+
+namespace pa::store {
+
+enum class SendResult {
+  kSent,
+  kBusy,
+  kGone,
+};
+
+/// Sends one object-plane message to a pilot's connection. Supplied by
+/// rt::RemoteRuntime (which owns connections and version negotiation);
+/// must be callable from the pump thread with no caller locks held. The
+/// message is passed by reference so a kBusy result leaves it intact for
+/// retry; the sender may stamp header fields (version, seq) in place.
+using ObjSender =
+    std::function<SendResult(const std::string& pilot_id, net::Message&)>;
+
+struct TransferSchedulerConfig {
+  /// Max chunk frames handed to the sender per pump pass (the
+  /// interleaving knob — also the pump's batch-size trigger).
+  std::size_t chunks_per_pass = 8;
+  /// Backoff before retrying frames a busy connection rejected.
+  double retry_delay_seconds = 0.002;
+};
+
+class TransferScheduler {
+ public:
+  explicit TransferScheduler(TransferSchedulerConfig config = {});
+  ~TransferScheduler();
+
+  TransferScheduler(const TransferScheduler&) = delete;
+  TransferScheduler& operator=(const TransferScheduler&) = delete;
+
+  /// Must be called before the first transfer; the sender is immutable
+  /// afterwards.
+  void attach_sender(ObjSender sender);
+
+  /// Streams every chunk of an object to `pilot_id` as kObjPut frames
+  /// under one transfer id. Returns immediately; delivery is paced by the
+  /// pump.
+  void push_object(const std::string& pilot_id, const std::string& object_id,
+                   std::uint64_t transfer_id, const std::vector<Chunk>& chunks,
+                   std::uint64_t total_bytes);
+
+  /// Sends a kObjGet for `object_id` under `transfer_id`.
+  void request_object(const std::string& pilot_id,
+                      const std::string& object_id,
+                      std::uint64_t transfer_id);
+
+  /// Final delivery attempt, then drops and joins the pump thread.
+  void close();
+
+  std::uint64_t chunks_sent() const {
+    return chunks_sent_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bytes_sent() const {
+    return bytes_sent_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t chunks_dropped() const {
+    return chunks_dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<net::Message> pump_sink(std::vector<net::Message> batch);
+
+  const TransferSchedulerConfig config_;
+  ObjSender sender_;
+  std::atomic<std::uint64_t> chunks_sent_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> chunks_dropped_{0};
+  std::unique_ptr<net::BatchFlusher> pump_;  ///< constructed last
+};
+
+}  // namespace pa::store

@@ -209,10 +209,15 @@ std::vector<Assignment> DataAffinityScheduler::schedule(
         local = it->second;
       }
       // Tie-break towards emptier pilots to avoid convoying everything
-      // onto one allocation when data is replicated everywhere.
+      // onto one allocation when data is replicated everywhere; break
+      // remaining ties by pilot id so a unit with no known replica site
+      // (local == 0 everywhere) lands deterministically regardless of
+      // the order the pilot snapshot happens to arrive in.
       if (local > best_local ||
           (local == best_local && best != kNone &&
-           cap.free_[i] > cap.free_[best])) {
+           (cap.free_[i] > cap.free_[best] ||
+            (cap.free_[i] == cap.free_[best] &&
+             pilots[i].pilot_id < pilots[best].pilot_id)))) {
         best = i;
         best_local = local;
       }

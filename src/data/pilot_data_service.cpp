@@ -6,6 +6,7 @@
 #include "pa/common/error.h"
 #include "pa/common/log.h"
 #include "pa/common/rng.h"
+#include "pa/store/data_service.h"
 
 namespace pa::data {
 
@@ -271,17 +272,33 @@ std::vector<std::string> PilotDataService::place_replicas(
 
 double PilotDataService::bytes_on_site(const std::string& du_id,
                                        const std::string& site) const {
+  if (live_ != nullptr && live_->knows(du_id)) {
+    return live_->bytes_on_site(du_id, site);
+  }
   const DataUnit& du = unit(du_id);
   return du.replica_sites.count(site) > 0 ? du.bytes : 0.0;
 }
 
 double PilotDataService::total_bytes(const std::string& du_id) const {
+  if (live_ != nullptr && live_->knows(du_id)) {
+    return live_->bytes(du_id);
+  }
   return unit(du_id).bytes;
 }
 
 void PilotDataService::stage_to_site(const std::string& du_id,
                                      const std::string& site,
                                      std::function<void()> done) {
+  if (live_ != nullptr && live_->knows(du_id)) {
+    // Live object: the store's transfer scheduler owns the real bytes
+    // (prefetch started at dispatch); simulating a second transfer here
+    // would double-charge the network model and stall the barrier on a
+    // model replica that does not exist.
+    if (done) {
+      done();
+    }
+    return;
+  }
   replicate(du_id, site, std::move(done));
 }
 
@@ -309,6 +326,9 @@ DataUnitState PilotDataService::state(const std::string& du_id) const {
 
 std::vector<std::string> PilotDataService::replica_sites(
     const std::string& du_id) const {
+  if (live_ != nullptr && live_->knows(du_id)) {
+    return live_->replica_sites(du_id);
+  }
   const DataUnit& du = unit(du_id);
   return {du.replica_sites.begin(), du.replica_sites.end()};
 }

@@ -135,6 +135,11 @@ bool is_batch_type(MessageType t) {
   return t == MessageType::kUnitBatch || t == MessageType::kUnitDoneBatch;
 }
 
+bool is_object_type(MessageType t) {
+  return t == MessageType::kObjPut || t == MessageType::kObjGet ||
+         t == MessageType::kObjChunk || t == MessageType::kObjLocate;
+}
+
 }  // namespace
 
 const char* to_string(MessageType t) {
@@ -161,6 +166,14 @@ const char* to_string(MessageType t) {
       return "unit_batch";
     case MessageType::kUnitDoneBatch:
       return "unit_done_batch";
+    case MessageType::kObjPut:
+      return "obj_put";
+    case MessageType::kObjGet:
+      return "obj_get";
+    case MessageType::kObjChunk:
+      return "obj_chunk";
+    case MessageType::kObjLocate:
+      return "obj_locate";
   }
   return "unknown";
 }
@@ -179,6 +192,11 @@ void encode_message_into(std::string& out, const Message& m) {
   if (is_batch_type(m.type) && m.version < 2) {
     throw Error("net message type " + std::string(to_string(m.type)) +
                 " requires protocol version 2, peer negotiated " +
+                std::to_string(m.version));
+  }
+  if (is_object_type(m.type) && m.version < 3) {
+    throw Error("net message type " + std::string(to_string(m.type)) +
+                " requires protocol version 3, peer negotiated " +
                 std::to_string(m.version));
   }
   put_u8(out, m.version);
@@ -232,6 +250,26 @@ void encode_message_into(std::string& out, const Message& m) {
         put_f64(out, d.timestamp);
       }
       break;
+    case MessageType::kObjPut:
+    case MessageType::kObjChunk:
+      put_string(out, m.object_id);
+      put_u64(out, m.transfer_id);
+      put_u32(out, m.chunk_index);
+      put_u32(out, m.chunk_count);
+      put_u64(out, m.object_bytes);
+      put_u32(out, m.chunk_crc);
+      put_string(out, m.chunk_data);
+      break;
+    case MessageType::kObjGet:
+      put_string(out, m.object_id);
+      put_u64(out, m.transfer_id);
+      break;
+    case MessageType::kObjLocate:
+      put_string(out, m.object_id);
+      put_u64(out, m.object_bytes);
+      put_u8(out, m.success ? 1 : 0);
+      put_string_list(out, m.sites);
+      break;
   }
 }
 
@@ -244,13 +282,19 @@ Message decode_message(const char* data, std::size_t size) {
   }
   const auto type = c.take<std::uint8_t>();
   if (type < static_cast<std::uint8_t>(MessageType::kHello) ||
-      type > static_cast<std::uint8_t>(MessageType::kUnitDoneBatch)) {
+      type > static_cast<std::uint8_t>(MessageType::kObjLocate)) {
     throw Error("net message has unknown type " + std::to_string(type));
   }
   if (is_batch_type(static_cast<MessageType>(type)) && version < 2) {
     throw Error("net message type " +
                 std::string(to_string(static_cast<MessageType>(type))) +
                 " requires protocol version 2, header says " +
+                std::to_string(version));
+  }
+  if (is_object_type(static_cast<MessageType>(type)) && version < 3) {
+    throw Error("net message type " +
+                std::string(to_string(static_cast<MessageType>(type))) +
+                " requires protocol version 3, header says " +
                 std::to_string(version));
   }
   (void)c.take<std::uint16_t>();  // reserved
@@ -317,6 +361,26 @@ Message decode_message(const char* data, std::size_t size) {
       }
       break;
     }
+    case MessageType::kObjPut:
+    case MessageType::kObjChunk:
+      m.object_id = c.take_string();
+      m.transfer_id = c.take<std::uint64_t>();
+      m.chunk_index = c.take<std::uint32_t>();
+      m.chunk_count = c.take<std::uint32_t>();
+      m.object_bytes = c.take<std::uint64_t>();
+      m.chunk_crc = c.take<std::uint32_t>();
+      m.chunk_data = c.take_string();
+      break;
+    case MessageType::kObjGet:
+      m.object_id = c.take_string();
+      m.transfer_id = c.take<std::uint64_t>();
+      break;
+    case MessageType::kObjLocate:
+      m.object_id = c.take_string();
+      m.object_bytes = c.take<std::uint64_t>();
+      m.success = c.take<std::uint8_t>() != 0;
+      m.sites = c.take_string_list();
+      break;
   }
   if (c.pos != size) {
     throw Error("net message has trailing bytes");

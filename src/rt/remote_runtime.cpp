@@ -12,6 +12,7 @@
 #include "pa/net/message.h"
 #include "pa/net/wire.h"
 #include "pa/saga/url.h"
+#include "pa/store/manager.h"
 
 namespace pa::rt {
 
@@ -53,6 +54,7 @@ AgentEndpoint::AgentEndpoint(net::Transport& transport,
           config_.metrics != nullptr
               ? &config_.metrics->counter("net.agent_send_rejected")
               : nullptr),
+      store_(config_.store),
       outbox_(
           [this](std::vector<net::Message> batch, net::FlushReason reason) {
             return ship(std::move(batch), reason);
@@ -355,6 +357,20 @@ void AgentEndpoint::handle_message(const std::string& payload) {
       }
       break;
     }
+    case net::MessageType::kObjPut:
+    case net::MessageType::kObjGet: {
+      // Data plane: store replies (announces, chunk streams) ride the
+      // completion outbox so they get batching + buffered retry, and so
+      // a chunk stream never jumps ahead of completions on the wire.
+      std::vector<net::Message> replies = store_.handle(m);
+      if (!replies.empty()) {
+        for (net::Message& r : replies) {
+          outbox_.push(std::move(r));
+        }
+        outbox_.kick();
+      }
+      break;
+    }
     case net::MessageType::kShutdown: {
       {
         check::MutexLock lock(sched_mu_);
@@ -433,6 +449,12 @@ RemoteRuntime::~RemoteRuntime() {
   if (dispatch_ != nullptr) {
     dispatch_->close();
   }
+  // An attached store's transfer pump sends through `this`; close it
+  // (joining the pump thread) before the runtime's members die. The
+  // store's local data API stays usable — only in-flight transfers fail.
+  if (store::StoreManager* s = store_.load()) {
+    s->close();
+  }
   // close() barriers sever every handler that captures `this` before the
   // runtime's members die. Teardown fires no callbacks (like
   // ~LocalRuntime).
@@ -458,6 +480,55 @@ RemoteRuntime::~RemoteRuntime() {
 }
 
 double RemoteRuntime::now() const { return pa::wall_seconds() - epoch_; }
+
+void RemoteRuntime::attach_store(store::StoreManager* store) {
+  store::StoreManager* old = store_.exchange(store);
+  if (old != nullptr && old != store) {
+    // The previous store's transfer pump holds a sender that captures
+    // `this`; closing the store joins the pump thread, so the old lambda
+    // can never fire again (std::function has no safe concurrent swap).
+    old->close();
+  }
+  if (store == nullptr) {
+    return;
+  }
+  // The store's egress path. Called from the transfer pump with no locks
+  // held; we take mutex_ (rank 14) to resolve the pilot, stamp the
+  // header, and reserve a seq, then send on a copied connection outside
+  // the lock (same discipline as the dispatch sink).
+  store->attach_sender([this](const std::string& pilot_id,
+                              net::Message& m) -> store::SendResult {
+    net::ConnectionPtr conn;
+    {
+      check::MutexLock lock(mutex_);
+      if (stopping_) {
+        return store::SendResult::kGone;
+      }
+      const auto it = pilots_.find(pilot_id);
+      if (it == pilots_.end()) {
+        return store::SendResult::kGone;
+      }
+      auto& entry = *it->second;
+      if (entry.peer_version < 3) {
+        // Pre-object peer: it can never host a shard. The store already
+        // treats such pilots as store-incapable; dropping here is the
+        // backstop for races around version renegotiation.
+        return store::SendResult::kGone;
+      }
+      if (entry.conn == nullptr) {
+        // Agent hasn't said hello yet; retry after the pump's backoff.
+        return store::SendResult::kBusy;
+      }
+      m.version = entry.peer_version;
+      m.seq = entry.seq++;  // seq gaps from rejected sends are harmless
+      conn = entry.conn;
+    }
+    std::string frame;
+    net::append_message_frame(frame, m);
+    return conn->send(std::move(frame)) ? store::SendResult::kSent
+                                        : store::SendResult::kBusy;
+  });
+}
 
 bool RemoteRuntime::send_on(const net::ConnectionPtr& conn,
                             net::Message message) {
@@ -519,6 +590,9 @@ void RemoteRuntime::cancel_pilot(const std::string& pilot_id) {
     send_on(entry->conn, std::move(bye));
     entry->conn->close();
   }
+  if (store::StoreManager* s = store_.load()) {
+    s->pilot_lost(pilot_id);  // replicas on a cancelled pilot are gone
+  }
   // Synchronous kCanceled, mirroring LocalRuntime: the service records
   // the terminal state before this call returns, so teardown ordering
   // (service destroyed before runtime) stays safe.
@@ -547,6 +621,14 @@ void RemoteRuntime::execute_unit(const std::string& pilot_id,
     // Park the closure BEFORE the message can arrive; re-put on every
     // attempt so requeued units resolve again.
     payloads_->put(unit_id, description.work);
+  }
+  if (!description.input_data.empty()) {
+    // Overlap stage-in with the dispatch round-trip: start moving the
+    // unit's declared inputs toward the pilot's shard now (no locks held;
+    // ids the store doesn't manage are skipped).
+    if (store::StoreManager* s = store_.load()) {
+      s->prefetch(pilot_id, description.input_data);
+    }
   }
   // The hot path ends here: the dispatch flusher coalesces queued units
   // into kUnitBatch frames sized to the agent's window. Pushed with
@@ -754,6 +836,7 @@ void RemoteRuntime::handle_message(
     }
     case net::MessageType::kPilotActive: {
       std::function<void(const std::string&, int, const std::string&)> cb;
+      std::uint8_t peer_version = net::kProtocolVersion;
       {
         check::MutexLock lock(mutex_);
         const auto it = pilots_.find(m.pilot_id);
@@ -767,7 +850,15 @@ void RemoteRuntime::handle_message(
         it->second->window =
             static_cast<std::int64_t>(m.total_cores) *
             config_.dispatch_window_factor;
+        peer_version = it->second->peer_version;
         cb = it->second->callbacks.on_active;
+      }
+      // Register the pilot's shard with the data plane BEFORE the service
+      // callback: the service may dispatch (and stage-in) immediately,
+      // and ensure_on must already know the pilot's site. Store calls run
+      // with mutex_ released — its lock ranks below ours (11 < 14).
+      if (store::StoreManager* s = store_.load()) {
+        s->pilot_active(m.pilot_id, m.site, peer_version >= 3);
       }
       // Callbacks run with no net lock held: they re-enter the service
       // (rank 10 < ours) — see the lock-hierarchy note in the header.
@@ -795,8 +886,30 @@ void RemoteRuntime::handle_message(
         cb = it->second->callbacks.on_terminated;
         pilots_.erase(it);
       }
+      // Data-plane half of the death: drop the shard's replicas, fail
+      // waiting ensures, re-replicate what fell below target.
+      if (store::StoreManager* s = store_.load()) {
+        s->pilot_lost(m.pilot_id);
+      }
       if (cb) {
         cb(m.pilot_id, m.pilot_state);
+      }
+      break;
+    }
+    case net::MessageType::kObjLocate:
+    case net::MessageType::kObjChunk: {
+      {
+        check::MutexLock lock(mutex_);
+        const auto it = pilots_.find(m.pilot_id);
+        if (it == pilots_.end()) {
+          return;  // stale data frame from a dead pilot
+        }
+        // A shard mid-transfer is alive even when a heavy pull crowds
+        // out heartbeat acks.
+        it->second->last_alive = now();
+      }
+      if (store::StoreManager* s = store_.load()) {
+        s->on_agent_message(m.pilot_id, m);
       }
       break;
     }
@@ -955,6 +1068,10 @@ void RemoteRuntime::heartbeat_loop() {
       }
       if (d.conn) {
         d.conn->close();
+      }
+      if (store::StoreManager* s = store_.load()) {
+        s->pilot_lost(d.pilot_id);  // before requeue: the orphaned units'
+                                    // stage-ins must not target the corpse
       }
       if (d.on_terminated) {
         d.on_terminated(d.pilot_id, core::PilotState::kFailed);

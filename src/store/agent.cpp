@@ -1,0 +1,120 @@
+#include "pa/store/agent.h"
+
+namespace pa::store {
+
+StoreAgent::StoreAgent(StoreAgentConfig config) : shard_(config.shard) {}
+
+net::Message StoreAgent::make_locate(const std::string& object_id,
+                                     std::uint64_t bytes, bool success) {
+  net::Message reply;
+  reply.type = net::MessageType::kObjLocate;
+  reply.object_id = object_id;
+  reply.object_bytes = bytes;
+  reply.success = success;
+  return reply;
+}
+
+std::vector<net::Message> StoreAgent::handle(const net::Message& m) {
+  switch (m.type) {
+    case net::MessageType::kObjPut:
+      return handle_put(m);
+    case net::MessageType::kObjGet:
+      return handle_get(m);
+    default:
+      return {};
+  }
+}
+
+std::vector<net::Message> StoreAgent::handle_put(const net::Message& m) {
+  if (m.chunk_count == 0 || m.chunk_index >= m.chunk_count) {
+    return {make_locate(m.object_id, m.object_bytes, false)};
+  }
+  Assembly ready;
+  bool complete = false;
+  {
+    check::MutexLock lock(mutex_);
+    Assembly& a = assemblies_[m.transfer_id];
+    if (a.expected == 0) {
+      a.object_id = m.object_id;
+      a.expected = m.chunk_count;
+      a.chunks.resize(m.chunk_count);
+      a.got.assign(m.chunk_count, false);
+      a.total = m.object_bytes;
+    }
+    if (a.object_id != m.object_id || a.expected != m.chunk_count) {
+      // Inconsistent stream for this transfer id; abandon the assembly
+      // and NACK so the manager's ensure fails fast.
+      assemblies_.erase(m.transfer_id);
+      return {make_locate(m.object_id, m.object_bytes, false)};
+    }
+    if (!a.got[m.chunk_index]) {
+      a.got[m.chunk_index] = true;
+      a.chunks[m.chunk_index] = Chunk{m.chunk_data, m.chunk_crc};
+      ++a.received;
+    }
+    if (a.received == a.expected) {
+      ready = std::move(a);
+      assemblies_.erase(m.transfer_id);
+      complete = true;
+    }
+  }
+  if (!complete) {
+    return {};
+  }
+  // Store outside the assembly lock (17) — put_chunks takes the shard's
+  // chunk-map lock (42) and may do spill I/O.
+  PutResult res =
+      shard_.put_chunks(ready.object_id, std::move(ready.chunks),
+                        ready.total);
+  std::vector<net::Message> replies;
+  replies.push_back(make_locate(ready.object_id, ready.total, res.stored));
+  for (const std::string& dropped : res.dropped) {
+    replies.push_back(make_locate(dropped, 0, false));
+  }
+  return replies;
+}
+
+std::vector<net::Message> StoreAgent::handle_get(const net::Message& m) {
+  auto chunks = shard_.chunks_of(m.object_id);
+  std::vector<net::Message> replies;
+  if (!chunks) {
+    net::Message miss;
+    miss.type = net::MessageType::kObjChunk;
+    miss.object_id = m.object_id;
+    miss.transfer_id = m.transfer_id;
+    miss.chunk_count = 0;
+    replies.push_back(std::move(miss));
+    return replies;
+  }
+  const std::uint64_t total = shard_.object_bytes(m.object_id);
+  auto count = static_cast<std::uint32_t>(chunks->size());
+  if (count == 0) {
+    // Zero-byte object: one empty chunk frame carries the metadata.
+    net::Message empty;
+    empty.type = net::MessageType::kObjChunk;
+    empty.object_id = m.object_id;
+    empty.transfer_id = m.transfer_id;
+    empty.chunk_index = 0;
+    empty.chunk_count = 1;
+    empty.object_bytes = 0;
+    empty.chunk_crc = chunk_crc(std::string());
+    replies.push_back(std::move(empty));
+    return replies;
+  }
+  replies.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    net::Message chunk;
+    chunk.type = net::MessageType::kObjChunk;
+    chunk.object_id = m.object_id;
+    chunk.transfer_id = m.transfer_id;
+    chunk.chunk_index = i;
+    chunk.chunk_count = count;
+    chunk.object_bytes = total;
+    chunk.chunk_crc = (*chunks)[i].crc;
+    chunk.chunk_data = std::move((*chunks)[i].data);
+    replies.push_back(std::move(chunk));
+  }
+  return replies;
+}
+
+}  // namespace pa::store

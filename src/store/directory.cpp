@@ -1,0 +1,93 @@
+#include "pa/store/directory.h"
+
+namespace pa::store {
+
+void ReplicaDirectory::add(const std::string& object_id, std::uint64_t bytes,
+                           const std::string& holder) {
+  Info& info = objects_[object_id];
+  if (info.bytes == 0) {
+    info.bytes = bytes;
+  }
+  if (info.holders.insert(holder).second) {
+    load_[holder] += info.bytes;
+  }
+}
+
+bool ReplicaDirectory::remove(const std::string& object_id,
+                              const std::string& holder) {
+  auto it = objects_.find(object_id);
+  if (it == objects_.end() || it->second.holders.erase(holder) == 0) {
+    return false;
+  }
+  auto lit = load_.find(holder);
+  if (lit != load_.end()) {
+    lit->second -= it->second.bytes > lit->second ? lit->second
+                                                  : it->second.bytes;
+    if (lit->second == 0) {
+      load_.erase(lit);
+    }
+  }
+  return true;
+}
+
+std::vector<std::string> ReplicaDirectory::drop_holder(
+    const std::string& holder) {
+  std::vector<std::string> affected;
+  for (auto& [id, info] : objects_) {
+    if (info.holders.erase(holder) != 0) {
+      affected.push_back(id);
+    }
+  }
+  load_.erase(holder);
+  return affected;
+}
+
+bool ReplicaDirectory::has(const std::string& object_id,
+                           const std::string& holder) const {
+  auto it = objects_.find(object_id);
+  return it != objects_.end() && it->second.holders.count(holder) != 0;
+}
+
+bool ReplicaDirectory::known(const std::string& object_id) const {
+  return objects_.count(object_id) != 0;
+}
+
+std::uint64_t ReplicaDirectory::bytes(const std::string& object_id) const {
+  auto it = objects_.find(object_id);
+  return it == objects_.end() ? 0 : it->second.bytes;
+}
+
+std::vector<std::string> ReplicaDirectory::holders(
+    const std::string& object_id) const {
+  auto it = objects_.find(object_id);
+  if (it == objects_.end()) {
+    return {};
+  }
+  return {it->second.holders.begin(), it->second.holders.end()};
+}
+
+std::size_t ReplicaDirectory::agent_replicas(
+    const std::string& object_id) const {
+  auto it = objects_.find(object_id);
+  if (it == objects_.end()) {
+    return 0;
+  }
+  return it->second.holders.size() -
+         it->second.holders.count(kOriginHolder);
+}
+
+std::uint64_t ReplicaDirectory::holder_bytes(const std::string& holder) const {
+  auto it = load_.find(holder);
+  return it == load_.end() ? 0 : it->second;
+}
+
+std::vector<std::string> ReplicaDirectory::objects() const {
+  std::vector<std::string> ids;
+  ids.reserve(objects_.size());
+  for (const auto& [id, info] : objects_) {
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+}  // namespace pa::store

@@ -1,0 +1,635 @@
+#include "pa/store/manager.h"
+
+#include <algorithm>
+
+namespace pa::store {
+
+namespace {
+
+void bump(obs::Counter* c, std::uint64_t n = 1) {
+  if (c != nullptr) {
+    c->inc(n);
+  }
+}
+
+}  // namespace
+
+StoreManager::StoreManager(StoreManagerConfig config)
+    : config_(std::move(config)),
+      origin_(config_.origin),
+      xfer_(config_.transfer),
+      metrics_([&] {
+        MetricsHandles h;
+        if (config_.metrics != nullptr) {
+          obs::MetricsRegistry& r = *config_.metrics;
+          h.puts = &r.counter("store.puts");
+          h.pushes = &r.counter("store.pushes");
+          h.push_bytes = &r.counter("store.push_bytes");
+          h.pulls = &r.counter("store.pulls");
+          h.pull_bytes = &r.counter("store.pull_bytes");
+          h.ensure_hits = &r.counter("store.ensure_hits");
+          h.ensure_misses = &r.counter("store.ensure_misses");
+          h.ensure_failures = &r.counter("store.ensure_failures");
+          h.repairs = &r.counter("store.repairs");
+          h.objects = &r.gauge("store.objects");
+          h.pending = &r.gauge("store.pending_transfers");
+        }
+        return h;
+      }()) {}
+
+StoreManager::~StoreManager() { close(); }
+
+void StoreManager::attach_sender(ObjSender sender) {
+  xfer_.attach_sender(std::move(sender));
+}
+
+void StoreManager::close() {
+  FireList to_fire;
+  {
+    check::MutexLock lock(mutex_);
+    if (closed_) {
+      return;
+    }
+    closed_ = true;
+    for (auto& [key, ensure] : pending_) {
+      for (Done& d : ensure.done) {
+        to_fire.emplace_back(std::move(d), false);
+      }
+    }
+    pending_.clear();
+    pulls_.clear();
+    pull_by_object_.clear();
+    update_gauges_locked();
+  }
+  fire(to_fire);
+  xfer_.close();
+}
+
+std::string StoreManager::put(std::string bytes) {
+  const std::uint64_t total = bytes.size();
+  PutResult res = origin_.put(std::move(bytes));
+  check::MutexLock lock(mutex_);
+  ++stats_.puts;
+  bump(metrics_.puts);
+  directory_.add(res.object_id, total, kOriginHolder);
+  for (const std::string& dropped : res.dropped) {
+    directory_.remove(dropped, kOriginHolder);
+  }
+  update_gauges_locked();
+  return res.object_id;
+}
+
+std::optional<std::string> StoreManager::get(const std::string& object_id) {
+  return origin_.get(object_id);
+}
+
+bool StoreManager::known(const std::string& object_id) const {
+  check::MutexLock lock(mutex_);
+  return directory_.known(object_id);
+}
+
+std::uint64_t StoreManager::object_bytes(const std::string& object_id) const {
+  check::MutexLock lock(mutex_);
+  return directory_.bytes(object_id);
+}
+
+void StoreManager::pilot_active(const std::string& pilot_id,
+                                const std::string& site,
+                                bool store_capable) {
+  check::MutexLock lock(mutex_);
+  auto it = pilots_.find(pilot_id);
+  if (it != pilots_.end() && it->second.site != site) {
+    auto& old = sites_[it->second.site];
+    old.erase(std::remove(old.begin(), old.end(), pilot_id), old.end());
+  }
+  pilots_[pilot_id] = PilotInfo{site, store_capable};
+  auto& at_site = sites_[site];
+  if (std::find(at_site.begin(), at_site.end(), pilot_id) == at_site.end()) {
+    at_site.push_back(pilot_id);
+  }
+}
+
+void StoreManager::pilot_lost(const std::string& pilot_id) {
+  FireList to_fire;
+  {
+    check::MutexLock lock(mutex_);
+    auto it = pilots_.find(pilot_id);
+    if (it == pilots_.end()) {
+      return;
+    }
+    auto& at_site = sites_[it->second.site];
+    at_site.erase(std::remove(at_site.begin(), at_site.end(), pilot_id),
+                  at_site.end());
+    pilots_.erase(it);
+
+    const std::vector<std::string> affected =
+        directory_.drop_holder(pilot_id);
+
+    // Ensures targeting the dead pilot can never complete.
+    for (auto pit = pending_.begin(); pit != pending_.end();) {
+      if (pit->first.first == pilot_id) {
+        for (Done& d : pit->second.done) {
+          to_fire.emplace_back(std::move(d), false);
+        }
+        ++stats_.ensure_failures;
+        bump(metrics_.ensure_failures);
+        pit = pending_.erase(pit);
+      } else {
+        ++pit;
+      }
+    }
+
+    // Pulls sourced from the dead pilot reroute to a surviving holder.
+    std::vector<std::uint64_t> rerouted;
+    for (auto& [tid, pull] : pulls_) {
+      if (pull.source == pilot_id) {
+        rerouted.push_back(tid);
+      }
+    }
+    for (const std::uint64_t tid : rerouted) {
+      auto pit = pulls_.find(tid);
+      if (pit == pulls_.end()) {
+        continue;
+      }
+      Pull& pull = pit->second;
+      pull.tried.insert(pilot_id);
+      if (choose_source_locked(pull)) {
+        pull.chunks.clear();
+        pull.got.clear();
+        pull.expected = 0;
+        pull.received = 0;
+        ++stats_.pull_retries;
+        xfer_.request_object(pull.source, pull.object_id, tid);
+      } else {
+        const std::string object_id = pull.object_id;
+        pulls_.erase(pit);
+        pull_by_object_.erase(object_id);
+        fail_object_locked(object_id, to_fire);
+      }
+    }
+
+    // Re-replicate everything the pilot held back to the target count.
+    for (const std::string& object_id : affected) {
+      repair_to_locked(object_id, config_.replica_target, to_fire);
+    }
+    update_gauges_locked();
+  }
+  fire(to_fire);
+}
+
+void StoreManager::ensure_on(const std::string& pilot_id,
+                             const std::string& object_id,
+                             std::function<void(bool)> done) {
+  FireList to_fire;
+  {
+    check::MutexLock lock(mutex_);
+    ensure_on_locked(pilot_id, object_id, std::move(done), to_fire);
+    update_gauges_locked();
+  }
+  fire(to_fire);
+}
+
+void StoreManager::prefetch(const std::string& pilot_id,
+                            const std::vector<std::string>& object_ids) {
+  FireList to_fire;
+  {
+    check::MutexLock lock(mutex_);
+    for (const std::string& object_id : object_ids) {
+      // Unit input_data may reference data units outside the store; only
+      // known objects are prefetched.
+      if (!directory_.known(object_id)) {
+        continue;
+      }
+      if (directory_.has(object_id, pilot_id)) {
+        ++stats_.ensure_hits;
+        bump(metrics_.ensure_hits);
+        continue;
+      }
+      ensure_on_locked(pilot_id, object_id, Done(), to_fire);
+    }
+    update_gauges_locked();
+  }
+  fire(to_fire);
+}
+
+void StoreManager::replicate(const std::string& object_id) {
+  FireList to_fire;
+  {
+    check::MutexLock lock(mutex_);
+    repair_to_locked(object_id, std::max(1, config_.replica_target),
+                     to_fire);
+    update_gauges_locked();
+  }
+  fire(to_fire);
+}
+
+void StoreManager::ensure_on_locked(const std::string& pilot_id,
+                                    const std::string& object_id, Done done,
+                                    FireList& to_fire) {
+  if (closed_) {
+    to_fire.emplace_back(std::move(done), false);
+    return;
+  }
+  auto pit = pilots_.find(pilot_id);
+  if (pit == pilots_.end() || !pit->second.capable ||
+      !directory_.known(object_id)) {
+    ++stats_.ensure_failures;
+    bump(metrics_.ensure_failures);
+    to_fire.emplace_back(std::move(done), false);
+    return;
+  }
+  if (directory_.has(object_id, pilot_id)) {
+    ++stats_.ensure_hits;
+    bump(metrics_.ensure_hits);
+    to_fire.emplace_back(std::move(done), true);
+    return;
+  }
+  auto [it, inserted] = pending_.try_emplace({pilot_id, object_id});
+  it->second.done.push_back(std::move(done));
+  if (inserted) {
+    ++stats_.ensure_misses;
+    bump(metrics_.ensure_misses);
+    start_transfer_locked(pilot_id, object_id, to_fire);
+  }
+}
+
+bool StoreManager::start_transfer_locked(const std::string& pilot_id,
+                                         const std::string& object_id,
+                                         FireList& to_fire) {
+  if (origin_.contains(object_id)) {
+    return queue_push_locked(pilot_id, object_id, to_fire);
+  }
+  // Origin lost the bytes (memory-tier drop without spill): pull them
+  // back from a surviving replica first; the push is queued when the
+  // pull lands (on_agent_message, kObjChunk completion).
+  return start_pull_locked(object_id, to_fire);
+}
+
+bool StoreManager::queue_push_locked(const std::string& pilot_id,
+                                     const std::string& object_id,
+                                     FireList& to_fire) {
+  auto chunks = origin_.chunks_of(object_id);
+  if (!chunks) {
+    // Raced with an origin eviction or failed CRC on read: the origin
+    // copy is gone; fall back to pulling from a replica.
+    directory_.remove(object_id, kOriginHolder);
+    return start_pull_locked(object_id, to_fire);
+  }
+  const std::uint64_t total = origin_.object_bytes(object_id);
+  auto it = pending_.find({pilot_id, object_id});
+  if (it != pending_.end()) {
+    it->second.queued = true;
+  }
+  const std::uint64_t tid = next_transfer_++;
+  ++stats_.pushes;
+  stats_.push_bytes += total;
+  bump(metrics_.pushes);
+  bump(metrics_.push_bytes, total);
+  xfer_.push_object(pilot_id, object_id, tid, *chunks, total);
+  return true;
+}
+
+bool StoreManager::choose_source_locked(Pull& pull) {
+  for (const std::string& holder : directory_.holders(pull.object_id)) {
+    if (holder == kOriginHolder || pull.tried.count(holder) != 0) {
+      continue;
+    }
+    auto pit = pilots_.find(holder);
+    if (pit == pilots_.end() || !pit->second.capable) {
+      continue;
+    }
+    pull.source = holder;
+    return true;
+  }
+  return false;
+}
+
+bool StoreManager::start_pull_locked(const std::string& object_id,
+                                     FireList& to_fire) {
+  if (pull_by_object_.count(object_id) != 0) {
+    return true;  // already in flight; pendings join its completion
+  }
+  Pull pull;
+  pull.object_id = object_id;
+  if (!choose_source_locked(pull)) {
+    fail_object_locked(object_id, to_fire);
+    return false;
+  }
+  const std::uint64_t tid = next_transfer_++;
+  pull_by_object_[object_id] = tid;
+  xfer_.request_object(pull.source, object_id, tid);
+  pulls_.emplace(tid, std::move(pull));
+  return true;
+}
+
+void StoreManager::fail_object_locked(const std::string& object_id,
+                                      FireList& to_fire) {
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->first.second == object_id) {
+      for (Done& d : it->second.done) {
+        to_fire.emplace_back(std::move(d), false);
+      }
+      ++stats_.ensure_failures;
+      bump(metrics_.ensure_failures);
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  auto pit = pull_by_object_.find(object_id);
+  if (pit != pull_by_object_.end()) {
+    pulls_.erase(pit->second);
+    pull_by_object_.erase(pit);
+  }
+}
+
+void StoreManager::repair_to_locked(const std::string& object_id, int target,
+                                    FireList& to_fire) {
+  if (target <= 0 || !directory_.known(object_id)) {
+    return;
+  }
+  std::size_t have = directory_.agent_replicas(object_id);
+  for (const auto& [key, ensure] : pending_) {
+    if (key.second == object_id) {
+      ++have;  // in-flight placement counts; don't double-push
+    }
+  }
+  while (have < static_cast<std::size_t>(target)) {
+    // Least-loaded capable pilot not already holding (or receiving) the
+    // object; ties break on pilot id, so placement is deterministic.
+    std::string dest;
+    std::uint64_t dest_load = 0;
+    for (const auto& [pilot_id, info] : pilots_) {
+      if (!info.capable || directory_.has(object_id, pilot_id) ||
+          pending_.count({pilot_id, object_id}) != 0) {
+        continue;
+      }
+      const std::uint64_t load = directory_.holder_bytes(pilot_id);
+      if (dest.empty() || load < dest_load) {
+        dest = pilot_id;
+        dest_load = load;
+      }
+    }
+    if (dest.empty()) {
+      return;  // nowhere to place
+    }
+    pending_.try_emplace({dest, object_id});
+    ++stats_.repairs;
+    bump(metrics_.repairs);
+    if (!start_transfer_locked(dest, object_id, to_fire)) {
+      return;  // object unobtainable; fail path already fired
+    }
+    ++have;
+  }
+}
+
+void StoreManager::collect_ensure_locked(const std::string& pilot_id,
+                                         const std::string& object_id,
+                                         bool ok, FireList& to_fire) {
+  auto it = pending_.find({pilot_id, object_id});
+  if (it == pending_.end()) {
+    return;
+  }
+  for (Done& d : it->second.done) {
+    to_fire.emplace_back(std::move(d), ok);
+  }
+  if (!ok) {
+    ++stats_.ensure_failures;
+    bump(metrics_.ensure_failures);
+  }
+  pending_.erase(it);
+}
+
+void StoreManager::on_agent_message(const std::string& pilot_id,
+                                    const net::Message& m) {
+  FireList to_fire;
+  {
+    check::MutexLock lock(mutex_);
+    if (closed_) {
+      return;
+    }
+    switch (m.type) {
+      case net::MessageType::kObjLocate:
+        if (m.success) {
+          directory_.add(m.object_id, m.object_bytes, pilot_id);
+          collect_ensure_locked(pilot_id, m.object_id, true, to_fire);
+        } else {
+          // Store NACK or eviction notice: the replica does not exist.
+          directory_.remove(m.object_id, pilot_id);
+          collect_ensure_locked(pilot_id, m.object_id, false, to_fire);
+          repair_to_locked(m.object_id, config_.replica_target, to_fire);
+        }
+        break;
+      case net::MessageType::kObjChunk: {
+        auto it = pulls_.find(m.transfer_id);
+        if (it == pulls_.end() || it->second.object_id != m.object_id ||
+            it->second.source != pilot_id) {
+          break;  // stale or spoofed; ignore
+        }
+        Pull& pull = it->second;
+        if (m.chunk_count == 0) {
+          // Source no longer holds it (stale directory entry).
+          directory_.remove(m.object_id, pilot_id);
+          pull.tried.insert(pilot_id);
+          if (choose_source_locked(pull)) {
+            pull.chunks.clear();
+            pull.got.clear();
+            pull.expected = 0;
+            pull.received = 0;
+            ++stats_.pull_retries;
+            xfer_.request_object(pull.source, pull.object_id,
+                                 m.transfer_id);
+          } else {
+            const std::string object_id = pull.object_id;
+            pulls_.erase(it);
+            pull_by_object_.erase(object_id);
+            fail_object_locked(object_id, to_fire);
+          }
+          break;
+        }
+        if (pull.expected == 0) {
+          pull.expected = m.chunk_count;
+          pull.chunks.resize(m.chunk_count);
+          pull.got.assign(m.chunk_count, false);
+          pull.total = m.object_bytes;
+        }
+        if (m.chunk_index >= pull.expected ||
+            m.chunk_count != pull.expected) {
+          break;  // inconsistent stream; wait for retry/timeout paths
+        }
+        if (!pull.got[m.chunk_index]) {
+          pull.got[m.chunk_index] = true;
+          pull.chunks[m.chunk_index] = Chunk{m.chunk_data, m.chunk_crc};
+          ++pull.received;
+        }
+        if (pull.received < pull.expected) {
+          break;
+        }
+        // Complete: land in the origin, then feed the waiting pushes.
+        const std::string object_id = pull.object_id;
+        const std::uint64_t total = pull.total;
+        std::set<std::string> tried = pull.tried;
+        PutResult res =
+            origin_.put_chunks(object_id, std::move(pull.chunks), total);
+        pulls_.erase(it);
+        pull_by_object_.erase(object_id);
+        if (!res.stored) {
+          // The source shipped corrupt bytes; drop that replica and try
+          // the next holder.
+          directory_.remove(object_id, pilot_id);
+          Pull retry;
+          retry.object_id = object_id;
+          retry.tried = std::move(tried);
+          retry.tried.insert(pilot_id);
+          if (choose_source_locked(retry)) {
+            const std::uint64_t tid = next_transfer_++;
+            pull_by_object_[object_id] = tid;
+            ++stats_.pull_retries;
+            xfer_.request_object(retry.source, object_id, tid);
+            pulls_.emplace(tid, std::move(retry));
+          } else {
+            fail_object_locked(object_id, to_fire);
+          }
+          break;
+        }
+        directory_.add(object_id, total, kOriginHolder);
+        for (const std::string& dropped : res.dropped) {
+          directory_.remove(dropped, kOriginHolder);
+        }
+        ++stats_.pulls;
+        stats_.pull_bytes += total;
+        bump(metrics_.pulls);
+        bump(metrics_.pull_bytes, total);
+        for (auto& [key, ensure] : pending_) {
+          if (key.second == object_id && !ensure.queued) {
+            queue_push_locked(key.first, object_id, to_fire);
+          }
+        }
+        break;
+      }
+      default:
+        break;  // not a store message; runtime shouldn't forward others
+    }
+    update_gauges_locked();
+  }
+  fire(to_fire);
+}
+
+std::vector<std::string> StoreManager::replica_sites(
+    const std::string& object_id) const {
+  check::MutexLock lock(mutex_);
+  std::vector<std::string> sites;
+  for (const std::string& holder : directory_.holders(object_id)) {
+    std::string site;
+    if (holder == kOriginHolder) {
+      site = config_.origin_site;
+    } else {
+      auto it = pilots_.find(holder);
+      if (it == pilots_.end()) {
+        continue;
+      }
+      site = it->second.site;
+    }
+    if (std::find(sites.begin(), sites.end(), site) == sites.end()) {
+      sites.push_back(site);
+    }
+  }
+  return sites;
+}
+
+std::vector<std::string> StoreManager::replica_pilots(
+    const std::string& object_id) const {
+  check::MutexLock lock(mutex_);
+  std::vector<std::string> pilots;
+  for (const std::string& holder : directory_.holders(object_id)) {
+    if (holder != kOriginHolder) {
+      pilots.push_back(holder);
+    }
+  }
+  return pilots;
+}
+
+double StoreManager::bytes_at_site(const std::string& object_id,
+                                   const std::string& site) const {
+  check::MutexLock lock(mutex_);
+  for (const std::string& holder : directory_.holders(object_id)) {
+    if (holder == kOriginHolder) {
+      if (site == config_.origin_site) {
+        return static_cast<double>(directory_.bytes(object_id));
+      }
+      continue;
+    }
+    auto it = pilots_.find(holder);
+    if (it != pilots_.end() && it->second.site == site) {
+      return static_cast<double>(directory_.bytes(object_id));
+    }
+  }
+  return 0.0;
+}
+
+std::string StoreManager::pick_pilot_for(const std::string& object_id,
+                                         const std::string& site) const {
+  check::MutexLock lock(mutex_);
+  auto sit = sites_.find(site);
+  if (sit == sites_.end()) {
+    return "";
+  }
+  std::string fallback;
+  for (const std::string& pilot_id : sit->second) {
+    auto pit = pilots_.find(pilot_id);
+    if (pit == pilots_.end() || !pit->second.capable) {
+      continue;
+    }
+    if (directory_.has(object_id, pilot_id)) {
+      return pilot_id;
+    }
+    if (fallback.empty()) {
+      fallback = pilot_id;
+    }
+  }
+  return fallback;
+}
+
+void StoreManager::record_output(const std::string& object_id,
+                                 const std::string& site) {
+  check::MutexLock lock(mutex_);
+  if (site == config_.origin_site) {
+    return;  // origin-resident outputs are recorded by put()
+  }
+  auto sit = sites_.find(site);
+  if (sit == sites_.end() || sit->second.empty()) {
+    return;
+  }
+  for (const std::string& pilot_id : sit->second) {
+    auto pit = pilots_.find(pilot_id);
+    if (pit != pilots_.end() && pit->second.capable) {
+      directory_.add(object_id, 0, pilot_id);
+      update_gauges_locked();
+      return;
+    }
+  }
+}
+
+StoreManagerStats StoreManager::stats() const {
+  check::MutexLock lock(mutex_);
+  return stats_;
+}
+
+void StoreManager::update_gauges_locked() {
+  if (metrics_.objects != nullptr) {
+    metrics_.objects->set(static_cast<double>(directory_.object_count()));
+  }
+  if (metrics_.pending != nullptr) {
+    metrics_.pending->set(static_cast<double>(pending_.size()));
+  }
+}
+
+void StoreManager::fire(FireList& to_fire) {
+  for (auto& [done, ok] : to_fire) {
+    if (done) {
+      done(ok);
+    }
+  }
+}
+
+}  // namespace pa::store

@@ -1,0 +1,121 @@
+#include "pa/store/transfer.h"
+
+namespace pa::store {
+
+TransferScheduler::TransferScheduler(TransferSchedulerConfig config)
+    : config_(config) {
+  net::BatchFlusherConfig pump_config;
+  pump_config.max_batch =
+      config_.chunks_per_pass == 0 ? 1 : config_.chunks_per_pass;
+  pump_config.retry_delay_seconds = config_.retry_delay_seconds;
+  // The pump keeps its own metrics detached: mixing multi-hundred-KiB
+  // data frames into the control plane's net.batch_size histogram would
+  // make the E14e batching numbers unreadable. Data-plane volume is
+  // exported as store.* counters by StoreManager instead.
+  pump_ = std::make_unique<net::BatchFlusher>(
+      [this](std::vector<net::Message> batch, net::FlushReason) {
+        return pump_sink(std::move(batch));
+      },
+      pump_config, nullptr);
+}
+
+TransferScheduler::~TransferScheduler() { close(); }
+
+void TransferScheduler::attach_sender(ObjSender sender) {
+  sender_ = std::move(sender);
+}
+
+void TransferScheduler::push_object(const std::string& pilot_id,
+                                    const std::string& object_id,
+                                    std::uint64_t transfer_id,
+                                    const std::vector<Chunk>& chunks,
+                                    std::uint64_t total_bytes) {
+  const auto count = static_cast<std::uint32_t>(chunks.size());
+  if (count == 0) {
+    // Zero-byte object: a single empty chunk frame carries the metadata.
+    net::Message m;
+    m.type = net::MessageType::kObjPut;
+    m.pilot_id = pilot_id;
+    m.object_id = object_id;
+    m.transfer_id = transfer_id;
+    m.chunk_index = 0;
+    m.chunk_count = 1;
+    m.object_bytes = 0;
+    m.chunk_crc = chunk_crc(std::string());
+    pump_->push(std::move(m));
+    return;
+  }
+  for (std::uint32_t i = 0; i < count; ++i) {
+    net::Message m;
+    m.type = net::MessageType::kObjPut;
+    m.pilot_id = pilot_id;
+    m.object_id = object_id;
+    m.transfer_id = transfer_id;
+    m.chunk_index = i;
+    m.chunk_count = count;
+    m.object_bytes = total_bytes;
+    m.chunk_crc = chunks[i].crc;
+    m.chunk_data = chunks[i].data;
+    pump_->push(std::move(m));
+  }
+}
+
+void TransferScheduler::request_object(const std::string& pilot_id,
+                                       const std::string& object_id,
+                                       std::uint64_t transfer_id) {
+  net::Message m;
+  m.type = net::MessageType::kObjGet;
+  m.object_id = object_id;
+  m.transfer_id = transfer_id;
+  m.pilot_id = pilot_id;
+  pump_->push(std::move(m));
+}
+
+void TransferScheduler::close() {
+  if (pump_) {
+    pump_->close();
+  }
+}
+
+std::vector<net::Message> TransferScheduler::pump_sink(
+    std::vector<net::Message> batch) {
+  std::vector<net::Message> retained;
+  if (!sender_) {
+    return batch;  // not attached yet; retry after backoff
+  }
+  // Pilots whose stream hit backpressure this pass: all their later
+  // frames are retained unsent so per-pilot chunk order is preserved.
+  std::vector<std::string> busy;
+  for (net::Message& m : batch) {
+    const std::string& pilot = m.pilot_id;
+    bool pilot_busy = false;
+    for (const std::string& b : busy) {
+      if (b == pilot) {
+        pilot_busy = true;
+        break;
+      }
+    }
+    if (pilot_busy) {
+      retained.push_back(std::move(m));
+      continue;
+    }
+    const std::uint64_t frame_bytes = m.chunk_data.size();
+    switch (sender_(pilot, m)) {
+      case SendResult::kSent:
+        chunks_sent_.fetch_add(1, std::memory_order_relaxed);
+        bytes_sent_.fetch_add(frame_bytes, std::memory_order_relaxed);
+        break;
+      case SendResult::kBusy:
+        busy.push_back(pilot);
+        retained.push_back(std::move(m));
+        break;
+      case SendResult::kGone:
+        chunks_dropped_.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+  }
+  return retained;
+}
+
+}  // namespace pa::store
+

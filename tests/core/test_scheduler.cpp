@@ -269,6 +269,31 @@ TEST(DataAffinityScheduler, PreferredSiteFallsBackWhenFull) {
   EXPECT_EQ(out[0].pilot_id, "p1");
 }
 
+// Regression: a unit whose inputs have no known replica site (the store
+// knows the object but nothing holds it near any pilot) used to first-fit
+// on snapshot order, so placement flapped as the pilot list reshuffled.
+// The fallback is deterministic now: most free cores, ties by pilot id.
+TEST(DataAffinityScheduler, EmptyReplicaSetFallsBackDeterministically) {
+  DataAffinityScheduler sched;
+  UnitView u = unit("u1", 1);
+  u.total_input_bytes = 5e6;  // inputs exist, but no site holds them
+
+  const auto forward = sched.schedule(
+      {u}, {pilot("p2", "b", 4), pilot("p1", "a", 4), pilot("p3", "c", 4)});
+  ASSERT_EQ(forward.size(), 1u);
+  EXPECT_EQ(forward[0].pilot_id, "p1");
+  const auto shuffled = sched.schedule(
+      {u}, {pilot("p3", "c", 4), pilot("p1", "a", 4), pilot("p2", "b", 4)});
+  ASSERT_EQ(shuffled.size(), 1u);
+  EXPECT_EQ(shuffled[0].pilot_id, "p1") << "order must not matter";
+
+  // Free capacity still dominates the id tie-break.
+  const auto emptier =
+      sched.schedule({u}, {pilot("p1", "a", 2), pilot("p2", "b", 6)});
+  ASSERT_EQ(emptier.size(), 1u);
+  EXPECT_EQ(emptier[0].pilot_id, "p2");
+}
+
 TEST(CostAwareScheduler, PrefersCheapestPilot) {
   CostAwareScheduler sched;
   const std::vector<PilotView> pilots = {pilot("cloud", "ec2", 8, 0.04),

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "pa/store/directory.h"
+
+namespace pa::store {
+namespace {
+
+TEST(ReplicaDirectory, AddRemoveTracksHoldersAndBytes) {
+  ReplicaDirectory dir;
+  EXPECT_FALSE(dir.known("o1"));
+  dir.add("o1", 100, kOriginHolder);
+  dir.add("o1", 0, "pilot-1");  // size already known; 0 keeps it
+  EXPECT_TRUE(dir.known("o1"));
+  EXPECT_EQ(dir.bytes("o1"), 100u);
+  EXPECT_TRUE(dir.has("o1", "pilot-1"));
+  EXPECT_FALSE(dir.has("o1", "pilot-2"));
+  EXPECT_EQ(dir.holders("o1"),
+            (std::vector<std::string>{kOriginHolder, "pilot-1"}));
+  // Origin never counts toward the agent replica target.
+  EXPECT_EQ(dir.agent_replicas("o1"), 1u);
+
+  EXPECT_TRUE(dir.remove("o1", "pilot-1"));
+  EXPECT_FALSE(dir.remove("o1", "pilot-1"));
+  // Zero holders left: the object stays known, its size survives.
+  EXPECT_TRUE(dir.remove("o1", kOriginHolder));
+  EXPECT_TRUE(dir.known("o1"));
+  EXPECT_EQ(dir.bytes("o1"), 100u);
+  EXPECT_EQ(dir.agent_replicas("o1"), 0u);
+}
+
+TEST(ReplicaDirectory, DropHolderReturnsAffectedObjects) {
+  ReplicaDirectory dir;
+  dir.add("o1", 10, "pilot-1");
+  dir.add("o2", 20, "pilot-1");
+  dir.add("o2", 0, "pilot-2");
+  dir.add("o3", 30, "pilot-2");
+
+  std::vector<std::string> affected = dir.drop_holder("pilot-1");
+  ASSERT_EQ(affected.size(), 2u);
+  EXPECT_FALSE(dir.has("o1", "pilot-1"));
+  EXPECT_FALSE(dir.has("o2", "pilot-1"));
+  EXPECT_TRUE(dir.has("o2", "pilot-2"));
+  EXPECT_EQ(dir.holder_bytes("pilot-1"), 0u);
+  EXPECT_TRUE(dir.drop_holder("pilot-1").empty());  // idempotent
+}
+
+TEST(ReplicaDirectory, HolderBytesDrivePlacementLoad) {
+  ReplicaDirectory dir;
+  dir.add("o1", 100, "pilot-1");
+  dir.add("o2", 50, "pilot-1");
+  dir.add("o2", 0, "pilot-2");
+  EXPECT_EQ(dir.holder_bytes("pilot-1"), 150u);
+  EXPECT_EQ(dir.holder_bytes("pilot-2"), 50u);
+  dir.remove("o1", "pilot-1");
+  EXPECT_EQ(dir.holder_bytes("pilot-1"), 50u);
+}
+
+TEST(ReplicaDirectory, ObjectsEnumerates) {
+  ReplicaDirectory dir;
+  dir.add("o1", 1, "p");
+  dir.add("o2", 2, "p");
+  EXPECT_EQ(dir.object_count(), 2u);
+  EXPECT_EQ(dir.objects().size(), 2u);
+}
+
+}  // namespace
+}  // namespace pa::store

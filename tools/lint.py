@@ -39,6 +39,13 @@ Five disciplines, each enforced mechanically because each has burned us
     in src/core is a wait-free `ctrl_->post(<command>)`; middleware
     logic happens when the apply thread handles the command.
 
+ 6. Store transport confinement. The data plane (pa::store) speaks
+    net::Message and paces itself with the BatchFlusher, but never sees a
+    Connection, a Transport, or a concrete transport header — egress goes
+    through the ObjSender installed by rt::RemoteRuntime, ingress through
+    replies returned to rt::AgentEndpoint. One owner for every socket
+    (rule 3) only holds if the layers above it can't reach around.
+
 Plus one meta-rule: every suppression (NOLINT or
 PA_NO_THREAD_SAFETY_ANALYSIS) must carry a justification, so suppressions
 stay auditable.
@@ -95,6 +102,15 @@ SOCKET_SYSCALLS = re.compile(
 SOCKET_HEADERS = re.compile(
     r'#\s*include\s*<(sys/socket\.h|netinet/[^>]+|arpa/inet\.h|poll\.h|'
     r'sys/epoll\.h|sys/uio\.h|sys/sendfile\.h)>'
+)
+
+# --- rule 6: store stays behind the message boundary -------------------------
+STORE_SCOPE = ("include/pa/store/", "src/store/")
+STORE_NET_ALLOWED = {"pa/net/message.h", "pa/net/flusher.h"}
+STORE_NET_INCLUDE = re.compile(r'#\s*include\s*"(pa/net/[^"]+)"')
+STORE_FORBIDDEN_NET = re.compile(
+    r"\bnet::(Transport|Connection|ConnectionPtr|TcpTransport|"
+    r"InProcTransport|FrameDecoder)\b"
 )
 
 # --- rule 4: state-machine bypasses ------------------------------------------
@@ -225,6 +241,25 @@ def lint_file(rel: str, text: str) -> list[tuple[int, str]]:
                     lineno,
                     f"socket header <{m.group(1)}> — socket I/O is confined "
                     f"to src/net/tcp_transport.cpp",
+                ))
+
+        if rel.startswith(STORE_SCOPE):
+            m = STORE_NET_INCLUDE.search(code)
+            if m and m.group(1) not in STORE_NET_ALLOWED:
+                findings.append((
+                    lineno,
+                    f'transport-facing include "{m.group(1)}" in pa::store — '
+                    f"the store speaks net::Message only; connections belong "
+                    f"to rt::RemoteRuntime / rt::AgentEndpoint",
+                ))
+            m = STORE_FORBIDDEN_NET.search(code)
+            if m:
+                findings.append((
+                    lineno,
+                    f"net::{m.group(1)} referenced in pa::store — egress "
+                    f"goes through the attached ObjSender, ingress through "
+                    f"returned replies; the store never touches a "
+                    f"connection or transport",
                 ))
 
         if rel != SM_FILE and rel != "tools/lint.py":
