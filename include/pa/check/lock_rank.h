@@ -13,58 +13,12 @@
 /// Rule: locks must be acquired in strictly increasing rank order. The
 /// outermost lock of the system therefore has the lowest rank, leaf locks
 /// (held around a few statements, never while calling out) the highest.
-/// The full hierarchy, with the call chains that force each edge, is
-/// documented in DESIGN.md ("Lock hierarchy"). Summary:
-///
-///   rank  mutex                         forced-below edges
-///   ----  ----------------------------  -----------------------------------
-///   10    PilotComputeService snapshot  (read-model swap only; never held
-///                                          across callbacks, journaling,
-///                                          or scheduling — the apply
-///                                          thread owns that state lock-
-///                                          free, see control_plane.h)
-///   11    store::StoreManager mutex     -> ctrl queue (ensure_on done-
-///                                          callbacks post commands), net
-///                                          flusher (chunk pump push), and
-///                                          the sender path (RemoteRuntime
-///                                          14 -> connection 16)
-///   12    ControlPlane queue mutex      (command-queue depth/wakeup; cv
-///                                          waits nest under nothing and
-///                                          acquire nothing)
-///   13    net::BatchFlusher queue       (pending-item buffer only; the
-///                                          sink runs with the lock
-///                                          dropped and may acquire 14+)
-///   14    RemoteRuntime/AgentEndpoint   -> transport, connection, payload
-///                                          table (execute_unit sends under
-///                                          the manager lock)
-///   15    net transport registry        -> connection (I/O loop snapshots
-///                                          the list, then locks one conn)
-///   16    net connection send queue     (peers never nested)
-///   17    store::StoreAgent mutex       -> shard chunk map (assembly state
-///                                          only; replies are pushed to the
-///                                          agent outbox *after* release —
-///                                          17 may not reach back to 13)
-///   18    rt::PayloadTable              (leaf of the net send path)
-///   20    LocalRuntime::mutex_          -> thread pool, log
-///   25    GroupCoordinator::mutex_      -> broker (rebalance queries
-///                                          partition_count)
-///   30    Broker::topics_mutex_
-///   32    Broker partition mutex        (peers never nested)
-///   34    Broker topic-stats mutex
-///   40    InMemoryStore shard mutex     (peers never nested)
-///   42    store::Shard chunk map        (LRU + spill bookkeeping; disk I/O
-///                                          happens under it, sends never do)
-///   45    Journal::mutex_               -> writer
-///   50    journal::Writer::mutex_       -> metrics (set_metrics only)
-///   60    ThreadPool::mutex_
-///   70    Tracer::mutex_
-///   72    MetricsRegistry::mutex_       -> histogram (snapshot under
-///                                          registry lock)
-///   75    obs::Histogram::mutex_
-///   90    Log::mutex                    (innermost: logging happens under
-///                                          everything)
-///   95    kLeaf                         ad-hoc locks in tests, benches,
-///                                          engine payload lambdas
+/// The hierarchy table itself lives in DESIGN.md ("Lock hierarchy"),
+/// generated from these ranks and the declared mutexes by
+/// `python3 tools/pa_analyze --fix-lock-table` and verified by CI, so
+/// this header never repeats it. pa_analyze's lock-order pass also checks
+/// every lexically visible acquisition edge against these ranks before
+/// the code ever runs.
 ///
 /// Peer locks that share a rank (broker partitions, store shards) are
 /// never held simultaneously by one thread — the validator enforces this

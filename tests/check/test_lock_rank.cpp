@@ -50,6 +50,8 @@ TEST(LockRankDeathTest, RankInversionAborts) {
   EXPECT_DEATH(
       {
         MutexLock a(inner);
+        // pa_analyze:allow(lock-order): deliberate inversion — this death
+        // test proves the runtime validator aborts on it.
         MutexLock b(outer);  // kService(10) under kJournal(45): inversion
       },
       "lock rank violation.*inversion");
@@ -64,6 +66,8 @@ TEST(LockRankDeathTest, SameRankNestingAborts) {
   EXPECT_DEATH(
       {
         MutexLock la(a);
+        // pa_analyze:allow(lock-order): deliberate same-rank nesting —
+        // this death test proves the runtime validator aborts on it.
         MutexLock lb(b);  // equal ranks may not nest
       },
       "lock rank violation");

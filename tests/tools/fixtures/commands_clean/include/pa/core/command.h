@@ -1,0 +1,18 @@
+#pragma once
+
+#include <string>
+#include <variant>
+
+namespace pa::core::cmd {
+
+struct CmdPing {
+  std::string id;
+};
+
+struct CmdStop {
+  bool hard = false;
+};
+
+using Command = std::variant<CmdPing, CmdStop>;
+
+}  // namespace pa::core::cmd

@@ -1,0 +1,23 @@
+#include "pa/core/command.h"
+
+namespace pa::core {
+
+void Service::apply_command(cmd::Command& command) {
+  std::visit([this](auto& c) { apply(c); }, command);
+}
+
+void Service::apply(cmd::CmdPing& c) { pings_ += 1; }
+
+void Service::apply(cmd::CmdStop& c) { stopped_ = c.hard; }
+
+void Service::start() {
+  ctrl_->post(cmd::Command{cmd::CmdPing{"boot"}});
+  runtime_->callbacks.on_done = [this](bool ok) {
+    if (!ok) {
+      return;
+    }
+    ctrl_->post(cmd::Command{cmd::CmdStop{true}});
+  };
+}
+
+}  // namespace pa::core

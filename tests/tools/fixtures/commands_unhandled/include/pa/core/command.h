@@ -1,0 +1,22 @@
+#pragma once
+
+#include <string>
+#include <variant>
+
+namespace pa::core::cmd {
+
+struct CmdPing {
+  std::string id;
+};
+
+struct CmdStop {
+  bool hard = false;
+};
+
+struct CmdDrain {
+  int budget = 0;
+};
+
+using Command = std::variant<CmdPing, CmdStop, CmdDrain>;
+
+}  // namespace pa::core::cmd

@@ -1,0 +1,24 @@
+#include "pa/core/command.h"
+
+namespace pa::core {
+
+void Service::apply_command(cmd::Command& command) {
+  std::visit([this](auto& c) { apply(c); }, command);
+}
+
+void Service::apply(cmd::CmdPing& c) { pings_ += 1; }
+
+void Service::apply(cmd::CmdStop& c) { stopped_ = c.hard; }
+
+// CmdDrain has no apply() overload: seeded exhaustiveness violation.
+
+void Service::start() {
+  ctrl_->post(cmd::Command{cmd::CmdPing{"boot"}});
+  ctrl_->post(cmd::Command{cmd::CmdDrain{16}});
+  runtime_->callbacks.on_done = [this](bool ok) {
+    pings_ += 1;  // seeded violation: work outside ctrl_->post
+    ctrl_->post(cmd::Command{cmd::CmdStop{true}});
+  };
+}
+
+}  // namespace pa::core

@@ -1,0 +1,16 @@
+#pragma once
+
+namespace pa::w {
+
+class Widget {
+ public:
+  void refresh();
+  void validator_demo();
+  void rebalance_locked() PA_REQUIRES(table_mu_);
+
+ private:
+  check::Mutex table_mu_{check::LockRank::kService, "w::table"};
+  check::Mutex stats_mu_{check::LockRank::kJournal, "w::stats"};
+};
+
+}  // namespace pa::w

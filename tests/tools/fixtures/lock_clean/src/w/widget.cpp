@@ -1,0 +1,33 @@
+#include "pa/w/widget.h"
+
+namespace pa::w {
+
+void Widget::refresh() {
+  check::MutexLock lock(table_mu_);
+  {
+    check::MutexLock inner(stats_mu_);  // 10 -> 45: strictly increasing
+  }
+  lock.unlock();
+  do_io();  // lock dropped around I/O
+  lock.lock();
+  worker_ = [this]() {
+    // Lambda bodies run on arbitrary threads: the enclosing scope's held
+    // set does not apply, so this fresh acquisition is clean.
+    check::MutexLock fresh(stats_mu_);
+    touch();
+  };
+}
+
+void Widget::validator_demo() {
+  check::MutexLock stats(stats_mu_);
+  // pa_analyze:allow(lock-order): fixture — proves a justified
+  // suppression keeps a deliberate inversion out of the findings.
+  check::MutexLock table(table_mu_);
+}
+
+void Widget::rebalance_locked() {
+  // Entry-held table_mu_ (rank 10) via PA_REQUIRES; 45 nests above it.
+  check::MutexLock stats(stats_mu_);
+}
+
+}  // namespace pa::w

@@ -1,0 +1,14 @@
+#pragma once
+// Miniature rank ladder for analyzer self-tests.
+
+namespace pa::check {
+
+enum class LockRank : int {
+  kService = 10,
+  kJournal = 45,
+  kLeaf = 95,
+};
+
+constexpr int rank_value(LockRank rank) { return static_cast<int>(rank); }
+
+}  // namespace pa::check

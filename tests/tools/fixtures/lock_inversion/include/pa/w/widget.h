@@ -1,0 +1,18 @@
+#pragma once
+
+namespace pa::w {
+
+class Widget {
+ public:
+  void refresh();
+  void audit();
+  void compact_locked() PA_REQUIRES(stats_mu_);
+
+ private:
+  check::Mutex table_mu_{check::LockRank::kService, "w::table"};
+  check::Mutex stats_mu_{check::LockRank::kJournal, "w::stats"};
+  check::Mutex leaf_a_{check::LockRank::kLeaf, "w::leaf-a"};
+  check::Mutex leaf_b_{check::LockRank::kLeaf, "w::leaf-b"};
+};
+
+}  // namespace pa::w

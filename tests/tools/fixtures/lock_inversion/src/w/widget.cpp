@@ -1,0 +1,20 @@
+#include "pa/w/widget.h"
+
+namespace pa::w {
+
+void Widget::refresh() {
+  check::MutexLock stats(stats_mu_);  // rank 45
+  check::MutexLock table(table_mu_);  // rank 10 under 45: inversion
+}
+
+void Widget::audit() {
+  check::MutexLock a(leaf_a_);  // rank 95
+  check::MutexLock b(leaf_b_);  // rank 95 under 95: tie
+}
+
+void Widget::compact_locked() {
+  // Entry-held stats_mu_ (rank 45) via PA_REQUIRES; 10 may not nest.
+  check::MutexLock table(table_mu_);
+}
+
+}  // namespace pa::w

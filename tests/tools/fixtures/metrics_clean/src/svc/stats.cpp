@@ -1,0 +1,13 @@
+#include "pa/obs/metrics.h"
+
+namespace pa::svc {
+
+void Stats::wire(obs::MetricsRegistry* metrics) {
+  metrics->counter("svc.requests").inc();
+  metrics->gauge("svc.depth").set(1);
+  metrics->histogram("svc.latency", 1e-3, 60.0).record(0.5);
+  prefix_ = "svc." + shard_name_ + ".";
+  metrics->counter(prefix_ + "hits").inc();
+}
+
+}  // namespace pa::svc

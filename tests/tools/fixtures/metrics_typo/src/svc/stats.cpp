@@ -1,0 +1,10 @@
+#include "pa/obs/metrics.h"
+
+namespace pa::svc {
+
+void Stats::wire(obs::MetricsRegistry* metrics) {
+  metrics->counter("svc.reqests").inc();  // seeded typo: svc.requests
+  metrics->gauge("svc.depth").set(1);
+}
+
+}  // namespace pa::svc

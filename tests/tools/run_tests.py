@@ -1,0 +1,34 @@
+#!/usr/bin/env python3
+"""Runs the static-analysis tooling self-tests (pa_analyze golden
+fixtures + lint.py rule tests). Wired into ctest as `tool_selftests`;
+also runnable directly: python3 tests/tools/run_tests.py"""
+
+import sys
+import unittest
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+ROOT = HERE.parent.parent
+
+# Repo root so `tools.pa_analyze` imports; tests/tools so the test
+# modules import by bare name.
+for p in (str(ROOT), str(HERE)):
+    if p not in sys.path:
+        sys.path.insert(0, p)
+
+import test_lint  # noqa: E402
+import test_pa_analyze  # noqa: E402
+
+
+def main() -> int:
+    loader = unittest.TestLoader()
+    suite = unittest.TestSuite([
+        loader.loadTestsFromModule(test_lint),
+        loader.loadTestsFromModule(test_pa_analyze),
+    ])
+    result = unittest.TextTestRunner(verbosity=2).run(suite)
+    return 0 if result.wasSuccessful() else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,17 @@
+"""Entry point for both spellings:
+
+    python3 tools/pa_analyze        (directory on sys.path[0]'s parent)
+    python3 -m tools.pa_analyze     (repo root on sys.path)
+"""
+
+import sys
+
+if __package__ in (None, ""):  # invoked as `python3 tools/pa_analyze`
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent.parent))
+    from tools.pa_analyze.cli import main
+else:
+    from .cli import main
+
+sys.exit(main())

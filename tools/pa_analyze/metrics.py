@@ -1,0 +1,183 @@
+"""Pass 4: metric-name manifest.
+
+`pa::obs` series are string-keyed, so a typo'd name silently forks a
+series and dashboards watch the dead twin. This pass collects every name
+expression passed to `counter(...)` / `gauge(...)` / `histogram(...)` in
+the library (include/ + src/ — tests and benches may create ad-hoc
+series) and diffs against the checked-in docs/METRICS.md manifest:
+
+  * dynamic name parts (`"stream." + topic + ".messages_in"`,
+    `metric_prefix_ + "queue_wait"`) are resolved structurally — string
+    literals kept, one level of same-file variable assignment followed,
+    everything else a `*` wildcard that must line up with a `<param>`
+    placeholder in the manifest;
+  * a name with no manifest row fails; at edit distance 1 from a known
+    row it fails as a probable typo naming the intended series;
+  * a call whose instrument kind disagrees with the manifest row fails,
+    as do two call sites that disagree with each other (a kind fork);
+  * a manifest row no call site produces is stale documentation and
+    fails, so the manifest can never drift above the code.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from . import Finding
+from .source import Index, SourceFile, iter_code, line_of, match_paren
+
+PASS = "metrics"
+
+MANIFEST_FILE = "docs/METRICS.md"
+# The registry's own implementation defines these methods; everything
+# else only calls them.
+REGISTRY_PREFIXES = ("include/pa/obs/", "src/obs/")
+
+CALL_RE = re.compile(r"(?:->|\.)\s*(counter|gauge|histogram)\s*\(")
+LITERAL_RE = re.compile(r'^"((?:[^"\\]|\\.)*)"$')
+WRAPPED_LITERAL_RE = re.compile(
+    r'^std::string\s*\(\s*"((?:[^"\\]|\\.)*)"\s*\)$')
+MANIFEST_ROW_RE = re.compile(
+    r"^\|\s*`([^`]+)`\s*\|\s*(counter|gauge|histogram)\s*\|")
+
+
+def split_top(expr: str, sep: str) -> list[str]:
+    """Splits on `sep` at paren/angle depth zero, string-aware."""
+    parts = []
+    depth = 0
+    begin = 0
+    for i, c in iter_code(expr):
+        if c in "([{":
+            depth += 1
+        elif c in ")]}":
+            depth -= 1
+        elif c == sep and depth == 0:
+            parts.append(expr[begin:i])
+            begin = i + 1
+    parts.append(expr[begin:])
+    return parts
+
+
+def resolve_term(term: str, sf: SourceFile, depth: int) -> str:
+    term = term.strip()
+    m = LITERAL_RE.match(term) or WRAPPED_LITERAL_RE.match(term)
+    if m:
+        return m.group(1)
+    if depth > 0 and re.fullmatch(r"\w+", term):
+        am = re.search(r"\b" + re.escape(term) + r"\s*=\s*([^;=][^;]*);",
+                       sf.code)
+        if am:
+            return name_pattern(am.group(1), sf, depth - 1)
+    return "*"
+
+
+def name_pattern(expr: str, sf: SourceFile, depth: int = 2) -> str:
+    """Wildcard pattern of a metric-name expression: literals verbatim,
+    one `*` per dynamic segment, runs of `*` collapsed."""
+    pattern = "".join(resolve_term(t, sf, depth)
+                      for t in split_top(expr, "+"))
+    return re.sub(r"\*+", "*", pattern)
+
+
+def collect_calls(index: Index):
+    """(pattern, kind, rel, line) for every registry call in the
+    library."""
+    out = []
+    for sf in index.library_files():
+        if sf.rel.startswith(REGISTRY_PREFIXES):
+            continue
+        for m in CALL_RE.finditer(sf.code):
+            open_idx = m.end() - 1
+            close = match_paren(sf.code, open_idx)
+            first_arg = split_top(sf.code[open_idx + 1:close], ",")[0]
+            first_arg = " ".join(first_arg.split())
+            out.append((name_pattern(first_arg, sf), m.group(1), sf.rel,
+                        line_of(sf.code, m.start())))
+    return out
+
+
+def parse_manifest(root: Path):
+    """name-pattern -> (kind, line); `<param>` placeholders normalize to
+    the same `*` wildcard the collector emits. None when the manifest
+    file is missing."""
+    path = root / MANIFEST_FILE
+    if not path.is_file():
+        return None
+    rows: dict[str, tuple[str, int]] = {}
+    for i, line in enumerate(path.read_text(encoding="utf-8")
+                             .splitlines(), start=1):
+        m = MANIFEST_ROW_RE.match(line.strip())
+        if m:
+            pattern = re.sub(r"\*+", "*",
+                             re.sub(r"<[^<>]+>", "*", m.group(1)))
+            rows[pattern] = (m.group(2), i)
+    return rows
+
+
+def edit_distance_leq_1(a: str, b: str) -> bool:
+    if a == b:
+        return True
+    if abs(len(a) - len(b)) > 1:
+        return False
+    if len(a) == len(b):
+        return sum(1 for x, y in zip(a, b) if x != y) == 1
+    if len(a) > len(b):
+        a, b = b, a
+    i = 0
+    while i < len(a) and a[i] == b[i]:
+        i += 1
+    return a[i:] == b[i + 1:]
+
+
+def run(index: Index) -> list[Finding]:
+    findings: list[Finding] = []
+    manifest = parse_manifest(Path(index.root))
+    calls = collect_calls(index)
+    if manifest is None:
+        findings.append(Finding(
+            MANIFEST_FILE, 1, PASS,
+            f"metric manifest missing — {MANIFEST_FILE} must list every "
+            f"library series ({len(calls)} call sites found)"))
+        return findings
+
+    seen_kinds: dict[str, tuple[str, str, int]] = {}
+    used_rows: set[str] = set()
+    for pattern, kind, rel, line in sorted(calls, key=lambda c: (c[2],
+                                                                 c[3])):
+        prior = seen_kinds.setdefault(pattern, (kind, rel, line))
+        if prior[0] != kind:
+            findings.append(Finding(
+                rel, line, PASS,
+                f"metric `{pattern}` registered as {kind} here but as "
+                f"{prior[0]} at {prior[1]}:{prior[2]} — a kind fork "
+                f"splits the series"))
+        row = manifest.get(pattern)
+        if row is None:
+            near = [n for n in manifest
+                    if edit_distance_leq_1(pattern, n)]
+            if near:
+                findings.append(Finding(
+                    rel, line, PASS,
+                    f"metric `{pattern}` looks like a typo of documented "
+                    f"`{near[0]}` — a one-character drift forks the "
+                    f"series"))
+            else:
+                findings.append(Finding(
+                    rel, line, PASS,
+                    f"metric `{pattern}` is not in {MANIFEST_FILE} — add "
+                    f"a manifest row (name, kind, one-line meaning)"))
+            continue
+        used_rows.add(pattern)
+        if row[0] != kind:
+            findings.append(Finding(
+                rel, line, PASS,
+                f"metric `{pattern}` registered as {kind} but the "
+                f"manifest documents it as {row[0]}"))
+    for pattern, (kind, line) in sorted(manifest.items()):
+        if pattern not in used_rows:
+            findings.append(Finding(
+                MANIFEST_FILE, line, PASS,
+                f"manifest documents `{pattern}` ({kind}) but no library "
+                f"call site produces it — stale row"))
+    return findings

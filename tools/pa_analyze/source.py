@@ -1,0 +1,183 @@
+"""Shared source model: load every C++ file once, strip comments with
+line structure preserved, and walk brace/string structure without being
+fooled by literals.
+
+The passes are regex-plus-scope analyses, not a real parser; the helpers
+here centralize the two things naive regexes get wrong on C++ — comments
+and string literals — so every pass sees the same sanitized view.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+
+CXX_SUFFIXES = {".h", ".hpp", ".cc", ".cpp", ".cxx"}
+SCAN_DIRS = ("include", "src", "tests", "bench", "examples")
+
+
+def strip_comments(text: str) -> str:
+    """Replaces // and /* */ comment bodies with spaces, preserving every
+    newline (so offsets → line numbers survive) and leaving string and
+    character literals intact."""
+    out = []
+    i = 0
+    n = len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+            elif c == "'":
+                state = "char"
+            out.append(c)
+            i += 1
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+            i += 1
+        else:  # string or char literal
+            if c == "\\" and i + 1 < n:
+                out.append(c)
+                out.append(text[i + 1])
+                i += 2
+                continue
+            if (state == "string" and c == '"') or (
+                state == "char" and c == "'"
+            ):
+                state = "code"
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def line_of(text: str, pos: int) -> int:
+    """1-based line number of byte offset `pos`."""
+    return text.count("\n", 0, pos) + 1
+
+
+def iter_code(text: str, start: int = 0, end: int | None = None):
+    """Yields (index, char) over comment-stripped text, skipping the
+    *contents* of string and character literals (the quotes themselves are
+    yielded), so brace matching never trips on `"{"`."""
+    if end is None:
+        end = len(text)
+    i = start
+    state = "code"
+    while i < end:
+        c = text[i]
+        if state == "code":
+            if c == '"':
+                state = "string"
+            elif c == "'":
+                state = "char"
+            yield i, c
+            i += 1
+        else:
+            if c == "\\" and i + 1 < end:
+                i += 2
+                continue
+            if (state == "string" and c == '"') or (
+                state == "char" and c == "'"
+            ):
+                state = "code"
+                yield i, c
+            i += 1
+
+
+def match_brace(text: str, open_idx: int) -> int:
+    """Index of the '}' closing the '{' at `open_idx` (comment-stripped
+    text). Returns len(text) - 1 when unbalanced (truncated file)."""
+    depth = 0
+    last = open_idx
+    for i, c in iter_code(text, open_idx):
+        last = i
+        if c == "{":
+            depth += 1
+        elif c == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+    return last
+
+
+def match_paren(text: str, open_idx: int) -> int:
+    """Index of the ')' closing the '(' at `open_idx`."""
+    depth = 0
+    last = open_idx
+    for i, c in iter_code(text, open_idx):
+        last = i
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+    return last
+
+
+@dataclasses.dataclass
+class SourceFile:
+    rel: str  # repo-relative posix path
+    raw: str
+    code: str  # comment-stripped, newline-preserving
+
+
+class Index:
+    """All scanned sources of one repository root, loaded once."""
+
+    def __init__(self, root: Path, scan_dirs: tuple[str, ...] = SCAN_DIRS):
+        self.root = Path(root)
+        self.files: dict[str, SourceFile] = {}
+        for d in scan_dirs:
+            base = self.root / d
+            if not base.is_dir():
+                continue
+            for path in sorted(base.rglob("*")):
+                if path.suffix not in CXX_SUFFIXES or not path.is_file():
+                    continue
+                rel = path.relative_to(self.root).as_posix()
+                if "/fixtures/" in rel:
+                    # Analyzer self-test trees (tests/tools/fixtures/)
+                    # carry seeded violations; each is analyzed as its own
+                    # root by the self-tests, never as part of this one.
+                    continue
+                try:
+                    raw = path.read_text(encoding="utf-8")
+                except UnicodeDecodeError:
+                    continue
+                self.files[rel] = SourceFile(rel, raw, strip_comments(raw))
+
+    def get(self, rel: str) -> SourceFile | None:
+        return self.files.get(rel)
+
+    def library_files(self):
+        """The shipped library only (include/ + src/) — the scope for
+        manifest-style checks where tests and benches may create ad-hoc
+        series or fixtures."""
+        for rel, sf in self.files.items():
+            if rel.startswith("include/") or rel.startswith("src/"):
+                yield sf
