@@ -1,4 +1,5 @@
-/// E15 — control-plane dispatch throughput.
+/// E15 — control-plane dispatch throughput; E15b — shard scaling and
+/// multi-tenant isolation.
 ///
 /// The RADICAL-Pilot characterization study (PAPERS.md) shows manager-side
 /// dispatch rate — not agent capacity — caps units/s at scale. This binary
@@ -8,10 +9,17 @@
 /// the middleware control plane (command handling, state transitions,
 /// scheduling, bookkeeping). Steady-state dispatch throughput on the
 /// 64-pilot / 50k-unit workload is the acceptance number recorded in
-/// EXPERIMENTS.md E15.
+/// EXPERIMENTS.md E15; the sharded sweep (--shards) and the noisy-tenant
+/// scenario (--tenants + --noisy) are E15b.
 ///
 /// Flags: --pilots N --units N --cores N (per pilot) --threads N
 ///        (completion threads) --warmup N --timeout S --metrics-out FILE
+///        --shards N (control-plane shards)
+///        --tenants M (spread units over M tenants via a TenantRegistry)
+///        --noisy (tenant t0 submits 10x every other tenant's units)
+///        --assert-shard-speedup X (run 1 shard then --shards shards and
+///        fail unless units/s improved by at least X; skipped on hosts
+///        with fewer than 4 cores, where shards cannot run in parallel)
 
 #include <iostream>
 #include <map>
@@ -27,6 +35,7 @@
 #include "pa/common/time_utils.h"
 #include "pa/core/pilot_compute_service.h"
 #include "pa/obs/metrics.h"
+#include "pa/tenant/registry.h"
 
 namespace {
 
@@ -104,6 +113,25 @@ int int_flag(int argc, char** argv, const std::string& name, int fallback) {
   return fallback;
 }
 
+double double_flag(int argc, char** argv, const std::string& name,
+                   double fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (argv[i] == "--" + name) {
+      return std::stod(argv[i + 1]);
+    }
+  }
+  return fallback;
+}
+
+bool has_flag(int argc, char** argv, const std::string& name) {
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i] == "--" + name) {
+      return true;
+    }
+  }
+  return false;
+}
+
 std::uint64_t counter_or_zero(const obs::MetricsRegistry& metrics,
                               const std::string& name) {
   for (const auto& [counter_name, value] : metrics.counters()) {
@@ -114,71 +142,183 @@ std::uint64_t counter_or_zero(const obs::MetricsRegistry& metrics,
   return 0;
 }
 
-}  // namespace
+struct RunConfig {
+  int pilots = 64;
+  int units = 50000;
+  int cores = 8;
+  int threads = 4;
+  int warmup = 2000;
+  int timeout = 1200;
+  int shards = 1;
+  int tenants = 1;
+  bool noisy = false;
+};
 
-int main(int argc, char** argv) {
-  const int pilots = int_flag(argc, argv, "pilots", 64);
-  const int units = int_flag(argc, argv, "units", 50000);
-  const int cores = int_flag(argc, argv, "cores", 8);
-  const int threads = int_flag(argc, argv, "threads", 4);
-  const int warmup = int_flag(argc, argv, "warmup", std::min(units / 10, 2000));
-  const int timeout = int_flag(argc, argv, "timeout", 1200);
-  const std::string metrics_path = pa::bench::metrics_out_path(argc, argv);
+struct RunResult {
+  double elapsed = 0.0;
+  double units_per_s = 0.0;
+  /// tenant name -> (units submitted, units/s over the measured window)
+  std::vector<std::pair<std::string, double>> tenant_units_per_s;
+};
 
-  pa::bench::print_header(
-      "E15", "control-plane dispatch throughput (SyntheticRuntime, " +
-                 std::to_string(pilots) + " pilots x " + std::to_string(cores) +
-                 " cores, " + std::to_string(units) + " units)");
+std::string tenant_name(int i) { return "t" + std::to_string(i); }
 
-  pa::obs::MetricsRegistry metrics;
-  SyntheticRuntime runtime(threads);
-  pa::core::PilotComputeService service(runtime, "fifo");
-  service.attach_observability(nullptr, &metrics);
+/// One full measurement: fresh runtime/service/registry so sweep points
+/// never share warmed state.
+RunResult run_once(const RunConfig& cfg, obs::MetricsRegistry* metrics) {
+  SyntheticRuntime runtime(cfg.threads);
+  pa::core::PilotComputeService::Options options;
+  options.scheduler_policy = "fifo";
+  options.shards = cfg.shards;
+  pa::core::PilotComputeService service(runtime, options);
+  if (metrics != nullptr) {
+    service.attach_observability(nullptr, metrics);
+  }
 
-  for (int i = 0; i < pilots; ++i) {
+  pa::tenant::TenantRegistry registry(
+      [&runtime]() { return runtime.now(); });
+  if (cfg.tenants > 1) {
+    for (int t = 0; t < cfg.tenants; ++t) {
+      registry.set_weight(tenant_name(t), 1.0);
+    }
+    if (metrics != nullptr) {
+      registry.set_metrics(metrics);
+    }
+    service.attach_admission(&registry, /*fair_share=*/true);
+  }
+
+  for (int i = 0; i < cfg.pilots; ++i) {
     pa::core::PilotDescription pd;
     pd.resource_url = "synth://ctrl";
-    pd.nodes = cores;
+    pd.nodes = cfg.cores;
     pd.walltime = 1e9;
     service.submit_pilot(pd).wait_active(10.0);
   }
 
-  auto make_batch = [](int n) {
+  // The noisy tenant submits 10x each quiet tenant's units: total load is
+  // split so t0 gets 10 load shares and every other tenant one.
+  std::vector<int> tenant_units(std::max(1, cfg.tenants), 0);
+  auto make_batch = [&](int n) {
     std::vector<pa::core::ComputeUnitDescription> batch(n);
-    for (auto& d : batch) {
+    const int noisy_mult = cfg.noisy ? 10 : 1;
+    const int load_shares =
+        cfg.tenants > 1 ? noisy_mult + (cfg.tenants - 1) : 1;
+    for (int i = 0; i < n; ++i) {
+      auto& d = batch[static_cast<std::size_t>(i)];
       d.cores = 1;
       d.duration = 0.0;
+      if (cfg.tenants > 1) {
+        // Deal load shares round-robin; shares [0, noisy_mult) are t0's.
+        const int share = i % load_shares;
+        const int t = share < noisy_mult ? 0 : share - noisy_mult + 1;
+        d.tenant = tenant_name(t);
+        ++tenant_units[static_cast<std::size_t>(t)];
+      }
     }
     return batch;
   };
 
-  if (warmup > 0) {
-    service.submit_units(make_batch(warmup));
-    service.wait_all_units(static_cast<double>(timeout));
+  if (cfg.warmup > 0) {
+    service.submit_units(make_batch(cfg.warmup));
+    service.wait_all_units(static_cast<double>(cfg.timeout));
+    std::fill(tenant_units.begin(), tenant_units.end(), 0);
   }
 
   pa::Stopwatch watch;
-  service.submit_units(make_batch(units));
-  service.wait_all_units(static_cast<double>(timeout));
-  const double elapsed = watch.elapsed();
+  service.submit_units(make_batch(cfg.units));
+  service.wait_all_units(static_cast<double>(cfg.timeout));
+
+  RunResult result;
+  result.elapsed = watch.elapsed();
+  result.units_per_s = static_cast<double>(cfg.units) / result.elapsed;
+  if (cfg.tenants > 1) {
+    for (int t = 0; t < cfg.tenants; ++t) {
+      result.tenant_units_per_s.emplace_back(
+          tenant_name(t),
+          static_cast<double>(tenant_units[static_cast<std::size_t>(t)]) /
+              result.elapsed);
+    }
+  }
+  service.shutdown();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RunConfig cfg;
+  cfg.pilots = int_flag(argc, argv, "pilots", 64);
+  cfg.units = int_flag(argc, argv, "units", 50000);
+  cfg.cores = int_flag(argc, argv, "cores", 8);
+  cfg.threads = int_flag(argc, argv, "threads", 4);
+  cfg.warmup =
+      int_flag(argc, argv, "warmup", std::min(cfg.units / 10, 2000));
+  cfg.timeout = int_flag(argc, argv, "timeout", 1200);
+  cfg.shards = int_flag(argc, argv, "shards", 1);
+  cfg.tenants = int_flag(argc, argv, "tenants", 1);
+  cfg.noisy = has_flag(argc, argv, "noisy");
+  const double assert_speedup =
+      double_flag(argc, argv, "assert-shard-speedup", 0.0);
+  const std::string metrics_path = pa::bench::metrics_out_path(argc, argv);
+
+  pa::bench::print_header(
+      "E15", "control-plane dispatch throughput (SyntheticRuntime, " +
+                 std::to_string(cfg.pilots) + " pilots x " +
+                 std::to_string(cfg.cores) + " cores, " +
+                 std::to_string(cfg.units) + " units, " +
+                 std::to_string(cfg.shards) + " shard(s), " +
+                 std::to_string(cfg.tenants) + " tenant(s)" +
+                 (cfg.noisy ? ", noisy t0" : "") + ")");
+
+  pa::obs::MetricsRegistry metrics;
+  double baseline_units_per_s = 0.0;
+  if (assert_speedup > 0.0 && cfg.shards > 1) {
+    RunConfig base = cfg;
+    base.shards = 1;
+    const RunResult r = run_once(base, nullptr);
+    baseline_units_per_s = r.units_per_s;
+    std::cout << "baseline (1 shard): " << static_cast<std::int64_t>(
+                     baseline_units_per_s) << " units/s\n";
+  }
+  const RunResult result = run_once(cfg, &metrics);
 
   pa::Table table("E15: steady-state dispatch throughput");
   table.set_columns({pa::Column{"pilots", 0, true},
                      pa::Column{"units", 0, true},
+                     pa::Column{"shards", 0, true},
                      pa::Column{"elapsed_s", 2, true},
                      pa::Column{"units_per_s", 0, true},
                      pa::Column{"sched_passes", 0, true},
                      pa::Column{"passes_skipped", 0, true}});
-  table.add_row({static_cast<std::int64_t>(pilots),
-                 static_cast<std::int64_t>(units), elapsed,
-                 static_cast<double>(units) / elapsed,
-                 static_cast<std::int64_t>(
-                     counter_or_zero(metrics, "wm.schedule_passes")),
-                 static_cast<std::int64_t>(
-                     counter_or_zero(metrics, "wm.schedule_passes_skipped"))});
+  table.add_row(
+      {static_cast<std::int64_t>(cfg.pilots),
+       static_cast<std::int64_t>(cfg.units),
+       static_cast<std::int64_t>(cfg.shards), result.elapsed,
+       result.units_per_s,
+       static_cast<std::int64_t>(
+           counter_or_zero(metrics, "wm.schedule_passes")),
+       static_cast<std::int64_t>(
+           counter_or_zero(metrics, "wm.schedule_passes_skipped"))});
   table.print(std::cout);
 
-  // Control-plane telemetry (present after the event-driven refactor).
+  if (!result.tenant_units_per_s.empty()) {
+    pa::Table tenants_table("E15b: per-tenant throughput");
+    tenants_table.set_columns({pa::Column{"tenant", 0, true},
+                               pa::Column{"units_per_s", 0, true},
+                               pa::Column{"admitted", 0, true},
+                               pa::Column{"share_units", 0, true}});
+    for (const auto& [name, ups] : result.tenant_units_per_s) {
+      tenants_table.add_row(
+          {name, ups,
+           static_cast<std::int64_t>(
+               counter_or_zero(metrics, "tenant." + name + ".admitted")),
+           static_cast<std::int64_t>(counter_or_zero(
+               metrics, "tenant." + name + ".share_units"))});
+    }
+    tenants_table.print(std::cout);
+  }
+
+  // Control-plane telemetry (per shard after the sharding refactor).
   pa::Table ctrl("E15b: control-plane telemetry");
   ctrl.set_columns({pa::Column{"metric", 0, true},
                     pa::Column{"value", 3, false}});
@@ -198,6 +338,21 @@ int main(int argc, char** argv) {
   ctrl.print(std::cout);
 
   pa::bench::write_metrics_file(metrics_path, &metrics);
-  service.shutdown();
+
+  if (assert_speedup > 0.0 && cfg.shards > 1) {
+    if (std::thread::hardware_concurrency() < 4) {
+      std::cout << "SKIP shard-speedup assertion: "
+                << std::thread::hardware_concurrency()
+                << " hardware threads cannot run shards in parallel\n";
+      return 0;
+    }
+    const double speedup = result.units_per_s / baseline_units_per_s;
+    std::cout << "shard speedup: " << speedup << "x (" << cfg.shards
+              << " shards vs 1), required >= " << assert_speedup << "x\n";
+    if (speedup < assert_speedup) {
+      std::cerr << "FAIL: shard scaling below threshold\n";
+      return 1;
+    }
+  }
   return 0;
 }

@@ -27,6 +27,8 @@
 namespace pa::check {
 
 enum class LockRank : int {
+  kTenantRegistry = 8,
+  kShardRouter = 9,
   kService = 10,
   kStoreDirectory = 11,
   kCtrlQueue = 12,

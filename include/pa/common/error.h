@@ -44,6 +44,14 @@ class ResourceError : public Error {
   explicit ResourceError(const std::string& what) : Error(what) {}
 };
 
+/// A tenant exceeded one of its admission quotas (max in-flight units,
+/// max pilots, or submit rate). Thrown at the control-plane boundary so
+/// callers can distinguish "slow down" from a hard capacity failure.
+class QuotaExceeded : public ResourceError {
+ public:
+  explicit QuotaExceeded(const std::string& what) : ResourceError(what) {}
+};
+
 /// A timeout expired while waiting for a condition.
 class TimeoutError : public Error {
  public:

@@ -54,6 +54,10 @@ class SampleSet {
 
   const std::vector<double>& values() const { return values_; }
 
+  /// Appends every sample from `other` (merging per-shard sample sets
+  /// into an aggregate view). Invalidates the sorted cache.
+  void merge(const SampleSet& other);
+
   /// One-line human summary: "n=100 mean=4.2 sd=0.3 p50=4.1 p99=5.0".
   std::string summary() const;
 

@@ -1,0 +1,57 @@
+#pragma once
+/// \file admission.h
+/// \brief Tenant admission-control interface at the control-plane boundary.
+///
+/// `pa::core` cannot depend on `pa::tenant` (same layering rule that keeps
+/// the journal behind `JournalSink`), so the service talks to the tenant
+/// tier through this interface. `pa::tenant::TenantRegistry` implements it;
+/// tests can stub it.
+///
+/// Threading: `admit_pilot` / `admit_unit` run on the *producer* thread
+/// (before the submit command is posted), so an over-quota submission is
+/// rejected before it consumes queue space. The accounting hooks
+/// (`unit_dispatched`, `unit_finalized`, `pilot_released`) run on shard
+/// apply threads; implementations must be internally synchronized.
+
+#include <string>
+
+#include "pa/core/types.h"
+
+namespace pa::core {
+
+/// Canonical name of the implicit tenant used when a description does not
+/// name one. Keeps metric names well-formed (`tenant.default.admitted`).
+inline constexpr const char* kDefaultTenant = "default";
+
+/// Resolves the owning tenant of a description: the `tenant` field if set,
+/// else `attributes["tenant"]` (the journaled form), else `kDefaultTenant`.
+std::string tenant_of(const PilotDescription& desc);
+std::string tenant_of(const ComputeUnitDescription& desc);
+
+class AdmissionInterface {
+ public:
+  virtual ~AdmissionInterface() = default;
+
+  /// Admission checks; throw `pa::QuotaExceeded` to reject. On success the
+  /// tenant's pilot / in-flight-unit account is charged.
+  virtual void admit_pilot(const std::string& tenant) = 0;
+  virtual void admit_unit(const std::string& tenant) = 0;
+
+  /// A unit owned by `tenant` was dispatched onto `cores` cores (apply
+  /// thread). Feeds the `tenant.share_units` fair-share evidence.
+  virtual void unit_dispatched(const std::string& tenant, int cores) = 0;
+
+  /// A unit reached a final state; releases its in-flight slot and records
+  /// its queue wait (seconds from submit to start, -1 if it never ran).
+  virtual void unit_finalized(const std::string& tenant, UnitState final_state,
+                              double wait_seconds) = 0;
+
+  /// A pilot left the system for good (not restarted); frees its slot.
+  virtual void pilot_released(const std::string& tenant) = 0;
+
+  /// Fair-share weight for WorkloadManager's deficit-round-robin pass.
+  /// Implementations return 1.0 for unknown tenants.
+  virtual double tenant_weight(const std::string& tenant) const = 0;
+};
+
+}  // namespace pa::core

@@ -13,7 +13,9 @@
 ///   control     CmdCancelUnit, CmdShutdown, CmdFence
 ///   config      CmdAttachData, CmdAttachObservability, CmdAttachJournal,
 ///               CmdSetRequeuePolicy, CmdSetRestartPolicy,
-///               CmdSetMaxRequeues, CmdObserveUnits
+///               CmdSetMaxRequeues, CmdObserveUnits, CmdAttachAdmission
+///   sharding    CmdForward (cross-shard routing envelope), CmdMovePilot,
+///               CmdInstallPilot
 ///
 /// Pilot cancellation has no command: the facade forwards it to the
 /// runtime (which may need to synchronize with its own workers) and the
@@ -39,6 +41,7 @@ class MetricsRegistry;
 }  // namespace pa::obs
 
 namespace pa::core {
+class AdmissionInterface;
 class DataServiceInterface;
 class JournalSink;
 }  // namespace pa::core
@@ -132,6 +135,43 @@ struct CmdObserveUnits {
       observer;
 };
 
+struct CmdAttachAdmission {
+  AdmissionInterface* admission = nullptr;
+  /// Drive the workload manager's weighted fair-share (deficit round
+  /// robin) pass from the admission interface's tenant weights.
+  bool fair_share = false;
+};
+
+/// Cross-shard routing envelope. A shard that receives a command for an
+/// entity it does not own wraps it in a CmdForward and posts it to the
+/// owning shard's queue (a `shared_ptr` to the wrapper defined below the
+/// variant makes the recursion legal). `hops` caps forwarding loops: a
+/// command bouncing between shards chasing a moving entity gives up after
+/// `kMaxForwardHops` and is dropped with a warning instead of livelocking
+/// the appliers.
+struct CmdForward {
+  int target_shard = 0;
+  int hops = 0;
+  std::shared_ptr<struct ForwardedCommand> inner;
+};
+
+inline constexpr int kMaxForwardHops = 8;
+
+/// Fence-protocol step 1: detach `pilot_id` (and its bound units) from the
+/// shard that owns it and ship the state to `target_shard`. Posted by the
+/// facade with post_and_wait; the source shard emits CmdInstallPilot.
+struct CmdMovePilot {
+  std::string pilot_id;
+  int target_shard = 0;
+};
+
+/// Fence-protocol step 2: adopt a detached pilot (and its in-flight units)
+/// on the target shard. The payload is opaque to the taxonomy — it carries
+/// shard-internal records (see service_shard.h).
+struct CmdInstallPilot {
+  std::shared_ptr<struct PilotTransfer> transfer;
+};
+
 /// CmdFence first: the variant (and thus a queue envelope) is cheaply
 /// default-constructible.
 using Command =
@@ -140,6 +180,14 @@ using Command =
                  CmdCancelUnit, CmdShutdown, CmdAttachData,
                  CmdAttachObservability, CmdAttachJournal,
                  CmdSetRequeuePolicy, CmdSetRestartPolicy, CmdSetMaxRequeues,
-                 CmdObserveUnits>;
+                 CmdObserveUnits, CmdAttachAdmission, CmdForward, CmdMovePilot,
+                 CmdInstallPilot>;
+
+/// The forwarded payload: any command from the same taxonomy, so a
+/// forwarded command round-trips through exactly the variant the direct
+/// path uses (the commands pass checks this).
+struct ForwardedCommand {
+  Command command;
+};
 
 }  // namespace pa::core::cmd

@@ -50,6 +50,7 @@
 #include <exception>
 #include <functional>
 #include <memory>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -139,9 +140,11 @@ class ControlPlane {
     return true;
   }
 
-  /// Resolves the ctrl.* instruments. Call from the apply context only
-  /// (the instruments are touched exclusively by the applier).
-  void set_metrics(obs::MetricsRegistry* metrics) {
+  /// Resolves the per-shard ctrl.* instruments (`ctrl.<shard>.commands`,
+  /// `.batches`, `.queue_depth`, `.apply_latency`; `shard_label` is "s0",
+  /// "s1", ...). Call from the apply context only (the instruments are
+  /// touched exclusively by the applier).
+  void set_metrics(obs::MetricsRegistry* metrics, std::string shard_label) {
     if (metrics == nullptr) {
       commands_ = nullptr;
       batches_ = nullptr;
@@ -149,10 +152,36 @@ class ControlPlane {
       latency_ = nullptr;
       return;
     }
-    commands_ = &metrics->counter("ctrl.commands");
-    batches_ = &metrics->counter("ctrl.batches");
-    depth_gauge_ = &metrics->gauge("ctrl.queue_depth");
-    latency_ = &metrics->histogram("ctrl.apply_latency");
+    shard_label_ = std::move(shard_label);
+    commands_ = &metrics->counter("ctrl." + shard_label_ + ".commands");
+    batches_ = &metrics->counter("ctrl." + shard_label_ + ".batches");
+    depth_gauge_ = &metrics->gauge("ctrl." + shard_label_ + ".queue_depth");
+    latency_ = &metrics->histogram("ctrl." + shard_label_ + ".apply_latency");
+  }
+
+  /// Posts from a *peer shard's apply thread*, bypassing backpressure: a
+  /// full plane must never stall a peer applier (two planes forwarding to
+  /// each other under load would deadlock on each other's bounds), and a
+  /// forwarded command was already admitted once through its origin
+  /// shard's bound, so the system-wide in-flight total stays bounded.
+  /// Inline mode drains immediately on the calling thread — a cross-shard
+  /// forward in a single_threaded() runtime is just a nested drain.
+  bool post_forward(Command command) {
+    Envelope env{std::move(command), now(), nullptr};
+    if (stopped_.load(std::memory_order_acquire)) {
+      return false;
+    }
+    depth_.fetch_add(1, std::memory_order_seq_cst);
+    queue_.push(std::move(env));
+    if (!options_.threaded) {
+      drain_inline();
+      return true;
+    }
+    if (sleeping_.load(std::memory_order_seq_cst)) {
+      check::MutexLock lock(mutex_);
+      consumer_cv_.notify_one();
+    }
+    return true;
   }
 
   /// Drains outstanding commands, then joins the apply thread. Commands
@@ -385,6 +414,7 @@ class ControlPlane {
   bool draining_ = false;
 
   /// ctrl.* instruments; resolved and used only from the apply context.
+  std::string shard_label_;
   obs::Counter* commands_ = nullptr;
   obs::Counter* batches_ = nullptr;
   obs::Gauge* depth_gauge_ = nullptr;

@@ -7,43 +7,47 @@
 /// P* machinery (pilot manager, late-binding workload manager, scheduler,
 /// agents) on whichever `Runtime` it was constructed with.
 ///
-/// Threading model (event-driven control plane, see control_plane.h and
-/// DESIGN.md "Control plane"):
+/// Threading model (sharded event-driven control plane, see
+/// service_shard.h, control_plane.h and DESIGN.md "Control plane"):
 ///
-///  * **Writes.** Every mutation — submissions, cancellations, the three
-///    runtimes' callbacks, timer-driven schedule passes — is a command on
-///    a bounded MPSC queue drained by a single apply context that owns
-///    pilots_/units_/workload_ exclusively and lock-free. Runtime
-///    callbacks cost one wait-free push on the substrate thread; no
-///    middleware logic runs there. Synchronous mutators (submit_pilot,
-///    cancel_unit, ...) post and wait; handler exceptions (NotFound,
-///    InvalidArgument) propagate back to the caller.
-///  * **Reads.** Accessors (pilot_state, unit_times, metrics, ...) are
-///    served from a read-mostly snapshot the applier republishes at the
-///    end of each command batch. The service mutex (LockRank::kService)
-///    shrank to guarding only that snapshot swap — it is never held
-///    across callbacks, journaling, or scheduling.
+///  * **Shards.** State is partitioned across `Options::shards`
+///    single-writer engines. Pilots and units land on shard
+///    (trailing id ordinal % N) — lock-free round-robin — and every
+///    shard owns its own bounded MPSC queue, apply context, journal
+///    stream, and read snapshot. One shard (the default) reproduces the
+///    classic single-apply-thread service exactly.
+///  * **Writes.** Every mutation is a command posted to the owning
+///    shard's queue. Cross-shard traffic (stale callbacks after a pilot
+///    move) travels as forwarded commands on the same queues.
+///  * **Reads.** Accessors merge the per-shard read-mostly snapshots;
+///    each shard's snapshot mutex (LockRank::kService) guards only its
+///    own swap.
+///  * **Admission.** With an `AdmissionInterface` attached (see
+///    pa::tenant::TenantRegistry), submissions are admitted on the
+///    producer thread *before* consuming queue space and throw
+///    `pa::QuotaExceeded` when the tenant is over quota; shards report
+///    grants/finalizations back through the same interface, and the
+///    workload managers run a weighted fair-share (deficit round robin)
+///    pass across tenants.
 ///  * **Determinism.** On a `Runtime::single_threaded()` substrate
-///    (SimRuntime) the queue drains inline on the posting thread, so
-///    simulations stay bit-identical run to run.
+///    (SimRuntime) every queue drains inline on the posting thread, so
+///    simulations stay bit-identical run to run — cross-shard forwards
+///    become nested inline drains.
 
 #include <atomic>
-#include <map>
+#include <cstdint>
 #include <memory>
-#include <set>
 #include <string>
 #include <vector>
 
-#include "pa/check/mutex.h"
 #include "pa/common/id.h"
-#include "pa/common/stats.h"
+#include "pa/core/admission.h"
 #include "pa/core/command.h"
-#include "pa/core/control_plane.h"
-#include "pa/core/journal_hook.h"
 #include "pa/core/runtime.h"
-#include "pa/core/state_machine.h"
+#include "pa/core/service_metrics.h"
+#include "pa/core/service_shard.h"
+#include "pa/core/shard_router.h"
 #include "pa/core/types.h"
-#include "pa/core/workload_manager.h"
 #include "pa/obs/metrics.h"
 #include "pa/obs/tracer.h"
 
@@ -92,29 +96,18 @@ class ComputeUnit {
   PilotComputeService* service_ = nullptr;
 };
 
-/// Aggregated execution metrics (basis of E1/E2 tables).
-struct ServiceMetrics {
-  pa::SampleSet pilot_startup_times;  ///< submit -> active per pilot
-  pa::SampleSet unit_wait_times;      ///< submit -> start per unit
-  pa::SampleSet unit_exec_times;      ///< start -> finish per unit
-  std::size_t units_done = 0;
-  std::size_t units_failed = 0;
-  std::size_t units_canceled = 0;
-  std::size_t requeues = 0;           ///< pilot-failure recoveries
-  double first_submit_time = -1.0;
-  double last_finish_time = -1.0;
-
-  /// Wall/sim span from first unit submission to last completion.
-  double makespan() const {
-    return (first_submit_time >= 0.0 && last_finish_time >= 0.0)
-               ? last_finish_time - first_submit_time
-               : 0.0;
-  }
-};
-
 class PilotComputeService {
  public:
-  /// `scheduler_policy`: see pa::core::make_scheduler.
+  struct Options {
+    /// See pa::core::make_scheduler.
+    std::string scheduler_policy = "backfill";
+    /// Control-plane shards (apply threads / journal streams). 1 keeps
+    /// the classic single-writer service.
+    int shards = 1;
+  };
+
+  explicit PilotComputeService(Runtime& runtime, Options options);
+  /// Back-compat: a single-shard service.
   explicit PilotComputeService(Runtime& runtime,
                                const std::string& scheduler_policy = "backfill");
   ~PilotComputeService();
@@ -133,21 +126,36 @@ class PilotComputeService {
   /// per-transition "pilot.state"/"unit.state" events — all stamped with
   /// the *runtime's* clock (simulated time on SimRuntime, wall time on
   /// LocalRuntime). With a registry attached the service, its workload
-  /// manager and its control plane export lifecycle counters, scheduler-
-  /// decision metrics and queue telemetry ("pcs.*", "wm.*", "ctrl.*").
-  /// Both sinks must outlive their attachment.
+  /// managers and its control planes export lifecycle counters, scheduler-
+  /// decision metrics and per-shard queue telemetry ("pcs.*", "wm.*",
+  /// "ctrl.<shard>.*"). Both sinks must outlive their attachment.
   void attach_observability(obs::Tracer* tracer,
                             obs::MetricsRegistry* metrics);
 
-  /// Connects the write-ahead state journal. Every validated lifecycle
-  /// event (pilot submit + state transitions, unit submit/bind/state/
-  /// requeue, data placement) is emitted through the sink at the point it
-  /// is applied in memory — by the apply context, which serializes all
-  /// events, so replay order equals apply order. Attach *before*
-  /// submitting work — pilots and units submitted earlier are not
-  /// retroactively journaled. Pass nullptr to detach; the sink must
+  /// Connects the write-ahead state journal (single-shard services only —
+  /// a sharded service has one journal stream per shard, see
+  /// attach_journal_shards). Every validated lifecycle event is emitted
+  /// through the sink at the point it is applied in memory. Attach
+  /// *before* submitting work. Pass nullptr to detach; the sink must
   /// outlive its attachment.
   void attach_journal(JournalSink* journal);
+
+  /// Connects one journal sink per shard (size must equal
+  /// Options::shards; entries may be null). Shard k journals exactly the
+  /// entities it owns; a pilot moved between shards is re-journaled on
+  /// the target as an adoption chain, and
+  /// pa::journal::recover_sharded merges the per-shard streams.
+  void attach_journal_shards(const std::vector<JournalSink*>& journals);
+
+  /// Connects admission control (quotas + fair-share weights; see
+  /// pa::tenant::TenantRegistry). Submissions from over-quota tenants
+  /// throw pa::QuotaExceeded at this boundary, before consuming any
+  /// queue space. `fair_share` additionally orders the late-binding
+  /// queues across tenants by weighted deficit round robin. Pass nullptr
+  /// to detach; the interface must outlive its attachment and be
+  /// internally synchronized (shards report from their apply threads).
+  void attach_admission(AdmissionInterface* admission,
+                        bool fair_share = true);
 
   /// Submits a pilot; it proceeds NEW -> SUBMITTED -> ACTIVE asynchronously.
   Pilot submit_pilot(const PilotDescription& description);
@@ -155,7 +163,8 @@ class PilotComputeService {
   /// Submits a unit into the late-binding queue.
   ComputeUnit submit_unit(const ComputeUnitDescription& description);
   /// Batch submission: posts every unit fire-and-forget and waits once,
-  /// so a large burst costs one queue round-trip, not N.
+  /// so a large burst costs one queue round-trip per shard, not N. On a
+  /// quota rejection mid-burst, units admitted earlier stay submitted.
   std::vector<ComputeUnit> submit_units(
       const std::vector<ComputeUnitDescription>& descriptions);
 
@@ -177,13 +186,12 @@ class PilotComputeService {
   void set_max_unit_requeues(int max_requeues);
 
   /// Observer for every unit state transition (in addition to per-unit
-  /// waits). Called on the control plane's apply context (the apply
-  /// thread on threaded runtimes); keep callbacks short and do not call
-  /// back into the service from them — a synchronous mutator would wait
-  /// on the very thread it runs on.
-  using UnitObserver =
-      std::function<void(const std::string& unit_id, UnitState from,
-                         UnitState to)>;
+  /// waits). Called on the owning shard's apply context — with several
+  /// shards the observer fires on several apply threads (never
+  /// concurrently for the same unit); it must be thread-safe across
+  /// units. Keep callbacks short and do not call back into the service
+  /// from them.
+  using UnitObserver = ServiceShard::UnitObserver;
   void observe_units(UnitObserver observer);
 
   PilotState pilot_state(const std::string& pilot_id) const;
@@ -205,6 +213,21 @@ class PilotComputeService {
   UnitState wait_unit(const std::string& unit_id,
                       double timeout_seconds = 3600.0);
 
+  /// Rebalancing: migrates a pilot (and its bound, in-flight units) to
+  /// `target_shard` with the fence protocol — when this returns, the
+  /// target owns the pilot and has published it. Unit completions in
+  /// flight during the move are forwarded and stay exactly-once (attempt
+  /// tags are carried). No-op when the pilot already lives there or is
+  /// final. Concurrent moves of the *same* pilot are not linearizable;
+  /// serialize them in the caller.
+  void move_pilot_to_shard(const std::string& pilot_id, int target_shard);
+
+  /// Which shard currently owns `id` (routing view; for tests/tools).
+  int shard_of(const std::string& id) const {
+    return router_.shard_for_id(id);
+  }
+  int shards() const { return static_cast<int>(shards_.size()); }
+
   /// Advances the internal "pilot-N"/"unit-N" id generators to at least
   /// the given ordinals. A recovered journal's ids must never be reissued
   /// by the resumed service (pa::journal::resume calls this with the
@@ -213,145 +236,48 @@ class PilotComputeService {
 
   std::size_t total_units() const;
   std::size_t unfinished_units() const;
-  /// Copy of current metrics (consistent snapshot).
+  /// Copy of current metrics (per-shard snapshots, merged).
   ServiceMetrics metrics() const;
   Runtime& runtime() { return runtime_; }
 
  private:
-  struct PilotRecord {
-    PilotDescription description;
-    PilotStateMachine sm{PilotState::kNew};
-    double submit_time = -1.0;
-    double active_time = -1.0;
-    int total_cores = 0;
-    std::string site;
-    int restarts_used = 0;  ///< restarts consumed by this lineage
-  };
-
-  struct UnitRecord {
-    ComputeUnitDescription description;
-    UnitStateMachine sm{UnitState::kNew};
-    UnitTimes times;
-    std::string pilot_id;  ///< current binding, empty while queued
-    bool cancel_requested = false;
-    int attempts = 0;
-  };
-
-  /// What readers may see of a unit.
-  struct UnitSnap {
-    UnitState state = UnitState::kNew;
-    UnitTimes times;
-  };
-
-  /// The read-mostly snapshot. The applier mutates the current model in
-  /// place under a short snapshot_mutex_ hold at batch end (flushing only
-  /// dirty entries); it clones first iff a reader still shares the
-  /// pointer, so readers always see a batch-consistent state.
-  struct ReadModel {
-    std::map<std::string, PilotState> pilot_states;
-    std::map<std::string, UnitSnap> units;
-    ServiceMetrics metrics;
-    std::size_t unfinished = 0;
-  };
-
-  /// Per-batch increments destined for ReadModel::metrics. Deltas rather
-  /// than wholesale copies: the SampleSets grow with the workload and
-  /// copying them per batch would dwarf the work being measured.
-  struct MetricsDelta {
-    std::vector<double> pilot_startups;
-    std::vector<double> unit_waits;
-    std::vector<double> unit_execs;
-    std::size_t done = 0;
-    std::size_t failed = 0;
-    std::size_t canceled = 0;
-    std::size_t requeues = 0;
-    double first_submit = -1.0;
-    double last_finish = -1.0;
-    bool any = false;
-  };
-
-  using Ctrl = ControlPlane<cmd::Command>;
-
-  // ---- apply side. Everything below runs only on the control plane's
-  // apply context and touches the apply-confined state lock-free. ----
-  void apply_command(cmd::Command& command);
-  void apply(cmd::CmdFence& c);
-  void apply(cmd::CmdSubmitPilot& c);
-  void apply(cmd::CmdSubmitUnit& c);
-  void apply(cmd::CmdPilotActive& c);
-  void apply(cmd::CmdPilotTerminated& c);
-  void apply(cmd::CmdUnitDone& c);
-  void apply(cmd::CmdStageInDone& c);
-  void apply(cmd::CmdCancelUnit& c);
-  void apply(cmd::CmdShutdown& c);
-  void apply(cmd::CmdAttachData& c);
-  void apply(cmd::CmdAttachObservability& c);
-  void apply(cmd::CmdAttachJournal& c);
-  void apply(cmd::CmdSetRequeuePolicy& c);
-  void apply(cmd::CmdSetRestartPolicy& c);
-  void apply(cmd::CmdSetMaxRequeues& c);
-  void apply(cmd::CmdObserveUnits& c);
-
-  /// Batch-end hook: one coalesced schedule pass (skipped by the workload
-  /// manager's dirty flag when nothing changed), then snapshot publish.
-  void on_batch_end();
-  void run_schedule_cycle();
-  void publish_snapshot();
-
-  void submit_pilot_apply(const std::string& pilot_id,
-                          const PilotDescription& description,
-                          int restarts_used);
-  void dispatch_unit_apply(const std::string& unit_id,
-                           const std::string& pilot_id);
-  void execute_unit_apply(const std::string& unit_id);
-  void finalize_unit_apply(UnitRecord& unit, const std::string& unit_id,
-                           UnitState final_state);
-
-  PilotRecord& pilot_record(const std::string& pilot_id);
-  UnitRecord& unit_record(const std::string& unit_id);
-  /// The observer attached to every unit state machine: journal, tracer,
-  /// user observers, snapshot dirty set.
-  UnitStateMachine::Observer make_unit_observer(const std::string& unit_id);
+  ServiceShard& owner_of(const std::string& id) const {
+    return *shards_[static_cast<std::size_t>(router_.shard_for_id(id))];
+  }
+  /// Posts `command` to every shard synchronously (attach/config fan-out).
+  void post_all_and_wait(const cmd::Command& command);
+  /// Normalizes the tenant into attributes (survives journal replay) and
+  /// returns it.
+  template <typename Description>
+  static std::string normalize_tenant(Description& description);
+  bool try_unit_snap(const std::string& unit_id,
+                     ServiceShard::UnitSnap* out) const;
+  ServiceShard::UnitSnap unit_snap(const std::string& unit_id) const;
 
   Runtime& runtime_;
 
-  // ---- apply-confined state (single writer, no lock) ----
-  WorkloadManager workload_;
-  DataServiceInterface* data_ = nullptr;
-  obs::Tracer* tracer_ = nullptr;
-  obs::MetricsRegistry* obs_metrics_ = nullptr;
-  JournalSink* journal_ = nullptr;
-  bool requeue_on_pilot_failure_ = true;
-  int pilot_max_restarts_ = 0;
-  std::vector<UnitObserver> unit_observers_;
-  std::map<std::string, PilotRecord> pilots_;
-  std::map<std::string, UnitRecord> units_;
-  /// Records touched since the last publish (state-machine observers and
-  /// the requeue/finalize paths feed these).
-  std::set<std::string> dirty_pilots_;
-  std::set<std::string> dirty_units_;
-  MetricsDelta delta_;
-  bool first_submit_recorded_ = false;
+  /// Producer-side admission; swapped by attach_admission, read on every
+  /// submit. The apply-side copies (per shard) are authoritative for
+  /// accounting hooks.
+  std::atomic<AdmissionInterface*> admission_{nullptr};
 
   /// Set by the apply side (CmdShutdown); read by producer-side argument
-  /// validation so post-shutdown submits fail fast. The apply-side check
-  /// is authoritative.
+  /// validation so post-shutdown submits fail fast, and by the shards'
+  /// restart policy. The apply-side check is authoritative.
   std::atomic<bool> shut_down_{false};
+
+  /// Units currently between shards (detached from the source's read
+  /// model, not yet published by the target). unfinished_units() adds
+  /// this so wait_all_units can never observe a transient zero mid-move.
+  std::atomic<std::int64_t> in_transit_units_{0};
 
   /// Atomic: ids are minted at the call site, before posting.
   pa::IdGenerator pilot_ids_{"pilot"};
   pa::IdGenerator unit_ids_{"unit"};
 
-  /// The shrunken kService lock: guards only the snapshot pointer and
-  /// the in-place flush of dirty entries at batch end. Never held across
-  /// callbacks, journaling, scheduling, or runtime calls.
-  mutable check::Mutex snapshot_mutex_{check::LockRank::kService,
-                                       "core::PilotComputeService"};
-  std::shared_ptr<ReadModel> model_ PA_GUARDED_BY(snapshot_mutex_);
-
-  /// Declared last: destroyed first, joining the apply thread while the
-  /// state it references is still alive.
-  std::unique_ptr<Ctrl> ctrl_;
+  /// Declared before shards_ (shards hold a reference).
+  mutable ShardRouter router_;
+  std::vector<std::unique_ptr<ServiceShard>> shards_;
 };
 
 }  // namespace pa::core

@@ -1,0 +1,56 @@
+#pragma once
+/// \file service_metrics.h
+/// \brief Aggregated execution metrics (basis of E1/E2 tables).
+///
+/// Lives in its own header so both the sharded engine (service_shard.h)
+/// and the facade (pilot_compute_service.h) can speak the same metrics
+/// type without an include cycle. With N shards the facade merges the
+/// per-shard copies: SampleSets append, counters sum, first_submit takes
+/// the earliest and last_finish the latest recorded time.
+
+#include <cstddef>
+
+#include "pa/common/stats.h"
+
+namespace pa::core {
+
+/// Aggregated execution metrics (basis of E1/E2 tables).
+struct ServiceMetrics {
+  pa::SampleSet pilot_startup_times;  ///< submit -> active per pilot
+  pa::SampleSet unit_wait_times;      ///< submit -> start per unit
+  pa::SampleSet unit_exec_times;      ///< start -> finish per unit
+  std::size_t units_done = 0;
+  std::size_t units_failed = 0;
+  std::size_t units_canceled = 0;
+  std::size_t requeues = 0;           ///< pilot-failure recoveries
+  double first_submit_time = -1.0;
+  double last_finish_time = -1.0;
+
+  /// Wall/sim span from first unit submission to last completion.
+  double makespan() const {
+    return (first_submit_time >= 0.0 && last_finish_time >= 0.0)
+               ? last_finish_time - first_submit_time
+               : 0.0;
+  }
+
+  /// Folds another shard's metrics into this one.
+  void merge(const ServiceMetrics& other) {
+    pilot_startup_times.merge(other.pilot_startup_times);
+    unit_wait_times.merge(other.unit_wait_times);
+    unit_exec_times.merge(other.unit_exec_times);
+    units_done += other.units_done;
+    units_failed += other.units_failed;
+    units_canceled += other.units_canceled;
+    requeues += other.requeues;
+    if (other.first_submit_time >= 0.0 &&
+        (first_submit_time < 0.0 ||
+         other.first_submit_time < first_submit_time)) {
+      first_submit_time = other.first_submit_time;
+    }
+    if (other.last_finish_time > last_finish_time) {
+      last_finish_time = other.last_finish_time;
+    }
+  }
+};
+
+}  // namespace pa::core

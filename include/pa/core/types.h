@@ -58,6 +58,10 @@ struct PilotDescription {
   int priority = 0;
   /// Cost per core-hour for cost-aware scheduling; 0 = free (HPC alloc).
   double cost_per_core_hour = 0.0;
+  /// Owning tenant for quota accounting and fair-share scheduling.
+  /// Empty means the implicit default tenant. Normalized into
+  /// `attributes["tenant"]` at submission so it survives journal replay.
+  std::string tenant;
   pa::Config attributes;
 };
 
@@ -75,6 +79,10 @@ struct ComputeUnitDescription {
   std::vector<std::string> input_data;
   /// Data units this unit produces (registered at the executing site).
   std::vector<std::string> output_data;
+  /// Owning tenant for quota accounting and fair-share scheduling.
+  /// Empty means the implicit default tenant. Normalized into
+  /// `attributes["tenant"]` at submission so it survives journal replay.
+  std::string tenant;
   /// Free-form hints, e.g. "preferred_site=hpc-a".
   pa::Config attributes;
 };

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "pa/core/admission.h"
 #include "pa/core/runtime.h"
 #include "pa/core/scheduler.h"
 #include "pa/core/types.h"
@@ -47,6 +48,29 @@ class WorkloadManager {
   /// Removes a pilot (terminated). Returns the units that were bound to it
   /// and must be requeued or failed by the caller.
   std::vector<std::string> remove_pilot(const std::string& pilot_id);
+
+  /// A bound unit detached together with its pilot (cross-shard move).
+  /// Carries the bookkeeping that must survive the move: reserved cores
+  /// and the requeue count (so the max_requeues bound cannot be reset by
+  /// moving a poison unit between shards).
+  struct DetachedUnit {
+    std::string unit_id;
+    int cores = 1;
+    int requeues = 0;
+  };
+
+  /// Removes a pilot *without* orphaning its bound units (they travel with
+  /// it to another shard). Unlike remove_pilot, this has no requeue side
+  /// effects; queued units are untouched. Returns the detached bound set.
+  std::vector<DetachedUnit> detach_pilot(const std::string& pilot_id);
+
+  /// Registers a pilot arriving from another shard together with the
+  /// units already bound to it: capacity is added and immediately
+  /// re-reserved for the bound set, and requeue counts are re-seeded.
+  void adopt_pilot(const std::string& pilot_id, const std::string& site,
+                   int total_cores, int priority, double cost_per_core_hour,
+                   double walltime_end,
+                   const std::vector<DetachedUnit>& bound_units);
 
   bool has_pilot(const std::string& pilot_id) const;
   std::size_t pilot_count() const { return pilots_.size(); }
@@ -111,6 +135,22 @@ class WorkloadManager {
   /// outlive its attachment.
   void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
 
+  /// Source of tenant weights for the fair-share pass. Pass nullptr to
+  /// detach; the interface must outlive its attachment.
+  void set_admission(const AdmissionInterface* admission) {
+    admission_ = admission;
+  }
+
+  /// Enables the weighted fair-share (deficit round robin) ordering pass.
+  /// Active only while an admission interface is attached and more than
+  /// one distinct tenant has queued units — a single-tenant queue keeps
+  /// the exact policy-ordered fast path.
+  void set_fair_share(bool enabled) {
+    fair_share_ = enabled;
+    dirty_ = true;  // the presented order may change
+  }
+  bool fair_share() const { return fair_share_; }
+
  private:
   struct PilotRecord {
     std::string site;
@@ -127,6 +167,7 @@ class WorkloadManager {
     double expected_duration = 1.0;
     std::vector<std::string> input_data;
     std::string preferred_site;
+    std::string tenant;  ///< normalized owner (see core::tenant_of)
   };
 
   struct BoundUnit {
@@ -149,6 +190,13 @@ class WorkloadManager {
   /// comparator otherwise (front = before equals, back = after equals).
   void insert_queued(QueuedUnit unit, bool front);
 
+  /// Weighted fair-share ordering (deficit round robin): credits every
+  /// tenant with queued units (weight x quantum), then interleaves the
+  /// queue across tenants by accumulated credit, filling `order` with
+  /// original queue positions. Returns false (order untouched, no credit
+  /// granted) when fewer than two tenants have queued units.
+  bool fair_share_order(std::vector<std::size_t>* order);
+
   std::unique_ptr<Scheduler> scheduler_;
   obs::MetricsRegistry* metrics_ = nullptr;
   int max_requeues_ = kDefaultMaxRequeues;
@@ -168,6 +216,14 @@ class WorkloadManager {
   /// Set by every mutation that could enable a placement; cleared when a
   /// pass executes. Starts clean: an empty manager has nothing to place.
   bool dirty_ = false;
+
+  const AdmissionInterface* admission_ = nullptr;
+  bool fair_share_ = false;
+  /// Persistent fair-share credit per tenant ("deficit"): grows by
+  /// weight x quantum each pass the tenant has queued units, shrinks by
+  /// the cores actually granted, and is dropped when the tenant's queue
+  /// empties (fresh start when it returns).
+  std::map<std::string, double> drr_deficit_;
 };
 
 }  // namespace pa::core

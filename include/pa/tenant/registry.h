@@ -1,0 +1,128 @@
+#pragma once
+/// \file registry.h
+/// \brief pa::tenant — multi-tenant quotas and fair-share weights.
+///
+/// `TenantRegistry` is the concrete `pa::core::AdmissionInterface`: attach
+/// it with `PilotComputeService::attach_admission` and every submission is
+/// admitted against the owning tenant's quotas *before* it consumes
+/// control-plane queue space — over-quota submissions throw
+/// `pa::QuotaExceeded` on the caller's thread. The registry also supplies
+/// the per-tenant weights that drive the workload managers' weighted
+/// fair-share (deficit round robin) ordering pass.
+///
+/// Quotas are soft-state and purely in-memory: a recovered service starts
+/// with fresh accounts and re-charges them as the resume plan resubmits
+/// work through the normal admission path.
+///
+/// Threading: one mutex (LockRank::kTenantRegistry — below every service
+/// and metrics lock) guards all accounts. admit_* run on producer threads;
+/// the accounting hooks run on shard apply threads; weights are read from
+/// scheduling passes. All are short leaf sections.
+///
+/// Observability (docs/METRICS.md "Tenant tier"): aggregate counters
+/// `tenant.admitted` / `tenant.rejected_quota` / `tenant.share_units`
+/// plus per-tenant `tenant.<tenant>.admitted|rejected_quota|share_units`
+/// counters, a `tenant.<tenant>.inflight` gauge and a
+/// `tenant.<tenant>.unit_wait` histogram.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "pa/check/mutex.h"
+#include "pa/core/admission.h"
+#include "pa/core/types.h"
+#include "pa/obs/metrics.h"
+
+namespace pa::tenant {
+
+/// Per-tenant admission limits. -1 (the default) means unlimited.
+struct Quota {
+  /// Units submitted but not yet final.
+  std::int64_t max_inflight_units = -1;
+  /// Live (non-released) pilots.
+  std::int64_t max_pilots = -1;
+  /// Sustained submissions/second (token bucket on the registry's clock;
+  /// pilots and units draw from the same bucket). < 0 disables.
+  double submit_rate = -1.0;
+  /// Bucket depth (burst allowance). <= 0 derives max(1, submit_rate).
+  double burst = 0.0;
+};
+
+class TenantRegistry : public core::AdmissionInterface {
+ public:
+  /// `clock` feeds the submit-rate token buckets (seconds; use the
+  /// runtime's clock so simulated time works). May be empty when no
+  /// tenant sets a submit_rate quota.
+  explicit TenantRegistry(std::function<double()> clock = {});
+
+  TenantRegistry(const TenantRegistry&) = delete;
+  TenantRegistry& operator=(const TenantRegistry&) = delete;
+
+  /// Replaces `tenant`'s quota (accounts already charged are kept, so
+  /// tightening a quota below current usage only blocks *new* work).
+  void set_quota(const std::string& tenant, const Quota& quota);
+  /// Fair-share weight (> 0); unknown tenants default to 1.0.
+  void set_weight(const std::string& tenant, double weight);
+
+  /// Exports the tenant.* series into `metrics`. Pass nullptr to detach;
+  /// the registry must outlive its attachment.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
+  // ---- core::AdmissionInterface ----
+  void admit_pilot(const std::string& tenant) override;
+  void admit_unit(const std::string& tenant) override;
+  void unit_dispatched(const std::string& tenant, int cores) override;
+  void unit_finalized(const std::string& tenant, core::UnitState final_state,
+                      double wait_seconds) override;
+  void pilot_released(const std::string& tenant) override;
+  double tenant_weight(const std::string& tenant) const override;
+
+  // ---- introspection (tests, benches, exporters) ----
+  std::int64_t inflight_units(const std::string& tenant) const;
+  std::int64_t live_pilots(const std::string& tenant) const;
+  std::uint64_t admitted(const std::string& tenant) const;
+  std::uint64_t rejected(const std::string& tenant) const;
+  /// Core-weighted dispatch grants: the fair-share evidence series.
+  std::int64_t share_units(const std::string& tenant) const;
+
+ private:
+  struct Account {
+    Quota quota;
+    double weight = 1.0;
+    std::int64_t inflight_units = 0;
+    std::int64_t pilots = 0;
+    double tokens = 0.0;
+    double token_time = -1.0;  ///< last refill instant; -1 = bucket unprimed
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;
+    std::int64_t share_units = 0;
+    // Cached instruments (registry handles are stable for its lifetime).
+    obs::Counter* admitted_counter = nullptr;
+    obs::Counter* rejected_counter = nullptr;
+    obs::Counter* share_counter = nullptr;
+    obs::Gauge* inflight_gauge = nullptr;
+    obs::Histogram* wait_histogram = nullptr;
+  };
+
+  Account& account(const std::string& name) PA_REQUIRES(mutex_);
+  /// (Re)binds the per-tenant instruments against the current sink.
+  void bind_instruments(const std::string& name, Account& acc)
+      PA_REQUIRES(mutex_);
+  /// Token-bucket check; throws pa::QuotaExceeded (after counting the
+  /// rejection) when the bucket is dry.
+  void take_token(const std::string& name, Account& acc) PA_REQUIRES(mutex_);
+  void count_rejection(Account& acc) PA_REQUIRES(mutex_);
+
+  const std::function<double()> clock_;
+  mutable check::Mutex mutex_{check::LockRank::kTenantRegistry,
+                              "tenant::TenantRegistry"};
+  obs::MetricsRegistry* metrics_ PA_GUARDED_BY(mutex_) = nullptr;
+  obs::Counter* agg_admitted_ PA_GUARDED_BY(mutex_) = nullptr;
+  obs::Counter* agg_rejected_ PA_GUARDED_BY(mutex_) = nullptr;
+  obs::Counter* agg_share_ PA_GUARDED_BY(mutex_) = nullptr;
+  std::map<std::string, Account> accounts_ PA_GUARDED_BY(mutex_);
+};
+
+}  // namespace pa::tenant

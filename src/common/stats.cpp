@@ -46,6 +46,11 @@ void RunningStats::merge(const RunningStats& other) {
   max_ = std::max(max_, other.max_);
 }
 
+void SampleSet::merge(const SampleSet& other) {
+  values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+  sorted_valid_ = false;
+}
+
 const std::vector<double>& SampleSet::sorted() const {
   if (!sorted_valid_) {
     sorted_ = values_;

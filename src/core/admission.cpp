@@ -1,0 +1,25 @@
+#include "pa/core/admission.h"
+
+namespace pa::core {
+
+namespace {
+
+std::string resolve(const std::string& field, const pa::Config& attributes) {
+  if (!field.empty()) {
+    return field;
+  }
+  const std::string attr = attributes.get_string("tenant", "");
+  return attr.empty() ? kDefaultTenant : attr;
+}
+
+}  // namespace
+
+std::string tenant_of(const PilotDescription& desc) {
+  return resolve(desc.tenant, desc.attributes);
+}
+
+std::string tenant_of(const ComputeUnitDescription& desc) {
+  return resolve(desc.tenant, desc.attributes);
+}
+
+}  // namespace pa::core

@@ -3,6 +3,7 @@
 #include <memory>
 #include <utility>
 
+#include "pa/common/error.h"
 #include "pa/common/log.h"
 
 namespace pa::core {
@@ -42,18 +43,27 @@ UnitState ComputeUnit::wait(double timeout_seconds) {
   return service_->wait_unit(id_, timeout_seconds);
 }
 
+PilotComputeService::PilotComputeService(Runtime& runtime, Options options)
+    : runtime_(runtime), router_(options.shards) {
+  shards_.reserve(static_cast<std::size_t>(options.shards));
+  for (int i = 0; i < options.shards; ++i) {
+    shards_.push_back(std::make_unique<ServiceShard>(
+        runtime_, i, options.scheduler_policy, router_, shut_down_,
+        in_transit_units_, [this]() { return pilot_ids_.next(); }));
+  }
+  std::vector<ServiceShard*> peers;
+  peers.reserve(shards_.size());
+  for (const auto& s : shards_) {
+    peers.push_back(s.get());
+  }
+  for (const auto& s : shards_) {
+    s->set_peers(peers);
+  }
+}
+
 PilotComputeService::PilotComputeService(Runtime& runtime,
                                          const std::string& scheduler_policy)
-    : runtime_(runtime),
-      workload_(make_scheduler(scheduler_policy)),
-      model_(std::make_shared<ReadModel>()) {
-  Ctrl::Options options;
-  options.threaded = !runtime_.single_threaded();
-  options.clock = [this]() { return runtime_.now(); };
-  ctrl_ = std::make_unique<Ctrl>(
-      [this](cmd::Command& command) { apply_command(command); },
-      [this]() { on_batch_end(); }, std::move(options));
-}
+    : PilotComputeService(runtime, Options{scheduler_policy, 1}) {}
 
 PilotComputeService::~PilotComputeService() {
   try {
@@ -61,44 +71,90 @@ PilotComputeService::~PilotComputeService() {
   } catch (...) {
     // Destructor must not throw; shutdown failures at teardown are moot.
   }
-  ctrl_->stop();
+  // Stop every apply context before any shard destructs: shards hold raw
+  // peer pointers, and a still-running apply thread could forward into a
+  // peer mid-teardown.
+  for (const auto& s : shards_) {
+    s->stop();
+  }
 }
 
 // ---------------------------------------------------------------------------
-// Producer side: validate, mint ids, post commands.
+// Producer side: validate, admit, mint ids, route, post commands.
 // ---------------------------------------------------------------------------
 
+void PilotComputeService::post_all_and_wait(const cmd::Command& command) {
+  for (const auto& s : shards_) {
+    cmd::Command copy = command;
+    s->ctrl().post_and_wait(std::move(copy));
+  }
+}
+
 void PilotComputeService::attach_data_service(DataServiceInterface* data) {
-  ctrl_->post_and_wait(cmd::Command{cmd::CmdAttachData{data}});
+  post_all_and_wait(cmd::Command{cmd::CmdAttachData{data}});
 }
 
 void PilotComputeService::attach_observability(obs::Tracer* tracer,
                                                obs::MetricsRegistry* metrics) {
-  ctrl_->post_and_wait(cmd::Command{cmd::CmdAttachObservability{tracer,
-                                                                metrics}});
+  post_all_and_wait(cmd::Command{cmd::CmdAttachObservability{tracer, metrics}});
 }
 
 void PilotComputeService::attach_journal(JournalSink* journal) {
-  ctrl_->post_and_wait(cmd::Command{cmd::CmdAttachJournal{journal}});
+  PA_REQUIRE_ARG(shards_.size() == 1,
+                 "attach_journal on a sharded service; use "
+                 "attach_journal_shards (one stream per shard)");
+  shards_[0]->ctrl().post_and_wait(cmd::Command{cmd::CmdAttachJournal{journal}});
+}
+
+void PilotComputeService::attach_journal_shards(
+    const std::vector<JournalSink*>& journals) {
+  PA_REQUIRE_ARG(journals.size() == shards_.size(),
+                 "need exactly one journal sink per shard");
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i]->ctrl().post_and_wait(
+        cmd::Command{cmd::CmdAttachJournal{journals[i]}});
+  }
+}
+
+void PilotComputeService::attach_admission(AdmissionInterface* admission,
+                                           bool fair_share) {
+  // Store the producer-side copy first: a submit racing this attach may
+  // miss the admission check once, but never sees a detached interface
+  // that a shard still reports to.
+  admission_.store(admission, std::memory_order_release);
+  post_all_and_wait(cmd::Command{cmd::CmdAttachAdmission{admission,
+                                                         fair_share}});
 }
 
 void PilotComputeService::set_max_unit_requeues(int max_requeues) {
-  ctrl_->post_and_wait(cmd::Command{cmd::CmdSetMaxRequeues{max_requeues}});
+  post_all_and_wait(cmd::Command{cmd::CmdSetMaxRequeues{max_requeues}});
 }
 
 void PilotComputeService::set_requeue_on_pilot_failure(bool requeue) {
-  ctrl_->post_and_wait(cmd::Command{cmd::CmdSetRequeuePolicy{requeue}});
+  post_all_and_wait(cmd::Command{cmd::CmdSetRequeuePolicy{requeue}});
 }
 
 void PilotComputeService::set_pilot_restart_policy(int max_restarts) {
   PA_REQUIRE_ARG(max_restarts >= 0, "max_restarts must be >= 0");
-  ctrl_->post_and_wait(cmd::Command{cmd::CmdSetRestartPolicy{max_restarts}});
+  post_all_and_wait(cmd::Command{cmd::CmdSetRestartPolicy{max_restarts}});
 }
 
 void PilotComputeService::observe_units(UnitObserver observer) {
   PA_REQUIRE_ARG(static_cast<bool>(observer), "null observer");
-  ctrl_->post_and_wait(
-      cmd::Command{cmd::CmdObserveUnits{std::move(observer)}});
+  post_all_and_wait(cmd::Command{cmd::CmdObserveUnits{std::move(observer)}});
+}
+
+template <typename Description>
+std::string PilotComputeService::normalize_tenant(Description& description) {
+  const std::string tenant = tenant_of(description);
+  // Non-default tenants are stamped into attributes so the identity
+  // survives journal round-trips; the default stays implicit (identical
+  // journal bytes for tenant-unaware applications).
+  if (tenant != kDefaultTenant &&
+      description.attributes.get_string("tenant", "") != tenant) {
+    description.attributes.set("tenant", tenant);
+  }
+  return tenant;
 }
 
 Pilot PilotComputeService::submit_pilot(const PilotDescription& description) {
@@ -106,9 +162,22 @@ Pilot PilotComputeService::submit_pilot(const PilotDescription& description) {
   PA_REQUIRE_ARG(description.walltime > 0.0, "pilot needs walltime");
   PA_REQUIRE_ARG(!shut_down_.load(std::memory_order_relaxed),
                  "service is shut down");
+  PilotDescription desc = description;
+  const std::string tenant = normalize_tenant(desc);
+  AdmissionInterface* adm = admission_.load(std::memory_order_acquire);
+  if (adm != nullptr) {
+    adm->admit_pilot(tenant);  // throws pa::QuotaExceeded when over quota
+  }
   const std::string pilot_id = pilot_ids_.next();
-  ctrl_->post_and_wait(
-      cmd::Command{cmd::CmdSubmitPilot{pilot_id, description, 0}});
+  try {
+    owner_of(pilot_id).ctrl().post_and_wait(
+        cmd::Command{cmd::CmdSubmitPilot{pilot_id, desc, 0}});
+  } catch (...) {
+    if (adm != nullptr) {
+      adm->pilot_released(tenant);  // the admitted slot was never used
+    }
+    throw;
+  }
   return Pilot(pilot_id, this);
 }
 
@@ -117,8 +186,22 @@ ComputeUnit PilotComputeService::submit_unit(
   PA_REQUIRE_ARG(!shut_down_.load(std::memory_order_relaxed),
                  "service is shut down");
   PA_REQUIRE_ARG(description.cores > 0, "unit needs cores");
+  ComputeUnitDescription desc = description;
+  const std::string tenant = normalize_tenant(desc);
+  AdmissionInterface* adm = admission_.load(std::memory_order_acquire);
+  if (adm != nullptr) {
+    adm->admit_unit(tenant);  // throws pa::QuotaExceeded when over quota
+  }
   const std::string unit_id = unit_ids_.next();
-  ctrl_->post_and_wait(cmd::Command{cmd::CmdSubmitUnit{unit_id, description}});
+  try {
+    owner_of(unit_id).ctrl().post_and_wait(
+        cmd::Command{cmd::CmdSubmitUnit{unit_id, desc}});
+  } catch (...) {
+    if (adm != nullptr) {
+      adm->unit_finalized(tenant, UnitState::kCanceled, -1.0);
+    }
+    throw;
+  }
   return ComputeUnit(unit_id, this);
 }
 
@@ -126,17 +209,32 @@ std::vector<ComputeUnit> PilotComputeService::submit_units(
     const std::vector<ComputeUnitDescription>& descriptions) {
   std::vector<ComputeUnit> out;
   out.reserve(descriptions.size());
+  std::vector<bool> touched(shards_.size(), false);
+  AdmissionInterface* adm = admission_.load(std::memory_order_acquire);
   for (const auto& d : descriptions) {
     PA_REQUIRE_ARG(!shut_down_.load(std::memory_order_relaxed),
                    "service is shut down");
     PA_REQUIRE_ARG(d.cores > 0, "unit needs cores");
+    ComputeUnitDescription desc = d;
+    const std::string tenant = normalize_tenant(desc);
+    if (adm != nullptr) {
+      adm->admit_unit(tenant);  // rejects mid-burst; earlier units stand
+    }
     const std::string unit_id = unit_ids_.next();
-    ctrl_->post(cmd::Command{cmd::CmdSubmitUnit{unit_id, d}});
+    const auto shard = static_cast<std::size_t>(router_.shard_for_id(unit_id));
+    shards_[shard]->ctrl().post(
+        cmd::Command{cmd::CmdSubmitUnit{unit_id, std::move(desc)}});
+    touched[shard] = true;
     out.push_back(ComputeUnit(unit_id, this));
   }
-  // One queue round-trip for the whole burst: the fence flushes every
-  // submit above (per-producer FIFO) and its batch end publishes them.
-  ctrl_->post_and_wait(cmd::Command{cmd::CmdFence{}});
+  // One queue round-trip per touched shard for the whole burst: each fence
+  // flushes that shard's submits (per-producer FIFO) and its batch end
+  // publishes them.
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (touched[i]) {
+      shards_[i]->ctrl().post_and_wait(cmd::Command{cmd::CmdFence{}});
+    }
+  }
   return out;
 }
 
@@ -145,28 +243,49 @@ void PilotComputeService::cancel_pilot(const std::string& pilot_id) {
     return;
   }
   // Cancel outside the apply context: the runtime may need to synchronize
-  // with worker threads. Its on_terminated callback posts the state
-  // change; the fence flushes a synchronously-fired termination so the
-  // caller observes it, exactly like the old under-lock path did.
+  // with worker threads. Its on_terminated callback posts the state change
+  // to the shard that started the pilot; the fence flushes a synchronously-
+  // fired termination so the caller observes it.
   runtime_.cancel_pilot(pilot_id);
-  ctrl_->post_and_wait(cmd::Command{cmd::CmdFence{}});
+  owner_of(pilot_id).ctrl().post_and_wait(cmd::Command{cmd::CmdFence{}});
 }
 
 void PilotComputeService::cancel_unit(const std::string& unit_id) {
-  ctrl_->post_and_wait(cmd::Command{cmd::CmdCancelUnit{unit_id}});
+  owner_of(unit_id).ctrl().post_and_wait(
+      cmd::Command{cmd::CmdCancelUnit{unit_id}});
 }
 
 void PilotComputeService::shutdown() {
   auto to_cancel = std::make_shared<std::vector<std::string>>();
-  if (!ctrl_->post_and_wait(cmd::Command{cmd::CmdShutdown{to_cancel}})) {
-    return;  // control plane already stopped (repeat teardown)
+  bool any_accepted = false;
+  for (const auto& s : shards_) {
+    if (s->ctrl().post_and_wait(cmd::Command{cmd::CmdShutdown{to_cancel}})) {
+      any_accepted = true;
+    }
+  }
+  if (!any_accepted) {
+    return;  // every control plane already stopped (repeat teardown)
   }
   for (const auto& id : *to_cancel) {
     runtime_.cancel_pilot(id);
   }
   if (!to_cancel->empty()) {
-    ctrl_->post_and_wait(cmd::Command{cmd::CmdFence{}});
+    post_all_and_wait(cmd::Command{cmd::CmdFence{}});
   }
+}
+
+void PilotComputeService::move_pilot_to_shard(const std::string& pilot_id,
+                                              int target_shard) {
+  PA_REQUIRE_ARG(
+      target_shard >= 0 && target_shard < static_cast<int>(shards_.size()),
+      "target_shard out of range");
+  owner_of(pilot_id).ctrl().post_and_wait(
+      cmd::Command{cmd::CmdMovePilot{pilot_id, target_shard}});
+  // The move posted CmdInstallPilot onto the target; this fence drains it
+  // (and the publish that follows), so on return the target owns and
+  // exposes the pilot.
+  shards_[static_cast<std::size_t>(target_shard)]->ctrl().post_and_wait(
+      cmd::Command{cmd::CmdFence{}});
 }
 
 void PilotComputeService::advance_ids(std::uint64_t next_pilot,
@@ -176,56 +295,103 @@ void PilotComputeService::advance_ids(std::uint64_t next_pilot,
 }
 
 // ---------------------------------------------------------------------------
-// Read side: served from the published snapshot.
+// Read side: merged over the per-shard published snapshots.
 // ---------------------------------------------------------------------------
 
 PilotState PilotComputeService::pilot_state(const std::string& pilot_id) const {
-  check::MutexLock lock(snapshot_mutex_);
-  const auto it = model_->pilot_states.find(pilot_id);
-  if (it == model_->pilot_states.end()) {
-    throw NotFound("unknown pilot: " + pilot_id);
+  PilotState state;
+  ServiceShard& routed = owner_of(pilot_id);
+  if (routed.try_pilot_state(pilot_id, &state)) {
+    return state;
   }
-  return it->second;
+  for (const auto& s : shards_) {
+    if (s->try_pilot_state(pilot_id, &state)) {
+      return state;
+    }
+  }
+  if (shards_.size() > 1) {
+    // Mid-move visibility gap: the pilot may sit in the routed owner's
+    // queue as a pending install. Fence it (flushing install + publish),
+    // then rescan — the fence also orders us after any re-pin.
+    routed.ctrl().post_and_wait(cmd::Command{cmd::CmdFence{}});
+    if (owner_of(pilot_id).try_pilot_state(pilot_id, &state)) {
+      return state;
+    }
+    for (const auto& s : shards_) {
+      if (s->try_pilot_state(pilot_id, &state)) {
+        return state;
+      }
+    }
+  }
+  throw NotFound("unknown pilot: " + pilot_id);
+}
+
+bool PilotComputeService::try_unit_snap(const std::string& unit_id,
+                                        ServiceShard::UnitSnap* out) const {
+  if (owner_of(unit_id).try_unit(unit_id, out)) {
+    return true;
+  }
+  for (const auto& s : shards_) {
+    if (s->try_unit(unit_id, out)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+ServiceShard::UnitSnap PilotComputeService::unit_snap(
+    const std::string& unit_id) const {
+  ServiceShard::UnitSnap snap;
+  if (try_unit_snap(unit_id, &snap)) {
+    return snap;
+  }
+  if (shards_.size() > 1) {
+    owner_of(unit_id).ctrl().post_and_wait(cmd::Command{cmd::CmdFence{}});
+    if (try_unit_snap(unit_id, &snap)) {
+      return snap;
+    }
+  }
+  throw NotFound("unknown unit: " + unit_id);
 }
 
 UnitState PilotComputeService::unit_state(const std::string& unit_id) const {
-  check::MutexLock lock(snapshot_mutex_);
-  const auto it = model_->units.find(unit_id);
-  if (it == model_->units.end()) {
-    throw NotFound("unknown unit: " + unit_id);
-  }
-  return it->second.state;
+  return unit_snap(unit_id).state;
 }
 
 UnitTimes PilotComputeService::unit_times(const std::string& unit_id) const {
-  check::MutexLock lock(snapshot_mutex_);
-  const auto it = model_->units.find(unit_id);
-  if (it == model_->units.end()) {
-    throw NotFound("unknown unit: " + unit_id);
-  }
-  return it->second.times;
+  return unit_snap(unit_id).times;
 }
 
 std::size_t PilotComputeService::total_units() const {
-  check::MutexLock lock(snapshot_mutex_);
-  return model_->units.size();
+  std::size_t total = 0;
+  for (const auto& s : shards_) {
+    total += s->total_units();
+  }
+  return total;
 }
 
 std::size_t PilotComputeService::unfinished_units() const {
-  check::MutexLock lock(snapshot_mutex_);
-  return model_->unfinished;
+  std::size_t total = 0;
+  for (const auto& s : shards_) {
+    total += s->unfinished_units();
+  }
+  // Units between shards are in no snapshot; counting them here means a
+  // concurrent wait_all_units can overcount transiently but never sees a
+  // false zero.
+  const std::int64_t transit =
+      in_transit_units_.load(std::memory_order_acquire);
+  if (transit > 0) {
+    total += static_cast<std::size_t>(transit);
+  }
+  return total;
 }
 
 ServiceMetrics PilotComputeService::metrics() const {
-  // Copy the pointer under the lock, the (large) metrics outside it. The
-  // extra reference makes the next publish clone-on-write instead of
-  // mutating the model this reader is still reading.
-  std::shared_ptr<const ReadModel> model;
-  {
-    check::MutexLock lock(snapshot_mutex_);
-    model = model_;
+  ServiceMetrics out;
+  for (const auto& s : shards_) {
+    s->merge_metrics(&out);
   }
-  return model->metrics;
+  return out;
 }
 
 void PilotComputeService::wait_all_units(double timeout_seconds) {
@@ -253,528 +419,6 @@ UnitState PilotComputeService::wait_unit(const std::string& unit_id,
       [this, &unit_id]() { return is_final(unit_state(unit_id)); },
       timeout_seconds);
   return unit_state(unit_id);
-}
-
-// ---------------------------------------------------------------------------
-// Apply side: single writer, owns the authoritative state lock-free.
-// ---------------------------------------------------------------------------
-
-PilotComputeService::PilotRecord& PilotComputeService::pilot_record(
-    const std::string& pilot_id) {
-  const auto it = pilots_.find(pilot_id);
-  if (it == pilots_.end()) {
-    throw NotFound("unknown pilot: " + pilot_id);
-  }
-  return it->second;
-}
-
-PilotComputeService::UnitRecord& PilotComputeService::unit_record(
-    const std::string& unit_id) {
-  const auto it = units_.find(unit_id);
-  if (it == units_.end()) {
-    throw NotFound("unknown unit: " + unit_id);
-  }
-  return it->second;
-}
-
-void PilotComputeService::apply_command(cmd::Command& command) {
-  std::visit([this](auto& c) { apply(c); }, command);
-}
-
-void PilotComputeService::apply(cmd::CmdFence& /*c*/) {}
-
-void PilotComputeService::apply(cmd::CmdSubmitPilot& c) {
-  submit_pilot_apply(c.pilot_id, c.description, c.restarts_used);
-}
-
-void PilotComputeService::submit_pilot_apply(
-    const std::string& pilot_id, const PilotDescription& description,
-    int restarts_used) {
-  PA_REQUIRE_ARG(description.nodes > 0, "pilot needs nodes");
-  PA_REQUIRE_ARG(description.walltime > 0.0, "pilot needs walltime");
-  PA_REQUIRE_ARG(!shut_down_.load(std::memory_order_relaxed),
-                 "service is shut down");
-
-  PilotRecord rec;
-  rec.description = description;
-  rec.submit_time = runtime_.now();
-  rec.restarts_used = restarts_used;
-  const double submit_time = rec.submit_time;
-  auto [pit, inserted] = pilots_.emplace(pilot_id, std::move(rec));
-  PA_CHECK(inserted);
-  if (journal_ != nullptr) {
-    journal_->pilot_submitted(pilot_id, description, restarts_used,
-                              submit_time);
-  }
-  // State-machine observer: every validated transition of this pilot is
-  // journaled at the moment it is applied (ACTIVE carries cores/site,
-  // which the CmdPilotActive handler records before firing the
-  // transition), and the pilot lands in the snapshot dirty set.
-  pit->second.sm.observe([this, pilot_id](PilotState /*from*/,
-                                          PilotState to) {
-    if (journal_ != nullptr) {
-      const auto& p = pilots_.at(pilot_id);
-      journal_->pilot_state(pilot_id, to, p.total_cores, p.site,
-                            runtime_.now());
-    }
-    dirty_pilots_.insert(pilot_id);
-  });
-
-  // Runtime callbacks never run middleware logic on a substrate thread:
-  // each is a wait-free post of the corresponding command (tools/lint.py
-  // enforces this shape).
-  PilotRuntimeCallbacks callbacks;
-  callbacks.on_active = [this](const std::string& id, int cores,
-                               const std::string& site) {
-    ctrl_->post(cmd::Command{cmd::CmdPilotActive{id, cores, site}});
-  };
-  callbacks.on_terminated = [this](const std::string& id, PilotState state) {
-    ctrl_->post(cmd::Command{cmd::CmdPilotTerminated{id, state}});
-  };
-
-  pilots_.at(pilot_id).sm.transition(PilotState::kSubmitted);
-  if (tracer_ != nullptr) {
-    tracer_->event_at(runtime_.now(), "pilot.state", pilot_id,
-                      to_string(PilotState::kSubmitted));
-  }
-  if (obs_metrics_ != nullptr) {
-    obs_metrics_->counter("pcs.pilots_submitted").inc();
-  }
-  runtime_.start_pilot(pilot_id, description, std::move(callbacks));
-  PA_LOG(kInfo, "pcs") << "submitted pilot " << pilot_id << " to "
-                       << description.resource_url;
-}
-
-void PilotComputeService::apply(cmd::CmdPilotActive& c) {
-  auto& rec = pilot_record(c.pilot_id);
-  // Record capacity before firing the transition so the state-machine
-  // observer can journal cores/site with the ACTIVE record.
-  rec.total_cores = c.total_cores;
-  rec.site = c.site;
-  if (!rec.sm.try_transition(PilotState::kActive)) {
-    return;  // cancelled while the allocation came up
-  }
-  rec.active_time = runtime_.now();
-  delta_.pilot_startups.push_back(rec.active_time - rec.submit_time);
-  delta_.any = true;
-  if (tracer_ != nullptr) {
-    // Explicit runtime timestamps: simulated time under SimRuntime, wall
-    // time under LocalRuntime, regardless of the tracer's own clock.
-    tracer_->record_span("pilot.startup", c.pilot_id, rec.submit_time,
-                         rec.active_time);
-    tracer_->event_at(rec.active_time, "pilot.state", c.pilot_id,
-                      to_string(PilotState::kActive));
-  }
-  if (obs_metrics_ != nullptr) {
-    obs_metrics_->counter("pcs.pilots_active").inc();
-    obs_metrics_
-        ->histogram("pcs.pilot_startup", 1e-3, 30.0 * 24.0 * 3600.0)
-        .record(rec.active_time - rec.submit_time);
-  }
-  workload_.add_pilot(c.pilot_id, c.site, c.total_cores,
-                      rec.description.priority,
-                      rec.description.cost_per_core_hour,
-                      rec.active_time + rec.description.walltime);
-  PA_LOG(kInfo, "pcs") << "pilot " << c.pilot_id << " active on " << c.site
-                       << " with " << c.total_cores << " cores";
-}
-
-void PilotComputeService::apply(cmd::CmdPilotTerminated& c) {
-  const std::string& pilot_id = c.pilot_id;
-  auto& rec = pilot_record(pilot_id);
-  const std::vector<std::string> orphans = workload_.remove_pilot(pilot_id);
-  rec.sm.try_transition(c.state);
-  const double terminated_at = runtime_.now();
-  if (tracer_ != nullptr) {
-    if (rec.active_time >= 0.0) {
-      tracer_->record_span("pilot.active", pilot_id, rec.active_time,
-                           terminated_at);
-    }
-    tracer_->event_at(terminated_at, "pilot.state", pilot_id,
-                      to_string(rec.sm.state()));
-  }
-  if (obs_metrics_ != nullptr) {
-    obs_metrics_
-        ->counter(std::string("pcs.pilots_terminated.") +
-                  to_string(rec.sm.state()))
-        .inc();
-  }
-  const PilotDescription restart_description = rec.description;
-  const int restarts_used = rec.restarts_used;
-  const bool restart = c.state == PilotState::kFailed &&
-                       !shut_down_.load(std::memory_order_relaxed) &&
-                       restarts_used < pilot_max_restarts_;
-  for (const auto& unit_id : orphans) {
-    auto& unit = unit_record(unit_id);
-    if (is_final(unit.sm.state())) {
-      continue;
-    }
-    const bool want_requeue =
-        requeue_on_pilot_failure_ && !unit.cancel_requested;
-    if (want_requeue &&
-        workload_.requeue_unit_front(unit_id, unit.description)) {
-      // Recovery: back to the queue; the unit re-runs on another pilot.
-      unit.pilot_id.clear();
-      ++delta_.requeues;
-      delta_.any = true;
-      if (obs_metrics_ != nullptr) {
-        obs_metrics_->counter("pcs.unit_requeues").inc();
-      }
-      // State machine: RUNNING/SCHEDULED -> FAILED would be terminal, so
-      // we model a requeue as a fresh PENDING attempt (observers notified
-      // of the reset, then re-attached to the fresh machine).
-      const UnitState prior = unit.sm.state();
-      if (journal_ != nullptr) {
-        journal_->unit_requeued(unit_id, runtime_.now());
-      }
-      for (const auto& obs : unit_observers_) {
-        obs(unit_id, prior, UnitState::kPending);
-      }
-      // lint:allow-state-reset — a requeue is the one sanctioned machine
-      // replacement: the old machine's history ends (journaled above as
-      // unit_requeued) and a fresh validated machine starts at PENDING.
-      unit.sm = UnitStateMachine(UnitState::kPending);
-      unit.sm.observe(make_unit_observer(unit_id));
-      ++unit.attempts;
-      // Machine replacement fires no transition, so dirty the snapshot
-      // entry by hand.
-      dirty_units_.insert(unit_id);
-      PA_LOG(kInfo, "pcs") << "requeued " << unit_id << " after pilot "
-                           << pilot_id << " terminated";
-    } else {
-      if (want_requeue) {
-        // The workload manager refused: requeue bound exhausted.
-        if (obs_metrics_ != nullptr) {
-          obs_metrics_->counter("pcs.units_failed_requeue_limit").inc();
-        }
-        PA_LOG(kWarn, "pcs") << unit_id << " exhausted its requeue bound "
-                             << "after pilot " << pilot_id
-                             << " terminated; failing it";
-      }
-      finalize_unit_apply(unit, unit_id, UnitState::kFailed);
-    }
-  }
-  if (restart) {
-    // Fault tolerance: replace the failed allocation. `rec` may be
-    // invalidated by the map insertion below, hence the copies above.
-    PA_LOG(kInfo, "pcs") << "restarting failed pilot " << pilot_id
-                         << " (restart " << restarts_used + 1 << "/"
-                         << pilot_max_restarts_ << ")";
-    submit_pilot_apply(pilot_ids_.next(), restart_description,
-                       restarts_used + 1);
-  }
-}
-
-UnitStateMachine::Observer PilotComputeService::make_unit_observer(
-    const std::string& unit_id) {
-  // Forward every transition of this unit to the journal, the tracer, the
-  // service-level observers, and the snapshot dirty set.
-  return [this, unit_id](UnitState from, UnitState to) {
-    if (journal_ != nullptr) {
-      journal_->unit_state(unit_id, to, runtime_.now());
-    }
-    if (tracer_ != nullptr) {
-      tracer_->event_at(runtime_.now(), "unit.state", unit_id, to_string(to));
-    }
-    for (const auto& obs : unit_observers_) {
-      obs(unit_id, from, to);
-    }
-    dirty_units_.insert(unit_id);
-  };
-}
-
-void PilotComputeService::apply(cmd::CmdSubmitUnit& c) {
-  PA_REQUIRE_ARG(!shut_down_.load(std::memory_order_relaxed),
-                 "service is shut down");
-  PA_REQUIRE_ARG(c.description.cores > 0, "unit needs cores");
-  const std::string& unit_id = c.unit_id;
-  UnitRecord rec;
-  rec.description = c.description;
-  rec.times.submitted = runtime_.now();
-  if (!first_submit_recorded_) {
-    first_submit_recorded_ = true;
-    delta_.first_submit = rec.times.submitted;
-    delta_.any = true;
-  }
-  auto [uit, inserted] = units_.emplace(unit_id, std::move(rec));
-  PA_CHECK(inserted);
-  if (journal_ != nullptr) {
-    journal_->unit_submitted(unit_id, c.description,
-                             uit->second.times.submitted);
-  }
-  uit->second.sm.observe(make_unit_observer(unit_id));
-  if (obs_metrics_ != nullptr) {
-    obs_metrics_->counter("pcs.units_submitted").inc();
-  }
-  uit->second.sm.transition(UnitState::kPending);
-  workload_.enqueue_unit(unit_id, c.description);
-}
-
-void PilotComputeService::run_schedule_cycle() {
-  // One coalesced pass per command batch (and per apply-thread timer
-  // tick). The workload manager's dirty flag makes a pass over unchanged
-  // state a counter bump and nothing else.
-  const auto assignments = workload_.schedule_pass(runtime_.now(), data_);
-  for (const auto& a : assignments) {
-    dispatch_unit_apply(a.unit_id, a.pilot_id);
-  }
-}
-
-void PilotComputeService::dispatch_unit_apply(const std::string& unit_id,
-                                              const std::string& pilot_id) {
-  auto& unit = unit_record(unit_id);
-  unit.pilot_id = pilot_id;
-  unit.times.scheduled = runtime_.now();
-  if (journal_ != nullptr) {
-    journal_->unit_bound(unit_id, pilot_id, unit.times.scheduled);
-  }
-
-  const auto& pilot = pilot_record(pilot_id);
-  const bool needs_staging =
-      data_ != nullptr && !unit.description.input_data.empty();
-  if (!needs_staging) {
-    unit.sm.transition(UnitState::kScheduled);
-    execute_unit_apply(unit_id);
-    return;
-  }
-
-  unit.sm.transition(UnitState::kStagingIn);
-  // Counting barrier across all input data units; the last stage-in
-  // completion posts the command. Callbacks may fire on any thread (or
-  // synchronously right here), hence the atomic.
-  auto remaining = std::make_shared<std::atomic<std::size_t>>(
-      unit.description.input_data.size());
-  const std::string site = pilot.site;
-  const int attempt = unit.attempts;
-  for (const auto& du : unit.description.input_data) {
-    data_->stage_to_site(du, site, [this, unit_id, remaining, attempt]() {
-      if (remaining->fetch_sub(1, std::memory_order_acq_rel) > 1) {
-        return;
-      }
-      ctrl_->post(cmd::Command{cmd::CmdStageInDone{unit_id, attempt}});
-    });
-  }
-}
-
-void PilotComputeService::apply(cmd::CmdStageInDone& c) {
-  auto& unit = unit_record(c.unit_id);
-  if (c.attempt != unit.attempts) {
-    return;  // barrier of a superseded dispatch
-  }
-  if (is_final(unit.sm.state())) {
-    return;  // canceled/failed while staging
-  }
-  if (!workload_.has_pilot(unit.pilot_id)) {
-    return;  // pilot died during staging; termination path requeued us
-  }
-  unit.sm.transition(UnitState::kScheduled);
-  execute_unit_apply(c.unit_id);
-}
-
-void PilotComputeService::execute_unit_apply(const std::string& unit_id) {
-  auto& unit = unit_record(unit_id);
-  unit.sm.transition(UnitState::kRunning);
-  unit.times.started = runtime_.now();
-  // Tag the completion with the attempt number so a stale completion from
-  // a terminated pilot cannot be mistaken for a later re-run's.
-  const int attempt = unit.attempts;
-  runtime_.execute_unit(unit.pilot_id, unit.description, unit_id,
-                        [this, unit_id, attempt](bool success) {
-                          ctrl_->post(cmd::Command{
-                              cmd::CmdUnitDone{unit_id, success, attempt}});
-                        });
-}
-
-void PilotComputeService::apply(cmd::CmdUnitDone& c) {
-  auto& unit = unit_record(c.unit_id);
-  if (c.attempt != unit.attempts) {
-    return;  // completion of a superseded attempt
-  }
-  if (is_final(unit.sm.state())) {
-    return;  // already finalized (e.g. pilot died and unit was failed)
-  }
-  if (unit.sm.state() != UnitState::kRunning) {
-    return;  // requeued after pilot failure; this completion is stale
-  }
-  workload_.unit_finished(c.unit_id);
-
-  UnitState final_state = UnitState::kFailed;
-  if (unit.cancel_requested) {
-    final_state = UnitState::kCanceled;
-  } else if (c.success) {
-    final_state = UnitState::kDone;
-  }
-  if (final_state == UnitState::kDone && data_ != nullptr) {
-    for (const auto& du : unit.description.output_data) {
-      const auto pit = pilots_.find(unit.pilot_id);
-      if (pit != pilots_.end()) {
-        data_->register_output(du, pit->second.site);
-        if (journal_ != nullptr) {
-          journal_->data_placed(du, pit->second.site, runtime_.now());
-        }
-      }
-    }
-  }
-  finalize_unit_apply(unit, c.unit_id, final_state);
-}
-
-void PilotComputeService::finalize_unit_apply(UnitRecord& unit,
-                                              const std::string& unit_id,
-                                              UnitState final_state) {
-  unit.times.finished = runtime_.now();
-  unit.sm.try_transition(final_state);
-  dirty_units_.insert(unit_id);
-  delta_.last_finish = unit.times.finished;
-  delta_.any = true;
-  if (tracer_ != nullptr && unit.times.started >= 0.0) {
-    tracer_->record_span("unit.wait", unit_id, unit.times.submitted,
-                         unit.times.started);
-    tracer_->record_span("unit.exec", unit_id, unit.times.started,
-                         unit.times.finished);
-  }
-  switch (final_state) {
-    case UnitState::kDone:
-      ++delta_.done;
-      delta_.unit_waits.push_back(unit.times.wait_time());
-      delta_.unit_execs.push_back(unit.times.exec_time());
-      if (obs_metrics_ != nullptr) {
-        obs_metrics_->counter("pcs.units_done").inc();
-        obs_metrics_->histogram("pcs.unit_wait", 1e-3, 30.0 * 24.0 * 3600.0)
-            .record(unit.times.wait_time());
-        obs_metrics_->histogram("pcs.unit_exec", 1e-3, 30.0 * 24.0 * 3600.0)
-            .record(unit.times.exec_time());
-      }
-      break;
-    case UnitState::kFailed:
-      ++delta_.failed;
-      if (obs_metrics_ != nullptr) {
-        obs_metrics_->counter("pcs.units_failed").inc();
-      }
-      break;
-    case UnitState::kCanceled:
-      ++delta_.canceled;
-      if (obs_metrics_ != nullptr) {
-        obs_metrics_->counter("pcs.units_canceled").inc();
-      }
-      break;
-    default:
-      PA_CHECK_MSG(false, "finalize with non-final state for " << unit_id);
-  }
-}
-
-void PilotComputeService::apply(cmd::CmdCancelUnit& c) {
-  auto& unit = unit_record(c.unit_id);
-  if (is_final(unit.sm.state())) {
-    return;
-  }
-  unit.cancel_requested = true;
-  if (workload_.remove_queued_unit(c.unit_id)) {
-    finalize_unit_apply(unit, c.unit_id, UnitState::kCanceled);
-  }
-  // Otherwise the unit is staging or running; it records CANCELED when its
-  // current attempt finishes (payloads are not forcibly interrupted).
-}
-
-void PilotComputeService::apply(cmd::CmdShutdown& c) {
-  if (shut_down_.load(std::memory_order_relaxed)) {
-    return;  // idempotent; the caller gets an empty cancel list
-  }
-  shut_down_.store(true, std::memory_order_relaxed);
-  if (c.pilots_to_cancel != nullptr) {
-    for (const auto& [id, rec] : pilots_) {
-      if (!is_final(rec.sm.state())) {
-        c.pilots_to_cancel->push_back(id);
-      }
-    }
-  }
-}
-
-void PilotComputeService::apply(cmd::CmdAttachData& c) { data_ = c.data; }
-
-void PilotComputeService::apply(cmd::CmdAttachObservability& c) {
-  tracer_ = c.tracer;
-  obs_metrics_ = c.metrics;
-  workload_.set_metrics(c.metrics);
-  ctrl_->set_metrics(c.metrics);
-}
-
-void PilotComputeService::apply(cmd::CmdAttachJournal& c) {
-  journal_ = c.journal;
-}
-
-void PilotComputeService::apply(cmd::CmdSetRequeuePolicy& c) {
-  requeue_on_pilot_failure_ = c.requeue_on_pilot_failure;
-}
-
-void PilotComputeService::apply(cmd::CmdSetRestartPolicy& c) {
-  pilot_max_restarts_ = c.max_restarts;
-}
-
-void PilotComputeService::apply(cmd::CmdSetMaxRequeues& c) {
-  workload_.set_max_requeues(c.max_requeues);
-}
-
-void PilotComputeService::apply(cmd::CmdObserveUnits& c) {
-  PA_REQUIRE_ARG(static_cast<bool>(c.observer), "null observer");
-  unit_observers_.push_back(std::move(c.observer));
-}
-
-void PilotComputeService::on_batch_end() {
-  run_schedule_cycle();
-  publish_snapshot();
-}
-
-void PilotComputeService::publish_snapshot() {
-  if (dirty_pilots_.empty() && dirty_units_.empty() && !delta_.any) {
-    return;  // idle tick: nothing changed, readers keep the old model
-  }
-  check::MutexLock lock(snapshot_mutex_);
-  if (model_.use_count() > 1) {
-    // A reader still holds the published model: clone-on-write so it
-    // keeps a consistent view, then flush into the fresh copy.
-    model_ = std::make_shared<ReadModel>(*model_);
-  }
-  ReadModel& m = *model_;
-  for (const auto& pid : dirty_pilots_) {
-    m.pilot_states[pid] = pilots_.at(pid).sm.state();
-  }
-  for (const auto& uid : dirty_units_) {
-    const auto& rec = units_.at(uid);
-    auto [it, inserted] = m.units.try_emplace(uid);
-    const bool was_final = !inserted && is_final(it->second.state);
-    it->second.state = rec.sm.state();
-    it->second.times = rec.times;
-    const bool now_final = is_final(it->second.state);
-    if (inserted) {
-      if (!now_final) {
-        ++m.unfinished;
-      }
-    } else if (!was_final && now_final) {
-      --m.unfinished;
-    }
-  }
-  for (const double v : delta_.pilot_startups) {
-    m.metrics.pilot_startup_times.add(v);
-  }
-  for (const double v : delta_.unit_waits) {
-    m.metrics.unit_wait_times.add(v);
-  }
-  for (const double v : delta_.unit_execs) {
-    m.metrics.unit_exec_times.add(v);
-  }
-  m.metrics.units_done += delta_.done;
-  m.metrics.units_failed += delta_.failed;
-  m.metrics.units_canceled += delta_.canceled;
-  m.metrics.requeues += delta_.requeues;
-  if (delta_.first_submit >= 0.0 && m.metrics.first_submit_time < 0.0) {
-    m.metrics.first_submit_time = delta_.first_submit;
-  }
-  if (delta_.last_finish >= 0.0) {
-    m.metrics.last_finish_time = delta_.last_finish;
-  }
-  dirty_pilots_.clear();
-  dirty_units_.clear();
-  delta_ = MetricsDelta{};
 }
 
 }  // namespace pa::core

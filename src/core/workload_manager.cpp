@@ -1,6 +1,7 @@
 #include "pa/core/workload_manager.h"
 
 #include <algorithm>
+#include <iterator>
 #include <utility>
 
 #include "pa/common/error.h"
@@ -69,6 +70,64 @@ std::vector<std::string> WorkloadManager::remove_pilot(
   return orphans;
 }
 
+std::vector<WorkloadManager::DetachedUnit> WorkloadManager::detach_pilot(
+    const std::string& pilot_id) {
+  const auto it = pilots_.find(pilot_id);
+  if (it == pilots_.end()) {
+    return {};
+  }
+  site_free_cores_[it->second.site] -= it->second.free_cores;
+  pilots_.erase(it);
+  pilot_views_.erase(
+      std::find_if(pilot_views_.begin(), pilot_views_.end(),
+                   [&](const PilotView& pv) {
+                     return pv.pilot_id == pilot_id;
+                   }));
+  std::vector<DetachedUnit> detached;
+  for (auto bit = bound_.begin(); bit != bound_.end();) {
+    if (bit->second.pilot_id == pilot_id) {
+      DetachedUnit d;
+      d.unit_id = bit->first;
+      d.cores = bit->second.cores;
+      d.requeues = requeue_count(bit->first);
+      requeue_counts_.erase(bit->first);
+      detached.push_back(std::move(d));
+      bit = bound_.erase(bit);
+    } else {
+      ++bit;
+    }
+  }
+  dirty_ = true;
+  return detached;
+}
+
+void WorkloadManager::adopt_pilot(
+    const std::string& pilot_id, const std::string& site, int total_cores,
+    int priority, double cost_per_core_hour, double walltime_end,
+    const std::vector<DetachedUnit>& bound_units) {
+  add_pilot(pilot_id, site, total_cores, priority, cost_per_core_hour,
+            walltime_end);
+  auto& rec = pilots_.at(pilot_id);
+  for (const auto& d : bound_units) {
+    PA_REQUIRE_ARG(bound_.find(d.unit_id) == bound_.end(),
+                   "unit already bound: " << d.unit_id);
+    PA_CHECK_MSG(d.cores <= rec.free_cores,
+                 "adopted bound set oversubscribes pilot " << pilot_id);
+    rec.free_cores -= d.cores;
+    site_free_cores_[site] -= d.cores;
+    bound_.emplace(d.unit_id, BoundUnit{pilot_id, d.cores});
+    if (d.requeues > 0) {
+      requeue_counts_[d.unit_id] = d.requeues;
+    }
+  }
+  const auto vit =
+      std::find_if(pilot_views_.begin(), pilot_views_.end(),
+                   [&](const PilotView& pv) {
+                     return pv.pilot_id == pilot_id;
+                   });
+  vit->free_cores = rec.free_cores;
+}
+
 bool WorkloadManager::has_pilot(const std::string& pilot_id) const {
   return pilots_.find(pilot_id) != pilots_.end();
 }
@@ -81,6 +140,7 @@ WorkloadManager::QueuedUnit WorkloadManager::make_queued(
   q.expected_duration = description.duration;
   q.input_data = description.input_data;
   q.preferred_site = description.attributes.get_string("preferred_site", "");
+  q.tenant = tenant_of(description);
   return q;
 }
 
@@ -205,6 +265,64 @@ void WorkloadManager::refresh_locality(UnitView& view, const QueuedUnit& unit,
   }
 }
 
+bool WorkloadManager::fair_share_order(std::vector<std::size_t>* order) {
+  // Group queue positions by tenant, preserving each tenant's intra-queue
+  // policy order. A sorted map keeps tenant visiting order deterministic.
+  std::map<std::string, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    groups[queue_[i].tenant].push_back(i);
+  }
+  if (groups.size() < 2) {
+    return false;
+  }
+  int quantum = 1;
+  for (const auto& q : queue_) {
+    quantum = std::max(quantum, q.cores);
+  }
+  // Credit every tenant with queued units for this pass. Weights clamp
+  // below at a small positive value so a zero-weight tenant still drains;
+  // accumulated credit is capped so a long-starved tenant (units too big
+  // to place) cannot hoard an unbounded burst allowance.
+  std::map<std::string, double> credit;
+  for (const auto& [tenant, positions] : groups) {
+    double w = admission_->tenant_weight(tenant);
+    if (!(w > 0.0)) {
+      w = 1e-3;
+    }
+    double& deficit = drr_deficit_[tenant];
+    deficit += w * static_cast<double>(quantum);
+    const double cap = 64.0 * w * static_cast<double>(quantum);
+    deficit = std::min(deficit, cap);
+    credit[tenant] = deficit;
+  }
+  // Interleave greedily: always lay out the head unit of the tenant with
+  // the most remaining credit (ties break to the lexicographically first),
+  // charging its cores against the pass-local credit. Under scarcity the
+  // scheduler takes a capacity-limited prefix of this order, so each
+  // tenant's granted cores converge to its weight share.
+  std::map<std::string, std::size_t> head;
+  order->clear();
+  order->reserve(queue_.size());
+  while (order->size() < queue_.size()) {
+    std::string best;
+    double best_credit = 0.0;
+    for (const auto& [tenant, positions] : groups) {
+      if (head[tenant] >= positions.size()) {
+        continue;
+      }
+      const double c = credit[tenant];
+      if (best.empty() || c > best_credit) {
+        best = tenant;
+        best_credit = c;
+      }
+    }
+    const std::size_t qi = groups[best][head[best]++];
+    order->push_back(qi);
+    credit[best] -= static_cast<double>(queue_[qi].cores);
+  }
+  return true;
+}
+
 std::vector<Assignment> WorkloadManager::schedule_pass(
     double now, const DataServiceInterface* data) {
   if (!dirty_) {
@@ -236,8 +354,28 @@ std::vector<Assignment> WorkloadManager::schedule_pass(
     }
   }
 
-  std::vector<Assignment> proposed =
-      scheduler_->schedule(queue_views_, pilot_views_);
+  std::vector<Assignment> proposed;
+  std::vector<std::size_t> order;
+  bool interleaved = false;
+  if (fair_share_ && admission_ != nullptr && fair_share_order(&order)) {
+    // Fair-share pass: present the queue to the strategy in the deficit-
+    // round-robin interleave, then map accepted positions back onto the
+    // real queue (a mismatch falls back to the linear search below).
+    interleaved = true;
+    std::deque<UnitView> views;
+    for (const std::size_t qi : order) {
+      views.push_back(queue_views_[qi]);
+    }
+    proposed = scheduler_->schedule(views, pilot_views_);
+    for (auto& a : proposed) {
+      a.queue_index = (a.queue_index < order.size() &&
+                       queue_[order[a.queue_index]].unit_id == a.unit_id)
+                          ? order[a.queue_index]
+                          : kNoQueueIndex;
+    }
+  } else {
+    proposed = scheduler_->schedule(queue_views_, pilot_views_);
+  }
 
   // Apply: validate capacity (defense against buggy strategies), reserve
   // cores, move units from queue to bound. queue_index makes each apply
@@ -268,6 +406,11 @@ std::vector<Assignment> WorkloadManager::schedule_pass(
     pit->second.free_cores -= q.cores;
     site_free_cores_[pit->second.site] -= q.cores;
     bound_.emplace(a.unit_id, BoundUnit{a.pilot_id, q.cores});
+    if (interleaved) {
+      // Actual service: only granted cores pay down the tenant's deficit
+      // (laying a unit out in the interleave is not service).
+      drr_deficit_[q.tenant] -= static_cast<double>(q.cores);
+    }
     taken[qi] = 1;
     accepted.push_back(a);
   }
@@ -285,6 +428,15 @@ std::vector<Assignment> WorkloadManager::schedule_pass(
     }
     queue_.resize(w);
     queue_views_.resize(w);
+  }
+  if (fair_share_ && !drr_deficit_.empty()) {
+    // A tenant whose queue emptied starts fresh when it returns.
+    for (auto dit = drr_deficit_.begin(); dit != drr_deficit_.end();) {
+      const bool still_queued = std::any_of(
+          queue_.begin(), queue_.end(),
+          [&](const QueuedUnit& q) { return q.tenant == dit->first; });
+      dit = still_queued ? std::next(dit) : drr_deficit_.erase(dit);
+    }
   }
   if (metrics_ != nullptr) {
     metrics_->counter("wm.units_assigned").inc(accepted.size());

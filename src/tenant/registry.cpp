@@ -1,0 +1,215 @@
+#include "pa/tenant/registry.h"
+
+#include <algorithm>
+
+#include "pa/common/error.h"
+
+namespace pa::tenant {
+
+TenantRegistry::TenantRegistry(std::function<double()> clock)
+    : clock_(std::move(clock)) {}
+
+TenantRegistry::Account& TenantRegistry::account(const std::string& name) {
+  auto [it, inserted] = accounts_.try_emplace(name);
+  if (inserted && metrics_ != nullptr) {
+    bind_instruments(name, it->second);
+  }
+  return it->second;
+}
+
+void TenantRegistry::bind_instruments(const std::string& name, Account& acc) {
+  acc.admitted_counter = &metrics_->counter("tenant." + name + ".admitted");
+  acc.rejected_counter =
+      &metrics_->counter("tenant." + name + ".rejected_quota");
+  acc.share_counter = &metrics_->counter("tenant." + name + ".share_units");
+  acc.inflight_gauge = &metrics_->gauge("tenant." + name + ".inflight");
+  acc.wait_histogram = &metrics_->histogram("tenant." + name + ".unit_wait",
+                                            1e-3, 30.0 * 24.0 * 3600.0);
+}
+
+void TenantRegistry::set_quota(const std::string& tenant, const Quota& quota) {
+  PA_REQUIRE_ARG(quota.submit_rate < 0.0 || static_cast<bool>(clock_),
+                 "submit_rate quota needs a TenantRegistry clock");
+  check::MutexLock lock(mutex_);
+  Account& acc = account(tenant);
+  acc.quota = quota;
+  // Prime the bucket full so a configured tenant gets its burst up front.
+  if (quota.submit_rate >= 0.0) {
+    acc.tokens = quota.burst > 0.0 ? quota.burst
+                                   : std::max(1.0, quota.submit_rate);
+    acc.token_time = clock_();
+  }
+}
+
+void TenantRegistry::set_weight(const std::string& tenant, double weight) {
+  PA_REQUIRE_ARG(weight > 0.0, "fair-share weight must be > 0");
+  check::MutexLock lock(mutex_);
+  account(tenant).weight = weight;
+}
+
+void TenantRegistry::set_metrics(obs::MetricsRegistry* metrics) {
+  check::MutexLock lock(mutex_);
+  metrics_ = metrics;
+  if (metrics_ == nullptr) {
+    agg_admitted_ = agg_rejected_ = agg_share_ = nullptr;
+    for (auto& [name, acc] : accounts_) {
+      acc.admitted_counter = acc.rejected_counter = acc.share_counter =
+          nullptr;
+      acc.inflight_gauge = nullptr;
+      acc.wait_histogram = nullptr;
+    }
+    return;
+  }
+  agg_admitted_ = &metrics_->counter("tenant.admitted");
+  agg_rejected_ = &metrics_->counter("tenant.rejected_quota");
+  agg_share_ = &metrics_->counter("tenant.share_units");
+  for (auto& [name, acc] : accounts_) {
+    bind_instruments(name, acc);
+  }
+}
+
+void TenantRegistry::count_rejection(Account& acc) {
+  ++acc.rejected;
+  if (agg_rejected_ != nullptr) {
+    agg_rejected_->inc();
+  }
+  if (acc.rejected_counter != nullptr) {
+    acc.rejected_counter->inc();
+  }
+}
+
+void TenantRegistry::take_token(const std::string& name, Account& acc) {
+  if (acc.quota.submit_rate < 0.0) {
+    return;
+  }
+  const double now = clock_();
+  if (acc.token_time >= 0.0 && now > acc.token_time) {
+    const double depth = acc.quota.burst > 0.0
+                             ? acc.quota.burst
+                             : std::max(1.0, acc.quota.submit_rate);
+    acc.tokens = std::min(
+        depth, acc.tokens + (now - acc.token_time) * acc.quota.submit_rate);
+  }
+  acc.token_time = now;
+  if (acc.tokens < 1.0) {
+    count_rejection(acc);
+    throw QuotaExceeded("tenant " + name + " over submit rate (" +
+                        std::to_string(acc.quota.submit_rate) + "/s)");
+  }
+  acc.tokens -= 1.0;
+}
+
+void TenantRegistry::admit_pilot(const std::string& tenant) {
+  check::MutexLock lock(mutex_);
+  Account& acc = account(tenant);
+  if (acc.quota.max_pilots >= 0 && acc.pilots >= acc.quota.max_pilots) {
+    count_rejection(acc);
+    throw QuotaExceeded("tenant " + tenant + " at max_pilots (" +
+                        std::to_string(acc.quota.max_pilots) + ")");
+  }
+  take_token(tenant, acc);
+  ++acc.pilots;
+  ++acc.admitted;
+  if (agg_admitted_ != nullptr) {
+    agg_admitted_->inc();
+  }
+  if (acc.admitted_counter != nullptr) {
+    acc.admitted_counter->inc();
+  }
+}
+
+void TenantRegistry::admit_unit(const std::string& tenant) {
+  check::MutexLock lock(mutex_);
+  Account& acc = account(tenant);
+  if (acc.quota.max_inflight_units >= 0 &&
+      acc.inflight_units >= acc.quota.max_inflight_units) {
+    count_rejection(acc);
+    throw QuotaExceeded("tenant " + tenant + " at max_inflight_units (" +
+                        std::to_string(acc.quota.max_inflight_units) + ")");
+  }
+  take_token(tenant, acc);
+  ++acc.inflight_units;
+  ++acc.admitted;
+  if (agg_admitted_ != nullptr) {
+    agg_admitted_->inc();
+  }
+  if (acc.admitted_counter != nullptr) {
+    acc.admitted_counter->inc();
+  }
+  if (acc.inflight_gauge != nullptr) {
+    acc.inflight_gauge->set(static_cast<double>(acc.inflight_units));
+  }
+}
+
+void TenantRegistry::unit_dispatched(const std::string& tenant, int cores) {
+  check::MutexLock lock(mutex_);
+  Account& acc = account(tenant);
+  const auto granted = static_cast<std::int64_t>(std::max(1, cores));
+  acc.share_units += granted;
+  if (agg_share_ != nullptr) {
+    agg_share_->inc(static_cast<std::uint64_t>(granted));
+  }
+  if (acc.share_counter != nullptr) {
+    acc.share_counter->inc(static_cast<std::uint64_t>(granted));
+  }
+}
+
+void TenantRegistry::unit_finalized(const std::string& tenant,
+                                    core::UnitState /*final_state*/,
+                                    double wait_seconds) {
+  check::MutexLock lock(mutex_);
+  Account& acc = account(tenant);
+  // max guards double-release (a compensated failed submit can race a
+  // registry that was attached mid-flight and never saw the admit).
+  acc.inflight_units = std::max<std::int64_t>(0, acc.inflight_units - 1);
+  if (acc.inflight_gauge != nullptr) {
+    acc.inflight_gauge->set(static_cast<double>(acc.inflight_units));
+  }
+  if (wait_seconds >= 0.0 && acc.wait_histogram != nullptr) {
+    acc.wait_histogram->record(wait_seconds);
+  }
+}
+
+void TenantRegistry::pilot_released(const std::string& tenant) {
+  check::MutexLock lock(mutex_);
+  Account& acc = account(tenant);
+  acc.pilots = std::max<std::int64_t>(0, acc.pilots - 1);
+}
+
+double TenantRegistry::tenant_weight(const std::string& tenant) const {
+  check::MutexLock lock(mutex_);
+  const auto it = accounts_.find(tenant);
+  return it == accounts_.end() ? 1.0 : it->second.weight;
+}
+
+std::int64_t TenantRegistry::inflight_units(const std::string& tenant) const {
+  check::MutexLock lock(mutex_);
+  const auto it = accounts_.find(tenant);
+  return it == accounts_.end() ? 0 : it->second.inflight_units;
+}
+
+std::int64_t TenantRegistry::live_pilots(const std::string& tenant) const {
+  check::MutexLock lock(mutex_);
+  const auto it = accounts_.find(tenant);
+  return it == accounts_.end() ? 0 : it->second.pilots;
+}
+
+std::uint64_t TenantRegistry::admitted(const std::string& tenant) const {
+  check::MutexLock lock(mutex_);
+  const auto it = accounts_.find(tenant);
+  return it == accounts_.end() ? 0 : it->second.admitted;
+}
+
+std::uint64_t TenantRegistry::rejected(const std::string& tenant) const {
+  check::MutexLock lock(mutex_);
+  const auto it = accounts_.find(tenant);
+  return it == accounts_.end() ? 0 : it->second.rejected;
+}
+
+std::int64_t TenantRegistry::share_units(const std::string& tenant) const {
+  check::MutexLock lock(mutex_);
+  const auto it = accounts_.find(tenant);
+  return it == accounts_.end() ? 0 : it->second.share_units;
+}
+
+}  // namespace pa::tenant

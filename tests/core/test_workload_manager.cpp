@@ -342,5 +342,183 @@ TEST(WorkloadManager, RequeueFrontBeforeEqualsUnderSortedPolicy) {
   EXPECT_EQ(out[0].unit_id, "five-b");  // requeued wins among equals
 }
 
+// ---------------------------------------------------------------------------
+// Weighted fair share (deficit round robin) across tenants.
+// ---------------------------------------------------------------------------
+
+/// Weight-only admission stub (quotas are TenantRegistry's job; the
+/// workload manager consumes nothing but tenant_weight).
+class StubAdmission : public AdmissionInterface {
+ public:
+  void admit_pilot(const std::string&) override {}
+  void admit_unit(const std::string&) override {}
+  void unit_dispatched(const std::string&, int) override {}
+  void unit_finalized(const std::string&, UnitState, double) override {}
+  void pilot_released(const std::string&) override {}
+  double tenant_weight(const std::string& tenant) const override {
+    const auto it = weights.find(tenant);
+    return it == weights.end() ? 1.0 : it->second;
+  }
+  std::map<std::string, double> weights;
+};
+
+ComputeUnitDescription tenant_unit(const std::string& tenant, int cores = 1) {
+  ComputeUnitDescription d = unit_desc(cores);
+  d.tenant = tenant;
+  return d;
+}
+
+std::map<std::string, int> grants_by_tenant(
+    const std::vector<Assignment>& out) {
+  std::map<std::string, int> grants;
+  for (const auto& a : out) {
+    // Unit ids in these tests are "<tenant>-<n>".
+    grants[a.unit_id.substr(0, a.unit_id.find('-'))]++;
+  }
+  return grants;
+}
+
+TEST(WorkloadManagerFairShare, EqualWeightsSplitScarceCapacityEvenly) {
+  StubAdmission adm;
+  WorkloadManager wm(make_scheduler("fifo"));
+  wm.set_admission(&adm);
+  wm.set_fair_share(true);
+  wm.add_pilot("p1", "a", 4, 0, 0.0, 1e9);
+  // Tenant "a" floods first; FCFS alone would hand it all four cores.
+  for (int i = 0; i < 4; ++i) {
+    wm.enqueue_unit("a-" + std::to_string(i), tenant_unit("a"));
+  }
+  for (int i = 0; i < 4; ++i) {
+    wm.enqueue_unit("b-" + std::to_string(i), tenant_unit("b"));
+  }
+  const auto grants = grants_by_tenant(wm.schedule_pass(0.0, nullptr));
+  EXPECT_EQ(grants.at("a"), 2);
+  EXPECT_EQ(grants.at("b"), 2);
+}
+
+TEST(WorkloadManagerFairShare, GrantsFollowWeights) {
+  StubAdmission adm;
+  adm.weights["a"] = 3.0;
+  adm.weights["b"] = 1.0;
+  WorkloadManager wm(make_scheduler("fifo"));
+  wm.set_admission(&adm);
+  wm.set_fair_share(true);
+  wm.add_pilot("p1", "s", 4, 0, 0.0, 1e9);
+  for (int i = 0; i < 4; ++i) {
+    wm.enqueue_unit("a-" + std::to_string(i), tenant_unit("a"));
+    wm.enqueue_unit("b-" + std::to_string(i), tenant_unit("b"));
+  }
+  const auto grants = grants_by_tenant(wm.schedule_pass(0.0, nullptr));
+  EXPECT_EQ(grants.at("a"), 3);
+  EXPECT_EQ(grants.at("b"), 1);
+}
+
+TEST(WorkloadManagerFairShare, DeficitCarriesAcrossPasses) {
+  // One core: each pass grants a single unit, and the unserved tenant's
+  // carried deficit makes consecutive passes alternate a, b, a, b.
+  StubAdmission adm;
+  WorkloadManager wm(make_scheduler("fifo"));
+  wm.set_admission(&adm);
+  wm.set_fair_share(true);
+  wm.add_pilot("p1", "s", 1, 0, 0.0, 1e9);
+  for (int i = 0; i < 2; ++i) {
+    wm.enqueue_unit("a-" + std::to_string(i), tenant_unit("a"));
+    wm.enqueue_unit("b-" + std::to_string(i), tenant_unit("b"));
+  }
+  auto out = wm.schedule_pass(0.0, nullptr);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].unit_id, "a-0");  // tie broken to the first tenant
+  wm.unit_finished("a-0");
+  out = wm.schedule_pass(1.0, nullptr);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].unit_id, "b-0");  // b's carried credit now dominates
+  wm.unit_finished("b-0");
+  out = wm.schedule_pass(2.0, nullptr);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].unit_id, "a-1");
+}
+
+TEST(WorkloadManagerFairShare, SingleTenantKeepsPolicyOrderFastPath) {
+  // With one distinct tenant the interleave is skipped entirely and the
+  // policy's own order stands (here: sorted shortest-first insertion).
+  StubAdmission adm;
+  WorkloadManager wm(make_scheduler("shortest-first"));
+  wm.set_admission(&adm);
+  wm.set_fair_share(true);
+  wm.add_pilot("p1", "s", 1, 0, 0.0, 1e9);
+  ComputeUnitDescription slow = tenant_unit("a");
+  slow.duration = 100.0;
+  ComputeUnitDescription fast = tenant_unit("a");
+  fast.duration = 1.0;
+  wm.enqueue_unit("a-slow", slow);
+  wm.enqueue_unit("a-fast", fast);
+  const auto out = wm.schedule_pass(0.0, nullptr);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].unit_id, "a-fast");
+}
+
+TEST(WorkloadManagerFairShare, InertWithoutAdmissionInterface) {
+  // Fair share needs a weight source; without one the queue stays in
+  // plain FCFS order even with two tenants.
+  WorkloadManager wm(make_scheduler("fifo"));
+  wm.set_fair_share(true);
+  wm.add_pilot("p1", "s", 2, 0, 0.0, 1e9);
+  wm.enqueue_unit("a-0", tenant_unit("a"));
+  wm.enqueue_unit("a-1", tenant_unit("a"));
+  wm.enqueue_unit("b-0", tenant_unit("b"));
+  const auto grants = grants_by_tenant(wm.schedule_pass(0.0, nullptr));
+  EXPECT_EQ(grants.at("a"), 2);
+  EXPECT_EQ(grants.count("b"), 0u);
+}
+
+TEST(WorkloadManagerFairShare, ZeroWeightTenantStillDrains) {
+  // A zero (or negative) weight clamps to a small positive credit rate:
+  // the tenant is deprioritized, never wedged.
+  StubAdmission adm;
+  adm.weights["z"] = 0.0;
+  WorkloadManager wm(make_scheduler("fifo"));
+  wm.set_admission(&adm);
+  wm.set_fair_share(true);
+  wm.add_pilot("p1", "s", 1, 0, 0.0, 1e9);
+  wm.enqueue_unit("a-0", tenant_unit("a"));
+  wm.enqueue_unit("z-0", tenant_unit("z"));
+  auto out = wm.schedule_pass(0.0, nullptr);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].unit_id, "a-0");
+  wm.unit_finished("a-0");
+  out = wm.schedule_pass(1.0, nullptr);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].unit_id, "z-0");
+}
+
+// ---------------------------------------------------------------------------
+// Detach/adopt (cross-shard pilot moves).
+// ---------------------------------------------------------------------------
+
+TEST(WorkloadManager, DetachPilotCarriesBoundUnitsAndRequeueBudget) {
+  WorkloadManager source(make_scheduler("fifo"));
+  source.set_max_requeues(3);
+  source.add_pilot("p1", "s", 4, 0, 0.0, 1e9);
+  source.requeue_unit_front("u1", unit_desc(2));  // one consumed requeue
+  source.enqueue_unit("u2", unit_desc(1));
+  ASSERT_EQ(source.schedule_pass(0.0, nullptr).size(), 2u);
+  const auto detached = source.detach_pilot("p1");
+  ASSERT_EQ(detached.size(), 2u);
+  EXPECT_FALSE(source.has_pilot("p1"));
+  EXPECT_EQ(source.queued_units(), 0u);  // bound units travel, not requeue
+
+  WorkloadManager target(make_scheduler("fifo"));
+  target.set_max_requeues(3);
+  target.adopt_pilot("p1", "s", 4, 0, 0.0, 1e9, detached);
+  EXPECT_TRUE(target.has_pilot("p1"));
+  EXPECT_EQ(target.free_cores("p1"), 1);  // 4 - (2 + 1) re-reserved
+  EXPECT_EQ(target.bound_pilot("u1"), "p1");
+  // The consumed requeue budget survived the move: two more, not three.
+  target.remove_pilot("p1");
+  EXPECT_TRUE(target.requeue_unit_front("u1", unit_desc(2)));
+  EXPECT_TRUE(target.requeue_unit_front("u1", unit_desc(2)));
+  EXPECT_FALSE(target.requeue_unit_front("u1", unit_desc(2)));
+}
+
 }  // namespace
 }  // namespace pa::core

@@ -1,0 +1,200 @@
+/// End-to-end tenant isolation on the simulated stack: a noisy tenant
+/// flooding the queue cannot starve quiet tenants once weighted fair
+/// share is on, and quotas reject at the submission boundary. Asserted
+/// through the tenant.* metric series (the same evidence an operator
+/// has).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pa/common/error.h"
+#include "pa/core/pilot_compute_service.h"
+#include "pa/infra/batch_cluster.h"
+#include "pa/obs/metrics.h"
+#include "pa/rt/sim_runtime.h"
+#include "pa/saga/session.h"
+#include "pa/tenant/registry.h"
+
+namespace pa::tenant {
+namespace {
+
+using core::ComputeUnitDescription;
+using core::PilotComputeService;
+using core::PilotDescription;
+
+constexpr int kQuietUnits = 20;
+constexpr int kNoisyUnits = 10 * kQuietUnits;
+constexpr double kUnitSeconds = 10.0;
+
+/// One simulated contention world: a 4-core pilot, strict FCFS policy so
+/// any isolation observed is the fair-share pass's doing.
+struct World {
+  explicit World(bool fair_share) {
+    infra::BatchClusterConfig cfg;
+    cfg.name = "hpc-a";
+    cfg.num_nodes = 1;
+    cfg.node.cores = 4;
+    cluster = std::make_shared<infra::BatchCluster>(engine, cfg);
+    session.register_resource("slurm://hpc-a", cluster);
+    runtime = std::make_unique<rt::SimRuntime>(engine, session);
+    service = std::make_unique<PilotComputeService>(*runtime, "fifo");
+    registry = std::make_unique<TenantRegistry>(
+        [this]() { return runtime->now(); });
+    registry->set_metrics(&metrics);
+    service->attach_admission(registry.get(), fair_share);
+
+    PilotDescription p;
+    p.resource_url = "slurm://hpc-a";
+    p.nodes = 1;
+    p.walltime = 1e9;
+    service->submit_pilot(p);
+  }
+
+  void submit_tenant_units(const std::string& tenant, int count) {
+    std::vector<ComputeUnitDescription> batch(static_cast<std::size_t>(count));
+    for (auto& d : batch) {
+      d.tenant = tenant;
+      d.cores = 1;
+      d.duration = kUnitSeconds;
+    }
+    service->submit_units(batch);
+  }
+
+  std::uint64_t counter(const std::string& name) {
+    return metrics.counter(name).value();
+  }
+
+  // Declaration order is teardown order in reverse: the service dies
+  // first, while the registry and metrics sinks it reports into (unit
+  // finalizations during shutdown) are still alive.
+  sim::Engine engine;
+  saga::Session session;
+  std::shared_ptr<infra::BatchCluster> cluster;
+  obs::MetricsRegistry metrics;
+  std::unique_ptr<TenantRegistry> registry;
+  std::unique_ptr<rt::SimRuntime> runtime;
+  std::unique_ptr<PilotComputeService> service;
+};
+
+TEST(TenantFairShare, NoisyTenantDominatesWithoutFairShare) {
+  // Control: FCFS alone serves the earlier flood exclusively, so the
+  // quiet tenant gets nothing while the noisy backlog lasts.
+  World w(/*fair_share=*/false);
+  w.submit_tenant_units("noisy", kNoisyUnits);
+  w.submit_tenant_units("quiet", kQuietUnits);
+  w.engine.run_until(80.0);
+  EXPECT_GT(w.registry->share_units("noisy"), 0);
+  EXPECT_EQ(w.registry->share_units("quiet"), 0);
+}
+
+TEST(TenantFairShare, ShareConvergesToEqualWeights) {
+  // With fair share on and equal (default) weights, grants while both
+  // tenants have backlog split ~evenly despite the 10x submission skew.
+  World w(/*fair_share=*/true);
+  w.submit_tenant_units("noisy", kNoisyUnits);
+  w.submit_tenant_units("quiet", kQuietUnits);
+  w.engine.run_until(80.0);  // quiet backlog must still be non-empty
+  const auto noisy = static_cast<double>(w.registry->share_units("noisy"));
+  const auto quiet = static_cast<double>(w.registry->share_units("quiet"));
+  ASSERT_GT(noisy, 0.0);
+  ASSERT_GT(quiet, 0.0);
+  const double ratio = quiet / noisy;
+  EXPECT_GE(ratio, 0.5) << "quiet=" << quiet << " noisy=" << noisy;
+  EXPECT_LE(ratio, 2.0) << "quiet=" << quiet << " noisy=" << noisy;
+  // The metric series carries the same evidence as the introspection API.
+  EXPECT_EQ(w.counter("tenant.quiet.share_units"),
+            static_cast<std::uint64_t>(w.registry->share_units("quiet")));
+  // +1: the World's pilot submission is admitted through the registry
+  // too (default tenant).
+  EXPECT_EQ(w.counter("tenant.admitted"),
+            static_cast<std::uint64_t>(kQuietUnits + kNoisyUnits + 1));
+}
+
+TEST(TenantFairShare, WeightedQuietTenantP99WaitWithinTwiceBaseline) {
+  // Baseline: the quiet tenant alone on the same capacity.
+  double baseline_p99 = 0.0;
+  {
+    World w(/*fair_share=*/true);
+    w.submit_tenant_units("quiet", kQuietUnits);
+    w.service->wait_all_units();
+    baseline_p99 =
+        w.metrics.histogram("tenant.quiet.unit_wait").snapshot().p99();
+    ASSERT_GT(baseline_p99, 0.0);
+  }
+
+  // Contended: the noisy flood arrives first, but the quiet tenant's
+  // 3x weight keeps its credit ahead, bounding its p99 wait at < 2x the
+  // alone-on-the-pool baseline.
+  World w(/*fair_share=*/true);
+  w.registry->set_weight("quiet", 3.0);
+  w.registry->set_weight("noisy", 1.0);
+  w.submit_tenant_units("noisy", kNoisyUnits);
+  w.submit_tenant_units("quiet", kQuietUnits);
+  w.service->wait_all_units();
+  const auto contended =
+      w.metrics.histogram("tenant.quiet.unit_wait").snapshot();
+  ASSERT_EQ(contended.count(), static_cast<std::uint64_t>(kQuietUnits));
+  EXPECT_LE(contended.p99(), 2.0 * baseline_p99)
+      << "baseline p99=" << baseline_p99 << " contended "
+      << contended.summary();
+}
+
+TEST(TenantFairShare, QuotaRejectsAtSubmissionBoundary) {
+  World w(/*fair_share=*/true);
+  Quota q;
+  q.max_inflight_units = 2;
+  w.registry->set_quota("capped", q);
+  ComputeUnitDescription d;
+  d.tenant = "capped";
+  d.duration = 1.0;
+  w.service->submit_unit(d);
+  w.service->submit_unit(d);
+  // The third submission dies on the caller's thread with the typed
+  // error, before consuming any control-plane queue space.
+  EXPECT_THROW(w.service->submit_unit(d), QuotaExceeded);
+  EXPECT_EQ(w.counter("tenant.capped.rejected_quota"), 1u);
+  // Finalization frees the slots: the tenant can submit again.
+  w.service->wait_all_units();
+  w.service->submit_unit(d);
+  w.service->wait_all_units();
+  EXPECT_EQ(w.registry->inflight_units("capped"), 0);
+}
+
+TEST(TenantFairShare, MidBurstQuotaRejectionKeepsEarlierUnits) {
+  World w(/*fair_share=*/true);
+  Quota q;
+  q.max_inflight_units = 3;
+  w.registry->set_quota("capped", q);
+  std::vector<ComputeUnitDescription> batch(5);
+  for (auto& d : batch) {
+    d.tenant = "capped";
+    d.duration = 1.0;
+  }
+  EXPECT_THROW(w.service->submit_units(batch), QuotaExceeded);
+  // The three admitted units stand and run to completion.
+  w.service->wait_all_units();
+  EXPECT_EQ(w.service->metrics().units_done, 3u);
+  EXPECT_EQ(w.registry->admitted("capped"), 3u);
+  EXPECT_EQ(w.registry->rejected("capped"), 1u);
+}
+
+TEST(TenantFairShare, PilotQuotaGatesSubmitPilot) {
+  World w(/*fair_share=*/true);
+  Quota q;
+  q.max_pilots = 1;
+  w.registry->set_quota("hpc", q);
+  PilotDescription p;
+  p.resource_url = "slurm://hpc-a";
+  p.nodes = 1;
+  p.walltime = 1e9;
+  p.tenant = "hpc";
+  w.service->submit_pilot(p);
+  EXPECT_THROW(w.service->submit_pilot(p), QuotaExceeded);
+  EXPECT_EQ(w.registry->live_pilots("hpc"), 1);
+}
+
+}  // namespace
+}  // namespace pa::tenant

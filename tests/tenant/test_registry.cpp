@@ -1,0 +1,184 @@
+/// TenantRegistry quota mechanics: in-flight unit caps, pilot caps, the
+/// submit-rate token bucket, weights, and the tenant.* metric bindings.
+
+#include "pa/tenant/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "pa/common/error.h"
+#include "pa/core/admission.h"
+#include "pa/obs/metrics.h"
+
+namespace pa::tenant {
+namespace {
+
+using core::UnitState;
+
+TEST(TenantRegistry, UnlimitedByDefault) {
+  TenantRegistry reg;
+  for (int i = 0; i < 1000; ++i) {
+    reg.admit_unit("anyone");
+  }
+  reg.admit_pilot("anyone");
+  EXPECT_EQ(reg.inflight_units("anyone"), 1000);
+  EXPECT_EQ(reg.live_pilots("anyone"), 1);
+  EXPECT_EQ(reg.admitted("anyone"), 1001u);
+  EXPECT_EQ(reg.rejected("anyone"), 0u);
+}
+
+TEST(TenantRegistry, InflightUnitQuotaRejectsAndRecovers) {
+  TenantRegistry reg;
+  Quota q;
+  q.max_inflight_units = 2;
+  reg.set_quota("t", q);
+  reg.admit_unit("t");
+  reg.admit_unit("t");
+  EXPECT_THROW(reg.admit_unit("t"), QuotaExceeded);
+  EXPECT_EQ(reg.rejected("t"), 1u);
+  // A finalization frees the slot regardless of outcome.
+  reg.unit_finalized("t", UnitState::kDone, 0.5);
+  reg.admit_unit("t");
+  EXPECT_EQ(reg.inflight_units("t"), 2);
+  // Other tenants have independent accounts.
+  reg.admit_unit("other");
+  EXPECT_EQ(reg.rejected("other"), 0u);
+}
+
+TEST(TenantRegistry, PilotQuotaRejectsUntilReleased) {
+  TenantRegistry reg;
+  Quota q;
+  q.max_pilots = 1;
+  reg.set_quota("t", q);
+  reg.admit_pilot("t");
+  EXPECT_THROW(reg.admit_pilot("t"), QuotaExceeded);
+  reg.pilot_released("t");
+  reg.admit_pilot("t");
+  EXPECT_EQ(reg.live_pilots("t"), 1);
+}
+
+TEST(TenantRegistry, SubmitRateTokenBucket) {
+  double now = 0.0;
+  TenantRegistry reg([&now]() { return now; });
+  Quota q;
+  q.submit_rate = 2.0;  // bucket depth derives to max(1, 2) = 2
+  reg.set_quota("t", q);
+  // Primed full: the burst allowance is immediately spendable.
+  reg.admit_unit("t");
+  reg.admit_unit("t");
+  EXPECT_THROW(reg.admit_unit("t"), QuotaExceeded);
+  // Refills at 2 tokens/s on the injected clock.
+  now = 0.5;
+  reg.admit_unit("t");
+  EXPECT_THROW(reg.admit_unit("t"), QuotaExceeded);
+  // The bucket never overfills past its depth.
+  now = 100.0;
+  reg.admit_unit("t");
+  reg.admit_unit("t");
+  EXPECT_THROW(reg.admit_unit("t"), QuotaExceeded);
+  EXPECT_EQ(reg.rejected("t"), 3u);
+}
+
+TEST(TenantRegistry, ExplicitBurstOverridesDerivedDepth) {
+  double now = 0.0;
+  TenantRegistry reg([&now]() { return now; });
+  Quota q;
+  q.submit_rate = 1.0;
+  q.burst = 5.0;
+  reg.set_quota("t", q);
+  for (int i = 0; i < 5; ++i) {
+    reg.admit_unit("t");
+  }
+  EXPECT_THROW(reg.admit_unit("t"), QuotaExceeded);
+}
+
+TEST(TenantRegistry, RateQuotaRequiresClock) {
+  TenantRegistry reg;  // no clock
+  Quota q;
+  q.submit_rate = 1.0;
+  EXPECT_THROW(reg.set_quota("t", q), InvalidArgument);
+}
+
+TEST(TenantRegistry, WeightsDefaultToOneAndClampPositive) {
+  TenantRegistry reg;
+  EXPECT_DOUBLE_EQ(reg.tenant_weight("unknown"), 1.0);
+  reg.set_weight("t", 2.5);
+  EXPECT_DOUBLE_EQ(reg.tenant_weight("t"), 2.5);
+  EXPECT_THROW(reg.set_weight("t", 0.0), InvalidArgument);
+  EXPECT_THROW(reg.set_weight("t", -1.0), InvalidArgument);
+}
+
+TEST(TenantRegistry, ShareUnitsAccumulateCoreWeightedGrants) {
+  TenantRegistry reg;
+  reg.unit_dispatched("t", 4);
+  reg.unit_dispatched("t", 1);
+  // Defensive: a grant never counts less than one core.
+  reg.unit_dispatched("t", 0);
+  EXPECT_EQ(reg.share_units("t"), 6);
+}
+
+TEST(TenantRegistry, MetricsExportAggregateAndPerTenantSeries) {
+  obs::MetricsRegistry metrics;
+  TenantRegistry reg;
+  reg.set_metrics(&metrics);
+  Quota q;
+  q.max_inflight_units = 1;
+  reg.set_quota("acme", q);
+  reg.admit_unit("acme");
+  EXPECT_THROW(reg.admit_unit("acme"), QuotaExceeded);
+  reg.unit_dispatched("acme", 2);
+  reg.unit_finalized("acme", UnitState::kDone, 0.25);
+
+  EXPECT_EQ(metrics.counter("tenant.admitted").value(), 1u);
+  EXPECT_EQ(metrics.counter("tenant.rejected_quota").value(), 1u);
+  EXPECT_EQ(metrics.counter("tenant.share_units").value(), 2u);
+  EXPECT_EQ(metrics.counter("tenant.acme.admitted").value(), 1u);
+  EXPECT_EQ(metrics.counter("tenant.acme.rejected_quota").value(), 1u);
+  EXPECT_EQ(metrics.counter("tenant.acme.share_units").value(), 2u);
+  EXPECT_DOUBLE_EQ(metrics.gauge("tenant.acme.inflight").value(), 0.0);
+  EXPECT_EQ(metrics.histogram("tenant.acme.unit_wait").snapshot().count(), 1u);
+}
+
+TEST(TenantRegistry, LateMetricsAttachmentBindsExistingAccounts) {
+  TenantRegistry reg;
+  reg.admit_unit("early");  // account exists before the sink does
+  obs::MetricsRegistry metrics;
+  reg.set_metrics(&metrics);
+  reg.admit_unit("early");
+  // Only activity after the attach is exported (no retroactive replay).
+  EXPECT_EQ(metrics.counter("tenant.early.admitted").value(), 1u);
+  reg.set_metrics(nullptr);
+  reg.admit_unit("early");  // must not touch the detached registry
+  EXPECT_EQ(metrics.counter("tenant.early.admitted").value(), 1u);
+  EXPECT_EQ(reg.admitted("early"), 3u);
+}
+
+TEST(TenantRegistry, FinalizationClampsAtZeroAndSkipsNegativeWaits) {
+  obs::MetricsRegistry metrics;
+  TenantRegistry reg;
+  reg.set_metrics(&metrics);
+  // A canceled submission compensates with wait = -1: no histogram sample,
+  // and the in-flight account never goes negative.
+  reg.unit_finalized("t", UnitState::kCanceled, -1.0);
+  EXPECT_EQ(reg.inflight_units("t"), 0);
+  EXPECT_EQ(metrics.histogram("tenant.t.unit_wait").snapshot().count(), 0u);
+}
+
+TEST(TenantRegistry, TighteningQuotaKeepsExistingCharges) {
+  TenantRegistry reg;
+  reg.admit_unit("t");
+  reg.admit_unit("t");
+  Quota q;
+  q.max_inflight_units = 1;  // below current usage
+  reg.set_quota("t", q);
+  EXPECT_EQ(reg.inflight_units("t"), 2);  // kept
+  EXPECT_THROW(reg.admit_unit("t"), QuotaExceeded);
+  reg.unit_finalized("t", UnitState::kDone, 0.0);
+  EXPECT_THROW(reg.admit_unit("t"), QuotaExceeded);  // still at the cap
+  reg.unit_finalized("t", UnitState::kDone, 0.0);
+  reg.admit_unit("t");
+}
+
+}  // namespace
+}  // namespace pa::tenant

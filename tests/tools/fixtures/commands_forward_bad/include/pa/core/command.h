@@ -1,0 +1,28 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <variant>
+
+namespace pa::core::cmd {
+
+struct CmdPing {
+  std::string id;
+};
+
+struct ForwardBox;
+
+// Seeded violation: the envelope has no hop cap, so a routing bug can
+// bounce a command between shards forever.
+struct CmdForward {
+  int target_shard = 0;
+  std::shared_ptr<ForwardBox> inner;
+};
+
+using Command = std::variant<CmdPing, CmdForward>;
+
+struct ForwardBox {
+  Command command;
+};
+
+}  // namespace pa::core::cmd

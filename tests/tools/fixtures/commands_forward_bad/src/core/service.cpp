@@ -1,0 +1,26 @@
+#include "pa/core/command.h"
+
+namespace pa::core {
+
+void Service::apply_command(cmd::Command& command) {
+  std::visit([this](auto& c) { apply(c); }, command);
+}
+
+void Service::apply(cmd::CmdPing& c) { pings_ += 1; }
+
+// Seeded violation: the handler visits the inner command directly,
+// bypassing apply_command and whatever bookkeeping it wraps.
+void Service::apply(cmd::CmdForward& c) {
+  std::visit([this](auto& i) { apply(i); }, c.inner->command);
+}
+
+void Service::forward_to(int target_shard, cmd::Command command) {
+  peers_[target_shard]->post(cmd::Command{cmd::CmdForward{
+      target_shard, std::make_shared<cmd::ForwardBox>(std::move(command))}});
+}
+
+void Service::start() {
+  ctrl_->post(cmd::Command{cmd::CmdPing{"boot"}});
+}
+
+}  // namespace pa::core

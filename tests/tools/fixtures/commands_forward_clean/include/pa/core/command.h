@@ -1,0 +1,27 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <variant>
+
+namespace pa::core::cmd {
+
+struct CmdPing {
+  std::string id;
+};
+
+struct ForwardBox;
+
+struct CmdForward {
+  int target_shard = 0;
+  int hops = 0;
+  std::shared_ptr<ForwardBox> inner;
+};
+
+using Command = std::variant<CmdPing, CmdForward>;
+
+struct ForwardBox {
+  Command command;
+};
+
+}  // namespace pa::core::cmd

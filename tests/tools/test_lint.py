@@ -130,6 +130,31 @@ class CallbackShape(unittest.TestCase):
         self.assertEqual(msgs("src/net/manager.cpp", self.DIRTY), [])
 
 
+class ShardConfinement(unittest.TestCase):
+    def test_service_shard_reference_outside_layer_is_flagged(self):
+        out = msgs("src/engines/mapreduce.cpp",
+                   "ServiceShard* home = facade.shard(0);\n")
+        self.assertTrue(
+            any("cross-shard access" in m for m in out), out)
+
+    def test_post_forward_call_outside_layer_is_flagged(self):
+        out = msgs("tests/core/test_scheduler.cpp",
+                   "ctrl.post_forward(std::move(envelope));\n")
+        self.assertTrue(
+            any("cross-shard access" in m for m in out), out)
+
+    def test_sharding_layer_itself_is_allowed(self):
+        self.assertEqual(
+            msgs("src/core/service_shard.cpp",
+                 "peers_[t]->ctrl().post_forward(std::move(cmd));\n"), [])
+
+    def test_facade_is_allowed(self):
+        self.assertEqual(
+            msgs("src/core/pilot_compute_service.cpp",
+                 "std::vector<std::unique_ptr<ServiceShard>> shards_;\n"),
+            [])
+
+
 class StoreConfinement(unittest.TestCase):
     def test_transport_include_is_flagged(self):
         out = msgs("src/store/shard.cpp",

@@ -39,6 +39,13 @@ Five disciplines, each enforced mechanically because each has burned us
     in src/core is a wait-free `ctrl_->post(<command>)`; middleware
     logic happens when the apply thread handles the command.
 
+ 5b. Cross-shard traffic rides forward envelopes. The sharded control
+    plane's invariant is that a shard's state is only ever touched by
+    its own apply thread; the facade routes, the shard engine forwards.
+    Code outside the sharding layer that names a ServiceShard or calls
+    post_forward() directly has reached around that routing and can
+    deliver a command to a shard that does not own the entity.
+
  6. Store transport confinement. The data plane (pa::store) speaks
     net::Message and paces itself with the BatchFlusher, but never sees a
     Connection, a Transport, or a concrete transport header — egress goes
@@ -132,6 +139,16 @@ CALLBACK_FORBIDDEN = re.compile(
     r"dispatch_unit_apply|execute_unit_apply)\b"
 )
 CALLBACK_MUST_POST = "->post("
+
+# --- rule 5b: cross-shard access stays inside the sharding layer -------------
+SHARD_ALLOWED = {
+    "include/pa/core/control_plane.h",
+    "include/pa/core/pilot_compute_service.h",
+    "include/pa/core/service_shard.h",
+    "src/core/pilot_compute_service.cpp",
+    "src/core/service_shard.cpp",
+}
+SHARD_FORBIDDEN = re.compile(r"\bServiceShard\b|\bpost_forward\s*\(")
 
 
 def lambda_body(text: str, start: int) -> tuple[int, int] | None:
@@ -252,6 +269,17 @@ def lint_file(rel: str, text: str) -> list[tuple[int, str]]:
                     lineno,
                     f"socket header <{m.group(1)}> — socket I/O is confined "
                     f"to src/net/tcp_transport.cpp",
+                ))
+
+        if rel not in SHARD_ALLOWED and rel != "tools/lint.py":
+            m = SHARD_FORBIDDEN.search(code)
+            if m:
+                findings.append((
+                    lineno,
+                    f"cross-shard access `{m.group(0).strip()}` outside the "
+                    f"sharding layer — shard state belongs to its own apply "
+                    f"thread; go through the PilotComputeService facade and "
+                    f"let the shard engine build forward envelopes",
                 ))
 
         if rel.startswith(STORE_SCOPE):
